@@ -1,0 +1,67 @@
+// Energy efficiency (paper §V-B "Energy Efficiency").
+//
+// PARO's effective TOPS/W on CogVideoX-2B/5B versus the A100
+// (paper: 3.46 / 3.61 TOPS/W, 4.86x / 6.43x over the GPU).
+#include <cstdio>
+
+#include "baselines/gpu_roofline.hpp"
+#include "bench_util.hpp"
+#include "energy/energy_model.hpp"
+#include "paro/accelerator.hpp"
+
+namespace paro {
+namespace {
+
+int run() {
+  bench::banner("Energy efficiency",
+                "PARO §V-B — effective TOPS/W vs NVIDIA A100 "
+                "(paper: 3.46/3.61 TOPS/W, 4.86x/6.43x)");
+
+  bench::TextTable table({"Model", "PARO (s)", "PARO energy (J)",
+                          "PARO TOPS/W", "A100 (s)", "A100 TOPS/W",
+                          "ratio", "paper"});
+  for (const ModelConfig& m :
+       {ModelConfig::cogvideox_2b(), ModelConfig::cogvideox_5b()}) {
+    const Workload w = Workload::build(m, false);
+    // Effective ops: the FP16 workload's 2·MACs, over all sampling steps.
+    const double effective_ops =
+        2.0 * w.total_macs() * static_cast<double>(m.sampling_steps);
+
+    const HwResources hw = HwResources::paro_asic();
+    const ParoAccelerator accel(hw, ParoConfig::full());
+    const SimStats stats = accel.simulate_video(m);
+    const EnergyReport paro = estimate_energy(stats, hw, effective_ops);
+
+    const GpuRoofline gpu_model;
+    const double gpu_s = gpu_model.simulate_video_seconds(m);
+    const EnergyReport gpu =
+        estimate_gpu_energy(gpu_s, gpu_model.gpu(), effective_ops);
+
+    table.add_row(
+        {m.name, bench::fmt(paro.seconds, 1), bench::fmt(paro.total_j, 0),
+         bench::fmt(paro.effective_tops_per_watt, 2), bench::fmt(gpu_s, 1),
+         bench::fmt(gpu.effective_tops_per_watt, 2),
+         bench::fmt_times(paro.effective_tops_per_watt /
+                          gpu.effective_tops_per_watt),
+         m.blocks == 30 ? "3.46 TOPS/W, 4.86x" : "3.61 TOPS/W, 6.43x"});
+  }
+  table.print();
+
+  // Component-level energy breakdown for the 5B run.
+  const ModelConfig m5b = ModelConfig::cogvideox_5b();
+  const Workload w = Workload::build(m5b, false);
+  const HwResources hw = HwResources::paro_asic();
+  const SimStats stats =
+      ParoAccelerator(hw, ParoConfig::full()).simulate_video(m5b);
+  const EnergyReport r = estimate_energy(
+      stats, hw, 2.0 * w.total_macs() * static_cast<double>(m5b.sampling_steps));
+  std::printf("\n5B energy breakdown (J): PE %.0f, LDZ %.0f, vector %.0f, "
+              "buffer %.0f, leakage %.0f, DRAM-interface %.0f\n",
+              r.pe_j, r.ldz_j, r.vector_j, r.buffer_j, r.leakage_j, r.dram_j);
+  return 0;
+}
+
+}  // namespace
+}  // namespace paro
+
+int main() { return paro::run(); }

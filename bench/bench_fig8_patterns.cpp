@@ -1,0 +1,92 @@
+// Fig. 8 — visualization of attention patterns before and after reorder.
+//
+// Renders per-tile mass maps (ASCII heat maps) of synthetic heads that
+// aggregate along different axes, in the canonical token order and after
+// the calibrated reorder — the diverse strided patterns collapse into the
+// unified "block diagonal" form.  Also prints the per-head plan selection
+// histogram (the paper's observation that different heads aggregate along
+// different dimensions).
+#include <cstdio>
+
+#include "attention/reference.hpp"
+#include "attention/synthetic.hpp"
+#include "bench_util.hpp"
+#include "common/config.hpp"
+#include "quant/blockwise.hpp"
+#include "reorder/calibrate.hpp"
+
+namespace paro {
+namespace {
+
+/// ASCII heat map of per-tile mean mass.
+void print_heat(const MatF& mass) {
+  static const char* kShades = " .:-=+*#%@";
+  float maxv = 0.0F;
+  for (const float v : mass.flat()) maxv = std::max(maxv, v);
+  for (std::size_t r = 0; r < mass.rows(); ++r) {
+    std::printf("    ");
+    for (std::size_t c = 0; c < mass.cols(); ++c) {
+      const double t = maxv > 0 ? mass(r, c) / maxv : 0.0;
+      const int idx = std::min(9, static_cast<int>(t * 9.999));
+      std::printf("%c", kShades[idx]);
+    }
+    std::printf("\n");
+  }
+}
+
+int run(int argc, char** argv) {
+  const KeyValueConfig cfg = KeyValueConfig::from_args(argc, argv);
+  const std::size_t dim = static_cast<std::size_t>(cfg.get_int("dim", 6));
+  const std::size_t block = static_cast<std::size_t>(cfg.get_int("block", 8));
+  const std::size_t heads = static_cast<std::size_t>(cfg.get_int("heads", 6));
+
+  bench::banner("Fig. 8: attention patterns before/after reorder",
+                "PARO Fig. 8 — reorder unifies diverse patterns into a "
+                "block-diagonal form");
+
+  const TokenGrid grid(dim, dim, dim);
+  Rng seed_rng(9);
+  const auto specs = default_head_specs(heads, seed_rng);
+
+  std::vector<std::size_t> order_hist(all_axis_orders().size(), 0);
+  for (std::size_t h = 0; h < specs.size(); ++h) {
+    SyntheticHeadSpec spec = specs[h];
+    spec.locality_width = 0.012;
+    spec.pattern_gain = 6.0;
+    Rng rng(100 + h);
+    const HeadQKV head = generate_head(grid, spec, 16, rng);
+    const MatF map = attention_map(head.q, head.k);
+    const ReorderPlan plan = calibrate_plan(map, grid, block, 4);
+    const MatF reordered = plan.apply_map(map);
+
+    for (std::size_t i = 0; i < all_axis_orders().size(); ++i) {
+      if (plan.order == all_axis_orders()[i]) ++order_hist[i];
+    }
+
+    std::printf("head %zu: locality=%s, calibrated plan=%s\n", h,
+                axis_order_name(spec.locality_order).c_str(),
+                axis_order_name(plan.order).c_str());
+    std::printf("  before reorder (diagonality %.3f):\n",
+                block_diagonality(map, block));
+    print_heat(block_mass(map, block));
+    std::printf("  after reorder (diagonality %.3f):\n",
+                block_diagonality(reordered, block));
+    print_heat(block_mass(reordered, block));
+    std::printf("\n");
+  }
+
+  std::printf("Plan-selection histogram over %zu heads:\n", specs.size());
+  for (std::size_t i = 0; i < order_hist.size(); ++i) {
+    std::printf("  %s: %zu\n",
+                axis_order_name(all_axis_orders()[i]).c_str(), order_hist[i]);
+  }
+  std::printf("\nPaper: different heads aggregate along different dimensions "
+              "(frame / height / width); reorder makes all of them "
+              "block-diagonal.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace paro
+
+int main(int argc, char** argv) { return paro::run(argc, argv); }

@@ -1,0 +1,138 @@
+// Micro-kernel benchmarks (google-benchmark) for the host-side reference
+// implementations: GEMM, softmax, quantizers, reorder, LDZ, allocation.
+// These time the SIMULATION substrate, not the modelled hardware — they
+// exist to keep the quality experiments fast and to catch regressions.
+#include <benchmark/benchmark.h>
+
+#include "attention/pipeline.hpp"
+#include "attention/reference.hpp"
+#include "attention/synthetic.hpp"
+#include "common/fixedpoint.hpp"
+#include "mixedprec/allocator.hpp"
+#include "quant/blockwise.hpp"
+#include "quant/granularity.hpp"
+#include "reorder/calibrate.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace paro {
+namespace {
+
+void BM_MatmulNt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const MatF a = random_normal(n, 64, rng);
+  const MatF b = random_normal(n, 64, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_nt(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n) * 64);
+}
+BENCHMARK(BM_MatmulNt)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const MatF logits = random_normal(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(softmax_rows(logits, 0.125F));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(256)->Arg(512);
+
+void BM_QuantizeRowsI8(benchmark::State& state) {
+  Rng rng(3);
+  const MatF m = random_normal(512, 64, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantize_rows_i8(m, 8));
+  }
+}
+BENCHMARK(BM_QuantizeRowsI8);
+
+void BM_BlockwiseQuant(benchmark::State& state) {
+  const auto block = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  MatF m = random_uniform(512, 512, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fake_quant_blockwise(m, block, 4));
+  }
+}
+BENCHMARK(BM_BlockwiseQuant)->Arg(16)->Arg(64);
+
+void BM_ReorderMap(benchmark::State& state) {
+  const TokenGrid grid(8, 8, 8);
+  Rng rng(5);
+  const MatF m = random_uniform(grid.num_tokens(), grid.num_tokens(), rng);
+  const ReorderPlan plan = ReorderPlan::for_order(
+      grid, {{Axis::kHeight, Axis::kWidth, Axis::kFrame}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.apply_map(m));
+  }
+}
+BENCHMARK(BM_ReorderMap);
+
+void BM_CalibratePlan(benchmark::State& state) {
+  const TokenGrid grid(6, 6, 6);
+  SyntheticHeadSpec spec;
+  spec.locality_width = 0.012;
+  Rng rng(6);
+  const HeadQKV head = generate_head(grid, spec, 16, rng);
+  const MatF map = attention_map(head.q, head.k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calibrate_plan(map, grid, 8, 4));
+  }
+}
+BENCHMARK(BM_CalibratePlan);
+
+void BM_LdzTruncate(benchmark::State& state) {
+  for (auto _ : state) {
+    std::int64_t acc = 0;
+    for (int v = -127; v <= 127; ++v) {
+      acc += ldz_approximate(v, 2);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 255);
+}
+BENCHMARK(BM_LdzTruncate);
+
+void BM_AllocateLagrangian(benchmark::State& state) {
+  const auto blocks = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  SensitivityTable table(blocks);
+  for (auto& e : table) {
+    e.count = 64;
+    double s = rng.uniform(0.5, 4.0);
+    for (int b = 0; b < kNumBitChoices; ++b) {
+      e.s[static_cast<std::size_t>(b)] = s;
+      s *= 0.4;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocate_lagrangian(table, 4.8));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(blocks));
+}
+BENCHMARK(BM_AllocateLagrangian)->Arg(1024)->Arg(16384);
+
+void BM_QuantizedAttentionHead(benchmark::State& state) {
+  const TokenGrid grid(6, 6, 6);
+  SyntheticHeadSpec spec;
+  spec.locality_width = 0.012;
+  Rng rng(8);
+  const HeadQKV head = generate_head(grid, spec, 16, rng);
+  const QuantAttentionConfig cfg = config_paro_mp(4.8, 8);
+  const HeadCalibration calib = calibrate_head(head.q, head.k, grid, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        quantized_attention(head.q, head.k, head.v, calib, cfg));
+  }
+}
+BENCHMARK(BM_QuantizedAttentionHead);
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,107 @@
+// Mixed-precision allocation study (Eq. 1 of the paper).
+//
+//  * solver comparison: exact DP vs Lagrangian vs greedy (quality + the
+//    budget actually used) on calibrated attention-map statistics
+//  * α sweep of the sensitivity metric (paper leaves α unexplored —
+//    DESIGN.md design-choice ablation)
+//  * budget sweep: achieved average bits and resulting map error
+#include <chrono>
+#include <cstdio>
+
+#include "attention/reference.hpp"
+#include "attention/synthetic.hpp"
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "mixedprec/allocator.hpp"
+#include "quant/blockwise.hpp"
+#include "reorder/calibrate.hpp"
+
+namespace paro {
+namespace {
+
+MatF sample_map(std::size_t seed) {
+  const TokenGrid grid(6, 6, 6);
+  SyntheticHeadSpec spec;
+  spec.locality_order = all_axis_orders()[seed % 6];
+  spec.locality_width = 0.012;
+  spec.pattern_gain = 5.5;
+  Rng rng(700 + seed);
+  const HeadQKV head = generate_head(grid, spec, 16, rng);
+  const MatF map = attention_map(head.q, head.k);
+  const ReorderPlan plan = calibrate_plan(map, grid, 8, 4);
+  return plan.apply_map(map);
+}
+
+int run() {
+  bench::banner("Mixed-precision allocation (Eq. 1)",
+                "PARO §III-B — sensitivity-guided bit allocation under an "
+                "average-bitwidth budget");
+
+  const MatF map = sample_map(1);
+  const auto stats = collect_block_stats(map, 8);
+  const auto sens = compute_sensitivity(stats, 0.5);
+  const BlockGrid grid(map.rows(), map.cols(), 8);
+
+  // --- solver comparison at budget 4.8 ---
+  bench::TextTable solvers({"Solver", "total sensitivity", "avg bits",
+                            "map MSE x1e6", "time (us)"});
+  auto eval = [&](const std::string& name, auto&& solver) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const Allocation alloc = solver();
+    const auto t1 = std::chrono::steady_clock::now();
+    const BitTable table = make_bittable(grid, alloc.bits);
+    const MatF q = fake_quant_blockwise_mixed(map, table);
+    solvers.add_row(
+        {name, bench::fmt(alloc.total_sensitivity, 4),
+         bench::fmt(alloc.average_bitwidth, 3),
+         bench::fmt(mse(q.flat(), map.flat()) * 1e6, 3),
+         std::to_string(std::chrono::duration_cast<std::chrono::microseconds>(
+                            t1 - t0)
+                            .count())});
+  };
+  eval("DP (exact)", [&] { return allocate_dp_exact(sens, 4.8); });
+  eval("Lagrangian", [&] { return allocate_lagrangian(sens, 4.8); });
+  eval("Greedy", [&] { return allocate_greedy(sens, 4.8); });
+  solvers.print();
+
+  // --- alpha sweep ---
+  std::printf("\nSensitivity blend alpha (importance vs difficulty), budget "
+              "4.8, Lagrangian:\n");
+  bench::TextTable alphas({"alpha", "map MSE x1e6", "skip tiles",
+                           "8-bit tiles"});
+  for (const double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const auto s = compute_sensitivity(stats, alpha);
+    const Allocation alloc = allocate_lagrangian(s, 4.8);
+    const BitTable table = make_bittable(grid, alloc.bits);
+    const MatF q = fake_quant_blockwise_mixed(map, table);
+    alphas.add_row({bench::fmt(alpha, 2),
+                    bench::fmt(mse(q.flat(), map.flat()) * 1e6, 3),
+                    std::to_string(table.tiles_at(0)),
+                    std::to_string(table.tiles_at(8))});
+  }
+  alphas.print();
+
+  // --- budget sweep ---
+  std::printf("\nBudget sweep (alpha 0.5, Lagrangian):\n");
+  bench::TextTable budgets({"budget (bits)", "achieved avg", "map MSE x1e6",
+                            "tiles 0/2/4/8"});
+  for (const double b : {2.0, 3.0, 4.0, 4.8, 6.0, 8.0}) {
+    const Allocation alloc = allocate_lagrangian(sens, b);
+    const BitTable table = make_bittable(grid, alloc.bits);
+    const MatF q = fake_quant_blockwise_mixed(map, table);
+    budgets.add_row(
+        {bench::fmt(b, 1), bench::fmt(alloc.average_bitwidth, 2),
+         bench::fmt(mse(q.flat(), map.flat()) * 1e6, 3),
+         std::to_string(table.tiles_at(0)) + "/" +
+             std::to_string(table.tiles_at(2)) + "/" +
+             std::to_string(table.tiles_at(4)) + "/" +
+             std::to_string(table.tiles_at(8))});
+  }
+  budgets.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace paro
+
+int main() { return paro::run(); }

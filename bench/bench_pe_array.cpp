@@ -1,0 +1,135 @@
+// Fig. 4/5 micro-study: mixed-precision PE array throughput and the LDZ
+// (output-bitwidth-aware) path.
+//
+//  * cycle-level throughput per PE mode (8b×8b / 4b×8b / 2b×8b / bypass)
+//  * dispatcher vs lock-step waves across bit distributions
+//  * LDZ truncation error versus direct low-bit quantization of K
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/fixedpoint.hpp"
+#include "common/rng.hpp"
+#include "paro/bit_distribution.hpp"
+#include "paro/fused_attention_sim.hpp"
+#include "sim/pe_array_sim.hpp"
+
+namespace paro {
+namespace {
+
+int run() {
+  bench::banner("PE array + LDZ micro-study",
+                "PARO Fig. 4/5 — PE modes, dispatcher, LDZ truncation");
+
+  // --- PE mode throughput (cycle-level) ---
+  bench::TextTable modes({"Mode", "blocks", "cycles", "throughput vs 8b"});
+  const std::uint64_t base = 64;
+  const std::size_t jobs = 1024;
+  const std::uint64_t t8 = PeArraySim::simulate(
+      {32, true}, std::vector<PeBlockJob>(jobs, {8, base}));
+  for (const int bits : {8, 4, 2}) {
+    const std::uint64_t t = PeArraySim::simulate(
+        {32, true}, std::vector<PeBlockJob>(jobs, {bits, base}));
+    modes.add_row({std::to_string(bits) + "b x 8b", std::to_string(jobs),
+                   std::to_string(t),
+                   bench::fmt_times(static_cast<double>(t8) /
+                                    static_cast<double>(t))});
+  }
+  modes.add_row({"0b (bypass)", std::to_string(jobs),
+                 std::to_string(PeArraySim::simulate(
+                     {32, true}, std::vector<PeBlockJob>(jobs, {0, base}))),
+                 "inf"});
+  modes.print();
+
+  // --- dispatcher vs waves across distributions ---
+  std::printf("\nDispatcher load balancing (1024 blocks, 32 row-groups):\n");
+  bench::TextTable disp({"Distribution", "avg bits", "dispatcher",
+                         "lock-step waves", "gain"});
+  struct Named {
+    std::string name;
+    BitDistribution dist;
+  };
+  std::vector<Named> dists = {
+      {"uniform 8b", BitDistribution::uniform(8)},
+      {"PARO MP default", BitDistribution::paro_mp_default()},
+  };
+  BitDistribution extreme;
+  extreme.fraction = {0.4, 0.3, 0.2, 0.1};
+  dists.push_back({"aggressive (40% skip)", extreme});
+  for (const auto& [name, dist] : dists) {
+    Rng rng(11);
+    const auto job_list = dist.make_jobs(1024, base, rng);
+    const auto with = pe_array_cycles_analytic({32, true}, job_list);
+    const auto without = pe_array_cycles_analytic({32, false}, job_list);
+    disp.add_row({name, bench::fmt(dist.average_bits(), 2),
+                  std::to_string(with), std::to_string(without),
+                  bench::fmt_times(static_cast<double>(without) /
+                                   static_cast<double>(with))});
+  }
+  disp.print();
+
+  // --- LDZ truncation error vs bitwidth ---
+  std::printf("\nLDZ truncation of 8-bit K operands (mean |error| over all "
+              "values, vs the 2^shift bound):\n");
+  bench::TextTable ldz({"kept bits", "mean |err|", "max |err|",
+                        "mean rel err"});
+  for (const int bits : {2, 3, 4, 6, 8}) {
+    double mean_err = 0.0, rel = 0.0;
+    int max_err = 0, counted = 0;
+    for (int v = -127; v <= 127; ++v) {
+      const int err = std::abs(v - ldz_approximate(v, bits));
+      mean_err += err;
+      max_err = std::max(max_err, err);
+      if (v != 0) {
+        rel += static_cast<double>(err) / std::abs(v);
+        ++counted;
+      }
+    }
+    ldz.add_row({std::to_string(bits), bench::fmt(mean_err / 255.0, 2),
+                 std::to_string(max_err),
+                 bench::fmt(100.0 * rel / counted, 1) + "%"});
+  }
+  ldz.print();
+  std::printf("\nPaper example: 8b00011010 (26) at 2 bits -> 2b11 shifted "
+              "by 3 = 24 (check: %d)\n", ldz_approximate(26, 2));
+
+  // --- cycle-driven fused pipeline vs ideal overlap --------------------
+  std::printf("\nFused attention pipeline (cycle-driven, one head) vs "
+              "ideal resource overlap:\n");
+  bench::TextTable fused({"tokens", "config", "cycles", "ideal overlap",
+                          "pipeline overhead", "stripes", "DRAM MB"});
+  const HwResources hw = HwResources::paro_asic();
+  for (const std::size_t tokens : {2048UL, 8192UL, 17776UL}) {
+    for (const bool quantized : {true, false}) {
+      FusedAttentionParams p;
+      p.tokens = tokens;
+      p.head_dim = 64;
+      p.quantized = quantized;
+      const FusedAttentionResult r = simulate_fused_attention(p, hw);
+      const double ideal = std::max(
+          {static_cast<double>(r.pe_busy_cycles),
+           static_cast<double>(r.vector_busy_cycles),
+           r.dram_bytes / hw.dram_bytes_per_cycle()});
+      fused.add_row({std::to_string(tokens),
+                     quantized ? "PARO MP 4.80b" : "FP16",
+                     std::to_string(r.cycles), bench::fmt(ideal, 0),
+                     bench::fmt(100.0 * (static_cast<double>(r.cycles) /
+                                             ideal -
+                                         1.0), 2) + "%",
+                     std::to_string(r.stripes),
+                     bench::fmt(r.dram_bytes / 1e6, 1)});
+    }
+  }
+  fused.print();
+  std::printf("The operator-level simulator charges the ideal overlap; the "
+              "cycle-driven pipeline quantifies the fill/serialization "
+              "overhead on top of it, which shrinks as the stripe count "
+              "grows (it is the same for PARO and for the baselines, so "
+              "the Fig. 6 ratios are unaffected).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace paro
+
+int main() { return paro::run(); }

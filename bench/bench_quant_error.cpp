@@ -1,0 +1,144 @@
+// §III-A quantization-error study (the claim behind Table I's ablation).
+//
+// On pattern-structured synthetic heads: per-row vs block-wise vs
+// reorder+block-wise quantization error of the attention map, across
+// bitwidths and block sizes (the block-size sweep is the DESIGN.md
+// ablation of a design choice the paper fixes at 64).
+#include <cstdio>
+
+#include "attention/reference.hpp"
+#include "attention/synthetic.hpp"
+#include "bench_util.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "quant/blockwise.hpp"
+#include "quant/granularity.hpp"
+#include "reorder/calibrate.hpp"
+
+namespace paro {
+namespace {
+
+int run(int argc, char** argv) {
+  const KeyValueConfig cfg = KeyValueConfig::from_args(argc, argv);
+  const std::size_t dim = static_cast<std::size_t>(cfg.get_int("dim", 6));
+  const std::size_t heads = static_cast<std::size_t>(cfg.get_int("heads", 6));
+
+  bench::banner("Quantization error: per-row vs block-wise vs reorder",
+                "PARO §III-A — why naive per-row quantization fails and "
+                "reorder+block-wise recovers");
+
+  const TokenGrid grid(dim, dim, dim);
+  Rng seed_rng(4);
+  auto specs = default_head_specs(heads, seed_rng);
+  for (auto& s : specs) {
+    s.locality_width = 0.012;
+    s.pattern_gain = 5.5;
+  }
+
+  // Collect per-head maps once.
+  std::vector<MatF> maps;
+  for (std::size_t h = 0; h < specs.size(); ++h) {
+    Rng rng(300 + h);
+    const HeadQKV head = generate_head(grid, specs[h], 16, rng);
+    maps.push_back(attention_map(head.q, head.k));
+  }
+
+  auto mean_err = [&](auto&& per_map) {
+    double acc = 0.0;
+    for (const MatF& m : maps) acc += per_map(m);
+    return acc / static_cast<double>(maps.size());
+  };
+
+  // --- bitwidth sweep at block 8 ---
+  bench::TextTable table({"Bits", "per-row (naive)", "block-wise",
+                          "reorder + block-wise", "row/reorder ratio"});
+  for (const int bits : {2, 4, 8}) {
+    const double row_err = mean_err([&](const MatF& m) {
+      MatF q = m;
+      for (std::size_t r = 0; r < q.rows(); ++r) {
+        fake_quant_group(q.row(r), bits, false);
+      }
+      return mse(q.flat(), m.flat());
+    });
+    const double block_err = mean_err([&](const MatF& m) {
+      return mse(fake_quant_blockwise(m, 8, bits).flat(), m.flat());
+    });
+    const double reorder_err = mean_err([&](const MatF& m) {
+      const ReorderPlan plan = calibrate_plan(m, grid, 8, bits);
+      const MatF rm = plan.apply_map(m);
+      return mse(fake_quant_blockwise(rm, 8, bits).flat(), rm.flat());
+    });
+    table.add_row({std::to_string(bits), bench::fmt(row_err * 1e6, 3),
+                   bench::fmt(block_err * 1e6, 3),
+                   bench::fmt(reorder_err * 1e6, 3),
+                   bench::fmt_times(row_err / reorder_err)});
+  }
+  std::printf("(map MSE x 1e6, mean over %zu heads)\n", maps.size());
+  table.print();
+
+  // --- block-size sweep at 4 bits (design-choice ablation) ---
+  bench::TextTable sweep({"Block size", "block-wise MSE x1e6",
+                          "reorder + block-wise MSE x1e6"});
+  for (const std::size_t block : {4UL, 8UL, 16UL, 32UL, 72UL}) {
+    const double block_err = mean_err([&](const MatF& m) {
+      return mse(fake_quant_blockwise(m, block, 4).flat(), m.flat());
+    });
+    const double reorder_err = mean_err([&](const MatF& m) {
+      const ReorderPlan plan = calibrate_plan(m, grid, block, 4);
+      const MatF rm = plan.apply_map(m);
+      return mse(fake_quant_blockwise(rm, block, 4).flat(), rm.flat());
+    });
+    sweep.add_row({std::to_string(block), bench::fmt(block_err * 1e6, 3),
+                   bench::fmt(reorder_err * 1e6, 3)});
+  }
+  // --- calibration-rule ablation at 4 bits, block 8 -------------------
+  bench::TextTable calib_rules({"Calibration", "block-wise MSE x1e6"});
+  for (const double clip : {0.0, 0.005, 0.01, 0.02}) {
+    const double err = mean_err([&](const MatF& m) {
+      const BlockGrid grid(m.rows(), m.cols(), 8);
+      MatF q = m;
+      std::vector<float> tile;
+      for (std::size_t br = 0; br < grid.block_rows(); ++br) {
+        for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
+          const auto e = grid.extent(br, bc);
+          tile.clear();
+          for (std::size_t r = e.r0; r < e.r1; ++r) {
+            for (std::size_t c = e.c0; c < e.c1; ++c) {
+              tile.push_back(m(r, c));
+            }
+          }
+          const QuantParams p = calibrate_percentile(tile, 4, clip);
+          for (std::size_t r = e.r0; r < e.r1; ++r) {
+            for (std::size_t c = e.c0; c < e.c1; ++c) {
+              q(r, c) = dequantize_value(quantize_value(m(r, c), p), p);
+            }
+          }
+        }
+      }
+      return mse(q.flat(), m.flat());
+    });
+    calib_rules.add_row(
+        {clip == 0.0 ? "min-max (paper)" : "percentile clip " +
+                                               bench::fmt(100.0 * clip, 1) +
+                                               "%",
+         bench::fmt(err * 1e6, 3)});
+  }
+  std::printf("\nCalibration-rule ablation (beyond the paper): percentile "
+              "clipping inside each tile:\n");
+  calib_rules.print();
+  std::printf("Finding: inside 8x8 tiles, sub-element clips degenerate to "
+              "min-max, and clipping a real element HURTS — block-wise "
+              "grouping already removed the outlier problem percentile "
+              "calibration exists to fix (it is the reorder+tiling that "
+              "does the work, not the calibration rule).\n");
+
+  std::printf("\nBlock-size ablation at 4 bits (smaller tiles quantize "
+              "better but cost more scale storage / dispatch):\n");
+  sweep.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace paro
+
+int main(int argc, char** argv) { return paro::run(argc, argv); }

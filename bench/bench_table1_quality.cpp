@@ -1,0 +1,193 @@
+// Table I — algorithm performance of text-to-video generation.
+//
+// Regenerates the paper's quality comparison on the synthetic video-DiT
+// stand-in (DESIGN.md §2): every method runs the same DDIM sampling from
+// the same seed; metrics are the proxy equivalents of FVD-FP16 (↓),
+// CLIPSIM, CLIP-Temp, VQA and Flicker (↑).  Absolute values differ from
+// the paper (different metric networks); the ORDERING of methods is the
+// reproduced result.
+//
+// Usage: bench_table1_quality [steps=10] [frames=5] [height=8] [width=8]
+//                             [layers=2] [hidden=48] [heads=3] [block=8]
+//                             [seed=21] [alpha=0.5] [prompts=3]
+//
+// `prompts` runs the whole comparison over that many independent noise
+// seeds ("prompts") and reports per-metric means — the paper evaluates a
+// prompt set, not a single clip.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/config.hpp"
+#include "metrics/video_metrics.hpp"
+#include "model/ddim.hpp"
+
+namespace paro {
+namespace {
+
+struct Row {
+  std::string method;
+  std::string blockwise, reorder, mixed;
+  std::string bitwidth;
+  VideoQuality quality;
+};
+
+int run(int argc, char** argv) {
+  const KeyValueConfig cfg = KeyValueConfig::from_args(argc, argv);
+  const int steps = static_cast<int>(cfg.get_int("steps", 10));
+  const auto block = static_cast<std::size_t>(cfg.get_int("block", 8));
+  const double alpha = cfg.get_double("alpha", 0.5);
+  const std::uint64_t seed = static_cast<std::uint64_t>(cfg.get_int("seed", 21));
+  const int prompts = static_cast<int>(cfg.get_int("prompts", 3));
+
+  SyntheticDiT::Config dc;
+  dc.frames = static_cast<std::size_t>(cfg.get_int("frames", 5));
+  dc.height = static_cast<std::size_t>(cfg.get_int("height", 8));
+  dc.width = static_cast<std::size_t>(cfg.get_int("width", 8));
+  dc.layers = static_cast<std::size_t>(cfg.get_int("layers", 2));
+  dc.hidden = static_cast<std::size_t>(cfg.get_int("hidden", 48));
+  dc.heads = static_cast<std::size_t>(cfg.get_int("heads", 3));
+  dc.channels = 4;
+  dc.seed = 77;
+  dc.pattern_gain = 6.0;
+  dc.pattern_width = 0.01;
+
+  bench::banner("Table I: algorithm performance (proxy metrics)",
+                "PARO Table I — CogVideoX prompt set, DDIM 50 steps "
+                "(here: synthetic DiT, DDIM " +
+                    std::to_string(steps) + " steps)");
+  std::printf("model: %zux%zux%zu tokens=%zu, layers=%zu, hidden=%zu, "
+              "heads=%zu, block=%zu, prompts=%d (metrics are means)\n\n",
+              dc.frames, dc.height, dc.width,
+              dc.frames * dc.height * dc.width, dc.layers, dc.hidden,
+              dc.heads, block, prompts);
+
+  const SyntheticDiT dit(dc);
+  const GridDims grid{dc.frames, dc.height, dc.width};
+  std::vector<MatF> references;
+  for (int p = 0; p < prompts; ++p) {
+    references.push_back(
+        ddim_sample(dit, {}, nullptr, steps, seed + 100 * p));
+  }
+  const MatF calib_latent = ddim_sample(dit, {}, nullptr, 1, seed + 1);
+
+  auto average = [&](auto&& one_prompt) {
+    VideoQuality mean;
+    for (int p = 0; p < prompts; ++p) {
+      const VideoQuality q = one_prompt(p);
+      mean.fvd += q.fvd;
+      mean.clipsim += q.clipsim;
+      mean.clip_temp += q.clip_temp;
+      mean.vqa += q.vqa;
+      mean.flicker += q.flicker;
+    }
+    const double n = prompts;
+    mean.fvd /= n;
+    mean.clipsim /= n;
+    mean.clip_temp /= n;
+    mean.vqa /= n;
+    mean.flicker /= n;
+    return mean;
+  };
+  auto eval_exec = [&](const SyntheticDiT::ExecConfig& exec,
+                       const SyntheticDiT::Calibration* calib) {
+    return average([&](int p) {
+      const MatF video =
+          ddim_sample(dit, exec, calib, steps, seed + 100 * p);
+      return evaluate_video(video, references[static_cast<std::size_t>(p)],
+                            grid);
+    });
+  };
+  auto eval_quant = [&](const QuantAttentionConfig& quant,
+                        double* avg_bits_out = nullptr) {
+    SyntheticDiT::ExecConfig exec;
+    exec.impl = SyntheticDiT::AttnImpl::kQuantized;
+    exec.w8a8_linear = true;
+    exec.quant = quant;
+    const auto calib = dit.calibrate(quant, calib_latent, 1.0);
+    if (avg_bits_out != nullptr) {
+      double total = 0.0;
+      std::size_t n = 0;
+      for (const auto& layer : calib.heads) {
+        for (const auto& head : layer) {
+          total += head.bit_table.has_value()
+                       ? head.bit_table->average_bitwidth()
+                       : quant.map_bits;
+          ++n;
+        }
+      }
+      *avg_bits_out = total / static_cast<double>(n);
+    }
+    return eval_exec(exec, &calib);
+  };
+
+  std::vector<Row> rows;
+  rows.push_back({"FP16", "-", "-", "-", "16", eval_exec({}, nullptr)});
+
+  {
+    SyntheticDiT::ExecConfig sage;
+    sage.impl = SyntheticDiT::AttnImpl::kSage;
+    rows.push_back({"SageAttention", "-", "-", "-", "8 (QK-only)",
+                    eval_exec(sage, nullptr)});
+  }
+  {
+    SyntheticDiT::ExecConfig sage2;
+    sage2.impl = SyntheticDiT::AttnImpl::kSage2;
+    rows.push_back({"SageAttention2", "-", "-", "-", "4 (QK-only)",
+                    eval_exec(sage2, nullptr)});
+  }
+  {
+    SyntheticDiT::ExecConfig sanger;
+    sanger.impl = SyntheticDiT::AttnImpl::kSanger;
+    sanger.sanger_threshold =
+        static_cast<float>(cfg.get_double("sanger_threshold", 1e-3));
+    rows.push_back({"Sanger (sparse)", "-", "-", "-", "-",
+                    eval_exec(sanger, nullptr)});
+  }
+  rows.push_back({"Naive INT8", "-", "-", "-", "8",
+                  eval_quant(config_naive_int(8))});
+  rows.push_back({"Block-wise INT8", "yes", "-", "-", "8",
+                  eval_quant(config_blockwise_int(8, block))});
+  rows.push_back({"PARO INT8", "yes", "yes", "-", "8",
+                  eval_quant(config_paro_int(8, block))});
+  rows.push_back({"Naive INT4", "-", "-", "-", "4",
+                  eval_quant(config_naive_int(4))});
+  rows.push_back({"Block-wise INT4", "yes", "-", "-", "4",
+                  eval_quant(config_blockwise_int(4, block))});
+  rows.push_back({"PARO INT4", "yes", "yes", "-", "4",
+                  eval_quant(config_paro_int(4, block))});
+  {
+    QuantAttentionConfig mp = config_paro_mp(4.8, block, alpha);
+    mp.output_bitwidth_aware = true;  // the full hardware path
+    double avg_bits = 4.8;
+    const VideoQuality q = eval_quant(mp, &avg_bits);
+    rows.push_back({"PARO MP", "yes", "yes", "yes",
+                    bench::fmt(avg_bits, 2), q});
+  }
+
+  bench::TextTable table({"Method", "Block-wise", "Reorder", "Mixed",
+                          "Bitwidth", "FVD-FP16 (down)", "CLIPSIM (up)",
+                          "CLIP-Temp (up)", "VQA (up)", "Flicker (up)"});
+  for (const Row& r : rows) {
+    table.add_row({r.method, r.blockwise, r.reorder, r.mixed, r.bitwidth,
+                   bench::fmt(r.quality.fvd, 4),
+                   bench::fmt(r.quality.clipsim, 4),
+                   bench::fmt(r.quality.clip_temp, 4),
+                   bench::fmt(r.quality.vqa, 2),
+                   bench::fmt(r.quality.flicker, 1)});
+  }
+  table.print();
+
+  std::printf(
+      "\nPaper (Table I, for shape comparison; proxy scales differ):\n"
+      "  FP16 0.0 / Sage 0.08 / Sanger 0.22 / Naive8 0.44 / Block8 0.21 /\n"
+      "  PARO8 0.19 / Naive4 1.40 / Block4 0.40 / PARO4 0.28 / MP(4.80) 0.15"
+      " (FVD-FP16)\n"
+      "Expected shape: Naive INT4 fails hard; block-wise recovers; reorder\n"
+      "improves further; PARO MP at ~4.8 bits approaches INT8/FP16.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace paro
+
+int main(int argc, char** argv) { return paro::run(argc, argv); }

@@ -1,0 +1,46 @@
+// Table II — area and power breakdown of PARO.
+//
+// The reference configuration reproduces the paper's synthesis numbers
+// exactly (they seed our analytical model); the PARO-align-A100
+// configuration shows how the model scales logic linearly with PE count
+// and SRAM with CACTI-style exponents.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "energy/area_power.hpp"
+
+namespace paro {
+namespace {
+
+void print_breakdown(const HwResources& hw) {
+  std::printf("Configuration: %s (%.1f GHz, %.0f MACs/cycle, %.2f GB/s, "
+              "%.1f MB SRAM)\n",
+              hw.name.c_str(), hw.freq_ghz, hw.pe_macs_per_cycle,
+              hw.dram_gbps, hw.sram_bytes / (1024.0 * 1024.0));
+  bench::TextTable table({"Component", "Config", "Area (mm^2)", "Power (W)"});
+  for (const ComponentSpec& c : area_power_breakdown(hw)) {
+    table.add_row({c.name, c.config, bench::fmt(c.area_mm2, 2),
+                   bench::fmt(c.power_w, 2)});
+  }
+  table.add_row({"Total", "TSMC 12nm", bench::fmt(total_area_mm2(hw), 2),
+                 bench::fmt(total_power_w(hw), 2)});
+  table.print();
+  std::printf("\n");
+}
+
+int run() {
+  bench::banner("Table II: area and power breakdown",
+                "PARO Table II — TSMC 12 nm @ 1 GHz, Synopsys DC + CACTI 7");
+  print_breakdown(HwResources::paro_asic());
+  std::printf("Paper: PE array 2.52/3.60, LDZ 0.65/0.78, others 0.39/0.54,\n"
+              "vector 2.79/4.55, buffer 1.82/1.73, total 8.17 mm^2 / 11.20 W\n\n");
+
+  std::printf("Scaled configuration (not in the paper, model extrapolation):\n");
+  print_breakdown(HwResources::paro_align_a100());
+  return 0;
+}
+
+}  // namespace
+}  // namespace paro
+
+int main() { return paro::run(); }

@@ -1,0 +1,108 @@
+// Example: design-space exploration with the PARO library.
+//
+// Sweeps the knobs a hardware-software co-designer actually turns —
+// attention-map block size, average-bitwidth budget, sensitivity blend α,
+// and accelerator provisioning (PE count / bandwidth) — and reports both
+// the quality side (map error on calibrated synthetic heads) and the
+// performance side (simulated end-to-end latency on CogVideoX-5B).
+//
+// Usage: design_space [heads=4]
+#include <cstdio>
+
+#include "attention/reference.hpp"
+#include "attention/synthetic.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "mixedprec/allocator.hpp"
+#include "paro/accelerator.hpp"
+#include "quant/blockwise.hpp"
+#include "reorder/calibrate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace paro;
+  const KeyValueConfig cfg = KeyValueConfig::from_args(argc, argv);
+  const auto num_heads =
+      static_cast<std::size_t>(cfg.get_int("heads", 4));
+
+  // --- quality side: budget x block sweep on calibrated heads -----------
+  const TokenGrid grid(6, 6, 6);
+  Rng seed_rng(12);
+  auto specs = default_head_specs(num_heads, seed_rng);
+  std::vector<MatF> maps;
+  for (std::size_t h = 0; h < specs.size(); ++h) {
+    specs[h].locality_width = 0.012;
+    specs[h].pattern_gain = 5.5;
+    Rng rng(40 + h);
+    const HeadQKV head = generate_head(grid, specs[h], 16, rng);
+    maps.push_back(attention_map(head.q, head.k));
+  }
+
+  std::printf("map MSE (x1e6) after reorder + mixed-precision quant, "
+              "%zu heads:\n", maps.size());
+  std::printf("%10s", "budget\\blk");
+  for (const std::size_t block : {4UL, 8UL, 16UL}) {
+    std::printf("%10zu", block);
+  }
+  std::printf("\n");
+  for (const double budget : {3.0, 4.0, 4.8, 6.0}) {
+    std::printf("%10.1f", budget);
+    for (const std::size_t block : {4UL, 8UL, 16UL}) {
+      double err = 0.0;
+      for (const MatF& m : maps) {
+        const ReorderPlan plan = calibrate_plan(m, grid, block, 4);
+        const MatF rm = plan.apply_map(m);
+        const auto stats = collect_block_stats(rm, block);
+        const auto sens = compute_sensitivity(stats, 0.5);
+        const Allocation alloc = allocate_lagrangian(sens, budget);
+        const BitTable table =
+            make_bittable(BlockGrid(rm.rows(), rm.cols(), block),
+                          alloc.bits);
+        const MatF q = fake_quant_blockwise_mixed(rm, table);
+        err += mse(q.flat(), rm.flat());
+      }
+      std::printf("%10.3f", err / static_cast<double>(maps.size()) * 1e6);
+    }
+    std::printf("\n");
+  }
+
+  // --- performance side: provisioning sweep ------------------------------
+  std::printf("\nCogVideoX-5B video latency vs accelerator provisioning "
+              "(full PARO config):\n");
+  std::printf("%8s %10s %12s %12s\n", "PE scale", "DDR GB/s", "latency (s)",
+              "PE util");
+  const ModelConfig model = ModelConfig::cogvideox_5b();
+  for (const double pe_scale : {1.0, 2.0, 4.0}) {
+    for (const double bw : {51.2, 102.4, 204.8}) {
+      HwResources hw = HwResources::paro_asic();
+      hw.pe_macs_per_cycle *= pe_scale;
+      hw.vector_lanes *= pe_scale;
+      hw.dram_gbps = bw;
+      const ParoAccelerator accel(hw, ParoConfig::full());
+      const SimStats stats = accel.simulate_video(model);
+      std::printf("%8.1f %10.1f %12.1f %11.0f%%\n", pe_scale, bw,
+                  stats.seconds(hw.freq_ghz),
+                  100.0 * stats.pe_utilization());
+    }
+  }
+  std::printf("\nReading: at 51.2 GB/s the design is already compute/vector "
+              "bound thanks to the fused low-bit attention — bandwidth "
+              "scaling alone buys little, PE scaling buys almost linearly.\n");
+
+  // --- memory-model sensitivity: stream-once vs tiled weight re-reads ---
+  std::printf("\nMemory-model sensitivity (5B, full PARO config):\n");
+  for (const bool tiled : {false, true}) {
+    ParoConfig pc = ParoConfig::full();
+    pc.tiled_linear_traffic = tiled;
+    const HwResources hw = HwResources::paro_asic();
+    const SimStats stats = ParoAccelerator(hw, pc).simulate_video(model);
+    std::printf("  %-28s %7.1f s/video, %7.1f GB DRAM\n",
+                tiled ? "tiled (SRAM re-read) model:"
+                      : "stream-once (paper-style):",
+                stats.seconds(hw.freq_ghz), stats.dram_bytes / 1e9);
+  }
+  std::printf("  The headline Fig. 6 numbers use the stream-once "
+              "convention on every platform; the tiled model slows all "
+              "ASICs alike, so the cross-platform RATIOS move far less "
+              "than the absolute times.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: quantize one attention head with PARO.
+//
+// Walks the full §III pipeline on a single synthetic 3D-full-attention
+// head:
+//   1. generate a pattern-structured head (frame/height/width locality)
+//   2. calibrate offline: reorder plan (6 candidates) + mixed-precision
+//      bitwidth table (Eq. 1) under a 4.80-bit budget
+//   3. run the quantized pipeline (reorder → INT8 QKᵀ with LDZ → softmax
+//      → block-wise mixed quant → AttnV → inverse reorder)
+//   4. compare against the FP reference.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "attention/pipeline.hpp"
+#include "attention/reference.hpp"
+#include "attention/synthetic.hpp"
+#include "common/stats.hpp"
+#include "quant/blockwise.hpp"
+
+int main() {
+  using namespace paro;
+
+  // --- 1. a synthetic head over a 6x6x6 latent token grid -------------
+  const TokenGrid grid(6, 6, 6);
+  SyntheticHeadSpec spec;
+  spec.locality_order = {{Axis::kHeight, Axis::kWidth, Axis::kFrame}};
+  spec.locality_width = 0.01;   // sharp local aggregation
+  spec.pattern_gain = 5.0;
+  spec.content_gain = 0.5;
+  spec.global_fraction = 0.01;  // a few globally attended "sink" tokens
+  spec.global_gain = 3.5;
+  Rng rng(21);
+  const HeadQKV head = generate_head(grid, spec, /*head_dim=*/16, rng);
+  std::printf("generated head: %zu tokens, head_dim %zu, locality %s\n",
+              grid.num_tokens(), head.q.cols(),
+              axis_order_name(spec.locality_order).c_str());
+
+  // --- 2. offline calibration ------------------------------------------
+  QuantAttentionConfig cfg = config_paro_mp(/*budget_bits=*/4.8,
+                                            /*block=*/8);
+  cfg.output_bitwidth_aware = true;  // the LDZ hardware path
+  const HeadCalibration calib = calibrate_head(head.q, head.k, grid, cfg);
+  std::printf("calibrated reorder plan: %s (identity: %s)\n",
+              axis_order_name(calib.plan.order).c_str(),
+              calib.plan.is_identity() ? "yes" : "no");
+  std::printf("bitwidth table: avg %.2f bits, tiles 0/2/4/8 = "
+              "%zu/%zu/%zu/%zu\n",
+              calib.bit_table->average_bitwidth(),
+              calib.bit_table->tiles_at(0), calib.bit_table->tiles_at(2),
+              calib.bit_table->tiles_at(4), calib.bit_table->tiles_at(8));
+
+  // --- 3. quantized attention ------------------------------------------
+  const QuantAttentionResult result =
+      quantized_attention(head.q, head.k, head.v, calib, cfg);
+
+  // --- 4. accuracy vs FP reference --------------------------------------
+  const MatF ref = attention_reference(head.q, head.k, head.v);
+  std::printf("\noutput SNR vs FP reference: %.1f dB (cosine %.5f)\n",
+              snr_db(ref.flat(), result.output.flat()),
+              cosine_similarity(ref.flat(), result.output.flat()));
+
+  // For comparison: what naive INT4 row-wise quantization does.
+  const HeadCalibration naive_calib =
+      calibrate_head(head.q, head.k, grid, config_naive_int(4));
+  const auto naive =
+      quantized_attention(head.q, head.k, head.v, naive_calib,
+                          config_naive_int(4));
+  std::printf("naive INT4 per-row SNR:     %.1f dB  <- the failure PARO "
+              "fixes\n",
+              snr_db(ref.flat(), naive.output.flat()));
+
+  // Show the reordered map's block structure (first 12x12 tiles).
+  std::printf("\nbitwidth map of the reordered attention map "
+              "('.'=skip, 2/4/8 = bits):\n%s",
+              calib.bit_table->to_ascii().c_str());
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Example: end-to-end video generation with a quantized DiT.
+//
+// Runs the synthetic video-DiT through DDIM sampling twice — once in FP16
+// and once with the full PARO quantization stack (W8A8 linears, reorder,
+// 4.80-bit mixed-precision attention, output-bitwidth-aware QKᵀ) — and
+// scores the quantized video against the FP16 video with the proxy
+// metrics of Table I.
+//
+// Usage: video_generation [steps=12] [budget=4.8] [seed=3]
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "metrics/video_metrics.hpp"
+#include "model/ddim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace paro;
+  const KeyValueConfig cfg = KeyValueConfig::from_args(argc, argv);
+  const int steps = static_cast<int>(cfg.get_int("steps", 12));
+  const double budget = cfg.get_double("budget", 4.8);
+  const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 3));
+
+  // A small but genuinely 3D video DiT: 6 frames of 8x8 latent patches.
+  SyntheticDiT::Config dc;
+  dc.frames = 6;
+  dc.height = 8;
+  dc.width = 8;
+  dc.layers = 2;
+  dc.hidden = 48;
+  dc.heads = 3;
+  dc.channels = 4;
+  dc.seed = 2024;
+  dc.pattern_width = 0.01;
+  dc.pattern_gain = 6.0;
+  const SyntheticDiT dit(dc);
+  const GridDims grid{dc.frames, dc.height, dc.width};
+  std::printf("DiT: %zu tokens (%zux%zux%zu), %zu layers, %zu heads; "
+              "DDIM %d steps\n\n",
+              dit.token_grid().num_tokens(), dc.frames, dc.height, dc.width,
+              dc.layers, dc.heads, steps);
+
+  // --- FP16 reference video ---------------------------------------------
+  const MatF reference = ddim_sample(dit, {}, nullptr, steps, seed);
+  std::printf("FP16 video generated (latent range [%.2f, %.2f])\n",
+              summarize(reference.flat()).min(),
+              summarize(reference.flat()).max());
+
+  // --- PARO-quantized video ---------------------------------------------
+  QuantAttentionConfig quant = config_paro_mp(budget, /*block=*/8);
+  quant.output_bitwidth_aware = true;
+  SyntheticDiT::ExecConfig exec;
+  exec.impl = SyntheticDiT::AttnImpl::kQuantized;
+  exec.w8a8_linear = true;
+  exec.quant = quant;
+
+  // One offline calibration pass fixes every (layer, head) plan and
+  // bitwidth table; patterns are stable across timesteps (§III-A).
+  const MatF calib_latent = ddim_sample(dit, {}, nullptr, 1, seed + 1);
+  const SyntheticDiT::Calibration calib =
+      dit.calibrate(quant, calib_latent, 1.0);
+
+  double avg_bits = 0.0;
+  std::size_t heads = 0;
+  for (const auto& layer : calib.heads) {
+    for (const auto& head : layer) {
+      avg_bits += head.bit_table->average_bitwidth();
+      ++heads;
+    }
+  }
+  std::printf("calibrated %zu heads, average map bitwidth %.2f "
+              "(budget %.2f)\n",
+              heads, avg_bits / static_cast<double>(heads), budget);
+
+  const MatF quantized = ddim_sample(dit, exec, &calib, steps, seed);
+
+  // --- quality ------------------------------------------------------------
+  const VideoQuality q = evaluate_video(quantized, reference, grid);
+  std::printf("\nquality of the PARO-quantized video vs FP16:\n");
+  std::printf("  FVD-FP16 proxy (down) : %.5f\n", q.fvd);
+  std::printf("  CLIPSIM proxy  (up)   : %.5f\n", q.clipsim);
+  std::printf("  CLIP-Temp proxy (up)  : %.5f\n", q.clip_temp);
+  std::printf("  VQA proxy (up)        : %.2f (FP16: %.2f)\n", q.vqa,
+              vqa_proxy(reference, grid));
+  std::printf("  Flicker proxy (up)    : %.1f (FP16: %.1f)\n", q.flicker,
+              flicker_score(reference, grid));
+  std::printf("\nTable I's claim: at ~4.8 average bits the generated video "
+              "is statistically indistinguishable from FP16.\n");
+  return 0;
+}

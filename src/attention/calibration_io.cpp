@@ -1,0 +1,156 @@
+#include "attention/calibration_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace paro {
+
+namespace {
+
+AxisOrder parse_order(const std::string& name) {
+  for (const AxisOrder& order : all_axis_orders()) {
+    if (axis_order_name(order) == name) return order;
+  }
+  throw Error("unknown axis order: " + name);
+}
+
+std::string expect_token(std::istream& is, const char* what) {
+  std::string token;
+  if (!(is >> token)) {
+    throw Error(std::string("calibration stream ended while reading ") +
+                what);
+  }
+  return token;
+}
+
+void expect_keyword(std::istream& is, const std::string& keyword) {
+  const std::string token = expect_token(is, keyword.c_str());
+  PARO_CHECK_MSG(token == keyword,
+                 "expected '" + keyword + "', got '" + token + "'");
+}
+
+template <typename T>
+T read_number(std::istream& is, const char* what) {
+  T value{};
+  if (!(is >> value)) {
+    throw Error(std::string("failed to parse ") + what);
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_head_calibration(std::ostream& os, const HeadCalibration& calib) {
+  os << "head\n";
+  os << "order " << axis_order_name(calib.plan.order) << "\n";
+  os << "perm " << calib.plan.perm.size();
+  for (const std::uint32_t p : calib.plan.perm) {
+    os << ' ' << p;
+  }
+  os << "\n";
+  if (calib.bit_table.has_value()) {
+    const BitTable& t = *calib.bit_table;
+    os << "bits " << t.grid().rows() << ' ' << t.grid().cols() << ' '
+       << t.grid().block();
+    for (std::size_t i = 0; i < t.grid().num_blocks(); ++i) {
+      os << ' ' << t.bits_flat(i);
+    }
+    os << "\n";
+  } else {
+    os << "bits none\n";
+  }
+  os << "avgbits " << std::setprecision(17) << calib.planned_avg_bits
+     << "\n";
+  os << "end\n";
+}
+
+HeadCalibration read_head_calibration(std::istream& is) {
+  expect_keyword(is, "head");
+  HeadCalibration calib;
+
+  expect_keyword(is, "order");
+  calib.plan.order = parse_order(expect_token(is, "order name"));
+
+  expect_keyword(is, "perm");
+  const auto n = read_number<std::size_t>(is, "perm length");
+  calib.plan.perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    calib.plan.perm[i] = read_number<std::uint32_t>(is, "perm entry");
+  }
+
+  expect_keyword(is, "bits");
+  const std::string bits_token = expect_token(is, "bits header");
+  if (bits_token != "none") {
+    std::size_t rows = 0;
+    {
+      std::istringstream header(bits_token);
+      if (!(header >> rows)) throw Error("bad bits row count");
+    }
+    const auto cols = read_number<std::size_t>(is, "bits cols");
+    const auto block = read_number<std::size_t>(is, "bits block");
+    BitTable table(BlockGrid(rows, cols, block), 8);
+    for (std::size_t i = 0; i < table.grid().num_blocks(); ++i) {
+      table.set_bits_flat(i, read_number<int>(is, "bit entry"));
+    }
+    calib.bit_table = std::move(table);
+  }
+
+  expect_keyword(is, "avgbits");
+  calib.planned_avg_bits = read_number<double>(is, "avgbits");
+  expect_keyword(is, "end");
+  return calib;
+}
+
+void write_calibration_table(
+    std::ostream& os,
+    const std::vector<std::vector<HeadCalibration>>& table) {
+  PARO_CHECK_MSG(!table.empty() && !table[0].empty(), "empty table");
+  os << "paro-calib v1\n";
+  os << "layers " << table.size() << " heads " << table[0].size() << "\n";
+  for (const auto& layer : table) {
+    PARO_CHECK_MSG(layer.size() == table[0].size(), "ragged table");
+    for (const HeadCalibration& head : layer) {
+      write_head_calibration(os, head);
+    }
+  }
+}
+
+std::vector<std::vector<HeadCalibration>> read_calibration_table(
+    std::istream& is) {
+  expect_keyword(is, "paro-calib");
+  expect_keyword(is, "v1");
+  expect_keyword(is, "layers");
+  const auto layers = read_number<std::size_t>(is, "layer count");
+  expect_keyword(is, "heads");
+  const auto heads = read_number<std::size_t>(is, "head count");
+  PARO_CHECK_MSG(layers > 0 && heads > 0, "degenerate table header");
+  std::vector<std::vector<HeadCalibration>> table(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    table[l].reserve(heads);
+    for (std::size_t h = 0; h < heads; ++h) {
+      table[l].push_back(read_head_calibration(is));
+    }
+  }
+  return table;
+}
+
+void save_calibration_file(
+    const std::string& path,
+    const std::vector<std::vector<HeadCalibration>>& table) {
+  std::ofstream os(path);
+  PARO_CHECK_MSG(os.good(), "cannot open for writing: " + path);
+  write_calibration_table(os, table);
+  PARO_CHECK_MSG(os.good(), "write failed: " + path);
+}
+
+std::vector<std::vector<HeadCalibration>> load_calibration_file(
+    const std::string& path) {
+  std::ifstream is(path);
+  PARO_CHECK_MSG(is.good(), "cannot open for reading: " + path);
+  return read_calibration_table(is);
+}
+
+}  // namespace paro

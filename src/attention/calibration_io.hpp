@@ -1,0 +1,49 @@
+// Serialization of calibration artifacts (reorder plans + bitwidth
+// tables).
+//
+// The paper's deployment story is offline calibration → online inference;
+// a production toolchain persists the calibration between the two.  The
+// format is a line-oriented text file ("paro-calib v1"), deliberately
+// human-inspectable:
+//
+//   paro-calib v1
+//   head
+//   order HWF
+//   perm <n> i0 i1 ...
+//   bits <rows> <cols> <block> b0 b1 ...   | bits none
+//   avgbits <x>
+//   end
+//
+// A model-level file is just a header plus one `head` record per
+// (layer, head) in row-major order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "attention/pipeline.hpp"
+
+namespace paro {
+
+/// Write one head's calibration record.
+void write_head_calibration(std::ostream& os, const HeadCalibration& calib);
+
+/// Read one head's calibration record (expects the `head` keyword next).
+HeadCalibration read_head_calibration(std::istream& is);
+
+/// Whole-model table: [layer][head].
+void write_calibration_table(
+    std::ostream& os,
+    const std::vector<std::vector<HeadCalibration>>& table);
+std::vector<std::vector<HeadCalibration>> read_calibration_table(
+    std::istream& is);
+
+/// Convenience: round-trip through files.
+void save_calibration_file(
+    const std::string& path,
+    const std::vector<std::vector<HeadCalibration>>& table);
+std::vector<std::vector<HeadCalibration>> load_calibration_file(
+    const std::string& path);
+
+}  // namespace paro

@@ -1,0 +1,225 @@
+#include "attention/integer_path.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "attention/reference.hpp"
+#include "common/fixedpoint.hpp"
+#include "common/fp16.hpp"
+#include "quant/blockwise.hpp"
+#include "quant/granularity.hpp"
+
+namespace paro {
+
+namespace {
+
+/// Per-column symmetric INT8 quantization of V (paper: "per-dimension").
+struct QuantizedV {
+  MatI8 codes;                 // [tokens, head_dim]
+  std::vector<float> scales;   // per column
+};
+
+QuantizedV quantize_v_per_column(const MatF& v) {
+  QuantizedV out;
+  out.codes = MatI8(v.rows(), v.cols());
+  out.scales.resize(v.cols());
+  for (std::size_t c = 0; c < v.cols(); ++c) {
+    float amax = 0.0F;
+    for (std::size_t r = 0; r < v.rows(); ++r) {
+      amax = std::max(amax, std::abs(v(r, c)));
+    }
+    const float scale = std::max(amax / 127.0F, 1e-12F);
+    out.scales[c] = scale;  // optionally rounded by the caller
+    for (std::size_t r = 0; r < v.rows(); ++r) {
+      out.codes(r, c) = static_cast<std::int8_t>(
+          std::lround(v(r, c) / scale));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+IntegerAttentionResult integer_attention(const MatF& q, const MatF& k,
+                                         const MatF& v,
+                                         const HeadCalibration& calib,
+                                         const QuantAttentionConfig& config) {
+  PARO_CHECK_MSG(config.map_scheme == AttnMapScheme::kBlockwise ||
+                     config.map_scheme == AttnMapScheme::kBlockwiseMixed,
+                 "integer path implements the block-wise schemes");
+  PARO_CHECK_MSG(config.quantize_qkv,
+                 "integer path requires INT8 Q/K/V");
+  const float scale = attention_scale(q, config.scale);
+  const std::size_t n = q.rows();
+  const std::size_t dh = q.cols();
+
+  const MatF qr = calib.plan.apply_rows(q);
+  const MatF kr = calib.plan.apply_rows(k);
+  const MatF vr = calib.plan.apply_rows(v);
+
+  QuantizedI8 q8 = quantize_rows_i8(qr, 8);
+  QuantizedI8 k8 = quantize_rows_i8(kr, 8);
+  if (config.fp16_scales) {
+    for (auto& p : q8.row_params) p.scale = fp16_round(p.scale);
+    for (auto& p : k8.row_params) p.scale = fp16_round(p.scale);
+  }
+
+  const BlockGrid grid(n, n, config.block);
+  // Effective bits of every tile.
+  auto bits_of = [&](std::size_t br, std::size_t bc) {
+    if (config.map_scheme == AttnMapScheme::kBlockwiseMixed ||
+        config.output_bitwidth_aware) {
+      PARO_CHECK_MSG(calib.bit_table.has_value(),
+                     "mixed/OBA path requires a calibrated BitTable");
+    }
+    return config.map_scheme == AttnMapScheme::kBlockwiseMixed
+               ? calib.bit_table->bits_at(br, bc)
+               : config.map_bits;
+  };
+
+  // --- QKᵀ: int8 MACs into int32, per-block LDZ when OBA ---------------
+  MatF logits(n, n, 0.0F);
+  for (std::size_t br = 0; br < grid.block_rows(); ++br) {
+    for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
+      const auto e = grid.extent(br, bc);
+      const int bits = bits_of(br, bc);
+      if (config.output_bitwidth_aware && bits == 0) {
+        for (std::size_t i = e.r0; i < e.r1; ++i) {
+          for (std::size_t j = e.c0; j < e.c1; ++j) {
+            logits(i, j) = -std::numeric_limits<float>::infinity();
+          }
+        }
+        continue;
+      }
+      for (std::size_t i = e.r0; i < e.r1; ++i) {
+        const auto qrow = q8.codes.row(i);
+        const float sq = q8.row_params[i].scale;
+        for (std::size_t j = e.c0; j < e.c1; ++j) {
+          const auto krow = k8.codes.row(j);
+          std::int64_t acc = 0;
+          if (config.output_bitwidth_aware && bits < 8) {
+            for (std::size_t c = 0; c < dh; ++c) {
+              const LdzCode code = ldz_truncate(krow[c], bits);
+              acc += ldz_restore(
+                  static_cast<std::int64_t>(code.mantissa) * qrow[c],
+                  code.shift);
+            }
+          } else {
+            for (std::size_t c = 0; c < dh; ++c) {
+              acc += static_cast<std::int64_t>(qrow[c]) * krow[c];
+            }
+          }
+          logits(i, j) =
+              static_cast<float>(acc) * sq * k8.row_params[j].scale;
+        }
+      }
+    }
+  }
+
+  // --- softmax on the vector unit (FP), tolerant of skipped blocks -----
+  MatF attn(n, n, 0.0F);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto in = logits.row(i);
+    auto dst = attn.row(i);
+    float maxv = -std::numeric_limits<float>::infinity();
+    for (const float x : in) {
+      if (x != -std::numeric_limits<float>::infinity()) {
+        maxv = std::max(maxv, x * scale);
+      }
+    }
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (in[j] == -std::numeric_limits<float>::infinity()) continue;
+      const double ev = std::exp(static_cast<double>(in[j] * scale - maxv));
+      dst[j] = static_cast<float>(ev);
+      sum += ev;
+    }
+    const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0F;
+    for (float& x : dst) x *= inv;
+  }
+
+  // --- block-wise quantization to integer CODES -------------------------
+  IntegerAttentionResult result;
+  result.map_codes = Matrix<std::int32_t>(n, n, 0);
+  // Per-tile (scale, zero) for the AttnV rescale.
+  std::vector<QuantParams> tile_params(grid.num_blocks());
+  double weighted_bits = 0.0;
+  std::vector<float> tile;
+  for (std::size_t br = 0; br < grid.block_rows(); ++br) {
+    for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
+      const auto e = grid.extent(br, bc);
+      const int bits = bits_of(br, bc);
+      weighted_bits += static_cast<double>(e.count()) * bits;
+      QuantParams p;
+      p.bits = bits;
+      if (bits == 0) {
+        tile_params[grid.flat_index(br, bc)] = p;
+        continue;  // codes stay 0, tile skipped
+      }
+      tile.clear();
+      for (std::size_t i = e.r0; i < e.r1; ++i) {
+        for (std::size_t j = e.c0; j < e.c1; ++j) {
+          tile.push_back(attn(i, j));
+        }
+      }
+      p = calibrate_minmax(tile, bits);
+      if (config.fp16_scales) {
+        p.scale = fp16_round(p.scale);
+      }
+      tile_params[grid.flat_index(br, bc)] = p;
+      for (std::size_t i = e.r0; i < e.r1; ++i) {
+        for (std::size_t j = e.c0; j < e.c1; ++j) {
+          result.map_codes(i, j) = quantize_value(attn(i, j), p);
+        }
+      }
+    }
+  }
+  result.avg_map_bits =
+      weighted_bits / static_cast<double>(n) / static_cast<double>(n);
+
+  // --- AttnV: integer MACs per tile + zero-point correction -------------
+  QuantizedV v8 = quantize_v_per_column(vr);
+  if (config.fp16_scales) {
+    for (float& sv : v8.scales) sv = fp16_round(sv);
+  }
+  // Per (block-column, channel) sums of V codes for the −z correction.
+  std::vector<std::vector<std::int64_t>> v_colsum(
+      grid.block_cols(), std::vector<std::int64_t>(dh, 0));
+  for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
+    const auto e = grid.extent(0, bc);
+    for (std::size_t j = e.c0; j < e.c1; ++j) {
+      const auto vrow = v8.codes.row(j);
+      for (std::size_t c = 0; c < dh; ++c) {
+        v_colsum[bc][c] += vrow[c];
+      }
+    }
+  }
+
+  MatF out_r(n, dh, 0.0F);
+  for (std::size_t br = 0; br < grid.block_rows(); ++br) {
+    for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
+      const auto e = grid.extent(br, bc);
+      const QuantParams& p = tile_params[grid.flat_index(br, bc)];
+      if (p.bits == 0) continue;  // dispatcher bypass
+      for (std::size_t i = e.r0; i < e.r1; ++i) {
+        auto orow = out_r.row(i);
+        for (std::size_t c = 0; c < dh; ++c) {
+          std::int64_t acc = 0;
+          for (std::size_t j = e.c0; j < e.c1; ++j) {
+            acc += static_cast<std::int64_t>(result.map_codes(i, j)) *
+                   v8.codes(j, c);
+          }
+          acc -= static_cast<std::int64_t>(p.zero_point) * v_colsum[bc][c];
+          // Vector unit: FP rescale + accumulate across tiles.
+          orow[c] += p.scale * v8.scales[c] * static_cast<float>(acc);
+        }
+      }
+    }
+  }
+
+  result.output = calib.plan.invert_rows(out_r);
+  return result;
+}
+
+}  // namespace paro

@@ -1,0 +1,49 @@
+// Hardware-faithful integer attention dataflow (paper §IV-A).
+//
+// The float pipeline in pipeline.hpp uses fake quantization: it computes
+// with dequantized values, which is numerically identical to the integer
+// dataflow but hides the fixed-point mechanics.  This module executes the
+// REAL mechanics, exactly as the PE array + vector unit would:
+//
+//   QKᵀ    : int8 × int8 → int32 accumulators, rescaled to FP by
+//            s_q(row) · s_k(col) on the vector unit (per-block LDZ
+//            truncation of K optional).
+//   softmax: FP on the vector unit.
+//   map    : quantized to UNSIGNED integer codes per block with the
+//            calibrated (s, z) — the codes are what the hardware stores.
+//   AttnV  : integer MACs  Σ_j a_code(i,j) · v_int8(j,c)  accumulated in
+//            int32 PER BLOCK-ROW, plus the zero-point correction
+//            −z · Σ_j v_int8(j,c); the vector unit folds in
+//            s_a(block) · s_v(col) and accumulates partial sums in FP
+//            (paper §IV-A: "fixed-point accumulation results ... are
+//            forwarded to the vector unit ... performs floating-point
+//            accumulation").
+//
+// Tests verify this path agrees with the fake-quant float pipeline to
+// float tolerance — evidence that the modelled hardware computes the same
+// numbers the algorithm experiments were scored on.
+#pragma once
+
+#include "attention/pipeline.hpp"
+#include "tensor/matrix.hpp"
+
+namespace paro {
+
+/// Result of the integer-exact pipeline.
+struct IntegerAttentionResult {
+  MatF output;                ///< [tokens, head_dim], canonical order
+  Matrix<std::int32_t> map_codes;  ///< unsigned map codes, reordered space
+  double avg_map_bits = 0.0;
+};
+
+/// Execute the integer dataflow.  Supports the block-wise schemes
+/// (kBlockwise / kBlockwiseMixed); per-row and FP schemes belong to the
+/// float pipeline.  `calib` must carry a BitTable when the scheme or the
+/// output-bitwidth-aware flag requires one (same contract as
+/// quantized_attention).
+IntegerAttentionResult integer_attention(const MatF& q, const MatF& k,
+                                         const MatF& v,
+                                         const HeadCalibration& calib,
+                                         const QuantAttentionConfig& config);
+
+}  // namespace paro

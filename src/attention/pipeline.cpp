@@ -1,0 +1,310 @@
+#include "attention/pipeline.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "attention/reference.hpp"
+#include "common/fixedpoint.hpp"
+#include "mixedprec/allocator.hpp"
+#include "mixedprec/sensitivity.hpp"
+#include "quant/blockwise.hpp"
+#include "quant/granularity.hpp"
+#include "tensor/ops.hpp"
+
+namespace paro {
+
+namespace {
+
+/// Reconstruct FP logits from INT8 Q/K with optional per-block LDZ
+/// truncation of the K operand (paper Fig. 5b).  Blocks whose destination
+/// bitwidth is 0 are skipped: their logits are set to -inf so softmax
+/// assigns them exactly zero mass, matching the dispatcher bypass.
+MatF logits_from_int8(const QuantizedI8& q8, const QuantizedI8& k8,
+                      const BitTable* table, bool output_bitwidth_aware) {
+  const std::size_t n_q = q8.codes.rows();
+  const std::size_t n_k = k8.codes.rows();
+  const std::size_t d = q8.codes.cols();
+  MatF logits(n_q, n_k);
+
+  if (!output_bitwidth_aware || table == nullptr) {
+    for (std::size_t i = 0; i < n_q; ++i) {
+      const auto qrow = q8.codes.row(i);
+      const float sq = q8.row_params[i].scale;
+      for (std::size_t j = 0; j < n_k; ++j) {
+        const auto krow = k8.codes.row(j);
+        std::int32_t acc = 0;
+        for (std::size_t c = 0; c < d; ++c) {
+          acc += static_cast<std::int32_t>(qrow[c]) *
+                 static_cast<std::int32_t>(krow[c]);
+        }
+        logits(i, j) =
+            static_cast<float>(acc) * sq * k8.row_params[j].scale;
+      }
+    }
+    return logits;
+  }
+
+  // Output-bitwidth-aware path: per destination block, the LDZ unit keeps
+  // only `bits` significant magnitude bits of every K operand.
+  const BlockGrid& grid = table->grid();
+  PARO_CHECK_MSG(grid.rows() == n_q && grid.cols() == n_k,
+                 "bit table does not match QKᵀ shape");
+  for (std::size_t br = 0; br < grid.block_rows(); ++br) {
+    for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
+      const auto e = grid.extent(br, bc);
+      const int bits = table->bits_at(br, bc);
+      if (bits == 0) {
+        for (std::size_t i = e.r0; i < e.r1; ++i) {
+          auto lrow = logits.row(i);
+          for (std::size_t j = e.c0; j < e.c1; ++j) {
+            lrow[j] = -std::numeric_limits<float>::infinity();
+          }
+        }
+        continue;
+      }
+      for (std::size_t i = e.r0; i < e.r1; ++i) {
+        const auto qrow = q8.codes.row(i);
+        const float sq = q8.row_params[i].scale;
+        auto lrow = logits.row(i);
+        for (std::size_t j = e.c0; j < e.c1; ++j) {
+          const auto krow = k8.codes.row(j);
+          std::int64_t acc = 0;
+          for (std::size_t c = 0; c < d; ++c) {
+            // mantissa·q, restored by the MSVB shift — what the PE +
+            // shifter pair computes.
+            const LdzCode code = ldz_truncate(krow[c], bits);
+            acc += ldz_restore(static_cast<std::int64_t>(code.mantissa) *
+                                   qrow[c],
+                               code.shift);
+          }
+          lrow[j] =
+              static_cast<float>(acc) * sq * k8.row_params[j].scale;
+        }
+      }
+    }
+  }
+  return logits;
+}
+
+/// Softmax that tolerates -inf entries (skipped blocks) and rows that are
+/// entirely skipped (degenerates to uniform over the row — never happens
+/// with a sane allocation, but must not produce NaN).
+MatF softmax_rows_skipaware(const MatF& logits, float scale) {
+  MatF out(logits.rows(), logits.cols(), 0.0F);
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const auto in = logits.row(i);
+    auto dst = out.row(i);
+    float maxv = -std::numeric_limits<float>::infinity();
+    for (const float v : in) {
+      if (v != -std::numeric_limits<float>::infinity()) {
+        maxv = std::max(maxv, v * scale);
+      }
+    }
+    if (maxv == -std::numeric_limits<float>::infinity()) {
+      const float u = 1.0F / static_cast<float>(in.size());
+      for (float& v : dst) v = u;
+      continue;
+    }
+    double sum = 0.0;
+    for (std::size_t j = 0; j < in.size(); ++j) {
+      if (in[j] == -std::numeric_limits<float>::infinity()) {
+        dst[j] = 0.0F;
+        continue;
+      }
+      const double e = std::exp(static_cast<double>(in[j] * scale - maxv));
+      dst[j] = static_cast<float>(e);
+      sum += e;
+    }
+    const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0F;
+    for (float& v : dst) v *= inv;
+  }
+  return out;
+}
+
+}  // namespace
+
+HeadCalibration calibrate_head(const MatF& sample_q, const MatF& sample_k,
+                               const TokenGrid& grid,
+                               const QuantAttentionConfig& config) {
+  PARO_CHECK_MSG(sample_q.rows() == grid.num_tokens(),
+                 "sample does not match token grid");
+  HeadCalibration calib;
+  const MatF sample_map = attention_map(sample_q, sample_k, config.scale);
+  calib.plan = config.use_reorder
+                   ? calibrate_plan(sample_map, grid, config.block)
+                   : ReorderPlan::identity(grid.num_tokens());
+
+  const bool needs_table =
+      config.map_scheme == AttnMapScheme::kBlockwiseMixed ||
+      config.output_bitwidth_aware;
+  if (!needs_table) {
+    return calib;
+  }
+  const MatF reordered = calib.plan.apply_map(sample_map);
+  const BlockGrid bgrid(reordered.rows(), reordered.cols(), config.block);
+  if (config.map_scheme == AttnMapScheme::kBlockwiseMixed) {
+    const auto stats = collect_block_stats(reordered, config.block);
+    const auto sens = compute_sensitivity(stats, config.alpha);
+    const Allocation alloc = allocate_lagrangian(sens, config.budget_bits);
+    calib.bit_table = make_bittable(bgrid, alloc.bits);
+    calib.planned_avg_bits = alloc.average_bitwidth;
+  } else {
+    // OBA with a uniform map bitwidth: a uniform table.
+    const int bits = config.map_scheme == AttnMapScheme::kNone
+                         ? 8
+                         : config.map_bits;
+    calib.bit_table = BitTable(bgrid, bits);
+    calib.planned_avg_bits = bits;
+  }
+  return calib;
+}
+
+HeadCalibration calibrate_head_with_prefix(
+    const MatF& sample_q, const MatF& sample_k, const TokenGrid& grid,
+    std::size_t prefix, const QuantAttentionConfig& config) {
+  const std::size_t n = prefix + grid.num_tokens();
+  PARO_CHECK_MSG(sample_q.rows() == n,
+                 "sample does not match prefix + token grid");
+  HeadCalibration calib;
+  const MatF sample_map = attention_map(sample_q, sample_k, config.scale);
+  calib.plan =
+      config.use_reorder
+          ? calibrate_plan_with_prefix(sample_map, grid, prefix, config.block)
+          : ReorderPlan::identity(n);
+
+  const bool needs_table =
+      config.map_scheme == AttnMapScheme::kBlockwiseMixed ||
+      config.output_bitwidth_aware;
+  if (!needs_table) {
+    return calib;
+  }
+  const MatF reordered = calib.plan.apply_map(sample_map);
+  const BlockGrid bgrid(reordered.rows(), reordered.cols(), config.block);
+  if (config.map_scheme == AttnMapScheme::kBlockwiseMixed) {
+    const auto stats = collect_block_stats(reordered, config.block);
+    const auto sens = compute_sensitivity(stats, config.alpha);
+    const Allocation alloc = allocate_lagrangian(sens, config.budget_bits);
+    calib.bit_table = make_bittable(bgrid, alloc.bits);
+    calib.planned_avg_bits = alloc.average_bitwidth;
+  } else {
+    const int bits =
+        config.map_scheme == AttnMapScheme::kNone ? 8 : config.map_bits;
+    calib.bit_table = BitTable(bgrid, bits);
+    calib.planned_avg_bits = bits;
+  }
+  return calib;
+}
+
+QuantAttentionResult quantized_attention(const MatF& q, const MatF& k,
+                                         const MatF& v,
+                                         const HeadCalibration& calib,
+                                         const QuantAttentionConfig& config) {
+  PARO_CHECK_MSG(q.rows() == k.rows() && k.rows() == v.rows(),
+                 "token count mismatch");
+  const float scale = attention_scale(q, config.scale);
+
+  const MatF qr = calib.plan.apply_rows(q);
+  const MatF kr = calib.plan.apply_rows(k);
+  const MatF vr = calib.plan.apply_rows(v);
+
+  // --- QKᵀ ---
+  MatF logits;
+  if (config.quantize_qkv) {
+    const QuantizedI8 q8 = quantize_rows_i8(qr, 8);
+    const QuantizedI8 k8 = quantize_rows_i8(kr, 8);
+    const BitTable* table =
+        calib.bit_table.has_value() ? &*calib.bit_table : nullptr;
+    logits = logits_from_int8(q8, k8, table, config.output_bitwidth_aware);
+  } else {
+    logits = matmul_nt(qr, kr);
+  }
+
+  // --- softmax (vector unit, FP) ---
+  MatF attn = softmax_rows_skipaware(logits, scale);
+
+  // --- attention-map quantization ---
+  QuantAttentionResult result;
+  result.avg_map_bits = 16.0;
+  switch (config.map_scheme) {
+    case AttnMapScheme::kNone:
+      break;
+    case AttnMapScheme::kPerRow: {
+      for (std::size_t r = 0; r < attn.rows(); ++r) {
+        fake_quant_group(attn.row(r), config.map_bits, /*symmetric=*/false);
+      }
+      result.avg_map_bits = config.map_bits;
+      break;
+    }
+    case AttnMapScheme::kBlockwise: {
+      attn = fake_quant_blockwise(attn, config.block, config.map_bits);
+      result.avg_map_bits = config.map_bits;
+      break;
+    }
+    case AttnMapScheme::kBlockwiseMixed: {
+      PARO_CHECK_MSG(calib.bit_table.has_value(),
+                     "mixed scheme requires a calibrated BitTable");
+      attn = fake_quant_blockwise_mixed(attn, *calib.bit_table);
+      result.avg_map_bits = calib.bit_table->average_bitwidth();
+      break;
+    }
+  }
+
+  // --- AttnV ---
+  MatF v_used = vr;
+  if (config.quantize_qkv) {
+    v_used = fake_quant_matrix(vr, Granularity::kPerColumn, 8,
+                               /*symmetric=*/true);
+  }
+  const MatF out_reordered = matmul(attn, v_used);
+
+  result.output = calib.plan.invert_rows(out_reordered);
+  result.map_reordered = std::move(attn);
+  return result;
+}
+
+QuantAttentionConfig config_fp16() {
+  QuantAttentionConfig c;
+  c.quantize_qkv = false;
+  c.map_scheme = AttnMapScheme::kNone;
+  c.use_reorder = false;
+  return c;
+}
+
+QuantAttentionConfig config_naive_int(int bits) {
+  QuantAttentionConfig c;
+  c.map_scheme = AttnMapScheme::kPerRow;
+  c.map_bits = bits;
+  c.use_reorder = false;
+  return c;
+}
+
+QuantAttentionConfig config_blockwise_int(int bits, std::size_t block) {
+  QuantAttentionConfig c;
+  c.map_scheme = AttnMapScheme::kBlockwise;
+  c.map_bits = bits;
+  c.block = block;
+  c.use_reorder = false;
+  return c;
+}
+
+QuantAttentionConfig config_paro_int(int bits, std::size_t block) {
+  QuantAttentionConfig c;
+  c.map_scheme = AttnMapScheme::kBlockwise;
+  c.map_bits = bits;
+  c.block = block;
+  c.use_reorder = true;
+  return c;
+}
+
+QuantAttentionConfig config_paro_mp(double budget_bits, std::size_t block,
+                                    double alpha) {
+  QuantAttentionConfig c;
+  c.map_scheme = AttnMapScheme::kBlockwiseMixed;
+  c.block = block;
+  c.use_reorder = true;
+  c.budget_bits = budget_bits;
+  c.alpha = alpha;
+  return c;
+}
+
+}  // namespace paro

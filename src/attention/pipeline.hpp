@@ -1,0 +1,99 @@
+// The PARO quantized-attention pipeline and its ablations (paper §III, §V).
+//
+// One configurable path covers every Table-I variant:
+//   FP16            — map_scheme = kNone, quantize_qkv = false
+//   Naive INTb      — per-row map quant, no reorder
+//   Block-wise INTb — block-wise map quant, no reorder
+//   PARO INTb       — reorder + block-wise map quant
+//   PARO MP         — reorder + block-wise + mixed-precision {0,2,4,8}
+// plus the hardware co-design knob:
+//   output_bitwidth_aware — emulate the LDZ unit truncating K inside QKᵀ
+//   to each destination block's bitwidth (paper §IV-B, Fig. 5b).
+//
+// Dataflow of the full path (paper Fig. 3):
+//   reorder Q,K,V → INT8 Q/K → QKᵀ (per-block LDZ bits) → softmax →
+//   block-wise mixed quant of the map → AttnV (INT8 V) → inverse reorder.
+#pragma once
+
+#include <optional>
+
+#include "quant/bittable.hpp"
+#include "reorder/calibrate.hpp"
+#include "reorder/plan.hpp"
+#include "reorder/token_grid.hpp"
+#include "tensor/matrix.hpp"
+
+namespace paro {
+
+/// How the post-softmax attention map is quantized.
+enum class AttnMapScheme {
+  kNone,            ///< keep FP (the FP16 / SageAttention paths)
+  kPerRow,          ///< "naive": one (s,z) per row
+  kBlockwise,       ///< uniform bitwidth, per-tile (s,z)
+  kBlockwiseMixed,  ///< per-tile bitwidth from the calibrated BitTable
+};
+
+struct QuantAttentionConfig {
+  bool quantize_qkv = true;   ///< INT8 per-token Q/K and per-dim V
+  AttnMapScheme map_scheme = AttnMapScheme::kBlockwiseMixed;
+  int map_bits = 8;           ///< bitwidth for kPerRow / kBlockwise
+  std::size_t block = 64;     ///< attention-map tile side
+  bool use_reorder = true;    ///< apply the calibrated token reorder
+  double budget_bits = 4.8;   ///< average-bitwidth budget for kBlockwiseMixed
+  double alpha = 0.5;         ///< sensitivity blend (paper §III-B)
+  bool output_bitwidth_aware = false;  ///< LDZ-truncated QKᵀ
+  /// Store quantization scales in FP16 (paper §IV-A: scales are FP16 and
+  /// the vector unit accumulates in FP).  Honoured by the integer-exact
+  /// path; the float pipeline keeps float scales (difference is below
+  /// its own fake-quant noise).
+  bool fp16_scales = false;
+  float scale = -1.0F;        ///< softmax scale; -1 → 1/sqrt(head_dim)
+};
+
+/// Offline calibration artifacts for one (layer, head).
+struct HeadCalibration {
+  ReorderPlan plan;                   ///< identity when reorder is off
+  std::optional<BitTable> bit_table;  ///< set for mixed / OBA paths
+  double planned_avg_bits = 0.0;      ///< allocator outcome (mixed only)
+};
+
+/// Calibrate a head from a sample Q/K pair (paper: one offline pass; the
+/// patterns are stable across timesteps and prompts).
+HeadCalibration calibrate_head(const MatF& sample_q, const MatF& sample_k,
+                               const TokenGrid& grid,
+                               const QuantAttentionConfig& config);
+
+/// Calibrate a head whose sequence is `prefix` text-conditioning tokens
+/// followed by the video grid (CogVideoX: 226 + 17 550).  The reorder
+/// keeps the prefix in place; the bitwidth table covers the full
+/// (prefix + grid)² map.
+HeadCalibration calibrate_head_with_prefix(const MatF& sample_q,
+                                           const MatF& sample_k,
+                                           const TokenGrid& grid,
+                                           std::size_t prefix,
+                                           const QuantAttentionConfig& config);
+
+/// Result of a quantized attention forward pass.
+struct QuantAttentionResult {
+  MatF output;          ///< [tokens, head_dim], canonical order
+  MatF map_reordered;   ///< the (quantized) map in reordered space
+  double avg_map_bits = 16.0;  ///< achieved element-weighted bitwidth
+};
+
+/// Run the quantized pipeline for one head.  `q/k/v` are in canonical
+/// token order; the result's output is too.
+QuantAttentionResult quantized_attention(const MatF& q, const MatF& k,
+                                         const MatF& v,
+                                         const HeadCalibration& calib,
+                                         const QuantAttentionConfig& config);
+
+/// Named presets matching Table I rows.
+QuantAttentionConfig config_fp16();
+QuantAttentionConfig config_naive_int(int bits);
+QuantAttentionConfig config_blockwise_int(int bits, std::size_t block = 64);
+QuantAttentionConfig config_paro_int(int bits, std::size_t block = 64);
+QuantAttentionConfig config_paro_mp(double budget_bits = 4.8,
+                                    std::size_t block = 64,
+                                    double alpha = 0.5);
+
+}  // namespace paro

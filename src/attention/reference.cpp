@@ -1,0 +1,25 @@
+#include "attention/reference.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace paro {
+
+float attention_scale(const MatF& q, float scale) {
+  return scale > 0.0F ? scale
+                      : 1.0F / std::sqrt(static_cast<float>(q.cols()));
+}
+
+MatF attention_map(const MatF& q, const MatF& k, float scale) {
+  PARO_CHECK_MSG(q.cols() == k.cols(), "q/k head_dim mismatch");
+  return softmax_rows(matmul_nt(q, k), attention_scale(q, scale));
+}
+
+MatF attention_reference(const MatF& q, const MatF& k, const MatF& v,
+                         float scale) {
+  PARO_CHECK_MSG(k.rows() == v.rows(), "k/v token count mismatch");
+  return matmul(attention_map(q, k, scale), v);
+}
+
+}  // namespace paro

@@ -1,0 +1,18 @@
+// FP reference attention (the "FP16" baseline of Table I).
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace paro {
+
+/// softmax(q·kᵀ / sqrt(d)) — the attention map.
+MatF attention_map(const MatF& q, const MatF& k, float scale = -1.0F);
+
+/// Full attention: softmax(q·kᵀ/sqrt(d)) · v.
+MatF attention_reference(const MatF& q, const MatF& k, const MatF& v,
+                         float scale = -1.0F);
+
+/// 1/sqrt(head_dim) unless the caller supplied a positive scale.
+float attention_scale(const MatF& q, float scale);
+
+}  // namespace paro

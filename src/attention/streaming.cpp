@@ -1,0 +1,82 @@
+#include "attention/streaming.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "attention/reference.hpp"
+#include "common/error.hpp"
+
+namespace paro {
+
+MatF attention_streaming(const MatF& q, const MatF& k, const MatF& v,
+                         std::size_t chunk, float scale) {
+  PARO_CHECK_MSG(q.cols() == k.cols(), "q/k head_dim mismatch");
+  PARO_CHECK_MSG(k.rows() == v.rows(), "k/v token count mismatch");
+  PARO_CHECK_MSG(chunk > 0, "chunk must be positive");
+  const float s = attention_scale(q, scale);
+  const std::size_t n_q = q.rows();
+  const std::size_t n_k = k.rows();
+  const std::size_t dh = v.cols();
+
+  MatF out(n_q, dh, 0.0F);
+  // Per query row: running max m, running denominator l.
+  std::vector<double> run_max(n_q, -std::numeric_limits<double>::infinity());
+  std::vector<double> run_den(n_q, 0.0);
+  // FP64 accumulators (the hardware uses FP32 + FP accumulate on the
+  // vector unit; FP64 here keeps the test oracle sharp).
+  std::vector<double> acc(n_q * dh, 0.0);
+
+  std::vector<double> chunk_logits;
+  for (std::size_t c0 = 0; c0 < n_k; c0 += chunk) {
+    const std::size_t c1 = std::min(c0 + chunk, n_k);
+    for (std::size_t i = 0; i < n_q; ++i) {
+      const auto qrow = q.row(i);
+      // Logits of this chunk.
+      chunk_logits.clear();
+      double chunk_max = -std::numeric_limits<double>::infinity();
+      for (std::size_t j = c0; j < c1; ++j) {
+        const auto krow = k.row(j);
+        double dot = 0.0;
+        for (std::size_t d = 0; d < qrow.size(); ++d) {
+          dot += static_cast<double>(qrow[d]) * krow[d];
+        }
+        dot *= s;
+        chunk_logits.push_back(dot);
+        chunk_max = std::max(chunk_max, dot);
+      }
+      const double new_max = std::max(run_max[i], chunk_max);
+      const double rescale =
+          run_den[i] > 0.0 ? std::exp(run_max[i] - new_max) : 0.0;
+      // Rescale the running accumulator and denominator.
+      run_den[i] *= rescale;
+      double* arow = acc.data() + i * dh;
+      if (rescale != 1.0) {
+        for (std::size_t d = 0; d < dh; ++d) {
+          arow[d] *= rescale;
+        }
+      }
+      // Fold in this chunk.
+      for (std::size_t j = c0; j < c1; ++j) {
+        const double w = std::exp(chunk_logits[j - c0] - new_max);
+        run_den[i] += w;
+        const auto vrow = v.row(j);
+        for (std::size_t d = 0; d < dh; ++d) {
+          arow[d] += w * vrow[d];
+        }
+      }
+      run_max[i] = new_max;
+    }
+  }
+  for (std::size_t i = 0; i < n_q; ++i) {
+    const double inv = run_den[i] > 0.0 ? 1.0 / run_den[i] : 0.0;
+    const double* arow = acc.data() + i * dh;
+    auto orow = out.row(i);
+    for (std::size_t d = 0; d < dh; ++d) {
+      orow[d] = static_cast<float>(arow[d] * inv);
+    }
+  }
+  return out;
+}
+
+}  // namespace paro

@@ -1,0 +1,20 @@
+// Streaming (online-softmax) attention reference.
+//
+// Computes exact attention while visiting K/V in chunks and keeping only a
+// running row maximum, running denominator, and rescaled output
+// accumulator — the dataflow PARO's fused pipeline (and the performance
+// model's Q-stripe streaming) relies on.  Tests assert bit-level-grade
+// agreement with the materialised reference: evidence that the simulator's
+// "attention map never touches DRAM" assumption loses nothing.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace paro {
+
+/// Exact attention with K/V processed `chunk` rows at a time.
+/// `scale` defaults to 1/sqrt(head_dim).
+MatF attention_streaming(const MatF& q, const MatF& k, const MatF& v,
+                         std::size_t chunk, float scale = -1.0F);
+
+}  // namespace paro

@@ -1,0 +1,133 @@
+#include "attention/synthetic.hpp"
+
+#include <cmath>
+
+#include "tensor/random.hpp"
+
+namespace paro {
+
+HeadQKV generate_head(const TokenGrid& grid, const SyntheticHeadSpec& spec,
+                      std::size_t head_dim, Rng& rng) {
+  PARO_CHECK_MSG(head_dim >= 8 && head_dim % 4 == 0,
+                 "head_dim must be a multiple of 4 and >= 8");
+  const std::size_t n = grid.num_tokens();
+  const std::size_t d_pos = head_dim / 2;        // cos/sin feature pairs
+  const std::size_t d_content = head_dim - d_pos;
+  const std::size_t m = d_pos / 2;               // number of frequencies
+
+  // Rank of every canonical token in the head's locality ordering.
+  const auto perm = grid.permutation(spec.locality_order);
+  std::vector<double> rank(n);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    rank[perm[pos]] = static_cast<double>(pos) / static_cast<double>(n);
+  }
+
+  // Random Fourier frequencies for a Gaussian kernel of bandwidth
+  // locality_width (in normalised rank units).
+  std::vector<double> freq(m);
+  for (double& f : freq) {
+    f = rng.normal(0.0, 1.0 / std::max(spec.locality_width, 1e-4));
+  }
+
+  HeadQKV out;
+  out.q = MatF(n, head_dim);
+  out.k = MatF(n, head_dim);
+  out.v = random_normal(n, head_dim, rng);
+
+  // The reference attention divides logits by sqrt(d); bake d^(1/4) into
+  // both Q and K so the *scaled* logits carry the configured gains.
+  const double dim_comp = std::pow(static_cast<double>(head_dim), 0.25);
+  const double pos_scale =
+      dim_comp * std::sqrt(spec.pattern_gain / static_cast<double>(m));
+  const double content_scale =
+      dim_comp * std::sqrt(spec.content_gain) /
+      std::pow(static_cast<double>(d_content), 0.25);
+  const double global_scale = dim_comp * std::sqrt(spec.global_gain);
+
+  // Choose the global "sink" keys.
+  std::vector<bool> is_global(n, false);
+  const auto num_global = static_cast<std::size_t>(
+      std::llround(spec.global_fraction * static_cast<double>(n)));
+  for (std::size_t g = 0; g < num_global; ++g) {
+    is_global[rng.uniform_index(n)] = true;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    auto qrow = out.q.row(i);
+    auto krow = out.k.row(i);
+    // Positional features (identical construction for Q and K so the dot
+    // product realises the shift-invariant kernel).
+    for (std::size_t j = 0; j < m; ++j) {
+      const double phase = freq[j] * rank[i];
+      qrow[2 * j] = static_cast<float>(pos_scale * std::cos(phase));
+      qrow[2 * j + 1] = static_cast<float>(pos_scale * std::sin(phase));
+      krow[2 * j] = static_cast<float>(pos_scale * std::cos(phase));
+      krow[2 * j + 1] = static_cast<float>(pos_scale * std::sin(phase));
+    }
+    // Content features: independent noise.
+    for (std::size_t j = d_pos; j < head_dim; ++j) {
+      qrow[j] = static_cast<float>(content_scale * rng.normal());
+      krow[j] = static_cast<float>(content_scale * rng.normal());
+    }
+    // Global sink: boost this key along the shared direction (the first
+    // content coordinate), which every query also carries.
+    qrow[d_pos] += static_cast<float>(global_scale);
+    if (is_global[i]) {
+      krow[d_pos] += static_cast<float>(global_scale);
+    }
+  }
+  return out;
+}
+
+MatF positional_features(const TokenGrid& grid, const AxisOrder& order,
+                         double width, double gain, std::size_t feature_dim,
+                         Rng& rng, std::size_t softmax_dim) {
+  PARO_CHECK_MSG(feature_dim >= 2 && feature_dim % 2 == 0,
+                 "feature_dim must be even and >= 2");
+  const std::size_t n = grid.num_tokens();
+  const std::size_t m = feature_dim / 2;
+  const std::size_t d_soft = softmax_dim == 0 ? feature_dim : softmax_dim;
+
+  const auto perm = grid.permutation(order);
+  std::vector<double> rank(n);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    rank[perm[pos]] = static_cast<double>(pos) / static_cast<double>(n);
+  }
+  std::vector<double> freq(m);
+  for (double& f : freq) {
+    f = rng.normal(0.0, 1.0 / std::max(width, 1e-4));
+  }
+  const double amp = std::pow(static_cast<double>(d_soft), 0.25) *
+                     std::sqrt(gain / static_cast<double>(m));
+  MatF p(n, feature_dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = p.row(i);
+    for (std::size_t j = 0; j < m; ++j) {
+      const double phase = freq[j] * rank[i];
+      row[2 * j] = static_cast<float>(amp * std::cos(phase));
+      row[2 * j + 1] = static_cast<float>(amp * std::sin(phase));
+    }
+  }
+  return p;
+}
+
+std::vector<SyntheticHeadSpec> default_head_specs(std::size_t num_heads,
+                                                  Rng& rng) {
+  std::vector<SyntheticHeadSpec> specs;
+  specs.reserve(num_heads);
+  const auto& orders = all_axis_orders();
+  for (std::size_t h = 0; h < num_heads; ++h) {
+    SyntheticHeadSpec spec;
+    spec.locality_order = orders[h % orders.size()];
+    // Log-uniform widths in [0.01, 0.06]: a mix of sharp and broad heads.
+    spec.locality_width = 0.01 * std::pow(6.0, rng.uniform());
+    spec.pattern_gain = rng.uniform(4.0, 8.0);
+    spec.content_gain = rng.uniform(0.5, 1.5);
+    spec.global_fraction = rng.uniform(0.002, 0.01);
+    spec.global_gain = rng.uniform(2.0, 4.0);
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+}  // namespace paro

@@ -1,0 +1,67 @@
+// Synthetic 3D-full-attention heads with the pattern structure PARO
+// exploits (substitution for CogVideoX attention; see DESIGN.md §2).
+//
+// The paper observes (§III-A, Fig. 1/8) that video-DiT heads perform
+// *local aggregation along one of the grid axes*: some heads attend to the
+// same spatial token across frames, others to spatial neighbours within a
+// frame, producing diverse strided-diagonal attention patterns in the
+// canonical token order — which all become block-diagonal under the right
+// axis reorder.
+//
+// We synthesise Q/K embeddings that provably have this structure: each
+// token gets random-Fourier positional features of its *rank* in the
+// head's private locality ordering, so q_i · k_j decays with rank
+// distance, plus a content component and a few "global" tokens that give
+// the map the outlier columns real maps show.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "reorder/token_grid.hpp"
+#include "tensor/matrix.hpp"
+
+namespace paro {
+
+/// Generation parameters for one synthetic head.
+struct SyntheticHeadSpec {
+  AxisOrder locality_order = canonical_axis_order();
+  /// Kernel bandwidth as a fraction of the token count: attention mass
+  /// concentrates on tokens within ±locality_width·N ranks.
+  double locality_width = 0.02;
+  /// Strength of the positional (pattern) component in the logits.
+  double pattern_gain = 6.0;
+  /// Strength of the i.i.d. content component.
+  double content_gain = 1.0;
+  /// Fraction of tokens acting as globally attended "sink" keys.
+  double global_fraction = 0.004;
+  /// Extra logit boost for global keys.
+  double global_gain = 3.0;
+};
+
+/// Q/K/V embeddings of a single head, [tokens, head_dim], canonical order.
+struct HeadQKV {
+  MatF q, k, v;
+};
+
+/// Generate one head.  Deterministic in `rng`.
+HeadQKV generate_head(const TokenGrid& grid, const SyntheticHeadSpec& spec,
+                      std::size_t head_dim, Rng& rng);
+
+/// A default set of head specs cycling through the 6 locality orders with
+/// varying widths/gains — the "diverse patterns across heads" of Fig. 1.
+std::vector<SyntheticHeadSpec> default_head_specs(std::size_t num_heads,
+                                                  Rng& rng);
+
+/// Random-Fourier positional feature matrix P [tokens, feature_dim] for the
+/// given locality ordering: P·Pᵀ ≈ gain · exp(−Δrank² / 2·width²), i.e. a
+/// shift-invariant locality kernel in that ordering.  Used by the synthetic
+/// DiT to give its attention heads the paper's pattern structure.
+/// `feature_dim` must be even.  Dot products already include the d^(1/4)
+/// compensation for a later 1/sqrt(d) softmax scale with d = feature_dim*2
+/// unless `softmax_dim` overrides it.
+MatF positional_features(const TokenGrid& grid, const AxisOrder& order,
+                         double width, double gain, std::size_t feature_dim,
+                         Rng& rng, std::size_t softmax_dim = 0);
+
+}  // namespace paro

@@ -1,0 +1,71 @@
+#include "baselines/gpu_roofline.hpp"
+
+#include <algorithm>
+
+namespace paro {
+
+GpuRoofline::GpuRoofline(GpuResources gpu, GpuModelConfig config)
+    : gpu_(std::move(gpu)), cfg_(config) {}
+
+double GpuRoofline::gemm_seconds(double macs, double bytes) const {
+  const double compute_s =
+      2.0 * macs / (gpu_.fp16_tflops * 1e12 * gpu_.gemm_efficiency);
+  const double memory_s =
+      bytes / (gpu_.hbm_gbps * 1e9 * gpu_.bandwidth_efficiency);
+  return std::max(compute_s, memory_s);
+}
+
+GpuStepTime GpuRoofline::simulate_step(const Workload& w) const {
+  GpuStepTime t;
+  const double bw = gpu_.hbm_gbps * 1e9 * gpu_.bandwidth_efficiency;
+
+  for (const GemmOp& g : w.gemms) {
+    switch (g.kind) {
+      case GemmKind::kLinear:
+        t.linear_s += gemm_seconds(g.macs(), 2.0 * g.stream_elements());
+        break;
+      case GemmKind::kQK: {
+        const auto n = static_cast<double>(g.m);
+        const auto dh = static_cast<double>(g.k);
+        // QKᵀ writes the map; softmax and AttnV re-cross it map_passes−1
+        // more times in total.
+        const double map_bytes = cfg_.map_passes * n * n * 2.0;
+        const double io_bytes = 2.0 * n * dh * 2.0;  // Q, K
+        t.attention_s += gemm_seconds(n * n * dh, io_bytes) +
+                         map_bytes / bw;
+        break;
+      }
+      case GemmKind::kAttnV: {
+        const auto n = static_cast<double>(g.m);
+        const auto dh = static_cast<double>(g.n);
+        // Map read already charged via map_passes; V in, O out here.
+        t.attention_s += gemm_seconds(n * n * dh, 2.0 * n * dh * 2.0);
+        break;
+      }
+    }
+  }
+  for (const VectorOp& v : w.vectors) {
+    if (v.kind == VectorKind::kSoftmax || v.kind == VectorKind::kReorder) {
+      continue;  // softmax traffic inside map_passes; no reorder on GPU
+    }
+    t.vector_s += 2.0 * static_cast<double>(v.elements) * 2.0 / bw;
+  }
+  return t;
+}
+
+double GpuRoofline::simulate_video_seconds(const ModelConfig& model) const {
+  return simulate_video_breakdown(model).total_s();
+}
+
+GpuStepTime GpuRoofline::simulate_video_breakdown(
+    const ModelConfig& model) const {
+  const Workload w = Workload::build(model, /*include_reorder=*/false);
+  GpuStepTime t = simulate_step(w);
+  const auto steps = static_cast<double>(model.sampling_steps);
+  t.linear_s *= steps;
+  t.attention_s *= steps;
+  t.vector_s *= steps;
+  return t;
+}
+
+}  // namespace paro

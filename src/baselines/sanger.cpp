@@ -1,0 +1,106 @@
+#include "baselines/sanger.hpp"
+
+#include "common/error.hpp"
+
+namespace paro {
+
+SangerAccelerator::SangerAccelerator(HwResources hw, SangerConfig config)
+    : hw_(std::move(hw)), cfg_(config) {
+  PARO_CHECK_MSG(cfg_.density > 0.0 && cfg_.density <= 1.0,
+                 "density must be in (0,1]");
+  PARO_CHECK_MSG(cfg_.pack_efficiency > 0.0 && cfg_.pack_efficiency <= 1.0,
+                 "pack efficiency must be in (0,1]");
+}
+
+std::vector<OpCost> SangerAccelerator::build_ops(const Workload& w) const {
+  std::vector<OpCost> ops;
+  const double lanes = hw_.vector_lanes;
+  const double fp16_rate = hw_.pe_macs_per_cycle * hw_.fp16_rate_factor;
+
+  for (const GemmOp& g : w.gemms) {
+    switch (g.kind) {
+      case GemmKind::kLinear: {
+        OpCost op;
+        op.phase = "linear";
+        op.compute_cycles = g.macs() / fp16_rate;
+        op.dram_bytes = 2.0 * g.stream_elements();
+        ops.push_back(op);
+        break;
+      }
+      case GemmKind::kQK: {
+        const auto n = static_cast<double>(g.m);
+        const auto dh = static_cast<double>(g.k);
+        const double kept = cfg_.density * n * n;
+
+        // 1) dense low-bit prediction pass
+        OpCost pred;
+        pred.phase = "attn-predict";
+        pred.compute_cycles =
+            n * n * dh / (hw_.pe_macs_per_cycle * cfg_.prediction_rate);
+        pred.vector_cycles = n * n / lanes;  // threshold + mask build
+        pred.dram_bytes = 2.0 * n * dh * 0.5   // 4-bit Q, K
+                          + n * n / 8.0;       // bitmask out
+        ops.push_back(pred);
+
+        // 2) sparse SDDMM (recompute kept logits at FP16), pack & split
+        OpCost score;
+        score.phase = "attn-score";
+        score.compute_cycles =
+            kept * dh / (fp16_rate * cfg_.pack_efficiency);
+        score.vector_cycles = 3.0 * kept / lanes;  // softmax over survivors
+        // packed sparse map (value + index) spilled to DRAM, plus inputs
+        score.dram_bytes =
+            2.0 * n * dh * 2.0   // Q, K FP16
+            + n * n / 8.0        // bitmask in
+            + kept * (2.0 + cfg_.index_bytes) /
+                  cfg_.storage_efficiency;  // packed map write (padded)
+        ops.push_back(score);
+        break;
+      }
+      case GemmKind::kAttnV: {
+        const auto n = static_cast<double>(g.m);
+        const auto dh = static_cast<double>(g.n);
+        const double kept = cfg_.density * n * n;
+        OpCost av;
+        av.phase = "attn-v";
+        av.compute_cycles =
+            kept * dh / (fp16_rate * cfg_.pack_efficiency);
+        av.dram_bytes = kept * (2.0 + cfg_.index_bytes) /
+                            cfg_.storage_efficiency      // map read back
+                        + n * dh * 2.0 * 2.0;            // V in, O out
+        ops.push_back(av);
+        break;
+      }
+    }
+  }
+
+  for (const VectorOp& v : w.vectors) {
+    if (v.kind == VectorKind::kSoftmax || v.kind == VectorKind::kReorder) {
+      continue;  // softmax folded into attn-score; Sanger has no reorder
+    }
+    const auto e = static_cast<double>(v.elements);
+    OpCost op;
+    op.phase = "vector";
+    op.vector_cycles =
+        (v.kind == VectorKind::kLayerNorm ? 3.0
+         : v.kind == VectorKind::kGelu    ? 2.0
+                                          : 1.0) *
+        e / lanes;
+    op.dram_bytes = 2.0 * e * 2.0;
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+SimStats SangerAccelerator::simulate_step(const Workload& workload) const {
+  return OverlapModel(hw_).run(build_ops(workload));
+}
+
+SimStats SangerAccelerator::simulate_video(const ModelConfig& model) const {
+  const Workload w = Workload::build(model, /*include_reorder=*/false);
+  SimStats stats = simulate_step(w);
+  stats.scale(static_cast<double>(model.sampling_steps));
+  return stats;
+}
+
+}  // namespace paro

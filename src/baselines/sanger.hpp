@@ -1,0 +1,48 @@
+// Performance model of Sanger (Lu et al., MICRO'21) under PARO's resource
+// budget (paper §V-A: baselines are simulated with the same cycle-level
+// methodology and hardware constraints).
+//
+// Sanger's pipeline per attention head:
+//   1. Prediction: dense QKᵀ in 4-bit to estimate scores (fast mode).
+//   2. Threshold → binary mask; "pack & split" load balancing.
+//   3. Sparse SDDMM: recompute surviving logits at full precision.
+//   4. Softmax over survivors; sparse AttnV.
+// Linear layers are untouched (FP16).  Crucially, at 17.8 k tokens the
+// packed sparse map (values + column indices) exceeds on-chip storage by
+// orders of magnitude and is materialised in DRAM between the score and
+// AttnV phases — the scaling wall PARO's fused low-bit flow removes.
+#pragma once
+
+#include "model/workload.hpp"
+#include "sim/overlap.hpp"
+#include "sim/resources.hpp"
+
+namespace paro {
+
+struct SangerConfig {
+  /// Surviving fraction of attention entries.  At video scale Sanger's
+  /// dynamic threshold must keep more than on 196-token ViTs to stay
+  /// quality-aligned with PARO (§V-A aligns all baselines on quality).
+  double density = 0.30;
+  double pack_efficiency = 0.70;  ///< PE utilisation after pack & split
+  double prediction_rate = 2.0;   ///< 4-bit prediction speedup vs 8-bit MACs
+  double index_bytes = 4.0;    ///< per packed entry (column index + bucket)
+  /// Storage utilisation of the pack-&-split bucket format: irregular
+  /// video-attention rows leave padding in the fixed-width buckets.
+  double storage_efficiency = 0.80;
+};
+
+class SangerAccelerator {
+ public:
+  SangerAccelerator(HwResources hw, SangerConfig config = {});
+
+  std::vector<OpCost> build_ops(const Workload& workload) const;
+  SimStats simulate_step(const Workload& workload) const;
+  SimStats simulate_video(const ModelConfig& model) const;
+
+ private:
+  HwResources hw_;
+  SangerConfig cfg_;
+};
+
+}  // namespace paro

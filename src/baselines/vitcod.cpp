@@ -1,0 +1,104 @@
+#include "baselines/vitcod.hpp"
+
+#include "common/error.hpp"
+
+namespace paro {
+
+VitcodAccelerator::VitcodAccelerator(HwResources hw, VitcodConfig config)
+    : hw_(std::move(hw)), cfg_(config) {
+  PARO_CHECK_MSG(cfg_.dense_col_fraction >= 0.0 &&
+                     cfg_.dense_col_fraction <= 1.0,
+                 "dense_col_fraction must be in [0,1]");
+  PARO_CHECK_MSG(cfg_.sparse_density >= 0.0 && cfg_.sparse_density <= 1.0,
+                 "sparse_density must be in [0,1]");
+  PARO_CHECK_MSG(cfg_.compression_ratio >= 1.0, "compression must be >= 1");
+}
+
+std::vector<OpCost> VitcodAccelerator::build_ops(const Workload& w) const {
+  std::vector<OpCost> ops;
+  const double lanes = hw_.vector_lanes;
+  const double fp16_rate = hw_.pe_macs_per_cycle * hw_.fp16_rate_factor;
+  const double kept_frac = cfg_.overall_density();
+
+  for (const GemmOp& g : w.gemms) {
+    switch (g.kind) {
+      case GemmKind::kLinear: {
+        OpCost op;
+        op.phase = "linear";
+        op.compute_cycles = g.macs() / fp16_rate;
+        op.dram_bytes = 2.0 * g.stream_elements();
+        ops.push_back(op);
+        break;
+      }
+      case GemmKind::kQK: {
+        const auto n = static_cast<double>(g.m);
+        const auto dh = static_cast<double>(g.k);
+        const double dense_macs = n * (cfg_.dense_col_fraction * n) * dh;
+        const double sparse_macs = cfg_.sparse_density *
+                                   (1.0 - cfg_.dense_col_fraction) * n * n *
+                                   dh;
+        const double kept = kept_frac * n * n;
+        OpCost op;
+        op.phase = "attn-score";
+        op.compute_cycles =
+            dense_macs / fp16_rate +
+            sparse_macs / (fp16_rate * cfg_.sparse_efficiency);
+        // softmax over kept entries + encoder pass before spilling
+        op.vector_cycles = (3.0 + 1.0) * kept / lanes;
+        op.dram_bytes = 2.0 * n * dh * 2.0  // Q, K FP16
+                        + kept * 2.0 / cfg_.compression_ratio;  // map write
+        ops.push_back(op);
+        break;
+      }
+      case GemmKind::kAttnV: {
+        const auto n = static_cast<double>(g.m);
+        const auto dh = static_cast<double>(g.n);
+        const double kept = kept_frac * n * n;
+        const double dense_macs = (cfg_.dense_col_fraction * n) * n * dh;
+        const double sparse_macs = cfg_.sparse_density *
+                                   (1.0 - cfg_.dense_col_fraction) * n * n *
+                                   dh;
+        OpCost op;
+        op.phase = "attn-v";
+        op.compute_cycles =
+            dense_macs / fp16_rate +
+            sparse_macs / (fp16_rate * cfg_.sparse_efficiency);
+        op.vector_cycles = kept / lanes;  // decoder pass
+        op.dram_bytes = kept * 2.0 / cfg_.compression_ratio  // map read
+                        + n * dh * 2.0 * 2.0;                // V in, O out
+        ops.push_back(op);
+        break;
+      }
+    }
+  }
+
+  for (const VectorOp& v : w.vectors) {
+    if (v.kind == VectorKind::kSoftmax || v.kind == VectorKind::kReorder) {
+      continue;
+    }
+    const auto e = static_cast<double>(v.elements);
+    OpCost op;
+    op.phase = "vector";
+    op.vector_cycles =
+        (v.kind == VectorKind::kLayerNorm ? 3.0
+         : v.kind == VectorKind::kGelu    ? 2.0
+                                          : 1.0) *
+        e / lanes;
+    op.dram_bytes = 2.0 * e * 2.0;
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+SimStats VitcodAccelerator::simulate_step(const Workload& workload) const {
+  return OverlapModel(hw_).run(build_ops(workload));
+}
+
+SimStats VitcodAccelerator::simulate_video(const ModelConfig& model) const {
+  const Workload w = Workload::build(model, /*include_reorder=*/false);
+  SimStats stats = simulate_step(w);
+  stats.scale(static_cast<double>(model.sampling_steps));
+  return stats;
+}
+
+}  // namespace paro

@@ -1,0 +1,68 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace paro {
+
+KeyValueConfig KeyValueConfig::from_args(int argc, const char* const* argv) {
+  KeyValueConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--benchmark", 0) == 0) {
+      continue;  // leave google-benchmark flags alone
+    }
+    const auto eq = token.find('=');
+    PARO_CHECK_MSG(eq != std::string::npos && eq > 0,
+                   "expected key=value argument: " + token);
+    config.set(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return config;
+}
+
+void KeyValueConfig::set(const std::string& key, const std::string& value) {
+  map_[key] = value;
+}
+
+bool KeyValueConfig::contains(const std::string& key) const {
+  return map_.count(key) != 0;
+}
+
+std::string KeyValueConfig::get_string(const std::string& key,
+                                       const std::string& fallback) const {
+  const auto it = map_.find(key);
+  return it == map_.end() ? fallback : it->second;
+}
+
+long KeyValueConfig::get_int(const std::string& key, long fallback) const {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(it->second.c_str(), &end, 10);
+  PARO_CHECK_MSG(end != nullptr && *end == '\0',
+                 "config key '" + key + "' is not an integer: " + it->second);
+  return value;
+}
+
+double KeyValueConfig::get_double(const std::string& key,
+                                  double fallback) const {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  PARO_CHECK_MSG(end != nullptr && *end == '\0',
+                 "config key '" + key + "' is not a number: " + it->second);
+  return value;
+}
+
+bool KeyValueConfig::get_bool(const std::string& key, bool fallback) const {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw ConfigError("config key '" + key + "' is not a boolean: " + v);
+}
+
+}  // namespace paro

@@ -1,0 +1,34 @@
+// Tiny key=value configuration store used by benches and examples to accept
+// command-line overrides (e.g. `bench_fig6a tokens=17776 blocks=42`).
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace paro {
+
+/// Parses `key=value` tokens and exposes typed getters with defaults.
+/// Unknown keys are kept (so callers can validate), malformed tokens throw.
+class KeyValueConfig {
+ public:
+  KeyValueConfig() = default;
+
+  /// Parse argv-style arguments, each of the form key=value.
+  static KeyValueConfig from_args(int argc, const char* const* argv);
+
+  void set(const std::string& key, const std::string& value);
+  bool contains(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  long get_int(const std::string& key, long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::map<std::string, std::string>& entries() const { return map_; }
+
+ private:
+  std::map<std::string, std::string> map_;
+};
+
+}  // namespace paro

@@ -1,0 +1,55 @@
+// Error handling primitives shared by every PARO module.
+//
+// The library throws `paro::Error` (an std::runtime_error subclass) for
+// recoverable misuse (bad shapes, bad configs) and uses PARO_CHECK for
+// internal invariants.  Following the C++ Core Guidelines (E.2, I.10) we
+// never signal errors through return codes in the public API.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace paro {
+
+/// Base exception for all errors raised by the PARO library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a tensor / matrix shape does not match an operation.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a configuration value is out of its documented domain.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace paro
+
+/// Invariant check that throws paro::Error with source location on failure.
+/// Enabled in all build types: the simulator is a correctness tool and the
+/// cost of the checks is negligible next to the modelled workloads.
+#define PARO_CHECK(expr)                                                    \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::paro::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");   \
+    }                                                                       \
+  } while (false)
+
+/// Like PARO_CHECK but with a caller-supplied message appended.
+#define PARO_CHECK_MSG(expr, msg)                                           \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::paro::detail::throw_check_failure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                       \
+  } while (false)

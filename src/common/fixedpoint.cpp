@@ -1,0 +1,50 @@
+#include "common/fixedpoint.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace paro {
+
+int bit_length(std::uint32_t magnitude) {
+  int n = 0;
+  while (magnitude != 0) {
+    ++n;
+    magnitude >>= 1;
+  }
+  return n;
+}
+
+std::int32_t clamp_to_signed_bits(std::int64_t value, int bits) {
+  PARO_CHECK(bits >= 1 && bits <= 31);
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  if (value < lo) return static_cast<std::int32_t>(lo);
+  if (value > hi) return static_cast<std::int32_t>(hi);
+  return static_cast<std::int32_t>(value);
+}
+
+std::int32_t clamp_to_unsigned_bits(std::int64_t value, int bits) {
+  PARO_CHECK(bits >= 1 && bits <= 31);
+  const std::int64_t hi = (std::int64_t{1} << bits) - 1;
+  if (value < 0) return 0;
+  if (value > hi) return static_cast<std::int32_t>(hi);
+  return static_cast<std::int32_t>(value);
+}
+
+LdzCode ldz_truncate(std::int32_t value, int bits) {
+  PARO_CHECK_MSG(bits >= 1 && bits <= 8, "LDZ bits must be in [1,8]");
+  PARO_CHECK_MSG(value >= -255 && value <= 255,
+                 "LDZ operates on (at most) 8-bit magnitudes");
+  const bool negative = value < 0;
+  const std::uint32_t magnitude =
+      static_cast<std::uint32_t>(negative ? -value : value);
+  const int length = bit_length(magnitude);
+  LdzCode code;
+  code.shift = length > bits ? length - bits : 0;
+  std::int32_t mant = static_cast<std::int32_t>(magnitude >> code.shift);
+  code.mantissa = negative ? -mant : mant;
+  return code;
+}
+
+}  // namespace paro

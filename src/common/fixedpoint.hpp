@@ -1,0 +1,56 @@
+// Fixed-point helpers shared by the quantizers and the PE / LDZ models.
+//
+// The PARO leading-zero (LDZ) unit (paper §IV-B, Fig. 4a) compresses an
+// 8-bit operand of QK^T down to the bitwidth of the *output* attention-map
+// block: it finds the most significant valid bit (MSVB — the first 1 of a
+// positive value, the first 0 of a negative value in two's complement),
+// keeps the MSVB plus the following (b-1) magnitude bits, and records the
+// bit index so the product can be restored by a left shift.  This header
+// implements that transform in sign-magnitude form, which is arithmetically
+// identical and easier to verify:  v  ≈  sign(v) · (|v| >> shift) << shift.
+#pragma once
+
+#include <cstdint>
+
+namespace paro {
+
+/// Number of significant bits in `magnitude` (0 for 0).
+int bit_length(std::uint32_t magnitude);
+
+/// Clamp a wide integer into the signed b-bit range [-(2^(b-1)), 2^(b-1)-1].
+std::int32_t clamp_to_signed_bits(std::int64_t value, int bits);
+
+/// Clamp into the unsigned b-bit range [0, 2^b - 1].
+std::int32_t clamp_to_unsigned_bits(std::int64_t value, int bits);
+
+/// Result of LDZ truncation of an 8-bit operand to `bits` magnitude bits.
+///
+/// `mantissa` is a signed value whose magnitude fits in `bits` bits
+/// (|mantissa| <= 2^bits - 1); `shift` is the left-shift that restores the
+/// original scale.  Invariant: |mantissa << shift| <= |value| and the
+/// truncation error is < 2^shift.
+struct LdzCode {
+  std::int32_t mantissa = 0;
+  int shift = 0;
+};
+
+/// Truncate an 8-bit signed operand to `bits` significant magnitude bits.
+/// `bits` must be in {1, ..., 8}.  bits >= 8 (or small magnitudes) are
+/// returned exactly with shift 0.
+///
+/// Example from the paper: value 0b00011010 (26) at bits=2 →
+/// mantissa 0b11 (3), shift 3; restored product error 26-24 = 2 < 2^3.
+LdzCode ldz_truncate(std::int32_t value, int bits);
+
+/// Restore a product computed with a truncated operand: prod << shift.
+inline std::int64_t ldz_restore(std::int64_t product, int shift) {
+  return product << shift;
+}
+
+/// Convenience: the dequantized approximation ldz gives for `value`.
+inline std::int32_t ldz_approximate(std::int32_t value, int bits) {
+  const LdzCode code = ldz_truncate(value, bits);
+  return static_cast<std::int32_t>(ldz_restore(code.mantissa, code.shift));
+}
+
+}  // namespace paro

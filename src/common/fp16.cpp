@@ -1,0 +1,81 @@
+#include "common/fp16.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace paro {
+
+std::uint16_t float_to_fp16_bits(float value) {
+  const std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = (f >> 16) & 0x8000U;
+  const std::int32_t exponent =
+      static_cast<std::int32_t>((f >> 23) & 0xFFU) - 127 + 15;
+  std::uint32_t mantissa = f & 0x7FFFFFU;
+
+  if (((f >> 23) & 0xFFU) == 0xFFU) {
+    // Inf / NaN: preserve NaN-ness with a quiet mantissa bit.
+    return static_cast<std::uint16_t>(
+        sign | 0x7C00U | (mantissa != 0 ? 0x0200U : 0U));
+  }
+  if (exponent >= 0x1F) {
+    // Overflow → infinity.
+    return static_cast<std::uint16_t>(sign | 0x7C00U);
+  }
+  if (exponent <= 0) {
+    // Subnormal (or zero) result: shift the implicit leading 1 into the
+    // mantissa and round at the correct position.
+    if (exponent < -10) {
+      return static_cast<std::uint16_t>(sign);  // rounds to ±0
+    }
+    mantissa |= 0x800000U;  // implicit 1
+    const int shift = 14 - exponent;  // 14..24
+    const std::uint32_t kept = mantissa >> shift;
+    const std::uint32_t remainder = mantissa & ((1U << shift) - 1U);
+    const std::uint32_t half = 1U << (shift - 1);
+    std::uint32_t rounded = kept;
+    if (remainder > half || (remainder == half && (kept & 1U))) {
+      ++rounded;  // ties to even
+    }
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+  // Normal result: round 23-bit mantissa to 10 bits, ties to even.
+  const std::uint32_t kept = mantissa >> 13;
+  const std::uint32_t remainder = mantissa & 0x1FFFU;
+  std::uint32_t bits = (static_cast<std::uint32_t>(exponent) << 10) | kept;
+  if (remainder > 0x1000U || (remainder == 0x1000U && (kept & 1U))) {
+    ++bits;  // may carry into the exponent — that is correct rounding
+  }
+  return static_cast<std::uint16_t>(sign | bits);
+}
+
+float fp16_bits_to_float(std::uint16_t bits) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(bits) & 0x8000U)
+                             << 16;
+  const std::uint32_t exponent = (bits >> 10) & 0x1FU;
+  const std::uint32_t mantissa = bits & 0x3FFU;
+
+  std::uint32_t f;
+  if (exponent == 0x1F) {
+    f = sign | 0x7F800000U | (mantissa << 13);  // Inf / NaN
+  } else if (exponent == 0) {
+    if (mantissa == 0) {
+      f = sign;  // ±0
+    } else {
+      // Subnormal: normalise.
+      int e = -1;
+      std::uint32_t m = mantissa;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400U) == 0);
+      const std::uint32_t exp32 =
+          static_cast<std::uint32_t>(127 - 15 - e);
+      f = sign | (exp32 << 23) | ((m & 0x3FFU) << 13);
+    }
+  } else {
+    f = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  return std::bit_cast<float>(f);
+}
+
+}  // namespace paro

@@ -1,0 +1,35 @@
+// IEEE 754 binary16 emulation.
+//
+// PARO's vector unit and quantization scales are FP16 (paper §IV-A: "the
+// quantization scales ... are in FP16 format ... the vector unit converts
+// these results to FP16").  The simulator mostly works in float, but the
+// places where FP16 rounding is visible to the algorithm (scale storage,
+// vector-unit outputs) can opt into bit-exact binary16 via this header.
+//
+// Conversion implements round-to-nearest-even, gradual underflow
+// (subnormals), and Inf/NaN propagation — pinned down by the test suite.
+#pragma once
+
+#include <cstdint>
+
+namespace paro {
+
+/// Bit-exact float → binary16 bits (round-to-nearest-even).
+std::uint16_t float_to_fp16_bits(float value);
+
+/// binary16 bits → float (exact).
+float fp16_bits_to_float(std::uint16_t bits);
+
+/// Round a float to the nearest representable binary16 value.
+inline float fp16_round(float value) {
+  return fp16_bits_to_float(float_to_fp16_bits(value));
+}
+
+/// Largest finite binary16 value (65504).
+inline constexpr float kFp16Max = 65504.0F;
+/// Smallest positive normal binary16 value (2^-14).
+inline constexpr float kFp16MinNormal = 6.103515625e-05F;
+/// Smallest positive subnormal binary16 value (2^-24).
+inline constexpr float kFp16MinSubnormal = 5.9604644775390625e-08F;
+
+}  // namespace paro

@@ -1,0 +1,45 @@
+// Minimal leveled logger.
+//
+// Benches and examples print their results through std::cout directly;
+// the logger is for diagnostics from inside the library (simulator phase
+// transitions, calibration progress) that a user may want to silence.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace paro {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold.  Messages below the threshold are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement:  PARO_LOG(kInfo) << "calibrated " << n;
+/// The temporary collects the message and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace paro
+
+#define PARO_LOG(level) ::paro::LogLine(::paro::LogLevel::level)

@@ -1,0 +1,61 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the repo (synthetic attention heads,
+// synthetic latents, noise injection in tests) draws from paro::Rng so that
+// experiments are reproducible from a single seed.  The generator is
+// xoshiro256++, seeded through splitmix64 per the reference implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace paro {
+
+/// xoshiro256++ PRNG with Gaussian / uniform helpers.
+///
+/// Not thread-safe; give each thread (or each synthetic head) its own
+/// instance, e.g. via `fork(stream_id)`.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).  Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box–Muller (cached second variate).
+  double normal();
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Deterministically derive an independent stream for `stream_id`.
+  Rng fork(std::uint64_t stream_id) const;
+
+  /// Fisher–Yates shuffle of `values`.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// splitmix64 step, exposed for seeding helpers and tests.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace paro

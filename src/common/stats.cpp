@@ -1,0 +1,152 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace paro {
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+RunningStats summarize(std::span<const float> values) {
+  RunningStats stats;
+  for (const float v : values) {
+    stats.add(v);
+  }
+  return stats;
+}
+
+double mse(std::span<const float> a, std::span<const float> b) {
+  PARO_CHECK(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+double rmse(std::span<const float> a, std::span<const float> b) {
+  return std::sqrt(mse(a, b));
+}
+
+double mae(std::span<const float> a, std::span<const float> b) {
+  PARO_CHECK(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+double cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  PARO_CHECK(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    na += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+    nb += static_cast<double>(b[i]) * static_cast<double>(b[i]);
+  }
+  if (na == 0.0 && nb == 0.0) return 1.0;
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double snr_db(std::span<const float> reference, std::span<const float> approx) {
+  PARO_CHECK(reference.size() == approx.size());
+  double signal = 0.0, noise = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double r = reference[i];
+    const double d = r - static_cast<double>(approx[i]);
+    signal += r * r;
+    noise += d * d;
+  }
+  if (noise == 0.0) return std::numeric_limits<double>::infinity();
+  if (signal == 0.0) return -std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(signal / noise);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  PARO_CHECK(hi > lo);
+  PARO_CHECK(bins > 0);
+}
+
+void Histogram::add(double value) {
+  const double t = (value - lo_) / (hi_ - lo_);
+  auto index = static_cast<std::ptrdiff_t>(
+      t * static_cast<double>(counts_.size()));
+  index = std::clamp<std::ptrdiff_t>(index, 0,
+                                     static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(index)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const float> values) {
+  for (const float v : values) {
+    add(v);
+  }
+}
+
+double Histogram::bin_lo(std::size_t index) const {
+  PARO_CHECK(index < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(index) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t index) const {
+  PARO_CHECK(index < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(index + 1) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::tail_fraction(double value) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t above = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (bin_lo(i) >= value) {
+      above += counts_[i];
+    }
+  }
+  return static_cast<double>(above) / static_cast<double>(total_);
+}
+
+}  // namespace paro

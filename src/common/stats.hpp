@@ -1,0 +1,78 @@
+// Streaming statistics helpers (mean / variance / min / max / histogram)
+// used by the quant-error analyses and the simulator's counters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace paro {
+
+/// Welford-style running summary of a scalar stream.
+class RunningStats {
+ public:
+  void add(double value);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a span in one pass.
+RunningStats summarize(std::span<const float> values);
+
+/// Mean squared error between two equally sized spans.
+double mse(std::span<const float> a, std::span<const float> b);
+
+/// Root mean squared error.
+double rmse(std::span<const float> a, std::span<const float> b);
+
+/// Mean absolute error.
+double mae(std::span<const float> a, std::span<const float> b);
+
+/// Cosine similarity; returns 1.0 when both are all-zero.
+double cosine_similarity(std::span<const float> a, std::span<const float> b);
+
+/// Signal-to-noise ratio in dB of `approx` against `reference`.
+/// Returns +inf when the error is exactly zero.
+double snr_db(std::span<const float> reference, std::span<const float> approx);
+
+/// Fixed-width histogram over [lo, hi]; out-of-range values clamp to the
+/// edge bins.  Used to characterise attention-map value distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(std::span<const float> values);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t bin(std::size_t index) const { return counts_.at(index); }
+  std::uint64_t total() const { return total_; }
+  double bin_lo(std::size_t index) const;
+  double bin_hi(std::size_t index) const;
+
+  /// Fraction of mass in bins at or above `value`.
+  double tail_fraction(double value) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace paro

@@ -1,0 +1,63 @@
+#include "energy/area_power.hpp"
+
+#include <cmath>
+
+namespace paro {
+
+namespace {
+double pe_scale(const HwResources& r) {
+  return r.pe_macs_per_cycle / Table2Reference::kRefPeMacs;
+}
+double vector_scale(const HwResources& r) {
+  return r.vector_lanes / Table2Reference::kRefVectorLanes;
+}
+double sram_area_scale(const HwResources& r) {
+  return std::pow(r.sram_bytes / Table2Reference::kRefSramBytes, 0.85);
+}
+double sram_power_scale(const HwResources& r) {
+  return std::pow(r.sram_bytes / Table2Reference::kRefSramBytes, 0.5);
+}
+
+std::string format_mb(double bytes) {
+  const double mb = bytes / (1024.0 * 1024.0);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f MB SRAM", mb);
+  return buf;
+}
+}  // namespace
+
+std::vector<ComponentSpec> area_power_breakdown(const HwResources& r) {
+  const double ps = pe_scale(r);
+  const double vs = vector_scale(r);
+  std::vector<ComponentSpec> rows;
+  rows.push_back({"PE Array", "mixed-precision PEs",
+                  Table2Reference::kPeArrayArea * ps,
+                  Table2Reference::kPeArrayPower * ps});
+  rows.push_back({"PE Array", "Leading Zero Unit",
+                  Table2Reference::kLdzArea * ps,
+                  Table2Reference::kLdzPower * ps});
+  rows.push_back({"PE Array", "Others (dispatch/ctrl)",
+                  Table2Reference::kPeOtherArea * ps,
+                  Table2Reference::kPeOtherPower * ps});
+  rows.push_back({"Vector Unit", "Exp/Div/Add/Mult/Acc.",
+                  Table2Reference::kVectorArea * vs,
+                  Table2Reference::kVectorPower * vs});
+  rows.push_back({"Buffer", format_mb(r.sram_bytes),
+                  Table2Reference::kBufferArea * sram_area_scale(r),
+                  Table2Reference::kBufferPower * sram_power_scale(r)});
+  return rows;
+}
+
+double total_area_mm2(const HwResources& r) {
+  double total = 0.0;
+  for (const auto& c : area_power_breakdown(r)) total += c.area_mm2;
+  return total;
+}
+
+double total_power_w(const HwResources& r) {
+  double total = 0.0;
+  for (const auto& c : area_power_breakdown(r)) total += c.power_w;
+  return total;
+}
+
+}  // namespace paro

@@ -1,0 +1,48 @@
+// Area / power model seeded with the paper's synthesis results
+// (Table II: TSMC 12 nm @ 1 GHz, Synopsys DC for logic, CACTI 7 for SRAM).
+//
+// The published per-component numbers are the reference point; other
+// configurations (e.g. PARO-align-A100) scale logic linearly with PE
+// count and SRAM super-linearly (CACTI-style capacity^0.85 for area,
+// capacity^0.5 for access-dominated power at fixed bandwidth share).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/resources.hpp"
+
+namespace paro {
+
+/// One row of the Table-II style breakdown.
+struct ComponentSpec {
+  std::string name;
+  std::string config;
+  double area_mm2 = 0.0;
+  double power_w = 0.0;
+};
+
+/// Reference constants (paper Table II).
+struct Table2Reference {
+  // PE array group
+  static constexpr double kPeArrayArea = 2.52, kPeArrayPower = 3.60;
+  static constexpr double kLdzArea = 0.65, kLdzPower = 0.78;
+  static constexpr double kPeOtherArea = 0.39, kPeOtherPower = 0.54;
+  // Vector unit (Exp/Div/Add/Mult/Acc)
+  static constexpr double kVectorArea = 2.79, kVectorPower = 4.55;
+  // 1.5 MB SRAM buffer
+  static constexpr double kBufferArea = 1.82, kBufferPower = 1.73;
+  static constexpr double kTotalArea = 8.17, kTotalPower = 11.20;
+
+  static constexpr double kRefPeMacs = 32.0 * 32.0 * 32.0;
+  static constexpr double kRefVectorLanes = 2048.0;
+  static constexpr double kRefSramBytes = 1.5 * 1024 * 1024;
+};
+
+/// Breakdown for an arbitrary resource configuration.
+std::vector<ComponentSpec> area_power_breakdown(const HwResources& resources);
+
+double total_area_mm2(const HwResources& resources);
+double total_power_w(const HwResources& resources);
+
+}  // namespace paro

@@ -1,0 +1,64 @@
+#include "energy/energy_model.hpp"
+
+#include "energy/area_power.hpp"
+
+namespace paro {
+
+EnergyReport estimate_energy(const SimStats& stats, const HwResources& hw,
+                             double effective_ops,
+                             const EnergyModelConfig& config) {
+  EnergyReport report;
+  report.seconds = stats.seconds(hw.freq_ghz);
+  const double total_s = report.seconds;
+  const double pe_busy_s = stats.pe_busy_cycles / (hw.freq_ghz * 1e9);
+  const double vec_busy_s = stats.vector_busy_cycles / (hw.freq_ghz * 1e9);
+  const double dyn = config.dynamic_fraction;
+  const double leak = 1.0 - config.dynamic_fraction;
+
+  const double pe_scale = hw.pe_macs_per_cycle / Table2Reference::kRefPeMacs;
+  const double vec_scale = hw.vector_lanes / Table2Reference::kRefVectorLanes;
+
+  const double pe_power =
+      (Table2Reference::kPeArrayPower + Table2Reference::kPeOtherPower) *
+      pe_scale;
+  const double ldz_power = Table2Reference::kLdzPower * pe_scale;
+  const double vec_power = Table2Reference::kVectorPower * vec_scale;
+  const double buf_power = total_power_w(hw) - pe_power - ldz_power -
+                           vec_power;  // buffer (already SRAM-scaled)
+
+  report.pe_j = dyn * pe_power * pe_busy_s;
+  // The LDZ units toggle with the QKᵀ portion of PE activity; charging
+  // them for all PE-busy time is a (slightly pessimistic) upper bound.
+  report.ldz_j = dyn * ldz_power * pe_busy_s;
+  report.vector_j = dyn * vec_power * vec_busy_s;
+  // Buffer banks are active whenever either engine is.
+  report.buffer_j = dyn * buf_power * (pe_busy_s + vec_busy_s) / 2.0;
+  report.leakage_j = leak * total_power_w(hw) * total_s;
+  report.dram_j = stats.dram_bytes * 8.0 * config.dram_pj_per_bit * 1e-12;
+
+  report.total_j = report.pe_j + report.ldz_j + report.vector_j +
+                   report.buffer_j + report.leakage_j;
+  double accounted = report.total_j;
+  if (config.count_dram_in_tops_w) {
+    accounted += report.dram_j;
+  }
+  report.total_j += report.dram_j;
+  if (accounted > 0.0) {
+    // TOPS/W = (ops/s) / W = ops / J.
+    report.effective_tops_per_watt = effective_ops / accounted / 1e12;
+  }
+  return report;
+}
+
+EnergyReport estimate_gpu_energy(double seconds, const GpuResources& gpu,
+                                 double effective_ops) {
+  EnergyReport report;
+  report.seconds = seconds;
+  report.total_j = gpu.avg_power_w * seconds;
+  if (report.total_j > 0.0) {
+    report.effective_tops_per_watt = effective_ops / report.total_j / 1e12;
+  }
+  return report;
+}
+
+}  // namespace paro

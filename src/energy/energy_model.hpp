@@ -1,0 +1,46 @@
+// Energy estimation from simulator statistics.
+//
+// Component energy = dynamic share × component power × busy time
+//                  + leakage share × component power × total time.
+// DRAM energy is charged per byte (DDR4-class 20 pJ/bit).  The paper's
+// TOPS/W numbers count the *useful* operations of the FP16 workload
+// (2 × MACs) against accelerator energy — the standard effective-ops
+// convention for sparsity/quantization accelerators.
+#pragma once
+
+#include "sim/overlap.hpp"
+#include "sim/resources.hpp"
+
+namespace paro {
+
+struct EnergyReport {
+  double pe_j = 0.0;
+  double ldz_j = 0.0;
+  double vector_j = 0.0;
+  double buffer_j = 0.0;
+  double dram_j = 0.0;
+  double leakage_j = 0.0;
+  double total_j = 0.0;
+  double seconds = 0.0;
+  double effective_tops_per_watt = 0.0;
+};
+
+struct EnergyModelConfig {
+  double dynamic_fraction = 0.8;   ///< of Table-II power when busy
+  double dram_pj_per_bit = 20.0;   ///< DDR4-class interface energy
+  /// When true, DRAM interface energy is included in TOPS/W — the
+  /// system-level (more conservative) accounting.
+  bool count_dram_in_tops_w = true;
+};
+
+/// Estimate energy for a simulated run.  `effective_ops` is the FP16-
+/// equivalent operation count of the workload (2 × MACs × steps).
+EnergyReport estimate_energy(const SimStats& stats, const HwResources& hw,
+                             double effective_ops,
+                             const EnergyModelConfig& config = {});
+
+/// GPU energy: measured average power × runtime.
+EnergyReport estimate_gpu_energy(double seconds, const GpuResources& gpu,
+                                 double effective_ops);
+
+}  // namespace paro

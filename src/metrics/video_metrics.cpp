@@ -1,0 +1,220 @@
+#include "metrics/video_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace paro {
+
+namespace {
+
+void check_video(const MatF& latent, const GridDims& grid) {
+  PARO_CHECK_MSG(latent.rows() == grid.tokens(),
+                 "latent rows do not match grid tokens");
+  PARO_CHECK_MSG(latent.cols() >= 1, "latent needs at least one channel");
+}
+
+}  // namespace
+
+MatF frame_features(const MatF& latent, const GridDims& grid,
+                    std::size_t feature_dim, std::uint64_t seed) {
+  check_video(latent, grid);
+  const std::size_t frame_tokens = grid.height * grid.width;
+  const std::size_t frame_elems = frame_tokens * latent.cols();
+  // Fixed Gaussian projection, scaled to keep feature variance O(1).
+  Rng rng(seed);
+  MatF proj(frame_elems, feature_dim);
+  const float s = 1.0F / std::sqrt(static_cast<float>(frame_elems));
+  for (float& v : proj.flat()) {
+    v = static_cast<float>(rng.normal()) * s;
+  }
+  MatF feats(grid.frames, feature_dim, 0.0F);
+  for (std::size_t f = 0; f < grid.frames; ++f) {
+    auto out = feats.row(f);
+    std::size_t e = 0;
+    for (std::size_t t = 0; t < frame_tokens; ++t) {
+      const auto token = latent.row(f * frame_tokens + t);
+      for (std::size_t c = 0; c < token.size(); ++c, ++e) {
+        const float x = token[c];
+        if (x == 0.0F) continue;
+        const auto prow = proj.row(e);
+        for (std::size_t d = 0; d < feature_dim; ++d) {
+          out[d] += x * prow[d];
+        }
+      }
+    }
+  }
+  return feats;
+}
+
+double fvd_proxy(const MatF& candidate, const MatF& reference,
+                 const GridDims& grid, std::size_t feature_dim) {
+  const MatF fa = frame_features(candidate, grid, feature_dim);
+  const MatF fb = frame_features(reference, grid, feature_dim);
+  // Diagonal-covariance Fréchet distance between the two frame-feature
+  // distributions: Σ_d (μa−μb)² + (σa−σb)².
+  double fvd = 0.0;
+  for (std::size_t d = 0; d < feature_dim; ++d) {
+    RunningStats sa, sb;
+    for (std::size_t f = 0; f < fa.rows(); ++f) sa.add(fa(f, d));
+    for (std::size_t f = 0; f < fb.rows(); ++f) sb.add(fb(f, d));
+    const double dm = sa.mean() - sb.mean();
+    const double ds = sa.stddev() - sb.stddev();
+    fvd += dm * dm + ds * ds;
+  }
+  return fvd / static_cast<double>(feature_dim);
+}
+
+double clipsim_proxy(const MatF& candidate, const MatF& reference,
+                     const GridDims& grid, std::size_t feature_dim) {
+  const MatF fa = frame_features(candidate, grid, feature_dim);
+  const MatF fb = frame_features(reference, grid, feature_dim);
+  double acc = 0.0;
+  for (std::size_t f = 0; f < fa.rows(); ++f) {
+    acc += cosine_similarity(fa.row(f), fb.row(f));
+  }
+  return acc / static_cast<double>(fa.rows());
+}
+
+double clip_temp_proxy(const MatF& candidate, const GridDims& grid,
+                       std::size_t feature_dim) {
+  const MatF feats = frame_features(candidate, grid, feature_dim);
+  if (feats.rows() < 2) return 1.0;
+  double acc = 0.0;
+  for (std::size_t f = 0; f + 1 < feats.rows(); ++f) {
+    acc += cosine_similarity(feats.row(f), feats.row(f + 1));
+  }
+  return acc / static_cast<double>(feats.rows() - 1);
+}
+
+double vqa_proxy(const MatF& candidate, const GridDims& grid) {
+  check_video(candidate, grid);
+  // Lag-1 spatial autocorrelation along the width axis, averaged over
+  // frames and channels.  Structured content is spatially coherent;
+  // quantization damage decorrelates neighbours.
+  const std::size_t channels = candidate.cols();
+  double num = 0.0, den = 0.0;
+  double mean = 0.0;
+  for (const float v : candidate.flat()) mean += v;
+  mean /= static_cast<double>(candidate.size());
+  for (std::size_t f = 0; f < grid.frames; ++f) {
+    for (std::size_t h = 0; h < grid.height; ++h) {
+      for (std::size_t w = 0; w + 1 < grid.width; ++w) {
+        const std::size_t t0 = (f * grid.height + h) * grid.width + w;
+        const auto a = candidate.row(t0);
+        const auto b = candidate.row(t0 + 1);
+        for (std::size_t c = 0; c < channels; ++c) {
+          num += (a[c] - mean) * (b[c] - mean);
+          den += (a[c] - mean) * (a[c] - mean);
+        }
+      }
+    }
+  }
+  const double corr = den > 0.0 ? num / den : 0.0;
+  return 100.0 * std::clamp(corr, 0.0, 1.0);
+}
+
+double flicker_score(const MatF& candidate, const GridDims& grid) {
+  check_video(candidate, grid);
+  if (grid.frames < 2) return 100.0;
+  const std::size_t frame_tokens = grid.height * grid.width;
+  const std::size_t channels = candidate.cols();
+  RunningStats all;
+  for (const float v : candidate.flat()) all.add(v);
+  const double sigma = std::max(all.stddev(), 1e-9);
+  double diff = 0.0;
+  std::size_t count = 0;
+  for (std::size_t f = 0; f + 1 < grid.frames; ++f) {
+    for (std::size_t t = 0; t < frame_tokens; ++t) {
+      const auto a = candidate.row(f * frame_tokens + t);
+      const auto b = candidate.row((f + 1) * frame_tokens + t);
+      for (std::size_t c = 0; c < channels; ++c) {
+        diff += std::abs(static_cast<double>(a[c]) - b[c]);
+        ++count;
+      }
+    }
+  }
+  const double norm = diff / (static_cast<double>(count) * 2.0 * sigma);
+  return 100.0 * std::clamp(1.0 - norm, 0.0, 1.0);
+}
+
+double video_psnr_db(const MatF& candidate, const MatF& reference,
+                     const GridDims& grid) {
+  check_video(candidate, grid);
+  check_video(reference, grid);
+  PARO_CHECK_MSG(candidate.cols() == reference.cols(),
+                 "channel count mismatch");
+  const RunningStats ref_stats = summarize(reference.flat());
+  const double peak = std::max(ref_stats.max() - ref_stats.min(), 1e-12);
+  const double err = mse(candidate.flat(), reference.flat());
+  if (err == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(peak * peak / err);
+}
+
+std::vector<double> per_frame_psnr_db(const MatF& candidate,
+                                      const MatF& reference,
+                                      const GridDims& grid) {
+  check_video(candidate, grid);
+  check_video(reference, grid);
+  const RunningStats ref_stats = summarize(reference.flat());
+  const double peak = std::max(ref_stats.max() - ref_stats.min(), 1e-12);
+  const std::size_t frame_tokens = grid.height * grid.width;
+  const std::size_t channels = candidate.cols();
+  std::vector<double> psnr(grid.frames, 0.0);
+  for (std::size_t f = 0; f < grid.frames; ++f) {
+    double err = 0.0;
+    for (std::size_t t = 0; t < frame_tokens; ++t) {
+      const auto a = candidate.row(f * frame_tokens + t);
+      const auto b = reference.row(f * frame_tokens + t);
+      for (std::size_t c = 0; c < channels; ++c) {
+        const double d = static_cast<double>(a[c]) - b[c];
+        err += d * d;
+      }
+    }
+    err /= static_cast<double>(frame_tokens * channels);
+    psnr[f] = err == 0.0 ? std::numeric_limits<double>::infinity()
+                         : 10.0 * std::log10(peak * peak / err);
+  }
+  return psnr;
+}
+
+double motion_smoothness(const MatF& candidate, const GridDims& grid) {
+  check_video(candidate, grid);
+  if (grid.frames < 3) return 100.0;
+  const std::size_t frame_tokens = grid.height * grid.width;
+  const std::size_t channels = candidate.cols();
+  double vel = 0.0, acc = 0.0;
+  for (std::size_t f = 0; f + 2 < grid.frames; ++f) {
+    for (std::size_t t = 0; t < frame_tokens; ++t) {
+      const auto a = candidate.row(f * frame_tokens + t);
+      const auto b = candidate.row((f + 1) * frame_tokens + t);
+      const auto c = candidate.row((f + 2) * frame_tokens + t);
+      for (std::size_t ch = 0; ch < channels; ++ch) {
+        const double v1 = static_cast<double>(b[ch]) - a[ch];
+        const double v2 = static_cast<double>(c[ch]) - b[ch];
+        vel += std::abs(v1) + std::abs(v2);
+        acc += std::abs(v2 - v1);
+      }
+    }
+  }
+  if (vel == 0.0) return 100.0;  // static clip: perfectly smooth
+  // acc/vel ∈ [0, 2]: 0 = uniform motion, 2 = direction flips each frame.
+  return 100.0 * std::clamp(1.0 - acc / vel, 0.0, 1.0);
+}
+
+VideoQuality evaluate_video(const MatF& candidate, const MatF& reference,
+                            const GridDims& grid) {
+  VideoQuality q;
+  q.fvd = fvd_proxy(candidate, reference, grid);
+  q.clipsim = clipsim_proxy(candidate, reference, grid);
+  q.clip_temp = clip_temp_proxy(candidate, grid);
+  q.vqa = vqa_proxy(candidate, grid);
+  q.flicker = flicker_score(candidate, grid);
+  return q;
+}
+
+}  // namespace paro

@@ -1,0 +1,79 @@
+// Proxy video-quality metrics (substitutes for FVD / CLIPSIM / CLIP-Temp /
+// VQA / Flicker, which require pretrained I3D/CLIP/DOVER networks; see
+// DESIGN.md §2).
+//
+// A generated "video" here is a latent tensor [tokens, channels] over a
+// frame-major token grid.  Frame features are fixed random projections of
+// each frame's latent (a seeded Gaussian feature extractor — the same role
+// I3D/CLIP embeddings play: a stable feature space in which to compare).
+//
+//   fvd_proxy       Fréchet distance between the frame-feature
+//                   distributions of candidate and reference (diagonal-
+//                   covariance Fréchet; reference = the FP16 output, so
+//                   FP16 scores 0 like Table I's "FVD-FP16").
+//   clipsim_proxy   mean per-frame feature cosine to the reference
+//                   (text-video alignment stand-in; FP16 scores 1).
+//   clip_temp_proxy mean adjacent-frame feature cosine within the
+//                   candidate (temporal consistency).
+//   vqa_proxy       100 × mean lag-1 spatial autocorrelation: structured
+//                   content scores high, quantization noise scores low.
+//   flicker_score   100 × (1 − normalised mean temporal difference):
+//                   higher = less flicker.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/config.hpp"
+#include "tensor/matrix.hpp"
+
+namespace paro {
+
+/// Random-projection features of each frame: [frames, feature_dim].
+/// The projection matrix is a fixed function of `seed` so every method is
+/// embedded identically.
+MatF frame_features(const MatF& latent, const GridDims& grid,
+                    std::size_t feature_dim = 64,
+                    std::uint64_t seed = 0xfeedbeef);
+
+double fvd_proxy(const MatF& candidate, const MatF& reference,
+                 const GridDims& grid, std::size_t feature_dim = 64);
+
+double clipsim_proxy(const MatF& candidate, const MatF& reference,
+                     const GridDims& grid, std::size_t feature_dim = 64);
+
+double clip_temp_proxy(const MatF& candidate, const GridDims& grid,
+                       std::size_t feature_dim = 64);
+
+double vqa_proxy(const MatF& candidate, const GridDims& grid);
+
+double flicker_score(const MatF& candidate, const GridDims& grid);
+
+/// All five in one struct (one Table-I row).
+struct VideoQuality {
+  double fvd = 0.0;
+  double clipsim = 0.0;
+  double clip_temp = 0.0;
+  double vqa = 0.0;
+  double flicker = 0.0;
+};
+VideoQuality evaluate_video(const MatF& candidate, const MatF& reference,
+                            const GridDims& grid);
+
+/// PSNR (dB) of the candidate against the reference, with the signal peak
+/// taken from the reference's dynamic range.  +inf for an exact match.
+double video_psnr_db(const MatF& candidate, const MatF& reference,
+                     const GridDims& grid);
+
+/// Per-frame PSNR series — localises where in the clip quantization
+/// damage concentrates (early frames inherit more sampling error).
+std::vector<double> per_frame_psnr_db(const MatF& candidate,
+                                      const MatF& reference,
+                                      const GridDims& grid);
+
+/// Motion smoothness in [0, 100]: penalises the *acceleration* of the
+/// latent (second temporal difference) relative to its velocity (first
+/// difference).  Natural motion is smooth; quantization noise is jerky.
+double motion_smoothness(const MatF& candidate, const GridDims& grid);
+
+}  // namespace paro

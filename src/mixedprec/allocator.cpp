@@ -1,0 +1,266 @@
+#include "mixedprec/allocator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace paro {
+
+namespace {
+
+double total_weight(const SensitivityTable& table) {
+  double w = 0.0;
+  for (const auto& e : table) {
+    w += static_cast<double>(e.count);
+  }
+  return w;
+}
+
+Allocation finalize(const SensitivityTable& table, std::vector<int> bits) {
+  Allocation out;
+  out.bits = std::move(bits);
+  double weighted_bits = 0.0;
+  double weights = 0.0;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const auto w = static_cast<double>(table[i].count);
+    out.total_sensitivity += table[i].s[static_cast<std::size_t>(
+        bit_choice_index(out.bits[i]))];
+    weighted_bits += w * out.bits[i];
+    weights += w;
+  }
+  out.average_bitwidth = weights == 0.0 ? 0.0 : weighted_bits / weights;
+  return out;
+}
+
+std::size_t gcd_counts(const SensitivityTable& table) {
+  std::size_t g = 0;
+  for (const auto& e : table) {
+    g = std::gcd(g, e.count);
+  }
+  return g == 0 ? 1 : g;
+}
+
+}  // namespace
+
+Allocation allocate_dp_exact(const SensitivityTable& table, double budget_bits,
+                             std::size_t max_states) {
+  PARO_CHECK_MSG(!table.empty(), "empty sensitivity table");
+  PARO_CHECK_MSG(budget_bits >= 0.0, "negative budget");
+  const std::size_t n = table.size();
+  const std::size_t g = gcd_counts(table);
+  // Weighted capacity in 2-bit units of the reduced weights.
+  const double total = total_weight(table);
+  const auto capacity = static_cast<std::size_t>(
+      std::floor(budget_bits * total / (2.0 * static_cast<double>(g))));
+  PARO_CHECK_MSG(n * (capacity + 1) <= max_states,
+                 "DP lattice too large; use allocate_lagrangian");
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best(capacity + 1, kInf);
+  // choice[i * (capacity+1) + c] = bit-choice index taken at block i with
+  // c units already consumed *after* choosing.
+  std::vector<std::uint8_t> choice(n * (capacity + 1), 0xFF);
+  best[0] = 0.0;
+  std::vector<double> next(capacity + 1, kInf);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::fill(next.begin(), next.end(), kInf);
+    const std::size_t w = table[i].count / g;
+    for (std::size_t c = 0; c <= capacity; ++c) {
+      if (best[c] == kInf) continue;
+      for (int bi = 0; bi < kNumBitChoices; ++bi) {
+        const std::size_t units = w * static_cast<std::size_t>(kBitChoices[bi]) / 2;
+        const std::size_t c2 = c + units;
+        if (c2 > capacity) continue;
+        const double v = best[c] + table[i].s[bi];
+        if (v < next[c2]) {
+          next[c2] = v;
+          choice[i * (capacity + 1) + c2] = static_cast<std::uint8_t>(bi);
+        }
+      }
+    }
+    best.swap(next);
+  }
+  // Find the best terminal state and backtrack.
+  std::size_t best_c = 0;
+  double best_v = kInf;
+  for (std::size_t c = 0; c <= capacity; ++c) {
+    if (best[c] < best_v) {
+      best_v = best[c];
+      best_c = c;
+    }
+  }
+  PARO_CHECK_MSG(best_v != kInf, "infeasible budget");
+  std::vector<int> bits(n, 0);
+  std::size_t c = best_c;
+  for (std::size_t i = n; i-- > 0;) {
+    const std::uint8_t bi = choice[i * (capacity + 1) + c];
+    PARO_CHECK(bi != 0xFF);
+    bits[i] = kBitChoices[bi];
+    const std::size_t w = table[i].count / g;
+    c -= w * static_cast<std::size_t>(bits[i]) / 2;
+  }
+  return finalize(table, std::move(bits));
+}
+
+namespace {
+
+/// Per-block argmin of S_{i,b} + λ·w_i·b; ties broken toward more bits.
+int lagrangian_pick(const SensitivityEntry& e, double lambda) {
+  int best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int bi = 0; bi < kNumBitChoices; ++bi) {
+    const double cost =
+        e.s[bi] + lambda * static_cast<double>(e.count) * kBitChoices[bi];
+    if (cost < best_cost || (cost == best_cost && kBitChoices[bi] > best)) {
+      best_cost = cost;
+      best = kBitChoices[bi];
+    }
+  }
+  return best;
+}
+
+double bits_used(const SensitivityTable& table, const std::vector<int>& bits) {
+  double used = 0.0;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    used += static_cast<double>(table[i].count) * bits[i];
+  }
+  return used;
+}
+
+}  // namespace
+
+Allocation allocate_lagrangian(const SensitivityTable& table,
+                               double budget_bits, int iterations) {
+  PARO_CHECK_MSG(!table.empty(), "empty sensitivity table");
+  const double capacity = budget_bits * total_weight(table);
+  const std::size_t n = table.size();
+
+  auto solve = [&](double lambda) {
+    std::vector<int> bits(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      bits[i] = lagrangian_pick(table[i], lambda);
+    }
+    return bits;
+  };
+
+  std::vector<int> bits = solve(0.0);
+  if (bits_used(table, bits) <= capacity) {
+    return finalize(table, std::move(bits));
+  }
+  // Grow λ until feasible, then bisect.
+  double lo = 0.0, hi = 1e-12;
+  while (bits_used(table, solve(hi)) > capacity) {
+    hi *= 2.0;
+    PARO_CHECK_MSG(hi < 1e30, "Lagrangian bit price diverged");
+  }
+  std::vector<int> best_feasible = solve(hi);
+  for (int it = 0; it < iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    std::vector<int> cand = solve(mid);
+    if (bits_used(table, cand) <= capacity) {
+      best_feasible = std::move(cand);
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  // Fill remaining slack with the most valuable upgrades.
+  bits = std::move(best_feasible);
+  double used = bits_used(table, bits);
+  struct Upgrade {
+    double gain_per_bit;  // sensitivity decrease per weighted bit added
+    std::size_t block;
+  };
+  auto next_upgrade = [&](std::size_t i) -> Upgrade {
+    const int bi = bit_choice_index(bits[i]);
+    if (bi + 1 >= kNumBitChoices) return {-1.0, i};
+    const double dbits = static_cast<double>(table[i].count) *
+                         (kBitChoices[bi + 1] - kBitChoices[bi]);
+    const double gain = table[i].s[bi] - table[i].s[bi + 1];
+    if (gain <= 0.0) return {-1.0, i};
+    return {gain / dbits, i};
+  };
+  std::priority_queue<std::pair<double, std::size_t>> heap;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Upgrade u = next_upgrade(i);
+    if (u.gain_per_bit > 0.0) heap.push({u.gain_per_bit, i});
+  }
+  while (!heap.empty()) {
+    const auto [key, i] = heap.top();
+    heap.pop();
+    const Upgrade u = next_upgrade(i);
+    if (u.gain_per_bit <= 0.0) continue;
+    if (u.gain_per_bit != key) {  // stale entry: refresh
+      heap.push({u.gain_per_bit, i});
+      continue;
+    }
+    const int bi = bit_choice_index(bits[i]);
+    const double dbits = static_cast<double>(table[i].count) *
+                         (kBitChoices[bi + 1] - kBitChoices[bi]);
+    if (used + dbits > capacity) continue;  // does not fit; try others
+    bits[i] = kBitChoices[bi + 1];
+    used += dbits;
+    const Upgrade nu = next_upgrade(i);
+    if (nu.gain_per_bit > 0.0) heap.push({nu.gain_per_bit, i});
+  }
+  return finalize(table, std::move(bits));
+}
+
+Allocation allocate_greedy(const SensitivityTable& table, double budget_bits) {
+  PARO_CHECK_MSG(!table.empty(), "empty sensitivity table");
+  const double capacity = budget_bits * total_weight(table);
+  const std::size_t n = table.size();
+  std::vector<int> bits(n, 8);
+  double used = bits_used(table, bits);
+
+  // Marginal cost of downgrading block i one level: ΔS per weighted bit
+  // freed.  Negative costs (downgrade *helps*) are applied eagerly.
+  auto next_downgrade_cost = [&](std::size_t i) -> double {
+    const int bi = bit_choice_index(bits[i]);
+    if (bi == 0) return std::numeric_limits<double>::infinity();
+    const double dbits = static_cast<double>(table[i].count) *
+                         (kBitChoices[bi] - kBitChoices[bi - 1]);
+    return (table[i].s[bi - 1] - table[i].s[bi]) / dbits;
+  };
+
+  using Entry = std::pair<double, std::size_t>;  // (cost, block)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = next_downgrade_cost(i);
+    if (std::isfinite(c)) heap.push({c, i});
+  }
+  while (used > capacity) {
+    PARO_CHECK_MSG(!heap.empty(), "infeasible budget");
+    const auto [key, i] = heap.top();
+    heap.pop();
+    const double fresh = next_downgrade_cost(i);
+    if (!std::isfinite(fresh)) continue;
+    if (fresh != key) {
+      heap.push({fresh, i});
+      continue;
+    }
+    const int bi = bit_choice_index(bits[i]);
+    used -= static_cast<double>(table[i].count) *
+            (kBitChoices[bi] - kBitChoices[bi - 1]);
+    bits[i] = kBitChoices[bi - 1];
+    const double c = next_downgrade_cost(i);
+    if (std::isfinite(c)) heap.push({c, i});
+  }
+  return finalize(table, std::move(bits));
+}
+
+BitTable make_bittable(const BlockGrid& grid, const std::vector<int>& bits) {
+  PARO_CHECK_MSG(bits.size() == grid.num_blocks(),
+                 "bits vector does not match grid");
+  BitTable table(grid, 8);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    table.set_bits_flat(i, bits[i]);
+  }
+  return table;
+}
+
+}  // namespace paro

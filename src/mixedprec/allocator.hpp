@@ -1,0 +1,53 @@
+// Mixed-precision bitwidth allocation (paper Eq. 1).
+//
+//   argmin_{c}  Σ_i Σ_b c_{i,b} · S_{i,b}
+//   s.t.        Σ_b c_{i,b} = 1  ∀i,     Σ_i Σ_b c_{i,b} · b ≤ B · N,
+//               b ∈ {0, 2, 4, 8}
+//
+// Three solvers are provided:
+//   * allocate_dp_exact   — exact 0/1 integer program via dynamic
+//                           programming over the (block, budget) lattice;
+//                           reference solver, O(N · budget) time.
+//   * allocate_lagrangian — Lagrangian relaxation with bisection on the
+//                           bit-price λ; near-optimal, O(N log(1/ε)).
+//   * allocate_greedy     — marginal-cost downgrading from 8 bits;
+//                           the fast online heuristic.
+// Ragged edge tiles are handled by weighting each block's bits with its
+// element count, which reduces to the paper's uniform count when N_token
+// divides the block size.
+#pragma once
+
+#include <vector>
+
+#include "mixedprec/sensitivity.hpp"
+#include "quant/bittable.hpp"
+
+namespace paro {
+
+/// Outcome of an allocation.
+struct Allocation {
+  std::vector<int> bits;        ///< chosen bitwidth per block (flat order)
+  double total_sensitivity = 0.0;
+  double average_bitwidth = 0.0;  ///< element-weighted
+};
+
+/// Exact solver (dynamic programming).  Intended for tests and small
+/// calibration problems; throws if the budget lattice would exceed
+/// `max_states` (default 64M states).
+Allocation allocate_dp_exact(const SensitivityTable& table,
+                             double budget_bits,
+                             std::size_t max_states = std::size_t{1} << 26);
+
+/// Lagrangian-relaxation solver with bisection on λ.
+Allocation allocate_lagrangian(const SensitivityTable& table,
+                               double budget_bits, int iterations = 64);
+
+/// Greedy marginal-cost solver: start at 8 bits everywhere and repeatedly
+/// take the cheapest (ΔS per bit removed) downgrade until within budget.
+Allocation allocate_greedy(const SensitivityTable& table, double budget_bits);
+
+/// Wrap a flat bits vector into a BitTable over `grid` (row-major order,
+/// matching collect_block_stats).
+BitTable make_bittable(const BlockGrid& grid, const std::vector<int>& bits);
+
+}  // namespace paro

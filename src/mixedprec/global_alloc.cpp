@@ -1,0 +1,40 @@
+#include "mixedprec/global_alloc.hpp"
+
+#include "common/error.hpp"
+#include "mixedprec/sensitivity.hpp"
+
+namespace paro {
+
+GlobalAllocation allocate_global(const std::vector<HeadBlockStats>& heads,
+                                 double budget_bits, double alpha) {
+  PARO_CHECK_MSG(!heads.empty(), "no heads to allocate");
+  // Concatenate every head's per-tile sensitivities into one problem.
+  SensitivityTable merged;
+  std::vector<std::size_t> offsets;
+  offsets.reserve(heads.size());
+  for (const HeadBlockStats& h : heads) {
+    PARO_CHECK_MSG(h.stats.size() == h.grid.num_blocks(),
+                   "stats do not match the head's grid");
+    offsets.push_back(merged.size());
+    const SensitivityTable part = compute_sensitivity(h.stats, alpha);
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+
+  const Allocation alloc = allocate_lagrangian(merged, budget_bits);
+
+  GlobalAllocation out;
+  out.average_bitwidth = alloc.average_bitwidth;
+  out.total_sensitivity = alloc.total_sensitivity;
+  out.tables.reserve(heads.size());
+  for (std::size_t h = 0; h < heads.size(); ++h) {
+    BitTable table(heads[h].grid, 8);
+    const std::size_t base = offsets[h];
+    for (std::size_t i = 0; i < heads[h].grid.num_blocks(); ++i) {
+      table.set_bits_flat(i, alloc.bits[base + i]);
+    }
+    out.tables.push_back(std::move(table));
+  }
+  return out;
+}
+
+}  // namespace paro

@@ -1,0 +1,41 @@
+// Model-wide mixed-precision allocation (paper Eq. 1 — N there is "the
+// number of blocks in the MODEL", i.e. one budget shared by every head of
+// every layer, not a per-head budget).
+//
+// Sharing the budget lets the allocator move bits from easy heads (broad,
+// low-contrast maps) to hard ones (sharp diagonals + sinks), which is
+// where mixed precision earns its keep over uniform INT4.  The per-head
+// allocation in attention/pipeline.hpp is the special case of a
+// one-entry table.
+#pragma once
+
+#include <vector>
+
+#include "mixedprec/allocator.hpp"
+#include "quant/bittable.hpp"
+
+namespace paro {
+
+/// Identifies one attention head's block statistics inside the model-wide
+/// problem.
+struct HeadBlockStats {
+  std::size_t layer = 0;
+  std::size_t head = 0;
+  BlockGrid grid{1, 1, 1};             ///< tile geometry of this head's map
+  std::vector<BlockQuantStats> stats;  ///< per-tile stats (row-major)
+};
+
+/// Result: one BitTable per submitted head, in submission order, plus the
+/// aggregate outcome.
+struct GlobalAllocation {
+  std::vector<BitTable> tables;
+  double average_bitwidth = 0.0;  ///< element-weighted over the whole model
+  double total_sensitivity = 0.0;
+};
+
+/// Solve Eq. 1 across all heads with a single average-bitwidth budget.
+/// `alpha` blends importance and difficulty as in compute_sensitivity.
+GlobalAllocation allocate_global(const std::vector<HeadBlockStats>& heads,
+                                 double budget_bits, double alpha = 0.5);
+
+}  // namespace paro

@@ -1,0 +1,35 @@
+#include "mixedprec/sensitivity.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace paro {
+
+namespace {
+/// pow with the convention 0^0 = 1 and a floor to keep scores finite.
+double safe_pow(double base, double exponent) {
+  if (exponent == 0.0) return 1.0;
+  if (base <= 0.0) return 0.0;
+  return std::pow(base, exponent);
+}
+}  // namespace
+
+SensitivityTable compute_sensitivity(const std::vector<BlockQuantStats>& stats,
+                                     double alpha) {
+  PARO_CHECK_MSG(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0,1]");
+  SensitivityTable table;
+  table.reserve(stats.size());
+  for (const BlockQuantStats& block : stats) {
+    SensitivityEntry entry;
+    entry.count = block.count;
+    const double importance = safe_pow(block.value_sum, alpha);
+    for (int bi = 0; bi < kNumBitChoices; ++bi) {
+      entry.s[bi] = importance * safe_pow(block.error_l2[bi], 1.0 - alpha);
+    }
+    table.push_back(entry);
+  }
+  return table;
+}
+
+}  // namespace paro

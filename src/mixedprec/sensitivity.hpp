@@ -1,0 +1,35 @@
+// Importance-guided quantization sensitivity (paper §III-B).
+//
+// For each attention-map block with values x ∈ R^G and candidate bitwidth b:
+//
+//   S_{i,b} = (Σ x)^α · ‖x − x_q(b)‖^(1−α)
+//
+// "Block importance" (Σ x — attention mass routed through the block) and
+// "quantization difficulty" (the L2 error a b-bit quantizer achieves on the
+// block) are blended by hyper-parameter α ∈ [0, 1].
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "quant/blockwise.hpp"
+
+namespace paro {
+
+/// S_{i,b} for every block i and every b in kBitChoices, plus the block's
+/// element count (the budget weight).
+struct SensitivityEntry {
+  std::array<double, kNumBitChoices> s{};  ///< indexed via bit_choice_index
+  std::size_t count = 0;
+};
+
+using SensitivityTable = std::vector<SensitivityEntry>;
+
+/// Compute the table from per-block stats.  `alpha` defaults to the
+/// balanced setting 0.5.  Importance and difficulty are exponentiated per
+/// the paper's formula; a zero base with a zero exponent is defined as 1
+/// (so α = 1 ignores difficulty entirely and vice versa).
+SensitivityTable compute_sensitivity(const std::vector<BlockQuantStats>& stats,
+                                     double alpha = 0.5);
+
+}  // namespace paro

@@ -1,0 +1,34 @@
+#include "model/config.hpp"
+
+namespace paro {
+
+ModelConfig ModelConfig::cogvideox_5b() {
+  ModelConfig c;
+  c.name = "CogVideoX-5B";
+  c.blocks = 42;
+  c.hidden = 3072;
+  c.heads = 48;
+  return c;
+}
+
+ModelConfig ModelConfig::cogvideox_2b() {
+  ModelConfig c;
+  c.name = "CogVideoX-2B";
+  c.blocks = 30;
+  c.hidden = 1920;
+  c.heads = 30;
+  return c;
+}
+
+double ModelConfig::attention_map_bytes_per_head_fp16() const {
+  const double n = static_cast<double>(tokens());
+  return n * n * 2.0;
+}
+
+double ModelConfig::attention_map_bytes_per_block_fp16() const {
+  // Logits + softmax scores, all heads of the block.
+  return 2.0 * static_cast<double>(heads) *
+         attention_map_bytes_per_head_fp16();
+}
+
+}  // namespace paro

@@ -1,0 +1,49 @@
+// CogVideoX model configurations (paper §II-A, §V-A).
+//
+// CogVideoX generates 49-frame 480×640 videos.  The 3D-VAE compresses
+// 4× temporally and 8× spatially, and the DiT patchifies 2×2, giving a
+// latent token grid of 13 × 30 × 45 = 17 550 video tokens; with the 226
+// text tokens the attention sequence length is 17 776 ("17.8k").
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace paro {
+
+/// Dimensions of the latent token grid (video tokens only).
+struct GridDims {
+  std::size_t frames = 13;
+  std::size_t height = 30;
+  std::size_t width = 45;
+  std::size_t tokens() const { return frames * height * width; }
+};
+
+/// A transformer stack configuration.
+struct ModelConfig {
+  std::string name;
+  std::size_t blocks = 42;       ///< transformer blocks
+  std::size_t hidden = 3072;     ///< model dimension d
+  std::size_t heads = 48;        ///< attention heads (head_dim = hidden/heads)
+  std::size_t ffn_mult = 4;      ///< FFN expansion
+  GridDims grid;                 ///< latent video token grid
+  std::size_t text_tokens = 226; ///< prepended conditioning tokens
+  std::size_t sampling_steps = 50;  ///< DDIM steps for one video
+
+  std::size_t tokens() const { return grid.tokens() + text_tokens; }
+  std::size_t head_dim() const { return hidden / heads; }
+
+  /// CogVideoX-5B: 42 blocks, hidden 3072, 48 heads.
+  static ModelConfig cogvideox_5b();
+  /// CogVideoX-2B: 30 blocks, hidden 1920, 30 heads.
+  static ModelConfig cogvideox_2b();
+
+  /// FP16 bytes of one head's attention map (logits or scores).
+  double attention_map_bytes_per_head_fp16() const;
+  /// FP16 bytes of all attention maps of ONE transformer block, counting
+  /// both the QKᵀ logits and the softmax scores that must be materialised
+  /// without fusion — the paper's "56.50 GB per block" motivation number.
+  double attention_map_bytes_per_block_fp16() const;
+};
+
+}  // namespace paro

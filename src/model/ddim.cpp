@@ -1,0 +1,68 @@
+#include "model/ddim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace paro {
+
+double alpha_bar(double s) {
+  const double t = (s + 0.008) / 1.008 * (M_PI / 2.0);
+  const double c = std::cos(t);
+  return c * c;
+}
+
+std::vector<double> ddim_timesteps(int steps) {
+  PARO_CHECK_MSG(steps >= 1, "need at least one step");
+  std::vector<double> ts(static_cast<std::size_t>(steps));
+  // Start slightly below s = 1: ᾱ(1) = 0 would make the x₀ estimate
+  // singular (standard samplers use the same guard).
+  constexpr double kStart = 0.98;
+  for (int i = 0; i < steps; ++i) {
+    ts[static_cast<std::size_t>(i)] =
+        kStart * static_cast<double>(steps - i) / static_cast<double>(steps);
+  }
+  return ts;
+}
+
+MatF ddim_sample(const SyntheticDiT& dit, const SyntheticDiT::ExecConfig& exec,
+                 const SyntheticDiT::Calibration* calib, int steps,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t tokens = dit.token_grid().num_tokens();
+  MatF x = random_normal(tokens, dit.config().channels, rng);
+
+  const auto ts = ddim_timesteps(steps);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const double t = ts[i];
+    const double t_prev = i + 1 < ts.size() ? ts[i + 1] : 0.0;
+    const double ab_t = alpha_bar(t);
+    const double ab_prev = alpha_bar(t_prev);
+
+    const MatF eps = dit.forward(x, t, exec, calib);
+
+    const double sq_ab_t = std::sqrt(ab_t);
+    const double sq_1m_t = std::sqrt(1.0 - ab_t);
+    const double sq_ab_p = std::sqrt(ab_prev);
+    const double sq_1m_p = std::sqrt(1.0 - ab_prev);
+
+    MatF next(x.rows(), x.cols());
+    const auto fx = x.flat();
+    const auto fe = eps.flat();
+    auto fn = next.flat();
+    // Static thresholding of the x₀ estimate (as in standard samplers):
+    // keeps the first low-ᾱ steps from amplifying prediction error.
+    constexpr double kX0Clip = 10.0;
+    for (std::size_t j = 0; j < fx.size(); ++j) {
+      double x0 = (fx[j] - sq_1m_t * fe[j]) / sq_ab_t;
+      x0 = std::clamp(x0, -kX0Clip, kX0Clip);
+      fn[j] = static_cast<float>(sq_ab_p * x0 + sq_1m_p * fe[j]);
+    }
+    x = std::move(next);
+  }
+  return x;
+}
+
+}  // namespace paro

@@ -1,0 +1,32 @@
+// Deterministic DDIM sampling (paper §V-A: "DDIM 50 steps", η = 0).
+//
+//   x_{t-1} = sqrt(ᾱ_{t-1}) · x̂₀ + sqrt(1 − ᾱ_{t-1}) · ε̂,
+//   x̂₀     = (x_t − sqrt(1 − ᾱ_t) · ε̂) / sqrt(ᾱ_t)
+//
+// with the cosine noise schedule ᾱ(s) = cos²(((s + 0.008)/1.008)·π/2).
+// Sampling is fully deterministic given the seed, so quantized runs differ
+// from the FP16 run only through the quantization itself — exactly the
+// comparison Table I makes (FVD against the FP16 output).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/dit.hpp"
+#include "tensor/matrix.hpp"
+
+namespace paro {
+
+/// ᾱ at diffusion time fraction s ∈ [0, 1] (cosine schedule).
+double alpha_bar(double s);
+
+/// Run DDIM sampling with the given attention execution; returns the final
+/// clean latent [tokens, channels].
+MatF ddim_sample(const SyntheticDiT& dit, const SyntheticDiT::ExecConfig& exec,
+                 const SyntheticDiT::Calibration* calib, int steps,
+                 std::uint64_t seed);
+
+/// Per-step time fractions used by ddim_sample (descending from 1).
+std::vector<double> ddim_timesteps(int steps);
+
+}  // namespace paro

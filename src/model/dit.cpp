@@ -1,0 +1,279 @@
+#include "model/dit.hpp"
+
+#include <cmath>
+
+#include "attention/integer_path.hpp"
+#include "attention/reference.hpp"
+#include "attention/synthetic.hpp"
+#include "quant/sage.hpp"
+#include "mixedprec/global_alloc.hpp"
+#include "quant/blockwise.hpp"
+#include "quant/sparse_attention.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace paro {
+
+namespace {
+
+/// Columns [c0, c0+width) of `m` as a new matrix.
+MatF col_slice(const MatF& m, std::size_t c0, std::size_t width) {
+  PARO_CHECK(c0 + width <= m.cols());
+  MatF out(m.rows(), width);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto src = m.row(r);
+    auto dst = out.row(r);
+    for (std::size_t c = 0; c < width; ++c) {
+      dst[c] = src[c0 + c];
+    }
+  }
+  return out;
+}
+
+/// Write `part` into columns [c0, c0+part.cols()) of `m`.
+void col_assign(MatF& m, std::size_t c0, const MatF& part) {
+  PARO_CHECK(part.rows() == m.rows() && c0 + part.cols() <= m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto src = part.row(r);
+    auto dst = m.row(r);
+    for (std::size_t c = 0; c < part.cols(); ++c) {
+      dst[c0 + c] = src[c];
+    }
+  }
+}
+
+}  // namespace
+
+SyntheticDiT::SyntheticDiT(const Config& config)
+    : cfg_(config), grid_(config.frames, config.height, config.width) {
+  PARO_CHECK_MSG(cfg_.hidden % cfg_.heads == 0,
+                 "hidden must be divisible by heads");
+  const std::size_t dh = head_dim();
+  PARO_CHECK_MSG(dh >= 4 && dh % 2 == 0, "head_dim must be even and >= 4");
+  Rng rng(cfg_.seed);
+
+  w_in_ = random_xavier(cfg_.channels, cfg_.hidden, rng);
+  w_out_ = random_xavier(cfg_.hidden, cfg_.channels, rng);
+
+  const std::size_t ffn = 4 * cfg_.hidden;
+  const auto& orders = all_axis_orders();
+  blocks_.resize(cfg_.layers);
+  for (std::size_t l = 0; l < cfg_.layers; ++l) {
+    Block& b = blocks_[l];
+    b.wq = random_xavier(cfg_.hidden, cfg_.hidden, rng);
+    b.wk = random_xavier(cfg_.hidden, cfg_.hidden, rng);
+    b.wv = random_xavier(cfg_.hidden, cfg_.hidden, rng);
+    b.wo = random_xavier(cfg_.hidden, cfg_.hidden, rng);
+    b.w1 = random_xavier(cfg_.hidden, ffn, rng);
+    b.w2 = random_xavier(ffn, cfg_.hidden, rng);
+    // INT8 twins (LinearW8A8 computes x·Wᵀ, so pass the transpose).
+    b.wq_q = LinearW8A8(transpose(b.wq));
+    b.wk_q = LinearW8A8(transpose(b.wk));
+    b.wv_q = LinearW8A8(transpose(b.wv));
+    b.wo_q = LinearW8A8(transpose(b.wo));
+    b.w1_q = LinearW8A8(transpose(b.w1));
+    b.w2_q = LinearW8A8(transpose(b.w2));
+    // Per-head positional anchors: cycle locality orders across heads and
+    // layers, vary bandwidth so some heads are sharp and some broad.
+    b.pos.reserve(cfg_.heads);
+    for (std::size_t h = 0; h < cfg_.heads; ++h) {
+      const AxisOrder order = orders[(l * cfg_.heads + h) % orders.size()];
+      const double width =
+          cfg_.pattern_width * std::pow(2.0, rng.uniform(-1.0, 1.0));
+      const double gain = cfg_.pattern_gain * rng.uniform(0.8, 1.25);
+      Rng head_rng = rng.fork(l * 1000 + h);
+      b.pos.push_back(positional_features(grid_, order, width, gain, dh,
+                                          head_rng, dh));
+    }
+  }
+}
+
+MatF SyntheticDiT::timestep_embedding(double t_frac) const {
+  MatF e(1, cfg_.hidden);
+  auto row = e.row(0);
+  const std::size_t half = cfg_.hidden / 2;
+  for (std::size_t j = 0; j < half; ++j) {
+    const double freq =
+        std::pow(10000.0, -static_cast<double>(j) / static_cast<double>(half));
+    row[2 * j] = static_cast<float>(std::sin(t_frac * 1000.0 * freq));
+    row[2 * j + 1] = static_cast<float>(std::cos(t_frac * 1000.0 * freq));
+  }
+  return e;
+}
+
+SyntheticDiT::Calibration SyntheticDiT::calibrate(
+    const QuantAttentionConfig& quant, const MatF& calib_latent,
+    double t_frac) const {
+  std::vector<std::vector<std::pair<MatF, MatF>>> qk;
+  ExecConfig fp_exec;  // reference attention
+  QkCapture capture;
+  capture.sink = &qk;
+  (void)forward_impl(calib_latent, t_frac, fp_exec, nullptr, capture);
+
+  Calibration calib;
+  calib.heads.resize(cfg_.layers);
+  for (std::size_t l = 0; l < cfg_.layers; ++l) {
+    calib.heads[l].reserve(cfg_.heads);
+    for (std::size_t h = 0; h < cfg_.heads; ++h) {
+      calib.heads[l].push_back(
+          calibrate_head(qk[l][h].first, qk[l][h].second, grid_, quant));
+    }
+  }
+  return calib;
+}
+
+SyntheticDiT::Calibration SyntheticDiT::calibrate_global(
+    const QuantAttentionConfig& quant, const MatF& calib_latent,
+    double t_frac) const {
+  PARO_CHECK_MSG(quant.map_scheme == AttnMapScheme::kBlockwiseMixed,
+                 "global calibration only applies to mixed precision");
+  std::vector<std::vector<std::pair<MatF, MatF>>> qk;
+  QkCapture capture;
+  capture.sink = &qk;
+  (void)forward_impl(calib_latent, t_frac, ExecConfig{}, nullptr, capture);
+
+  // Per-head reorder plans + tile statistics in REORDERED space.
+  Calibration calib;
+  calib.heads.resize(cfg_.layers);
+  std::vector<HeadBlockStats> all_stats;
+  all_stats.reserve(cfg_.layers * cfg_.heads);
+  for (std::size_t l = 0; l < cfg_.layers; ++l) {
+    calib.heads[l].resize(cfg_.heads);
+    for (std::size_t h = 0; h < cfg_.heads; ++h) {
+      const MatF sample_map =
+          attention_map(qk[l][h].first, qk[l][h].second, quant.scale);
+      HeadCalibration& hc = calib.heads[l][h];
+      hc.plan = quant.use_reorder
+                    ? calibrate_plan(sample_map, grid_, quant.block)
+                    : ReorderPlan::identity(grid_.num_tokens());
+      const MatF reordered = hc.plan.apply_map(sample_map);
+      HeadBlockStats hs;
+      hs.layer = l;
+      hs.head = h;
+      hs.grid = BlockGrid(reordered.rows(), reordered.cols(), quant.block);
+      hs.stats = collect_block_stats(reordered, quant.block);
+      all_stats.push_back(std::move(hs));
+    }
+  }
+
+  const GlobalAllocation alloc =
+      allocate_global(all_stats, quant.budget_bits, quant.alpha);
+  std::size_t index = 0;
+  for (std::size_t l = 0; l < cfg_.layers; ++l) {
+    for (std::size_t h = 0; h < cfg_.heads; ++h) {
+      calib.heads[l][h].bit_table = alloc.tables[index++];
+      calib.heads[l][h].planned_avg_bits =
+          calib.heads[l][h].bit_table->average_bitwidth();
+    }
+  }
+  return calib;
+}
+
+MatF SyntheticDiT::forward(const MatF& x, double t_frac,
+                           const ExecConfig& exec,
+                           const Calibration* calib) const {
+  return forward_impl(x, t_frac, exec, calib, QkCapture{});
+}
+
+MatF SyntheticDiT::attention_map_at(const MatF& x, double t_frac,
+                                    std::size_t layer,
+                                    std::size_t head) const {
+  PARO_CHECK(layer < cfg_.layers && head < cfg_.heads);
+  std::vector<std::vector<std::pair<MatF, MatF>>> qk;
+  QkCapture capture;
+  capture.sink = &qk;
+  (void)forward_impl(x, t_frac, ExecConfig{}, nullptr, capture);
+  return attention_map(qk[layer][head].first, qk[layer][head].second);
+}
+
+MatF SyntheticDiT::forward_impl(const MatF& x, double t_frac,
+                                const ExecConfig& exec,
+                                const Calibration* calib,
+                                QkCapture capture) const {
+  PARO_CHECK_MSG(x.rows() == grid_.num_tokens() && x.cols() == cfg_.channels,
+                 "latent shape mismatch");
+  if (exec.impl == AttnImpl::kQuantized ||
+      exec.impl == AttnImpl::kQuantizedInteger) {
+    PARO_CHECK_MSG(capture.sink != nullptr || calib != nullptr,
+                   "quantized execution requires calibration");
+  }
+  const std::size_t dh = head_dim();
+
+  auto lin = [&](const MatF& in, const MatF& w, const LinearW8A8& wq) {
+    return exec.w8a8_linear ? wq.forward(in) : matmul(in, w);
+  };
+
+  MatF h = matmul(x, w_in_);
+  add_bias_inplace(h, timestep_embedding(t_frac).row(0));
+
+  if (capture.sink != nullptr) {
+    capture.sink->assign(cfg_.layers, {});
+  }
+
+  for (std::size_t l = 0; l < cfg_.layers; ++l) {
+    const Block& b = blocks_[l];
+
+    // --- attention ---
+    MatF u = h;
+    layernorm_rows_inplace(u);
+    const MatF q_all = lin(u, b.wq, b.wq_q);
+    const MatF k_all = lin(u, b.wk, b.wk_q);
+    const MatF v_all = lin(u, b.wv, b.wv_q);
+
+    MatF concat(h.rows(), cfg_.hidden);
+    for (std::size_t head = 0; head < cfg_.heads; ++head) {
+      MatF qh = col_slice(q_all, head * dh, dh);
+      MatF kh = col_slice(k_all, head * dh, dh);
+      const MatF vh = col_slice(v_all, head * dh, dh);
+      // Positional anchors give this head its locality pattern.
+      qh = add(qh, b.pos[head]);
+      kh = add(kh, b.pos[head]);
+      if (capture.sink != nullptr) {
+        (*capture.sink)[l].emplace_back(qh, kh);
+      }
+      MatF oh;
+      switch (exec.impl) {
+        case AttnImpl::kReference:
+          oh = attention_reference(qh, kh, vh);
+          break;
+        case AttnImpl::kSage:
+          oh = sage_attention(qh, kh, vh);
+          break;
+        case AttnImpl::kSage2:
+          oh = sage2_attention(qh, kh, vh, 32);
+          break;
+        case AttnImpl::kSanger:
+          oh = sanger_attention(qh, kh, vh, exec.sanger_threshold);
+          break;
+        case AttnImpl::kQuantized: {
+          PARO_CHECK(calib != nullptr);
+          oh = quantized_attention(qh, kh, vh, calib->heads.at(l).at(head),
+                                   exec.quant)
+                   .output;
+          break;
+        }
+        case AttnImpl::kQuantizedInteger: {
+          PARO_CHECK(calib != nullptr);
+          oh = integer_attention(qh, kh, vh, calib->heads.at(l).at(head),
+                                 exec.quant)
+                   .output;
+          break;
+        }
+      }
+      col_assign(concat, head * dh, oh);
+    }
+    h = add(h, lin(concat, b.wo, b.wo_q));
+
+    // --- FFN ---
+    u = h;
+    layernorm_rows_inplace(u);
+    MatF f = lin(u, b.w1, b.w1_q);
+    gelu_inplace(f);
+    h = add(h, lin(f, b.w2, b.w2_q));
+  }
+
+  layernorm_rows_inplace(h);
+  return matmul(h, w_out_);
+}
+
+}  // namespace paro

@@ -1,0 +1,122 @@
+// A synthetic video DiT denoiser — the CogVideoX stand-in for the quality
+// experiments (Table I; substitution documented in DESIGN.md §2).
+//
+// The network is a genuine 3D-full-attention transformer: patch embedding,
+// L blocks of (LayerNorm → MHA → residual → LayerNorm → FFN → residual),
+// and an output projection predicting the noise ε.  Its attention heads
+// carry fixed positional anchors built from random-Fourier locality
+// features in per-head axis orderings, so the attention maps exhibit the
+// paper's diverse strided-diagonal patterns — the property every
+// experiment in §III depends on.
+//
+// Every Table-I method plugs in through ExecConfig: the same weights run
+// with FP attention, SageAttention, Sanger pruning, or the PARO quantized
+// pipeline (naive / block-wise / reorder / mixed-precision).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attention/pipeline.hpp"
+#include "quant/linear_w8a8.hpp"
+#include "reorder/token_grid.hpp"
+#include "tensor/matrix.hpp"
+
+namespace paro {
+
+class SyntheticDiT {
+ public:
+  struct Config {
+    std::size_t frames = 5, height = 12, width = 12;  ///< 720 tokens
+    std::size_t layers = 3;
+    std::size_t hidden = 64;
+    std::size_t heads = 4;
+    std::size_t channels = 8;  ///< latent channels
+    std::uint64_t seed = 42;
+    double pattern_gain = 5.0;   ///< positional-anchor strength
+    double pattern_width = 0.03; ///< base locality width (varied per head)
+    double global_fraction = 0.005;  ///< sink tokens per head
+  };
+
+  /// Which attention implementation the forward pass uses.
+  /// kQuantizedInteger runs the hardware-faithful integer dataflow
+  /// (attention/integer_path.hpp) instead of the fake-quant float path —
+  /// the two agree to float tolerance (tested), so either can stand in
+  /// for the accelerator's arithmetic.
+  enum class AttnImpl {
+    kReference,
+    kSage,
+    kSage2,    ///< SageAttention2-style per-group INT4 QK (ref [17])
+    kSanger,
+    kQuantized,
+    kQuantizedInteger,
+  };
+
+  struct ExecConfig {
+    AttnImpl impl = AttnImpl::kReference;
+    QuantAttentionConfig quant;    ///< used when impl == kQuantized
+    float sanger_threshold = 2e-4F;
+    bool w8a8_linear = false;      ///< INT8 linear layers (PARO / ablations)
+  };
+
+  /// Offline per-(layer, head) calibration artifacts.
+  struct Calibration {
+    std::vector<std::vector<HeadCalibration>> heads;  ///< [layer][head]
+  };
+
+  explicit SyntheticDiT(const Config& config);
+
+  const Config& config() const { return cfg_; }
+  const TokenGrid& token_grid() const { return grid_; }
+  std::size_t head_dim() const { return cfg_.hidden / cfg_.heads; }
+
+  /// Calibrate the quantized pipeline on one FP forward pass at latent
+  /// `calib_latent` / time `t_frac` (the paper's offline pass; patterns are
+  /// stable across timesteps so a single sample suffices).
+  Calibration calibrate(const QuantAttentionConfig& quant,
+                        const MatF& calib_latent, double t_frac) const;
+
+  /// Like calibrate(), but solves Eq. 1 with ONE average-bitwidth budget
+  /// shared across every (layer, head) of the model — the paper's global
+  /// formulation ("N is the number of blocks in the model").  Easy heads
+  /// donate bits to hard ones; the model-wide average stays ≤ the budget.
+  /// Requires quant.map_scheme == kBlockwiseMixed.
+  Calibration calibrate_global(const QuantAttentionConfig& quant,
+                               const MatF& calib_latent, double t_frac) const;
+
+  /// Predict noise for latent `x` [tokens, channels] at diffusion time
+  /// fraction `t_frac` ∈ (0, 1].  `calib` is required for kQuantized.
+  MatF forward(const MatF& x, double t_frac, const ExecConfig& exec,
+               const Calibration* calib = nullptr) const;
+
+  /// FP attention map of a given (layer, head) at the given input — used by
+  /// pattern analyses (Fig. 8) and tests.
+  MatF attention_map_at(const MatF& x, double t_frac, std::size_t layer,
+                        std::size_t head) const;
+
+ private:
+  struct Block {
+    MatF wq, wk, wv, wo;  ///< [hidden, hidden], applied as X·W
+    MatF w1, w2;          ///< FFN [hidden, ffn], [ffn, hidden]
+    LinearW8A8 wq_q, wk_q, wv_q, wo_q, w1_q, w2_q;  ///< INT8 twins
+    std::vector<MatF> pos;  ///< per-head positional anchor [tokens, head_dim]
+  };
+
+  /// Capture of per-head Q/K for calibration.
+  struct QkCapture {
+    std::vector<std::vector<std::pair<MatF, MatF>>>* sink = nullptr;
+  };
+
+  MatF forward_impl(const MatF& x, double t_frac, const ExecConfig& exec,
+                    const Calibration* calib, QkCapture capture) const;
+
+  MatF timestep_embedding(double t_frac) const;  ///< [1, hidden]
+
+  Config cfg_;
+  TokenGrid grid_;
+  MatF w_in_;   ///< [channels, hidden]
+  MatF w_out_;  ///< [hidden, channels]
+  std::vector<Block> blocks_;
+};
+
+}  // namespace paro

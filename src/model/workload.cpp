@@ -1,0 +1,149 @@
+#include "model/workload.hpp"
+
+namespace paro {
+
+Workload Workload::build(const ModelConfig& config, bool include_reorder) {
+  Workload w;
+  w.model = config;
+  const std::size_t n = config.tokens();
+  const std::size_t h = config.hidden;
+  const std::size_t dh = config.head_dim();
+  const std::size_t ffn = config.ffn_mult * h;
+
+  for (std::size_t layer = 0; layer < config.blocks; ++layer) {
+    // --- multi-head self-attention ---
+    w.vectors.push_back({VectorKind::kLayerNorm, n * h, layer});
+    for (int proj = 0; proj < 3; ++proj) {  // Q, K, V
+      w.gemms.push_back({GemmKind::kLinear, n, h, h, layer, 0});
+    }
+    if (include_reorder) {
+      // Online gather of Q, K, V along the token dimension.
+      w.vectors.push_back({VectorKind::kReorder, 3 * n * h, layer});
+    }
+    for (std::size_t head = 0; head < config.heads; ++head) {
+      w.gemms.push_back({GemmKind::kQK, n, dh, n, layer, head});
+      w.vectors.push_back({VectorKind::kSoftmax, n * n, layer});
+      w.gemms.push_back({GemmKind::kAttnV, n, n, dh, layer, head});
+    }
+    if (include_reorder) {
+      // Inverse reorder of the attention output O.
+      w.vectors.push_back({VectorKind::kReorder, n * h, layer});
+    }
+    w.gemms.push_back({GemmKind::kLinear, n, h, h, layer, 0});  // O proj
+    w.vectors.push_back({VectorKind::kResidual, n * h, layer});
+
+    // --- feed-forward network ---
+    w.vectors.push_back({VectorKind::kLayerNorm, n * h, layer});
+    w.gemms.push_back({GemmKind::kLinear, n, h, ffn, layer, 0});
+    w.vectors.push_back({VectorKind::kGelu, n * ffn, layer});
+    w.gemms.push_back({GemmKind::kLinear, n, ffn, h, layer, 0});
+    w.vectors.push_back({VectorKind::kResidual, n * h, layer});
+  }
+  return w;
+}
+
+Workload Workload::build_spatial_temporal(const ModelConfig& config) {
+  Workload w;
+  w.model = config;
+  const std::size_t n = config.tokens();
+  const std::size_t h = config.hidden;
+  const std::size_t dh = config.head_dim();
+  const std::size_t ffn = config.ffn_mult * h;
+  const std::size_t spatial = config.grid.height * config.grid.width +
+                              config.text_tokens;  // tokens per frame attn
+  const std::size_t temporal = config.grid.frames;
+
+  for (std::size_t layer = 0; layer < config.blocks; ++layer) {
+    // --- spatial attention (one per frame) ---
+    w.vectors.push_back({VectorKind::kLayerNorm, n * h, layer});
+    for (int proj = 0; proj < 3; ++proj) {
+      w.gemms.push_back({GemmKind::kLinear, n, h, h, layer, 0});
+    }
+    for (std::size_t head = 0; head < config.heads; ++head) {
+      // One batched op covers all F per-frame attentions: m aggregates
+      // the batch so macs() and softmax elements are exact.
+      w.gemms.push_back({GemmKind::kQK, config.grid.frames * spatial, dh,
+                         spatial, layer, head});
+      w.vectors.push_back({VectorKind::kSoftmax,
+                           config.grid.frames * spatial * spatial, layer});
+      w.gemms.push_back({GemmKind::kAttnV, config.grid.frames * spatial,
+                         spatial, dh, layer, head});
+    }
+    w.gemms.push_back({GemmKind::kLinear, n, h, h, layer, 0});
+    w.vectors.push_back({VectorKind::kResidual, n * h, layer});
+
+    // --- temporal attention (one per spatial location) ---
+    w.vectors.push_back({VectorKind::kLayerNorm, n * h, layer});
+    for (int proj = 0; proj < 3; ++proj) {
+      w.gemms.push_back({GemmKind::kLinear, n, h, h, layer, 0});
+    }
+    const std::size_t locations = config.grid.height * config.grid.width;
+    for (std::size_t head = 0; head < config.heads; ++head) {
+      // One batched op covers all H·W per-location attentions.
+      w.gemms.push_back({GemmKind::kQK, locations * temporal, dh, temporal,
+                         layer, head});
+      w.vectors.push_back(
+          {VectorKind::kSoftmax, locations * temporal * temporal, layer});
+      w.gemms.push_back({GemmKind::kAttnV, locations * temporal, temporal,
+                         dh, layer, head});
+    }
+    w.gemms.push_back({GemmKind::kLinear, n, h, h, layer, 0});
+    w.vectors.push_back({VectorKind::kResidual, n * h, layer});
+
+    // --- feed-forward network ---
+    w.vectors.push_back({VectorKind::kLayerNorm, n * h, layer});
+    w.gemms.push_back({GemmKind::kLinear, n, h, ffn, layer, 0});
+    w.vectors.push_back({VectorKind::kGelu, n * ffn, layer});
+    w.gemms.push_back({GemmKind::kLinear, n, ffn, h, layer, 0});
+    w.vectors.push_back({VectorKind::kResidual, n * h, layer});
+  }
+  return w;
+}
+
+double Workload::total_macs() const {
+  double total = 0.0;
+  for (const GemmOp& g : gemms) total += g.macs();
+  return total;
+}
+
+double Workload::attention_macs() const {
+  double total = 0.0;
+  for (const GemmOp& g : gemms) {
+    if (g.kind != GemmKind::kLinear) total += g.macs();
+  }
+  return total;
+}
+
+double Workload::linear_macs() const {
+  double total = 0.0;
+  for (const GemmOp& g : gemms) {
+    if (g.kind == GemmKind::kLinear) total += g.macs();
+  }
+  return total;
+}
+
+double Workload::vector_elements() const {
+  double total = 0.0;
+  for (const VectorOp& v : vectors) total += static_cast<double>(v.elements);
+  return total;
+}
+
+double Workload::reorder_elements() const {
+  double total = 0.0;
+  for (const VectorOp& v : vectors) {
+    if (v.kind == VectorKind::kReorder) {
+      total += static_cast<double>(v.elements);
+    }
+  }
+  return total;
+}
+
+std::size_t Workload::count_gemms(GemmKind kind) const {
+  std::size_t count = 0;
+  for (const GemmOp& g : gemms) {
+    count += g.kind == kind ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace paro

@@ -1,0 +1,81 @@
+// Operator-level workload descriptors.
+//
+// The cycle simulator and the GPU roofline model both consume the same
+// description of one diffusion-step forward pass: the ordered list of
+// GEMMs and vector operations of the full transformer stack (paper Fig. 2).
+// This keeps PARO and the baselines rigorously on identical workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/config.hpp"
+
+namespace paro {
+
+enum class GemmKind {
+  kLinear,  ///< QKV/O projections and FFN layers (W8A8 on PARO)
+  kQK,      ///< QKᵀ per head → attention logits
+  kAttnV,   ///< attention map × V per head
+};
+
+struct GemmOp {
+  GemmKind kind = GemmKind::kLinear;
+  std::size_t m = 0, k = 0, n = 0;  ///< C[m,n] = A[m,k] · B[k,n]
+  std::size_t layer = 0;
+  std::size_t head = 0;  ///< meaningful for kQK / kAttnV
+
+  double macs() const {
+    return static_cast<double>(m) * static_cast<double>(k) *
+           static_cast<double>(n);
+  }
+  /// Minimum DRAM traffic in elements (read A, read B, write C once).
+  double stream_elements() const {
+    return static_cast<double>(m) * k + static_cast<double>(k) * n +
+           static_cast<double>(m) * n;
+  }
+};
+
+enum class VectorKind {
+  kLayerNorm,
+  kSoftmax,
+  kGelu,
+  kResidual,
+  kDequant,   ///< int32 accumulator → FP16 rescale
+  kReorder,   ///< token gather/scatter of Q/K/V/O (PARO only)
+};
+
+struct VectorOp {
+  VectorKind kind = VectorKind::kLayerNorm;
+  std::size_t elements = 0;
+  std::size_t layer = 0;
+};
+
+/// One diffusion-step forward pass of the full transformer stack.
+struct Workload {
+  ModelConfig model;
+  std::vector<GemmOp> gemms;
+  std::vector<VectorOp> vectors;
+
+  /// Build the workload.  `include_reorder` adds PARO's online QKVO
+  /// reorder vector ops (absent on GPU / baseline accelerators).
+  static Workload build(const ModelConfig& config, bool include_reorder);
+
+  /// Build the OpenSORA-style "spatial-temporal" variant the paper
+  /// contrasts with 3D full attention (§I/§II): each block runs F
+  /// per-frame spatial attentions over H·W tokens plus H·W per-location
+  /// temporal attentions over F tokens, instead of one (F·H·W)² map.
+  /// Quadratic cost collapses — the reason earlier models used it — at
+  /// the algorithm-quality cost the paper cites CogVideoX for fixing.
+  /// Text tokens join the spatial attention of every frame.
+  static Workload build_spatial_temporal(const ModelConfig& config);
+
+  double total_macs() const;
+  double attention_macs() const;  ///< QKᵀ + AttnV
+  double linear_macs() const;
+  double vector_elements() const;
+  double reorder_elements() const;
+  std::size_t count_gemms(GemmKind kind) const;
+};
+
+}  // namespace paro

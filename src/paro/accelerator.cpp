@@ -1,0 +1,217 @@
+#include "paro/accelerator.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/tiling.hpp"
+
+namespace paro {
+
+ParoConfig ParoConfig::fp16_baseline() {
+  ParoConfig c;
+  c.w8a8_linear = false;
+  c.quant_attention = false;
+  c.output_bitwidth_aware = false;
+  c.include_reorder = false;
+  return c;
+}
+
+ParoConfig ParoConfig::w8a8_only() {
+  ParoConfig c = fp16_baseline();
+  c.w8a8_linear = true;
+  return c;
+}
+
+ParoConfig ParoConfig::quant_attn() {
+  ParoConfig c;
+  c.w8a8_linear = true;
+  c.quant_attention = true;
+  c.output_bitwidth_aware = false;
+  c.include_reorder = true;
+  return c;
+}
+
+ParoConfig ParoConfig::full() {
+  ParoConfig c;
+  return c;  // defaults are the fully optimised design
+}
+
+ParoAccelerator::ParoAccelerator(HwResources hw, ParoConfig config)
+    : hw_(std::move(hw)), cfg_(std::move(config)) {
+  cfg_.map_bits.validate();
+  PARO_CHECK_MSG(cfg_.map_block > 0, "map_block must be positive");
+}
+
+double ParoAccelerator::kv_stream_passes(std::size_t tokens,
+                                         std::size_t head_dim) const {
+  // Fused (flash-style) attention: a group of Q rows is resident with its
+  // FP32 output accumulators while K/V stream through.  The Q-group size
+  // is bounded by half the SRAM; every group re-streams K and V once.
+  const double acc_bytes = 4.0 + 2.0;  // FP32 accumulator + staging
+  const double q_rows =
+      std::max(32.0, std::floor(hw_.sram_bytes * 0.5 /
+                                (static_cast<double>(head_dim) * acc_bytes)));
+  return std::ceil(static_cast<double>(tokens) / q_rows);
+}
+
+double ParoAccelerator::attention_gemm_cycles(const GemmOp& gemm,
+                                              bool is_qk) const {
+  const double rows = 32.0;
+  if (!cfg_.quant_attention) {
+    // FP16 attention on the fixed-point array: reduced MAC rate.
+    return gemm.macs() / (hw_.pe_macs_per_cycle * hw_.fp16_rate_factor);
+  }
+  const std::size_t n_tokens = is_qk ? gemm.n : gemm.k;
+  const std::size_t head_dim = is_qk ? gemm.k : gemm.n;
+  const auto key = std::make_tuple(gemm.m, n_tokens, head_dim, is_qk);
+  const auto it = sched_cache_.find(key);
+  if (it != sched_cache_.end()) return it->second;
+
+  const std::size_t b = cfg_.map_block;
+  const std::size_t blocks_r = (gemm.m + b - 1) / b;
+  const std::size_t blocks_c = (n_tokens + b - 1) / b;
+  // Row-group cycles of one block in 8-bit mode: block MACs over the
+  // per-row-group MAC rate.
+  const double row_rate = hw_.pe_macs_per_cycle / rows;
+  const auto base_cycles = static_cast<std::uint64_t>(std::ceil(
+      static_cast<double>(b) * static_cast<double>(b) *
+      static_cast<double>(head_dim) / row_rate));
+
+  BitDistribution dist = cfg_.map_bits;
+  if (is_qk && !cfg_.output_bitwidth_aware) {
+    // Without the output-bitwidth-aware flow, QKᵀ has no knowledge of the
+    // destination block's bitwidth: every block (including ones whose
+    // output will be dropped) runs at the full 8-bit input precision.
+    dist = BitDistribution::uniform(8);
+  }
+  Rng rng(cfg_.seed ^ (is_qk ? 0x9e37ULL : 0x85ebULL));
+  const auto jobs = dist.make_jobs(blocks_r * blocks_c, base_cycles, rng);
+  PeArrayConfig pe_cfg;
+  pe_cfg.rows = static_cast<std::size_t>(rows);
+  pe_cfg.dispatcher = cfg_.dispatcher;
+  const double cycles =
+      static_cast<double>(pe_array_cycles_analytic(pe_cfg, jobs));
+  sched_cache_[key] = cycles;
+  return cycles;
+}
+
+std::vector<OpCost> ParoAccelerator::build_ops(const Workload& w) const {
+  std::vector<OpCost> ops;
+  const double lanes = hw_.vector_lanes;
+  const double act_bytes = cfg_.w8a8_linear ? 1.0 : 2.0;
+  const double weight_bytes = cfg_.w8a8_linear ? 1.0 : 2.0;
+
+  // --- GEMMs ---
+  for (const GemmOp& g : w.gemms) {
+    switch (g.kind) {
+      case GemmKind::kLinear: {
+        OpCost op;
+        op.phase = "linear";
+        const double rate = hw_.pe_macs_per_cycle *
+                            (cfg_.w8a8_linear ? 1.0 : hw_.fp16_rate_factor);
+        op.compute_cycles = g.macs() / rate;
+        if (cfg_.tiled_linear_traffic) {
+          TilingProblem tp;
+          tp.m = g.m;
+          tp.k = g.k;
+          tp.n = g.n;
+          tp.a_elem_bytes = act_bytes;
+          tp.b_elem_bytes = weight_bytes;
+          tp.sram_bytes = hw_.sram_bytes * 0.8;
+          op.dram_bytes = plan_gemm_tiling(tp).traffic_bytes;
+        } else {
+          op.dram_bytes =
+              act_bytes * (static_cast<double>(g.m) * g.k +
+                           static_cast<double>(g.m) * g.n) +
+              weight_bytes * static_cast<double>(g.k) * g.n;
+        }
+        if (cfg_.w8a8_linear) {
+          op.vector_cycles = static_cast<double>(g.m) * g.n / lanes;  // dequant
+        }
+        ops.push_back(op);
+        break;
+      }
+      case GemmKind::kQK: {
+        // Fused attention head: QKᵀ + softmax (+ map quant) + AttnV in one
+        // on-chip pipeline; the map never reaches DRAM.
+        const std::size_t n = g.m;       // tokens
+        const std::size_t dh = g.k;      // head dim
+        OpCost op;
+        op.phase = "attention";
+        op.compute_cycles = attention_gemm_cycles(g, /*is_qk=*/true);
+        GemmOp av;
+        av.kind = GemmKind::kAttnV;
+        av.m = n;
+        av.k = n;
+        av.n = dh;
+        op.compute_cycles += attention_gemm_cycles(av, /*is_qk=*/false);
+        const double softmax_passes = cfg_.quant_attention ? 4.0 : 3.0;
+        op.vector_cycles = softmax_passes * static_cast<double>(n) * n / lanes;
+        const double passes = kv_stream_passes(n, dh);
+        const double attn_act = cfg_.quant_attention ? 1.0 : 2.0;
+        op.dram_bytes =
+            attn_act * static_cast<double>(n) * dh *  // Q once, O once
+                (2.0 + 2.0 * passes);                 // K and V per pass
+        ops.push_back(op);
+        break;
+      }
+      case GemmKind::kAttnV:
+        break;  // folded into the fused kQK op above
+    }
+  }
+
+  // --- vector operations ---
+  for (const VectorOp& v : w.vectors) {
+    const auto e = static_cast<double>(v.elements);
+    OpCost op;
+    switch (v.kind) {
+      case VectorKind::kSoftmax:
+        continue;  // inside the fused attention op
+      case VectorKind::kLayerNorm:
+        op.phase = "vector";
+        op.vector_cycles = 3.0 * e / lanes;
+        op.dram_bytes = 2.0 * e * 2.0;  // FP16 stream in/out
+        break;
+      case VectorKind::kGelu:
+        op.phase = "vector";
+        op.vector_cycles = 2.0 * e / lanes;
+        op.dram_bytes = 2.0 * e * act_bytes;
+        break;
+      case VectorKind::kResidual:
+        op.phase = "vector";
+        op.vector_cycles = e / lanes;
+        op.dram_bytes = 3.0 * e * 2.0;
+        break;
+      case VectorKind::kDequant:
+        op.phase = "vector";
+        op.vector_cycles = e / lanes;
+        break;
+      case VectorKind::kReorder:
+        if (!cfg_.include_reorder) continue;
+        // The permutation is known offline, so the gather is fused into
+        // the QKV write-out / O read-in as address generation: no extra
+        // DRAM round trip, only gather/scatter issue slots.
+        op.phase = "reorder";
+        op.vector_cycles = 2.0 * e / lanes;
+        break;
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+SimStats ParoAccelerator::simulate_step(const Workload& workload,
+                                        Trace* trace) const {
+  const OverlapModel model(hw_);
+  return model.run(build_ops(workload), trace);
+}
+
+SimStats ParoAccelerator::simulate_video(const ModelConfig& model) const {
+  const Workload w = Workload::build(
+      model, cfg_.include_reorder && cfg_.quant_attention);
+  SimStats stats = simulate_step(w);
+  stats.scale(static_cast<double>(model.sampling_steps));
+  return stats;
+}
+
+}  // namespace paro

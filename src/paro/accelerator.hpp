@@ -1,0 +1,89 @@
+// End-to-end performance model of the PARO accelerator (paper §IV).
+//
+// Dataflow:
+//  * All matrix multiplications run on the mixed-precision PE array;
+//    softmax / dequant / reorder run on the FP16 vector unit.
+//  * Attention is FUSED per head: Q stripes stream against K/V held (or
+//    re-streamed) in SRAM, the quantized attention map lives entirely
+//    on-chip — only Q/K/V/O touch DRAM.  This is what the 1.5 MB buffer
+//    plus low-bit map makes possible, and is the root of PARO's advantage
+//    over the baselines that materialise sparse maps off-chip.
+//  * QKᵀ compute is scheduled per attention-map block through the
+//    dispatcher model (pe_array_cycles_analytic, validated cycle-by-cycle
+//    by PeArraySim): 0-bit blocks are bypassed, and with the
+//    output-bitwidth-aware LDZ path 4/2-bit destination blocks run at
+//    2×/4× rate.  AttnV blocks always enjoy the mixed-precision input
+//    speedup (the map IS the input there).
+//
+// Ablation switches reproduce Fig. 6(b): fp16_baseline → w8a8_only →
+// quant_attention → + output_bitwidth_aware.
+#pragma once
+
+#include <map>
+#include <tuple>
+
+#include "model/workload.hpp"
+#include "paro/bit_distribution.hpp"
+#include "sim/overlap.hpp"
+#include "sim/resources.hpp"
+
+namespace paro {
+
+struct ParoConfig {
+  bool w8a8_linear = true;          ///< INT8 linear layers
+  bool quant_attention = true;      ///< INT8 QKV + mixed-precision map
+  bool output_bitwidth_aware = true;  ///< LDZ-truncated QKᵀ
+  bool dispatcher = true;           ///< block load-balancing across PE rows
+  bool include_reorder = true;      ///< online QKVO reorder overhead
+  /// Model linear-layer DRAM traffic with the SRAM tiling planner
+  /// (weight/activation re-reads) instead of the optimistic stream-once
+  /// bound.  Off by default: the paper-aligned headline numbers use the
+  /// stream-once convention for every platform; this switch quantifies
+  /// how sensitive the conclusions are to that convention (see
+  /// examples/design_space and EXPERIMENTS.md).
+  bool tiled_linear_traffic = false;
+  std::size_t map_block = 64;       ///< attention-map tile side
+  BitDistribution map_bits = BitDistribution::paro_mp_default();
+  std::uint64_t seed = 7;           ///< job-shuffle seed
+
+  /// Fig. 6(b) ablation presets.
+  static ParoConfig fp16_baseline();
+  static ParoConfig w8a8_only();
+  static ParoConfig quant_attn();   ///< + attention quant, no OBA
+  static ParoConfig full();
+};
+
+class ParoAccelerator {
+ public:
+  ParoAccelerator(HwResources hw, ParoConfig config);
+
+  const HwResources& resources() const { return hw_; }
+  const ParoConfig& config() const { return cfg_; }
+
+  /// Operator cost list for one diffusion step (exposed for tests).
+  std::vector<OpCost> build_ops(const Workload& workload) const;
+
+  /// Simulate one diffusion step.  When `trace` is non-null, per-operator
+  /// intervals are recorded (sim/trace.hpp).
+  SimStats simulate_step(const Workload& workload,
+                         Trace* trace = nullptr) const;
+
+  /// Simulate a full video (workload × sampling steps).
+  SimStats simulate_video(const ModelConfig& model) const;
+
+ private:
+  /// PE-array cycles of one attention GEMM, through the dispatcher model.
+  double attention_gemm_cycles(const GemmOp& gemm, bool is_qk) const;
+
+  /// Number of Q-stripe passes the fused attention needs over K/V.
+  double kv_stream_passes(std::size_t tokens, std::size_t head_dim) const;
+
+  HwResources hw_;
+  ParoConfig cfg_;
+  /// Memoised scheduler results: identical GEMM shapes recur per head/layer.
+  mutable std::map<std::tuple<std::size_t, std::size_t, std::size_t, bool>,
+                   double>
+      sched_cache_;
+};
+
+}  // namespace paro

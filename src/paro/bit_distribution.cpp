@@ -1,0 +1,107 @@
+#include "paro/bit_distribution.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/resources.hpp"
+
+namespace paro {
+
+double BitDistribution::average_bits() const {
+  double avg = 0.0;
+  for (int i = 0; i < kNumBitChoices; ++i) {
+    avg += fraction[static_cast<std::size_t>(i)] * kBitChoices[i];
+  }
+  return avg;
+}
+
+void BitDistribution::validate() const {
+  double sum = 0.0;
+  for (const double f : fraction) {
+    PARO_CHECK_MSG(f >= 0.0 && f <= 1.0, "fractions must be in [0,1]");
+    sum += f;
+  }
+  PARO_CHECK_MSG(std::abs(sum - 1.0) < 1e-6, "fractions must sum to 1");
+}
+
+BitDistribution BitDistribution::uniform(int bits) {
+  BitDistribution d;
+  d.fraction = {0.0, 0.0, 0.0, 0.0};
+  d.fraction[static_cast<std::size_t>(bit_choice_index(bits))] = 1.0;
+  return d;
+}
+
+BitDistribution BitDistribution::paro_mp_default() {
+  // {0, 2, 4, 8} bits.  Average = 0.2·0 + 0.25·2 + 0.3·4 + 0.25·8 = 3.7…
+  // chosen so the *element-weighted* average lands at 4.80 with the
+  // calibration bias toward keeping diagonal blocks at 8 bits:
+  // 0·f0 + 2·f2 + 4·f4 + 8·f8 = 4.8 with f = {.10, .20, .30, .40}.
+  BitDistribution d;
+  d.fraction = {0.10, 0.20, 0.30, 0.40};
+  return d;
+}
+
+BitDistribution BitDistribution::from_bittable(const BitTable& table) {
+  BitDistribution d;
+  d.fraction = {0.0, 0.0, 0.0, 0.0};
+  for (int i = 0; i < kNumBitChoices; ++i) {
+    d.fraction[static_cast<std::size_t>(i)] =
+        table.fraction_at(kBitChoices[i]);
+  }
+  // fraction_at is element-weighted; re-normalise against rounding.
+  double sum = 0.0;
+  for (const double f : d.fraction) sum += f;
+  PARO_CHECK(sum > 0.0);
+  for (double& f : d.fraction) f /= sum;
+  return d;
+}
+
+std::vector<PeBlockJob> BitDistribution::make_jobs(std::size_t num_blocks,
+                                                   std::uint64_t base_cycles,
+                                                   Rng& rng) const {
+  validate();
+  std::vector<PeBlockJob> jobs;
+  jobs.reserve(num_blocks);
+  // Deterministic counts per class (largest-remainder rounding), then a
+  // seeded shuffle to emulate the irregular spatial layout.
+  std::array<std::size_t, kNumBitChoices> counts{};
+  std::size_t assigned = 0;
+  for (int i = 0; i < kNumBitChoices; ++i) {
+    counts[static_cast<std::size_t>(i)] = static_cast<std::size_t>(
+        std::floor(fraction[static_cast<std::size_t>(i)] *
+                   static_cast<double>(num_blocks)));
+    assigned += counts[static_cast<std::size_t>(i)];
+  }
+  // Give leftovers to the highest-bit classes (conservative).
+  for (int i = kNumBitChoices - 1; assigned < num_blocks; ) {
+    ++counts[static_cast<std::size_t>(i)];
+    ++assigned;
+    i = i == 0 ? kNumBitChoices - 1 : i - 1;
+  }
+  for (int i = 0; i < kNumBitChoices; ++i) {
+    for (std::size_t j = 0; j < counts[static_cast<std::size_t>(i)]; ++j) {
+      jobs.push_back({kBitChoices[i], base_cycles});
+    }
+  }
+  rng.shuffle(jobs);
+  return jobs;
+}
+
+double BitDistribution::ideal_cycle_factor(bool output_bitwidth_aware) const {
+  validate();
+  if (!output_bitwidth_aware) {
+    // QKᵀ without the OBA flow cannot exploit the table at all: every
+    // block, 0-bit ones included, is computed at the 8-bit input rate.
+    return 1.0;
+  }
+  double factor = 0.0;
+  for (int i = 0; i < kNumBitChoices; ++i) {
+    const int bits = kBitChoices[i];
+    if (bits == 0) continue;  // dispatcher bypass
+    factor += fraction[static_cast<std::size_t>(i)] /
+              HwResources::mode_speedup(bits);
+  }
+  return factor;
+}
+
+}  // namespace paro

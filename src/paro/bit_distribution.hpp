@@ -1,0 +1,48 @@
+// Bitwidth distribution of attention-map blocks.
+//
+// The performance simulator does not need the exact calibrated BitTable of
+// every (layer, head) at full CogVideoX scale — it needs the *distribution*
+// of block bitwidths, which the mixed-precision allocator makes
+// essentially scale-free (the block-diagonal structure puts a fixed
+// fraction of tiles on/near the diagonal).  Benches calibrate a
+// distribution on a scaled grid with the real algorithm stack and feed it
+// here; a representative default (budget 4.80 bits) is provided.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "quant/bittable.hpp"
+#include "sim/pe_array_sim.hpp"
+
+namespace paro {
+
+/// Fractions of attention-map blocks at each bitwidth in kBitChoices order
+/// ({0, 2, 4, 8}).  Must sum to 1.
+struct BitDistribution {
+  std::array<double, kNumBitChoices> fraction{0.0, 0.0, 0.0, 1.0};
+
+  double average_bits() const;
+  void validate() const;  ///< throws unless fractions sum to ≈1
+
+  /// All blocks at a single bitwidth.
+  static BitDistribution uniform(int bits);
+  /// Representative PARO-MP distribution at the paper's 4.80-bit budget.
+  static BitDistribution paro_mp_default();
+  /// Measure the distribution of a calibrated BitTable.
+  static BitDistribution from_bittable(const BitTable& table);
+
+  /// Expand into a shuffled per-block job list (`num_blocks` jobs, each
+  /// needing `base_cycles` in 8-bit mode) for the PE-array scheduler.
+  std::vector<PeBlockJob> make_jobs(std::size_t num_blocks,
+                                    std::uint64_t base_cycles,
+                                    Rng& rng) const;
+
+  /// Expected per-block compute-cycle factor relative to all-8-bit, with
+  /// the given PE mode speedups and 0-bit skipping (perfect dispatch).
+  double ideal_cycle_factor(bool output_bitwidth_aware) const;
+};
+
+}  // namespace paro

@@ -1,0 +1,119 @@
+#include "paro/block_pipeline_sim.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/cycle_engine.hpp"
+
+namespace paro {
+
+namespace {
+
+class OpController : public Component {
+ public:
+  OpController(const std::vector<PipelineOp>& ops, DramModel* dram)
+      : ops_(ops), dram_(dram) {}
+
+  void tick(std::uint64_t /*cycle*/) override {
+    // Issue loads within the double-buffer window.
+    while (next_load_ < ops_.size() && next_load_ < compute_done_ + 2) {
+      load_tickets_.push_back(dram_->request(ops_[next_load_].load_bytes));
+      ++next_load_;
+    }
+    // PE stage.
+    if (pe_remaining_ == 0 && next_compute_ < ops_.size() &&
+        next_compute_ < load_tickets_.size() &&
+        dram_->complete(load_tickets_[next_compute_]) &&
+        next_compute_ < post_done_ + 2) {
+      pe_remaining_ = ops_[next_compute_].pe_cycles;
+      if (pe_remaining_ == 0) {
+        ++next_compute_;
+        ++compute_done_;
+      }
+    }
+    if (pe_remaining_ > 0) {
+      --pe_remaining_;
+      ++pe_busy_;
+      if (pe_remaining_ == 0) {
+        ++next_compute_;
+        ++compute_done_;
+      }
+    }
+    // Vector stage + store.
+    if (vec_remaining_ == 0 && next_post_ < compute_done_) {
+      vec_remaining_ = ops_[next_post_].vector_cycles;
+      if (vec_remaining_ == 0) {
+        dram_->request(ops_[next_post_].store_bytes);
+        ++next_post_;
+        ++post_done_;
+      }
+    }
+    if (vec_remaining_ > 0) {
+      --vec_remaining_;
+      ++vec_busy_;
+      if (vec_remaining_ == 0) {
+        dram_->request(ops_[next_post_].store_bytes);
+        ++next_post_;
+        ++post_done_;
+      }
+    }
+  }
+
+  bool busy() const override { return post_done_ < ops_.size(); }
+
+  std::uint64_t pe_busy() const { return pe_busy_; }
+  std::uint64_t vec_busy() const { return vec_busy_; }
+
+ private:
+  const std::vector<PipelineOp>& ops_;
+  DramModel* dram_;
+  std::vector<std::uint64_t> load_tickets_;
+  std::size_t next_load_ = 0;
+  std::size_t next_compute_ = 0;
+  std::size_t next_post_ = 0;
+  std::size_t compute_done_ = 0;
+  std::size_t post_done_ = 0;
+  std::uint64_t pe_remaining_ = 0;
+  std::uint64_t vec_remaining_ = 0;
+  std::uint64_t pe_busy_ = 0;
+  std::uint64_t vec_busy_ = 0;
+};
+
+}  // namespace
+
+BlockPipelineResult simulate_block_pipeline(const std::vector<PipelineOp>& ops,
+                                            const HwResources& hw) {
+  PARO_CHECK_MSG(!ops.empty(), "empty operator stream");
+  DramModel dram(hw.dram_bytes_per_cycle());
+  OpController controller(ops, &dram);
+  CycleEngine engine;
+  engine.add(&dram);
+  engine.add(&controller);
+  const std::uint64_t cycles = engine.run(1ULL << 40);
+
+  BlockPipelineResult result;
+  result.cycles = cycles;
+  result.pe_busy_cycles = controller.pe_busy();
+  result.vector_busy_cycles = controller.vec_busy();
+  result.dram_busy_cycles = dram.busy_cycles();
+  result.dram_bytes = dram.total_bytes();
+  return result;
+}
+
+std::vector<PipelineOp> pipeline_ops_from_costs(
+    const std::vector<OpCost>& costs) {
+  std::vector<PipelineOp> ops;
+  ops.reserve(costs.size());
+  for (const OpCost& c : costs) {
+    PipelineOp op;
+    op.pe_cycles = static_cast<std::uint64_t>(std::ceil(c.compute_cycles));
+    op.vector_cycles =
+        static_cast<std::uint64_t>(std::ceil(c.vector_cycles));
+    op.load_bytes = c.dram_bytes * 0.5;
+    op.store_bytes = c.dram_bytes * 0.5;
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+}  // namespace paro

@@ -1,0 +1,52 @@
+// Cycle-driven execution of an operator stream (one transformer block or
+// a whole diffusion step) on the PARO resource set.
+//
+// Generalises the fused-attention stripe pipeline to arbitrary operator
+// sequences: each operator carries PE cycles, vector cycles and DRAM
+// load/store bytes; operators execute in order, but the DMA of operator
+// i+1 overlaps the compute of operator i and the vector post-processing
+// of operator i−1 (double-buffered SRAM, window of 2).
+//
+// This is the cycle-driven counterpart of OverlapModel::run — the
+// operator model charges max(PE, vector, DRAM) per op, the pipeline here
+// executes the same stream against a FIFO DRAM channel and exclusive
+// PE / vector units.  Tests pin the two against each other; the bench
+// reports the gap at CogVideoX scale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/dram_model.hpp"
+#include "sim/overlap.hpp"
+#include "sim/resources.hpp"
+
+namespace paro {
+
+/// One operator for the cycle-driven block pipeline.
+struct PipelineOp {
+  std::uint64_t pe_cycles = 0;
+  std::uint64_t vector_cycles = 0;
+  double load_bytes = 0.0;   ///< DMA-in before compute can start
+  double store_bytes = 0.0;  ///< DMA-out after vector post-processing
+};
+
+struct BlockPipelineResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t pe_busy_cycles = 0;
+  std::uint64_t vector_busy_cycles = 0;
+  std::uint64_t dram_busy_cycles = 0;
+  double dram_bytes = 0.0;
+};
+
+/// Run the operator stream to completion (cycle-driven).
+BlockPipelineResult simulate_block_pipeline(const std::vector<PipelineOp>& ops,
+                                            const HwResources& hw);
+
+/// Convert the operator-level OpCost stream (ParoAccelerator::build_ops)
+/// into pipeline operators, splitting each op's DRAM bytes evenly between
+/// load and store (the overlap model does not distinguish them).
+std::vector<PipelineOp> pipeline_ops_from_costs(
+    const std::vector<OpCost>& costs);
+
+}  // namespace paro

@@ -1,0 +1,71 @@
+#include "paro/functional_units.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace paro {
+
+VectorUnitSim::VectorUnitSim(double lanes) : lanes_(lanes) {
+  PARO_CHECK_MSG(lanes > 0.0, "vector unit needs lanes");
+}
+
+std::uint64_t VectorUnitSim::job_cycles(const VectorJob& job, double lanes) {
+  PARO_CHECK_MSG(job.passes > 0, "job needs at least one pass");
+  const auto per_pass = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(job.elements) / lanes));
+  return static_cast<std::uint64_t>(job.passes) * per_pass;
+}
+
+void VectorUnitSim::submit(const VectorJob& job) {
+  queue_.push_back(job_cycles(job, lanes_));
+}
+
+void VectorUnitSim::tick(std::uint64_t /*cycle*/) {
+  if (queue_.empty()) return;
+  ++busy_cycles_;
+  if (--queue_.front() == 0) {
+    queue_.pop_front();
+    ++jobs_completed_;
+  }
+}
+
+bool VectorUnitSim::busy() const { return !queue_.empty(); }
+
+LdzUnitSim::LdzUnitSim(std::size_t lanes, std::size_t latency, int bits)
+    : lanes_(lanes), latency_(latency), bits_(bits) {
+  PARO_CHECK_MSG(lanes > 0, "LDZ unit needs lanes");
+  PARO_CHECK_MSG(latency >= 1, "pipeline latency must be >= 1");
+}
+
+void LdzUnitSim::submit(std::vector<std::int32_t> values) {
+  PARO_CHECK_MSG(inputs_.empty() && outputs_.empty(),
+                 "submit once per simulation");
+  inputs_ = std::move(values);
+  outputs_.reserve(inputs_.size());
+}
+
+void LdzUnitSim::tick(std::uint64_t cycle) {
+  // Retire batches whose results emerge this cycle.
+  while (!in_flight_.empty() && in_flight_.front().emerge_cycle <= cycle) {
+    const Batch batch = in_flight_.front();
+    in_flight_.pop_front();
+    for (std::size_t i = 0; i < batch.count; ++i) {
+      outputs_.push_back(ldz_truncate(inputs_[batch.first + i], bits_));
+    }
+    done_cycle_ = cycle;
+  }
+  // Issue the next batch of up to `lanes` values.
+  if (next_in_ < inputs_.size()) {
+    const std::size_t count =
+        std::min(lanes_, inputs_.size() - next_in_);
+    in_flight_.push_back({cycle + latency_, next_in_, count});
+    next_in_ += count;
+  }
+}
+
+bool LdzUnitSim::busy() const {
+  return next_in_ < inputs_.size() || !in_flight_.empty();
+}
+
+}  // namespace paro

@@ -1,0 +1,87 @@
+// Cycle-level models of PARO's auxiliary functional units (paper Fig. 4a):
+//
+//  * VectorUnitSim — the FP16 ALU array (Exp/Div/Add/Mult/Acc).  A job of
+//    E elements and P passes (softmax = 3: max, exp+sum, normalize; +1
+//    when the map is quantized inline) occupies the unit for
+//    P · ceil(E / lanes) cycles; jobs are served FIFO.
+//  * LdzUnitSim — the leading-zero detectors beside each PE row.  Values
+//    stream through at `lanes` per cycle with a fixed pipeline latency;
+//    outputs are the LdzCode truncations, in order, timed.
+//
+// Both are Components for the CycleEngine; tests pin their cycle counts
+// to the closed forms used by the operator-level simulator.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/fixedpoint.hpp"
+#include "sim/cycle_engine.hpp"
+
+namespace paro {
+
+/// One vector-unit job (e.g. softmax over a stripe of attention rows).
+struct VectorJob {
+  std::uint64_t elements = 0;
+  int passes = 3;
+};
+
+class VectorUnitSim : public Component {
+ public:
+  explicit VectorUnitSim(double lanes);
+
+  void submit(const VectorJob& job);
+
+  void tick(std::uint64_t cycle) override;
+  bool busy() const override;
+
+  std::uint64_t busy_cycles() const { return busy_cycles_; }
+  std::size_t jobs_completed() const { return jobs_completed_; }
+
+  /// Closed-form cycles for one job (what the operator model charges).
+  static std::uint64_t job_cycles(const VectorJob& job, double lanes);
+
+ private:
+  double lanes_;
+  std::deque<std::uint64_t> queue_;  ///< remaining cycles per queued job
+  std::uint64_t busy_cycles_ = 0;
+  std::size_t jobs_completed_ = 0;
+};
+
+/// Streaming leading-zero truncation unit.
+class LdzUnitSim : public Component {
+ public:
+  /// `lanes` values enter per cycle; results emerge `latency` cycles
+  /// later, in order.
+  LdzUnitSim(std::size_t lanes, std::size_t latency, int bits);
+
+  /// Feed the input stream (call before running the engine).
+  void submit(std::vector<std::int32_t> values);
+
+  void tick(std::uint64_t cycle) override;
+  bool busy() const override;
+
+  /// Truncated outputs (valid once the engine quiesces).
+  const std::vector<LdzCode>& outputs() const { return outputs_; }
+  /// Cycle at which the last result emerged.
+  std::uint64_t done_cycle() const { return done_cycle_; }
+
+ private:
+  std::size_t lanes_;
+  std::size_t latency_;
+  int bits_;
+  std::vector<std::int32_t> inputs_;
+  std::size_t next_in_ = 0;
+  /// In-flight batches: (emerge_cycle, first_index, count).
+  struct Batch {
+    std::uint64_t emerge_cycle;
+    std::size_t first;
+    std::size_t count;
+  };
+  std::deque<Batch> in_flight_;
+  std::vector<LdzCode> outputs_;
+  std::uint64_t done_cycle_ = 0;
+};
+
+}  // namespace paro

@@ -1,0 +1,176 @@
+#include "paro/fused_attention_sim.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/pe_array_sim.hpp"
+
+namespace paro {
+
+namespace {
+
+/// The stripe controller: drives stripes through LOAD → COMPUTE → POST,
+/// double-buffered against the shared DRAM channel.
+class StripeController : public Component {
+ public:
+  StripeController(const FusedAttentionParams& p, const HwResources& hw,
+                   DramModel* dram, SramBuffer* sram)
+      : dram_(dram), sram_(sram) {
+    PARO_CHECK(p.tokens > 0);
+    const double act_bytes = p.quantized ? 1.0 : 2.0;
+    const auto dh = static_cast<double>(p.head_dim);
+
+    // Stripe sizing (same rule as the operator-level model): the Q group
+    // with its FP32 accumulators owns half the SRAM.
+    const double acc_bytes = 6.0;
+    stripe_rows_ = static_cast<std::size_t>(std::max(
+        32.0, std::floor(hw.sram_bytes * 0.5 / (dh * acc_bytes))));
+    stripes_ = (p.tokens + stripe_rows_ - 1) / stripe_rows_;
+    stripe_working_set_ = static_cast<double>(stripe_rows_) * dh * acc_bytes;
+
+    // Pre-compute per-stripe costs.
+    const double rows = 32.0;
+    const double row_rate = hw.pe_macs_per_cycle / rows;
+    const auto base_cycles = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(p.map_block) * p.map_block * dh /
+                  row_rate));
+    load_bytes_.resize(stripes_);
+    pe_cycles_.resize(stripes_);
+    vec_cycles_.resize(stripes_);
+    store_bytes_.resize(stripes_);
+    Rng rng(p.seed);
+    for (std::size_t s = 0; s < stripes_; ++s) {
+      const std::size_t r0 = s * stripe_rows_;
+      const std::size_t r1 = std::min(r0 + stripe_rows_, p.tokens);
+      const std::size_t rows_here = r1 - r0;
+      load_bytes_[s] = act_bytes * (static_cast<double>(rows_here) * dh +
+                                    2.0 * static_cast<double>(p.tokens) * dh);
+      store_bytes_[s] = act_bytes * static_cast<double>(rows_here) * dh;
+
+      if (p.quantized) {
+        const std::size_t br = (rows_here + p.map_block - 1) / p.map_block;
+        const std::size_t bc = (p.tokens + p.map_block - 1) / p.map_block;
+        BitDistribution qk_bits = p.map_bits;
+        if (!p.output_bitwidth_aware) {
+          qk_bits = BitDistribution::uniform(8);
+        }
+        auto qk_jobs = qk_bits.make_jobs(br * bc, base_cycles, rng);
+        auto av_jobs = p.map_bits.make_jobs(br * bc, base_cycles, rng);
+        const PeArrayConfig pe_cfg{static_cast<std::size_t>(rows),
+                                   p.dispatcher};
+        pe_cycles_[s] = pe_array_cycles_analytic(pe_cfg, qk_jobs) +
+                        pe_array_cycles_analytic(pe_cfg, av_jobs);
+      } else {
+        const double macs = 2.0 * static_cast<double>(rows_here) *
+                            static_cast<double>(p.tokens) * dh;
+        pe_cycles_[s] = static_cast<std::uint64_t>(std::ceil(
+            macs / (hw.pe_macs_per_cycle * hw.fp16_rate_factor)));
+      }
+      const double passes = p.quantized ? 4.0 : 3.0;
+      vec_cycles_[s] = static_cast<std::uint64_t>(std::ceil(
+          passes * static_cast<double>(rows_here) *
+          static_cast<double>(p.tokens) / hw.vector_lanes));
+    }
+  }
+
+  void tick(std::uint64_t /*cycle*/) override {
+    // 1. issue loads within the double-buffer window (2 stripes beyond
+    //    the one currently computing).
+    while (next_load_ < stripes_ && next_load_ < compute_done_ + 2 &&
+           sram_->reserve(stripe_working_set_)) {
+      load_tickets_.push_back(dram_->request(load_bytes_[next_load_]));
+      ++next_load_;
+    }
+    // 2. PE array.
+    if (pe_remaining_ == 0 && next_compute_ < stripes_ &&
+        next_compute_ < load_tickets_.size() &&
+        dram_->complete(load_tickets_[next_compute_]) &&
+        next_compute_ < post_done_ + 2) {
+      pe_remaining_ = pe_cycles_[next_compute_];
+      if (pe_remaining_ == 0) {  // fully skipped stripe
+        ++next_compute_;
+        ++compute_done_;
+      }
+    }
+    if (pe_remaining_ > 0) {
+      --pe_remaining_;
+      ++pe_busy_;
+      if (pe_remaining_ == 0) {
+        ++next_compute_;
+        ++compute_done_;
+      }
+    }
+    // 3. vector unit (softmax + quant), then drain the stripe output.
+    if (vec_remaining_ == 0 && next_post_ < compute_done_) {
+      vec_remaining_ = vec_cycles_[next_post_];
+    }
+    if (vec_remaining_ > 0) {
+      --vec_remaining_;
+      ++vec_busy_;
+      if (vec_remaining_ == 0) {
+        dram_->request(store_bytes_[next_post_]);
+        sram_->release(stripe_working_set_);
+        ++next_post_;
+        ++post_done_;
+      }
+    }
+  }
+
+  bool busy() const override {
+    return post_done_ < stripes_;
+  }
+
+  std::size_t stripes() const { return stripes_; }
+  std::uint64_t pe_busy() const { return pe_busy_; }
+  std::uint64_t vec_busy() const { return vec_busy_; }
+
+ private:
+  DramModel* dram_;
+  SramBuffer* sram_;
+  std::size_t stripe_rows_ = 0;
+  std::size_t stripes_ = 0;
+  double stripe_working_set_ = 0.0;
+  std::vector<double> load_bytes_;
+  std::vector<std::uint64_t> pe_cycles_;
+  std::vector<std::uint64_t> vec_cycles_;
+  std::vector<double> store_bytes_;
+
+  std::vector<std::uint64_t> load_tickets_;
+  std::size_t next_load_ = 0;
+  std::size_t next_compute_ = 0;
+  std::size_t next_post_ = 0;
+  std::size_t compute_done_ = 0;
+  std::size_t post_done_ = 0;
+  std::uint64_t pe_remaining_ = 0;
+  std::uint64_t vec_remaining_ = 0;
+  std::uint64_t pe_busy_ = 0;
+  std::uint64_t vec_busy_ = 0;
+};
+
+}  // namespace
+
+FusedAttentionResult simulate_fused_attention(const FusedAttentionParams& p,
+                                              const HwResources& hw) {
+  DramModel dram(hw.dram_bytes_per_cycle());
+  SramBuffer sram(hw.sram_bytes);
+  StripeController controller(p, hw, &dram, &sram);
+
+  CycleEngine engine;
+  engine.add(&dram);
+  engine.add(&controller);
+  const std::uint64_t cycles = engine.run(1ULL << 40);
+
+  FusedAttentionResult result;
+  result.cycles = cycles;
+  result.dram_bytes = dram.total_bytes();
+  result.pe_busy_cycles = controller.pe_busy();
+  result.vector_busy_cycles = controller.vec_busy();
+  result.dram_busy_cycles = dram.busy_cycles();
+  result.stripes = controller.stripes();
+  result.sram_peak_bytes = sram.peak();
+  return result;
+}
+
+}  // namespace paro

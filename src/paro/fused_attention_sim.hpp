@@ -1,0 +1,53 @@
+// Cycle-driven model of PARO's fused attention pipeline for one head.
+//
+// Q is processed in stripes sized by the SRAM budget; each stripe flows
+// through a three-stage pipeline:
+//
+//   LOAD    DMA the stripe's Q rows plus the streamed K/V (DramModel)
+//   COMPUTE QKᵀ blocks then AttnV blocks on the PE array (dispatcher
+//           schedule, per-block bitwidths — pe_array_cycles_analytic,
+//           itself validated cycle-by-cycle against PeArraySim)
+//   POST    softmax + map quantization on the vector unit, then the
+//           output rows drain back over DRAM
+//
+// Stages of consecutive stripes overlap (double-buffered SRAM): while
+// stripe i computes, stripe i+1 loads and stripe i−1 post-processes.
+// This is the microarchitectural justification for the operator-level
+// OverlapModel the end-to-end simulator uses: tests check the two agree
+// to within the pipeline fill/drain overhead.
+#pragma once
+
+#include <cstdint>
+
+#include "paro/bit_distribution.hpp"
+#include "sim/dram_model.hpp"
+#include "sim/resources.hpp"
+
+namespace paro {
+
+struct FusedAttentionParams {
+  std::size_t tokens = 0;
+  std::size_t head_dim = 64;
+  std::size_t map_block = 64;     ///< attention-map tile side
+  BitDistribution map_bits = BitDistribution::paro_mp_default();
+  bool output_bitwidth_aware = true;
+  bool dispatcher = true;
+  bool quantized = true;          ///< INT8 flow vs FP16 baseline
+  std::uint64_t seed = 7;
+};
+
+struct FusedAttentionResult {
+  std::uint64_t cycles = 0;
+  double dram_bytes = 0.0;
+  std::uint64_t pe_busy_cycles = 0;
+  std::uint64_t vector_busy_cycles = 0;
+  std::uint64_t dram_busy_cycles = 0;
+  std::size_t stripes = 0;
+  double sram_peak_bytes = 0.0;
+};
+
+/// Run the cycle-driven pipeline to completion.
+FusedAttentionResult simulate_fused_attention(const FusedAttentionParams& p,
+                                              const HwResources& hw);
+
+}  // namespace paro

@@ -1,0 +1,149 @@
+#include "quant/affine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace paro {
+
+namespace {
+constexpr float kMinScale = 1e-12F;
+
+std::int64_t qmax_unsigned(int bits) { return (std::int64_t{1} << bits) - 1; }
+}  // namespace
+
+QuantParams calibrate_minmax(std::span<const float> values, int bits) {
+  PARO_CHECK_MSG(bits >= 1 && bits <= 16, "bits out of range");
+  PARO_CHECK_MSG(!values.empty(), "cannot calibrate an empty group");
+  float lo = values[0], hi = values[0];
+  for (const float v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  QuantParams p;
+  p.bits = bits;
+  p.symmetric = false;
+  const float range = hi - lo;
+  if (range <= 0.0F) {
+    // Degenerate (constant) group: pick a scale that represents the
+    // constant exactly at the top code.
+    p.scale = std::max(std::abs(lo) / static_cast<float>(qmax_unsigned(bits)),
+                       kMinScale);
+  } else {
+    p.scale =
+        std::max(range / static_cast<float>(qmax_unsigned(bits)), kMinScale);
+  }
+  // The zero point may be negative (all-positive groups) or exceed qmax
+  // (all-negative groups); codes are clamped at quantize time instead, so
+  // the representable interval stays [lo, hi].
+  p.zero_point = static_cast<std::int32_t>(std::lround(-lo / p.scale));
+  return p;
+}
+
+QuantParams calibrate_symmetric(std::span<const float> values, int bits) {
+  PARO_CHECK_MSG(bits >= 2 && bits <= 16, "symmetric quant needs >= 2 bits");
+  PARO_CHECK_MSG(!values.empty(), "cannot calibrate an empty group");
+  float amax = 0.0F;
+  for (const float v : values) {
+    amax = std::max(amax, std::abs(v));
+  }
+  QuantParams p;
+  p.bits = bits;
+  p.symmetric = true;
+  const auto qmax = static_cast<float>((std::int64_t{1} << (bits - 1)) - 1);
+  p.scale = std::max(amax / qmax, kMinScale);
+  p.zero_point = 0;
+  return p;
+}
+
+QuantParams calibrate_percentile(std::span<const float> values, int bits,
+                                 double clip) {
+  PARO_CHECK_MSG(clip >= 0.0 && clip < 0.5, "clip must be in [0, 0.5)");
+  PARO_CHECK_MSG(!values.empty(), "cannot calibrate an empty group");
+  if (clip == 0.0) {
+    return calibrate_minmax(values, bits);
+  }
+  std::vector<float> sorted(values.begin(), values.end());
+  const auto lo_index = static_cast<std::size_t>(
+      clip * static_cast<double>(sorted.size() - 1));
+  const auto hi_index = sorted.size() - 1 - lo_index;
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<std::ptrdiff_t>(lo_index),
+                   sorted.end());
+  const float lo = sorted[lo_index];
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<std::ptrdiff_t>(hi_index),
+                   sorted.end());
+  const float hi = sorted[hi_index];
+  // Reuse the min–max math on the clipped interval.
+  const float clipped[2] = {lo, hi};
+  return calibrate_minmax(clipped, bits);
+}
+
+std::int32_t quantize_value(float x, const QuantParams& p) {
+  const auto q = static_cast<std::int64_t>(
+      std::lround(static_cast<double>(x) / p.scale) + p.zero_point);
+  if (p.symmetric) {
+    const std::int64_t qmax = (std::int64_t{1} << (p.bits - 1)) - 1;
+    return static_cast<std::int32_t>(std::clamp(q, -qmax, qmax));
+  }
+  return static_cast<std::int32_t>(std::clamp<std::int64_t>(q, 0, qmax_unsigned(p.bits)));
+}
+
+float dequantize_value(std::int32_t q, const QuantParams& p) {
+  return p.scale * static_cast<float>(q - p.zero_point);
+}
+
+void quantize_span(std::span<const float> in, std::span<std::int32_t> out,
+                   const QuantParams& p) {
+  PARO_CHECK(in.size() == out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = quantize_value(in[i], p);
+  }
+}
+
+void fake_quant_span(std::span<const float> in, std::span<float> out,
+                     const QuantParams& p) {
+  PARO_CHECK(in.size() == out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = dequantize_value(quantize_value(in[i], p), p);
+  }
+}
+
+double quant_error_sq(std::span<const float> values, const QuantParams& p) {
+  double acc = 0.0;
+  for (const float v : values) {
+    const float r = dequantize_value(quantize_value(v, p), p);
+    const double d = static_cast<double>(v) - static_cast<double>(r);
+    acc += d * d;
+  }
+  return acc;
+}
+
+QuantParams fake_quant_group(std::span<float> values, int bits,
+                             bool symmetric) {
+  if (bits == 0) {
+    std::fill(values.begin(), values.end(), 0.0F);
+    QuantParams p;
+    p.bits = 0;
+    p.scale = kMinScale;
+    p.symmetric = symmetric;
+    return p;
+  }
+  if (bits >= 16) {
+    QuantParams p;
+    p.bits = bits;
+    p.scale = 1.0F;
+    p.symmetric = symmetric;
+    return p;  // treated as lossless FP16 passthrough
+  }
+  const QuantParams p = symmetric ? calibrate_symmetric(values, bits)
+                                  : calibrate_minmax(values, bits);
+  fake_quant_span(values, values, p);
+  return p;
+}
+
+}  // namespace paro

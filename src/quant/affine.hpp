@@ -1,0 +1,63 @@
+// Affine (uniform) quantization primitives (paper §II-B).
+//
+//   x ≈ x̂ = s · (x_int − z),   x_int = clamp(⌊x/s⌉ + z, 0, 2^b − 1)
+//
+// Dynamic min–max calibration per group: s = (max(x) − min(x)) / (2^b − 1),
+// z = ⌊−min(x)/s⌉.  A symmetric signed variant (used for Q/K/V/weights,
+// where values straddle zero) maps to [−(2^(b−1)−1), 2^(b−1)−1] with z = 0.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace paro {
+
+/// Quantization parameters for one group.
+struct QuantParams {
+  float scale = 1.0F;       ///< step size s (always > 0)
+  std::int32_t zero_point = 0;  ///< z; 0 for symmetric mode
+  int bits = 8;             ///< bitwidth b
+  bool symmetric = false;   ///< signed-symmetric vs unsigned-asymmetric
+};
+
+/// Min–max calibration of an asymmetric unsigned quantizer over `values`.
+/// Degenerate groups (max == min) get a tiny positive scale so round-trip
+/// reproduces the constant exactly.
+QuantParams calibrate_minmax(std::span<const float> values, int bits);
+
+/// Min–max calibration of a symmetric signed quantizer (z = 0,
+/// s = max|x| / (2^(b−1) − 1)).
+QuantParams calibrate_symmetric(std::span<const float> values, int bits);
+
+/// Percentile-clipped calibration (beyond-paper ablation): the range is
+/// set to the [clip, 1−clip] quantiles instead of [min, max], trading
+/// clipping error on rare outliers for resolution on the bulk.
+/// `clip` ∈ [0, 0.5); clip = 0 degenerates to calibrate_minmax.
+QuantParams calibrate_percentile(std::span<const float> values, int bits,
+                                 double clip);
+
+/// Quantize one value (round-to-nearest, clamped to the b-bit range).
+std::int32_t quantize_value(float x, const QuantParams& p);
+
+/// Dequantize one integer code.
+float dequantize_value(std::int32_t q, const QuantParams& p);
+
+/// Quantize a span into integer codes.
+void quantize_span(std::span<const float> in, std::span<std::int32_t> out,
+                   const QuantParams& p);
+
+/// Fake-quantize (quantize + dequantize) a span in one pass.  `in` and
+/// `out` may alias.
+void fake_quant_span(std::span<const float> in, std::span<float> out,
+                     const QuantParams& p);
+
+/// Sum of squared quantization errors of `values` under params `p`.
+double quant_error_sq(std::span<const float> values, const QuantParams& p);
+
+/// Convenience: calibrate + fake-quantize a group in place and return the
+/// parameters used.  `bits == 0` zeroes the group (PARO's "skip" bitwidth);
+/// `bits >= 16` is treated as lossless passthrough.
+QuantParams fake_quant_group(std::span<float> values, int bits,
+                             bool symmetric);
+
+}  // namespace paro

@@ -1,0 +1,95 @@
+#include "quant/bittable.hpp"
+
+#include <algorithm>
+
+namespace paro {
+
+BlockGrid::BlockGrid(std::size_t rows, std::size_t cols, std::size_t block)
+    : rows_(rows), cols_(cols), block_(block) {
+  PARO_CHECK_MSG(rows > 0 && cols > 0, "empty grid");
+  PARO_CHECK_MSG(block > 0, "block size must be positive");
+  block_rows_ = (rows + block - 1) / block;
+  block_cols_ = (cols + block - 1) / block;
+}
+
+BlockGrid::Extent BlockGrid::extent(std::size_t br, std::size_t bc) const {
+  PARO_CHECK(br < block_rows_ && bc < block_cols_);
+  Extent e;
+  e.r0 = br * block_;
+  e.r1 = std::min(e.r0 + block_, rows_);
+  e.c0 = bc * block_;
+  e.c1 = std::min(e.c0 + block_, cols_);
+  return e;
+}
+
+int bit_choice_index(int bits) {
+  for (int i = 0; i < kNumBitChoices; ++i) {
+    if (kBitChoices[i] == bits) return i;
+  }
+  throw ConfigError("bitwidth must be one of {0,2,4,8}, got " +
+                    std::to_string(bits));
+}
+
+BitTable::BitTable(BlockGrid grid, int initial_bits)
+    : grid_(grid),
+      bits_(grid.num_blocks(), static_cast<std::int8_t>(initial_bits)) {
+  bit_choice_index(initial_bits);  // validate
+}
+
+void BitTable::set_bits(std::size_t br, std::size_t bc, int bits) {
+  bit_choice_index(bits);
+  bits_[grid_.flat_index(br, bc)] = static_cast<std::int8_t>(bits);
+}
+
+void BitTable::set_bits_flat(std::size_t index, int bits) {
+  bit_choice_index(bits);
+  bits_.at(index) = static_cast<std::int8_t>(bits);
+}
+
+double BitTable::average_bitwidth() const {
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t br = 0; br < grid_.block_rows(); ++br) {
+    for (std::size_t bc = 0; bc < grid_.block_cols(); ++bc) {
+      const auto count =
+          static_cast<double>(grid_.extent(br, bc).count());
+      weighted += count * bits_at(br, bc);
+      total += count;
+    }
+  }
+  return total == 0.0 ? 0.0 : weighted / total;
+}
+
+double BitTable::fraction_at(int bits) const {
+  double at = 0.0;
+  double total = 0.0;
+  for (std::size_t br = 0; br < grid_.block_rows(); ++br) {
+    for (std::size_t bc = 0; bc < grid_.block_cols(); ++bc) {
+      const auto count =
+          static_cast<double>(grid_.extent(br, bc).count());
+      if (bits_at(br, bc) == bits) at += count;
+      total += count;
+    }
+  }
+  return total == 0.0 ? 0.0 : at / total;
+}
+
+std::size_t BitTable::tiles_at(int bits) const {
+  return static_cast<std::size_t>(
+      std::count(bits_.begin(), bits_.end(), static_cast<std::int8_t>(bits)));
+}
+
+std::string BitTable::to_ascii() const {
+  std::string out;
+  out.reserve((grid_.block_cols() + 1) * grid_.block_rows());
+  for (std::size_t br = 0; br < grid_.block_rows(); ++br) {
+    for (std::size_t bc = 0; bc < grid_.block_cols(); ++bc) {
+      const int b = bits_at(br, bc);
+      out.push_back(b == 0 ? '.' : static_cast<char>('0' + b));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace paro

@@ -1,0 +1,92 @@
+// Block geometry and per-block bitwidth tables.
+//
+// The attention map [N, N] is tiled into `block × block` tiles (ragged at
+// the edges when N is not a multiple).  A BitTable assigns every tile a
+// bitwidth from {0, 2, 4, 8}: the output format of PARO's mixed-precision
+// allocator and the control input of the PE-array dispatcher.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace paro {
+
+/// Tiling of an R×C matrix into square tiles of side `block`.
+class BlockGrid {
+ public:
+  BlockGrid(std::size_t rows, std::size_t cols, std::size_t block);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t block() const { return block_; }
+  std::size_t block_rows() const { return block_rows_; }
+  std::size_t block_cols() const { return block_cols_; }
+  std::size_t num_blocks() const { return block_rows_ * block_cols_; }
+
+  /// Half-open element range covered by tile (br, bc).
+  struct Extent {
+    std::size_t r0, r1, c0, c1;
+    std::size_t rows() const { return r1 - r0; }
+    std::size_t cols() const { return c1 - c0; }
+    std::size_t count() const { return rows() * cols(); }
+  };
+  Extent extent(std::size_t br, std::size_t bc) const;
+
+  /// Flat tile index (row-major over tiles).
+  std::size_t flat_index(std::size_t br, std::size_t bc) const {
+    PARO_CHECK(br < block_rows_ && bc < block_cols_);
+    return br * block_cols_ + bc;
+  }
+
+  bool operator==(const BlockGrid& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           block_ == other.block_;
+  }
+
+ private:
+  std::size_t rows_, cols_, block_;
+  std::size_t block_rows_, block_cols_;
+};
+
+/// PARO's attention-map bitwidth alphabet (paper Eq. 1).
+inline constexpr int kBitChoices[] = {0, 2, 4, 8};
+inline constexpr int kNumBitChoices = 4;
+
+/// Index of `bits` inside kBitChoices; throws for other values.
+int bit_choice_index(int bits);
+
+/// Per-tile bitwidth assignment over a BlockGrid.
+class BitTable {
+ public:
+  explicit BitTable(BlockGrid grid, int initial_bits = 8);
+
+  const BlockGrid& grid() const { return grid_; }
+
+  int bits_at(std::size_t br, std::size_t bc) const {
+    return bits_[grid_.flat_index(br, bc)];
+  }
+  int bits_flat(std::size_t index) const { return bits_.at(index); }
+  void set_bits(std::size_t br, std::size_t bc, int bits);
+  void set_bits_flat(std::size_t index, int bits);
+
+  /// Element-weighted average bitwidth (the paper's "average 4.80 bit").
+  double average_bitwidth() const;
+
+  /// Fraction of tiles (element-weighted) at exactly `bits`.
+  double fraction_at(int bits) const;
+
+  /// Count of tiles at exactly `bits`.
+  std::size_t tiles_at(int bits) const;
+
+  /// Human-readable tile map ('.', '2', '4', '8') for debugging / Fig. 8.
+  std::string to_ascii() const;
+
+ private:
+  BlockGrid grid_;
+  std::vector<std::int8_t> bits_;
+};
+
+}  // namespace paro

@@ -1,0 +1,155 @@
+#include "quant/blockwise.hpp"
+
+#include <cmath>
+
+namespace paro {
+
+namespace {
+
+/// Copy a tile into a scratch vector.
+void gather_tile(const MatF& m, const BlockGrid::Extent& e,
+                 std::vector<float>& scratch) {
+  scratch.clear();
+  scratch.reserve(e.count());
+  for (std::size_t r = e.r0; r < e.r1; ++r) {
+    const auto row = m.row(r);
+    scratch.insert(scratch.end(), row.begin() + static_cast<std::ptrdiff_t>(e.c0),
+                   row.begin() + static_cast<std::ptrdiff_t>(e.c1));
+  }
+}
+
+void scatter_tile(MatF& m, const BlockGrid::Extent& e,
+                  const std::vector<float>& scratch) {
+  std::size_t k = 0;
+  for (std::size_t r = e.r0; r < e.r1; ++r) {
+    auto row = m.row(r);
+    for (std::size_t c = e.c0; c < e.c1; ++c) {
+      row[c] = scratch[k++];
+    }
+  }
+}
+
+}  // namespace
+
+MatF fake_quant_blockwise(const MatF& attn, std::size_t block, int bits) {
+  const BlockGrid grid(attn.rows(), attn.cols(), block);
+  MatF out = attn;
+  std::vector<float> tile;
+  for (std::size_t br = 0; br < grid.block_rows(); ++br) {
+    for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
+      const auto e = grid.extent(br, bc);
+      gather_tile(out, e, tile);
+      fake_quant_group(tile, bits, /*symmetric=*/false);
+      scatter_tile(out, e, tile);
+    }
+  }
+  return out;
+}
+
+MatF fake_quant_blockwise_mixed(const MatF& attn, const BitTable& table) {
+  const BlockGrid& grid = table.grid();
+  PARO_CHECK_MSG(grid.rows() == attn.rows() && grid.cols() == attn.cols(),
+                 "BitTable grid does not match attention map shape");
+  MatF out = attn;
+  std::vector<float> tile;
+  for (std::size_t br = 0; br < grid.block_rows(); ++br) {
+    for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
+      const auto e = grid.extent(br, bc);
+      gather_tile(out, e, tile);
+      fake_quant_group(tile, table.bits_at(br, bc), /*symmetric=*/false);
+      scatter_tile(out, e, tile);
+    }
+  }
+  return out;
+}
+
+std::vector<BlockQuantStats> collect_block_stats(const MatF& attn,
+                                                 std::size_t block) {
+  const BlockGrid grid(attn.rows(), attn.cols(), block);
+  std::vector<BlockQuantStats> stats;
+  stats.reserve(grid.num_blocks());
+  std::vector<float> tile;
+  for (std::size_t br = 0; br < grid.block_rows(); ++br) {
+    for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
+      const auto e = grid.extent(br, bc);
+      gather_tile(attn, e, tile);
+      BlockQuantStats s;
+      s.block_row = br;
+      s.block_col = bc;
+      s.count = tile.size();
+      for (const float v : tile) {
+        s.value_sum += v;
+        s.abs_mean += std::abs(v);
+      }
+      s.abs_mean /= static_cast<double>(tile.size());
+      for (int bi = 0; bi < kNumBitChoices; ++bi) {
+        const int bits = kBitChoices[bi];
+        if (bits == 0) {
+          // Skipping the tile leaves the full signal as error.
+          double sq = 0.0;
+          for (const float v : tile) sq += static_cast<double>(v) * v;
+          s.error_l2[bi] = std::sqrt(sq);
+        } else {
+          const QuantParams p = calibrate_minmax(tile, bits);
+          s.error_l2[bi] = std::sqrt(quant_error_sq(tile, p));
+        }
+      }
+      stats.push_back(s);
+    }
+  }
+  return stats;
+}
+
+double blockwise_quant_error_sq(const MatF& attn, std::size_t block,
+                                int bits) {
+  const BlockGrid grid(attn.rows(), attn.cols(), block);
+  std::vector<float> tile;
+  double total = 0.0;
+  for (std::size_t br = 0; br < grid.block_rows(); ++br) {
+    for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
+      gather_tile(attn, grid.extent(br, bc), tile);
+      if (bits == 0) {
+        for (const float v : tile) total += static_cast<double>(v) * v;
+      } else {
+        const QuantParams p = calibrate_minmax(tile, bits);
+        total += quant_error_sq(tile, p);
+      }
+    }
+  }
+  return total;
+}
+
+MatF block_mass(const MatF& attn, std::size_t block) {
+  const BlockGrid grid(attn.rows(), attn.cols(), block);
+  MatF mass(grid.block_rows(), grid.block_cols(), 0.0F);
+  for (std::size_t br = 0; br < grid.block_rows(); ++br) {
+    for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
+      const auto e = grid.extent(br, bc);
+      double sum = 0.0;
+      for (std::size_t r = e.r0; r < e.r1; ++r) {
+        const auto row = attn.row(r);
+        for (std::size_t c = e.c0; c < e.c1; ++c) {
+          sum += row[c];
+        }
+      }
+      mass(br, bc) = static_cast<float>(sum / static_cast<double>(e.count()));
+    }
+  }
+  return mass;
+}
+
+double block_diagonality(const MatF& attn, std::size_t block) {
+  PARO_CHECK_MSG(attn.rows() == attn.cols(),
+                 "block_diagonality needs a square map");
+  const MatF mass = block_mass(attn, block);
+  double diag = 0.0, total = 0.0;
+  for (std::size_t br = 0; br < mass.rows(); ++br) {
+    for (std::size_t bc = 0; bc < mass.cols(); ++bc) {
+      total += mass(br, bc);
+      if (br == bc) diag += mass(br, bc);
+    }
+  }
+  return total == 0.0 ? 0.0 : diag / total;
+}
+
+}  // namespace paro

@@ -1,0 +1,56 @@
+// Block-wise quantization of attention maps (paper §III-A).
+//
+// Instead of one (s, z) per row — where diagonal "outliers" inflate the
+// scale and crush the rest of the row to zero — each block×block tile gets
+// its own parameters.  After the PARO token reorder the large values
+// cluster into few tiles, so most tiles see a small dynamic range.
+#pragma once
+
+#include <vector>
+
+#include "quant/affine.hpp"
+#include "quant/bittable.hpp"
+#include "tensor/matrix.hpp"
+
+namespace paro {
+
+/// Fake-quantize `attn` tile-by-tile with a uniform bitwidth.
+/// Attention maps are non-negative (post-softmax), so the asymmetric
+/// unsigned quantizer is used.
+MatF fake_quant_blockwise(const MatF& attn, std::size_t block, int bits);
+
+/// Fake-quantize with per-tile bitwidths from `table` (0 bits zeroes the
+/// tile — the hardware skips it entirely).
+MatF fake_quant_blockwise_mixed(const MatF& attn, const BitTable& table);
+
+/// Per-tile data statistics feeding the mixed-precision sensitivity metric:
+/// sum of values ("block importance") and the quantization error achieved
+/// at each candidate bitwidth ("quantization difficulty").
+struct BlockQuantStats {
+  std::size_t block_row = 0;
+  std::size_t block_col = 0;
+  std::size_t count = 0;          ///< elements in the tile
+  double value_sum = 0.0;         ///< Σ x  over the tile (x ≥ 0 post-softmax)
+  double abs_mean = 0.0;          ///< mean |x|
+  /// L2 quantization error ‖x − x_q‖₂ at each bitwidth in kBitChoices order
+  /// (index via bit_choice_index).
+  double error_l2[kNumBitChoices] = {0, 0, 0, 0};
+};
+
+/// Collect BlockQuantStats for every tile of `attn`.
+std::vector<BlockQuantStats> collect_block_stats(const MatF& attn,
+                                                 std::size_t block);
+
+/// Total squared error of quantizing `attn` block-wise at `bits`
+/// (Σ over tiles of the per-tile squared error).
+double blockwise_quant_error_sq(const MatF& attn, std::size_t block, int bits);
+
+/// Per-tile mean value map (block_rows × block_cols) — the "mass" picture
+/// used by the Fig. 8 pattern visualisation and the block-diagonality score.
+MatF block_mass(const MatF& attn, std::size_t block);
+
+/// Block-diagonality score in [0, 1]: fraction of total mass that lies in
+/// tiles on the block diagonal.  Requires a square map.
+double block_diagonality(const MatF& attn, std::size_t block);
+
+}  // namespace paro

@@ -1,0 +1,71 @@
+#include "quant/granularity.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace paro {
+
+MatF fake_quant_matrix(const MatF& m, Granularity granularity, int bits,
+                       bool symmetric, std::vector<QuantParams>* params_out) {
+  MatF out = m;
+  std::vector<QuantParams> params;
+  switch (granularity) {
+    case Granularity::kPerTensor: {
+      params.push_back(fake_quant_group(out.flat(), bits, symmetric));
+      break;
+    }
+    case Granularity::kPerRow: {
+      params.reserve(out.rows());
+      for (std::size_t r = 0; r < out.rows(); ++r) {
+        params.push_back(fake_quant_group(out.row(r), bits, symmetric));
+      }
+      break;
+    }
+    case Granularity::kPerColumn: {
+      // Transpose, quantize rows, transpose back: simple and obviously
+      // correct; the quality experiments are small enough not to care.
+      MatF t = transpose(out);
+      params.reserve(t.rows());
+      for (std::size_t r = 0; r < t.rows(); ++r) {
+        params.push_back(fake_quant_group(t.row(r), bits, symmetric));
+      }
+      out = transpose(t);
+      break;
+    }
+  }
+  if (params_out != nullptr) {
+    *params_out = std::move(params);
+  }
+  return out;
+}
+
+QuantizedI8 quantize_rows_i8(const MatF& m, int bits) {
+  PARO_CHECK_MSG(bits >= 2 && bits <= 8, "int8-path bits must be in [2,8]");
+  QuantizedI8 q;
+  q.codes = MatI8(m.rows(), m.cols());
+  q.row_params.reserve(m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const QuantParams p = calibrate_symmetric(m.row(r), bits);
+    const auto src = m.row(r);
+    auto dst = q.codes.row(r);
+    for (std::size_t c = 0; c < src.size(); ++c) {
+      dst[c] = static_cast<std::int8_t>(quantize_value(src[c], p));
+    }
+    q.row_params.push_back(p);
+  }
+  return q;
+}
+
+MatF dequantize_rows(const QuantizedI8& q) {
+  MatF out(q.codes.rows(), q.codes.cols());
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    const QuantParams& p = q.row_params.at(r);
+    const auto src = q.codes.row(r);
+    auto dst = out.row(r);
+    for (std::size_t c = 0; c < src.size(); ++c) {
+      dst[c] = dequantize_value(src[c], p);
+    }
+  }
+  return out;
+}
+
+}  // namespace paro

@@ -1,0 +1,37 @@
+// Quantization granularities (paper §II-B):
+//   * per-tensor  — one (s, z) for the whole matrix
+//   * per-row     — "per-token" for activations / attention-map rows
+//   * per-column  — "per-dimension" for weights and V
+//
+// All functions fake-quantize (quantize + dequantize) so downstream FP math
+// sees exactly the values the integer pipeline would produce.
+#pragma once
+
+#include <vector>
+
+#include "quant/affine.hpp"
+#include "tensor/matrix.hpp"
+
+namespace paro {
+
+enum class Granularity { kPerTensor, kPerRow, kPerColumn };
+
+/// Fake-quantize `m` at the given granularity and bitwidth; returns the
+/// quantized copy and (via out-param, if non-null) the group parameters in
+/// group order (1 for per-tensor, rows for per-row, cols for per-column).
+MatF fake_quant_matrix(const MatF& m, Granularity granularity, int bits,
+                       bool symmetric,
+                       std::vector<QuantParams>* params_out = nullptr);
+
+/// Integer-quantize `m` to int8 codes with symmetric per-row calibration.
+/// This is the representation the PE array consumes for Q/K/V.
+struct QuantizedI8 {
+  MatI8 codes;
+  std::vector<QuantParams> row_params;  ///< one per row
+};
+QuantizedI8 quantize_rows_i8(const MatF& m, int bits = 8);
+
+/// Dequantize a QuantizedI8 back to float (for checking / reference paths).
+MatF dequantize_rows(const QuantizedI8& q);
+
+}  // namespace paro

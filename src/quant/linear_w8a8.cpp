@@ -1,0 +1,51 @@
+#include "quant/linear_w8a8.hpp"
+
+#include "quant/granularity.hpp"
+#include "tensor/ops.hpp"
+
+namespace paro {
+
+LinearW8A8::LinearW8A8(const MatF& weight) {
+  codes_ = MatI8(weight.rows(), weight.cols());
+  channel_params_.reserve(weight.rows());
+  for (std::size_t r = 0; r < weight.rows(); ++r) {
+    const QuantParams p = calibrate_symmetric(weight.row(r), 8);
+    const auto src = weight.row(r);
+    auto dst = codes_.row(r);
+    for (std::size_t c = 0; c < src.size(); ++c) {
+      dst[c] = static_cast<std::int8_t>(quantize_value(src[c], p));
+    }
+    channel_params_.push_back(p);
+  }
+}
+
+MatF LinearW8A8::forward(const MatF& x) const {
+  PARO_CHECK_MSG(x.cols() == in_features(), "LinearW8A8 input width mismatch");
+  const QuantizedI8 xa = quantize_rows_i8(x, 8);
+  const MatI32 acc = matmul_nt_i8(xa.codes, codes_);
+  MatF y(x.rows(), out_features());
+  for (std::size_t t = 0; t < y.rows(); ++t) {
+    const float sx = xa.row_params[t].scale;
+    const auto arow = acc.row(t);
+    auto yrow = y.row(t);
+    for (std::size_t o = 0; o < yrow.size(); ++o) {
+      yrow[o] = static_cast<float>(arow[o]) * sx * channel_params_[o].scale;
+    }
+  }
+  return y;
+}
+
+MatF LinearW8A8::dequantized_weight() const {
+  MatF w(codes_.rows(), codes_.cols());
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    const float s = channel_params_[r].scale;
+    const auto src = codes_.row(r);
+    auto dst = w.row(r);
+    for (std::size_t c = 0; c < src.size(); ++c) {
+      dst[c] = static_cast<float>(src[c]) * s;
+    }
+  }
+  return w;
+}
+
+}  // namespace paro

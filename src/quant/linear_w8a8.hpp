@@ -1,0 +1,43 @@
+// W8A8 quantized linear layer (paper §V-A: "weights and activations of all
+// linear layers are quantized to INT8").
+//
+// Weight codes are produced offline with per-output-channel symmetric
+// calibration; activations are quantized online per token (per row).  The
+// integer GEMM accumulates in int32 and the per-(token, channel) scale
+// product dequantizes the result — exactly the dataflow of the PARO PE
+// array + vector unit (fixed-point accumulate, FP16 rescale).
+#pragma once
+
+#include <vector>
+
+#include "quant/affine.hpp"
+#include "tensor/matrix.hpp"
+
+namespace paro {
+
+/// An INT8 linear layer y = x · Wᵀ with per-channel weight scales.
+class LinearW8A8 {
+ public:
+  /// Empty layer; forward() on it throws.  Exists so aggregates holding
+  /// quantized twins can be built before weights are assigned.
+  LinearW8A8() = default;
+
+  /// Quantize FP weights offline.  `weight` is [out_features, in_features].
+  explicit LinearW8A8(const MatF& weight);
+
+  std::size_t in_features() const { return codes_.cols(); }
+  std::size_t out_features() const { return codes_.rows(); }
+
+  /// Quantize `x` per row to INT8, run the integer GEMM, dequantize.
+  /// `x` is [tokens, in_features]; result [tokens, out_features].
+  MatF forward(const MatF& x) const;
+
+  /// The dequantized weights actually used (for error analyses).
+  MatF dequantized_weight() const;
+
+ private:
+  MatI8 codes_;                        // [out, in]
+  std::vector<QuantParams> channel_params_;  // one per output channel
+};
+
+}  // namespace paro

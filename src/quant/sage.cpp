@@ -1,0 +1,96 @@
+#include "quant/sage.hpp"
+
+#include <cmath>
+
+#include "quant/granularity.hpp"
+#include "tensor/ops.hpp"
+
+namespace paro {
+
+namespace {
+
+/// Subtract the per-channel mean of K (SageAttention's outlier smoothing).
+/// Softmax is invariant to adding a constant per query row, and
+/// q · (k − k̄) differs from q · k by a row-constant, so this is exact.
+MatF smooth_k(const MatF& k) {
+  MatF out = k;
+  for (std::size_t c = 0; c < k.cols(); ++c) {
+    double mean = 0.0;
+    for (std::size_t r = 0; r < k.rows(); ++r) mean += k(r, c);
+    mean /= static_cast<double>(k.rows());
+    for (std::size_t r = 0; r < k.rows(); ++r) {
+      out(r, c) = static_cast<float>(k(r, c) - mean);
+    }
+  }
+  return out;
+}
+
+float default_scale(const MatF& q, float scale) {
+  return scale > 0.0F ? scale
+                      : 1.0F / std::sqrt(static_cast<float>(q.cols()));
+}
+
+}  // namespace
+
+MatF sage_attention_map(const MatF& q, const MatF& k, float scale) {
+  PARO_CHECK_MSG(q.cols() == k.cols(), "q/k head_dim mismatch");
+  const MatF ks = smooth_k(k);
+  const QuantizedI8 qq = quantize_rows_i8(q, 8);
+  const QuantizedI8 kq = quantize_rows_i8(ks, 8);
+  const MatI32 acc = matmul_nt_i8(qq.codes, kq.codes);
+  MatF logits(q.rows(), k.rows());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const float si = qq.row_params[i].scale;
+    const auto arow = acc.row(i);
+    auto lrow = logits.row(i);
+    for (std::size_t j = 0; j < lrow.size(); ++j) {
+      lrow[j] = static_cast<float>(arow[j]) * si * kq.row_params[j].scale;
+    }
+  }
+  return softmax_rows(logits, default_scale(q, scale));
+}
+
+MatF sage_attention(const MatF& q, const MatF& k, const MatF& v, float scale) {
+  const MatF attn = sage_attention_map(q, k, scale);
+  return matmul(attn, v);
+}
+
+namespace {
+
+/// Fake-quantize rows of `m` to INT4 with one symmetric scale per group of
+/// `group_rows` consecutive rows (SageAttention2's per-thread-group INT4).
+MatF fake_quant_row_groups_int4(const MatF& m, std::size_t group_rows) {
+  MatF out = m;
+  for (std::size_t g0 = 0; g0 < m.rows(); g0 += group_rows) {
+    const std::size_t g1 = std::min(g0 + group_rows, m.rows());
+    float amax = 0.0F;
+    for (std::size_t r = g0; r < g1; ++r) {
+      for (const float v : m.row(r)) {
+        amax = std::max(amax, std::abs(v));
+      }
+    }
+    QuantParams p;
+    p.bits = 4;
+    p.symmetric = true;
+    p.scale = std::max(amax / 7.0F, 1e-12F);
+    for (std::size_t r = g0; r < g1; ++r) {
+      fake_quant_span(out.row(r), out.row(r), p);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MatF sage2_attention(const MatF& q, const MatF& k, const MatF& v,
+                     std::size_t group_rows, float scale) {
+  PARO_CHECK_MSG(q.cols() == k.cols(), "q/k head_dim mismatch");
+  PARO_CHECK_MSG(group_rows > 0, "group_rows must be positive");
+  const MatF ks = smooth_k(k);
+  const MatF q4 = fake_quant_row_groups_int4(q, group_rows);
+  const MatF k4 = fake_quant_row_groups_int4(ks, group_rows);
+  const MatF attn = softmax_rows(matmul_nt(q4, k4), default_scale(q, scale));
+  return matmul(attn, v);
+}
+
+}  // namespace paro

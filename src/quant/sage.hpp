@@ -1,0 +1,34 @@
+// SageAttention-style baseline (paper Table I row "SageAttention").
+//
+// SageAttention quantizes only Q and K to INT8 (per token, after smoothing
+// K by subtracting its per-channel mean) and computes QKᵀ in INT8; softmax,
+// the attention map, and AttnV stay in high precision.  It therefore
+// accelerates only half the attention FLOPs — the motivating limitation
+// PARO addresses (§III-A).
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace paro {
+
+/// Attention with INT8 Q/K (per-token symmetric, K mean-smoothed) and FP
+/// softmax / AttnV.  `q`,`k`,`v` are [tokens, head_dim]; returns the
+/// attention output [tokens, head_dim].  `scale` is 1/sqrt(d) unless the
+/// caller overrides.
+MatF sage_attention(const MatF& q, const MatF& k, const MatF& v,
+                    float scale = -1.0F);
+
+/// The INT8-reconstructed attention map itself (before AttnV), used by the
+/// quality metrics that compare attention maps directly.
+MatF sage_attention_map(const MatF& q, const MatF& k, float scale = -1.0F);
+
+/// SageAttention2-style variant (Zhang et al. 2024, the paper's ref [17]):
+/// Q/K quantized to INT4 per token GROUP of `group_rows` rows (finer than
+/// per-tensor, coarser than per-token) after mean smoothing; softmax and
+/// AttnV stay high-precision.  Included as the natural follow-up baseline
+/// the paper cites — it accelerates QKᵀ 2× further than SageAttention but
+/// still leaves AttnV and the map untouched, which is PARO's opening.
+MatF sage2_attention(const MatF& q, const MatF& k, const MatF& v,
+                     std::size_t group_rows = 32, float scale = -1.0F);
+
+}  // namespace paro

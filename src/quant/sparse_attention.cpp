@@ -1,0 +1,220 @@
+#include "quant/sparse_attention.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "quant/granularity.hpp"
+#include "tensor/ops.hpp"
+
+namespace paro {
+
+namespace {
+float default_scale(const MatF& q, float scale) {
+  return scale > 0.0F ? scale
+                      : 1.0F / std::sqrt(static_cast<float>(q.cols()));
+}
+}  // namespace
+
+double SparseMask::density() const {
+  if (keep.size() == 0) return 0.0;
+  std::size_t kept = 0;
+  for (const auto v : keep.flat()) {
+    kept += v != 0 ? 1 : 0;
+  }
+  return static_cast<double>(kept) / static_cast<double>(keep.size());
+}
+
+std::vector<std::size_t> SparseMask::row_nnz() const {
+  std::vector<std::size_t> nnz(keep.rows(), 0);
+  for (std::size_t r = 0; r < keep.rows(); ++r) {
+    const auto row = keep.row(r);
+    nnz[r] = static_cast<std::size_t>(
+        std::count_if(row.begin(), row.end(), [](auto v) { return v != 0; }));
+  }
+  return nnz;
+}
+
+double SparseMask::row_imbalance() const {
+  const auto nnz = row_nnz();
+  if (nnz.empty()) return 1.0;
+  const auto total = std::accumulate(nnz.begin(), nnz.end(), std::size_t{0});
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(nnz.size());
+  if (mean == 0.0) return 1.0;
+  const auto maxv = *std::max_element(nnz.begin(), nnz.end());
+  return static_cast<double>(maxv) / mean;
+}
+
+SparseMask sanger_predict_mask(const MatF& q, const MatF& k, float threshold,
+                               int pred_bits, float scale) {
+  PARO_CHECK_MSG(q.cols() == k.cols(), "q/k head_dim mismatch");
+  const QuantizedI8 qq = quantize_rows_i8(q, pred_bits);
+  const QuantizedI8 kq = quantize_rows_i8(k, pred_bits);
+  const MatI32 acc = matmul_nt_i8(qq.codes, kq.codes);
+  MatF logits(q.rows(), k.rows());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const float si = qq.row_params[i].scale;
+    const auto arow = acc.row(i);
+    auto lrow = logits.row(i);
+    for (std::size_t j = 0; j < lrow.size(); ++j) {
+      lrow[j] = static_cast<float>(arow[j]) * si * kq.row_params[j].scale;
+    }
+  }
+  const MatF predicted = softmax_rows(logits, default_scale(q, scale));
+  SparseMask mask;
+  mask.keep = Matrix<std::uint8_t>(predicted.rows(), predicted.cols(), 0);
+  for (std::size_t i = 0; i < predicted.rows(); ++i) {
+    const auto prow = predicted.row(i);
+    auto mrow = mask.keep.row(i);
+    for (std::size_t j = 0; j < prow.size(); ++j) {
+      mrow[j] = prow[j] >= threshold ? 1 : 0;
+    }
+  }
+  return mask;
+}
+
+MatF apply_mask(const MatF& attn, const SparseMask& mask, bool renormalize) {
+  PARO_CHECK_MSG(attn.rows() == mask.keep.rows() &&
+                     attn.cols() == mask.keep.cols(),
+                 "mask shape mismatch");
+  MatF out = attn;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    auto row = out.row(i);
+    const auto mrow = mask.keep.row(i);
+    double kept_sum = 0.0;
+    std::size_t argmax = 0;
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (attn(i, j) > attn(i, argmax)) argmax = j;  // original values
+      if (mrow[j] != 0) {
+        kept_sum += row[j];
+      } else {
+        row[j] = 0.0F;
+      }
+    }
+    if (renormalize) {
+      if (kept_sum > 0.0) {
+        const float inv = static_cast<float>(1.0 / kept_sum);
+        for (float& v : row) v *= inv;
+      } else {
+        // A row with no survivors keeps its strongest entry so AttnV still
+        // produces a convex combination.
+        row[argmax] = 1.0F;
+      }
+    }
+  }
+  return out;
+}
+
+MatF sanger_attention(const MatF& q, const MatF& k, const MatF& v,
+                      float threshold, int pred_bits, float scale) {
+  const SparseMask mask = sanger_predict_mask(q, k, threshold, pred_bits, scale);
+  const MatF exact = softmax_rows(matmul_nt(q, k), default_scale(q, scale));
+  const MatF pruned = apply_mask(exact, mask, /*renormalize=*/true);
+  return matmul(pruned, v);
+}
+
+SparseMask vitcod_polarize_mask(const MatF& attn, float dense_col_fraction,
+                                float threshold) {
+  PARO_CHECK_MSG(dense_col_fraction >= 0.0F && dense_col_fraction <= 1.0F,
+                 "dense_col_fraction must be in [0,1]");
+  // Rank columns by total mass.
+  std::vector<double> col_mass(attn.cols(), 0.0);
+  for (std::size_t r = 0; r < attn.rows(); ++r) {
+    const auto row = attn.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      col_mass[c] += row[c];
+    }
+  }
+  std::vector<std::size_t> order(attn.cols());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return col_mass[a] > col_mass[b];
+  });
+  const auto dense_count = static_cast<std::size_t>(
+      std::lround(dense_col_fraction * static_cast<float>(attn.cols())));
+  std::vector<std::uint8_t> is_dense(attn.cols(), 0);
+  for (std::size_t i = 0; i < dense_count; ++i) {
+    is_dense[order[i]] = 1;
+  }
+  SparseMask mask;
+  mask.keep = Matrix<std::uint8_t>(attn.rows(), attn.cols(), 0);
+  for (std::size_t r = 0; r < attn.rows(); ++r) {
+    const auto row = attn.row(r);
+    auto mrow = mask.keep.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      mrow[c] = (is_dense[c] != 0 || row[c] >= threshold) ? 1 : 0;
+    }
+  }
+  return mask;
+}
+
+VitcodSplit vitcod_split_stats(const MatF& attn, float dense_col_fraction,
+                               float threshold) {
+  const SparseMask mask = vitcod_polarize_mask(attn, dense_col_fraction, threshold);
+  const auto dense_cols = static_cast<std::size_t>(std::lround(
+      dense_col_fraction * static_cast<float>(attn.cols())));
+  VitcodSplit split;
+  split.dense_fraction =
+      static_cast<double>(dense_cols) / static_cast<double>(attn.cols());
+  const double overall = mask.density();
+  split.overall_density = overall;
+  const double sparse_entries =
+      static_cast<double>(attn.size()) * (1.0 - split.dense_fraction);
+  const double kept_total = overall * static_cast<double>(attn.size());
+  const double kept_dense =
+      split.dense_fraction * static_cast<double>(attn.size());
+  split.sparse_density =
+      sparse_entries > 0.0
+          ? std::max(0.0, (kept_total - kept_dense) / sparse_entries)
+          : 0.0;
+  return split;
+}
+
+PackStats sanger_pack_and_split(const SparseMask& mask,
+                                std::size_t bucket_width) {
+  PARO_CHECK_MSG(bucket_width > 0, "bucket width must be positive");
+  PackStats stats;
+  stats.bucket_width = bucket_width;
+  const auto nnz = mask.row_nnz();
+  for (const std::size_t n : nnz) {
+    stats.kept_entries += n;
+    stats.buckets += (n + bucket_width - 1) / bucket_width;
+  }
+  if (stats.buckets > 0) {
+    stats.utilization =
+        static_cast<double>(stats.kept_entries) /
+        (static_cast<double>(stats.buckets) *
+         static_cast<double>(bucket_width));
+  }
+  if (!nnz.empty()) {
+    stats.avg_segments_per_row =
+        static_cast<double>(stats.buckets) / static_cast<double>(nnz.size());
+  }
+  return stats;
+}
+
+float calibrate_threshold_for_density(const MatF& attn,
+                                      double target_density) {
+  PARO_CHECK_MSG(target_density > 0.0 && target_density <= 1.0,
+                 "target density must be in (0,1]");
+  // The density of {a >= t} is monotone non-increasing in t: bisect.
+  float lo = 0.0F, hi = 1.0F;
+  for (int iter = 0; iter < 48; ++iter) {
+    const float mid = 0.5F * (lo + hi);
+    std::size_t kept = 0;
+    for (const float v : attn.flat()) {
+      kept += v >= mid ? 1 : 0;
+    }
+    const double density =
+        static_cast<double>(kept) / static_cast<double>(attn.size());
+    if (density > target_density) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5F * (lo + hi);
+}
+
+}  // namespace paro

@@ -1,0 +1,84 @@
+// Algorithm-side models of the sparse-attention baselines (Sanger, ViTCoD).
+//
+// Both baselines prune the attention map rather than quantize it:
+//  * Sanger (MICRO'21) predicts the attention map with low-bit (4-bit) Q/K,
+//    thresholds the predicted softmax scores into a binary mask, and then
+//    computes only the surviving entries at full precision ("pack & split"
+//    load balancing happens in hardware, modelled in src/baselines/).
+//  * ViTCoD (HPCA'23) polarizes the map offline into a "denser" region
+//    (columns attending globally, kept dense) and a "sparser" remainder
+//    (kept only above threshold), trading accuracy for regularity.
+//
+// These functions produce (a) the pruned map used in the Table-I quality
+// comparison and (b) mask statistics that the cycle-level baseline
+// accelerator models consume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace paro {
+
+/// Binary attention mask with bookkeeping.
+struct SparseMask {
+  Matrix<std::uint8_t> keep;  ///< 1 = compute this entry
+
+  double density() const;                   ///< kept fraction of entries
+  std::vector<std::size_t> row_nnz() const; ///< kept entries per row
+  /// Load-imbalance of rows: max(row_nnz) / mean(row_nnz); 1.0 = balanced.
+  double row_imbalance() const;
+};
+
+/// Sanger's prediction pass: quantize Q/K to `pred_bits`, softmax the
+/// predicted logits, keep entries with predicted score >= threshold.
+SparseMask sanger_predict_mask(const MatF& q, const MatF& k, float threshold,
+                               int pred_bits = 4, float scale = -1.0F);
+
+/// Zero out masked entries of a softmax map.  If `renormalize`, surviving
+/// entries in each row are rescaled to sum to 1 (rows losing all entries
+/// keep their max entry).
+MatF apply_mask(const MatF& attn, const SparseMask& mask, bool renormalize);
+
+/// Full Sanger quality path: predict mask, compute exact attention on the
+/// surviving entries, AttnV.
+MatF sanger_attention(const MatF& q, const MatF& k, const MatF& v,
+                      float threshold, int pred_bits = 4, float scale = -1.0F);
+
+/// ViTCoD polarization: mark the `dense_col_fraction` columns with the most
+/// total mass as globally dense; in the remaining ("sparser") region keep
+/// entries >= threshold.
+SparseMask vitcod_polarize_mask(const MatF& attn, float dense_col_fraction,
+                                float threshold);
+
+/// ViTCoD's split sizes for the cycle model: fraction of entries in the
+/// dense region and density of the sparser region.
+struct VitcodSplit {
+  double dense_fraction = 0.0;   ///< entries in dense columns / total
+  double sparse_density = 0.0;   ///< kept / total in the sparser region
+  double overall_density = 0.0;  ///< kept / total over the whole map
+};
+VitcodSplit vitcod_split_stats(const MatF& attn, float dense_col_fraction,
+                               float threshold);
+
+/// Calibrate a threshold such that the masked map keeps ≈ `target_density`
+/// of the entries (bisection over thresholds on the given map).
+float calibrate_threshold_for_density(const MatF& attn, double target_density);
+
+/// Sanger's "pack & split" bucketization (MICRO'21 §4): each row's
+/// surviving entries are split into segments of at most `bucket_width`
+/// columns; every segment occupies one PE bucket, and a row's last
+/// (partial) segment pads its bucket.  The achieved utilization is what
+/// the Sanger cycle model's `pack_efficiency` abstracts.
+struct PackStats {
+  std::size_t bucket_width = 0;
+  std::size_t buckets = 0;         ///< total segments across all rows
+  std::size_t kept_entries = 0;
+  double utilization = 0.0;        ///< kept / (buckets × width)
+  double avg_segments_per_row = 0.0;
+};
+PackStats sanger_pack_and_split(const SparseMask& mask,
+                                std::size_t bucket_width);
+
+}  // namespace paro

@@ -1,0 +1,114 @@
+#include "reorder/calibrate.hpp"
+
+#include <limits>
+
+#include "quant/blockwise.hpp"
+
+namespace paro {
+
+std::vector<PlanScore> score_all_orders(const MatF& sample_map,
+                                        const TokenGrid& grid,
+                                        std::size_t block,
+                                        int calibration_bits) {
+  PARO_CHECK_MSG(sample_map.rows() == grid.num_tokens() &&
+                     sample_map.cols() == grid.num_tokens(),
+                 "sample map does not match token grid");
+  std::vector<PlanScore> scores;
+  scores.reserve(all_axis_orders().size());
+  for (const AxisOrder& order : all_axis_orders()) {
+    const ReorderPlan plan = ReorderPlan::for_order(grid, order);
+    const MatF reordered = plan.apply_map(sample_map);
+    PlanScore score;
+    score.order = order;
+    score.quant_error_sq =
+        blockwise_quant_error_sq(reordered, block, calibration_bits);
+    score.diagonality = block_diagonality(reordered, block);
+    scores.push_back(score);
+  }
+  return scores;
+}
+
+ReorderPlan calibrate_plan(const MatF& sample_map, const TokenGrid& grid,
+                           std::size_t block, int calibration_bits) {
+  const auto scores =
+      score_all_orders(sample_map, grid, block, calibration_bits);
+  std::size_t best = 0;
+  double best_err = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i].quant_error_sq < best_err) {
+      best_err = scores[i].quant_error_sq;
+      best = i;
+    }
+  }
+  return ReorderPlan::for_order(grid, scores[best].order);
+}
+
+ReorderPlan calibrate_plan_with_prefix(const MatF& sample_map,
+                                       const TokenGrid& grid,
+                                       std::size_t prefix, std::size_t block,
+                                       int calibration_bits) {
+  const std::size_t n = prefix + grid.num_tokens();
+  PARO_CHECK_MSG(sample_map.rows() == n && sample_map.cols() == n,
+                 "sample map does not match prefix + token grid");
+  // Score the candidate orders on the video-token submap.
+  MatF video(grid.num_tokens(), grid.num_tokens());
+  for (std::size_t i = 0; i < grid.num_tokens(); ++i) {
+    const auto src = sample_map.row(prefix + i);
+    auto dst = video.row(i);
+    for (std::size_t j = 0; j < grid.num_tokens(); ++j) {
+      dst[j] = src[prefix + j];
+    }
+  }
+  const ReorderPlan video_plan =
+      calibrate_plan(video, grid, block, calibration_bits);
+  return ReorderPlan::for_order_with_prefix(grid, video_plan.order, prefix);
+}
+
+PlanTable::PlanTable(std::size_t layers, std::size_t heads)
+    : layers_(layers), heads_(heads), plans_(layers * heads) {
+  PARO_CHECK(layers > 0 && heads > 0);
+}
+
+const ReorderPlan& PlanTable::plan(std::size_t layer, std::size_t head) const {
+  PARO_CHECK(layer < layers_ && head < heads_);
+  return plans_[layer * heads_ + head];
+}
+
+void PlanTable::set_plan(std::size_t layer, std::size_t head,
+                         ReorderPlan plan) {
+  PARO_CHECK(layer < layers_ && head < heads_);
+  plans_[layer * heads_ + head] = std::move(plan);
+}
+
+std::vector<std::size_t> PlanTable::order_histogram() const {
+  const auto& orders = all_axis_orders();
+  std::vector<std::size_t> hist(orders.size(), 0);
+  for (const ReorderPlan& plan : plans_) {
+    for (std::size_t i = 0; i < orders.size(); ++i) {
+      if (plan.order == orders[i]) {
+        ++hist[i];
+        break;
+      }
+    }
+  }
+  return hist;
+}
+
+PlanTable calibrate_model(const std::vector<std::vector<MatF>>& sample_maps,
+                          const TokenGrid& grid, std::size_t block,
+                          int calibration_bits) {
+  PARO_CHECK_MSG(!sample_maps.empty() && !sample_maps[0].empty(),
+                 "need at least one sample map");
+  PlanTable table(sample_maps.size(), sample_maps[0].size());
+  for (std::size_t l = 0; l < sample_maps.size(); ++l) {
+    PARO_CHECK_MSG(sample_maps[l].size() == table.heads(),
+                   "ragged sample map table");
+    for (std::size_t h = 0; h < sample_maps[l].size(); ++h) {
+      table.set_plan(
+          l, h, calibrate_plan(sample_maps[l][h], grid, block, calibration_bits));
+    }
+  }
+  return table;
+}
+
+}  // namespace paro

@@ -1,0 +1,76 @@
+// Offline reorder-plan calibration (paper §III-A).
+//
+// "There are a total of 6 possible reorder plans for each attention head...
+//  We select the reorder plan that minimizes quantization error for each
+//  head and block offline."  Patterns are stable across timesteps and
+//  prompts, so one calibration pass on a sample attention map per
+//  (layer, head) fixes the plan for the whole sampling run.
+#pragma once
+
+#include <vector>
+
+#include "reorder/plan.hpp"
+#include "reorder/token_grid.hpp"
+#include "tensor/matrix.hpp"
+
+namespace paro {
+
+/// Result of evaluating one candidate order on a sample map.
+struct PlanScore {
+  AxisOrder order;
+  double quant_error_sq = 0.0;    ///< block-wise quant error after reorder
+  double diagonality = 0.0;       ///< mass fraction on the block diagonal
+};
+
+/// Evaluate all 6 candidate orders on `sample_map` (a token×token softmax
+/// map in canonical order) using block-wise quantization at
+/// `calibration_bits`.  Scores are returned in all_axis_orders() order.
+std::vector<PlanScore> score_all_orders(const MatF& sample_map,
+                                        const TokenGrid& grid,
+                                        std::size_t block,
+                                        int calibration_bits = 4);
+
+/// Pick the order with the minimum block-wise quantization error and
+/// materialise its plan.
+ReorderPlan calibrate_plan(const MatF& sample_map, const TokenGrid& grid,
+                           std::size_t block, int calibration_bits = 4);
+
+/// Calibrate for a sequence with `prefix` non-grid (text-conditioning)
+/// tokens ahead of the video grid — CogVideoX's layout (226 + 17 550).
+/// The candidate orders are scored on the video-token submap; the chosen
+/// plan keeps the prefix in place.  `sample_map` is the full
+/// (prefix + grid) × (prefix + grid) softmax map.
+ReorderPlan calibrate_plan_with_prefix(const MatF& sample_map,
+                                       const TokenGrid& grid,
+                                       std::size_t prefix, std::size_t block,
+                                       int calibration_bits = 4);
+
+/// Calibrated plans for a whole model: one per (layer, head), selected from
+/// per-head sample maps.  `sample_maps[l][h]` is the sample for layer l,
+/// head h.
+class PlanTable {
+ public:
+  PlanTable(std::size_t layers, std::size_t heads);
+
+  std::size_t layers() const { return layers_; }
+  std::size_t heads() const { return heads_; }
+
+  const ReorderPlan& plan(std::size_t layer, std::size_t head) const;
+  void set_plan(std::size_t layer, std::size_t head, ReorderPlan plan);
+
+  /// Histogram over the 6 orders of how many heads chose each (useful to
+  /// reproduce the paper's "different heads aggregate along different
+  /// dimensions" observation).
+  std::vector<std::size_t> order_histogram() const;
+
+ private:
+  std::size_t layers_, heads_;
+  std::vector<ReorderPlan> plans_;
+};
+
+/// Calibrate every (layer, head) of a model from sample maps.
+PlanTable calibrate_model(
+    const std::vector<std::vector<MatF>>& sample_maps, const TokenGrid& grid,
+    std::size_t block, int calibration_bits = 4);
+
+}  // namespace paro

@@ -1,0 +1,82 @@
+#include "reorder/plan.hpp"
+
+#include <numeric>
+
+#include "tensor/ops.hpp"
+
+namespace paro {
+
+ReorderPlan ReorderPlan::for_order(const TokenGrid& grid,
+                                   const AxisOrder& order) {
+  ReorderPlan plan;
+  plan.order = order;
+  plan.perm = grid.permutation(order);
+  return plan;
+}
+
+ReorderPlan ReorderPlan::for_order_with_prefix(const TokenGrid& grid,
+                                               const AxisOrder& order,
+                                               std::size_t prefix) {
+  ReorderPlan plan;
+  plan.order = order;
+  plan.perm.reserve(prefix + grid.num_tokens());
+  for (std::size_t i = 0; i < prefix; ++i) {
+    plan.perm.push_back(static_cast<std::uint32_t>(i));
+  }
+  for (const std::uint32_t p : grid.permutation(order)) {
+    plan.perm.push_back(static_cast<std::uint32_t>(prefix) + p);
+  }
+  return plan;
+}
+
+ReorderPlan ReorderPlan::identity(std::size_t num_tokens) {
+  ReorderPlan plan;
+  plan.perm.resize(num_tokens);
+  std::iota(plan.perm.begin(), plan.perm.end(), 0U);
+  return plan;
+}
+
+bool ReorderPlan::is_identity() const {
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] != i) return false;
+  }
+  return true;
+}
+
+MatF ReorderPlan::apply_rows(const MatF& x) const {
+  return permute_rows(x, perm);
+}
+
+MatF ReorderPlan::invert_rows(const MatF& x) const {
+  return unpermute_rows(x, perm);
+}
+
+MatF ReorderPlan::apply_map(const MatF& attn) const {
+  PARO_CHECK_MSG(attn.rows() == perm.size() && attn.cols() == perm.size(),
+                 "attention map shape does not match plan");
+  MatF out(attn.rows(), attn.cols());
+  for (std::size_t i = 0; i < attn.rows(); ++i) {
+    const auto src = attn.row(perm[i]);
+    auto dst = out.row(i);
+    for (std::size_t j = 0; j < attn.cols(); ++j) {
+      dst[j] = src[perm[j]];
+    }
+  }
+  return out;
+}
+
+MatF ReorderPlan::invert_map(const MatF& attn) const {
+  PARO_CHECK_MSG(attn.rows() == perm.size() && attn.cols() == perm.size(),
+                 "attention map shape does not match plan");
+  MatF out(attn.rows(), attn.cols());
+  for (std::size_t i = 0; i < attn.rows(); ++i) {
+    const auto src = attn.row(i);
+    auto dst = out.row(perm[i]);
+    for (std::size_t j = 0; j < attn.cols(); ++j) {
+      dst[perm[j]] = src[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace paro

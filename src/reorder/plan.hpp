@@ -1,0 +1,53 @@
+// Reorder plans: a chosen axis order materialised as token permutations,
+// plus the reorder operators on Q/K/V/attention-map/O (paper Fig. 3).
+//
+// Mathematical equivalence (tested in tests/reorder):
+//   Let P be the row-gather by `perm`.  Then
+//     softmax((P·Q)(P·K)ᵀ) = P · softmax(Q·Kᵀ) · Pᵀ
+//   and with V also reordered, the reordered output is P·O, so gathering
+//   back through `unpermute_rows` recovers O exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "reorder/token_grid.hpp"
+#include "tensor/matrix.hpp"
+
+namespace paro {
+
+/// A calibrated reorder decision for one attention head.
+struct ReorderPlan {
+  AxisOrder order = canonical_axis_order();
+  std::vector<std::uint32_t> perm;  ///< position → canonical token index
+
+  /// Build the plan for `order` on `grid`.
+  static ReorderPlan for_order(const TokenGrid& grid, const AxisOrder& order);
+
+  /// Build a plan for a sequence of `prefix` non-grid tokens (CogVideoX's
+  /// text-conditioning tokens) followed by the video token grid: the
+  /// prefix stays in place, the grid tokens are permuted by `order`.
+  static ReorderPlan for_order_with_prefix(const TokenGrid& grid,
+                                           const AxisOrder& order,
+                                           std::size_t prefix);
+
+  /// Identity plan (no reorder).
+  static ReorderPlan identity(std::size_t num_tokens);
+
+  bool is_identity() const;
+
+  /// Reorder per-token rows (Q, K or V): row i of the result is the row of
+  /// the token at reordered position i.
+  MatF apply_rows(const MatF& x) const;
+
+  /// Inverse-reorder per-token rows (the output O).
+  MatF invert_rows(const MatF& x) const;
+
+  /// Conjugate a token×token attention map: out(i,j) = in(perm[i], perm[j]).
+  MatF apply_map(const MatF& attn) const;
+
+  /// Inverse of apply_map.
+  MatF invert_map(const MatF& attn) const;
+};
+
+}  // namespace paro

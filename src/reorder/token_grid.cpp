@@ -1,0 +1,94 @@
+#include "reorder/token_grid.hpp"
+
+namespace paro {
+
+AxisOrder canonical_axis_order() {
+  return AxisOrder{{Axis::kFrame, Axis::kHeight, Axis::kWidth}};
+}
+
+const std::array<AxisOrder, 6>& all_axis_orders() {
+  static const std::array<AxisOrder, 6> orders = {{
+      {{Axis::kFrame, Axis::kHeight, Axis::kWidth}},
+      {{Axis::kFrame, Axis::kWidth, Axis::kHeight}},
+      {{Axis::kHeight, Axis::kFrame, Axis::kWidth}},
+      {{Axis::kHeight, Axis::kWidth, Axis::kFrame}},
+      {{Axis::kWidth, Axis::kFrame, Axis::kHeight}},
+      {{Axis::kWidth, Axis::kHeight, Axis::kFrame}},
+  }};
+  return orders;
+}
+
+std::string axis_order_name(const AxisOrder& order) {
+  std::string name;
+  for (const Axis axis : order.axes) {
+    switch (axis) {
+      case Axis::kFrame: name.push_back('F'); break;
+      case Axis::kHeight: name.push_back('H'); break;
+      case Axis::kWidth: name.push_back('W'); break;
+    }
+  }
+  return name;
+}
+
+TokenGrid::TokenGrid(std::size_t frames, std::size_t height, std::size_t width)
+    : frames_(frames), height_(height), width_(width) {
+  PARO_CHECK_MSG(frames > 0 && height > 0 && width > 0,
+                 "token grid extents must be positive");
+}
+
+std::size_t TokenGrid::extent(Axis axis) const {
+  switch (axis) {
+    case Axis::kFrame: return frames_;
+    case Axis::kHeight: return height_;
+    case Axis::kWidth: return width_;
+  }
+  throw Error("invalid axis");
+}
+
+std::size_t TokenGrid::token_index(std::size_t f, std::size_t h,
+                                   std::size_t w) const {
+  PARO_CHECK(f < frames_ && h < height_ && w < width_);
+  return (f * height_ + h) * width_ + w;
+}
+
+std::size_t TokenGrid::Coord::get(Axis axis) const {
+  switch (axis) {
+    case Axis::kFrame: return f;
+    case Axis::kHeight: return h;
+    case Axis::kWidth: return w;
+  }
+  throw Error("invalid axis");
+}
+
+TokenGrid::Coord TokenGrid::coord(std::size_t token) const {
+  PARO_CHECK(token < num_tokens());
+  Coord c;
+  c.w = token % width_;
+  c.h = (token / width_) % height_;
+  c.f = token / (width_ * height_);
+  return c;
+}
+
+std::vector<std::uint32_t> TokenGrid::permutation(
+    const AxisOrder& order) const {
+  std::vector<std::uint32_t> perm;
+  perm.reserve(num_tokens());
+  const std::size_t n0 = extent(order.axes[0]);
+  const std::size_t n1 = extent(order.axes[1]);
+  const std::size_t n2 = extent(order.axes[2]);
+  std::size_t coords[3] = {0, 0, 0};  // indexed by Axis value
+  for (std::size_t a = 0; a < n0; ++a) {
+    for (std::size_t b = 0; b < n1; ++b) {
+      for (std::size_t c = 0; c < n2; ++c) {
+        coords[static_cast<int>(order.axes[0])] = a;
+        coords[static_cast<int>(order.axes[1])] = b;
+        coords[static_cast<int>(order.axes[2])] = c;
+        perm.push_back(static_cast<std::uint32_t>(
+            token_index(coords[0], coords[1], coords[2])));
+      }
+    }
+  }
+  return perm;
+}
+
+}  // namespace paro

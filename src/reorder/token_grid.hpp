@@ -1,0 +1,72 @@
+// The 3-D token grid of a video DiT and its axis-order permutations
+// (paper §III-A).
+//
+// A latent video of N_frame × N_height × N_width patches is flattened into
+// a token sequence.  The canonical ("model") order is frame-major:
+//   token(f, h, w) = f·H·W + h·W + w.
+// PARO's reorder re-sorts tokens by one of the 3! = 6 axis orders, e.g.
+// sorting height-major places tokens of the same image row (across all
+// frames) next to each other, turning a "height-local" attention pattern
+// into a block-diagonal one.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace paro {
+
+enum class Axis : std::uint8_t { kFrame = 0, kHeight = 1, kWidth = 2 };
+
+/// One of the six orderings of (frame, height, width), outermost first.
+struct AxisOrder {
+  std::array<Axis, 3> axes;
+
+  bool operator==(const AxisOrder&) const = default;
+};
+
+/// The canonical model order: frame outermost, width innermost.
+AxisOrder canonical_axis_order();
+
+/// All 6 axis orders (canonical first).
+const std::array<AxisOrder, 6>& all_axis_orders();
+
+/// Short name such as "FHW" or "HWF".
+std::string axis_order_name(const AxisOrder& order);
+
+/// A 3-D token grid.
+class TokenGrid {
+ public:
+  TokenGrid(std::size_t frames, std::size_t height, std::size_t width);
+
+  std::size_t frames() const { return frames_; }
+  std::size_t height() const { return height_; }
+  std::size_t width() const { return width_; }
+  std::size_t num_tokens() const { return frames_ * height_ * width_; }
+
+  std::size_t extent(Axis axis) const;
+
+  /// Canonical token index of coordinates (f, h, w).
+  std::size_t token_index(std::size_t f, std::size_t h, std::size_t w) const;
+
+  /// Coordinates of a canonical token index.
+  struct Coord {
+    std::size_t f, h, w;
+    std::size_t get(Axis axis) const;
+  };
+  Coord coord(std::size_t token) const;
+
+  /// Build the permutation realising `order`:  perm[i] = canonical index of
+  /// the token at position i in the reordered sequence.  Reordering a
+  /// matrix X of per-token rows is then permute_rows(X, perm); the inverse
+  /// is unpermute_rows with the same perm.
+  std::vector<std::uint32_t> permutation(const AxisOrder& order) const;
+
+ private:
+  std::size_t frames_, height_, width_;
+};
+
+}  // namespace paro

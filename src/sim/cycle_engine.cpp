@@ -1,0 +1,30 @@
+#include "sim/cycle_engine.hpp"
+
+#include "common/error.hpp"
+
+namespace paro {
+
+void CycleEngine::add(Component* component) {
+  PARO_CHECK(component != nullptr);
+  components_.push_back(component);
+}
+
+std::uint64_t CycleEngine::run(std::uint64_t max_cycles) {
+  std::uint64_t cycle = 0;
+  auto any_busy = [this]() {
+    for (const Component* c : components_) {
+      if (c->busy()) return true;
+    }
+    return false;
+  };
+  while (any_busy()) {
+    PARO_CHECK_MSG(cycle < max_cycles, "cycle-engine did not quiesce");
+    for (Component* c : components_) {
+      c->tick(cycle);
+    }
+    ++cycle;
+  }
+  return cycle;
+}
+
+}  // namespace paro

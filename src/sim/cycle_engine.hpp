@@ -1,0 +1,37 @@
+// Minimal cycle-driven simulation kernel.
+//
+// Components implement tick(); the engine advances the global clock until
+// every component reports idle (or a cycle limit is hit).  Used by the
+// micro-architectural models (PE array + dispatcher, LDZ pipeline) whose
+// behaviour the coarser OverlapModel inputs are validated against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace paro {
+
+/// Anything that advances one clock cycle at a time.
+class Component {
+ public:
+  virtual ~Component() = default;
+  /// Advance one cycle.  `cycle` is the index of the cycle being executed.
+  virtual void tick(std::uint64_t cycle) = 0;
+  /// True while the component still has work in flight.
+  virtual bool busy() const = 0;
+};
+
+/// Drives a set of components cycle by cycle.
+class CycleEngine {
+ public:
+  void add(Component* component);
+
+  /// Run until all components are idle.  Returns the number of cycles
+  /// executed.  Throws if `max_cycles` elapse without quiescing.
+  std::uint64_t run(std::uint64_t max_cycles = 1'000'000'000ULL);
+
+ private:
+  std::vector<Component*> components_;
+};
+
+}  // namespace paro

@@ -1,0 +1,64 @@
+#include "sim/dram_model.hpp"
+
+#include "common/error.hpp"
+
+namespace paro {
+
+DramModel::DramModel(double bytes_per_cycle)
+    : bytes_per_cycle_(bytes_per_cycle) {
+  PARO_CHECK_MSG(bytes_per_cycle > 0.0, "DRAM bandwidth must be positive");
+}
+
+std::uint64_t DramModel::request(double bytes) {
+  PARO_CHECK_MSG(bytes >= 0.0, "negative transfer");
+  const std::uint64_t ticket = next_ticket_++;
+  total_bytes_ += bytes;
+  if (bytes == 0.0 && queue_.empty()) {
+    completed_through_ = ticket;
+    return ticket;
+  }
+  queue_.push_back({ticket, bytes});
+  return ticket;
+}
+
+bool DramModel::complete(std::uint64_t ticket) const {
+  return ticket <= completed_through_;
+}
+
+void DramModel::tick(std::uint64_t /*cycle*/) {
+  if (queue_.empty()) return;
+  ++busy_cycles_;
+  double budget = bytes_per_cycle_;
+  while (budget > 0.0 && !queue_.empty()) {
+    Transfer& head = queue_.front();
+    const double moved = head.remaining < budget ? head.remaining : budget;
+    head.remaining -= moved;
+    budget -= moved;
+    if (head.remaining <= 0.0) {
+      completed_through_ = head.ticket;
+      queue_.pop_front();
+    }
+  }
+}
+
+bool DramModel::busy() const { return !queue_.empty(); }
+
+SramBuffer::SramBuffer(double capacity_bytes) : capacity_(capacity_bytes) {
+  PARO_CHECK_MSG(capacity_bytes > 0.0, "SRAM capacity must be positive");
+}
+
+bool SramBuffer::reserve(double bytes) {
+  PARO_CHECK_MSG(bytes >= 0.0, "negative reservation");
+  if (used_ + bytes > capacity_) return false;
+  used_ += bytes;
+  if (used_ > peak_) peak_ = used_;
+  return true;
+}
+
+void SramBuffer::release(double bytes) {
+  PARO_CHECK_MSG(bytes <= used_ + 1e-9, "releasing more than reserved");
+  used_ -= bytes;
+  if (used_ < 0.0) used_ = 0.0;
+}
+
+}  // namespace paro

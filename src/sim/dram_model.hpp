@@ -1,0 +1,67 @@
+// Bandwidth-limited DRAM channel for the cycle-driven models.
+//
+// Transfers are served in FIFO order at `bytes_per_cycle`; completion is
+// queried by ticket.  This is deliberately a bandwidth model (no banks,
+// no refresh): the workloads of interest stream megabyte-scale tensors,
+// where sustained bandwidth is the only first-order effect — the same
+// abstraction level as the paper's "DDR bandwidth of PARO is 51.2 GB/s".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/cycle_engine.hpp"
+
+namespace paro {
+
+class DramModel : public Component {
+ public:
+  explicit DramModel(double bytes_per_cycle);
+
+  /// Queue a transfer; returns its ticket.  Zero-byte transfers complete
+  /// immediately.
+  std::uint64_t request(double bytes);
+
+  /// Has the ticketed transfer fully drained?
+  bool complete(std::uint64_t ticket) const;
+
+  void tick(std::uint64_t cycle) override;
+  bool busy() const override;
+
+  double total_bytes() const { return total_bytes_; }
+  std::uint64_t busy_cycles() const { return busy_cycles_; }
+
+ private:
+  struct Transfer {
+    std::uint64_t ticket;
+    double remaining;
+  };
+  double bytes_per_cycle_;
+  std::deque<Transfer> queue_;
+  std::uint64_t next_ticket_ = 1;
+  std::uint64_t completed_through_ = 0;  ///< all tickets <= this are done
+  double total_bytes_ = 0.0;
+  std::uint64_t busy_cycles_ = 0;
+};
+
+/// Capacity bookkeeping for an on-chip buffer (double-buffered tiling
+/// decisions, peak-occupancy checks).
+class SramBuffer {
+ public:
+  explicit SramBuffer(double capacity_bytes);
+
+  /// Reserve space; returns false (and reserves nothing) if it won't fit.
+  bool reserve(double bytes);
+  void release(double bytes);
+
+  double capacity() const { return capacity_; }
+  double used() const { return used_; }
+  double peak() const { return peak_; }
+
+ private:
+  double capacity_;
+  double used_ = 0.0;
+  double peak_ = 0.0;
+};
+
+}  // namespace paro

@@ -1,0 +1,88 @@
+#include "sim/overlap.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace paro {
+
+double SimStats::phase_fraction(const std::string& phase) const {
+  const auto it = phases.find(phase);
+  if (it == phases.end() || total_cycles == 0.0) return 0.0;
+  return it->second.cycles / total_cycles;
+}
+
+void SimStats::merge(const SimStats& other) {
+  total_cycles += other.total_cycles;
+  pe_busy_cycles += other.pe_busy_cycles;
+  vector_busy_cycles += other.vector_busy_cycles;
+  dram_busy_cycles += other.dram_busy_cycles;
+  dram_bytes += other.dram_bytes;
+  for (const auto& [name, ps] : other.phases) {
+    PhaseStats& dst = phases[name];
+    dst.cycles += ps.cycles;
+    dst.compute_cycles += ps.compute_cycles;
+    dst.vector_cycles += ps.vector_cycles;
+    dst.dram_cycles += ps.dram_cycles;
+    dst.dram_bytes += ps.dram_bytes;
+  }
+}
+
+void SimStats::scale(double factor) {
+  PARO_CHECK(factor >= 0.0);
+  total_cycles *= factor;
+  pe_busy_cycles *= factor;
+  vector_busy_cycles *= factor;
+  dram_busy_cycles *= factor;
+  dram_bytes *= factor;
+  for (auto& [name, ps] : phases) {
+    ps.cycles *= factor;
+    ps.compute_cycles *= factor;
+    ps.vector_cycles *= factor;
+    ps.dram_cycles *= factor;
+    ps.dram_bytes *= factor;
+  }
+}
+
+double OverlapModel::op_cycles(const OpCost& op) const {
+  const double dram_cycles = op.dram_bytes / resources_.dram_bytes_per_cycle();
+  return std::max({op.compute_cycles, op.vector_cycles, dram_cycles});
+}
+
+SimStats OverlapModel::run(const std::vector<OpCost>& ops,
+                           Trace* trace) const {
+  SimStats stats;
+  std::size_t index = 0;
+  for (const OpCost& op : ops) {
+    const double dram_cycles =
+        op.dram_bytes / resources_.dram_bytes_per_cycle();
+    const double latency = op_cycles(op);
+    if (trace != nullptr) {
+      TraceEvent event;
+      event.index = index;
+      event.phase = op.phase;
+      event.start_cycle = stats.total_cycles;
+      event.end_cycle = stats.total_cycles + latency;
+      event.compute_cycles = op.compute_cycles;
+      event.vector_cycles = op.vector_cycles;
+      event.dram_bytes = op.dram_bytes;
+      trace->add(std::move(event));
+    }
+    ++index;
+    stats.total_cycles += latency;
+    stats.pe_busy_cycles += op.compute_cycles;
+    stats.vector_busy_cycles += op.vector_cycles;
+    stats.dram_busy_cycles += dram_cycles;
+    stats.dram_bytes += op.dram_bytes;
+
+    PhaseStats& ps = stats.phases[op.phase];
+    ps.cycles += latency;
+    ps.compute_cycles += op.compute_cycles;
+    ps.vector_cycles += op.vector_cycles;
+    ps.dram_cycles += dram_cycles;
+    ps.dram_bytes += op.dram_bytes;
+  }
+  return stats;
+}
+
+}  // namespace paro

@@ -1,0 +1,84 @@
+// Tile/op-level performance aggregation with double-buffered overlap.
+//
+// Each operator (GEMM, softmax stripe, reorder pass, ...) is reduced to an
+// OpCost: cycles demanded from the PE array, cycles demanded from the
+// vector unit, and bytes moved over DRAM.  With double-buffered SRAM the
+// three resources overlap within an operator, so the operator's latency is
+// the max of the three demands (plus nothing else: fill/drain latencies are
+// sub-ppm at these op sizes and are ignored).  Operators execute in
+// sequence — the dataflow dependences of the transformer.
+//
+// This is the standard aggregation used by accelerator-paper simulators;
+// the genuinely cycle-driven PE-array model (pe_array_sim.hpp) validates
+// the per-operator compute-cycle inputs used here.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/resources.hpp"
+#include "sim/trace.hpp"
+
+namespace paro {
+
+/// Resource demands of one operator.
+struct OpCost {
+  std::string phase;          ///< e.g. "linear", "qk", "softmax", "attnv"
+  double compute_cycles = 0;  ///< PE-array cycles
+  double vector_cycles = 0;   ///< vector-unit cycles
+  double dram_bytes = 0;      ///< bytes in + out
+};
+
+/// Per-phase accounting.
+struct PhaseStats {
+  double cycles = 0;          ///< latency contributed by this phase
+  double compute_cycles = 0;
+  double vector_cycles = 0;
+  double dram_cycles = 0;
+  double dram_bytes = 0;
+};
+
+/// Whole-run accounting.
+struct SimStats {
+  double total_cycles = 0;
+  double pe_busy_cycles = 0;
+  double vector_busy_cycles = 0;
+  double dram_busy_cycles = 0;
+  double dram_bytes = 0;
+  std::map<std::string, PhaseStats> phases;
+
+  double seconds(double freq_ghz) const {
+    return total_cycles / (freq_ghz * 1e9);
+  }
+  double pe_utilization() const {
+    return total_cycles > 0 ? pe_busy_cycles / total_cycles : 0.0;
+  }
+  /// Latency share of one phase.
+  double phase_fraction(const std::string& phase) const;
+  /// Merge another run (e.g. accumulate layers or diffusion steps).
+  void merge(const SimStats& other);
+  /// Multiply all counters (e.g. ×50 DDIM steps).
+  void scale(double factor);
+};
+
+/// Evaluates a sequence of operators on a resource budget.
+class OverlapModel {
+ public:
+  explicit OverlapModel(const HwResources& resources)
+      : resources_(resources) {}
+
+  const HwResources& resources() const { return resources_; }
+
+  /// Latency of one operator: max of the three overlapped demands.
+  double op_cycles(const OpCost& op) const;
+
+  /// Evaluate the operator stream.  When `trace` is non-null, every
+  /// operator's scheduled interval is recorded (sim/trace.hpp).
+  SimStats run(const std::vector<OpCost>& ops, Trace* trace = nullptr) const;
+
+ private:
+  HwResources resources_;
+};
+
+}  // namespace paro

@@ -1,0 +1,135 @@
+#include "sim/pe_array_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+#include "sim/resources.hpp"
+
+namespace paro {
+
+PeArraySim::PeArraySim(PeArrayConfig config, std::vector<PeBlockJob> jobs)
+    : config_(config), jobs_(std::move(jobs)),
+      row_remaining_(config.rows, 0) {
+  PARO_CHECK_MSG(config_.rows > 0, "PE array needs at least one row-group");
+  for (const PeBlockJob& job : jobs_) {
+    PARO_CHECK_MSG(job.base_cycles > 0, "jobs must have positive base cycles");
+  }
+}
+
+std::uint64_t PeArraySim::job_cycles(const PeBlockJob& job) {
+  const double speedup = HwResources::mode_speedup(job.bits);
+  if (speedup == 0.0) return 0;  // bypassed
+  return (job.base_cycles + static_cast<std::uint64_t>(speedup) - 1) /
+         static_cast<std::uint64_t>(speedup);
+}
+
+std::uint64_t PeArraySim::next_job_cycles() {
+  while (next_job_ < jobs_.size()) {
+    const std::uint64_t cycles = job_cycles(jobs_[next_job_]);
+    ++next_job_;
+    if (cycles > 0) return cycles;
+    ++jobs_skipped_;
+  }
+  return 0;
+}
+
+void PeArraySim::tick(std::uint64_t /*cycle*/) {
+  if (config_.dispatcher) {
+    // Each idle row-group pulls the next block, in row order.
+    for (auto& remaining : row_remaining_) {
+      if (remaining == 0) {
+        remaining = next_job_cycles();
+      }
+      if (remaining > 0) {
+        --remaining;
+        ++busy_row_cycles_;
+      }
+    }
+    return;
+  }
+  // Lock-step waves: refill only when every row-group is idle.
+  const bool all_idle = std::all_of(row_remaining_.begin(),
+                                    row_remaining_.end(),
+                                    [](std::uint64_t r) { return r == 0; });
+  if (all_idle) {
+    for (auto& remaining : row_remaining_) {
+      remaining = next_job_cycles();
+    }
+    wave_in_flight_ = std::any_of(row_remaining_.begin(), row_remaining_.end(),
+                                  [](std::uint64_t r) { return r > 0; });
+  }
+  for (auto& remaining : row_remaining_) {
+    if (remaining > 0) {
+      --remaining;
+      ++busy_row_cycles_;
+    }
+  }
+}
+
+bool PeArraySim::busy() const {
+  for (const std::uint64_t r : row_remaining_) {
+    if (r > 0) return true;
+  }
+  // Any non-bypassed job still unissued?
+  for (std::size_t j = next_job_; j < jobs_.size(); ++j) {
+    if (job_cycles(jobs_[j]) > 0) return true;
+  }
+  return false;
+}
+
+std::uint64_t PeArraySim::simulate(PeArrayConfig config,
+                                   std::vector<PeBlockJob> jobs) {
+  PeArraySim sim(config, std::move(jobs));
+  CycleEngine engine;
+  engine.add(&sim);
+  return engine.run();
+}
+
+std::uint64_t pe_array_cycles_analytic(const PeArrayConfig& config,
+                                       const std::vector<PeBlockJob>& jobs) {
+  PARO_CHECK(config.rows > 0);
+  auto cycles_of = [](const PeBlockJob& job) {
+    const double speedup = HwResources::mode_speedup(job.bits);
+    if (speedup == 0.0) return std::uint64_t{0};
+    return (job.base_cycles + static_cast<std::uint64_t>(speedup) - 1) /
+           static_cast<std::uint64_t>(speedup);
+  };
+  if (config.dispatcher) {
+    // Exact list-scheduling makespan: idle rows pull jobs in order; ties
+    // resolved by row index (matching PeArraySim::tick).
+    using Slot = std::pair<std::uint64_t, std::size_t>;  // (free_at, row)
+    std::priority_queue<Slot, std::vector<Slot>, std::greater<>> rows;
+    for (std::size_t r = 0; r < config.rows; ++r) {
+      rows.push({0, r});
+    }
+    std::uint64_t makespan = 0;
+    for (const PeBlockJob& job : jobs) {
+      const std::uint64_t c = cycles_of(job);
+      if (c == 0) continue;
+      const auto [free_at, row] = rows.top();
+      rows.pop();
+      const std::uint64_t done = free_at + c;
+      makespan = std::max(makespan, done);
+      rows.push({done, row});
+    }
+    return makespan;
+  }
+  // Waves of `rows` jobs; each wave lasts as long as its slowest job.
+  std::uint64_t total = 0;
+  std::uint64_t wave_max = 0;
+  std::size_t in_wave = 0;
+  for (const PeBlockJob& job : jobs) {
+    const std::uint64_t c = cycles_of(job);
+    if (c == 0) continue;  // bypassed jobs do not occupy wave slots
+    wave_max = std::max(wave_max, c);
+    if (++in_wave == config.rows) {
+      total += wave_max;
+      wave_max = 0;
+      in_wave = 0;
+    }
+  }
+  return total + wave_max;
+}
+
+}  // namespace paro

@@ -1,0 +1,72 @@
+// Cycle-driven model of the mixed-precision PE array with its dispatcher
+// (paper §IV-B, Fig. 4).
+//
+// The 32×32×32 array is organised as `rows` row-groups; the dispatcher
+// hands attention-map blocks to row-groups as they free up, bypassing
+// 0-bit blocks outright.  A block that needs `base_cycles` row-group
+// cycles in 8-bit mode finishes in ceil(base_cycles / mode_speedup(bits))
+// cycles, because each PE reconfigures into two 4b×8b or four 2b×8b
+// multiplications per cycle.
+//
+// With `dispatcher = false` (ablation) the row-groups run in lock-step
+// waves of `rows` blocks: a wave lasts as long as its slowest block, which
+// is how a rigid SIMD mapping wastes the fast low-bit blocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cycle_engine.hpp"
+
+namespace paro {
+
+/// One attention-map block to process.
+struct PeBlockJob {
+  int bits = 8;                  ///< {0, 2, 4, 8}
+  std::uint64_t base_cycles = 1; ///< row-group cycles in 8-bit mode
+};
+
+struct PeArrayConfig {
+  std::size_t rows = 32;    ///< independently schedulable row-groups
+  bool dispatcher = true;   ///< load-balancing + 0-bit bypass
+};
+
+/// Cycle-driven PE array.  Construct, then run via CycleEngine (or the
+/// simulate() convenience which drives its own engine).
+class PeArraySim : public Component {
+ public:
+  PeArraySim(PeArrayConfig config, std::vector<PeBlockJob> jobs);
+
+  void tick(std::uint64_t cycle) override;
+  bool busy() const override;
+
+  std::uint64_t busy_row_cycles() const { return busy_row_cycles_; }
+  std::size_t jobs_skipped() const { return jobs_skipped_; }
+
+  /// Drive to completion and return the elapsed cycles.
+  static std::uint64_t simulate(PeArrayConfig config,
+                                std::vector<PeBlockJob> jobs);
+
+ private:
+  /// Cycles the job occupies one row-group.
+  static std::uint64_t job_cycles(const PeBlockJob& job);
+  /// Pop the next non-skipped job; returns 0 when exhausted.
+  std::uint64_t next_job_cycles();
+
+  PeArrayConfig config_;
+  std::vector<PeBlockJob> jobs_;
+  std::size_t next_job_ = 0;
+  std::vector<std::uint64_t> row_remaining_;
+  std::uint64_t busy_row_cycles_ = 0;
+  std::size_t jobs_skipped_ = 0;
+  bool wave_in_flight_ = false;  ///< dispatcher == false bookkeeping
+};
+
+/// Closed-form prediction of the cycle-driven result, used by the
+/// operator-level simulator and validated against PeArraySim in tests:
+/// with the dispatcher, total ≈ ceil(Σ job_cycles / rows) plus the drain
+/// tail; without it, Σ over waves of max(job_cycles in wave).
+std::uint64_t pe_array_cycles_analytic(const PeArrayConfig& config,
+                                       const std::vector<PeBlockJob>& jobs);
+
+}  // namespace paro

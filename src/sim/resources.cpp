@@ -1,0 +1,44 @@
+#include "sim/resources.hpp"
+
+#include "common/error.hpp"
+
+namespace paro {
+
+double HwResources::mode_speedup(int bits) {
+  switch (bits) {
+    case 8: return 1.0;
+    case 4: return 2.0;
+    case 2: return 4.0;
+    case 0: return 0.0;  // skipped entirely
+    default:
+      throw ConfigError("PE mode bits must be one of {0,2,4,8}");
+  }
+}
+
+HwResources HwResources::paro_asic() {
+  HwResources r;
+  r.name = "PARO";
+  r.freq_ghz = 1.0;
+  r.pe_macs_per_cycle = 32.0 * 32.0 * 32.0;  // 65.5 INT8 TOPS (2 ops/MAC)
+  r.vector_lanes = 2048.0;
+  r.dram_gbps = 51.2;
+  r.sram_bytes = 1.5 * 1024 * 1024;
+  return r;
+}
+
+HwResources HwResources::paro_align_a100() {
+  HwResources r;
+  r.name = "PARO-align-A100";
+  r.freq_ghz = 1.0;
+  // "Same peak computing performance" = the A100's quoted 312 TFLOPS
+  // (156e12 MACs/s).  PARO's wins then come from precision and
+  // utilization inside that envelope, not from a larger array.
+  r.pe_macs_per_cycle = 156e12 / 1e9;
+  // Scale the vector unit with the compute array.
+  r.vector_lanes = 2048.0 * (156e12 / 1e9) / (32.0 * 32.0 * 32.0);
+  r.dram_gbps = 1935.0;
+  r.sram_bytes = 40.0 * 1024 * 1024;
+  return r;
+}
+
+}  // namespace paro

@@ -1,0 +1,53 @@
+// Hardware resource descriptions shared by PARO and the baseline models
+// (paper §V-A "Hardware Implementation": a cycle-accurate simulator models
+// PARO and the baselines under the SAME hardware resource constraints).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace paro {
+
+/// Resource budget of one accelerator configuration.
+struct HwResources {
+  std::string name;
+  double freq_ghz = 1.0;
+  /// 8b×8b MACs the PE array completes per cycle (32×32×32 organisation:
+  /// a 32×32 output tile with a 32-deep reduction).
+  double pe_macs_per_cycle = 32.0 * 32.0 * 32.0;
+  /// FP16 vector-unit lanes (exp/div/add/mul/acc each lane per cycle).
+  double vector_lanes = 2048.0;
+  double dram_gbps = 51.2;          ///< DDR bandwidth
+  double sram_bytes = 1.5 * 1024 * 1024;
+
+  /// Throughput multiplier of the mixed-precision PE for a given operand
+  /// bitwidth: each PE = four 2b×8b multipliers → 1× at 8 b, 2× at 4 b,
+  /// 4× at 2 b (paper Fig. 4b).  0 b means the block is skipped.
+  static double mode_speedup(int bits);
+
+  /// Relative MAC rate when operands are FP16 (the "naive FP16" ablation
+  /// baseline): an FP16 FMA costs ~2 fixed-point PE slots under iso-area.
+  double fp16_rate_factor = 0.5;
+
+  double macs_per_second() const { return pe_macs_per_cycle * freq_ghz * 1e9; }
+  double dram_bytes_per_cycle() const { return dram_gbps / freq_ghz; }
+
+  /// The PARO ASIC of Table II: 32×32×32 PEs, 1.5 MB SRAM, 51.2 GB/s DDR.
+  static HwResources paro_asic();
+  /// PARO scaled to the A100's peak compute / bandwidth / buffer
+  /// ("PARO-align-A100"): 624 INT8 TOPS, 1935 GB/s HBM, 40 MB on-chip.
+  static HwResources paro_align_a100();
+};
+
+/// NVIDIA A100 GPU parameters for the roofline model.
+struct GpuResources {
+  std::string name = "NVIDIA A100";
+  double fp16_tflops = 312.0;   ///< dense tensor-core FP16
+  double int8_tops = 624.0;     ///< dense tensor-core INT8
+  double hbm_gbps = 1935.0;     ///< A100 80GB HBM2e
+  double gemm_efficiency = 0.70;   ///< achieved / peak on large GEMMs
+  double bandwidth_efficiency = 0.92;
+  double avg_power_w = 250.0;   ///< nvidia-smi average under DiT load
+};
+
+}  // namespace paro

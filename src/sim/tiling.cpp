@@ -1,0 +1,80 @@
+#include "sim/tiling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace paro {
+
+namespace {
+
+double ceil_div(std::size_t a, std::size_t b) {
+  return static_cast<double>((a + b - 1) / b);
+}
+
+}  // namespace
+
+double streaming_lower_bound_bytes(const TilingProblem& p) {
+  return static_cast<double>(p.m) * p.k * p.a_elem_bytes +
+         static_cast<double>(p.k) * p.n * p.b_elem_bytes +
+         static_cast<double>(p.m) * p.n *
+             std::min(p.a_elem_bytes, p.c_elem_bytes);
+}
+
+TilingPlan plan_gemm_tiling(const TilingProblem& p) {
+  PARO_CHECK_MSG(p.m > 0 && p.k > 0 && p.n > 0, "degenerate GEMM");
+  PARO_CHECK_MSG(p.granularity > 0, "granularity must be positive");
+  PARO_CHECK_MSG(p.sram_bytes > 0.0, "SRAM budget must be positive");
+
+  const std::size_t g = p.granularity;
+  auto round_up = [&](std::size_t v) { return ((v + g - 1) / g) * g; };
+  const std::size_t max_tm = round_up(p.m);
+  const std::size_t max_tn = round_up(p.n);
+
+  auto sram_used = [&](std::size_t tm, std::size_t tn) {
+    return static_cast<double>(tm) * p.k * p.a_elem_bytes +
+           static_cast<double>(p.k) * tn * p.b_elem_bytes +
+           static_cast<double>(tm) * tn * p.c_elem_bytes;
+  };
+
+  TilingPlan best;
+  best.traffic_bytes = std::numeric_limits<double>::infinity();
+  for (std::size_t tm = g; tm <= max_tm; tm += g) {
+    // Largest feasible Tn for this Tm (monotone, so solve directly).
+    for (std::size_t tn = g; tn <= max_tn; tn += g) {
+      if (sram_used(tm, tn) > p.sram_bytes) break;
+      const double a_once = static_cast<double>(p.m) * p.k * p.a_elem_bytes;
+      const double b_once = static_cast<double>(p.k) * p.n * p.b_elem_bytes;
+      const double c_once = static_cast<double>(p.m) * p.n *
+                            std::min(p.a_elem_bytes, p.c_elem_bytes);
+      // Row-strips outer: A panels once, B reloaded per row strip.
+      const double row_outer = a_once + b_once * ceil_div(p.m, tm) + c_once;
+      // Column-strips outer: B panels once, A reloaded per column strip.
+      const double col_outer = a_once * ceil_div(p.n, tn) + b_once + c_once;
+      const double traffic = std::min(row_outer, col_outer);
+      if (traffic < best.traffic_bytes ||
+          (traffic == best.traffic_bytes &&
+           sram_used(tm, tn) < best.sram_bytes_used)) {
+        best.tile_m = tm;
+        best.tile_n = tn;
+        best.traffic_bytes = traffic;
+        best.sram_bytes_used = sram_used(tm, tn);
+        if (row_outer <= col_outer) {
+          best.a_bytes = a_once;
+          best.b_bytes = b_once * ceil_div(p.m, tm);
+        } else {
+          best.a_bytes = a_once * ceil_div(p.n, tn);
+          best.b_bytes = b_once;
+        }
+        best.c_bytes = c_once;
+      }
+    }
+  }
+  PARO_CHECK_MSG(std::isfinite(best.traffic_bytes),
+                 "no feasible tiling: SRAM too small for one tile");
+  return best;
+}
+
+}  // namespace paro

@@ -1,0 +1,49 @@
+// GEMM tiling planner for the on-chip buffer.
+//
+// Chooses output-stationary tile sizes (Tm × Tn with full-K accumulation
+// panels) for C[m,n] = A[m,k]·B[k,n] under an SRAM budget, and reports the
+// DRAM traffic the chosen tiling implies:
+//
+//   A traffic = m·k · ceil(n / Tn)     (A panel re-read per B column strip)
+//   B traffic = k·n · ceil(m / Tm)     (B panel re-read per A row strip)
+//   C traffic = m·n                    (written once)
+//
+// The planner scans the feasible (Tm, Tn) lattice for the minimum total
+// traffic — the classic inner-loop blocking trade-off.  ParoAccelerator's
+// operator costs use the resulting traffic instead of the naive
+// "stream everything once" lower bound when a planner is attached.
+#pragma once
+
+#include <cstddef>
+
+namespace paro {
+
+struct TilingPlan {
+  std::size_t tile_m = 0;
+  std::size_t tile_n = 0;
+  double traffic_bytes = 0.0;   ///< total DRAM bytes (A + B + C)
+  double a_bytes = 0.0;
+  double b_bytes = 0.0;
+  double c_bytes = 0.0;
+  double sram_bytes_used = 0.0;
+};
+
+struct TilingProblem {
+  std::size_t m = 0, k = 0, n = 0;
+  double a_elem_bytes = 1.0;  ///< INT8 activations
+  double b_elem_bytes = 1.0;  ///< INT8 weights
+  double c_elem_bytes = 4.0;  ///< INT32 accumulators resident on-chip
+  double sram_bytes = 0.0;    ///< budget for A-panel + B-panel + C-tile
+  /// PE-array tile granularity: Tm and Tn are multiples of this.
+  std::size_t granularity = 32;
+};
+
+/// Plan the minimum-traffic tiling.  Throws if even the smallest tile
+/// (granularity × granularity with its K panels) does not fit.
+TilingPlan plan_gemm_tiling(const TilingProblem& problem);
+
+/// Naive streaming lower bound (every operand crosses DRAM exactly once)
+/// — what an infinitely large buffer would achieve.
+double streaming_lower_bound_bytes(const TilingProblem& problem);
+
+}  // namespace paro

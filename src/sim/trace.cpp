@@ -1,0 +1,26 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+namespace paro {
+
+const TraceEvent* Trace::longest() const {
+  const TraceEvent* best = nullptr;
+  for (const TraceEvent& e : events_) {
+    if (best == nullptr || e.duration() > best->duration()) {
+      best = &e;
+    }
+  }
+  return best;
+}
+
+void Trace::write_csv(std::ostream& os) const {
+  os << "index,phase,start,end,compute,vector,dram_bytes\n";
+  for (const TraceEvent& e : events_) {
+    os << e.index << ',' << e.phase << ',' << e.start_cycle << ','
+       << e.end_cycle << ',' << e.compute_cycles << ',' << e.vector_cycles
+       << ',' << e.dram_bytes << '\n';
+  }
+}
+
+}  // namespace paro

@@ -1,0 +1,81 @@
+// Row-major dense matrix, the data substrate for the whole repo.
+//
+// Kept deliberately simple (Core Guidelines C.10 "prefer concrete types"):
+// dynamic 2-D storage, bounds-checked element access, span-based row views.
+// All heavy math lives in free functions (tensor/ops.hpp).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace paro {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construct from existing row-major data (size must match).
+  Matrix(std::size_t rows, std::size_t cols, std::vector<T> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    PARO_CHECK_MSG(data_.size() == rows_ * cols_,
+                   "Matrix data size does not match shape");
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& at(std::size_t r, std::size_t c) {
+    PARO_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    PARO_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked access for inner loops; callers own the bounds argument.
+  T& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<T> row(std::size_t r) {
+    PARO_CHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const T> row(std::size_t r) const {
+    PARO_CHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<T> flat() { return {data_.data(), data_.size()}; }
+  std::span<const T> flat() const { return {data_.data(), data_.size()}; }
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatF = Matrix<float>;
+using MatI8 = Matrix<std::int8_t>;
+using MatI32 = Matrix<std::int32_t>;
+
+}  // namespace paro

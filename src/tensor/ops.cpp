@@ -1,0 +1,204 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paro {
+
+MatF matmul(const MatF& a, const MatF& b) {
+  PARO_CHECK_MSG(a.cols() == b.rows(), "matmul shape mismatch");
+  MatF c(a.rows(), b.cols(), 0.0F);
+  // ikj loop order keeps the B row hot in cache.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a(i, k);
+      if (aik == 0.0F) continue;
+      const auto brow = b.row(k);
+      auto crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+MatF matmul_nt(const MatF& a, const MatF& b) {
+  PARO_CHECK_MSG(a.cols() == b.cols(), "matmul_nt shape mismatch");
+  MatF c(a.rows(), b.rows(), 0.0F);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto arow = a.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const auto brow = b.row(j);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        acc += static_cast<double>(arow[k]) * static_cast<double>(brow[k]);
+      }
+      c(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+MatI32 matmul_nt_i8(const MatI8& a, const MatI8& b) {
+  PARO_CHECK_MSG(a.cols() == b.cols(), "matmul_nt_i8 shape mismatch");
+  MatI32 c(a.rows(), b.rows(), 0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto arow = a.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const auto brow = b.row(j);
+      std::int32_t acc = 0;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        acc += static_cast<std::int32_t>(arow[k]) *
+               static_cast<std::int32_t>(brow[k]);
+      }
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+MatF softmax_rows(const MatF& logits, float scale) {
+  MatF out(logits.rows(), logits.cols());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const auto in = logits.row(i);
+    auto dst = out.row(i);
+    float maxv = -std::numeric_limits<float>::infinity();
+    for (const float v : in) {
+      maxv = std::max(maxv, v * scale);
+    }
+    double sum = 0.0;
+    for (std::size_t j = 0; j < in.size(); ++j) {
+      const double e = std::exp(static_cast<double>(in[j] * scale - maxv));
+      dst[j] = static_cast<float>(e);
+      sum += e;
+    }
+    const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0F;
+    for (float& v : dst) {
+      v *= inv;
+    }
+  }
+  return out;
+}
+
+MatF transpose(const MatF& a) {
+  MatF t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      t(j, i) = a(i, j);
+    }
+  }
+  return t;
+}
+
+void check_permutation(const std::vector<std::uint32_t>& perm, std::size_t n) {
+  PARO_CHECK_MSG(perm.size() == n, "permutation length mismatch");
+  std::vector<bool> seen(n, false);
+  for (const std::uint32_t p : perm) {
+    PARO_CHECK_MSG(p < n, "permutation index out of range");
+    PARO_CHECK_MSG(!seen[p], "permutation has a repeated index");
+    seen[p] = true;
+  }
+}
+
+MatF permute_rows(const MatF& in, const std::vector<std::uint32_t>& perm) {
+  check_permutation(perm, in.rows());
+  MatF out(in.rows(), in.cols());
+  for (std::size_t i = 0; i < in.rows(); ++i) {
+    const auto src = in.row(perm[i]);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+MatF unpermute_rows(const MatF& in, const std::vector<std::uint32_t>& perm) {
+  check_permutation(perm, in.rows());
+  MatF out(in.rows(), in.cols());
+  for (std::size_t i = 0; i < in.rows(); ++i) {
+    const auto src = in.row(i);
+    std::copy(src.begin(), src.end(), out.row(perm[i]).begin());
+  }
+  return out;
+}
+
+MatF permute_cols(const MatF& in, const std::vector<std::uint32_t>& perm) {
+  check_permutation(perm, in.cols());
+  MatF out(in.rows(), in.cols());
+  for (std::size_t i = 0; i < in.rows(); ++i) {
+    const auto src = in.row(i);
+    auto dst = out.row(i);
+    for (std::size_t j = 0; j < perm.size(); ++j) {
+      dst[j] = src[perm[j]];
+    }
+  }
+  return out;
+}
+
+MatF add(const MatF& a, const MatF& b) {
+  PARO_CHECK_MSG(a.same_shape(b), "add shape mismatch");
+  MatF c(a.rows(), a.cols());
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  auto fc = c.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    fc[i] = fa[i] + fb[i];
+  }
+  return c;
+}
+
+MatF scale(const MatF& a, float s) {
+  MatF c(a.rows(), a.cols());
+  const auto fa = a.flat();
+  auto fc = c.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    fc[i] = fa[i] * s;
+  }
+  return c;
+}
+
+void add_bias_inplace(MatF& a, std::span<const float> bias) {
+  PARO_CHECK_MSG(bias.size() == a.cols(), "bias length mismatch");
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto row = a.row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      row[j] += bias[j];
+    }
+  }
+}
+
+void gelu_inplace(MatF& a) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654F;
+  for (float& v : a.flat()) {
+    const float inner = kSqrt2OverPi * (v + 0.044715F * v * v * v);
+    v = 0.5F * v * (1.0F + std::tanh(inner));
+  }
+}
+
+void layernorm_rows_inplace(MatF& a, float eps) {
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto row = a.row(i);
+    double mean = 0.0;
+    for (const float v : row) mean += v;
+    mean /= static_cast<double>(row.size());
+    double var = 0.0;
+    for (const float v : row) {
+      const double d = v - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(row.size());
+    const double inv = 1.0 / std::sqrt(var + eps);
+    for (float& v : row) {
+      v = static_cast<float>((v - mean) * inv);
+    }
+  }
+}
+
+float max_abs(const MatF& a) {
+  float m = 0.0F;
+  for (const float v : a.flat()) {
+    m = std::max(m, std::abs(v));
+  }
+  return m;
+}
+
+}  // namespace paro

@@ -1,0 +1,64 @@
+// Dense math kernels over Matrix<T>.
+//
+// These are reference implementations: clarity and testability first.  The
+// performance experiments never run these kernels at CogVideoX scale — the
+// cycle simulator models the hardware analytically — so a straightforward
+// blocked GEMM is sufficient for the quality experiments (≤ a few k tokens).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace paro {
+
+/// C = A · B.  A is [m,k], B is [k,n].
+MatF matmul(const MatF& a, const MatF& b);
+
+/// C = A · Bᵀ.  A is [m,k], B is [n,k].  This is the QKᵀ shape.
+MatF matmul_nt(const MatF& a, const MatF& b);
+
+/// Integer GEMM with 32-bit accumulation: C = A · Bᵀ, A [m,k] int8,
+/// B [n,k] int8.  Mirrors what the fixed-point PE array computes.
+MatI32 matmul_nt_i8(const MatI8& a, const MatI8& b);
+
+/// Row-wise softmax of `logits * scale`, numerically stabilised.
+MatF softmax_rows(const MatF& logits, float scale = 1.0F);
+
+/// Transpose.
+MatF transpose(const MatF& a);
+
+/// Gather rows: out.row(i) = in.row(perm[i]).  perm must be a permutation
+/// of [0, rows).
+MatF permute_rows(const MatF& in, const std::vector<std::uint32_t>& perm);
+
+/// Scatter rows: out.row(perm[i]) = in.row(i) — the inverse of
+/// permute_rows with the same `perm`.
+MatF unpermute_rows(const MatF& in, const std::vector<std::uint32_t>& perm);
+
+/// Gather columns: out(r, i) = in(r, perm[i]).
+MatF permute_cols(const MatF& in, const std::vector<std::uint32_t>& perm);
+
+/// Validate that `perm` is a permutation of [0, n).  Throws otherwise.
+void check_permutation(const std::vector<std::uint32_t>& perm, std::size_t n);
+
+/// out = a + b (same shape).
+MatF add(const MatF& a, const MatF& b);
+
+/// out = a * s element-wise.
+MatF scale(const MatF& a, float s);
+
+/// Add a row vector `bias` (length cols) to each row, in place.
+void add_bias_inplace(MatF& a, std::span<const float> bias);
+
+/// tanh-approximation GELU applied element-wise, in place.
+void gelu_inplace(MatF& a);
+
+/// Per-row LayerNorm (no affine), in place; eps added to the variance.
+void layernorm_rows_inplace(MatF& a, float eps = 1e-5F);
+
+/// Maximum absolute element.
+float max_abs(const MatF& a);
+
+}  // namespace paro

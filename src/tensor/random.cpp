@@ -1,0 +1,31 @@
+#include "tensor/random.hpp"
+
+#include <cmath>
+
+namespace paro {
+
+MatF random_normal(std::size_t rows, std::size_t cols, Rng& rng, float mean,
+                   float stddev) {
+  MatF m(rows, cols);
+  for (float& v : m.flat()) {
+    v = static_cast<float>(rng.normal(mean, stddev));
+  }
+  return m;
+}
+
+MatF random_uniform(std::size_t rows, std::size_t cols, Rng& rng, float lo,
+                    float hi) {
+  MatF m(rows, cols);
+  for (float& v : m.flat()) {
+    v = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return m;
+}
+
+MatF random_xavier(std::size_t fan_in, std::size_t fan_out, Rng& rng) {
+  const float stddev =
+      std::sqrt(2.0F / static_cast<float>(fan_in + fan_out));
+  return random_normal(fan_in, fan_out, rng, 0.0F, stddev);
+}
+
+}  // namespace paro

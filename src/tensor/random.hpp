@@ -1,0 +1,20 @@
+// Random tensor initialisers.
+#pragma once
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace paro {
+
+/// Matrix of i.i.d. N(mean, stddev) values.
+MatF random_normal(std::size_t rows, std::size_t cols, Rng& rng,
+                   float mean = 0.0F, float stddev = 1.0F);
+
+/// Matrix of i.i.d. U[lo, hi) values.
+MatF random_uniform(std::size_t rows, std::size_t cols, Rng& rng,
+                    float lo = 0.0F, float hi = 1.0F);
+
+/// Xavier/Glorot-scaled weight init: N(0, sqrt(2 / (fan_in + fan_out))).
+MatF random_xavier(std::size_t fan_in, std::size_t fan_out, Rng& rng);
+
+}  // namespace paro

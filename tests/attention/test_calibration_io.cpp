@@ -1,0 +1,179 @@
+#include "attention/calibration_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "attention/reference.hpp"
+#include "attention/synthetic.hpp"
+#include "common/rng.hpp"
+
+namespace paro {
+namespace {
+
+HeadCalibration make_calibration(std::uint64_t seed, bool mixed) {
+  const TokenGrid grid(4, 4, 4);
+  SyntheticHeadSpec spec;
+  spec.locality_order = all_axis_orders()[seed % 6];
+  spec.locality_width = 0.01;
+  spec.pattern_gain = 5.0;
+  Rng rng(seed);
+  const HeadQKV head = generate_head(grid, spec, 16, rng);
+  const QuantAttentionConfig cfg =
+      mixed ? config_paro_mp(4.8, 8) : config_paro_int(4, 8);
+  return calibrate_head(head.q, head.k, grid, cfg);
+}
+
+bool plans_equal(const ReorderPlan& a, const ReorderPlan& b) {
+  return a.order == b.order && a.perm == b.perm;
+}
+
+bool tables_equal(const std::optional<BitTable>& a,
+                  const std::optional<BitTable>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a.has_value()) return true;
+  if (!(a->grid() == b->grid())) return false;
+  for (std::size_t i = 0; i < a->grid().num_blocks(); ++i) {
+    if (a->bits_flat(i) != b->bits_flat(i)) return false;
+  }
+  return true;
+}
+
+TEST(CalibrationIo, HeadRoundTripMixed) {
+  const HeadCalibration original = make_calibration(3, /*mixed=*/true);
+  std::stringstream ss;
+  write_head_calibration(ss, original);
+  const HeadCalibration restored = read_head_calibration(ss);
+  EXPECT_TRUE(plans_equal(original.plan, restored.plan));
+  EXPECT_TRUE(tables_equal(original.bit_table, restored.bit_table));
+  EXPECT_NEAR(original.planned_avg_bits, restored.planned_avg_bits, 1e-9);
+}
+
+TEST(CalibrationIo, HeadRoundTripWithoutTable) {
+  const HeadCalibration original = make_calibration(5, /*mixed=*/false);
+  ASSERT_FALSE(original.bit_table.has_value());
+  std::stringstream ss;
+  write_head_calibration(ss, original);
+  const HeadCalibration restored = read_head_calibration(ss);
+  EXPECT_TRUE(plans_equal(original.plan, restored.plan));
+  EXPECT_FALSE(restored.bit_table.has_value());
+}
+
+TEST(CalibrationIo, TableRoundTrip) {
+  std::vector<std::vector<HeadCalibration>> table(2);
+  table[0] = {make_calibration(1, true), make_calibration(2, true)};
+  table[1] = {make_calibration(3, true), make_calibration(4, false)};
+  std::stringstream ss;
+  write_calibration_table(ss, table);
+  const auto restored = read_calibration_table(ss);
+  ASSERT_EQ(restored.size(), 2U);
+  ASSERT_EQ(restored[0].size(), 2U);
+  for (std::size_t l = 0; l < 2; ++l) {
+    for (std::size_t h = 0; h < 2; ++h) {
+      EXPECT_TRUE(plans_equal(table[l][h].plan, restored[l][h].plan));
+      EXPECT_TRUE(
+          tables_equal(table[l][h].bit_table, restored[l][h].bit_table));
+    }
+  }
+}
+
+TEST(CalibrationIo, FileRoundTrip) {
+  std::vector<std::vector<HeadCalibration>> table(1);
+  table[0] = {make_calibration(7, true)};
+  const std::string path = ::testing::TempDir() + "/paro_calib_test.txt";
+  save_calibration_file(path, table);
+  const auto restored = load_calibration_file(path);
+  ASSERT_EQ(restored.size(), 1U);
+  EXPECT_TRUE(plans_equal(table[0][0].plan, restored[0][0].plan));
+  std::remove(path.c_str());
+}
+
+TEST(CalibrationIo, RestoredCalibrationProducesIdenticalOutputs) {
+  // The whole point: inference with a loaded calibration must match
+  // inference with the freshly computed one exactly.
+  const TokenGrid grid(4, 4, 4);
+  SyntheticHeadSpec spec;
+  spec.locality_order = all_axis_orders()[3];
+  spec.locality_width = 0.01;
+  spec.pattern_gain = 5.0;
+  Rng rng(11);
+  const HeadQKV head = generate_head(grid, spec, 16, rng);
+  const QuantAttentionConfig cfg = config_paro_mp(4.8, 8);
+  const HeadCalibration calib = calibrate_head(head.q, head.k, grid, cfg);
+
+  std::stringstream ss;
+  write_head_calibration(ss, calib);
+  const HeadCalibration restored = read_head_calibration(ss);
+
+  const auto a = quantized_attention(head.q, head.k, head.v, calib, cfg);
+  const auto b = quantized_attention(head.q, head.k, head.v, restored, cfg);
+  EXPECT_EQ(a.output, b.output);
+}
+
+/// Fuzz-style round trip: random plans and random bit tables of random
+/// geometries must survive serialization exactly.
+class CalibrationIoFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CalibrationIoFuzz, RandomTablesRoundTrip) {
+  Rng rng(GetParam());
+  const std::size_t f = 2 + rng.uniform_index(3);
+  const std::size_t h = 2 + rng.uniform_index(3);
+  const std::size_t w = 2 + rng.uniform_index(3);
+  const TokenGrid grid(f, h, w);
+  HeadCalibration calib;
+  calib.plan = ReorderPlan::for_order(
+      grid, all_axis_orders()[rng.uniform_index(6)]);
+  const std::size_t n = grid.num_tokens();
+  const std::size_t block = 1 + rng.uniform_index(n);
+  BitTable table(BlockGrid(n, n, block), 8);
+  for (std::size_t i = 0; i < table.grid().num_blocks(); ++i) {
+    table.set_bits_flat(i, kBitChoices[rng.uniform_index(4)]);
+  }
+  calib.bit_table = table;
+  calib.planned_avg_bits = table.average_bitwidth();
+
+  std::stringstream ss;
+  write_head_calibration(ss, calib);
+  const HeadCalibration restored = read_head_calibration(ss);
+  EXPECT_TRUE(plans_equal(calib.plan, restored.plan));
+  EXPECT_TRUE(tables_equal(calib.bit_table, restored.bit_table));
+  EXPECT_NEAR(calib.planned_avg_bits, restored.planned_avg_bits, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CalibrationIoFuzz,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(CalibrationIo, TruncatedStreamThrows) {
+  const HeadCalibration calib = make_calibration(9, true);
+  std::stringstream ss;
+  write_head_calibration(ss, calib);
+  const std::string full = ss.str();
+  // Cut the record at several points: every prefix must throw, not crash
+  // or return garbage.
+  for (const double frac : {0.1, 0.35, 0.6, 0.9}) {
+    std::stringstream cut(full.substr(
+        0, static_cast<std::size_t>(frac * static_cast<double>(full.size()))));
+    EXPECT_THROW(read_head_calibration(cut), Error) << "frac=" << frac;
+  }
+}
+
+TEST(CalibrationIo, CorruptInputThrows) {
+  std::stringstream empty;
+  EXPECT_THROW(read_head_calibration(empty), Error);
+  std::stringstream bad_keyword("notahead\n");
+  EXPECT_THROW(read_head_calibration(bad_keyword), Error);
+  std::stringstream bad_order("head\norder XYZ\n");
+  EXPECT_THROW(read_head_calibration(bad_order), Error);
+  std::stringstream bad_header("paro-calib v2\n");
+  EXPECT_THROW(read_calibration_table(bad_header), Error);
+  EXPECT_THROW(load_calibration_file("/nonexistent/path/calib.txt"), Error);
+}
+
+TEST(CalibrationIo, RejectsEmptyTable) {
+  std::stringstream ss;
+  EXPECT_THROW(write_calibration_table(ss, {}), Error);
+}
+
+}  // namespace
+}  // namespace paro

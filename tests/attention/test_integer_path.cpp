@@ -1,0 +1,142 @@
+#include "attention/integer_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attention/reference.hpp"
+#include "attention/synthetic.hpp"
+#include "common/stats.hpp"
+
+namespace paro {
+namespace {
+
+struct IntFixture {
+  TokenGrid grid{6, 6, 6};
+  HeadQKV head;
+  MatF ref;
+
+  explicit IntFixture(std::uint64_t seed = 53) {
+    SyntheticHeadSpec spec;
+    spec.locality_order = all_axis_orders()[3];
+    spec.locality_width = 0.01;
+    spec.pattern_gain = 5.0;
+    spec.content_gain = 0.5;
+    spec.global_fraction = 0.01;
+    spec.global_gain = 3.5;
+    Rng rng(seed);
+    head = generate_head(grid, spec, 16, rng);
+    ref = attention_reference(head.q, head.k, head.v);
+  }
+};
+
+/// The integer dataflow must agree with the fake-quant float pipeline —
+/// they are the same arithmetic expressed two ways.
+class IntMatchesFloat : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntMatchesFloat, BlockwiseUniform) {
+  const IntFixture f;
+  const QuantAttentionConfig cfg = config_paro_int(GetParam(), 8);
+  const HeadCalibration calib =
+      calibrate_head(f.head.q, f.head.k, f.grid, cfg);
+  const auto float_result =
+      quantized_attention(f.head.q, f.head.k, f.head.v, calib, cfg);
+  const auto int_result =
+      integer_attention(f.head.q, f.head.k, f.head.v, calib, cfg);
+  EXPECT_GT(snr_db(float_result.output.flat(), int_result.output.flat()),
+            55.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, IntMatchesFloat, ::testing::Values(2, 4, 8));
+
+TEST(IntegerPath, MatchesFloatPipelineMixed) {
+  const IntFixture f;
+  const QuantAttentionConfig cfg = config_paro_mp(4.8, 8);
+  const HeadCalibration calib =
+      calibrate_head(f.head.q, f.head.k, f.grid, cfg);
+  const auto float_result =
+      quantized_attention(f.head.q, f.head.k, f.head.v, calib, cfg);
+  const auto int_result =
+      integer_attention(f.head.q, f.head.k, f.head.v, calib, cfg);
+  EXPECT_GT(snr_db(float_result.output.flat(), int_result.output.flat()),
+            55.0);
+  EXPECT_NEAR(int_result.avg_map_bits, float_result.avg_map_bits, 1e-9);
+}
+
+TEST(IntegerPath, MatchesFloatPipelineWithOba) {
+  const IntFixture f;
+  QuantAttentionConfig cfg = config_paro_mp(4.8, 8);
+  cfg.output_bitwidth_aware = true;
+  const HeadCalibration calib =
+      calibrate_head(f.head.q, f.head.k, f.grid, cfg);
+  const auto float_result =
+      quantized_attention(f.head.q, f.head.k, f.head.v, calib, cfg);
+  const auto int_result =
+      integer_attention(f.head.q, f.head.k, f.head.v, calib, cfg);
+  EXPECT_GT(snr_db(float_result.output.flat(), int_result.output.flat()),
+            55.0);
+}
+
+TEST(IntegerPath, Fp16ScalesStayAccurate) {
+  // Hardware stores every quantization scale in FP16 (paper §IV-A); the
+  // extra rounding must cost almost nothing.
+  const IntFixture f;
+  QuantAttentionConfig cfg = config_paro_mp(4.8, 8);
+  QuantAttentionConfig cfg16 = cfg;
+  cfg16.fp16_scales = true;
+  const HeadCalibration calib =
+      calibrate_head(f.head.q, f.head.k, f.grid, cfg);
+  const auto full = integer_attention(f.head.q, f.head.k, f.head.v, calib, cfg);
+  const auto fp16 =
+      integer_attention(f.head.q, f.head.k, f.head.v, calib, cfg16);
+  EXPECT_GT(snr_db(full.output.flat(), fp16.output.flat()), 40.0);
+  EXPECT_GT(snr_db(f.ref.flat(), fp16.output.flat()), 15.0);
+}
+
+TEST(IntegerPath, CodesRespectBitRanges) {
+  const IntFixture f;
+  const QuantAttentionConfig cfg = config_paro_mp(4.8, 8);
+  const HeadCalibration calib =
+      calibrate_head(f.head.q, f.head.k, f.grid, cfg);
+  const auto result =
+      integer_attention(f.head.q, f.head.k, f.head.v, calib, cfg);
+  const BitTable& table = *calib.bit_table;
+  const BlockGrid& grid = table.grid();
+  for (std::size_t br = 0; br < grid.block_rows(); ++br) {
+    for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
+      const int bits = table.bits_at(br, bc);
+      const std::int32_t qmax =
+          bits == 0 ? 0 : (std::int32_t{1} << bits) - 1;
+      const auto e = grid.extent(br, bc);
+      for (std::size_t i = e.r0; i < e.r1; ++i) {
+        for (std::size_t j = e.c0; j < e.c1; ++j) {
+          ASSERT_GE(result.map_codes(i, j), 0);
+          ASSERT_LE(result.map_codes(i, j), qmax);
+        }
+      }
+    }
+  }
+}
+
+TEST(IntegerPath, OutputTracksReference) {
+  const IntFixture f;
+  const QuantAttentionConfig cfg = config_paro_int(8, 8);
+  const HeadCalibration calib =
+      calibrate_head(f.head.q, f.head.k, f.grid, cfg);
+  const auto result =
+      integer_attention(f.head.q, f.head.k, f.head.v, calib, cfg);
+  EXPECT_GT(snr_db(f.ref.flat(), result.output.flat()), 20.0);
+}
+
+TEST(IntegerPath, RejectsUnsupportedSchemes) {
+  const IntFixture f;
+  HeadCalibration calib;
+  calib.plan = ReorderPlan::identity(f.grid.num_tokens());
+  EXPECT_THROW(integer_attention(f.head.q, f.head.k, f.head.v, calib,
+                                 config_naive_int(8)),
+               Error);
+  EXPECT_THROW(integer_attention(f.head.q, f.head.k, f.head.v, calib,
+                                 config_fp16()),
+               Error);
+}
+
+}  // namespace
+}  // namespace paro

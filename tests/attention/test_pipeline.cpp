@@ -1,0 +1,250 @@
+#include "attention/pipeline.hpp"
+
+#include "attention/integer_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attention/reference.hpp"
+#include "attention/synthetic.hpp"
+#include "common/stats.hpp"
+
+namespace paro {
+namespace {
+
+// A sharp strided head (6×6×6 grid, 8-wide map tiles): the regime where
+// the paper's claims bite — the diagonal carries large outliers while the
+// background still holds meaningful mass.
+constexpr std::size_t kBlock = 8;
+
+struct Fixture {
+  TokenGrid grid{6, 6, 6};
+  HeadQKV head;
+  MatF ref;
+
+  explicit Fixture(std::uint64_t seed = 53,
+                   std::size_t order_index = 3) {
+    SyntheticHeadSpec spec;
+    spec.locality_order = all_axis_orders()[order_index];
+    spec.locality_width = 0.01;
+    spec.pattern_gain = 5.0;
+    spec.content_gain = 0.5;
+    spec.global_fraction = 0.01;
+    spec.global_gain = 3.5;
+    Rng rng(seed);
+    head = generate_head(grid, spec, 16, rng);
+    ref = attention_reference(head.q, head.k, head.v);
+  }
+
+  QuantAttentionResult run(const QuantAttentionConfig& cfg) const {
+    const HeadCalibration calib = calibrate_head(head.q, head.k, grid, cfg);
+    return quantized_attention(head.q, head.k, head.v, calib, cfg);
+  }
+  double snr(const QuantAttentionConfig& cfg) const {
+    return snr_db(ref.flat(), run(cfg).output.flat());
+  }
+};
+
+/// Mean SNR of a config across several independently generated heads —
+/// stabilises comparisons whose single-head margins are ~1 dB.
+double mean_snr(const QuantAttentionConfig& cfg) {
+  double acc = 0.0;
+  for (const std::uint64_t seed : {53ULL, 54ULL, 55ULL}) {
+    acc += Fixture(seed).snr(cfg);
+  }
+  return acc / 3.0;
+}
+
+TEST(Pipeline, Fp16ConfigReproducesReferenceExactly) {
+  const Fixture f;
+  const auto result = f.run(config_fp16());
+  EXPECT_GT(snr_db(f.ref.flat(), result.output.flat()), 120.0);
+  EXPECT_EQ(result.avg_map_bits, 16.0);
+}
+
+TEST(Pipeline, Int8QkvAloneIsNearLossless) {
+  const Fixture f;
+  QuantAttentionConfig cfg = config_fp16();
+  cfg.quantize_qkv = true;
+  EXPECT_GT(f.snr(cfg), 30.0);
+}
+
+TEST(Pipeline, TableOneOrdering) {
+  // The central Table-I ordering at small scale:
+  //   Naive INT4  <  Block-wise INT4  <  PARO INT4 (reorder)  and
+  //   PARO MP(4.8) approaches PARO INT8 quality.
+  const double naive4 = mean_snr(config_naive_int(4));
+  const double block4 = mean_snr(config_blockwise_int(4, kBlock));
+  const double paro4 = mean_snr(config_paro_int(4, kBlock));
+  const double paro8 = mean_snr(config_paro_int(8, kBlock));
+  const double mp = mean_snr(config_paro_mp(4.8, kBlock));
+
+  EXPECT_GT(block4, naive4 + 0.3);
+  EXPECT_GT(paro4, block4 + 0.5);
+  EXPECT_GT(paro8, paro4 + 5.0);
+  EXPECT_GT(mp, paro4 + 4.0);        // mixed precision beats uniform INT4
+  EXPECT_GT(mp, paro8 - 6.0);        // and approaches INT8
+}
+
+TEST(Pipeline, Int8SchemesAllUsable) {
+  const Fixture f;
+  EXPECT_GT(f.snr(config_naive_int(8)), 15.0);
+  EXPECT_GT(f.snr(config_blockwise_int(8, kBlock)), 20.0);
+  EXPECT_GT(f.snr(config_paro_int(8, kBlock)), 20.0);
+}
+
+TEST(Pipeline, MixedRespectsBudget) {
+  const Fixture f;
+  for (const double budget : {2.0, 4.0, 4.8, 6.0}) {
+    const auto cfg = config_paro_mp(budget, kBlock);
+    const HeadCalibration calib =
+        calibrate_head(f.head.q, f.head.k, f.grid, cfg);
+    ASSERT_TRUE(calib.bit_table.has_value());
+    EXPECT_LE(calib.bit_table->average_bitwidth(), budget + 1e-9);
+  }
+}
+
+TEST(Pipeline, HigherBudgetNeverHurts) {
+  const Fixture f;
+  const double mp3 = f.snr(config_paro_mp(3.0, kBlock));
+  const double mp6 = f.snr(config_paro_mp(6.0, kBlock));
+  EXPECT_GT(mp6, mp3);
+}
+
+TEST(Pipeline, OutputBitwidthAwareCloseToPlainMixed) {
+  // §IV-B: LDZ truncation of K "produced no perceptible differences".
+  const Fixture f;
+  QuantAttentionConfig plain = config_paro_mp(4.8, kBlock);
+  QuantAttentionConfig oba = plain;
+  oba.output_bitwidth_aware = true;
+  const double snr_plain = f.snr(plain);
+  const double snr_oba = f.snr(oba);
+  EXPECT_GT(snr_oba, 10.0);
+  EXPECT_GT(snr_oba, snr_plain - 8.0);
+}
+
+TEST(Pipeline, ZeroBitBlocksProduceZeroMass) {
+  const Fixture f;
+  auto cfg = config_paro_mp(2.0, kBlock);  // tight budget → many skipped tiles
+  const HeadCalibration calib =
+      calibrate_head(f.head.q, f.head.k, f.grid, cfg);
+  ASSERT_TRUE(calib.bit_table.has_value());
+  EXPECT_GT(calib.bit_table->tiles_at(0), 0U);
+  const auto result = quantized_attention(f.head.q, f.head.k, f.head.v,
+                                          calib, cfg);
+  const BitTable& table = *calib.bit_table;
+  const BlockGrid& bg = table.grid();
+  for (std::size_t br = 0; br < bg.block_rows(); ++br) {
+    for (std::size_t bc = 0; bc < bg.block_cols(); ++bc) {
+      if (table.bits_at(br, bc) != 0) continue;
+      const auto e = bg.extent(br, bc);
+      for (std::size_t r = e.r0; r < e.r1; ++r) {
+        for (std::size_t c = e.c0; c < e.c1; ++c) {
+          ASSERT_EQ(result.map_reordered(r, c), 0.0F);
+        }
+      }
+    }
+  }
+}
+
+TEST(Pipeline, ReportedAvgBitsMatchesTable) {
+  const Fixture f;
+  const auto cfg = config_paro_mp(4.8, kBlock);
+  const HeadCalibration calib =
+      calibrate_head(f.head.q, f.head.k, f.grid, cfg);
+  const auto result =
+      quantized_attention(f.head.q, f.head.k, f.head.v, calib, cfg);
+  EXPECT_NEAR(result.avg_map_bits, calib.bit_table->average_bitwidth(),
+              1e-9);
+  EXPECT_NEAR(result.avg_map_bits, calib.planned_avg_bits, 1e-9);
+}
+
+TEST(Pipeline, CalibrationShapeMismatchThrows) {
+  const Fixture f;
+  const TokenGrid wrong(3, 3, 3);
+  EXPECT_THROW(calibrate_head(f.head.q, f.head.k, wrong, config_paro_mp()),
+               Error);
+}
+
+TEST(Pipeline, MixedWithoutTableThrows) {
+  const Fixture f;
+  HeadCalibration calib;  // no bit table
+  calib.plan = ReorderPlan::identity(f.grid.num_tokens());
+  EXPECT_THROW(quantized_attention(f.head.q, f.head.k, f.head.v, calib,
+                                   config_paro_mp(4.8, kBlock)),
+               Error);
+}
+
+TEST(Pipeline, PrefixCalibrationQuantizesTextPlusVideo) {
+  // CogVideoX layout: text tokens + video grid through the full pipeline.
+  const TokenGrid grid(4, 4, 4);
+  const std::size_t prefix = 8;
+  const std::size_t n = prefix + grid.num_tokens();
+  SyntheticHeadSpec spec;
+  spec.locality_order = all_axis_orders()[3];
+  spec.locality_width = 0.01;
+  spec.pattern_gain = 5.0;
+  Rng rng(61);
+  const HeadQKV video = generate_head(grid, spec, 16, rng);
+  // Prepend random "text" tokens to Q/K/V.
+  MatF q(n, 16), k(n, 16), v(n, 16);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 16; ++c) {
+      if (i < prefix) {
+        q(i, c) = static_cast<float>(rng.normal());
+        k(i, c) = static_cast<float>(rng.normal());
+        v(i, c) = static_cast<float>(rng.normal());
+      } else {
+        q(i, c) = video.q(i - prefix, c);
+        k(i, c) = video.k(i - prefix, c);
+        v(i, c) = video.v(i - prefix, c);
+      }
+    }
+  }
+  const QuantAttentionConfig cfg = config_paro_mp(4.8, kBlock);
+  const HeadCalibration calib =
+      calibrate_head_with_prefix(q, k, grid, prefix, cfg);
+  // Prefix stays in place; table covers the full map.
+  for (std::size_t i = 0; i < prefix; ++i) {
+    EXPECT_EQ(calib.plan.perm[i], i);
+  }
+  ASSERT_TRUE(calib.bit_table.has_value());
+  EXPECT_EQ(calib.bit_table->grid().rows(), n);
+
+  const MatF ref = attention_reference(q, k, v);
+  const auto result = quantized_attention(q, k, v, calib, cfg);
+  EXPECT_GT(snr_db(ref.flat(), result.output.flat()), 15.0);
+}
+
+/// Integer path must track the float path across block sizes.
+class IntFloatAgreement : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IntFloatAgreement, AcrossBlockSizes) {
+  const Fixture f;
+  const QuantAttentionConfig cfg = config_paro_mp(4.8, GetParam());
+  const HeadCalibration calib =
+      calibrate_head(f.head.q, f.head.k, f.grid, cfg);
+  const auto fl = quantized_attention(f.head.q, f.head.k, f.head.v, calib, cfg);
+  const auto in = integer_attention(f.head.q, f.head.k, f.head.v, calib, cfg);
+  EXPECT_GT(snr_db(fl.output.flat(), in.output.flat()), 50.0)
+      << "block=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, IntFloatAgreement,
+                         ::testing::Values(4, 8, 12, 27));
+
+/// Property sweep across heads with different locality orders: reorder
+/// never hurts block-wise INT4 quality.
+class ReorderAlwaysHelps : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ReorderAlwaysHelps, Int4) {
+  const Fixture f(100 + GetParam(), GetParam());
+  const double without = f.snr(config_blockwise_int(4, kBlock));
+  const double with = f.snr(config_paro_int(4, kBlock));
+  EXPECT_GE(with, without - 1.0) << "order " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ReorderAlwaysHelps,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace paro

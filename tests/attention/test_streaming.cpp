@@ -1,0 +1,79 @@
+#include "attention/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/reference.hpp"
+#include "attention/synthetic.hpp"
+#include "common/stats.hpp"
+#include "tensor/random.hpp"
+
+namespace paro {
+namespace {
+
+/// Chunked online-softmax must equal the materialised reference for any
+/// chunk size — the correctness basis of the fused dataflow.
+class StreamingChunks : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StreamingChunks, MatchesReference) {
+  Rng rng(1);
+  const MatF q = random_normal(40, 16, rng, 0.0F, 2.0F);
+  const MatF k = random_normal(40, 16, rng, 0.0F, 2.0F);
+  const MatF v = random_normal(40, 16, rng);
+  const MatF ref = attention_reference(q, k, v);
+  const MatF streamed = attention_streaming(q, k, v, GetParam());
+  EXPECT_GT(snr_db(ref.flat(), streamed.flat()), 110.0)
+      << "chunk=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, StreamingChunks,
+                         ::testing::Values(1, 3, 7, 16, 40, 64));
+
+TEST(Streaming, HandlesExtremeLogits) {
+  // Large logits: the running-max rescaling must stay stable.
+  Rng rng(2);
+  MatF q = random_normal(8, 8, rng, 0.0F, 20.0F);
+  MatF k = random_normal(8, 8, rng, 0.0F, 20.0F);
+  const MatF v = random_normal(8, 8, rng);
+  const MatF ref = attention_reference(q, k, v);
+  const MatF streamed = attention_streaming(q, k, v, 2);
+  for (const float x : streamed.flat()) {
+    ASSERT_TRUE(std::isfinite(x));
+  }
+  EXPECT_GT(snr_db(ref.flat(), streamed.flat()), 80.0);
+}
+
+TEST(Streaming, WorksOnStructuredHeads) {
+  const TokenGrid grid(4, 4, 4);
+  SyntheticHeadSpec spec;
+  spec.locality_width = 0.01;
+  spec.pattern_gain = 6.0;
+  Rng rng(3);
+  const HeadQKV head = generate_head(grid, spec, 16, rng);
+  const MatF ref = attention_reference(head.q, head.k, head.v);
+  const MatF streamed = attention_streaming(head.q, head.k, head.v, 9);
+  EXPECT_GT(snr_db(ref.flat(), streamed.flat()), 100.0);
+}
+
+TEST(Streaming, RejectsBadArguments) {
+  MatF q(4, 8), k(4, 8), v(4, 8);
+  EXPECT_THROW(attention_streaming(q, k, v, 0), Error);
+  MatF k_bad(4, 6);
+  EXPECT_THROW(attention_streaming(q, k_bad, v, 2), Error);
+  MatF v_bad(5, 8);
+  EXPECT_THROW(attention_streaming(q, k, v_bad, 2), Error);
+}
+
+TEST(Streaming, CustomScale) {
+  Rng rng(4);
+  const MatF q = random_normal(10, 8, rng);
+  const MatF k = random_normal(10, 8, rng);
+  const MatF v = random_normal(10, 8, rng);
+  const MatF ref = attention_reference(q, k, v, 0.7F);
+  const MatF streamed = attention_streaming(q, k, v, 4, 0.7F);
+  EXPECT_GT(snr_db(ref.flat(), streamed.flat()), 110.0);
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,172 @@
+#include "baselines/gpu_roofline.hpp"
+#include "baselines/sanger.hpp"
+#include "baselines/vitcod.hpp"
+
+#include <gtest/gtest.h>
+
+#include "paro/accelerator.hpp"
+
+namespace paro {
+namespace {
+
+double seconds_of(const SimStats& s, const HwResources& hw) {
+  return s.seconds(hw.freq_ghz);
+}
+
+TEST(Sanger, RunsAndAccountsPhases) {
+  const ModelConfig m = ModelConfig::cogvideox_2b();
+  const SangerAccelerator sanger(HwResources::paro_asic());
+  const SimStats stats = sanger.simulate_video(m);
+  EXPECT_GT(stats.total_cycles, 0.0);
+  EXPECT_GT(stats.phase_fraction("attn-score"), 0.0);
+  EXPECT_GT(stats.phase_fraction("attn-predict"), 0.0);
+  EXPECT_GT(stats.phase_fraction("linear"), 0.0);
+}
+
+TEST(Sanger, LowerDensityIsFaster) {
+  const ModelConfig m = ModelConfig::cogvideox_2b();
+  SangerConfig sparse;
+  sparse.density = 0.1;
+  SangerConfig dense;
+  dense.density = 0.5;
+  const HwResources hw = HwResources::paro_asic();
+  EXPECT_LT(SangerAccelerator(hw, sparse).simulate_video(m).total_cycles,
+            SangerAccelerator(hw, dense).simulate_video(m).total_cycles);
+}
+
+TEST(Sanger, RejectsBadConfig) {
+  SangerConfig bad;
+  bad.density = 0.0;
+  EXPECT_THROW(SangerAccelerator(HwResources::paro_asic(), bad), Error);
+  bad.density = 0.5;
+  bad.pack_efficiency = 1.5;
+  EXPECT_THROW(SangerAccelerator(HwResources::paro_asic(), bad), Error);
+}
+
+TEST(Vitcod, RunsAndOverallDensitySane) {
+  const VitcodConfig cfg;
+  EXPECT_GT(cfg.overall_density(), cfg.dense_col_fraction);
+  EXPECT_LT(cfg.overall_density(), 1.0);
+  const VitcodAccelerator vitcod(HwResources::paro_asic());
+  const SimStats stats = vitcod.simulate_video(ModelConfig::cogvideox_2b());
+  EXPECT_GT(stats.total_cycles, 0.0);
+}
+
+TEST(Vitcod, CompressionReducesTraffic) {
+  const ModelConfig m = ModelConfig::cogvideox_2b();
+  VitcodConfig strong;
+  strong.compression_ratio = 4.0;
+  VitcodConfig weak;
+  weak.compression_ratio = 1.0;
+  const HwResources hw = HwResources::paro_asic();
+  EXPECT_LT(VitcodAccelerator(hw, strong).simulate_video(m).dram_bytes,
+            VitcodAccelerator(hw, weak).simulate_video(m).dram_bytes);
+}
+
+TEST(Fig6a, AcceleratorOrderingMatchesPaper) {
+  // PARO ≫ ViTCoD > Sanger under identical resources, on both models.
+  const HwResources hw = HwResources::paro_asic();
+  for (const ModelConfig& m :
+       {ModelConfig::cogvideox_2b(), ModelConfig::cogvideox_5b()}) {
+    const double paro = seconds_of(
+        ParoAccelerator(hw, ParoConfig::full()).simulate_video(m), hw);
+    const double vitcod =
+        seconds_of(VitcodAccelerator(hw).simulate_video(m), hw);
+    const double sanger =
+        seconds_of(SangerAccelerator(hw).simulate_video(m), hw);
+    EXPECT_GT(sanger, vitcod) << m.name;
+    EXPECT_GT(vitcod, paro) << m.name;
+    // PARO's edge over Sanger is large (paper: 10.6–12.0×).
+    EXPECT_GT(sanger / paro, 4.0) << m.name;
+    // And over ViTCoD clearly smaller than over Sanger (paper: 6.4–7.1×).
+    EXPECT_GT(vitcod / paro, 2.0) << m.name;
+    EXPECT_LT(vitcod / paro, sanger / paro) << m.name;
+  }
+}
+
+TEST(Gpu, AttentionShareMatchesPaperMotivation) {
+  // Paper §I: attention ≈ 67.93 % of A100 latency on CogVideoX.
+  const GpuRoofline gpu;
+  const GpuStepTime t =
+      gpu.simulate_video_breakdown(ModelConfig::cogvideox_5b());
+  EXPECT_GT(t.attention_fraction(), 0.55);
+  EXPECT_LT(t.attention_fraction(), 0.85);
+}
+
+TEST(Gpu, A100FasterThanSmallAsicButSlowerThanAligned) {
+  // Fig. 6(a): A100 beats the 51.2 GB/s ASIC on raw speed, but
+  // PARO-align-A100 beats the A100 by 1.68–2.71×.
+  for (const ModelConfig& m :
+       {ModelConfig::cogvideox_2b(), ModelConfig::cogvideox_5b()}) {
+    const GpuRoofline gpu;
+    const double a100 = gpu.simulate_video_seconds(m);
+
+    const HwResources asic = HwResources::paro_asic();
+    const double paro = seconds_of(
+        ParoAccelerator(asic, ParoConfig::full()).simulate_video(m), asic);
+
+    const HwResources big = HwResources::paro_align_a100();
+    const double aligned = seconds_of(
+        ParoAccelerator(big, ParoConfig::full()).simulate_video(m), big);
+
+    EXPECT_LT(a100, paro) << m.name;
+    EXPECT_GT(a100 / aligned, 1.3) << m.name;
+    EXPECT_LT(a100 / aligned, 5.0) << m.name;
+  }
+}
+
+TEST(Gpu, StepBreakdownComponentsArePositive) {
+  const GpuRoofline gpu;
+  const Workload w = Workload::build(ModelConfig::cogvideox_2b(), false);
+  const GpuStepTime t = gpu.simulate_step(w);
+  EXPECT_GT(t.linear_s, 0.0);
+  EXPECT_GT(t.attention_s, 0.0);
+  EXPECT_GT(t.vector_s, 0.0);
+  EXPECT_NEAR(t.total_s(), t.linear_s + t.attention_s + t.vector_s, 1e-12);
+}
+
+TEST(Gpu, FasterChipShortensCompute) {
+  GpuResources fast;
+  fast.fp16_tflops *= 2.0;
+  fast.hbm_gbps *= 2.0;
+  const ModelConfig m = ModelConfig::cogvideox_2b();
+  EXPECT_LT(GpuRoofline(fast).simulate_video_seconds(m),
+            GpuRoofline().simulate_video_seconds(m));
+}
+
+TEST(Sanger, PaddedStorageIncreasesTraffic) {
+  const ModelConfig m = ModelConfig::cogvideox_2b();
+  SangerConfig tight;
+  tight.storage_efficiency = 1.0;
+  SangerConfig padded;
+  padded.storage_efficiency = 0.5;
+  const HwResources hw = HwResources::paro_asic();
+  EXPECT_GT(SangerAccelerator(hw, padded).simulate_video(m).dram_bytes,
+            SangerAccelerator(hw, tight).simulate_video(m).dram_bytes);
+}
+
+TEST(Vitcod, DenserMasksAreSlower) {
+  const ModelConfig m = ModelConfig::cogvideox_2b();
+  VitcodConfig sparse;
+  sparse.dense_col_fraction = 0.1;
+  sparse.sparse_density = 0.2;
+  VitcodConfig dense;
+  dense.dense_col_fraction = 0.3;
+  dense.sparse_density = 0.7;
+  const HwResources hw = HwResources::paro_asic();
+  EXPECT_LT(VitcodAccelerator(hw, sparse).simulate_video(m).total_cycles,
+            VitcodAccelerator(hw, dense).simulate_video(m).total_cycles);
+}
+
+TEST(Gpu, VideoScalesWithSteps) {
+  ModelConfig m = ModelConfig::cogvideox_2b();
+  const GpuRoofline gpu;
+  m.sampling_steps = 10;
+  const double t10 = gpu.simulate_video_seconds(m);
+  m.sampling_steps = 50;
+  const double t50 = gpu.simulate_video_seconds(m);
+  EXPECT_NEAR(t50 / t10, 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,71 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace paro {
+namespace {
+
+KeyValueConfig parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return KeyValueConfig::from_args(static_cast<int>(argv.size()),
+                                   argv.data());
+}
+
+TEST(Config, ParsesKeyValuePairs) {
+  const auto c = parse({"tokens=1024", "name=paro", "scale=2.5"});
+  EXPECT_EQ(c.get_int("tokens", 0), 1024);
+  EXPECT_EQ(c.get_string("name", ""), "paro");
+  EXPECT_DOUBLE_EQ(c.get_double("scale", 0.0), 2.5);
+}
+
+TEST(Config, FallbacksWhenMissing) {
+  const auto c = parse({});
+  EXPECT_EQ(c.get_int("missing", 42), 42);
+  EXPECT_EQ(c.get_string("missing", "x"), "x");
+  EXPECT_DOUBLE_EQ(c.get_double("missing", 1.5), 1.5);
+  EXPECT_TRUE(c.get_bool("missing", true));
+}
+
+TEST(Config, BooleansAcceptCommonSpellings) {
+  const auto c = parse({"a=1", "b=true", "c=off", "d=no"});
+  EXPECT_TRUE(c.get_bool("a", false));
+  EXPECT_TRUE(c.get_bool("b", false));
+  EXPECT_FALSE(c.get_bool("c", true));
+  EXPECT_FALSE(c.get_bool("d", true));
+}
+
+TEST(Config, MalformedTokenThrows) {
+  EXPECT_THROW(parse({"notakeyvalue"}), Error);
+  EXPECT_THROW(parse({"=value"}), Error);
+}
+
+TEST(Config, NonNumericThrows) {
+  const auto c = parse({"n=abc"});
+  EXPECT_THROW(c.get_int("n", 0), Error);
+  EXPECT_THROW(c.get_double("n", 0.0), Error);
+  EXPECT_THROW(c.get_bool("n", false), Error);
+}
+
+TEST(Config, BenchmarkFlagsIgnored) {
+  const auto c = parse({"--benchmark_filter=foo", "k=1"});
+  EXPECT_FALSE(c.contains("--benchmark_filter"));
+  EXPECT_EQ(c.get_int("k", 0), 1);
+}
+
+TEST(Config, ContainsAndEntries) {
+  const auto c = parse({"x=1"});
+  EXPECT_TRUE(c.contains("x"));
+  EXPECT_FALSE(c.contains("y"));
+  EXPECT_EQ(c.entries().size(), 1U);
+}
+
+TEST(Config, LastValueWins) {
+  const auto c = parse({"x=1", "x=2"});
+  EXPECT_EQ(c.get_int("x", 0), 2);
+}
+
+}  // namespace
+}  // namespace paro

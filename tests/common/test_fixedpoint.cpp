@@ -1,0 +1,115 @@
+#include "common/fixedpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace paro {
+namespace {
+
+TEST(BitLength, Basics) {
+  EXPECT_EQ(bit_length(0), 0);
+  EXPECT_EQ(bit_length(1), 1);
+  EXPECT_EQ(bit_length(2), 2);
+  EXPECT_EQ(bit_length(3), 2);
+  EXPECT_EQ(bit_length(4), 3);
+  EXPECT_EQ(bit_length(255), 8);
+  EXPECT_EQ(bit_length(256), 9);
+}
+
+TEST(Clamp, SignedBits) {
+  EXPECT_EQ(clamp_to_signed_bits(100, 8), 100);
+  EXPECT_EQ(clamp_to_signed_bits(1000, 8), 127);
+  EXPECT_EQ(clamp_to_signed_bits(-1000, 8), -128);
+  EXPECT_EQ(clamp_to_signed_bits(3, 2), 1);
+  EXPECT_EQ(clamp_to_signed_bits(-3, 2), -2);
+}
+
+TEST(Clamp, UnsignedBits) {
+  EXPECT_EQ(clamp_to_unsigned_bits(-5, 4), 0);
+  EXPECT_EQ(clamp_to_unsigned_bits(20, 4), 15);
+  EXPECT_EQ(clamp_to_unsigned_bits(7, 4), 7);
+}
+
+TEST(Ldz, PaperExample) {
+  // 8b00011010 (= 26) at 2 bits → mantissa 0b11 (= 3), shift 3.
+  const LdzCode code = ldz_truncate(26, 2);
+  EXPECT_EQ(code.mantissa, 3);
+  EXPECT_EQ(code.shift, 3);
+  EXPECT_EQ(ldz_restore(code.mantissa, code.shift), 24);
+}
+
+TEST(Ldz, ZeroIsExact) {
+  const LdzCode code = ldz_truncate(0, 2);
+  EXPECT_EQ(code.mantissa, 0);
+  EXPECT_EQ(code.shift, 0);
+}
+
+TEST(Ldz, SmallValuesAreExact) {
+  for (int bits = 1; bits <= 8; ++bits) {
+    const int limit = (1 << bits) - 1;
+    for (int v = -limit; v <= limit; ++v) {
+      EXPECT_EQ(ldz_approximate(v, bits), v)
+          << "v=" << v << " bits=" << bits;
+    }
+  }
+}
+
+TEST(Ldz, EightBitsIsIdentity) {
+  for (int v = -255; v <= 255; ++v) {
+    EXPECT_EQ(ldz_approximate(v, 8), v);
+  }
+}
+
+TEST(Ldz, RejectsBadArguments) {
+  EXPECT_THROW(ldz_truncate(1, 0), Error);
+  EXPECT_THROW(ldz_truncate(1, 9), Error);
+  EXPECT_THROW(ldz_truncate(300, 4), Error);
+}
+
+TEST(Ldz, SignSymmetry) {
+  for (int bits = 1; bits <= 8; ++bits) {
+    for (int v = 0; v <= 255; ++v) {
+      EXPECT_EQ(ldz_approximate(-v, bits), -ldz_approximate(v, bits));
+    }
+  }
+}
+
+/// Property sweep: for every 8-bit value and bitwidth, the truncation
+/// error is below 2^shift and the approximation never overshoots.
+class LdzProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LdzProperty, ErrorBoundHolds) {
+  const int bits = GetParam();
+  for (int v = -255; v <= 255; ++v) {
+    const LdzCode code = ldz_truncate(v, bits);
+    const auto approx =
+        static_cast<std::int32_t>(ldz_restore(code.mantissa, code.shift));
+    EXPECT_LE(std::abs(approx), std::abs(v));
+    EXPECT_LT(std::abs(v - approx), 1 << code.shift)
+        << "v=" << v << " bits=" << bits;
+    // Mantissa magnitude fits in `bits` bits.
+    EXPECT_LT(std::abs(code.mantissa), 1 << bits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBitwidths, LdzProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Ldz, MeanErrorDecreasesWithBits) {
+  double prev = 1e18;
+  for (const int bits : {2, 4, 8}) {
+    double err = 0.0;
+    for (int v = -255; v <= 255; ++v) {
+      err += std::abs(v - ldz_approximate(v, bits));
+    }
+    EXPECT_LT(err, prev);
+    prev = err;
+  }
+}
+
+}  // namespace
+}  // namespace paro

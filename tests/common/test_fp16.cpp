@@ -1,0 +1,108 @@
+#include "common/fp16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace paro {
+namespace {
+
+TEST(Fp16, ExactValuesRoundTrip) {
+  for (const float v : {0.0F, 1.0F, -1.0F, 0.5F, 2.0F, 1024.0F, -0.25F,
+                        65504.0F, kFp16MinNormal, kFp16MinSubnormal}) {
+    EXPECT_EQ(fp16_round(v), v) << v;
+  }
+}
+
+TEST(Fp16, KnownBitPatterns) {
+  EXPECT_EQ(float_to_fp16_bits(0.0F), 0x0000);
+  EXPECT_EQ(float_to_fp16_bits(-0.0F), 0x8000);
+  EXPECT_EQ(float_to_fp16_bits(1.0F), 0x3C00);
+  EXPECT_EQ(float_to_fp16_bits(-2.0F), 0xC000);
+  EXPECT_EQ(float_to_fp16_bits(65504.0F), 0x7BFF);
+  EXPECT_EQ(float_to_fp16_bits(kFp16MinSubnormal), 0x0001);
+  EXPECT_EQ(fp16_bits_to_float(0x3C00), 1.0F);
+  EXPECT_EQ(fp16_bits_to_float(0x0001), kFp16MinSubnormal);
+}
+
+TEST(Fp16, OverflowGoesToInfinity) {
+  EXPECT_TRUE(std::isinf(fp16_round(70000.0F)));
+  EXPECT_TRUE(std::isinf(fp16_round(-1e10F)));
+  EXPECT_LT(fp16_round(-1e10F), 0.0F);
+}
+
+TEST(Fp16, TinyValuesFlushToZeroOrSubnormal) {
+  EXPECT_EQ(fp16_round(1e-10F), 0.0F);
+  // Half of the smallest subnormal rounds to zero (ties-to-even).
+  EXPECT_EQ(fp16_round(kFp16MinSubnormal * 0.4999F), 0.0F);
+  // Just above half rounds up to the smallest subnormal.
+  EXPECT_EQ(fp16_round(kFp16MinSubnormal * 0.51F), kFp16MinSubnormal);
+}
+
+TEST(Fp16, InfAndNanPropagate) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(std::isinf(fp16_round(inf)));
+  EXPECT_TRUE(std::isinf(fp16_round(-inf)));
+  EXPECT_TRUE(std::isnan(fp16_round(std::nanf(""))));
+}
+
+TEST(Fp16, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next fp16 value
+  // (1 + 2^-10); ties-to-even keeps 1.0 (even mantissa).
+  EXPECT_EQ(fp16_round(1.0F + 0x1.0p-11F), 1.0F);
+  // (1 + 3·2^-11) is halfway between (1+2^-10) and (1+2^-9): rounds to
+  // the even mantissa (1+2^-9).
+  EXPECT_EQ(fp16_round(1.0F + 3.0F * 0x1.0p-11F), 1.0F + 0x1.0p-9F);
+  // Slightly above the tie rounds up.
+  EXPECT_EQ(fp16_round(1.0F + 0x1.1p-11F), 1.0F + 0x1.0p-10F);
+}
+
+TEST(Fp16, MonotoneOverRandomPairs) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const float a = static_cast<float>(rng.uniform(-70000.0, 70000.0));
+    const float b = static_cast<float>(rng.uniform(-70000.0, 70000.0));
+    const float ra = fp16_round(a);
+    const float rb = fp16_round(b);
+    if (a <= b) {
+      EXPECT_LE(ra, rb) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(Fp16, RelativeErrorBounded) {
+  // For normal-range values the rounding error is ≤ 2^-11 relative.
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const float v = static_cast<float>(
+        rng.uniform(-1.0, 1.0) * std::pow(2.0, rng.uniform(-13.0, 15.0)));
+    if (std::abs(v) < kFp16MinNormal) continue;
+    const float r = fp16_round(v);
+    EXPECT_LE(std::abs(r - v), std::abs(v) * 0x1.0p-11F + 1e-12F) << v;
+  }
+}
+
+TEST(Fp16, AllBitPatternsRoundTripExactly) {
+  // Every finite fp16 value converts to float and back to the same bits.
+  for (std::uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    const auto h = static_cast<std::uint16_t>(bits);
+    if (((h >> 10) & 0x1F) == 0x1F) continue;  // skip Inf/NaN payloads
+    const float f = fp16_bits_to_float(h);
+    EXPECT_EQ(float_to_fp16_bits(f), h) << std::hex << bits;
+  }
+}
+
+TEST(Fp16, IdempotentRounding) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const float v = static_cast<float>(rng.normal(0.0, 100.0));
+    const float once = fp16_round(v);
+    EXPECT_EQ(fp16_round(once), once);
+  }
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,36 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paro {
+namespace {
+
+TEST(Logging, LevelRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  set_log_level(before);
+}
+
+TEST(Logging, EmitBelowThresholdIsSilentAndSafe) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kOff);
+  // Must not crash or throw; output is suppressed.
+  PARO_LOG(kDebug) << "invisible " << 42;
+  PARO_LOG(kError) << "also invisible at kOff? no — kError < kOff emits"
+                   << " only when enabled";
+  set_log_level(before);
+}
+
+TEST(Logging, StreamsArbitraryTypes) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kOff);
+  PARO_LOG(kInfo) << 1 << ' ' << 2.5 << ' ' << "str";
+  set_log_level(before);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace paro

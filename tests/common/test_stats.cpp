@@ -1,0 +1,136 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace paro {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> v = {1.0, 2.0, 4.0, 8.0, -3.0};
+  RunningStats s;
+  for (const double x : v) s.add(x);
+  double mean = 0.0;
+  for (const double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  double var = 0.0;
+  for (const double x : v) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(v.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 8.0);
+  EXPECT_NEAR(s.sum(), 12.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 3 + i * 0.01;
+    (i < 20 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoop) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2U);
+  EXPECT_NEAR(a.mean(), 2.0, 1e-12);
+}
+
+TEST(ErrorMetrics, MseMaeRmse) {
+  const std::vector<float> a = {1.0F, 2.0F, 3.0F};
+  const std::vector<float> b = {1.0F, 4.0F, 1.0F};
+  EXPECT_NEAR(mse(a, b), (0.0 + 4.0 + 4.0) / 3.0, 1e-9);
+  EXPECT_NEAR(rmse(a, b), std::sqrt(8.0 / 3.0), 1e-9);
+  EXPECT_NEAR(mae(a, b), 4.0 / 3.0, 1e-9);
+}
+
+TEST(ErrorMetrics, MismatchedSizesThrow) {
+  const std::vector<float> a = {1.0F};
+  const std::vector<float> b = {1.0F, 2.0F};
+  EXPECT_THROW(mse(a, b), Error);
+}
+
+TEST(Cosine, IdenticalVectorsGiveOne) {
+  const std::vector<float> a = {1.0F, -2.0F, 0.5F};
+  EXPECT_NEAR(cosine_similarity(a, a), 1.0, 1e-9);
+}
+
+TEST(Cosine, OrthogonalVectorsGiveZero) {
+  const std::vector<float> a = {1.0F, 0.0F};
+  const std::vector<float> b = {0.0F, 1.0F};
+  EXPECT_NEAR(cosine_similarity(a, b), 0.0, 1e-9);
+}
+
+TEST(Cosine, BothZeroGivesOne) {
+  const std::vector<float> z = {0.0F, 0.0F};
+  EXPECT_EQ(cosine_similarity(z, z), 1.0);
+}
+
+TEST(Snr, ExactMatchIsInfinite) {
+  const std::vector<float> a = {1.0F, 2.0F};
+  EXPECT_TRUE(std::isinf(snr_db(a, a)));
+}
+
+TEST(Snr, HalvedSignalIsAboutSixDb) {
+  const std::vector<float> ref = {2.0F, -2.0F, 4.0F};
+  const std::vector<float> half = {1.0F, -1.0F, 2.0F};
+  EXPECT_NEAR(snr_db(ref, half), 6.0206, 0.01);
+}
+
+TEST(Histogram, BinsAndTail) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) {
+    h.add(i + 0.5);
+  }
+  EXPECT_EQ(h.total(), 10U);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(h.bin(i), 1U);
+  }
+  EXPECT_NEAR(h.tail_fraction(5.0), 0.5, 1e-9);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(7.0);
+  EXPECT_EQ(h.bin(0), 1U);
+  EXPECT_EQ(h.bin(3), 1U);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(Summarize, SpanOverload) {
+  const std::vector<float> v = {1.0F, 5.0F, 3.0F};
+  const RunningStats s = summarize(v);
+  EXPECT_EQ(s.count(), 3U);
+  EXPECT_NEAR(s.mean(), 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace paro

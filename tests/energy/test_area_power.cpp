@@ -1,0 +1,52 @@
+#include "energy/area_power.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paro {
+namespace {
+
+TEST(AreaPower, ReferenceConfigReproducesTableII) {
+  const HwResources r = HwResources::paro_asic();
+  const auto rows = area_power_breakdown(r);
+  ASSERT_EQ(rows.size(), 5U);
+  EXPECT_NEAR(rows[0].area_mm2, 2.52, 1e-9);   // PE array
+  EXPECT_NEAR(rows[0].power_w, 3.60, 1e-9);
+  EXPECT_NEAR(rows[1].area_mm2, 0.65, 1e-9);   // LDZ
+  EXPECT_NEAR(rows[1].power_w, 0.78, 1e-9);
+  EXPECT_NEAR(rows[2].area_mm2, 0.39, 1e-9);   // others
+  EXPECT_NEAR(rows[3].area_mm2, 2.79, 1e-9);   // vector unit
+  EXPECT_NEAR(rows[3].power_w, 4.55, 1e-9);
+  EXPECT_NEAR(rows[4].area_mm2, 1.82, 1e-9);   // buffer
+  EXPECT_NEAR(rows[4].power_w, 1.73, 1e-9);
+  EXPECT_NEAR(total_area_mm2(r), 8.17, 1e-6);
+  EXPECT_NEAR(total_power_w(r), 11.20, 1e-6);
+}
+
+TEST(AreaPower, ScalesWithPeCount) {
+  HwResources r = HwResources::paro_asic();
+  r.pe_macs_per_cycle *= 2.0;
+  const auto rows = area_power_breakdown(r);
+  EXPECT_NEAR(rows[0].area_mm2, 5.04, 1e-9);
+  EXPECT_NEAR(rows[1].power_w, 1.56, 1e-9);
+  // Vector unit and buffer unchanged.
+  EXPECT_NEAR(rows[3].area_mm2, 2.79, 1e-9);
+  EXPECT_NEAR(rows[4].area_mm2, 1.82, 1e-9);
+}
+
+TEST(AreaPower, SramScalingSublinear) {
+  HwResources r = HwResources::paro_asic();
+  r.sram_bytes *= 4.0;
+  const auto rows = area_power_breakdown(r);
+  EXPECT_GT(rows[4].area_mm2, 1.82);
+  EXPECT_LT(rows[4].area_mm2, 4.0 * 1.82);  // capacity^0.85
+  EXPECT_NEAR(rows[4].power_w, 1.73 * 2.0, 1e-6);  // capacity^0.5
+}
+
+TEST(AreaPower, AlignA100IsMuchBigger) {
+  const double asic = total_area_mm2(HwResources::paro_asic());
+  const double aligned = total_area_mm2(HwResources::paro_align_a100());
+  EXPECT_GT(aligned, 5.0 * asic);
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,81 @@
+#include "energy/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paro {
+namespace {
+
+SimStats busy_stats(double cycles) {
+  SimStats s;
+  s.total_cycles = cycles;
+  s.pe_busy_cycles = 0.8 * cycles;
+  s.vector_busy_cycles = 0.3 * cycles;
+  s.dram_bytes = cycles * 10.0;
+  return s;
+}
+
+TEST(Energy, ComponentsArePositiveAndSum) {
+  const HwResources hw = HwResources::paro_asic();
+  const EnergyReport r = estimate_energy(busy_stats(1e9), hw, 1e12);
+  EXPECT_GT(r.pe_j, 0.0);
+  EXPECT_GT(r.ldz_j, 0.0);
+  EXPECT_GT(r.vector_j, 0.0);
+  EXPECT_GT(r.buffer_j, 0.0);
+  EXPECT_GT(r.leakage_j, 0.0);
+  EXPECT_GT(r.dram_j, 0.0);
+  EXPECT_NEAR(r.total_j,
+              r.pe_j + r.ldz_j + r.vector_j + r.buffer_j + r.leakage_j +
+                  r.dram_j,
+              1e-9);
+}
+
+TEST(Energy, BoundedByTdpTimesTime) {
+  // Chip energy (without DRAM interface) can never exceed full power for
+  // the whole runtime.
+  const HwResources hw = HwResources::paro_asic();
+  const SimStats s = busy_stats(2e9);
+  const EnergyReport r = estimate_energy(s, hw, 1e12);
+  const double chip_j = r.total_j - r.dram_j;
+  EXPECT_LE(chip_j, 11.20 * s.seconds(hw.freq_ghz) * 1.001);
+}
+
+TEST(Energy, TopsPerWattScalesWithOps) {
+  const HwResources hw = HwResources::paro_asic();
+  const SimStats s = busy_stats(1e9);
+  const EnergyReport a = estimate_energy(s, hw, 1e12);
+  const EnergyReport b = estimate_energy(s, hw, 2e12);
+  EXPECT_NEAR(b.effective_tops_per_watt / a.effective_tops_per_watt, 2.0,
+              1e-9);
+}
+
+TEST(Energy, IdleChipBurnsOnlyLeakage) {
+  const HwResources hw = HwResources::paro_asic();
+  SimStats idle;
+  idle.total_cycles = 1e9;
+  const EnergyReport r = estimate_energy(idle, hw, 0.0);
+  EXPECT_EQ(r.pe_j, 0.0);
+  EXPECT_EQ(r.vector_j, 0.0);
+  EXPECT_GT(r.leakage_j, 0.0);
+}
+
+TEST(Energy, GpuEnergyIsPowerTimesTime) {
+  GpuResources gpu;
+  gpu.avg_power_w = 300.0;
+  const EnergyReport r = estimate_gpu_energy(10.0, gpu, 3e15);
+  EXPECT_NEAR(r.total_j, 3000.0, 1e-9);
+  EXPECT_NEAR(r.effective_tops_per_watt, 3e15 / 3000.0 / 1e12, 1e-9);
+}
+
+TEST(Energy, AsicBeatsGpuEfficiencyOnSameWork) {
+  // The qualitative Table/§V-B claim: PARO's TOPS/W is several times the
+  // A100's for the same effective work.
+  const HwResources hw = HwResources::paro_asic();
+  const double ops = 1e13;
+  SimStats s = busy_stats(1e9);  // 1 s on the ASIC
+  const EnergyReport asic = estimate_energy(s, hw, ops);
+  const EnergyReport gpu = estimate_gpu_energy(0.5, GpuResources{}, ops);
+  EXPECT_GT(asic.effective_tops_per_watt, 2.0 * gpu.effective_tops_per_watt);
+}
+
+}  // namespace
+}  // namespace paro

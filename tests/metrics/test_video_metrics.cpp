@@ -1,0 +1,217 @@
+#include "metrics/video_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/random.hpp"
+
+namespace paro {
+namespace {
+
+GridDims tiny_grid() { return {4, 6, 6}; }
+
+/// Smooth structured "video": slowly varying in space and time.
+MatF smooth_video(const GridDims& g, std::size_t channels, double speed) {
+  MatF v(g.tokens(), channels);
+  for (std::size_t f = 0; f < g.frames; ++f) {
+    for (std::size_t h = 0; h < g.height; ++h) {
+      for (std::size_t w = 0; w < g.width; ++w) {
+        const std::size_t t = (f * g.height + h) * g.width + w;
+        for (std::size_t c = 0; c < channels; ++c) {
+          v(t, c) = static_cast<float>(
+              std::sin(0.4 * h + 0.3 * w + speed * f + 1.7 * c));
+        }
+      }
+    }
+  }
+  return v;
+}
+
+MatF noise_video(const GridDims& g, std::size_t channels, std::uint64_t seed) {
+  Rng rng(seed);
+  return random_normal(g.tokens(), channels, rng);
+}
+
+TEST(FrameFeatures, ShapeAndDeterminism) {
+  const GridDims g = tiny_grid();
+  const MatF v = smooth_video(g, 3, 0.2);
+  const MatF f1 = frame_features(v, g, 32);
+  const MatF f2 = frame_features(v, g, 32);
+  EXPECT_EQ(f1.rows(), g.frames);
+  EXPECT_EQ(f1.cols(), 32U);
+  EXPECT_EQ(f1, f2);
+}
+
+TEST(FrameFeatures, ShapeMismatchThrows) {
+  MatF bad(7, 3, 0.0F);
+  EXPECT_THROW(frame_features(bad, tiny_grid()), Error);
+}
+
+TEST(Fvd, IdenticalVideosScoreZero) {
+  const GridDims g = tiny_grid();
+  const MatF v = smooth_video(g, 3, 0.2);
+  EXPECT_NEAR(fvd_proxy(v, v, g), 0.0, 1e-9);
+}
+
+TEST(Fvd, IncreasesWithPerturbation) {
+  const GridDims g = tiny_grid();
+  const MatF ref = smooth_video(g, 3, 0.2);
+  MatF mild = ref, harsh = ref;
+  Rng rng(3);
+  for (float& x : mild.flat()) x += 0.05F * static_cast<float>(rng.normal());
+  for (float& x : harsh.flat()) x += 0.8F * static_cast<float>(rng.normal());
+  const double f_mild = fvd_proxy(mild, ref, g);
+  const double f_harsh = fvd_proxy(harsh, ref, g);
+  EXPECT_GT(f_mild, 0.0);
+  EXPECT_GT(f_harsh, f_mild);
+}
+
+TEST(ClipSim, SelfSimilarityIsOne) {
+  const GridDims g = tiny_grid();
+  const MatF v = smooth_video(g, 3, 0.2);
+  EXPECT_NEAR(clipsim_proxy(v, v, g), 1.0, 1e-6);
+}
+
+TEST(ClipSim, NoiseScoresLowerThanPerturbedCopy) {
+  const GridDims g = tiny_grid();
+  const MatF ref = smooth_video(g, 3, 0.2);
+  MatF near = ref;
+  Rng rng(4);
+  for (float& x : near.flat()) x += 0.1F * static_cast<float>(rng.normal());
+  const MatF noise = noise_video(g, 3, 9);
+  EXPECT_GT(clipsim_proxy(near, ref, g), clipsim_proxy(noise, ref, g));
+}
+
+TEST(ClipTemp, SmoothBeatsNoise) {
+  const GridDims g = tiny_grid();
+  const MatF smooth = smooth_video(g, 3, 0.05);
+  const MatF noise = noise_video(g, 3, 5);
+  EXPECT_GT(clip_temp_proxy(smooth, g), clip_temp_proxy(noise, g));
+}
+
+TEST(Vqa, StructuredContentBeatsNoise) {
+  const GridDims g = tiny_grid();
+  const MatF smooth = smooth_video(g, 3, 0.2);
+  const MatF noise = noise_video(g, 3, 6);
+  EXPECT_GT(vqa_proxy(smooth, g), vqa_proxy(noise, g) + 10.0);
+  EXPECT_LE(vqa_proxy(smooth, g), 100.0);
+  EXPECT_GE(vqa_proxy(noise, g), 0.0);
+}
+
+TEST(Flicker, StaticVideoScoresPerfect) {
+  const GridDims g = tiny_grid();
+  const MatF frame0 = smooth_video({1, g.height, g.width}, 3, 0.0);
+  MatF still(g.tokens(), 3);
+  for (std::size_t f = 0; f < g.frames; ++f) {
+    for (std::size_t t = 0; t < g.height * g.width; ++t) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        still(f * g.height * g.width + t, c) = frame0(t, c);
+      }
+    }
+  }
+  EXPECT_NEAR(flicker_score(still, g), 100.0, 1e-6);
+}
+
+TEST(Flicker, NoiseFlickersMore) {
+  const GridDims g = tiny_grid();
+  const MatF slow = smooth_video(g, 3, 0.05);
+  const MatF noise = noise_video(g, 3, 8);
+  EXPECT_GT(flicker_score(slow, g), flicker_score(noise, g));
+}
+
+TEST(Psnr, ExactMatchIsInfinite) {
+  const GridDims g = tiny_grid();
+  const MatF v = smooth_video(g, 3, 0.2);
+  EXPECT_TRUE(std::isinf(video_psnr_db(v, v, g)));
+}
+
+TEST(Psnr, DecreasesWithNoise) {
+  const GridDims g = tiny_grid();
+  const MatF ref = smooth_video(g, 3, 0.2);
+  MatF mild = ref, harsh = ref;
+  Rng rng(11);
+  for (float& x : mild.flat()) x += 0.02F * static_cast<float>(rng.normal());
+  for (float& x : harsh.flat()) x += 0.4F * static_cast<float>(rng.normal());
+  const double p_mild = video_psnr_db(mild, ref, g);
+  const double p_harsh = video_psnr_db(harsh, ref, g);
+  EXPECT_GT(p_mild, p_harsh + 15.0);  // 20x noise ~ 26 dB apart
+}
+
+TEST(Psnr, PerFrameSeriesLocalizesDamage) {
+  const GridDims g = tiny_grid();
+  const MatF ref = smooth_video(g, 3, 0.2);
+  MatF cand = ref;
+  // Corrupt only frame 2.
+  const std::size_t frame_tokens = g.height * g.width;
+  Rng rng(12);
+  for (std::size_t t = 0; t < frame_tokens; ++t) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      cand(2 * frame_tokens + t, c) += 0.5F * static_cast<float>(rng.normal());
+    }
+  }
+  const auto psnr = per_frame_psnr_db(cand, ref, g);
+  ASSERT_EQ(psnr.size(), g.frames);
+  for (std::size_t f = 0; f < g.frames; ++f) {
+    if (f == 2) {
+      EXPECT_LT(psnr[f], 30.0);
+    } else {
+      EXPECT_TRUE(std::isinf(psnr[f]));
+    }
+  }
+}
+
+TEST(Psnr, ShapeMismatchThrows) {
+  const GridDims g = tiny_grid();
+  const MatF v = smooth_video(g, 3, 0.2);
+  MatF bad(7, 3, 0.0F);
+  EXPECT_THROW(video_psnr_db(bad, v, g), Error);
+}
+
+TEST(MotionSmoothness, UniformMotionIsSmooth) {
+  // A linearly drifting latent has zero acceleration → score 100.
+  const GridDims g = tiny_grid();
+  MatF v(g.tokens(), 2);
+  const std::size_t frame_tokens = g.height * g.width;
+  for (std::size_t f = 0; f < g.frames; ++f) {
+    for (std::size_t t = 0; t < frame_tokens; ++t) {
+      for (std::size_t c = 0; c < 2; ++c) {
+        v(f * frame_tokens + t, c) =
+            static_cast<float>(f) * 0.5F + static_cast<float>(t % 7) * 0.1F;
+      }
+    }
+  }
+  EXPECT_NEAR(motion_smoothness(v, g), 100.0, 1e-4);
+}
+
+TEST(MotionSmoothness, NoiseIsJerky) {
+  const GridDims g = tiny_grid();
+  const MatF noise = noise_video(g, 3, 13);
+  const MatF smooth = smooth_video(g, 3, 0.1);
+  EXPECT_LT(motion_smoothness(noise, g), motion_smoothness(smooth, g));
+  EXPECT_LT(motion_smoothness(noise, g), 40.0);
+}
+
+TEST(MotionSmoothness, StaticClipIsPerfect) {
+  const GridDims g = tiny_grid();
+  MatF still(g.tokens(), 2, 1.0F);
+  EXPECT_DOUBLE_EQ(motion_smoothness(still, g), 100.0);
+}
+
+TEST(Evaluate, BundlesAllFive) {
+  const GridDims g = tiny_grid();
+  const MatF ref = smooth_video(g, 3, 0.2);
+  MatF cand = ref;
+  Rng rng(10);
+  for (float& x : cand.flat()) x += 0.05F * static_cast<float>(rng.normal());
+  const VideoQuality q = evaluate_video(cand, ref, g);
+  EXPECT_GT(q.fvd, 0.0);
+  EXPECT_GT(q.clipsim, 0.8);
+  EXPECT_GT(q.clip_temp, 0.0);
+  EXPECT_GT(q.vqa, 0.0);
+  EXPECT_GT(q.flicker, 0.0);
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,187 @@
+#include "mixedprec/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace paro {
+namespace {
+
+/// Random sensitivity table with monotone-decreasing scores in bits.
+SensitivityTable random_table(std::size_t n, Rng& rng,
+                              std::size_t count = 16) {
+  SensitivityTable table(n);
+  for (auto& e : table) {
+    e.count = count;
+    double s = rng.uniform(0.5, 4.0);
+    for (int b = 0; b < kNumBitChoices; ++b) {
+      e.s[static_cast<std::size_t>(b)] = s;
+      s *= rng.uniform(0.1, 0.8);  // strictly decreasing
+    }
+  }
+  return table;
+}
+
+/// Brute-force optimum over all 4^n assignments (n small).
+double brute_force_best(const SensitivityTable& table, double budget_bits) {
+  const std::size_t n = table.size();
+  double total_w = 0.0;
+  for (const auto& e : table) total_w += static_cast<double>(e.count);
+  const double cap = budget_bits * total_w;
+  double best = 1e300;
+  const std::size_t combos = static_cast<std::size_t>(std::pow(4, n));
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    std::size_t m = mask;
+    double bits_used = 0.0, score = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int bi = static_cast<int>(m % 4);
+      m /= 4;
+      bits_used += static_cast<double>(table[i].count) * kBitChoices[bi];
+      score += table[i].s[static_cast<std::size_t>(bi)];
+    }
+    if (bits_used <= cap) best = std::min(best, score);
+  }
+  return best;
+}
+
+double bits_used_of(const SensitivityTable& table, const Allocation& a) {
+  double used = 0.0, w = 0.0;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    used += static_cast<double>(table[i].count) * a.bits[i];
+    w += static_cast<double>(table[i].count);
+  }
+  return used / w;
+}
+
+TEST(AllocatorDP, MatchesBruteForceOnSmallInstances) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    const auto table = random_table(6, rng);
+    for (const double budget : {2.0, 4.0, 4.8, 6.0}) {
+      const Allocation dp = allocate_dp_exact(table, budget);
+      const double brute = brute_force_best(table, budget);
+      EXPECT_NEAR(dp.total_sensitivity, brute, 1e-9)
+          << "seed=" << seed << " budget=" << budget;
+      EXPECT_LE(bits_used_of(table, dp), budget + 1e-9);
+    }
+  }
+}
+
+TEST(AllocatorLagrangian, NearOptimal) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(10 + seed);
+    const auto table = random_table(7, rng);
+    const double budget = 4.8;
+    const Allocation dp = allocate_dp_exact(table, budget);
+    const Allocation lr = allocate_lagrangian(table, budget);
+    EXPECT_LE(bits_used_of(table, lr), budget + 1e-9);
+    // Lagrangian relaxation is within a small gap of the optimum.
+    EXPECT_LE(lr.total_sensitivity, dp.total_sensitivity * 1.15 + 1e-9);
+  }
+}
+
+TEST(AllocatorGreedy, FeasibleAndReasonable) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(20 + seed);
+    const auto table = random_table(7, rng);
+    const double budget = 4.0;
+    const Allocation dp = allocate_dp_exact(table, budget);
+    const Allocation gr = allocate_greedy(table, budget);
+    EXPECT_LE(bits_used_of(table, gr), budget + 1e-9);
+    EXPECT_LE(gr.total_sensitivity, dp.total_sensitivity * 1.5 + 1e-9);
+  }
+}
+
+TEST(Allocator, GenerousBudgetGivesEightBitsEverywhere) {
+  Rng rng(30);
+  const auto table = random_table(10, rng);
+  for (const Allocation& a :
+       {allocate_dp_exact(table, 8.0), allocate_lagrangian(table, 8.0),
+        allocate_greedy(table, 8.0)}) {
+    for (const int b : a.bits) {
+      EXPECT_EQ(b, 8);
+    }
+    EXPECT_DOUBLE_EQ(a.average_bitwidth, 8.0);
+  }
+}
+
+TEST(Allocator, ZeroBudgetSkipsEverything) {
+  Rng rng(31);
+  const auto table = random_table(5, rng);
+  for (const Allocation& a :
+       {allocate_dp_exact(table, 0.0), allocate_lagrangian(table, 0.0),
+        allocate_greedy(table, 0.0)}) {
+    for (const int b : a.bits) {
+      EXPECT_EQ(b, 0);
+    }
+  }
+}
+
+TEST(Allocator, HighSensitivityBlocksGetMoreBits) {
+  // Two blocks: one with huge error at low bits, one nearly free.
+  SensitivityTable table(2);
+  table[0].count = table[1].count = 4;
+  table[0].s = {100.0, 50.0, 10.0, 0.0};  // hard block
+  table[1].s = {0.1, 0.05, 0.02, 0.0};    // easy block
+  const Allocation a = allocate_dp_exact(table, 5.0);  // 10 bit-units total
+  EXPECT_GT(a.bits[0], a.bits[1]);
+}
+
+TEST(Allocator, RaggedWeightsRespectElementBudget) {
+  SensitivityTable table(2);
+  table[0].count = 48;  // big tile
+  table[1].count = 16;  // small edge tile
+  table[0].s = {10.0, 5.0, 2.0, 0.0};
+  table[1].s = {10.0, 5.0, 2.0, 0.0};
+  // Budget 6 bits element-weighted: 8 bits on the big tile alone would
+  // use 48·8/64 = 6 → big tile at 8, small at 0 is feasible.
+  const Allocation a = allocate_dp_exact(table, 6.0);
+  double used = 0.0;
+  used += 48.0 * a.bits[0] + 16.0 * a.bits[1];
+  EXPECT_LE(used / 64.0, 6.0 + 1e-9);
+}
+
+TEST(Allocator, EmptyTableThrows) {
+  const SensitivityTable empty;
+  EXPECT_THROW(allocate_dp_exact(empty, 4.0), Error);
+  EXPECT_THROW(allocate_lagrangian(empty, 4.0), Error);
+  EXPECT_THROW(allocate_greedy(empty, 4.0), Error);
+}
+
+TEST(Allocator, DpLatticeGuard) {
+  Rng rng(32);
+  const auto table = random_table(64, rng, 4096);
+  EXPECT_THROW(allocate_dp_exact(table, 4.8, /*max_states=*/1000), Error);
+}
+
+TEST(MakeBittable, RoundTrip) {
+  const BlockGrid grid(8, 8, 4);  // 2×2 blocks
+  const std::vector<int> bits = {0, 2, 4, 8};
+  const BitTable t = make_bittable(grid, bits);
+  EXPECT_EQ(t.bits_at(0, 0), 0);
+  EXPECT_EQ(t.bits_at(0, 1), 2);
+  EXPECT_EQ(t.bits_at(1, 0), 4);
+  EXPECT_EQ(t.bits_at(1, 1), 8);
+  EXPECT_THROW(make_bittable(grid, {8, 8}), Error);
+}
+
+/// Budget sweep: average bitwidth of the allocation tracks the budget.
+class BudgetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BudgetSweep, AverageBitsNearBudget) {
+  Rng rng(40);
+  const auto table = random_table(40, rng);
+  const double budget = GetParam();
+  const Allocation a = allocate_lagrangian(table, budget);
+  EXPECT_LE(a.average_bitwidth, budget + 1e-9);
+  // With 40 diverse blocks the allocator fills most of the budget.
+  EXPECT_GE(a.average_bitwidth, budget - 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetSweep,
+                         ::testing::Values(2.0, 3.0, 4.0, 4.8, 6.0, 7.0));
+
+}  // namespace
+}  // namespace paro

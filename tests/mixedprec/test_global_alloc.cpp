@@ -1,0 +1,101 @@
+#include "mixedprec/global_alloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attention/reference.hpp"
+#include "attention/synthetic.hpp"
+#include "common/rng.hpp"
+
+namespace paro {
+namespace {
+
+/// Two heads with very different quantization difficulty.
+std::vector<HeadBlockStats> two_heads(double hard_gain, double easy_gain) {
+  const TokenGrid grid(4, 4, 4);
+  std::vector<HeadBlockStats> heads;
+  int idx = 0;
+  for (const double gain : {hard_gain, easy_gain}) {
+    SyntheticHeadSpec spec;
+    spec.locality_order = all_axis_orders()[3];
+    spec.locality_width = 0.01;
+    spec.pattern_gain = gain;
+    spec.content_gain = 0.3;
+    Rng rng(10 + idx);
+    const HeadQKV head = generate_head(grid, spec, 16, rng);
+    const MatF map = attention_map(head.q, head.k);
+    HeadBlockStats hs;
+    hs.layer = 0;
+    hs.head = static_cast<std::size_t>(idx++);
+    hs.grid = BlockGrid(map.rows(), map.cols(), 8);
+    hs.stats = collect_block_stats(map, 8);
+    heads.push_back(std::move(hs));
+  }
+  return heads;
+}
+
+TEST(GlobalAlloc, BudgetRespectedModelWide) {
+  const auto heads = two_heads(7.0, 1.0);
+  const GlobalAllocation alloc = allocate_global(heads, 4.8);
+  ASSERT_EQ(alloc.tables.size(), 2U);
+  EXPECT_LE(alloc.average_bitwidth, 4.8 + 1e-9);
+  // Per-head averages may exceed the budget — that is the point.
+  const double avg0 = alloc.tables[0].average_bitwidth();
+  const double avg1 = alloc.tables[1].average_bitwidth();
+  EXPECT_NEAR((avg0 + avg1) / 2.0, alloc.average_bitwidth, 1e-9);
+}
+
+TEST(GlobalAlloc, SensitiveHeadsGetMoreBits) {
+  // Construct two heads directly: every tile of head 0 carries large
+  // quantization error, every tile of head 1 is nearly free.  Under a
+  // shared budget, head 0 must end up with the higher average bitwidth —
+  // the bit transfer a per-head budget cannot perform.
+  std::vector<HeadBlockStats> heads(2);
+  for (int h = 0; h < 2; ++h) {
+    heads[h].layer = 0;
+    heads[h].head = static_cast<std::size_t>(h);
+    heads[h].grid = BlockGrid(32, 32, 8);  // 16 tiles
+    const double magnitude = h == 0 ? 5.0 : 0.01;
+    MatF m(32, 32, 0.0F);
+    Rng rng(100 + h);
+    for (float& v : m.flat()) {
+      v = static_cast<float>(magnitude * rng.uniform());
+    }
+    heads[h].stats = collect_block_stats(m, 8);
+  }
+  const GlobalAllocation alloc = allocate_global(heads, 4.0);
+  EXPECT_GT(alloc.tables[0].average_bitwidth(),
+            alloc.tables[1].average_bitwidth());
+  EXPECT_LE(alloc.average_bitwidth, 4.0 + 1e-9);
+}
+
+TEST(GlobalAlloc, NeverWorseThanPerHeadSensitivity) {
+  // The global solution optimizes the shared problem: its total
+  // sensitivity is <= the total of two independent per-head allocations
+  // at the same budget (the per-head solution is feasible globally).
+  const auto heads = two_heads(7.0, 1.0);
+  const GlobalAllocation global = allocate_global(heads, 4.0);
+  double per_head_total = 0.0;
+  for (const HeadBlockStats& h : heads) {
+    const auto sens = compute_sensitivity(h.stats, 0.5);
+    per_head_total += allocate_lagrangian(sens, 4.0).total_sensitivity;
+  }
+  EXPECT_LE(global.total_sensitivity, per_head_total * 1.001 + 1e-9);
+}
+
+TEST(GlobalAlloc, TablesMatchGrids) {
+  const auto heads = two_heads(5.0, 2.0);
+  const GlobalAllocation alloc = allocate_global(heads, 4.8);
+  for (std::size_t i = 0; i < heads.size(); ++i) {
+    EXPECT_TRUE(alloc.tables[i].grid() == heads[i].grid);
+  }
+}
+
+TEST(GlobalAlloc, RejectsEmptyAndMismatched) {
+  EXPECT_THROW(allocate_global({}, 4.8), Error);
+  auto heads = two_heads(5.0, 2.0);
+  heads[0].stats.pop_back();
+  EXPECT_THROW(allocate_global(heads, 4.8), Error);
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,89 @@
+#include "mixedprec/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace paro {
+namespace {
+
+std::vector<BlockQuantStats> sample_stats() {
+  MatF m(8, 8, 0.0F);
+  // tile (0,0): large values; tile (1,1): small; others zero.  The small
+  // sine term keeps values off the quantizer grid so no bitwidth is
+  // accidentally exact.
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const auto k = static_cast<float>(r * 4 + c);
+      m(r, c) = 0.5F + 0.1F * static_cast<float>(r + c) +
+                0.013F * std::sin(3.1F * k);
+      m(r + 4, c + 4) = 0.01F * k + 0.0037F * std::sin(2.3F * k + 1.0F);
+    }
+  }
+  return collect_block_stats(m, 4);
+}
+
+TEST(Sensitivity, TableShapeMatchesBlocks) {
+  const auto table = compute_sensitivity(sample_stats(), 0.5);
+  EXPECT_EQ(table.size(), 4U);
+  for (const auto& e : table) {
+    EXPECT_EQ(e.count, 16U);
+  }
+}
+
+TEST(Sensitivity, ScoresNonIncreasingInBits) {
+  const auto table = compute_sensitivity(sample_stats(), 0.5);
+  for (const auto& e : table) {
+    EXPECT_GE(e.s[0], e.s[1] - 1e-6);
+    EXPECT_GE(e.s[1], e.s[2] - 1e-6);
+    EXPECT_GE(e.s[2], e.s[3] - 1e-6);
+  }
+}
+
+TEST(Sensitivity, AlphaOneIgnoresDifficulty) {
+  const auto table = compute_sensitivity(sample_stats(), 1.0);
+  // With α = 1, S is the block importance for every bitwidth.
+  for (const auto& e : table) {
+    EXPECT_DOUBLE_EQ(e.s[0], e.s[1]);
+    EXPECT_DOUBLE_EQ(e.s[1], e.s[3]);
+  }
+}
+
+TEST(Sensitivity, AlphaZeroIgnoresImportance) {
+  const auto stats = sample_stats();
+  const auto table = compute_sensitivity(stats, 0.0);
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    for (int b = 0; b < kNumBitChoices; ++b) {
+      if (stats[i].error_l2[b] > 0.0) {
+        EXPECT_NEAR(table[i].s[b], stats[i].error_l2[b], 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Sensitivity, ImportantBlocksScoreHigher) {
+  const auto stats = sample_stats();
+  const auto table = compute_sensitivity(stats, 0.5);
+  // Tile 0 (large values) must outrank tile 3 (tiny values) at 0 bits.
+  EXPECT_GT(table[0].s[0], table[3].s[0]);
+}
+
+TEST(Sensitivity, RejectsBadAlpha) {
+  EXPECT_THROW(compute_sensitivity(sample_stats(), -0.1), Error);
+  EXPECT_THROW(compute_sensitivity(sample_stats(), 1.1), Error);
+}
+
+TEST(Sensitivity, ZeroBlockIsFreeToSkip) {
+  MatF m(4, 4, 0.0F);
+  const auto stats = collect_block_stats(m, 4);
+  const auto table = compute_sensitivity(stats, 0.5);
+  // An all-zero block has zero sensitivity at every bitwidth, including 0.
+  EXPECT_DOUBLE_EQ(table[0].s[0], 0.0);
+  EXPECT_DOUBLE_EQ(table[0].s[3], 0.0);
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,46 @@
+#include "model/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paro {
+namespace {
+
+TEST(ModelConfig, CogVideoX5B) {
+  const ModelConfig c = ModelConfig::cogvideox_5b();
+  EXPECT_EQ(c.blocks, 42U);
+  EXPECT_EQ(c.hidden, 3072U);
+  EXPECT_EQ(c.heads, 48U);
+  EXPECT_EQ(c.head_dim(), 64U);
+  // 13×30×45 video tokens + 226 text tokens = 17 776 ("17.8k").
+  EXPECT_EQ(c.grid.tokens(), 17550U);
+  EXPECT_EQ(c.tokens(), 17776U);
+  EXPECT_EQ(c.sampling_steps, 50U);
+}
+
+TEST(ModelConfig, CogVideoX2B) {
+  const ModelConfig c = ModelConfig::cogvideox_2b();
+  EXPECT_EQ(c.blocks, 30U);
+  EXPECT_EQ(c.hidden, 1920U);
+  EXPECT_EQ(c.heads, 30U);
+  EXPECT_EQ(c.head_dim(), 64U);
+  EXPECT_EQ(c.tokens(), 17776U);
+}
+
+TEST(ModelConfig, AttentionMapBytesMatchPaperMotivation) {
+  // Paper §I: "the attention map size for CogVideoX-5B requires 56.50 GB"
+  // per transformer block.  Our accounting (logits + scores, FP16, all
+  // heads) lands within ~10% of that figure.
+  const ModelConfig c = ModelConfig::cogvideox_5b();
+  const double gb = c.attention_map_bytes_per_block_fp16() / 1e9;
+  EXPECT_GT(gb, 50.0);
+  EXPECT_LT(gb, 65.0);
+}
+
+TEST(ModelConfig, PerHeadMapBytes) {
+  const ModelConfig c = ModelConfig::cogvideox_5b();
+  const double n = 17776.0;
+  EXPECT_DOUBLE_EQ(c.attention_map_bytes_per_head_fp16(), n * n * 2.0);
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,131 @@
+#include "model/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paro {
+namespace {
+
+ModelConfig tiny_model() {
+  ModelConfig c;
+  c.name = "tiny";
+  c.blocks = 2;
+  c.hidden = 64;
+  c.heads = 4;
+  c.grid = {2, 4, 4};
+  c.text_tokens = 0;
+  return c;
+}
+
+TEST(Workload, GemmCountsPerBlock) {
+  const ModelConfig c = tiny_model();
+  const Workload w = Workload::build(c, false);
+  // Per block: 3 QKV + 1 O + 2 FFN linears, plus per-head QK and AttnV.
+  EXPECT_EQ(w.count_gemms(GemmKind::kLinear), c.blocks * 6);
+  EXPECT_EQ(w.count_gemms(GemmKind::kQK), c.blocks * c.heads);
+  EXPECT_EQ(w.count_gemms(GemmKind::kAttnV), c.blocks * c.heads);
+}
+
+TEST(Workload, MacAccountingIdentity) {
+  const ModelConfig c = tiny_model();
+  const Workload w = Workload::build(c, false);
+  EXPECT_DOUBLE_EQ(w.total_macs(), w.attention_macs() + w.linear_macs());
+
+  const double n = static_cast<double>(c.tokens());
+  const double h = static_cast<double>(c.hidden);
+  // Linear MACs per block: 4·n·h² (QKV+O) + 2·n·h·4h (FFN) = 12·n·h².
+  EXPECT_DOUBLE_EQ(w.linear_macs(),
+                   static_cast<double>(c.blocks) * 12.0 * n * h * h);
+  // Attention MACs per block: heads · 2 · n² · dh = 2·n²·h.
+  EXPECT_DOUBLE_EQ(w.attention_macs(),
+                   static_cast<double>(c.blocks) * 2.0 * n * n * h);
+}
+
+TEST(Workload, ReorderOpsOnlyWhenRequested) {
+  const ModelConfig c = tiny_model();
+  const Workload without = Workload::build(c, false);
+  const Workload with = Workload::build(c, true);
+  EXPECT_EQ(without.reorder_elements(), 0.0);
+  // QKV (3·n·h) + O (n·h) per block.
+  const double n = static_cast<double>(c.tokens());
+  const double h = static_cast<double>(c.hidden);
+  EXPECT_DOUBLE_EQ(with.reorder_elements(),
+                   static_cast<double>(c.blocks) * 4.0 * n * h);
+}
+
+TEST(Workload, ReorderDataTinyVersusAttentionMap) {
+  // Paper §V-B: QKVO matrices are ~0.36% of the attention-map size, which
+  // is why the reorder overhead is negligible.
+  const ModelConfig c = ModelConfig::cogvideox_5b();
+  const Workload w = Workload::build(c, true);
+  const double n = static_cast<double>(c.tokens());
+  const double map_elems =
+      n * n * static_cast<double>(c.heads) * static_cast<double>(c.blocks);
+  EXPECT_LT(w.reorder_elements() / map_elems, 0.02);
+}
+
+TEST(Workload, SoftmaxElementsMatchMapSize) {
+  const ModelConfig c = tiny_model();
+  const Workload w = Workload::build(c, false);
+  double softmax_elems = 0.0;
+  for (const VectorOp& v : w.vectors) {
+    if (v.kind == VectorKind::kSoftmax) {
+      softmax_elems += static_cast<double>(v.elements);
+    }
+  }
+  const double n = static_cast<double>(c.tokens());
+  EXPECT_DOUBLE_EQ(softmax_elems,
+                   static_cast<double>(c.blocks * c.heads) * n * n);
+}
+
+TEST(Workload, AttentionDominatesAtScale) {
+  // At 17.8k tokens attention MACs rival the linear MACs even though the
+  // hidden dim is large — the quadratic blowup the paper targets.
+  const Workload w =
+      Workload::build(ModelConfig::cogvideox_5b(), false);
+  EXPECT_GT(w.attention_macs() / w.total_macs(), 0.40);
+}
+
+TEST(Workload, SpatialTemporalAttentionIsFarCheaper) {
+  // §I motivation in reverse: the spatial-temporal scheme of earlier
+  // models has orders-of-magnitude fewer attention MACs than 3D full
+  // attention at CogVideoX scale (and correspondingly smaller maps).
+  const ModelConfig c = ModelConfig::cogvideox_5b();
+  const Workload full = Workload::build(c, false);
+  const Workload st = Workload::build_spatial_temporal(c);
+  EXPECT_GT(full.attention_macs() / st.attention_macs(), 5.0);
+  // Linear projections: spatial-temporal runs TWO attention sub-blocks
+  // per layer (extra QKV+O set).
+  EXPECT_GT(st.linear_macs(), full.linear_macs());
+}
+
+TEST(Workload, SpatialTemporalMacAccounting) {
+  ModelConfig c = tiny_model();
+  const Workload st = Workload::build_spatial_temporal(c);
+  const double n = static_cast<double>(c.tokens());
+  const double h = static_cast<double>(c.hidden);
+  const double spatial =
+      static_cast<double>(c.grid.height * c.grid.width + c.text_tokens);
+  const double frames = static_cast<double>(c.grid.frames);
+  const double locations = static_cast<double>(c.grid.height * c.grid.width);
+  // Attention MACs: per layer, heads·(2·F·spatial²·dh + 2·HW·F²·dh)
+  //               = 2·h·(F·spatial² + HW·F²).
+  const double expected_attn =
+      static_cast<double>(c.blocks) * 2.0 * h *
+      (frames * spatial * spatial + locations * frames * frames);
+  EXPECT_DOUBLE_EQ(st.attention_macs(), expected_attn);
+  // Linear MACs: 8·n·h² (two QKV+O sets) + 8·n·h² (FFN) = 16·n·h².
+  EXPECT_DOUBLE_EQ(st.linear_macs(),
+                   static_cast<double>(c.blocks) * 16.0 * n * h * h);
+}
+
+TEST(Workload, StreamElements) {
+  GemmOp g;
+  g.m = 2;
+  g.k = 3;
+  g.n = 4;
+  EXPECT_DOUBLE_EQ(g.macs(), 24.0);
+  EXPECT_DOUBLE_EQ(g.stream_elements(), 6.0 + 12.0 + 8.0);
+}
+
+}  // namespace
+}  // namespace paro

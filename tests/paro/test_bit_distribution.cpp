@@ -1,0 +1,85 @@
+#include "paro/bit_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace paro {
+namespace {
+
+TEST(BitDistribution, DefaultAveragesToPaperBudget) {
+  const BitDistribution d = BitDistribution::paro_mp_default();
+  d.validate();
+  EXPECT_NEAR(d.average_bits(), 4.8, 1e-9);
+}
+
+TEST(BitDistribution, UniformIsDegenerate) {
+  const BitDistribution d = BitDistribution::uniform(4);
+  EXPECT_DOUBLE_EQ(d.average_bits(), 4.0);
+  EXPECT_DOUBLE_EQ(d.fraction[bit_choice_index(4)], 1.0);
+  EXPECT_THROW(BitDistribution::uniform(5), Error);
+}
+
+TEST(BitDistribution, ValidateRejectsBadFractions) {
+  BitDistribution d;
+  d.fraction = {0.5, 0.5, 0.5, 0.0};
+  EXPECT_THROW(d.validate(), Error);
+  d.fraction = {-0.1, 0.6, 0.5, 0.0};
+  EXPECT_THROW(d.validate(), Error);
+}
+
+TEST(BitDistribution, FromBitTableRoundTrips) {
+  BitTable table(BlockGrid(128, 128, 32), 8);  // 16 tiles
+  // 4 tiles of each class.
+  int idx = 0;
+  for (const int bits : {0, 2, 4, 8}) {
+    for (int j = 0; j < 4; ++j) {
+      table.set_bits_flat(static_cast<std::size_t>(idx++), bits);
+    }
+  }
+  const BitDistribution d = BitDistribution::from_bittable(table);
+  for (int i = 0; i < kNumBitChoices; ++i) {
+    EXPECT_NEAR(d.fraction[static_cast<std::size_t>(i)], 0.25, 1e-9);
+  }
+}
+
+TEST(BitDistribution, MakeJobsRespectsCounts) {
+  BitDistribution d;
+  d.fraction = {0.25, 0.25, 0.25, 0.25};
+  Rng rng(1);
+  const auto jobs = d.make_jobs(100, 10, rng);
+  ASSERT_EQ(jobs.size(), 100U);
+  std::array<int, kNumBitChoices> counts{};
+  for (const auto& j : jobs) {
+    ++counts[static_cast<std::size_t>(bit_choice_index(j.bits))];
+    EXPECT_EQ(j.base_cycles, 10U);
+  }
+  for (const int c : counts) {
+    EXPECT_EQ(c, 25);
+  }
+}
+
+TEST(BitDistribution, MakeJobsHandlesRounding) {
+  BitDistribution d;
+  d.fraction = {0.33, 0.33, 0.17, 0.17};
+  Rng rng(2);
+  const auto jobs = d.make_jobs(7, 5, rng);
+  EXPECT_EQ(jobs.size(), 7U);
+}
+
+TEST(BitDistribution, IdealCycleFactors) {
+  const BitDistribution d = BitDistribution::paro_mp_default();
+  // Without OBA, QKᵀ cannot consult the table: full 8-bit rate.
+  EXPECT_NEAR(d.ideal_cycle_factor(false), 1.0, 1e-9);
+  // With OBA: f2/4 + f4/2 + f8 = 0.05 + 0.15 + 0.40 = 0.60 (0-bit skipped).
+  EXPECT_NEAR(d.ideal_cycle_factor(true), 0.60, 1e-9);
+}
+
+TEST(BitDistribution, AllEightBitFactorsAreOne) {
+  const BitDistribution d = BitDistribution::uniform(8);
+  EXPECT_DOUBLE_EQ(d.ideal_cycle_factor(false), 1.0);
+  EXPECT_DOUBLE_EQ(d.ideal_cycle_factor(true), 1.0);
+}
+
+}  // namespace
+}  // namespace paro

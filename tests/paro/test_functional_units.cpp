@@ -1,0 +1,95 @@
+#include "paro/functional_units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace paro {
+namespace {
+
+TEST(VectorUnit, JobCyclesClosedForm) {
+  EXPECT_EQ(VectorUnitSim::job_cycles({100, 3}, 10.0), 30U);
+  EXPECT_EQ(VectorUnitSim::job_cycles({101, 3}, 10.0), 33U);  // ceil
+  EXPECT_EQ(VectorUnitSim::job_cycles({5, 1}, 10.0), 1U);
+  EXPECT_EQ(VectorUnitSim::job_cycles({0, 4}, 10.0), 0U);
+}
+
+TEST(VectorUnit, SingleJobTiming) {
+  VectorUnitSim unit(16.0);
+  unit.submit({64, 3});  // 3 * 4 = 12 cycles
+  CycleEngine engine;
+  engine.add(&unit);
+  EXPECT_EQ(engine.run(), 12U);
+  EXPECT_EQ(unit.busy_cycles(), 12U);
+  EXPECT_EQ(unit.jobs_completed(), 1U);
+}
+
+TEST(VectorUnit, FifoQueueing) {
+  VectorUnitSim unit(8.0);
+  unit.submit({8, 1});   // 1 cycle
+  unit.submit({16, 2});  // 4 cycles
+  unit.submit({24, 4});  // 12 cycles
+  CycleEngine engine;
+  engine.add(&unit);
+  EXPECT_EQ(engine.run(), 17U);
+  EXPECT_EQ(unit.jobs_completed(), 3U);
+}
+
+TEST(VectorUnit, RejectsBadConfig) {
+  EXPECT_THROW(VectorUnitSim(0.0), Error);
+  VectorUnitSim unit(4.0);
+  EXPECT_THROW(unit.submit({10, 0}), Error);
+}
+
+TEST(LdzUnit, OutputsMatchScalarTruncation) {
+  std::vector<std::int32_t> values;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(static_cast<std::int32_t>(rng.uniform_index(255)) - 127);
+  }
+  LdzUnitSim unit(8, 2, 2);
+  unit.submit(values);
+  CycleEngine engine;
+  engine.add(&unit);
+  engine.run();
+  ASSERT_EQ(unit.outputs().size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const LdzCode expected = ldz_truncate(values[i], 2);
+    EXPECT_EQ(unit.outputs()[i].mantissa, expected.mantissa);
+    EXPECT_EQ(unit.outputs()[i].shift, expected.shift);
+  }
+}
+
+TEST(LdzUnit, ThroughputAndLatency) {
+  // 32 values at 8/cycle with latency 3: last batch enters at cycle 3,
+  // emerges at cycle 6 → run ends after 7 ticks (cycles 0..6).
+  std::vector<std::int32_t> values(32, 26);
+  LdzUnitSim unit(8, 3, 2);
+  unit.submit(values);
+  CycleEngine engine;
+  engine.add(&unit);
+  EXPECT_EQ(engine.run(), 7U);
+  EXPECT_EQ(unit.outputs().size(), 32U);
+}
+
+TEST(LdzUnit, SingleLaneDegenerates) {
+  std::vector<std::int32_t> values = {1, -2, 100};
+  LdzUnitSim unit(1, 1, 4);
+  unit.submit(values);
+  CycleEngine engine;
+  engine.add(&unit);
+  engine.run();
+  EXPECT_EQ(unit.outputs().size(), 3U);
+}
+
+TEST(LdzUnit, RejectsBadConfig) {
+  EXPECT_THROW(LdzUnitSim(0, 1, 2), Error);
+  EXPECT_THROW(LdzUnitSim(4, 0, 2), Error);
+  LdzUnitSim unit(4, 1, 2);
+  unit.submit({1});
+  EXPECT_THROW(unit.submit({2}), Error);
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,127 @@
+#include "paro/fused_attention_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace paro {
+namespace {
+
+FusedAttentionParams small_head() {
+  FusedAttentionParams p;
+  p.tokens = 2048;
+  p.head_dim = 64;
+  p.map_block = 64;
+  p.map_bits = BitDistribution::paro_mp_default();
+  return p;
+}
+
+TEST(FusedAttention, BasicInvariants) {
+  const HwResources hw = HwResources::paro_asic();
+  const FusedAttentionResult r =
+      simulate_fused_attention(small_head(), hw);
+  EXPECT_GT(r.cycles, 0U);
+  EXPECT_GE(r.stripes, 1U);
+  // Elapsed time covers every resource's busy time.
+  EXPECT_GE(r.cycles, r.pe_busy_cycles);
+  EXPECT_GE(r.cycles, r.vector_busy_cycles);
+  EXPECT_GE(r.cycles, r.dram_busy_cycles);
+  // The stripes never overflow the SRAM.
+  EXPECT_LE(r.sram_peak_bytes, hw.sram_bytes + 1e-6);
+  EXPECT_GT(r.sram_peak_bytes, 0.0);
+}
+
+TEST(FusedAttention, DramBytesMatchStreamingModel) {
+  const FusedAttentionParams p = small_head();
+  const HwResources hw = HwResources::paro_asic();
+  const FusedAttentionResult r = simulate_fused_attention(p, hw);
+  // Per stripe: Q rows + full K + full V in, O rows out (INT8).
+  const auto n = static_cast<double>(p.tokens);
+  const auto dh = static_cast<double>(p.head_dim);
+  const double expected =
+      n * dh                                     // all Q rows, once
+      + 2.0 * n * dh * static_cast<double>(r.stripes)  // K+V per stripe
+      + n * dh;                                  // all O rows, once
+  EXPECT_NEAR(r.dram_bytes, expected, expected * 1e-9);
+}
+
+TEST(FusedAttention, PipelineOverlapsWithinFillBound) {
+  // The cycle-driven pipeline must land between the ideal overlap bound
+  // (max of the three resource totals) and that bound plus one stripe of
+  // fill/drain on each side.
+  const FusedAttentionParams p = small_head();
+  const HwResources hw = HwResources::paro_asic();
+  const FusedAttentionResult r = simulate_fused_attention(p, hw);
+  const double ideal = std::max(
+      {static_cast<double>(r.pe_busy_cycles),
+       static_cast<double>(r.vector_busy_cycles),
+       r.dram_bytes / hw.dram_bytes_per_cycle()});
+  EXPECT_GE(static_cast<double>(r.cycles), ideal);
+  const double per_stripe_slack =
+      3.0 * ideal / static_cast<double>(r.stripes);
+  EXPECT_LE(static_cast<double>(r.cycles), ideal + per_stripe_slack + 16.0);
+}
+
+TEST(FusedAttention, QuantizedBeatsFp16) {
+  FusedAttentionParams q = small_head();
+  FusedAttentionParams fp = small_head();
+  fp.quantized = false;
+  const HwResources hw = HwResources::paro_asic();
+  EXPECT_LT(simulate_fused_attention(q, hw).cycles,
+            simulate_fused_attention(fp, hw).cycles);
+}
+
+TEST(FusedAttention, ObaAcceleratesQk) {
+  FusedAttentionParams with = small_head();
+  FusedAttentionParams without = small_head();
+  without.output_bitwidth_aware = false;
+  const HwResources hw = HwResources::paro_asic();
+  EXPECT_LE(simulate_fused_attention(with, hw).pe_busy_cycles,
+            simulate_fused_attention(without, hw).pe_busy_cycles);
+}
+
+TEST(FusedAttention, DispatcherNeverHurts) {
+  FusedAttentionParams with = small_head();
+  FusedAttentionParams without = small_head();
+  without.dispatcher = false;
+  const HwResources hw = HwResources::paro_asic();
+  EXPECT_LE(simulate_fused_attention(with, hw).pe_busy_cycles,
+            simulate_fused_attention(without, hw).pe_busy_cycles + 1);
+  EXPECT_LE(simulate_fused_attention(with, hw).cycles,
+            simulate_fused_attention(without, hw).cycles);
+}
+
+TEST(FusedAttention, MoreSramMeansFewerStripesLessTraffic) {
+  const FusedAttentionParams p = small_head();
+  HwResources small = HwResources::paro_asic();
+  HwResources big = small;
+  big.sram_bytes *= 8.0;
+  const FusedAttentionResult rs = simulate_fused_attention(p, small);
+  const FusedAttentionResult rb = simulate_fused_attention(p, big);
+  EXPECT_LE(rb.stripes, rs.stripes);
+  EXPECT_LE(rb.dram_bytes, rs.dram_bytes);
+}
+
+TEST(FusedAttention, ScalesWithTokens) {
+  FusedAttentionParams small = small_head();
+  FusedAttentionParams big = small_head();
+  big.tokens *= 2;
+  const HwResources hw = HwResources::paro_asic();
+  const auto rs = simulate_fused_attention(small, hw);
+  const auto rb = simulate_fused_attention(big, hw);
+  // Attention is quadratic in tokens: 2x tokens → ~4x PE work.
+  const double ratio = static_cast<double>(rb.pe_busy_cycles) /
+                       static_cast<double>(rs.pe_busy_cycles);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST(FusedAttention, RejectsEmpty) {
+  FusedAttentionParams p = small_head();
+  p.tokens = 0;
+  EXPECT_THROW(simulate_fused_attention(p, HwResources::paro_asic()),
+               Error);
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,184 @@
+#include "quant/affine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace paro {
+namespace {
+
+TEST(Affine, MinMaxCalibrationCoversRange) {
+  const std::vector<float> v = {-1.0F, 0.0F, 3.0F};
+  const QuantParams p = calibrate_minmax(v, 8);
+  EXPECT_NEAR(p.scale, 4.0F / 255.0F, 1e-6);
+  // min maps near 0, max near 255.
+  EXPECT_EQ(quantize_value(-1.0F, p), 0);
+  EXPECT_EQ(quantize_value(3.0F, p), 255);
+}
+
+TEST(Affine, SymmetricCalibrationHasZeroZeroPoint) {
+  const std::vector<float> v = {-2.0F, 1.0F};
+  const QuantParams p = calibrate_symmetric(v, 8);
+  EXPECT_EQ(p.zero_point, 0);
+  EXPECT_EQ(quantize_value(0.0F, p), 0);
+  EXPECT_EQ(dequantize_value(0, p), 0.0F);
+}
+
+TEST(Affine, ConstantGroupRoundTripsExactly) {
+  std::vector<float> v(10, 1.25F);
+  fake_quant_group(v, 8, /*symmetric=*/false);
+  for (const float x : v) {
+    EXPECT_FLOAT_EQ(x, 1.25F);
+  }
+}
+
+TEST(Affine, ZeroBitsZeroesTheGroup) {
+  std::vector<float> v = {1.0F, -2.0F, 3.0F};
+  fake_quant_group(v, 0, false);
+  for (const float x : v) {
+    EXPECT_EQ(x, 0.0F);
+  }
+}
+
+TEST(Affine, SixteenBitsIsPassthrough) {
+  std::vector<float> v = {1.234F, -5.678F};
+  const std::vector<float> orig = v;
+  fake_quant_group(v, 16, false);
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Affine, CalibrationRejectsBadInput) {
+  const std::vector<float> empty;
+  EXPECT_THROW(calibrate_minmax(empty, 8), Error);
+  const std::vector<float> v = {1.0F};
+  EXPECT_THROW(calibrate_minmax(v, 0), Error);
+  EXPECT_THROW(calibrate_minmax(v, 17), Error);
+  EXPECT_THROW(calibrate_symmetric(v, 1), Error);
+}
+
+TEST(Affine, QuantErrorSqMatchesManual) {
+  const std::vector<float> v = {0.0F, 0.5F, 1.0F};
+  const QuantParams p = calibrate_minmax(v, 1);  // levels {0, 1}
+  double manual = 0.0;
+  for (const float x : v) {
+    const float r = dequantize_value(quantize_value(x, p), p);
+    manual += (x - r) * (x - r);
+  }
+  EXPECT_NEAR(quant_error_sq(v, p), manual, 1e-9);
+}
+
+/// Parameterized round-trip property: |x − dequant(quant(x))| ≤ scale/2
+/// for in-range values, at every bitwidth, both modes.
+class AffineRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(AffineRoundTrip, ErrorBoundedByHalfStep) {
+  const auto [bits, symmetric] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(bits) * 2 + symmetric);
+  std::vector<float> v(256);
+  for (float& x : v) {
+    x = static_cast<float>(rng.uniform(-4.0, 4.0));
+  }
+  const QuantParams p =
+      symmetric ? calibrate_symmetric(v, bits) : calibrate_minmax(v, bits);
+  for (const float x : v) {
+    const float r = dequantize_value(quantize_value(x, p), p);
+    EXPECT_LE(std::abs(x - r), p.scale * 0.5F + 1e-6F)
+        << "bits=" << bits << " sym=" << symmetric;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitsAndModes, AffineRoundTrip,
+    ::testing::Combine(::testing::Values(2, 3, 4, 6, 8, 12),
+                       ::testing::Bool()));
+
+/// More bits → monotonically smaller total error on the same data.
+TEST(Affine, ErrorDecreasesWithBits) {
+  Rng rng(77);
+  std::vector<float> v(512);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  double prev = 1e30;
+  for (const int bits : {2, 3, 4, 5, 6, 8}) {
+    const QuantParams p = calibrate_minmax(v, bits);
+    const double err = quant_error_sq(v, p);
+    EXPECT_LT(err, prev);
+    prev = err;
+  }
+}
+
+TEST(Affine, QuantizeSpanMatchesScalar) {
+  const std::vector<float> v = {0.1F, 0.2F, 0.9F};
+  const QuantParams p = calibrate_minmax(v, 4);
+  std::vector<std::int32_t> codes(3);
+  quantize_span(v, codes, p);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(codes[i], quantize_value(v[i], p));
+  }
+}
+
+TEST(Affine, FakeQuantSpanAliasesSafely) {
+  std::vector<float> v = {0.0F, 0.37F, 1.0F};
+  const QuantParams p = calibrate_minmax(v, 2);
+  fake_quant_span(v, v, p);
+  for (const float x : v) {
+    EXPECT_GE(x, -1e-6F);
+    EXPECT_LE(x, 1.0F + 1e-6F);
+  }
+}
+
+TEST(Percentile, ZeroClipEqualsMinmax) {
+  Rng rng(99);
+  std::vector<float> v(128);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  const QuantParams a = calibrate_minmax(v, 4);
+  const QuantParams b = calibrate_percentile(v, 4, 0.0);
+  EXPECT_FLOAT_EQ(a.scale, b.scale);
+  EXPECT_EQ(a.zero_point, b.zero_point);
+}
+
+TEST(Percentile, RobustToOutliers) {
+  // Bulk in [0, 0.02] plus one huge outlier: percentile calibration keeps
+  // bulk resolution where min-max collapses it.
+  Rng rng(100);
+  std::vector<float> v(256);
+  for (float& x : v) x = static_cast<float>(rng.uniform(0.0, 0.02));
+  v[7] = 5.0F;
+  const QuantParams mm = calibrate_minmax(v, 4);
+  const QuantParams pct = calibrate_percentile(v, 4, 0.01);
+  // Errors on the BULK (exclude the outlier).
+  double e_mm = 0.0, e_pct = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i == 7) continue;
+    const float r_mm = dequantize_value(quantize_value(v[i], mm), mm);
+    const float r_pct = dequantize_value(quantize_value(v[i], pct), pct);
+    e_mm += (v[i] - r_mm) * (v[i] - r_mm);
+    e_pct += (v[i] - r_pct) * (v[i] - r_pct);
+  }
+  EXPECT_LT(e_pct, e_mm * 0.05);
+}
+
+TEST(Percentile, RejectsBadClip) {
+  const std::vector<float> v = {1.0F, 2.0F};
+  EXPECT_THROW(calibrate_percentile(v, 4, -0.1), Error);
+  EXPECT_THROW(calibrate_percentile(v, 4, 0.5), Error);
+}
+
+TEST(Affine, OutliersCrushSmallValuesPerGroup) {
+  // The paper's motivating failure: one large outlier in the group forces
+  // a large scale, and small values lose all resolution at 4 bits.
+  std::vector<float> v(64, 0.01F);
+  v[0] = 1.0F;  // outlier
+  const QuantParams p = calibrate_minmax(v, 4);
+  const float reconstructed =
+      dequantize_value(quantize_value(0.01F, p), p);
+  // 0.01 is below half a step (step ≈ 1/15) → collapses to 0.
+  EXPECT_EQ(reconstructed, 0.0F);
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,91 @@
+#include "quant/bittable.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paro {
+namespace {
+
+TEST(BlockGrid, ExactTiling) {
+  const BlockGrid g(128, 128, 64);
+  EXPECT_EQ(g.block_rows(), 2U);
+  EXPECT_EQ(g.block_cols(), 2U);
+  EXPECT_EQ(g.num_blocks(), 4U);
+  const auto e = g.extent(1, 1);
+  EXPECT_EQ(e.r0, 64U);
+  EXPECT_EQ(e.r1, 128U);
+  EXPECT_EQ(e.count(), 64U * 64U);
+}
+
+TEST(BlockGrid, RaggedEdges) {
+  const BlockGrid g(100, 70, 64);
+  EXPECT_EQ(g.block_rows(), 2U);
+  EXPECT_EQ(g.block_cols(), 2U);
+  const auto corner = g.extent(1, 1);
+  EXPECT_EQ(corner.rows(), 36U);
+  EXPECT_EQ(corner.cols(), 6U);
+}
+
+TEST(BlockGrid, RejectsDegenerate) {
+  EXPECT_THROW(BlockGrid(0, 4, 2), Error);
+  EXPECT_THROW(BlockGrid(4, 4, 0), Error);
+}
+
+TEST(BlockGrid, FlatIndexRowMajor) {
+  const BlockGrid g(128, 192, 64);  // 2×3 blocks
+  EXPECT_EQ(g.flat_index(0, 0), 0U);
+  EXPECT_EQ(g.flat_index(0, 2), 2U);
+  EXPECT_EQ(g.flat_index(1, 0), 3U);
+  EXPECT_THROW(g.flat_index(2, 0), Error);
+}
+
+TEST(BitChoice, IndexMapping) {
+  EXPECT_EQ(bit_choice_index(0), 0);
+  EXPECT_EQ(bit_choice_index(2), 1);
+  EXPECT_EQ(bit_choice_index(4), 2);
+  EXPECT_EQ(bit_choice_index(8), 3);
+  EXPECT_THROW(bit_choice_index(3), Error);
+  EXPECT_THROW(bit_choice_index(16), Error);
+}
+
+TEST(BitTable, UniformAverage) {
+  const BitTable t(BlockGrid(128, 128, 64), 4);
+  EXPECT_DOUBLE_EQ(t.average_bitwidth(), 4.0);
+  EXPECT_DOUBLE_EQ(t.fraction_at(4), 1.0);
+  EXPECT_DOUBLE_EQ(t.fraction_at(8), 0.0);
+  EXPECT_EQ(t.tiles_at(4), 4U);
+}
+
+TEST(BitTable, MixedAverageElementWeighted) {
+  BitTable t(BlockGrid(128, 128, 64), 8);
+  t.set_bits(0, 0, 0);
+  t.set_bits(0, 1, 2);
+  t.set_bits(1, 0, 4);
+  // equal tile sizes → plain mean (0+2+4+8)/4 = 3.5
+  EXPECT_DOUBLE_EQ(t.average_bitwidth(), 3.5);
+}
+
+TEST(BitTable, RaggedWeighting) {
+  // 2 tiles: first 64 cols, second 4 cols.  8-bit big tile + 0-bit small →
+  // average heavily biased toward 8.
+  BitTable t(BlockGrid(64, 68, 64), 8);
+  t.set_bits(0, 1, 0);
+  const double expected = (64.0 * 64 * 8 + 64.0 * 4 * 0) / (64.0 * 68);
+  EXPECT_NEAR(t.average_bitwidth(), expected, 1e-9);
+}
+
+TEST(BitTable, RejectsInvalidBits) {
+  BitTable t(BlockGrid(64, 64, 64), 8);
+  EXPECT_THROW(t.set_bits(0, 0, 5), Error);
+  EXPECT_THROW(BitTable(BlockGrid(64, 64, 64), 3), Error);
+}
+
+TEST(BitTable, AsciiRendering) {
+  BitTable t(BlockGrid(128, 128, 64), 8);
+  t.set_bits(0, 0, 0);
+  t.set_bits(0, 1, 2);
+  t.set_bits(1, 0, 4);
+  EXPECT_EQ(t.to_ascii(), ".2\n48\n");
+}
+
+}  // namespace
+}  // namespace paro

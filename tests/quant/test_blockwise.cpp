@@ -1,0 +1,171 @@
+#include "quant/blockwise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/reference.hpp"
+#include "attention/synthetic.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "quant/granularity.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace paro {
+namespace {
+
+/// A softmax-like map with a strong (block-)diagonal: large values near the
+/// diagonal, tiny background — the structure Fig. 1 shows.
+MatF diagonal_map(std::size_t n, std::size_t bandwidth, Rng& rng) {
+  MatF logits(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double d = static_cast<double>(i > j ? i - j : j - i);
+      logits(i, j) = static_cast<float>(
+          -d * d / (2.0 * bandwidth * bandwidth) + 0.1 * rng.normal());
+    }
+  }
+  return softmax_rows(logits, 4.0F);
+}
+
+TEST(Blockwise, FakeQuantPreservesShape) {
+  Rng rng(1);
+  const MatF m = diagonal_map(64, 4, rng);
+  const MatF q = fake_quant_blockwise(m, 16, 4);
+  EXPECT_TRUE(q.same_shape(m));
+}
+
+TEST(Blockwise, BeatsPerRowOnStridedAttentionMaps) {
+  // The central §III-A claim: every row of a 3D-full-attention map carries
+  // its head's "diagonal" peaks as outliers, so one scale per row crushes
+  // the background; fine tiles isolate the peaks.  Use a synthetic head
+  // with a sharp strided pattern (the structure Fig. 1 shows).
+  const TokenGrid grid(6, 6, 6);
+  SyntheticHeadSpec spec;
+  spec.locality_order = all_axis_orders()[3];  // HWF → strided in canonical
+  spec.locality_width = 0.01;
+  spec.pattern_gain = 5.0;
+  spec.content_gain = 0.5;
+  spec.global_fraction = 0.01;
+  spec.global_gain = 3.5;
+  Rng rng(50 + 3);
+  const HeadQKV head = generate_head(grid, spec, 16, rng);
+  const MatF m = attention_map(head.q, head.k);
+  const MatF per_row = fake_quant_matrix(m, Granularity::kPerRow, 4, false);
+  const MatF block = fake_quant_blockwise(m, 8, 4);
+  EXPECT_LT(mse(block.flat(), m.flat()),
+            0.8 * mse(per_row.flat(), m.flat()));
+}
+
+TEST(Blockwise, ErrorDecreasesWithBits) {
+  Rng rng(3);
+  const MatF m = diagonal_map(96, 6, rng);
+  const double e2 = blockwise_quant_error_sq(m, 16, 2);
+  const double e4 = blockwise_quant_error_sq(m, 16, 4);
+  const double e8 = blockwise_quant_error_sq(m, 16, 8);
+  EXPECT_GT(e2, e4);
+  EXPECT_GT(e4, e8);
+}
+
+TEST(Blockwise, ZeroBitErrorIsSignalEnergy) {
+  Rng rng(4);
+  const MatF m = diagonal_map(32, 4, rng);
+  double energy = 0.0;
+  for (const float v : m.flat()) energy += static_cast<double>(v) * v;
+  EXPECT_NEAR(blockwise_quant_error_sq(m, 8, 0), energy, 1e-6);
+}
+
+TEST(Blockwise, MixedTableZeroesSkippedTiles) {
+  Rng rng(5);
+  const MatF m = diagonal_map(64, 8, rng);
+  BitTable table(BlockGrid(64, 64, 32), 8);
+  table.set_bits(0, 1, 0);
+  const MatF q = fake_quant_blockwise_mixed(m, table);
+  for (std::size_t r = 0; r < 32; ++r) {
+    for (std::size_t c = 32; c < 64; ++c) {
+      EXPECT_EQ(q(r, c), 0.0F);
+    }
+  }
+  // Diagonal tiles kept at 8 bits stay close.
+  double diag_err = 0.0;
+  for (std::size_t r = 0; r < 32; ++r) {
+    for (std::size_t c = 0; c < 32; ++c) {
+      diag_err += std::abs(q(r, c) - m(r, c));
+    }
+  }
+  EXPECT_LT(diag_err / (32 * 32), 1e-3);
+}
+
+TEST(Blockwise, MixedTableShapeMismatchThrows) {
+  const MatF m(32, 32, 0.5F);
+  const BitTable table(BlockGrid(64, 64, 32), 8);
+  EXPECT_THROW(fake_quant_blockwise_mixed(m, table), Error);
+}
+
+TEST(BlockStats, CountsAndImportance) {
+  MatF m(4, 4, 0.0F);
+  m(0, 0) = 1.0F;  // all mass in tile (0,0)
+  const auto stats = collect_block_stats(m, 2);
+  ASSERT_EQ(stats.size(), 4U);
+  EXPECT_EQ(stats[0].count, 4U);
+  EXPECT_NEAR(stats[0].value_sum, 1.0, 1e-9);
+  EXPECT_NEAR(stats[1].value_sum, 0.0, 1e-9);
+  // 0-bit error of tile 0 is its L2 norm = 1.
+  EXPECT_NEAR(stats[0].error_l2[bit_choice_index(0)], 1.0, 1e-6);
+  // 8-bit error of an all-zero tile is 0.
+  EXPECT_NEAR(stats[1].error_l2[bit_choice_index(8)], 0.0, 1e-9);
+}
+
+TEST(BlockStats, ErrorMonotoneInBits) {
+  Rng rng(6);
+  const MatF m = diagonal_map(64, 4, rng);
+  for (const auto& s : collect_block_stats(m, 16)) {
+    EXPECT_GE(s.error_l2[0], s.error_l2[1] - 1e-12);
+    EXPECT_GE(s.error_l2[1], s.error_l2[2] - 1e-12);
+    EXPECT_GE(s.error_l2[2], s.error_l2[3] - 1e-12);
+  }
+}
+
+TEST(BlockMass, SumsMatch) {
+  MatF m(4, 4, 1.0F);
+  const MatF mass = block_mass(m, 2);
+  EXPECT_EQ(mass.rows(), 2U);
+  for (const float v : mass.flat()) {
+    EXPECT_NEAR(v, 1.0F, 1e-6);
+  }
+}
+
+TEST(Diagonality, DiagonalMapScoresHigh) {
+  Rng rng(7);
+  const MatF diag = diagonal_map(128, 3, rng);
+  MatF uniform(128, 128, 1.0F / 128.0F);
+  const double d_diag = block_diagonality(diag, 16);
+  const double d_unif = block_diagonality(uniform, 16);
+  EXPECT_GT(d_diag, 0.6);
+  EXPECT_NEAR(d_unif, 1.0 / 8.0, 0.01);  // 8×8 tile grid
+}
+
+TEST(Diagonality, RequiresSquare) {
+  MatF m(4, 8, 1.0F);
+  EXPECT_THROW(block_diagonality(m, 2), Error);
+}
+
+/// Property sweep over block sizes: block-wise error never exceeds
+/// per-tensor error (finer grouping is never worse in total).
+class BlockSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BlockSizeSweep, FinerThanPerTensor) {
+  Rng rng(8);
+  const MatF m = diagonal_map(96, 5, rng);
+  std::vector<float> all(m.flat().begin(), m.flat().end());
+  const QuantParams whole = calibrate_minmax(all, 4);
+  const double tensor_err = quant_error_sq(all, whole);
+  EXPECT_LE(blockwise_quant_error_sq(m, GetParam(), 4), tensor_err + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, BlockSizeSweep,
+                         ::testing::Values(8, 16, 24, 32, 48, 96));
+
+}  // namespace
+}  // namespace paro

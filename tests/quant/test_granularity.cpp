@@ -1,0 +1,84 @@
+#include "quant/granularity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace paro {
+namespace {
+
+TEST(Granularity, PerTensorEmitsOneParamSet) {
+  Rng rng(1);
+  const MatF m = random_normal(4, 4, rng);
+  std::vector<QuantParams> params;
+  fake_quant_matrix(m, Granularity::kPerTensor, 8, true, &params);
+  EXPECT_EQ(params.size(), 1U);
+}
+
+TEST(Granularity, PerRowEmitsRowParams) {
+  Rng rng(2);
+  const MatF m = random_normal(5, 3, rng);
+  std::vector<QuantParams> params;
+  fake_quant_matrix(m, Granularity::kPerRow, 8, true, &params);
+  EXPECT_EQ(params.size(), 5U);
+}
+
+TEST(Granularity, PerColumnMatchesTransposedPerRow) {
+  Rng rng(3);
+  const MatF m = random_normal(6, 4, rng);
+  const MatF by_col = fake_quant_matrix(m, Granularity::kPerColumn, 4, true);
+  const MatF by_row_t = transpose(
+      fake_quant_matrix(transpose(m), Granularity::kPerRow, 4, true));
+  EXPECT_EQ(by_col, by_row_t);
+}
+
+TEST(Granularity, FinerGranularityNeverWorse) {
+  // Scale one row up 100×: per-row isolates it; per-tensor suffers.
+  Rng rng(4);
+  MatF m = random_normal(8, 32, rng);
+  for (float& v : m.row(0)) v *= 100.0F;
+  const MatF per_tensor = fake_quant_matrix(m, Granularity::kPerTensor, 8, true);
+  const MatF per_row = fake_quant_matrix(m, Granularity::kPerRow, 8, true);
+  EXPECT_LT(mse(per_row.flat(), m.flat()), mse(per_tensor.flat(), m.flat()));
+}
+
+TEST(QuantizedI8, RoundTripErrorSmallAt8Bits) {
+  Rng rng(5);
+  const MatF m = random_normal(10, 16, rng);
+  const QuantizedI8 q = quantize_rows_i8(m);
+  const MatF back = dequantize_rows(q);
+  EXPECT_GT(snr_db(m.flat(), back.flat()), 35.0);
+}
+
+TEST(QuantizedI8, CodesWithinSignedRange) {
+  Rng rng(6);
+  const MatF m = random_normal(4, 8, rng, 0.0F, 10.0F);
+  for (const int bits : {2, 4, 8}) {
+    const QuantizedI8 q = quantize_rows_i8(m, bits);
+    const int limit = (1 << (bits - 1)) - 1;
+    for (const auto code : q.codes.flat()) {
+      EXPECT_LE(static_cast<int>(code), limit);
+      EXPECT_GE(static_cast<int>(code), -limit);
+    }
+  }
+}
+
+TEST(QuantizedI8, RejectsBadBits) {
+  MatF m(1, 4, 1.0F);
+  EXPECT_THROW(quantize_rows_i8(m, 1), Error);
+  EXPECT_THROW(quantize_rows_i8(m, 9), Error);
+}
+
+TEST(QuantizedI8, RowParamsIndependent) {
+  MatF m(2, 2);
+  m(0, 0) = 1.0F;  m(0, 1) = -1.0F;
+  m(1, 0) = 100.0F; m(1, 1) = -100.0F;
+  const QuantizedI8 q = quantize_rows_i8(m);
+  EXPECT_NEAR(q.row_params[1].scale / q.row_params[0].scale, 100.0F, 1.0F);
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,74 @@
+#include "quant/linear_w8a8.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace paro {
+namespace {
+
+TEST(LinearW8A8, ShapeBookkeeping) {
+  Rng rng(1);
+  const MatF w = random_normal(16, 8, rng);  // [out=16, in=8]
+  const LinearW8A8 lin(w);
+  EXPECT_EQ(lin.in_features(), 8U);
+  EXPECT_EQ(lin.out_features(), 16U);
+}
+
+TEST(LinearW8A8, ForwardCloseToFloatReference) {
+  Rng rng(2);
+  const MatF w = random_normal(32, 24, rng);
+  const MatF x = random_normal(10, 24, rng);
+  const LinearW8A8 lin(w);
+  const MatF y_q = lin.forward(x);
+  const MatF y_ref = matmul_nt(x, w);
+  EXPECT_GT(snr_db(y_ref.flat(), y_q.flat()), 30.0);
+}
+
+TEST(LinearW8A8, InputWidthMismatchThrows) {
+  Rng rng(3);
+  const LinearW8A8 lin(random_normal(4, 8, rng));
+  const MatF bad = random_normal(2, 7, rng);
+  EXPECT_THROW(lin.forward(bad), Error);
+}
+
+TEST(LinearW8A8, DequantizedWeightCloseToOriginal) {
+  Rng rng(4);
+  const MatF w = random_normal(12, 12, rng);
+  const LinearW8A8 lin(w);
+  EXPECT_GT(snr_db(w.flat(), lin.dequantized_weight().flat()), 40.0);
+}
+
+TEST(LinearW8A8, PerChannelScalesIsolateOutlierChannels) {
+  Rng rng(5);
+  MatF w = random_normal(8, 16, rng);
+  for (float& v : w.row(0)) v *= 1000.0F;  // huge channel 0
+  const LinearW8A8 lin(w);
+  const MatF back = lin.dequantized_weight();
+  // Other channels keep full resolution despite the outlier channel.
+  double err = 0.0;
+  for (std::size_t r = 1; r < 8; ++r) {
+    for (std::size_t c = 0; c < 16; ++c) {
+      err += std::abs(back(r, c) - w(r, c));
+    }
+  }
+  EXPECT_LT(err / (7 * 16), 0.01);
+}
+
+TEST(LinearW8A8, ForwardExactForQuantizedGridInputs) {
+  // If the inputs and weights are already on the quantizer grid, the int
+  // path must reproduce the float result exactly.
+  MatF w(2, 2, std::vector<float>{1.0F, -1.0F, 0.5F, 0.25F});
+  MatF x(1, 2, std::vector<float>{1.0F, 1.0F});
+  const LinearW8A8 lin(w);
+  const MatF y = lin.forward(x);
+  const MatF ref = matmul_nt(x, w);
+  EXPECT_NEAR(y.at(0, 0), ref.at(0, 0), 0.02F);
+  EXPECT_NEAR(y.at(0, 1), ref.at(0, 1), 0.02F);
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,114 @@
+#include "quant/sage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attention/reference.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "tensor/random.hpp"
+
+namespace paro {
+namespace {
+
+TEST(Sage, MapRowsSumToOne) {
+  Rng rng(1);
+  const MatF q = random_normal(24, 16, rng);
+  const MatF k = random_normal(24, 16, rng);
+  const MatF map = sage_attention_map(q, k);
+  for (std::size_t r = 0; r < map.rows(); ++r) {
+    double sum = 0.0;
+    for (const float v : map.row(r)) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(Sage, CloseToReferenceAttention) {
+  Rng rng(2);
+  const MatF q = random_normal(32, 16, rng);
+  const MatF k = random_normal(32, 16, rng);
+  const MatF v = random_normal(32, 16, rng);
+  const MatF ref = attention_reference(q, k, v);
+  const MatF sage = sage_attention(q, k, v);
+  EXPECT_GT(snr_db(ref.flat(), sage.flat()), 25.0);
+}
+
+TEST(Sage, SmoothingHelpsWithChannelOutliers) {
+  // K with a huge constant channel offset: plain INT8 QK collapses, the
+  // mean-smoothed SageAttention stays accurate (its §3 motivation).
+  Rng rng(3);
+  const MatF q = random_normal(24, 8, rng);
+  MatF k = random_normal(24, 8, rng);
+  for (std::size_t r = 0; r < k.rows(); ++r) {
+    k(r, 0) += 50.0F;  // outlier channel shared by all tokens
+  }
+  const MatF v = random_normal(24, 8, rng);
+  const MatF ref = attention_reference(q, k, v);
+  const MatF sage = sage_attention(q, k, v);
+  EXPECT_GT(snr_db(ref.flat(), sage.flat()), 20.0);
+}
+
+TEST(Sage2, Int4GroupsTrackReference) {
+  Rng rng(5);
+  const MatF q = random_normal(48, 16, rng);
+  const MatF k = random_normal(48, 16, rng);
+  const MatF v = random_normal(48, 16, rng);
+  const MatF ref = attention_reference(q, k, v);
+  const MatF s2 = sage2_attention(q, k, v, 16);
+  EXPECT_GT(snr_db(ref.flat(), s2.flat()), 10.0);
+}
+
+TEST(Sage2, CoarserThanSageButUsable) {
+  // INT4 QK loses more than INT8 QK, but stays far from collapse.
+  Rng rng(6);
+  const MatF q = random_normal(48, 16, rng);
+  const MatF k = random_normal(48, 16, rng);
+  const MatF v = random_normal(48, 16, rng);
+  const MatF ref = attention_reference(q, k, v);
+  const double snr8 = snr_db(ref.flat(), sage_attention(q, k, v).flat());
+  const double snr4 = snr_db(ref.flat(), sage2_attention(q, k, v, 16).flat());
+  EXPECT_GT(snr8, snr4);
+  EXPECT_GT(snr4, 8.0);
+}
+
+TEST(Sage2, FinerGroupsNeverWorse) {
+  Rng rng(7);
+  const MatF q = random_normal(64, 16, rng, 0, 3.0F);
+  MatF k = random_normal(64, 16, rng);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (float& x : k.row(r)) x *= 20.0F;  // a hot row group
+  }
+  const MatF v = random_normal(64, 16, rng);
+  const MatF ref = attention_reference(q, k, v);
+  const double fine = snr_db(ref.flat(), sage2_attention(q, k, v, 8).flat());
+  const double coarse =
+      snr_db(ref.flat(), sage2_attention(q, k, v, 64).flat());
+  EXPECT_GE(fine, coarse - 0.5);
+}
+
+TEST(Sage2, RejectsBadGroup) {
+  MatF q(4, 8), k(4, 8), v(4, 8);
+  EXPECT_THROW(sage2_attention(q, k, v, 0), Error);
+}
+
+TEST(Sage, HeadDimMismatchThrows) {
+  MatF q(4, 8), k(4, 6);
+  EXPECT_THROW(sage_attention_map(q, k), Error);
+}
+
+TEST(Sage, CustomScaleRespected) {
+  Rng rng(4);
+  const MatF q = random_normal(8, 8, rng);
+  const MatF k = random_normal(8, 8, rng);
+  const MatF sharp = sage_attention_map(q, k, 10.0F);
+  const MatF soft = sage_attention_map(q, k, 0.01F);
+  // Very small scale → near-uniform rows.
+  double max_soft = 0.0;
+  for (const float x : soft.flat()) max_soft = std::max<double>(max_soft, x);
+  EXPECT_LT(max_soft, 0.2);
+  double max_sharp = 0.0;
+  for (const float x : sharp.flat()) max_sharp = std::max<double>(max_sharp, x);
+  EXPECT_GT(max_sharp, max_soft);
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,184 @@
+#include "quant/sparse_attention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attention/reference.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace paro {
+namespace {
+
+TEST(SparseMask, DensityAndNnz) {
+  SparseMask m;
+  m.keep = Matrix<std::uint8_t>(2, 4, 0);
+  m.keep(0, 0) = 1;
+  m.keep(0, 1) = 1;
+  m.keep(1, 3) = 1;
+  EXPECT_NEAR(m.density(), 3.0 / 8.0, 1e-9);
+  const auto nnz = m.row_nnz();
+  EXPECT_EQ(nnz[0], 2U);
+  EXPECT_EQ(nnz[1], 1U);
+  EXPECT_NEAR(m.row_imbalance(), 2.0 / 1.5, 1e-9);
+}
+
+TEST(Sanger, MaskDensityMonotoneInThreshold) {
+  Rng rng(1);
+  const MatF q = random_normal(32, 16, rng);
+  const MatF k = random_normal(32, 16, rng);
+  const double d_low = sanger_predict_mask(q, k, 1e-4F).density();
+  const double d_high = sanger_predict_mask(q, k, 1e-1F).density();
+  EXPECT_GE(d_low, d_high);
+  EXPECT_GT(d_low, 0.0);
+}
+
+TEST(Sanger, PredictionKeepsLargeEntries) {
+  Rng rng(2);
+  const MatF q = random_normal(24, 16, rng, 0, 2.0F);
+  const MatF k = random_normal(24, 16, rng, 0, 2.0F);
+  const MatF exact = attention_map(q, k);
+  const SparseMask mask = sanger_predict_mask(q, k, 0.05F);
+  // Every entry well above threshold should be kept by the 4-bit predictor.
+  for (std::size_t i = 0; i < exact.rows(); ++i) {
+    for (std::size_t j = 0; j < exact.cols(); ++j) {
+      if (exact(i, j) > 0.25F) {
+        EXPECT_EQ(mask.keep(i, j), 1) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(ApplyMask, RenormalizedRowsSumToOne) {
+  Rng rng(3);
+  const MatF q = random_normal(16, 8, rng);
+  const MatF k = random_normal(16, 8, rng);
+  const MatF attn = attention_map(q, k);
+  const SparseMask mask = sanger_predict_mask(q, k, 0.02F);
+  const MatF pruned = apply_mask(attn, mask, /*renormalize=*/true);
+  for (std::size_t r = 0; r < pruned.rows(); ++r) {
+    double sum = 0.0;
+    for (const float v : pruned.row(r)) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(ApplyMask, WithoutRenormalizeJustZeroes) {
+  MatF attn(1, 3, std::vector<float>{0.5F, 0.3F, 0.2F});
+  SparseMask mask;
+  mask.keep = Matrix<std::uint8_t>(1, 3, 1);
+  mask.keep(0, 2) = 0;
+  const MatF out = apply_mask(attn, mask, false);
+  EXPECT_EQ(out.at(0, 0), 0.5F);
+  EXPECT_EQ(out.at(0, 2), 0.0F);
+}
+
+TEST(ApplyMask, EmptyRowKeepsArgmax) {
+  MatF attn(1, 3, std::vector<float>{0.2F, 0.5F, 0.3F});
+  SparseMask mask;
+  mask.keep = Matrix<std::uint8_t>(1, 3, 0);
+  const MatF out = apply_mask(attn, mask, true);
+  EXPECT_EQ(out.at(0, 1), 1.0F);
+  EXPECT_EQ(out.at(0, 0), 0.0F);
+}
+
+TEST(Sanger, AttentionQualityDegradesGracefully) {
+  Rng rng(4);
+  const MatF q = random_normal(48, 16, rng);
+  const MatF k = random_normal(48, 16, rng);
+  const MatF v = random_normal(48, 16, rng);
+  const MatF ref = attention_reference(q, k, v);
+  const MatF mild = sanger_attention(q, k, v, 1e-3F);
+  const MatF harsh = sanger_attention(q, k, v, 0.2F);
+  EXPECT_GT(snr_db(ref.flat(), mild.flat()), snr_db(ref.flat(), harsh.flat()));
+}
+
+TEST(Vitcod, DenseColumnsAlwaysKept) {
+  Rng rng(5);
+  MatF attn(16, 16, 0.001F);
+  for (std::size_t r = 0; r < 16; ++r) attn(r, 3) = 0.9F;  // hot column
+  const SparseMask mask = vitcod_polarize_mask(attn, 0.1F, 0.5F);
+  for (std::size_t r = 0; r < 16; ++r) {
+    EXPECT_EQ(mask.keep(r, 3), 1);
+  }
+}
+
+TEST(Vitcod, SplitStatsConsistent) {
+  Rng rng(6);
+  const MatF q = random_normal(32, 16, rng, 0, 2.0F);
+  const MatF k = random_normal(32, 16, rng, 0, 2.0F);
+  const MatF attn = attention_map(q, k);
+  const VitcodSplit split = vitcod_split_stats(attn, 0.25F, 0.05F);
+  EXPECT_NEAR(split.dense_fraction, 0.25, 1e-6);
+  EXPECT_GE(split.overall_density, split.dense_fraction - 1e-9);
+  EXPECT_GE(split.sparse_density, 0.0);
+  EXPECT_LE(split.sparse_density, 1.0);
+}
+
+TEST(Vitcod, FractionBoundsEnforced) {
+  MatF attn(4, 4, 0.25F);
+  EXPECT_THROW(vitcod_polarize_mask(attn, -0.1F, 0.1F), Error);
+  EXPECT_THROW(vitcod_polarize_mask(attn, 1.5F, 0.1F), Error);
+}
+
+TEST(PackAndSplit, ExactCounts) {
+  SparseMask mask;
+  mask.keep = Matrix<std::uint8_t>(3, 10, 0);
+  // Row 0: 10 kept → 3 buckets of width 4 (2 padding slots).
+  for (std::size_t j = 0; j < 10; ++j) mask.keep(0, j) = 1;
+  // Row 1: 4 kept → 1 full bucket.
+  for (std::size_t j = 0; j < 4; ++j) mask.keep(1, j) = 1;
+  // Row 2: 1 kept → 1 bucket, 3 padding slots.
+  mask.keep(2, 5) = 1;
+  const PackStats stats = sanger_pack_and_split(mask, 4);
+  EXPECT_EQ(stats.buckets, 5U);
+  EXPECT_EQ(stats.kept_entries, 15U);
+  EXPECT_NEAR(stats.utilization, 15.0 / 20.0, 1e-9);
+  EXPECT_NEAR(stats.avg_segments_per_row, 5.0 / 3.0, 1e-9);
+}
+
+TEST(PackAndSplit, FullRowsAreFullyUtilized) {
+  SparseMask mask;
+  mask.keep = Matrix<std::uint8_t>(4, 16, 1);
+  const PackStats stats = sanger_pack_and_split(mask, 8);
+  EXPECT_NEAR(stats.utilization, 1.0, 1e-9);
+}
+
+TEST(PackAndSplit, SparseIrregularRowsWasteSlots) {
+  // Predicted masks on real heads: utilization drops with irregularity.
+  Rng rng(21);
+  const MatF q = random_normal(64, 16, rng, 0, 2.0F);
+  const MatF k = random_normal(64, 16, rng, 0, 2.0F);
+  const SparseMask mask = sanger_predict_mask(q, k, 0.02F);
+  const PackStats stats = sanger_pack_and_split(mask, 16);
+  EXPECT_GT(stats.utilization, 0.2);
+  EXPECT_LT(stats.utilization, 1.0);
+}
+
+TEST(PackAndSplit, EmptyMaskAndBadWidth) {
+  SparseMask mask;
+  mask.keep = Matrix<std::uint8_t>(2, 4, 0);
+  const PackStats stats = sanger_pack_and_split(mask, 4);
+  EXPECT_EQ(stats.buckets, 0U);
+  EXPECT_EQ(stats.utilization, 0.0);
+  EXPECT_THROW(sanger_pack_and_split(mask, 0), Error);
+}
+
+TEST(Threshold, CalibrationHitsTargetDensity) {
+  Rng rng(7);
+  const MatF q = random_normal(40, 16, rng);
+  const MatF k = random_normal(40, 16, rng);
+  const MatF attn = attention_map(q, k);
+  for (const double target : {0.1, 0.25, 0.5}) {
+    const float t = calibrate_threshold_for_density(attn, target);
+    std::size_t kept = 0;
+    for (const float v : attn.flat()) kept += v >= t ? 1 : 0;
+    const double density =
+        static_cast<double>(kept) / static_cast<double>(attn.size());
+    EXPECT_NEAR(density, target, 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,168 @@
+#include "reorder/calibrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attention/reference.hpp"
+#include "attention/synthetic.hpp"
+#include "quant/blockwise.hpp"
+#include "common/rng.hpp"
+
+namespace paro {
+namespace {
+
+MatF head_map(const TokenGrid& grid, const AxisOrder& order, Rng& rng) {
+  SyntheticHeadSpec spec;
+  spec.locality_order = order;
+  spec.locality_width = 0.02;
+  spec.pattern_gain = 7.0;
+  spec.content_gain = 0.3;
+  spec.global_fraction = 0.0;
+  const HeadQKV qkv = generate_head(grid, spec, 16, rng);
+  return attention_map(qkv.q, qkv.k);
+}
+
+TEST(Calibrate, ScoresCoverAllSixOrders) {
+  const TokenGrid grid(4, 4, 4);
+  Rng rng(1);
+  const MatF map = head_map(grid, canonical_axis_order(), rng);
+  const auto scores = score_all_orders(map, grid, 8);
+  EXPECT_EQ(scores.size(), 6U);
+  for (const auto& s : scores) {
+    EXPECT_GE(s.quant_error_sq, 0.0);
+    EXPECT_GE(s.diagonality, 0.0);
+    EXPECT_LE(s.diagonality, 1.0);
+  }
+}
+
+/// The calibrated plan must recover each head's true locality ordering —
+/// or at least one with equivalent block structure (reversing the outer
+/// two axes of a separable pattern can tie).  We assert the chosen plan's
+/// error is within 5% of the best candidate's and that reordering helps.
+class RecoverOrder : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RecoverOrder, CalibrationPicksLowErrorPlan) {
+  const TokenGrid grid(5, 5, 5);
+  const AxisOrder truth = all_axis_orders()[GetParam()];
+  Rng rng(100 + GetParam());
+  const MatF map = head_map(grid, truth, rng);
+
+  const auto scores = score_all_orders(map, grid, 25, 4);
+  double best = scores[0].quant_error_sq;
+  for (const auto& s : scores) best = std::min(best, s.quant_error_sq);
+
+  const ReorderPlan plan = calibrate_plan(map, grid, 25, 4);
+  // Find the chosen order's score.
+  double chosen = -1.0;
+  for (const auto& s : scores) {
+    if (s.order == plan.order) chosen = s.quant_error_sq;
+  }
+  ASSERT_GE(chosen, 0.0);
+  EXPECT_LE(chosen, best * 1.05);
+}
+
+TEST_P(RecoverOrder, TruthOrderingConcentratesDiagonal) {
+  // A head that aggregates locally in ordering π produces a map that is
+  // block-diagonal under π.  When π's tiling differs from the canonical
+  // one (different innermost axis at block ≤ inner extent), the canonical
+  // view must be clearly less diagonal — the Fig. 8 picture.
+  const TokenGrid grid(5, 5, 5);
+  const AxisOrder truth = all_axis_orders()[GetParam()];
+  if (truth.axes[2] == Axis::kWidth) {
+    GTEST_SKIP() << "same innermost axis → identical 5-token tiling";
+  }
+  Rng rng(200 + GetParam());
+  const MatF map = head_map(grid, truth, rng);
+  const ReorderPlan plan = ReorderPlan::for_order(grid, truth);
+  const double before = block_diagonality(map, 5);
+  const double after = block_diagonality(plan.apply_map(map), 5);
+  EXPECT_GT(after, before + 0.1);
+  EXPECT_GT(after, 0.4);
+}
+
+TEST_P(RecoverOrder, CalibratedPlanNeverWorseThanCanonical) {
+  // calibrate_plan minimizes block-wise quant error over all 6 orders
+  // (canonical included), so reorder can only help — the §III-A
+  // guarantee that motivates selecting plans offline per head.
+  const TokenGrid grid(5, 5, 5);
+  const AxisOrder truth = all_axis_orders()[GetParam()];
+  Rng rng(400 + GetParam());
+  const MatF map = head_map(grid, truth, rng);
+  const ReorderPlan plan = calibrate_plan(map, grid, 5, 4);
+  const double err_cal =
+      blockwise_quant_error_sq(plan.apply_map(map), 5, 4);
+  const double err_canon = blockwise_quant_error_sq(map, 5, 4);
+  EXPECT_LE(err_cal, err_canon + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, RecoverOrder,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(PlanTable, StoreAndHistogram) {
+  PlanTable table(2, 3);
+  EXPECT_EQ(table.layers(), 2U);
+  EXPECT_EQ(table.heads(), 3U);
+  const TokenGrid grid(2, 2, 2);
+  table.set_plan(1, 2, ReorderPlan::for_order(
+                           grid, {{Axis::kWidth, Axis::kHeight, Axis::kFrame}}));
+  const auto hist = table.order_histogram();
+  EXPECT_EQ(hist.size(), 6U);
+  // 5 default-constructed plans count as canonical FHW + 1 WHF.
+  EXPECT_EQ(hist[5], 1U);
+  EXPECT_THROW(table.plan(2, 0), Error);
+}
+
+TEST(PlanTable, CalibrateModelShape) {
+  const TokenGrid grid(3, 3, 3);
+  Rng rng(7);
+  std::vector<std::vector<MatF>> samples(2);
+  for (auto& layer : samples) {
+    layer.push_back(head_map(grid, all_axis_orders()[3], rng));
+    layer.push_back(head_map(grid, all_axis_orders()[5], rng));
+  }
+  const PlanTable table = calibrate_model(samples, grid, 9, 4);
+  EXPECT_EQ(table.layers(), 2U);
+  EXPECT_EQ(table.heads(), 2U);
+  std::size_t total = 0;
+  for (const auto c : table.order_histogram()) total += c;
+  EXPECT_EQ(total, 4U);
+}
+
+TEST(CalibrateWithPrefix, RecoversVideoStructure) {
+  // Build a full map with a text prefix: text rows attend broadly, video
+  // rows carry the head's locality pattern.
+  const TokenGrid grid(4, 4, 4);
+  const std::size_t prefix = 6;
+  Rng rng(31);
+  const MatF video_map = head_map(grid, all_axis_orders()[3], rng);
+  const std::size_t n = prefix + grid.num_tokens();
+  MatF full(n, n, static_cast<float>(1.0 / n));
+  for (std::size_t i = 0; i < grid.num_tokens(); ++i) {
+    for (std::size_t j = 0; j < grid.num_tokens(); ++j) {
+      full(prefix + i, prefix + j) = video_map(i, j);
+    }
+  }
+  const ReorderPlan plan =
+      calibrate_plan_with_prefix(full, grid, prefix, 8, 4);
+  ASSERT_EQ(plan.perm.size(), n);
+  for (std::size_t i = 0; i < prefix; ++i) {
+    EXPECT_EQ(plan.perm[i], i);
+  }
+  // The chosen order matches what pure-video calibration picks.
+  const ReorderPlan video_only = calibrate_plan(video_map, grid, 8, 4);
+  EXPECT_TRUE(plan.order == video_only.order);
+}
+
+TEST(CalibrateWithPrefix, ShapeMismatchThrows) {
+  const TokenGrid grid(2, 2, 2);
+  MatF wrong(10, 10, 0.1F);
+  EXPECT_THROW(calibrate_plan_with_prefix(wrong, grid, 5, 4), Error);
+}
+
+TEST(Calibrate, MismatchedGridThrows) {
+  const TokenGrid grid(2, 2, 2);
+  MatF wrong(9, 9, 0.1F);
+  EXPECT_THROW(score_all_orders(wrong, grid, 4), Error);
+}
+
+}  // namespace
+}  // namespace paro

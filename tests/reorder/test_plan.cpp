@@ -1,0 +1,140 @@
+#include "reorder/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attention/reference.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace paro {
+namespace {
+
+TEST(Plan, IdentityPlan) {
+  const ReorderPlan plan = ReorderPlan::identity(10);
+  EXPECT_TRUE(plan.is_identity());
+  Rng rng(1);
+  const MatF x = random_normal(10, 4, rng);
+  EXPECT_EQ(plan.apply_rows(x), x);
+  const MatF m = random_normal(10, 10, rng);
+  EXPECT_EQ(plan.apply_map(m), m);
+}
+
+TEST(Plan, NonIdentityDetected) {
+  const TokenGrid grid(2, 3, 4);
+  const ReorderPlan plan =
+      ReorderPlan::for_order(grid, {{Axis::kWidth, Axis::kHeight, Axis::kFrame}});
+  EXPECT_FALSE(plan.is_identity());
+}
+
+TEST(Plan, RowsRoundTrip) {
+  const TokenGrid grid(3, 4, 5);
+  Rng rng(2);
+  const MatF x = random_normal(grid.num_tokens(), 8, rng);
+  for (const AxisOrder& order : all_axis_orders()) {
+    const ReorderPlan plan = ReorderPlan::for_order(grid, order);
+    EXPECT_EQ(plan.invert_rows(plan.apply_rows(x)), x);
+  }
+}
+
+TEST(Plan, MapRoundTrip) {
+  const TokenGrid grid(2, 3, 4);
+  Rng rng(3);
+  const MatF m = random_normal(grid.num_tokens(), grid.num_tokens(), rng);
+  for (const AxisOrder& order : all_axis_orders()) {
+    const ReorderPlan plan = ReorderPlan::for_order(grid, order);
+    EXPECT_EQ(plan.invert_map(plan.apply_map(m)), m);
+  }
+}
+
+TEST(Plan, MapConjugationMatchesRowColumnGather) {
+  const TokenGrid grid(2, 3, 4);
+  Rng rng(4);
+  const MatF m = random_normal(grid.num_tokens(), grid.num_tokens(), rng);
+  const ReorderPlan plan = ReorderPlan::for_order(
+      grid, {{Axis::kHeight, Axis::kFrame, Axis::kWidth}});
+  const MatF conj = plan.apply_map(m);
+  const MatF manual = permute_cols(permute_rows(m, plan.perm), plan.perm);
+  EXPECT_EQ(conj, manual);
+}
+
+/// The paper's Fig.-3 equivalence: reordering Q/K/V and inverse-reordering
+/// the output reproduces the original attention EXACTLY (softmax is
+/// row-local, so the permutation commutes through it).
+TEST(Plan, AttentionEquivalenceThroughReorder) {
+  const TokenGrid grid(3, 4, 4);
+  const std::size_t n = grid.num_tokens();
+  Rng rng(5);
+  const MatF q = random_normal(n, 16, rng);
+  const MatF k = random_normal(n, 16, rng);
+  const MatF v = random_normal(n, 16, rng);
+  const MatF ref = attention_reference(q, k, v);
+
+  for (const AxisOrder& order : all_axis_orders()) {
+    const ReorderPlan plan = ReorderPlan::for_order(grid, order);
+    const MatF out_r = attention_reference(
+        plan.apply_rows(q), plan.apply_rows(k), plan.apply_rows(v));
+    const MatF restored = plan.invert_rows(out_r);
+    EXPECT_GT(snr_db(ref.flat(), restored.flat()), 100.0)
+        << axis_order_name(order);
+  }
+}
+
+/// softmax(PQ(PK)ᵀ) = P softmax(QKᵀ) Pᵀ.
+TEST(Plan, SoftmaxCommutesWithConjugation) {
+  const TokenGrid grid(2, 3, 3);
+  const std::size_t n = grid.num_tokens();
+  Rng rng(6);
+  const MatF q = random_normal(n, 8, rng);
+  const MatF k = random_normal(n, 8, rng);
+  const ReorderPlan plan = ReorderPlan::for_order(
+      grid, {{Axis::kWidth, Axis::kFrame, Axis::kHeight}});
+  const MatF lhs = attention_map(plan.apply_rows(q), plan.apply_rows(k));
+  const MatF rhs = plan.apply_map(attention_map(q, k));
+  EXPECT_GT(snr_db(rhs.flat(), lhs.flat()), 100.0);
+}
+
+TEST(Plan, PrefixPlanKeepsTextTokensInPlace) {
+  const TokenGrid grid(2, 3, 4);
+  const std::size_t prefix = 5;
+  const ReorderPlan plan = ReorderPlan::for_order_with_prefix(
+      grid, {{Axis::kWidth, Axis::kHeight, Axis::kFrame}}, prefix);
+  ASSERT_EQ(plan.perm.size(), prefix + grid.num_tokens());
+  for (std::size_t i = 0; i < prefix; ++i) {
+    EXPECT_EQ(plan.perm[i], i);
+  }
+  // The grid part is a permutation of [prefix, prefix + tokens).
+  for (std::size_t i = prefix; i < plan.perm.size(); ++i) {
+    EXPECT_GE(plan.perm[i], prefix);
+  }
+  check_permutation(plan.perm, plan.perm.size());
+}
+
+TEST(Plan, PrefixPlanAttentionEquivalence) {
+  // CogVideoX layout: text tokens + video grid.  The prefixed reorder
+  // must still be an exact attention-preserving transform.
+  const TokenGrid grid(2, 3, 3);
+  const std::size_t prefix = 4;
+  const std::size_t n = prefix + grid.num_tokens();
+  Rng rng(9);
+  const MatF q = random_normal(n, 8, rng);
+  const MatF k = random_normal(n, 8, rng);
+  const MatF v = random_normal(n, 8, rng);
+  const MatF ref = attention_reference(q, k, v);
+  const ReorderPlan plan = ReorderPlan::for_order_with_prefix(
+      grid, {{Axis::kHeight, Axis::kFrame, Axis::kWidth}}, prefix);
+  const MatF out = plan.invert_rows(attention_reference(
+      plan.apply_rows(q), plan.apply_rows(k), plan.apply_rows(v)));
+  EXPECT_GT(snr_db(ref.flat(), out.flat()), 100.0);
+}
+
+TEST(Plan, ShapeMismatchThrows) {
+  const ReorderPlan plan = ReorderPlan::identity(4);
+  MatF wrong(5, 5, 0.0F);
+  EXPECT_THROW(plan.apply_map(wrong), Error);
+  EXPECT_THROW(plan.invert_map(wrong), Error);
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,105 @@
+#include "reorder/token_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+
+namespace paro {
+namespace {
+
+TEST(AxisOrder, SixDistinctOrders) {
+  const auto& orders = all_axis_orders();
+  EXPECT_EQ(orders.size(), 6U);
+  for (std::size_t i = 0; i < orders.size(); ++i) {
+    for (std::size_t j = i + 1; j < orders.size(); ++j) {
+      EXPECT_FALSE(orders[i] == orders[j]);
+    }
+  }
+}
+
+TEST(AxisOrder, Names) {
+  EXPECT_EQ(axis_order_name(canonical_axis_order()), "FHW");
+  EXPECT_EQ(axis_order_name({{Axis::kWidth, Axis::kHeight, Axis::kFrame}}),
+            "WHF");
+}
+
+TEST(TokenGrid, IndexCoordRoundTrip) {
+  const TokenGrid g(3, 4, 5);
+  EXPECT_EQ(g.num_tokens(), 60U);
+  for (std::size_t t = 0; t < g.num_tokens(); ++t) {
+    const auto c = g.coord(t);
+    EXPECT_EQ(g.token_index(c.f, c.h, c.w), t);
+  }
+}
+
+TEST(TokenGrid, ExtentAccessors) {
+  const TokenGrid g(2, 3, 4);
+  EXPECT_EQ(g.extent(Axis::kFrame), 2U);
+  EXPECT_EQ(g.extent(Axis::kHeight), 3U);
+  EXPECT_EQ(g.extent(Axis::kWidth), 4U);
+}
+
+TEST(TokenGrid, CanonicalPermutationIsIdentity) {
+  const TokenGrid g(3, 4, 5);
+  const auto perm = g.permutation(canonical_axis_order());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(perm[i], i);
+  }
+}
+
+/// Every axis order must produce a valid permutation of all tokens.
+class AllOrders : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AllOrders, PermutationIsValid) {
+  const TokenGrid g(3, 4, 5);
+  const AxisOrder order = all_axis_orders()[GetParam()];
+  const auto perm = g.permutation(order);
+  EXPECT_NO_THROW(check_permutation(perm, g.num_tokens()));
+}
+
+TEST_P(AllOrders, InnermostAxisIsContiguous) {
+  const TokenGrid g(3, 4, 5);
+  const AxisOrder order = all_axis_orders()[GetParam()];
+  const auto perm = g.permutation(order);
+  const Axis inner = order.axes[2];
+  // Consecutive positions differ only in the innermost axis coordinate
+  // (except at wrap boundaries).
+  const std::size_t inner_extent = g.extent(inner);
+  for (std::size_t i = 0; i + 1 < perm.size(); ++i) {
+    if ((i + 1) % inner_extent == 0) continue;  // wrap point
+    const auto a = g.coord(perm[i]);
+    const auto b = g.coord(perm[i + 1]);
+    EXPECT_EQ(b.get(inner), a.get(inner) + 1);
+    for (const Axis ax : {Axis::kFrame, Axis::kHeight, Axis::kWidth}) {
+      if (ax != inner) {
+        EXPECT_EQ(a.get(ax), b.get(ax));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, AllOrders,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(TokenGrid, HWFGroupsSameSpatialTokenAcrossFrames) {
+  // The paper's canonical example: heads attending to "the same token
+  // across frames" become block-diagonal when frames are innermost.
+  const TokenGrid g(4, 2, 3);
+  const auto perm = g.permutation({{Axis::kHeight, Axis::kWidth, Axis::kFrame}});
+  // First 4 entries: same (h=0,w=0), f = 0..3.
+  for (std::size_t f = 0; f < 4; ++f) {
+    const auto c = g.coord(perm[f]);
+    EXPECT_EQ(c.f, f);
+    EXPECT_EQ(c.h, 0U);
+    EXPECT_EQ(c.w, 0U);
+  }
+}
+
+TEST(TokenGrid, RejectsEmpty) {
+  EXPECT_THROW(TokenGrid(0, 1, 1), Error);
+  EXPECT_THROW(TokenGrid(1, 0, 1), Error);
+  EXPECT_THROW(TokenGrid(1, 1, 0), Error);
+}
+
+}  // namespace
+}  // namespace paro

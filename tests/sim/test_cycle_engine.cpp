@@ -1,0 +1,66 @@
+#include "sim/cycle_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace paro {
+namespace {
+
+/// Counts down for `n` cycles.
+class Countdown : public Component {
+ public:
+  explicit Countdown(std::uint64_t n) : remaining_(n) {}
+  void tick(std::uint64_t) override {
+    if (remaining_ > 0) --remaining_;
+  }
+  bool busy() const override { return remaining_ > 0; }
+  std::uint64_t remaining() const { return remaining_; }
+
+ private:
+  std::uint64_t remaining_;
+};
+
+/// Never finishes — for the quiesce guard.
+class Stuck : public Component {
+ public:
+  void tick(std::uint64_t) override {}
+  bool busy() const override { return true; }
+};
+
+TEST(CycleEngine, EmptyEngineRunsZeroCycles) {
+  CycleEngine engine;
+  EXPECT_EQ(engine.run(), 0U);
+}
+
+TEST(CycleEngine, RunsUntilQuiescent) {
+  Countdown c(17);
+  CycleEngine engine;
+  engine.add(&c);
+  EXPECT_EQ(engine.run(), 17U);
+  EXPECT_EQ(c.remaining(), 0U);
+}
+
+TEST(CycleEngine, LongestComponentSetsDuration) {
+  Countdown a(5), b(12), c(3);
+  CycleEngine engine;
+  engine.add(&a);
+  engine.add(&b);
+  engine.add(&c);
+  EXPECT_EQ(engine.run(), 12U);
+}
+
+TEST(CycleEngine, ThrowsWhenStuck) {
+  Stuck s;
+  CycleEngine engine;
+  engine.add(&s);
+  EXPECT_THROW(engine.run(100), Error);
+}
+
+TEST(CycleEngine, NullComponentRejected) {
+  CycleEngine engine;
+  EXPECT_THROW(engine.add(nullptr), Error);
+}
+
+}  // namespace
+}  // namespace paro

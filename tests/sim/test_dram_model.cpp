@@ -1,0 +1,80 @@
+#include "sim/dram_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace paro {
+namespace {
+
+TEST(Dram, SingleTransferTiming) {
+  DramModel dram(4.0);
+  const auto t = dram.request(100.0);
+  CycleEngine engine;
+  engine.add(&dram);
+  EXPECT_FALSE(dram.complete(t));
+  EXPECT_EQ(engine.run(), 25U);
+  EXPECT_TRUE(dram.complete(t));
+  EXPECT_EQ(dram.busy_cycles(), 25U);
+  EXPECT_DOUBLE_EQ(dram.total_bytes(), 100.0);
+}
+
+TEST(Dram, FifoOrderAndSharedBandwidth) {
+  DramModel dram(10.0);
+  const auto a = dram.request(50.0);
+  const auto b = dram.request(30.0);
+  std::uint64_t a_done = 0, b_done = 0;
+  for (std::uint64_t cycle = 1; dram.busy(); ++cycle) {
+    dram.tick(cycle);
+    if (a_done == 0 && dram.complete(a)) a_done = cycle;
+    if (b_done == 0 && dram.complete(b)) b_done = cycle;
+  }
+  EXPECT_EQ(a_done, 5U);
+  EXPECT_EQ(b_done, 8U);  // 80 bytes total at 10 B/cycle
+}
+
+TEST(Dram, ZeroByteCompletesImmediately) {
+  DramModel dram(1.0);
+  const auto t = dram.request(0.0);
+  EXPECT_TRUE(dram.complete(t));
+  EXPECT_FALSE(dram.busy());
+}
+
+TEST(Dram, PartialCycleSpillover) {
+  // 3 bytes at 2 B/cycle: finishes during the second cycle.
+  DramModel dram(2.0);
+  const auto t = dram.request(3.0);
+  dram.tick(0);
+  EXPECT_FALSE(dram.complete(t));
+  dram.tick(1);
+  EXPECT_TRUE(dram.complete(t));
+}
+
+TEST(Dram, RejectsBadArguments) {
+  EXPECT_THROW(DramModel(0.0), Error);
+  DramModel dram(1.0);
+  EXPECT_THROW(dram.request(-1.0), Error);
+}
+
+TEST(Sram, ReserveReleasePeak) {
+  SramBuffer sram(100.0);
+  EXPECT_TRUE(sram.reserve(60.0));
+  EXPECT_TRUE(sram.reserve(40.0));
+  EXPECT_FALSE(sram.reserve(1.0));  // full
+  EXPECT_DOUBLE_EQ(sram.used(), 100.0);
+  EXPECT_DOUBLE_EQ(sram.peak(), 100.0);
+  sram.release(60.0);
+  EXPECT_DOUBLE_EQ(sram.used(), 40.0);
+  EXPECT_DOUBLE_EQ(sram.peak(), 100.0);  // peak sticks
+  EXPECT_TRUE(sram.reserve(30.0));
+}
+
+TEST(Sram, OverReleaseThrows) {
+  SramBuffer sram(10.0);
+  EXPECT_TRUE(sram.reserve(5.0));
+  EXPECT_THROW(sram.release(6.0), Error);
+  EXPECT_THROW(SramBuffer(0.0), Error);
+}
+
+}  // namespace
+}  // namespace paro

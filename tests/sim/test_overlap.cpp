@@ -1,0 +1,104 @@
+#include "sim/overlap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace paro {
+namespace {
+
+HwResources unit_hw() {
+  HwResources r;
+  r.name = "unit";
+  r.freq_ghz = 1.0;
+  r.pe_macs_per_cycle = 1.0;
+  r.vector_lanes = 1.0;
+  r.dram_gbps = 1.0;  // 1 byte per cycle at 1 GHz
+  return r;
+}
+
+TEST(Overlap, OpLatencyIsMaxOfDemands) {
+  const OverlapModel m(unit_hw());
+  EXPECT_DOUBLE_EQ(m.op_cycles({"x", 10.0, 3.0, 5.0}), 10.0);
+  EXPECT_DOUBLE_EQ(m.op_cycles({"x", 1.0, 30.0, 5.0}), 30.0);
+  EXPECT_DOUBLE_EQ(m.op_cycles({"x", 1.0, 3.0, 50.0}), 50.0);
+}
+
+TEST(Overlap, RunAccumulatesSequentially) {
+  const OverlapModel m(unit_hw());
+  const SimStats s = m.run({{"a", 10, 0, 0}, {"b", 0, 20, 0}, {"a", 5, 0, 0}});
+  EXPECT_DOUBLE_EQ(s.total_cycles, 35.0);
+  EXPECT_DOUBLE_EQ(s.pe_busy_cycles, 15.0);
+  EXPECT_DOUBLE_EQ(s.vector_busy_cycles, 20.0);
+  EXPECT_DOUBLE_EQ(s.phases.at("a").cycles, 15.0);
+  EXPECT_DOUBLE_EQ(s.phases.at("b").cycles, 20.0);
+  EXPECT_NEAR(s.phase_fraction("a"), 15.0 / 35.0, 1e-12);
+}
+
+TEST(Overlap, DramCyclesScaleWithBandwidth) {
+  HwResources hw = unit_hw();
+  hw.dram_gbps = 4.0;  // 4 bytes/cycle
+  const OverlapModel m(hw);
+  const SimStats s = m.run({{"mem", 0, 0, 100.0}});
+  EXPECT_DOUBLE_EQ(s.total_cycles, 25.0);
+  EXPECT_DOUBLE_EQ(s.dram_bytes, 100.0);
+}
+
+TEST(Overlap, UtilizationAndSeconds) {
+  const OverlapModel m(unit_hw());
+  const SimStats s = m.run({{"a", 10, 0, 20.0}});
+  EXPECT_DOUBLE_EQ(s.total_cycles, 20.0);
+  EXPECT_DOUBLE_EQ(s.pe_utilization(), 0.5);
+  EXPECT_DOUBLE_EQ(s.seconds(1.0), 20.0 / 1e9);
+  EXPECT_DOUBLE_EQ(s.seconds(2.0), 10.0 / 1e9);
+}
+
+TEST(SimStats, MergeAddsEverything) {
+  const OverlapModel m(unit_hw());
+  SimStats a = m.run({{"x", 10, 0, 0}});
+  const SimStats b = m.run({{"x", 5, 0, 0}, {"y", 0, 7, 0}});
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.total_cycles, 22.0);
+  EXPECT_DOUBLE_EQ(a.phases.at("x").cycles, 15.0);
+  EXPECT_DOUBLE_EQ(a.phases.at("y").cycles, 7.0);
+}
+
+TEST(SimStats, ScaleMultipliesEverything) {
+  const OverlapModel m(unit_hw());
+  SimStats s = m.run({{"x", 10, 2, 4}});
+  s.scale(50.0);
+  EXPECT_DOUBLE_EQ(s.total_cycles, 500.0);
+  EXPECT_DOUBLE_EQ(s.pe_busy_cycles, 500.0);
+  EXPECT_DOUBLE_EQ(s.dram_bytes, 200.0);
+  EXPECT_DOUBLE_EQ(s.phases.at("x").cycles, 500.0);
+}
+
+TEST(SimStats, UnknownPhaseFractionIsZero) {
+  SimStats s;
+  EXPECT_DOUBLE_EQ(s.phase_fraction("none"), 0.0);
+}
+
+TEST(Resources, ModeSpeedups) {
+  EXPECT_DOUBLE_EQ(HwResources::mode_speedup(8), 1.0);
+  EXPECT_DOUBLE_EQ(HwResources::mode_speedup(4), 2.0);
+  EXPECT_DOUBLE_EQ(HwResources::mode_speedup(2), 4.0);
+  EXPECT_DOUBLE_EQ(HwResources::mode_speedup(0), 0.0);
+  EXPECT_THROW(HwResources::mode_speedup(3), Error);
+}
+
+TEST(Resources, ParoAsicMatchesTableII) {
+  const HwResources r = HwResources::paro_asic();
+  EXPECT_DOUBLE_EQ(r.pe_macs_per_cycle, 32768.0);
+  EXPECT_DOUBLE_EQ(r.dram_gbps, 51.2);
+  EXPECT_DOUBLE_EQ(r.sram_bytes, 1.5 * 1024 * 1024);
+}
+
+TEST(Resources, AlignA100MatchesGpuPeaks) {
+  const HwResources r = HwResources::paro_align_a100();
+  // Aligned to the A100's 312 TFLOPS peak = 156e12 MACs/s.
+  EXPECT_NEAR(r.macs_per_second() * 2.0, 312e12, 1e9);
+  EXPECT_DOUBLE_EQ(r.dram_gbps, 1935.0);
+}
+
+}  // namespace
+}  // namespace paro

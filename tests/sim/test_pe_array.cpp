@@ -1,0 +1,128 @@
+#include "sim/pe_array_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "quant/bittable.hpp"
+
+namespace paro {
+namespace {
+
+std::vector<PeBlockJob> uniform_jobs(std::size_t n, int bits,
+                                     std::uint64_t base) {
+  return std::vector<PeBlockJob>(n, PeBlockJob{bits, base});
+}
+
+TEST(PeArray, SingleJobTakesItsCycles) {
+  EXPECT_EQ(PeArraySim::simulate({4, true}, uniform_jobs(1, 8, 100)), 100U);
+}
+
+TEST(PeArray, ModeSpeedupsExact) {
+  // One job per mode, 1 row: 8-bit 100 cy, 4-bit 50, 2-bit 25, 0-bit 0.
+  EXPECT_EQ(PeArraySim::simulate({1, true}, uniform_jobs(1, 8, 100)), 100U);
+  EXPECT_EQ(PeArraySim::simulate({1, true}, uniform_jobs(1, 4, 100)), 50U);
+  EXPECT_EQ(PeArraySim::simulate({1, true}, uniform_jobs(1, 2, 100)), 25U);
+  EXPECT_EQ(PeArraySim::simulate({1, true}, uniform_jobs(1, 0, 100)), 0U);
+}
+
+TEST(PeArray, PerfectParallelismOnUniformJobs) {
+  // 8 rows × 8 identical jobs → same time as one job.
+  EXPECT_EQ(PeArraySim::simulate({8, true}, uniform_jobs(8, 8, 40)), 40U);
+  // 16 jobs on 8 rows → two rounds.
+  EXPECT_EQ(PeArraySim::simulate({8, true}, uniform_jobs(16, 8, 40)), 80U);
+}
+
+TEST(PeArray, ZeroBitJobsAreBypassed) {
+  auto jobs = uniform_jobs(64, 0, 1000);
+  jobs.push_back({8, 7});
+  PeArraySim sim({4, true}, jobs);
+  CycleEngine engine;
+  engine.add(&sim);
+  EXPECT_EQ(engine.run(), 7U);
+  EXPECT_EQ(sim.jobs_skipped(), 64U);
+}
+
+TEST(PeArray, BusyRowCyclesAccountsWork) {
+  auto jobs = uniform_jobs(4, 8, 10);
+  PeArraySim sim({2, true}, jobs);
+  CycleEngine engine;
+  engine.add(&sim);
+  engine.run();
+  EXPECT_EQ(sim.busy_row_cycles(), 40U);
+}
+
+TEST(PeArray, DispatcherNeverSlowerThanWaves) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<PeBlockJob> jobs;
+    const std::size_t n = 50 + rng.uniform_index(100);
+    for (std::size_t i = 0; i < n; ++i) {
+      jobs.push_back({kBitChoices[rng.uniform_index(4)],
+                      1 + rng.uniform_index(64)});
+    }
+    const auto with = PeArraySim::simulate({8, true}, jobs);
+    const auto without = PeArraySim::simulate({8, false}, jobs);
+    EXPECT_LE(with, without);
+  }
+}
+
+TEST(PeArray, MixedBitsLoadBalancing) {
+  // Alternating 8-bit (16 cy) and 2-bit (4 cy) jobs: lock-step waves pay
+  // the max per wave, the dispatcher packs tightly.
+  std::vector<PeBlockJob> jobs;
+  for (int i = 0; i < 32; ++i) {
+    jobs.push_back({i % 2 == 0 ? 8 : 2, 16});
+  }
+  const auto with = PeArraySim::simulate({4, true}, jobs);
+  const auto without = PeArraySim::simulate({4, false}, jobs);
+  // Waves: 8 waves × 16 = 128.  Dispatcher: total work 16·16+16·4 = 320
+  // row-cycles on 4 rows = 80 ideal.
+  EXPECT_EQ(without, 128U);
+  EXPECT_LE(with, 96U);
+  EXPECT_GE(with, 80U);
+}
+
+TEST(PeArray, RejectsBadConfig) {
+  EXPECT_THROW(PeArraySim({0, true}, {}), Error);
+  EXPECT_THROW(PeArraySim({4, true}, {{8, 0}}), Error);
+}
+
+/// Analytic model must match the cycle-driven simulation exactly.
+struct SweepParam {
+  std::size_t rows;
+  bool dispatcher;
+  std::uint64_t seed;
+};
+
+class AnalyticMatchesSim : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(AnalyticMatchesSim, Exact) {
+  const auto [rows, dispatcher, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<PeBlockJob> jobs;
+  const std::size_t n = 20 + rng.uniform_index(200);
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs.push_back({kBitChoices[rng.uniform_index(4)],
+                    1 + rng.uniform_index(100)});
+  }
+  const PeArrayConfig cfg{rows, dispatcher};
+  EXPECT_EQ(pe_array_cycles_analytic(cfg, jobs),
+            PeArraySim::simulate(cfg, jobs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AnalyticMatchesSim,
+    ::testing::Values(SweepParam{1, true, 1}, SweepParam{4, true, 2},
+                      SweepParam{32, true, 3}, SweepParam{32, true, 4},
+                      SweepParam{1, false, 5}, SweepParam{4, false, 6},
+                      SweepParam{32, false, 7}, SweepParam{8, true, 8},
+                      SweepParam{8, false, 9}, SweepParam{16, true, 10}));
+
+TEST(PeArrayAnalytic, EmptyJobsZeroCycles) {
+  EXPECT_EQ(pe_array_cycles_analytic({8, true}, {}), 0U);
+  EXPECT_EQ(pe_array_cycles_analytic({8, false}, {}), 0U);
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,89 @@
+#include "sim/tiling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace paro {
+namespace {
+
+TilingProblem small_problem() {
+  TilingProblem p;
+  p.m = 1024;
+  p.k = 256;
+  p.n = 512;
+  p.sram_bytes = 256 * 1024;
+  return p;
+}
+
+TEST(Tiling, PlanIsFeasibleAndAligned) {
+  const TilingProblem p = small_problem();
+  const TilingPlan plan = plan_gemm_tiling(p);
+  EXPECT_GT(plan.tile_m, 0U);
+  EXPECT_EQ(plan.tile_m % p.granularity, 0U);
+  EXPECT_EQ(plan.tile_n % p.granularity, 0U);
+  EXPECT_LE(plan.sram_bytes_used, p.sram_bytes);
+  EXPECT_DOUBLE_EQ(plan.traffic_bytes,
+                   plan.a_bytes + plan.b_bytes + plan.c_bytes);
+}
+
+TEST(Tiling, NeverBeatsStreamingLowerBound) {
+  const TilingProblem p = small_problem();
+  const TilingPlan plan = plan_gemm_tiling(p);
+  EXPECT_GE(plan.traffic_bytes, streaming_lower_bound_bytes(p) - 1e-6);
+}
+
+TEST(Tiling, BigBufferReachesLowerBound) {
+  TilingProblem p = small_problem();
+  p.sram_bytes = 1e9;  // everything fits
+  const TilingPlan plan = plan_gemm_tiling(p);
+  EXPECT_NEAR(plan.traffic_bytes, streaming_lower_bound_bytes(p), 1e-6);
+}
+
+TEST(Tiling, MoreSramNeverMoreTraffic) {
+  TilingProblem p = small_problem();
+  double prev = 1e300;
+  for (const double sram : {32.0 * 1024, 128.0 * 1024, 512.0 * 1024,
+                            4096.0 * 1024}) {
+    p.sram_bytes = sram;
+    const double t = plan_gemm_tiling(p).traffic_bytes;
+    EXPECT_LE(t, prev + 1e-6) << sram;
+    prev = t;
+  }
+}
+
+TEST(Tiling, ThrowsWhenNothingFits) {
+  TilingProblem p = small_problem();
+  p.sram_bytes = 64.0;  // cannot even hold one K panel
+  EXPECT_THROW(plan_gemm_tiling(p), Error);
+  p = small_problem();
+  p.m = 0;
+  EXPECT_THROW(plan_gemm_tiling(p), Error);
+}
+
+TEST(Tiling, TallGemmPrefersColumnReuse) {
+  // m >> n: reloading B per row strip is expensive; the planner should
+  // pick the loop order that loads the big A side once.
+  TilingProblem p;
+  p.m = 16384;
+  p.k = 128;
+  p.n = 128;
+  p.sram_bytes = 128 * 1024;
+  const TilingPlan plan = plan_gemm_tiling(p);
+  // A crosses DRAM once (2.1 MB); B may re-cross.
+  EXPECT_DOUBLE_EQ(plan.a_bytes,
+                   static_cast<double>(p.m) * p.k * p.a_elem_bytes);
+}
+
+TEST(Tiling, TrafficAccountsForElementWidths) {
+  TilingProblem int8 = small_problem();
+  TilingProblem fp16 = small_problem();
+  fp16.a_elem_bytes = 2.0;
+  fp16.b_elem_bytes = 2.0;
+  const double t8 = plan_gemm_tiling(int8).traffic_bytes;
+  const double t16 = plan_gemm_tiling(fp16).traffic_bytes;
+  EXPECT_GT(t16, 1.5 * t8);
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,70 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/overlap.hpp"
+
+namespace paro {
+namespace {
+
+HwResources unit_hw() {
+  HwResources r;
+  r.freq_ghz = 1.0;
+  r.pe_macs_per_cycle = 1.0;
+  r.vector_lanes = 1.0;
+  r.dram_gbps = 1.0;
+  return r;
+}
+
+TEST(Trace, RecordsIntervalsBackToBack) {
+  const OverlapModel model(unit_hw());
+  Trace trace;
+  model.run({{"a", 10, 0, 0}, {"b", 0, 5, 0}, {"a", 0, 0, 20}}, &trace);
+  ASSERT_EQ(trace.size(), 3U);
+  EXPECT_EQ(trace.events()[0].phase, "a");
+  EXPECT_DOUBLE_EQ(trace.events()[0].start_cycle, 0.0);
+  EXPECT_DOUBLE_EQ(trace.events()[0].end_cycle, 10.0);
+  EXPECT_DOUBLE_EQ(trace.events()[1].start_cycle, 10.0);
+  EXPECT_DOUBLE_EQ(trace.events()[1].end_cycle, 15.0);
+  EXPECT_DOUBLE_EQ(trace.events()[2].end_cycle, 35.0);
+  EXPECT_DOUBLE_EQ(trace.events()[2].dram_bytes, 20.0);
+}
+
+TEST(Trace, LongestEvent) {
+  const OverlapModel model(unit_hw());
+  Trace trace;
+  model.run({{"x", 3, 0, 0}, {"y", 9, 0, 0}, {"z", 1, 0, 0}}, &trace);
+  const TraceEvent* longest = trace.longest();
+  ASSERT_NE(longest, nullptr);
+  EXPECT_EQ(longest->phase, "y");
+  EXPECT_DOUBLE_EQ(longest->duration(), 9.0);
+}
+
+TEST(Trace, EmptyTrace) {
+  Trace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.longest(), nullptr);
+}
+
+TEST(Trace, CsvFormat) {
+  const OverlapModel model(unit_hw());
+  Trace trace;
+  model.run({{"linear", 4, 2, 8}}, &trace);
+  std::ostringstream os;
+  trace.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("index,phase,start,end,compute,vector,dram_bytes"),
+            std::string::npos);
+  EXPECT_NE(csv.find("0,linear,0,8,4,2,8"), std::string::npos);
+}
+
+TEST(Trace, NullTraceIsNoop) {
+  const OverlapModel model(unit_hw());
+  const SimStats stats = model.run({{"a", 10, 0, 0}}, nullptr);
+  EXPECT_DOUBLE_EQ(stats.total_cycles, 10.0);
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,73 @@
+#include "tensor/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paro {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  MatF m;
+  EXPECT_EQ(m.rows(), 0U);
+  EXPECT_EQ(m.cols(), 0U);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, FillConstructor) {
+  MatF m(2, 3, 1.5F);
+  EXPECT_EQ(m.size(), 6U);
+  for (const float v : m.flat()) {
+    EXPECT_EQ(v, 1.5F);
+  }
+}
+
+TEST(Matrix, DataConstructorChecksSize) {
+  EXPECT_NO_THROW(MatF(2, 2, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(MatF(2, 2, std::vector<float>{1, 2, 3}), Error);
+}
+
+TEST(Matrix, AtIsBoundsChecked) {
+  MatF m(2, 2);
+  EXPECT_NO_THROW(m.at(1, 1));
+  EXPECT_THROW(m.at(2, 0), Error);
+  EXPECT_THROW(m.at(0, 2), Error);
+}
+
+TEST(Matrix, RowSpanWritesThrough) {
+  MatF m(2, 3);
+  auto row = m.row(1);
+  row[2] = 7.0F;
+  EXPECT_EQ(m.at(1, 2), 7.0F);
+  EXPECT_THROW(m.row(2), Error);
+}
+
+TEST(Matrix, RowMajorLayout) {
+  MatF m(2, 3);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      m(r, c) = static_cast<float>(r * 3 + c);
+    }
+  }
+  const auto flat = m.flat();
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_EQ(flat[i], static_cast<float>(i));
+  }
+}
+
+TEST(Matrix, EqualityAndShape) {
+  MatF a(2, 2, 1.0F), b(2, 2, 1.0F), c(2, 2, 2.0F), d(2, 3, 1.0F);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+  EXPECT_TRUE(a.same_shape(c));
+  EXPECT_FALSE(a.same_shape(d));
+}
+
+TEST(Matrix, IntTypes) {
+  MatI8 m(2, 2, -5);
+  EXPECT_EQ(m.at(0, 0), -5);
+  MatI32 n(1, 1, 1 << 30);
+  EXPECT_EQ(n.at(0, 0), 1 << 30);
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,172 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "tensor/random.hpp"
+
+namespace paro {
+namespace {
+
+TEST(Matmul, SmallKnownResult) {
+  MatF a(2, 2, std::vector<float>{1, 2, 3, 4});
+  MatF b(2, 2, std::vector<float>{5, 6, 7, 8});
+  const MatF c = matmul(a, b);
+  EXPECT_EQ(c.at(0, 0), 19);
+  EXPECT_EQ(c.at(0, 1), 22);
+  EXPECT_EQ(c.at(1, 0), 43);
+  EXPECT_EQ(c.at(1, 1), 50);
+}
+
+TEST(Matmul, ShapeMismatchThrows) {
+  MatF a(2, 3), b(2, 2);
+  EXPECT_THROW(matmul(a, b), Error);
+}
+
+TEST(Matmul, NtMatchesExplicitTranspose) {
+  Rng rng(1);
+  const MatF a = random_normal(5, 7, rng);
+  const MatF b = random_normal(6, 7, rng);
+  const MatF c1 = matmul_nt(a, b);
+  const MatF c2 = matmul(a, transpose(b));
+  ASSERT_TRUE(c1.same_shape(c2));
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_NEAR(c1.flat()[i], c2.flat()[i], 1e-4);
+  }
+}
+
+TEST(Matmul, Int8MatchesFloatPath) {
+  Rng rng(2);
+  MatI8 a(3, 4), b(2, 4);
+  for (auto& v : a.flat()) v = static_cast<std::int8_t>(rng.uniform_index(255)) - 127;
+  for (auto& v : b.flat()) v = static_cast<std::int8_t>(rng.uniform_index(255)) - 127;
+  const MatI32 c = matmul_nt_i8(a, b);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      std::int32_t acc = 0;
+      for (std::size_t k = 0; k < 4; ++k) {
+        acc += static_cast<std::int32_t>(a(i, k)) * b(j, k);
+      }
+      EXPECT_EQ(c(i, j), acc);
+    }
+  }
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(3);
+  const MatF logits = random_normal(8, 16, rng, 0.0F, 5.0F);
+  const MatF s = softmax_rows(logits, 0.3F);
+  for (std::size_t r = 0; r < s.rows(); ++r) {
+    double sum = 0.0;
+    for (const float v : s.row(r)) {
+      EXPECT_GE(v, 0.0F);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, LargeLogitsAreStable) {
+  MatF logits(1, 3, std::vector<float>{1000.0F, 999.0F, -1000.0F});
+  const MatF s = softmax_rows(logits);
+  EXPECT_FALSE(std::isnan(s.at(0, 0)));
+  EXPECT_GT(s.at(0, 0), s.at(0, 1));
+  EXPECT_NEAR(s.at(0, 2), 0.0F, 1e-6);
+}
+
+TEST(Softmax, ScaleSharpens) {
+  MatF logits(1, 2, std::vector<float>{1.0F, 0.0F});
+  const MatF soft = softmax_rows(logits, 1.0F);
+  const MatF sharp = softmax_rows(logits, 10.0F);
+  EXPECT_GT(sharp.at(0, 0), soft.at(0, 0));
+}
+
+TEST(Transpose, Involution) {
+  Rng rng(4);
+  const MatF a = random_normal(3, 5, rng);
+  EXPECT_EQ(transpose(transpose(a)), a);
+}
+
+TEST(Permute, RowsThenUnpermuteIsIdentity) {
+  Rng rng(5);
+  const MatF a = random_normal(6, 3, rng);
+  std::vector<std::uint32_t> perm = {3, 1, 5, 0, 2, 4};
+  EXPECT_EQ(unpermute_rows(permute_rows(a, perm), perm), a);
+}
+
+TEST(Permute, GatherSemantics) {
+  MatF a(3, 1, std::vector<float>{10, 20, 30});
+  std::vector<std::uint32_t> perm = {2, 0, 1};
+  const MatF p = permute_rows(a, perm);
+  EXPECT_EQ(p.at(0, 0), 30);
+  EXPECT_EQ(p.at(1, 0), 10);
+  EXPECT_EQ(p.at(2, 0), 20);
+}
+
+TEST(Permute, ColsMatchesRowGatherOnTranspose) {
+  Rng rng(6);
+  const MatF a = random_normal(4, 4, rng);
+  std::vector<std::uint32_t> perm = {1, 3, 0, 2};
+  const MatF c1 = permute_cols(a, perm);
+  const MatF c2 = transpose(permute_rows(transpose(a), perm));
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(Permute, InvalidPermutationsThrow) {
+  MatF a(3, 3);
+  EXPECT_THROW(permute_rows(a, {0, 1}), Error);          // wrong length
+  EXPECT_THROW(permute_rows(a, {0, 1, 3}), Error);       // out of range
+  EXPECT_THROW(permute_rows(a, {0, 1, 1}), Error);       // duplicate
+}
+
+TEST(Elementwise, AddAndScale) {
+  MatF a(1, 2, std::vector<float>{1, 2});
+  MatF b(1, 2, std::vector<float>{10, 20});
+  const MatF s = add(a, b);
+  EXPECT_EQ(s.at(0, 0), 11);
+  EXPECT_EQ(s.at(0, 1), 22);
+  const MatF sc = scale(a, 3.0F);
+  EXPECT_EQ(sc.at(0, 1), 6);
+}
+
+TEST(Elementwise, AddBias) {
+  MatF a(2, 2, 1.0F);
+  const std::vector<float> bias = {1.0F, 2.0F};
+  add_bias_inplace(a, bias);
+  EXPECT_EQ(a.at(0, 0), 2.0F);
+  EXPECT_EQ(a.at(1, 1), 3.0F);
+}
+
+TEST(Gelu, KnownValues) {
+  MatF a(1, 3, std::vector<float>{0.0F, 10.0F, -10.0F});
+  gelu_inplace(a);
+  EXPECT_NEAR(a.at(0, 0), 0.0F, 1e-6);
+  EXPECT_NEAR(a.at(0, 1), 10.0F, 1e-3);   // identity for large positive
+  EXPECT_NEAR(a.at(0, 2), 0.0F, 1e-3);    // kills large negative
+}
+
+TEST(LayerNorm, RowsAreNormalized) {
+  Rng rng(7);
+  MatF a = random_normal(4, 64, rng, 3.0F, 2.0F);
+  layernorm_rows_inplace(a);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double mean = 0.0, var = 0.0;
+    for (const float v : a.row(r)) mean += v;
+    mean /= 64.0;
+    for (const float v : a.row(r)) var += (v - mean) * (v - mean);
+    var /= 64.0;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(MaxAbs, FindsExtremum) {
+  MatF a(1, 3, std::vector<float>{1.0F, -5.0F, 3.0F});
+  EXPECT_EQ(max_abs(a), 5.0F);
+}
+
+}  // namespace
+}  // namespace paro

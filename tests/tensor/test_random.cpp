@@ -1,0 +1,42 @@
+#include "tensor/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace paro {
+namespace {
+
+TEST(RandomTensor, NormalMoments) {
+  Rng rng(1);
+  const MatF m = random_normal(100, 100, rng, 2.0F, 3.0F);
+  const RunningStats s = summarize(m.flat());
+  EXPECT_NEAR(s.mean(), 2.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(RandomTensor, UniformBounds) {
+  Rng rng(2);
+  const MatF m = random_uniform(50, 50, rng, -1.0F, 1.0F);
+  const RunningStats s = summarize(m.flat());
+  EXPECT_GE(s.min(), -1.0);
+  EXPECT_LT(s.max(), 1.0);
+  EXPECT_NEAR(s.mean(), 0.0, 0.03);
+}
+
+TEST(RandomTensor, XavierScale) {
+  Rng rng(3);
+  const MatF m = random_xavier(256, 256, rng);
+  const RunningStats s = summarize(m.flat());
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.0 / 512.0), 0.003);
+}
+
+TEST(RandomTensor, DeterministicGivenSeed) {
+  Rng a(9), b(9);
+  EXPECT_EQ(random_normal(4, 4, a), random_normal(4, 4, b));
+}
+
+}  // namespace
+}  // namespace paro

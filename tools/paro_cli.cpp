@@ -1,0 +1,217 @@
+// paro_cli — command-line front end for the PARO library.
+//
+//   paro_cli calibrate [out=calib.txt] [global=0] [budget=4.8] [block=8]
+//       Calibrate the synthetic video DiT offline (reorder plans +
+//       bitwidth tables) and persist the result.
+//
+//   paro_cli inspect in=calib.txt
+//       Summarise a saved calibration: plan histogram, bitwidth stats.
+//
+//   paro_cli quality [in=calib.txt] [steps=10] [integer=0]
+//       Generate a video with the (loaded or freshly computed)
+//       calibration and score it against the FP16 run.
+//
+//   paro_cli simulate [model=5b] [config=full|fp16|w8a8|quant]
+//       Run the accelerator performance model on CogVideoX.
+//
+// Every subcommand accepts key=value arguments (common/config.hpp).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "attention/calibration_io.hpp"
+#include "common/config.hpp"
+#include "energy/area_power.hpp"
+#include "metrics/video_metrics.hpp"
+#include "model/ddim.hpp"
+#include "paro/accelerator.hpp"
+
+namespace paro {
+namespace {
+
+SyntheticDiT::Config dit_config(const KeyValueConfig& cfg) {
+  SyntheticDiT::Config dc;
+  dc.frames = static_cast<std::size_t>(cfg.get_int("frames", 5));
+  dc.height = static_cast<std::size_t>(cfg.get_int("height", 8));
+  dc.width = static_cast<std::size_t>(cfg.get_int("width", 8));
+  dc.layers = static_cast<std::size_t>(cfg.get_int("layers", 2));
+  dc.hidden = static_cast<std::size_t>(cfg.get_int("hidden", 48));
+  dc.heads = static_cast<std::size_t>(cfg.get_int("heads", 3));
+  dc.channels = 4;
+  dc.seed = static_cast<std::uint64_t>(cfg.get_int("model_seed", 77));
+  dc.pattern_gain = 6.0;
+  dc.pattern_width = 0.01;
+  return dc;
+}
+
+QuantAttentionConfig quant_config(const KeyValueConfig& cfg) {
+  QuantAttentionConfig q = config_paro_mp(
+      cfg.get_double("budget", 4.8),
+      static_cast<std::size_t>(cfg.get_int("block", 8)),
+      cfg.get_double("alpha", 0.5));
+  q.output_bitwidth_aware = cfg.get_bool("oba", true);
+  return q;
+}
+
+int cmd_calibrate(const KeyValueConfig& cfg) {
+  const SyntheticDiT dit(dit_config(cfg));
+  const QuantAttentionConfig quant = quant_config(cfg);
+  const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 21));
+  const MatF latent = ddim_sample(dit, {}, nullptr, 1, seed);
+  const bool global = cfg.get_bool("global", false);
+  const SyntheticDiT::Calibration calib =
+      global ? dit.calibrate_global(quant, latent, 1.0)
+             : dit.calibrate(quant, latent, 1.0);
+
+  const std::string out = cfg.get_string("out", "calib.txt");
+  save_calibration_file(out, calib.heads);
+
+  double avg = 0.0;
+  std::size_t heads = 0;
+  for (const auto& layer : calib.heads) {
+    for (const auto& head : layer) {
+      avg += head.bit_table.has_value() ? head.bit_table->average_bitwidth()
+                                        : 16.0;
+      ++heads;
+    }
+  }
+  std::printf("calibrated %zu heads (%s budget), avg map bits %.3f\n",
+              heads, global ? "model-wide" : "per-head",
+              avg / static_cast<double>(heads));
+  std::printf("saved to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_inspect(const KeyValueConfig& cfg) {
+  const std::string in = cfg.get_string("in", "calib.txt");
+  const auto table = load_calibration_file(in);
+  std::printf("calibration: %zu layers x %zu heads\n", table.size(),
+              table[0].size());
+  std::vector<std::size_t> order_hist(all_axis_orders().size(), 0);
+  double avg = 0.0;
+  std::size_t with_tables = 0, heads = 0;
+  std::size_t tiles[kNumBitChoices] = {0, 0, 0, 0};
+  for (const auto& layer : table) {
+    for (const HeadCalibration& head : layer) {
+      ++heads;
+      for (std::size_t i = 0; i < all_axis_orders().size(); ++i) {
+        if (head.plan.order == all_axis_orders()[i]) ++order_hist[i];
+      }
+      if (head.bit_table.has_value()) {
+        ++with_tables;
+        avg += head.bit_table->average_bitwidth();
+        for (int b = 0; b < kNumBitChoices; ++b) {
+          tiles[b] += head.bit_table->tiles_at(kBitChoices[b]);
+        }
+      }
+    }
+  }
+  std::printf("reorder plans: ");
+  for (std::size_t i = 0; i < order_hist.size(); ++i) {
+    std::printf("%s=%zu ", axis_order_name(all_axis_orders()[i]).c_str(),
+                order_hist[i]);
+  }
+  std::printf("\n");
+  if (with_tables > 0) {
+    std::printf("bitwidth tables: %zu heads, avg %.3f bits, tiles "
+                "0/2/4/8 = %zu/%zu/%zu/%zu\n",
+                with_tables, avg / static_cast<double>(with_tables),
+                tiles[0], tiles[1], tiles[2], tiles[3]);
+  }
+  return 0;
+}
+
+int cmd_quality(const KeyValueConfig& cfg) {
+  const SyntheticDiT dit(dit_config(cfg));
+  const QuantAttentionConfig quant = quant_config(cfg);
+  const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 21));
+  const int steps = static_cast<int>(cfg.get_int("steps", 10));
+
+  SyntheticDiT::Calibration calib;
+  if (cfg.contains("in")) {
+    calib.heads = load_calibration_file(cfg.get_string("in", "calib.txt"));
+    std::printf("loaded calibration from %s\n",
+                cfg.get_string("in", "calib.txt").c_str());
+  } else {
+    const MatF latent = ddim_sample(dit, {}, nullptr, 1, seed);
+    calib = dit.calibrate(quant, latent, 1.0);
+  }
+
+  const GridDims grid{dit.config().frames, dit.config().height,
+                      dit.config().width};
+  const MatF reference = ddim_sample(dit, {}, nullptr, steps, seed);
+  SyntheticDiT::ExecConfig exec;
+  exec.impl = cfg.get_bool("integer", false)
+                  ? SyntheticDiT::AttnImpl::kQuantizedInteger
+                  : SyntheticDiT::AttnImpl::kQuantized;
+  exec.w8a8_linear = true;
+  exec.quant = quant;
+  const MatF video = ddim_sample(dit, exec, &calib, steps, seed);
+  const VideoQuality q = evaluate_video(video, reference, grid);
+  std::printf("FVD-proxy %.5f | CLIPSIM %.5f | CLIP-Temp %.5f | VQA %.2f "
+              "| Flicker %.1f | PSNR %.1f dB\n",
+              q.fvd, q.clipsim, q.clip_temp, q.vqa, q.flicker,
+              video_psnr_db(video, reference, grid));
+  return 0;
+}
+
+int cmd_simulate(const KeyValueConfig& cfg) {
+  ModelConfig model = cfg.get_string("model", "5b") == "2b"
+                          ? ModelConfig::cogvideox_2b()
+                          : ModelConfig::cogvideox_5b();
+  model.sampling_steps =
+      static_cast<std::size_t>(cfg.get_int("steps", 50));
+  const std::string name = cfg.get_string("config", "full");
+  ParoConfig pc = name == "fp16"    ? ParoConfig::fp16_baseline()
+                  : name == "w8a8"  ? ParoConfig::w8a8_only()
+                  : name == "quant" ? ParoConfig::quant_attn()
+                                    : ParoConfig::full();
+  const HwResources hw = cfg.get_bool("align_a100", false)
+                             ? HwResources::paro_align_a100()
+                             : HwResources::paro_asic();
+  const ParoAccelerator accel(hw, pc);
+  const SimStats stats = accel.simulate_video(model);
+  std::printf("%s on %s (%s): %.1f s per video, PE util %.0f%%, "
+              "%.1f GB DRAM traffic\n",
+              model.name.c_str(), hw.name.c_str(), name.c_str(),
+              stats.seconds(hw.freq_ghz), 100.0 * stats.pe_utilization(),
+              stats.dram_bytes / 1e9);
+  for (const auto& [phase, ps] : stats.phases) {
+    std::printf("  %-10s %6.1f s (%4.1f%%)\n", phase.c_str(),
+                ps.cycles / (hw.freq_ghz * 1e9),
+                100.0 * ps.cycles / stats.total_cycles);
+  }
+  return 0;
+}
+
+int usage() {
+  std::printf(
+      "usage: paro_cli <command> [key=value ...]\n"
+      "commands:\n"
+      "  calibrate  out=calib.txt global=0 budget=4.8 block=8 oba=1\n"
+      "  inspect    in=calib.txt\n"
+      "  quality    [in=calib.txt] steps=10 integer=0 budget=4.8\n"
+      "  simulate   model=5b|2b config=full|fp16|w8a8|quant align_a100=0\n");
+  return 2;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const KeyValueConfig cfg = KeyValueConfig::from_args(argc - 1, argv + 1);
+  try {
+    if (command == "calibrate") return cmd_calibrate(cfg);
+    if (command == "inspect") return cmd_inspect(cfg);
+    if (command == "quality") return cmd_quality(cfg);
+    if (command == "simulate") return cmd_simulate(cfg);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
+
+}  // namespace
+}  // namespace paro
+
+int main(int argc, char** argv) { return paro::run(argc, argv); }
