@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_calibration_cost"
+  "../bench/bench_calibration_cost.pdb"
+  "CMakeFiles/bench_calibration_cost.dir/bench_calibration_cost.cpp.o"
+  "CMakeFiles/bench_calibration_cost.dir/bench_calibration_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_calibration_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6b_ablation"
+  "../bench/bench_fig6b_ablation.pdb"
+  "CMakeFiles/bench_fig6b_ablation.dir/bench_fig6b_ablation.cpp.o"
+  "CMakeFiles/bench_fig6b_ablation.dir/bench_fig6b_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

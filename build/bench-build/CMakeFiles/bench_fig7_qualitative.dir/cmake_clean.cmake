@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_qualitative"
+  "../bench/bench_fig7_qualitative.pdb"
+  "CMakeFiles/bench_fig7_qualitative.dir/bench_fig7_qualitative.cpp.o"
+  "CMakeFiles/bench_fig7_qualitative.dir/bench_fig7_qualitative.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_qualitative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mixedprec"
+  "../bench/bench_mixedprec.pdb"
+  "CMakeFiles/bench_mixedprec.dir/bench_mixedprec.cpp.o"
+  "CMakeFiles/bench_mixedprec.dir/bench_mixedprec.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixedprec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pe_array"
+  "../bench/bench_pe_array.pdb"
+  "CMakeFiles/bench_pe_array.dir/bench_pe_array.cpp.o"
+  "CMakeFiles/bench_pe_array.dir/bench_pe_array.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pe_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

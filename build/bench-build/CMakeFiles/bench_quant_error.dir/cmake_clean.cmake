@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_quant_error"
+  "../bench/bench_quant_error.pdb"
+  "CMakeFiles/bench_quant_error.dir/bench_quant_error.cpp.o"
+  "CMakeFiles/bench_quant_error.dir/bench_quant_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quant_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_reorder_overhead"
+  "../bench/bench_reorder_overhead.pdb"
+  "CMakeFiles/bench_reorder_overhead.dir/bench_reorder_overhead.cpp.o"
+  "CMakeFiles/bench_reorder_overhead.dir/bench_reorder_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reorder_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_quality"
+  "../bench/bench_table1_quality.pdb"
+  "CMakeFiles/bench_table1_quality.dir/bench_table1_quality.cpp.o"
+  "CMakeFiles/bench_table1_quality.dir/bench_table1_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

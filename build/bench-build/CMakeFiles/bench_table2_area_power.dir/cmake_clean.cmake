@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_area_power"
+  "../bench/bench_table2_area_power.pdb"
+  "CMakeFiles/bench_table2_area_power.dir/bench_table2_area_power.cpp.o"
+  "CMakeFiles/bench_table2_area_power.dir/bench_table2_area_power.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_area_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

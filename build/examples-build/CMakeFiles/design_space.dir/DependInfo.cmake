@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/design_space.cpp" "examples-build/CMakeFiles/design_space.dir/design_space.cpp.o" "gcc" "examples-build/CMakeFiles/design_space.dir/design_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/paro/CMakeFiles/paro_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/paro_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/paro_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/paro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/paro_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/paro_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/attention/CMakeFiles/paro_attention.dir/DependInfo.cmake"
+  "/root/repo/build/src/mixedprec/CMakeFiles/paro_mixedprec.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorder/CMakeFiles/paro_reorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/paro_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/paro_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/paro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/design_space"
+  "../examples/design_space.pdb"
+  "CMakeFiles/design_space.dir/design_space.cpp.o"
+  "CMakeFiles/design_space.dir/design_space.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/video_generation"
+  "../examples/video_generation.pdb"
+  "CMakeFiles/video_generation.dir/video_generation.cpp.o"
+  "CMakeFiles/video_generation.dir/video_generation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tensor")
+subdirs("quant")
+subdirs("reorder")
+subdirs("mixedprec")
+subdirs("attention")
+subdirs("model")
+subdirs("metrics")
+subdirs("sim")
+subdirs("energy")
+subdirs("paro")
+subdirs("baselines")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attention/calibration_io.cpp" "src/attention/CMakeFiles/paro_attention.dir/calibration_io.cpp.o" "gcc" "src/attention/CMakeFiles/paro_attention.dir/calibration_io.cpp.o.d"
+  "/root/repo/src/attention/integer_path.cpp" "src/attention/CMakeFiles/paro_attention.dir/integer_path.cpp.o" "gcc" "src/attention/CMakeFiles/paro_attention.dir/integer_path.cpp.o.d"
+  "/root/repo/src/attention/pipeline.cpp" "src/attention/CMakeFiles/paro_attention.dir/pipeline.cpp.o" "gcc" "src/attention/CMakeFiles/paro_attention.dir/pipeline.cpp.o.d"
+  "/root/repo/src/attention/reference.cpp" "src/attention/CMakeFiles/paro_attention.dir/reference.cpp.o" "gcc" "src/attention/CMakeFiles/paro_attention.dir/reference.cpp.o.d"
+  "/root/repo/src/attention/streaming.cpp" "src/attention/CMakeFiles/paro_attention.dir/streaming.cpp.o" "gcc" "src/attention/CMakeFiles/paro_attention.dir/streaming.cpp.o.d"
+  "/root/repo/src/attention/synthetic.cpp" "src/attention/CMakeFiles/paro_attention.dir/synthetic.cpp.o" "gcc" "src/attention/CMakeFiles/paro_attention.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reorder/CMakeFiles/paro_reorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/mixedprec/CMakeFiles/paro_mixedprec.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/paro_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/paro_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/paro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

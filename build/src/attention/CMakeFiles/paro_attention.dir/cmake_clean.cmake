@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paro_attention.dir/calibration_io.cpp.o"
+  "CMakeFiles/paro_attention.dir/calibration_io.cpp.o.d"
+  "CMakeFiles/paro_attention.dir/integer_path.cpp.o"
+  "CMakeFiles/paro_attention.dir/integer_path.cpp.o.d"
+  "CMakeFiles/paro_attention.dir/pipeline.cpp.o"
+  "CMakeFiles/paro_attention.dir/pipeline.cpp.o.d"
+  "CMakeFiles/paro_attention.dir/reference.cpp.o"
+  "CMakeFiles/paro_attention.dir/reference.cpp.o.d"
+  "CMakeFiles/paro_attention.dir/streaming.cpp.o"
+  "CMakeFiles/paro_attention.dir/streaming.cpp.o.d"
+  "CMakeFiles/paro_attention.dir/synthetic.cpp.o"
+  "CMakeFiles/paro_attention.dir/synthetic.cpp.o.d"
+  "libparo_attention.a"
+  "libparo_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paro_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

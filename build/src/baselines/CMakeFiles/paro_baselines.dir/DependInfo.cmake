@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/gpu_roofline.cpp" "src/baselines/CMakeFiles/paro_baselines.dir/gpu_roofline.cpp.o" "gcc" "src/baselines/CMakeFiles/paro_baselines.dir/gpu_roofline.cpp.o.d"
+  "/root/repo/src/baselines/sanger.cpp" "src/baselines/CMakeFiles/paro_baselines.dir/sanger.cpp.o" "gcc" "src/baselines/CMakeFiles/paro_baselines.dir/sanger.cpp.o.d"
+  "/root/repo/src/baselines/vitcod.cpp" "src/baselines/CMakeFiles/paro_baselines.dir/vitcod.cpp.o" "gcc" "src/baselines/CMakeFiles/paro_baselines.dir/vitcod.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/paro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/paro_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/paro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/attention/CMakeFiles/paro_attention.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorder/CMakeFiles/paro_reorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/mixedprec/CMakeFiles/paro_mixedprec.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/paro_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/paro_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paro_baselines.dir/gpu_roofline.cpp.o"
+  "CMakeFiles/paro_baselines.dir/gpu_roofline.cpp.o.d"
+  "CMakeFiles/paro_baselines.dir/sanger.cpp.o"
+  "CMakeFiles/paro_baselines.dir/sanger.cpp.o.d"
+  "CMakeFiles/paro_baselines.dir/vitcod.cpp.o"
+  "CMakeFiles/paro_baselines.dir/vitcod.cpp.o.d"
+  "libparo_baselines.a"
+  "libparo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paro_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

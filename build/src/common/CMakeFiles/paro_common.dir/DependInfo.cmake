@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cpp" "src/common/CMakeFiles/paro_common.dir/config.cpp.o" "gcc" "src/common/CMakeFiles/paro_common.dir/config.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/common/CMakeFiles/paro_common.dir/error.cpp.o" "gcc" "src/common/CMakeFiles/paro_common.dir/error.cpp.o.d"
+  "/root/repo/src/common/fixedpoint.cpp" "src/common/CMakeFiles/paro_common.dir/fixedpoint.cpp.o" "gcc" "src/common/CMakeFiles/paro_common.dir/fixedpoint.cpp.o.d"
+  "/root/repo/src/common/fp16.cpp" "src/common/CMakeFiles/paro_common.dir/fp16.cpp.o" "gcc" "src/common/CMakeFiles/paro_common.dir/fp16.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/paro_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/paro_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/paro_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/paro_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/paro_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/paro_common.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paro_common.dir/config.cpp.o"
+  "CMakeFiles/paro_common.dir/config.cpp.o.d"
+  "CMakeFiles/paro_common.dir/error.cpp.o"
+  "CMakeFiles/paro_common.dir/error.cpp.o.d"
+  "CMakeFiles/paro_common.dir/fixedpoint.cpp.o"
+  "CMakeFiles/paro_common.dir/fixedpoint.cpp.o.d"
+  "CMakeFiles/paro_common.dir/fp16.cpp.o"
+  "CMakeFiles/paro_common.dir/fp16.cpp.o.d"
+  "CMakeFiles/paro_common.dir/logging.cpp.o"
+  "CMakeFiles/paro_common.dir/logging.cpp.o.d"
+  "CMakeFiles/paro_common.dir/rng.cpp.o"
+  "CMakeFiles/paro_common.dir/rng.cpp.o.d"
+  "CMakeFiles/paro_common.dir/stats.cpp.o"
+  "CMakeFiles/paro_common.dir/stats.cpp.o.d"
+  "libparo_common.a"
+  "libparo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paro_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paro_energy.dir/area_power.cpp.o"
+  "CMakeFiles/paro_energy.dir/area_power.cpp.o.d"
+  "CMakeFiles/paro_energy.dir/energy_model.cpp.o"
+  "CMakeFiles/paro_energy.dir/energy_model.cpp.o.d"
+  "libparo_energy.a"
+  "libparo_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paro_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

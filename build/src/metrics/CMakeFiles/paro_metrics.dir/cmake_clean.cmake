@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paro_metrics.dir/video_metrics.cpp.o"
+  "CMakeFiles/paro_metrics.dir/video_metrics.cpp.o.d"
+  "libparo_metrics.a"
+  "libparo_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paro_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mixedprec/allocator.cpp" "src/mixedprec/CMakeFiles/paro_mixedprec.dir/allocator.cpp.o" "gcc" "src/mixedprec/CMakeFiles/paro_mixedprec.dir/allocator.cpp.o.d"
+  "/root/repo/src/mixedprec/global_alloc.cpp" "src/mixedprec/CMakeFiles/paro_mixedprec.dir/global_alloc.cpp.o" "gcc" "src/mixedprec/CMakeFiles/paro_mixedprec.dir/global_alloc.cpp.o.d"
+  "/root/repo/src/mixedprec/sensitivity.cpp" "src/mixedprec/CMakeFiles/paro_mixedprec.dir/sensitivity.cpp.o" "gcc" "src/mixedprec/CMakeFiles/paro_mixedprec.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quant/CMakeFiles/paro_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/paro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/paro_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

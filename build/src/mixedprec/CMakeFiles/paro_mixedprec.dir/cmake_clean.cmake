@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paro_mixedprec.dir/allocator.cpp.o"
+  "CMakeFiles/paro_mixedprec.dir/allocator.cpp.o.d"
+  "CMakeFiles/paro_mixedprec.dir/global_alloc.cpp.o"
+  "CMakeFiles/paro_mixedprec.dir/global_alloc.cpp.o.d"
+  "CMakeFiles/paro_mixedprec.dir/sensitivity.cpp.o"
+  "CMakeFiles/paro_mixedprec.dir/sensitivity.cpp.o.d"
+  "libparo_mixedprec.a"
+  "libparo_mixedprec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paro_mixedprec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

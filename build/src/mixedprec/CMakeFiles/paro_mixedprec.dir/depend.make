@@ -1,0 +1,2 @@
+# Empty dependencies file for paro_mixedprec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/config.cpp" "src/model/CMakeFiles/paro_model.dir/config.cpp.o" "gcc" "src/model/CMakeFiles/paro_model.dir/config.cpp.o.d"
+  "/root/repo/src/model/ddim.cpp" "src/model/CMakeFiles/paro_model.dir/ddim.cpp.o" "gcc" "src/model/CMakeFiles/paro_model.dir/ddim.cpp.o.d"
+  "/root/repo/src/model/dit.cpp" "src/model/CMakeFiles/paro_model.dir/dit.cpp.o" "gcc" "src/model/CMakeFiles/paro_model.dir/dit.cpp.o.d"
+  "/root/repo/src/model/workload.cpp" "src/model/CMakeFiles/paro_model.dir/workload.cpp.o" "gcc" "src/model/CMakeFiles/paro_model.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attention/CMakeFiles/paro_attention.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/paro_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/paro_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/paro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorder/CMakeFiles/paro_reorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/mixedprec/CMakeFiles/paro_mixedprec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

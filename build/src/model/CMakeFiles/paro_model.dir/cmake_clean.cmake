@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paro_model.dir/config.cpp.o"
+  "CMakeFiles/paro_model.dir/config.cpp.o.d"
+  "CMakeFiles/paro_model.dir/ddim.cpp.o"
+  "CMakeFiles/paro_model.dir/ddim.cpp.o.d"
+  "CMakeFiles/paro_model.dir/dit.cpp.o"
+  "CMakeFiles/paro_model.dir/dit.cpp.o.d"
+  "CMakeFiles/paro_model.dir/workload.cpp.o"
+  "CMakeFiles/paro_model.dir/workload.cpp.o.d"
+  "libparo_model.a"
+  "libparo_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paro_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparo_model.a"
+)

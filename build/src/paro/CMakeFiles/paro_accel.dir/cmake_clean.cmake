@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paro_accel.dir/accelerator.cpp.o"
+  "CMakeFiles/paro_accel.dir/accelerator.cpp.o.d"
+  "CMakeFiles/paro_accel.dir/bit_distribution.cpp.o"
+  "CMakeFiles/paro_accel.dir/bit_distribution.cpp.o.d"
+  "CMakeFiles/paro_accel.dir/block_pipeline_sim.cpp.o"
+  "CMakeFiles/paro_accel.dir/block_pipeline_sim.cpp.o.d"
+  "CMakeFiles/paro_accel.dir/functional_units.cpp.o"
+  "CMakeFiles/paro_accel.dir/functional_units.cpp.o.d"
+  "CMakeFiles/paro_accel.dir/fused_attention_sim.cpp.o"
+  "CMakeFiles/paro_accel.dir/fused_attention_sim.cpp.o.d"
+  "libparo_accel.a"
+  "libparo_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paro_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/affine.cpp" "src/quant/CMakeFiles/paro_quant.dir/affine.cpp.o" "gcc" "src/quant/CMakeFiles/paro_quant.dir/affine.cpp.o.d"
+  "/root/repo/src/quant/bittable.cpp" "src/quant/CMakeFiles/paro_quant.dir/bittable.cpp.o" "gcc" "src/quant/CMakeFiles/paro_quant.dir/bittable.cpp.o.d"
+  "/root/repo/src/quant/blockwise.cpp" "src/quant/CMakeFiles/paro_quant.dir/blockwise.cpp.o" "gcc" "src/quant/CMakeFiles/paro_quant.dir/blockwise.cpp.o.d"
+  "/root/repo/src/quant/granularity.cpp" "src/quant/CMakeFiles/paro_quant.dir/granularity.cpp.o" "gcc" "src/quant/CMakeFiles/paro_quant.dir/granularity.cpp.o.d"
+  "/root/repo/src/quant/linear_w8a8.cpp" "src/quant/CMakeFiles/paro_quant.dir/linear_w8a8.cpp.o" "gcc" "src/quant/CMakeFiles/paro_quant.dir/linear_w8a8.cpp.o.d"
+  "/root/repo/src/quant/sage.cpp" "src/quant/CMakeFiles/paro_quant.dir/sage.cpp.o" "gcc" "src/quant/CMakeFiles/paro_quant.dir/sage.cpp.o.d"
+  "/root/repo/src/quant/sparse_attention.cpp" "src/quant/CMakeFiles/paro_quant.dir/sparse_attention.cpp.o" "gcc" "src/quant/CMakeFiles/paro_quant.dir/sparse_attention.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/paro_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/paro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paro_quant.dir/affine.cpp.o"
+  "CMakeFiles/paro_quant.dir/affine.cpp.o.d"
+  "CMakeFiles/paro_quant.dir/bittable.cpp.o"
+  "CMakeFiles/paro_quant.dir/bittable.cpp.o.d"
+  "CMakeFiles/paro_quant.dir/blockwise.cpp.o"
+  "CMakeFiles/paro_quant.dir/blockwise.cpp.o.d"
+  "CMakeFiles/paro_quant.dir/granularity.cpp.o"
+  "CMakeFiles/paro_quant.dir/granularity.cpp.o.d"
+  "CMakeFiles/paro_quant.dir/linear_w8a8.cpp.o"
+  "CMakeFiles/paro_quant.dir/linear_w8a8.cpp.o.d"
+  "CMakeFiles/paro_quant.dir/sage.cpp.o"
+  "CMakeFiles/paro_quant.dir/sage.cpp.o.d"
+  "CMakeFiles/paro_quant.dir/sparse_attention.cpp.o"
+  "CMakeFiles/paro_quant.dir/sparse_attention.cpp.o.d"
+  "libparo_quant.a"
+  "libparo_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paro_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

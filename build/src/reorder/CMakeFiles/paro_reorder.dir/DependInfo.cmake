@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reorder/calibrate.cpp" "src/reorder/CMakeFiles/paro_reorder.dir/calibrate.cpp.o" "gcc" "src/reorder/CMakeFiles/paro_reorder.dir/calibrate.cpp.o.d"
+  "/root/repo/src/reorder/plan.cpp" "src/reorder/CMakeFiles/paro_reorder.dir/plan.cpp.o" "gcc" "src/reorder/CMakeFiles/paro_reorder.dir/plan.cpp.o.d"
+  "/root/repo/src/reorder/token_grid.cpp" "src/reorder/CMakeFiles/paro_reorder.dir/token_grid.cpp.o" "gcc" "src/reorder/CMakeFiles/paro_reorder.dir/token_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quant/CMakeFiles/paro_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/paro_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/paro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

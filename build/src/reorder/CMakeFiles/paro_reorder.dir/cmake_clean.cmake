@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paro_reorder.dir/calibrate.cpp.o"
+  "CMakeFiles/paro_reorder.dir/calibrate.cpp.o.d"
+  "CMakeFiles/paro_reorder.dir/plan.cpp.o"
+  "CMakeFiles/paro_reorder.dir/plan.cpp.o.d"
+  "CMakeFiles/paro_reorder.dir/token_grid.cpp.o"
+  "CMakeFiles/paro_reorder.dir/token_grid.cpp.o.d"
+  "libparo_reorder.a"
+  "libparo_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paro_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

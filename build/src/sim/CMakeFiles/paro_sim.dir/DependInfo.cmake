@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cycle_engine.cpp" "src/sim/CMakeFiles/paro_sim.dir/cycle_engine.cpp.o" "gcc" "src/sim/CMakeFiles/paro_sim.dir/cycle_engine.cpp.o.d"
+  "/root/repo/src/sim/dram_model.cpp" "src/sim/CMakeFiles/paro_sim.dir/dram_model.cpp.o" "gcc" "src/sim/CMakeFiles/paro_sim.dir/dram_model.cpp.o.d"
+  "/root/repo/src/sim/overlap.cpp" "src/sim/CMakeFiles/paro_sim.dir/overlap.cpp.o" "gcc" "src/sim/CMakeFiles/paro_sim.dir/overlap.cpp.o.d"
+  "/root/repo/src/sim/pe_array_sim.cpp" "src/sim/CMakeFiles/paro_sim.dir/pe_array_sim.cpp.o" "gcc" "src/sim/CMakeFiles/paro_sim.dir/pe_array_sim.cpp.o.d"
+  "/root/repo/src/sim/resources.cpp" "src/sim/CMakeFiles/paro_sim.dir/resources.cpp.o" "gcc" "src/sim/CMakeFiles/paro_sim.dir/resources.cpp.o.d"
+  "/root/repo/src/sim/tiling.cpp" "src/sim/CMakeFiles/paro_sim.dir/tiling.cpp.o" "gcc" "src/sim/CMakeFiles/paro_sim.dir/tiling.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/paro_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/paro_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quant/CMakeFiles/paro_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/paro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/paro_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

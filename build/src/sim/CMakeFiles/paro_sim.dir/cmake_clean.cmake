@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paro_sim.dir/cycle_engine.cpp.o"
+  "CMakeFiles/paro_sim.dir/cycle_engine.cpp.o.d"
+  "CMakeFiles/paro_sim.dir/dram_model.cpp.o"
+  "CMakeFiles/paro_sim.dir/dram_model.cpp.o.d"
+  "CMakeFiles/paro_sim.dir/overlap.cpp.o"
+  "CMakeFiles/paro_sim.dir/overlap.cpp.o.d"
+  "CMakeFiles/paro_sim.dir/pe_array_sim.cpp.o"
+  "CMakeFiles/paro_sim.dir/pe_array_sim.cpp.o.d"
+  "CMakeFiles/paro_sim.dir/resources.cpp.o"
+  "CMakeFiles/paro_sim.dir/resources.cpp.o.d"
+  "CMakeFiles/paro_sim.dir/tiling.cpp.o"
+  "CMakeFiles/paro_sim.dir/tiling.cpp.o.d"
+  "CMakeFiles/paro_sim.dir/trace.cpp.o"
+  "CMakeFiles/paro_sim.dir/trace.cpp.o.d"
+  "libparo_sim.a"
+  "libparo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paro_tensor.dir/ops.cpp.o"
+  "CMakeFiles/paro_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/paro_tensor.dir/random.cpp.o"
+  "CMakeFiles/paro_tensor.dir/random.cpp.o.d"
+  "libparo_tensor.a"
+  "libparo_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paro_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attention.dir/attention/test_calibration_io.cpp.o"
+  "CMakeFiles/test_attention.dir/attention/test_calibration_io.cpp.o.d"
+  "CMakeFiles/test_attention.dir/attention/test_integer_path.cpp.o"
+  "CMakeFiles/test_attention.dir/attention/test_integer_path.cpp.o.d"
+  "CMakeFiles/test_attention.dir/attention/test_pipeline.cpp.o"
+  "CMakeFiles/test_attention.dir/attention/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_attention.dir/attention/test_streaming.cpp.o"
+  "CMakeFiles/test_attention.dir/attention/test_streaming.cpp.o.d"
+  "CMakeFiles/test_attention.dir/attention/test_synthetic.cpp.o"
+  "CMakeFiles/test_attention.dir/attention/test_synthetic.cpp.o.d"
+  "test_attention"
+  "test_attention.pdb"
+  "test_attention[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_config.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_config.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_fixedpoint.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_fixedpoint.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_fp16.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_fp16.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_logging.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_logging.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mixedprec.dir/mixedprec/test_allocator.cpp.o"
+  "CMakeFiles/test_mixedprec.dir/mixedprec/test_allocator.cpp.o.d"
+  "CMakeFiles/test_mixedprec.dir/mixedprec/test_global_alloc.cpp.o"
+  "CMakeFiles/test_mixedprec.dir/mixedprec/test_global_alloc.cpp.o.d"
+  "CMakeFiles/test_mixedprec.dir/mixedprec/test_sensitivity.cpp.o"
+  "CMakeFiles/test_mixedprec.dir/mixedprec/test_sensitivity.cpp.o.d"
+  "CMakeFiles/test_mixedprec.dir/mixedprec/test_sensitivity_validation.cpp.o"
+  "CMakeFiles/test_mixedprec.dir/mixedprec/test_sensitivity_validation.cpp.o.d"
+  "test_mixedprec"
+  "test_mixedprec.pdb"
+  "test_mixedprec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mixedprec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/model/test_config.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_config.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_ddim.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_ddim.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_dit.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_dit.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_workload.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_workload.cpp.o.d"
+  "test_model"
+  "test_model.pdb"
+  "test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

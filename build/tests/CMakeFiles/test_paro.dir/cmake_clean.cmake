@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paro.dir/paro/test_accelerator.cpp.o"
+  "CMakeFiles/test_paro.dir/paro/test_accelerator.cpp.o.d"
+  "CMakeFiles/test_paro.dir/paro/test_bit_distribution.cpp.o"
+  "CMakeFiles/test_paro.dir/paro/test_bit_distribution.cpp.o.d"
+  "CMakeFiles/test_paro.dir/paro/test_block_pipeline.cpp.o"
+  "CMakeFiles/test_paro.dir/paro/test_block_pipeline.cpp.o.d"
+  "CMakeFiles/test_paro.dir/paro/test_functional_units.cpp.o"
+  "CMakeFiles/test_paro.dir/paro/test_functional_units.cpp.o.d"
+  "CMakeFiles/test_paro.dir/paro/test_fused_attention_sim.cpp.o"
+  "CMakeFiles/test_paro.dir/paro/test_fused_attention_sim.cpp.o.d"
+  "test_paro"
+  "test_paro.pdb"
+  "test_paro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

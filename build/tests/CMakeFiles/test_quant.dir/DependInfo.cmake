@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/quant/test_affine.cpp" "tests/CMakeFiles/test_quant.dir/quant/test_affine.cpp.o" "gcc" "tests/CMakeFiles/test_quant.dir/quant/test_affine.cpp.o.d"
+  "/root/repo/tests/quant/test_bittable.cpp" "tests/CMakeFiles/test_quant.dir/quant/test_bittable.cpp.o" "gcc" "tests/CMakeFiles/test_quant.dir/quant/test_bittable.cpp.o.d"
+  "/root/repo/tests/quant/test_blockwise.cpp" "tests/CMakeFiles/test_quant.dir/quant/test_blockwise.cpp.o" "gcc" "tests/CMakeFiles/test_quant.dir/quant/test_blockwise.cpp.o.d"
+  "/root/repo/tests/quant/test_granularity.cpp" "tests/CMakeFiles/test_quant.dir/quant/test_granularity.cpp.o" "gcc" "tests/CMakeFiles/test_quant.dir/quant/test_granularity.cpp.o.d"
+  "/root/repo/tests/quant/test_linear_w8a8.cpp" "tests/CMakeFiles/test_quant.dir/quant/test_linear_w8a8.cpp.o" "gcc" "tests/CMakeFiles/test_quant.dir/quant/test_linear_w8a8.cpp.o.d"
+  "/root/repo/tests/quant/test_sage.cpp" "tests/CMakeFiles/test_quant.dir/quant/test_sage.cpp.o" "gcc" "tests/CMakeFiles/test_quant.dir/quant/test_sage.cpp.o.d"
+  "/root/repo/tests/quant/test_sparse.cpp" "tests/CMakeFiles/test_quant.dir/quant/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/test_quant.dir/quant/test_sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/paro/CMakeFiles/paro_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/paro_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/paro_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/paro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/paro_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/paro_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/attention/CMakeFiles/paro_attention.dir/DependInfo.cmake"
+  "/root/repo/build/src/mixedprec/CMakeFiles/paro_mixedprec.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorder/CMakeFiles/paro_reorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/paro_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/paro_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/paro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

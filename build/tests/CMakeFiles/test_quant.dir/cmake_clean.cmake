@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quant.dir/quant/test_affine.cpp.o"
+  "CMakeFiles/test_quant.dir/quant/test_affine.cpp.o.d"
+  "CMakeFiles/test_quant.dir/quant/test_bittable.cpp.o"
+  "CMakeFiles/test_quant.dir/quant/test_bittable.cpp.o.d"
+  "CMakeFiles/test_quant.dir/quant/test_blockwise.cpp.o"
+  "CMakeFiles/test_quant.dir/quant/test_blockwise.cpp.o.d"
+  "CMakeFiles/test_quant.dir/quant/test_granularity.cpp.o"
+  "CMakeFiles/test_quant.dir/quant/test_granularity.cpp.o.d"
+  "CMakeFiles/test_quant.dir/quant/test_linear_w8a8.cpp.o"
+  "CMakeFiles/test_quant.dir/quant/test_linear_w8a8.cpp.o.d"
+  "CMakeFiles/test_quant.dir/quant/test_sage.cpp.o"
+  "CMakeFiles/test_quant.dir/quant/test_sage.cpp.o.d"
+  "CMakeFiles/test_quant.dir/quant/test_sparse.cpp.o"
+  "CMakeFiles/test_quant.dir/quant/test_sparse.cpp.o.d"
+  "test_quant"
+  "test_quant.pdb"
+  "test_quant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

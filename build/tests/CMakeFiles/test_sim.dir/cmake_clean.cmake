@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_cycle_engine.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_cycle_engine.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_dram_model.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_dram_model.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_overlap.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_overlap.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_pe_array.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_pe_array.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_tiling.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_tiling.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/paro_cli"
+  "../tools/paro_cli.pdb"
+  "CMakeFiles/paro_cli.dir/paro_cli.cpp.o"
+  "CMakeFiles/paro_cli.dir/paro_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paro_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
