@@ -7,6 +7,8 @@
 #include "common/fixedpoint.hpp"
 #include "mixedprec/allocator.hpp"
 #include "mixedprec/sensitivity.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "quant/blockwise.hpp"
 #include "quant/granularity.hpp"
 #include "tensor/ops.hpp"
@@ -121,11 +123,28 @@ MatF softmax_rows_skipaware(const MatF& logits, float scale) {
   return out;
 }
 
+/// Per-head calibration telemetry: one `calibrate.heads` tick plus the
+/// tile-per-bitwidth counts of the head's BitTable (the Fig. 8 artifact).
+void record_head_metrics(const HeadCalibration& calib) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("calibrate.heads").add(1.0);
+  if (!calib.bit_table.has_value()) return;
+  reg.stats("calibrate.avg_map_bits").record(calib.planned_avg_bits);
+  for (int b = 0; b < kNumBitChoices; ++b) {
+    const std::size_t tiles = calib.bit_table->tiles_at(kBitChoices[b]);
+    if (tiles == 0) continue;
+    reg.counter("calibrate.tiles_bits",
+                {{"bits", std::to_string(kBitChoices[b])}})
+        .add(static_cast<double>(tiles));
+  }
+}
+
 }  // namespace
 
 HeadCalibration calibrate_head(const MatF& sample_q, const MatF& sample_k,
                                const TokenGrid& grid,
                                const QuantAttentionConfig& config) {
+  PARO_SPAN("calibrate.head");
   PARO_CHECK_MSG(sample_q.rows() == grid.num_tokens(),
                  "sample does not match token grid");
   HeadCalibration calib;
@@ -138,6 +157,7 @@ HeadCalibration calibrate_head(const MatF& sample_q, const MatF& sample_k,
       config.map_scheme == AttnMapScheme::kBlockwiseMixed ||
       config.output_bitwidth_aware;
   if (!needs_table) {
+    record_head_metrics(calib);
     return calib;
   }
   const MatF reordered = calib.plan.apply_map(sample_map);
@@ -156,12 +176,14 @@ HeadCalibration calibrate_head(const MatF& sample_q, const MatF& sample_k,
     calib.bit_table = BitTable(bgrid, bits);
     calib.planned_avg_bits = bits;
   }
+  record_head_metrics(calib);
   return calib;
 }
 
 HeadCalibration calibrate_head_with_prefix(
     const MatF& sample_q, const MatF& sample_k, const TokenGrid& grid,
     std::size_t prefix, const QuantAttentionConfig& config) {
+  PARO_SPAN("calibrate.head");
   const std::size_t n = prefix + grid.num_tokens();
   PARO_CHECK_MSG(sample_q.rows() == n,
                  "sample does not match prefix + token grid");
@@ -176,6 +198,7 @@ HeadCalibration calibrate_head_with_prefix(
       config.map_scheme == AttnMapScheme::kBlockwiseMixed ||
       config.output_bitwidth_aware;
   if (!needs_table) {
+    record_head_metrics(calib);
     return calib;
   }
   const MatF reordered = calib.plan.apply_map(sample_map);
@@ -192,6 +215,7 @@ HeadCalibration calibrate_head_with_prefix(
     calib.bit_table = BitTable(bgrid, bits);
     calib.planned_avg_bits = bits;
   }
+  record_head_metrics(calib);
   return calib;
 }
 
@@ -199,6 +223,8 @@ QuantAttentionResult quantized_attention(const MatF& q, const MatF& k,
                                          const MatF& v,
                                          const HeadCalibration& calib,
                                          const QuantAttentionConfig& config) {
+  PARO_SPAN("attn.quantized");
+  obs::MetricsRegistry::global().counter("attn.quantized_calls").add(1.0);
   PARO_CHECK_MSG(q.rows() == k.rows() && k.rows() == v.rows(),
                  "token count mismatch");
   const float scale = attention_scale(q, config.scale);

@@ -1,12 +1,19 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
+#include <mutex>
 
 namespace paro {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<bool> g_timestamps{false};
+std::atomic<std::ostream*> g_sink{nullptr};  ///< nullptr → std::cerr
+std::mutex g_emit_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -18,17 +25,52 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+std::string utc_timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
+
+void set_log_sink(std::ostream* sink) { g_sink.store(sink); }
+
+void set_log_timestamps(bool enabled) { g_timestamps.store(enabled); }
+bool log_timestamps() { return g_timestamps.load(); }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) {
     return;
   }
-  std::cerr << "[paro:" << level_name(level) << "] " << message << '\n';
+  // Build the full line first so the guarded section is one write.
+  std::string line;
+  if (g_timestamps.load()) {
+    line += utc_timestamp();
+    line += ' ';
+  }
+  line += "[paro:";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::ostream* sink = g_sink.load();
+  (sink != nullptr ? *sink : std::cerr) << line << std::flush;
 }
 }  // namespace detail
 

@@ -5,6 +5,7 @@
 // transitions, calibration progress) that a user may want to silence.
 #pragma once
 
+#include <iosfwd>
 #include <sstream>
 #include <string>
 
@@ -16,7 +17,21 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Redirect log output.  Passing nullptr restores the default (stderr —
+/// deliberately not stdout, so machine-readable output like the CLI's
+/// JSON reports is never corrupted by diagnostics).  The sink must
+/// outlive all logging; emission is serialized by an internal mutex.
+void set_log_sink(std::ostream* sink);
+
+/// Prefix every line with a UTC timestamp (`2026-08-06T12:34:56.789Z`).
+/// Off by default; the level prefix is always present.
+void set_log_timestamps(bool enabled);
+bool log_timestamps();
+
 namespace detail {
+/// Formats the prefix and writes the whole line under a single
+/// mutex-guarded sink write, so concurrent log statements never
+/// interleave mid-line.
 void log_emit(LogLevel level, const std::string& message);
 }
 

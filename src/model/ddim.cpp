@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/random.hpp"
 
@@ -30,12 +32,17 @@ std::vector<double> ddim_timesteps(int steps) {
 MatF ddim_sample(const SyntheticDiT& dit, const SyntheticDiT::ExecConfig& exec,
                  const SyntheticDiT::Calibration* calib, int steps,
                  std::uint64_t seed) {
+  PARO_SPAN("ddim.sample");
+  auto& reg = obs::MetricsRegistry::global();
   Rng rng(seed);
   const std::size_t tokens = dit.token_grid().num_tokens();
   MatF x = random_normal(tokens, dit.config().channels, rng);
 
   const auto ts = ddim_timesteps(steps);
   for (std::size_t i = 0; i < ts.size(); ++i) {
+    PARO_SPAN("ddim.step");
+    const obs::ScopedTimer step_timer(reg.stats("ddim.step_seconds"));
+    reg.counter("ddim.steps").add(1.0);
     const double t = ts[i];
     const double t_prev = i + 1 < ts.size() ? ts[i + 1] : 0.0;
     const double ab_t = alpha_bar(t);

@@ -1,0 +1,153 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace paro::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  // Integral values that fit an int64 print without fraction or exponent
+  // (cycle counts, byte totals — the common case in trace output).
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+    return buf;
+  }
+  // Shortest representation that parses back to the same double: try
+  // increasing precision until the round trip is exact (17 digits always
+  // suffices for IEEE-754 binary64).
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prefix();
+  os_ << '{';
+  stack_.push_back({/*is_array=*/false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool empty = stack_.empty() || stack_.back().first;
+  if (!stack_.empty()) stack_.pop_back();
+  if (!empty) newline();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prefix();
+  os_ << '[';
+  stack_.push_back({/*is_array=*/true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool empty = stack_.empty() || stack_.back().first;
+  if (!stack_.empty()) stack_.pop_back();
+  if (!empty) newline();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  prefix();
+  os_ << json_escape(k) << ':';
+  if (indent_ > 0) os_ << ' ';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  prefix();
+  os_ << json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  prefix();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  prefix();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  prefix();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  prefix();
+  os_ << json_escape(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null_value() {
+  prefix();
+  os_ << "null";
+  return *this;
+}
+
+void JsonWriter::prefix() {
+  if (after_key_) {
+    // Value completes the key; no comma handling needed.
+    after_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  Frame& top = stack_.back();
+  if (!top.first) os_ << ',';
+  top.first = false;
+  newline();
+}
+
+void JsonWriter::newline() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_);
+       ++i) {
+    os_ << ' ';
+  }
+}
+
+}  // namespace paro::obs

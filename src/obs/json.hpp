@@ -1,0 +1,77 @@
+// Minimal streaming JSON writer.
+//
+// The observability layer emits three JSON artifacts — Chrome trace files,
+// metrics snapshots, and CLI reports — and all of them go through this
+// writer so escaping and number formatting are correct in one place.  The
+// writer is strictly streaming (no DOM): callers open/close scopes and the
+// writer tracks commas, key/value alternation, and optional indentation.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paro::obs {
+
+/// `s` as a JSON string literal, including the surrounding quotes.
+/// Escapes quotes, backslashes, and control characters; any other byte
+/// (including UTF-8 sequences) passes through unchanged.
+std::string json_escape(std::string_view s);
+
+/// Shortest decimal representation of `v` that round-trips to the same
+/// double.  Non-finite values map to "null" (JSON has no NaN/Inf).
+std::string json_number(double v);
+
+class JsonWriter {
+ public:
+  /// `indent` = 0 writes compact JSON; > 0 pretty-prints with that many
+  /// spaces per nesting level.
+  explicit JsonWriter(std::ostream& os, int indent = 0)
+      : os_(os), indent_(indent) {}
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be followed by a value or a begin_*().
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& null_value();
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  /// Number of currently open scopes (0 when the document is complete).
+  std::size_t depth() const { return stack_.size(); }
+
+ private:
+  void prefix();   ///< comma / newline / indent before a value or key
+  void newline();  ///< newline + indent (pretty mode only)
+
+  std::ostream& os_;
+  int indent_;
+  struct Frame {
+    bool is_array;
+    bool first = true;
+  };
+  std::vector<Frame> stack_;
+  bool after_key_ = false;
+};
+
+}  // namespace paro::obs

@@ -1,0 +1,206 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace paro::obs {
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:   return "counter";
+    case MetricKind::kGauge:     return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+    case MetricKind::kStats:     return "stats";
+  }
+  return "?";
+}
+
+struct MetricsRegistry::Entry {
+  MetricKind kind;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<HistogramMetric> histogram;
+  std::unique_ptr<StatsMetric> stats;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
+                                               Labels labels,
+                                               MetricKind kind) {
+  std::sort(labels.begin(), labels.end());
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = metrics_[{name, std::move(labels)}];
+  if (slot == nullptr) {
+    slot = std::make_unique<Entry>();
+    slot->kind = kind;
+  } else if (slot->kind != kind) {
+    throw ConfigError("metric '" + name + "' registered as " +
+                      metric_kind_name(slot->kind) + ", requested as " +
+                      metric_kind_name(kind));
+  }
+  return *slot;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Labels labels) {
+  Entry& e = entry(name, std::move(labels), MetricKind::kCounter);
+  if (e.counter == nullptr) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels) {
+  Entry& e = entry(name, std::move(labels), MetricKind::kGauge);
+  if (e.gauge == nullptr) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,
+                                            double hi, std::size_t bins,
+                                            Labels labels) {
+  Entry& e = entry(name, std::move(labels), MetricKind::kHistogram);
+  if (e.histogram == nullptr) {
+    e.histogram = std::make_unique<HistogramMetric>(lo, hi, bins);
+  }
+  return *e.histogram;
+}
+
+StatsMetric& MetricsRegistry::stats(const std::string& name, Labels labels) {
+  Entry& e = entry(name, std::move(labels), MetricKind::kStats);
+  if (e.stats == nullptr) e.stats = std::make_unique<StatsMetric>();
+  return *e.stats;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  const std::lock_guard<std::mutex> lock(mu_);
+  snap.samples.reserve(metrics_.size());
+  for (const auto& [key, e] : metrics_) {
+    MetricSample s;
+    s.name = key.first;
+    s.labels = key.second;
+    s.kind = e->kind;
+    switch (e->kind) {
+      case MetricKind::kCounter:
+        s.value = e->counter->value();
+        break;
+      case MetricKind::kGauge:
+        s.value = e->gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram h = e->histogram->snapshot();
+        s.lo = h.bin_lo(0);
+        s.hi = h.bin_hi(h.bin_count() - 1);
+        s.total = h.total();
+        s.bins.reserve(h.bin_count());
+        for (std::size_t i = 0; i < h.bin_count(); ++i) {
+          s.bins.push_back(h.bin(i));
+        }
+        break;
+      }
+      case MetricKind::kStats:
+        s.stats = e->stats->snapshot();
+        break;
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  // std::map iteration is already (name, labels)-ordered.
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  metrics_.clear();
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.size();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+const MetricSample* MetricsSnapshot::find(const std::string& name,
+                                          const Labels& labels) const {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (const MetricSample& s : samples) {
+    if (s.name == name && s.labels == sorted) return &s;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::value_of(const std::string& name,
+                                 const Labels& labels) const {
+  const MetricSample* s = find(name, labels);
+  return s == nullptr ? 0.0 : s->value;
+}
+
+double MetricsSnapshot::family_total(const std::string& name) const {
+  double total = 0.0;
+  for (const MetricSample& s : samples) {
+    if (s.name == name) total += s.value;
+  }
+  return total;
+}
+
+void MetricsSnapshot::write_json(JsonWriter& w) const {
+  w.begin_array();
+  for (const MetricSample& s : samples) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("kind", metric_kind_name(s.kind));
+    if (!s.labels.empty()) {
+      w.key("labels").begin_object();
+      for (const auto& [k, v] : s.labels) w.kv(k, v);
+      w.end_object();
+    }
+    switch (s.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        w.kv("value", s.value);
+        break;
+      case MetricKind::kHistogram:
+        w.kv("lo", s.lo);
+        w.kv("hi", s.hi);
+        w.kv("total", s.total);
+        w.key("bins").begin_array();
+        for (const std::uint64_t b : s.bins) w.value(b);
+        w.end_array();
+        break;
+      case MetricKind::kStats:
+        w.kv("count", static_cast<std::uint64_t>(s.stats.count()));
+        w.kv("sum", s.stats.sum());
+        w.kv("mean", s.stats.mean());
+        w.kv("min", s.stats.min());
+        w.kv("max", s.stats.max());
+        w.kv("stddev", s.stats.stddev());
+        break;
+    }
+    w.end_object();
+  }
+  w.end_array();
+}
+
+ScopedTimer::ScopedTimer(StatsMetric& target)
+    : target_(target),
+      start_ns_(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count())) {}
+
+ScopedTimer::~ScopedTimer() {
+  const auto now_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  target_.record(static_cast<double>(now_ns - start_ns_) * 1e-9);
+}
+
+}  // namespace paro::obs

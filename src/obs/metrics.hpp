@@ -1,0 +1,178 @@
+// Thread-safe metrics registry.
+//
+// Named, labelled metrics that every layer of the stack (calibration,
+// quantized pipeline, cycle simulator, CLI) emits through:
+//
+//   * Counter   — monotonically increasing double (tiles quantized, DRAM
+//                 bytes, PE-busy cycles, ...), lock-free add.
+//   * Gauge     — last-written value (current config knobs, utilization).
+//   * HistogramMetric — fixed-range paro::Histogram behind a mutex
+//                 (attention-map value distributions, bitwidth spreads).
+//   * StatsMetric — RunningStats behind a mutex; ScopedTimer records
+//                 wall-clock seconds into one (per-phase latency summaries).
+//
+// Metrics are identified by (name, labels); labels are sorted key/value
+// pairs, so {{"bits","8"}} and {{"bits","4"}} are distinct series of the
+// same metric family.  Registration is idempotent: the first call creates
+// the metric, later calls return the same instance; re-registering a name
+// with a different kind throws ConfigError.
+//
+// snapshot() returns a consistent, sorted copy for reporting; the
+// MetricsSnapshot knows how to serialize itself as JSON (obs/json.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace paro::obs {
+
+class JsonWriter;
+
+/// Label set of one metric series.  Stored sorted by key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void add(double delta = 1.0) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t bins)
+      : hist_(lo, hi, bins) {}
+  void observe(double v) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    hist_.add(v);
+  }
+  Histogram snapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return hist_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram hist_;
+};
+
+class StatsMetric {
+ public:
+  void record(double v) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stats_.add(v);
+  }
+  RunningStats snapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  RunningStats stats_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram, kStats };
+
+const char* metric_kind_name(MetricKind kind);
+
+/// Point-in-time copy of one metric series.
+struct MetricSample {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;        ///< counter / gauge
+  RunningStats stats;        ///< kStats
+  // kHistogram summary:
+  double lo = 0.0;
+  double hi = 0.0;
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> bins;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  ///< sorted by (name, labels)
+
+  /// First sample matching (name, labels); nullptr when absent.
+  const MetricSample* find(const std::string& name,
+                           const Labels& labels = {}) const;
+  /// Counter/gauge value, or 0 when the series is absent.
+  double value_of(const std::string& name, const Labels& labels = {}) const;
+  /// Sum of `value` over every series of the family `name` (any labels).
+  double family_total(const std::string& name) const;
+
+  /// Serialize as a JSON array of sample objects into an open writer.
+  void write_json(JsonWriter& w) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();  // out of line: Entry is incomplete here
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, Labels labels = {});
+  Gauge& gauge(const std::string& name, Labels labels = {});
+  /// Histogram range/binning is fixed by the first registration.
+  HistogramMetric& histogram(const std::string& name, double lo, double hi,
+                             std::size_t bins, Labels labels = {});
+  StatsMetric& stats(const std::string& name, Labels labels = {});
+
+  MetricsSnapshot snapshot() const;
+
+  /// Drops every metric.  Invalidates references returned earlier —
+  /// intended for test setup and fresh CLI runs, not steady-state use.
+  void reset();
+
+  std::size_t size() const;
+
+  /// Process-wide registry the library's instrumentation points use.
+  static MetricsRegistry& global();
+
+ private:
+  struct Entry;
+  Entry& entry(const std::string& name, Labels labels, MetricKind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, Labels>, std::unique_ptr<Entry>> metrics_;
+};
+
+/// RAII timer recording elapsed wall-clock seconds into a StatsMetric.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(StatsMetric& target);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  StatsMetric& target_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace paro::obs

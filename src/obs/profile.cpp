@@ -1,0 +1,206 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <ostream>
+
+#include "obs/trace_export.hpp"
+
+namespace paro::obs {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct OpenSpan {
+  const char* name;
+  std::uint64_t start_ns;
+  std::uint32_t depth;
+};
+
+}  // namespace
+
+struct Profiler::ThreadState {
+  std::uint32_t tid = 0;
+  bool tid_assigned = false;
+  std::uint64_t generation = 0;
+  std::vector<OpenSpan> stack;
+};
+
+Profiler::ThreadState& Profiler::thread_state() {
+  // Keyed by instance so independently constructed profilers (tests) do
+  // not share per-thread span stacks.
+  thread_local std::map<const Profiler*, ThreadState> states;
+  return states[this];
+}
+
+Profiler::Profiler() : epoch_ns_(now_ns()) {}
+
+void Profiler::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  epoch_ns_ = now_ns();
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  next_tid_ = 0;
+}
+
+void Profiler::begin_span(const char* name) {
+  ThreadState& st = thread_state();
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (st.generation != gen) {
+    // First span since a reset(): stale opens belong to the old epoch.
+    st.stack.clear();
+    st.generation = gen;
+    st.tid_assigned = false;
+  }
+  st.stack.push_back(
+      {name, now_ns(), static_cast<std::uint32_t>(st.stack.size())});
+}
+
+void Profiler::end_span() {
+  const std::uint64_t end_ns = now_ns();
+  ThreadState& st = thread_state();
+  if (st.stack.empty()) return;
+  const OpenSpan span = st.stack.back();
+  st.stack.pop_back();
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (st.generation != generation_.load(std::memory_order_relaxed)) {
+    // reset() happened while this span was open; its start time belongs
+    // to the previous epoch, so drop it and every stale open above it.
+    st.stack.clear();
+    return;
+  }
+  if (!st.tid_assigned) {
+    st.tid = next_tid_++;
+    st.tid_assigned = true;
+  }
+  SpanEvent e;
+  e.name = span.name;
+  e.tid = st.tid;
+  e.depth = span.depth;
+  e.start_us = static_cast<double>(span.start_ns - epoch_ns_) * 1e-3;
+  e.dur_us = static_cast<double>(end_ns - span.start_ns) * 1e-3;
+  events_.push_back(e);
+}
+
+std::vector<SpanEvent> Profiler::events() const {
+  std::vector<SpanEvent> out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out = events_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return out;
+}
+
+double ProfileNode::self_us() const {
+  double children_us = 0.0;
+  for (const ProfileNode& c : children) children_us += c.total_us;
+  return std::max(0.0, total_us - children_us);
+}
+
+const ProfileNode* ProfileNode::child(const std::string& name) const {
+  for (const ProfileNode& c : children) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+ProfileNode Profiler::report() const {
+  const std::vector<SpanEvent> evs = events();
+  ProfileNode root;
+  root.name = "total";
+  root.calls = 1;
+
+  // Rebuild nesting per thread: a span is a child of the deepest span on
+  // the same thread that is still open when it starts.
+  struct StackEntry {
+    ProfileNode* node;
+    double end_us;
+  };
+  std::map<std::uint32_t, std::vector<StackEntry>> stacks;
+  for (const SpanEvent& e : evs) {
+    auto& stack = stacks[e.tid];
+    while (!stack.empty() && e.start_us >= stack.back().end_us) {
+      stack.pop_back();
+    }
+    ProfileNode* parent = stack.empty() ? &root : stack.back().node;
+    ProfileNode* node = nullptr;
+    for (ProfileNode& c : parent->children) {
+      if (c.name == e.name) {
+        node = &c;
+        break;
+      }
+    }
+    if (node == nullptr) {
+      // Children vector may reallocate, but only nodes on this thread's
+      // stack are held by pointer and they live in ancestors, whose
+      // children vectors are not touched while descendants are added.
+      parent->children.push_back({});
+      node = &parent->children.back();
+      node->name = e.name;
+    }
+    ++node->calls;
+    node->total_us += e.dur_us;
+    stack.push_back({node, e.start_us + e.dur_us});
+  }
+  for (const ProfileNode& c : root.children) root.total_us += c.total_us;
+  return root;
+}
+
+namespace {
+
+void write_node(std::ostream& os, const ProfileNode& node, int depth) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+  os << node.name << "  calls=" << node.calls << "  total_ms=";
+  os << node.total_us * 1e-3 << "  self_ms=" << node.self_us() * 1e-3
+     << '\n';
+  for (const ProfileNode& c : node.children) write_node(os, c, depth + 1);
+}
+
+}  // namespace
+
+void Profiler::write_report(std::ostream& os) const {
+  write_node(os, report(), 0);
+}
+
+void Profiler::write_chrome_json(std::ostream& os) const {
+  const std::vector<SpanEvent> evs = events();
+  std::vector<ChromeTraceEvent> out;
+  out.reserve(evs.size() + 4);
+  out.push_back(process_name_event(1, "paro"));
+  std::uint32_t max_tid = 0;
+  for (const SpanEvent& e : evs) max_tid = std::max(max_tid, e.tid);
+  for (std::uint32_t t = 0; t <= max_tid; ++t) {
+    out.push_back(thread_name_event(1, t, "thread " + std::to_string(t)));
+  }
+  for (const SpanEvent& e : evs) {
+    ChromeTraceEvent c;
+    c.name = e.name;
+    c.cat = "span";
+    c.ph = 'X';
+    c.ts = e.start_us;
+    c.dur = e.dur_us;
+    c.pid = 1;
+    c.tid = e.tid;
+    out.push_back(std::move(c));
+  }
+  write_chrome_trace(os, out);
+}
+
+Profiler& Profiler::global() {
+  static Profiler profiler;
+  return profiler;
+}
+
+}  // namespace paro::obs

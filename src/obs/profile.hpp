@@ -1,0 +1,125 @@
+// Scoped wall-clock profiling spans.
+//
+//   void calibrate_layer(...) {
+//     PARO_SPAN("calibrate.layer");
+//     for (auto& head : heads) {
+//       PARO_SPAN("calibrate.head");   // nests under calibrate.layer
+//       ...
+//     }
+//   }
+//
+// Spans form a per-thread stack; completed spans are collected centrally
+// and can be rendered three ways: a flat event list (events()), an
+// aggregated call tree (report() / write_report()), or a Chrome trace
+// file (write_chrome_json(), loadable in chrome://tracing / Perfetto).
+//
+// The profiler is DISABLED by default: a disabled PARO_SPAN costs one
+// relaxed atomic load and no allocation, so instrumentation can stay in
+// hot paths permanently.  Span names must be string literals (the pointer
+// is kept until the span closes).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace paro::obs {
+
+/// One completed span.
+struct SpanEvent {
+  const char* name = "";
+  std::uint32_t tid = 0;    ///< dense per-profiler thread index
+  std::uint32_t depth = 0;  ///< nesting depth at the time the span opened
+  double start_us = 0.0;    ///< relative to the profiler epoch (reset())
+  double dur_us = 0.0;
+};
+
+/// Aggregated call-tree node (children ordered by first appearance).
+struct ProfileNode {
+  std::string name;
+  std::uint64_t calls = 0;
+  double total_us = 0.0;
+  std::vector<ProfileNode> children;
+
+  /// Time not attributed to any child.
+  double self_us() const;
+  /// Child with `name`, or nullptr.
+  const ProfileNode* child(const std::string& name) const;
+};
+
+class Profiler {
+ public:
+  Profiler();
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Discards collected spans and restarts the epoch.  Spans that are
+  /// open across a reset are dropped when they close.
+  void reset();
+
+  /// Completed spans ordered by start time.
+  std::vector<SpanEvent> events() const;
+
+  /// Aggregate the events into a call tree rooted at a synthetic node.
+  ProfileNode report() const;
+
+  /// Indented text rendering of report() (calls, total ms, self ms).
+  void write_report(std::ostream& os) const;
+
+  /// Chrome trace-event JSON of every completed span.
+  void write_chrome_json(std::ostream& os) const;
+
+  /// Used by SpanScope; call through PARO_SPAN rather than directly.
+  void begin_span(const char* name);
+  void end_span();
+
+  /// Process-wide profiler the PARO_SPAN macro records into.
+  static Profiler& global();
+
+ private:
+  struct ThreadState;
+  ThreadState& thread_state();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> events_;
+  std::uint64_t epoch_ns_ = 0;
+  /// Bumped by reset() so spans open across a reset are dropped.
+  std::atomic<std::uint64_t> generation_{0};
+  std::uint32_t next_tid_ = 0;
+};
+
+/// RAII guard behind PARO_SPAN.  Captures enablement at construction so a
+/// span that began is always closed even if the profiler is toggled
+/// mid-scope.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name)
+      : active_(Profiler::global().enabled()) {
+    if (active_) Profiler::global().begin_span(name);
+  }
+  ~SpanScope() {
+    if (active_) Profiler::global().end_span();
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  bool active_;
+};
+
+}  // namespace paro::obs
+
+#define PARO_SPAN_CONCAT_IMPL_(a, b) a##b
+#define PARO_SPAN_CONCAT_(a, b) PARO_SPAN_CONCAT_IMPL_(a, b)
+/// Opens a profiling span for the rest of the enclosing scope.
+#define PARO_SPAN(name) \
+  ::paro::obs::SpanScope PARO_SPAN_CONCAT_(paro_span_scope_, __LINE__)(name)

@@ -1,0 +1,57 @@
+#include "obs/trace_export.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace paro::obs {
+
+ChromeTraceEvent process_name_event(std::uint32_t pid, std::string name) {
+  ChromeTraceEvent e;
+  e.name = "process_name";
+  e.cat = "__metadata";
+  e.ph = 'M';
+  e.pid = pid;
+  e.sargs.emplace_back("name", std::move(name));
+  return e;
+}
+
+ChromeTraceEvent thread_name_event(std::uint32_t pid, std::uint32_t tid,
+                                   std::string name) {
+  ChromeTraceEvent e = process_name_event(pid, std::move(name));
+  e.name = "thread_name";
+  e.tid = tid;
+  return e;
+}
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<ChromeTraceEvent>& events) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const ChromeTraceEvent& e : events) {
+    w.begin_object();
+    w.kv("name", e.name);
+    w.kv("cat", e.cat);
+    w.kv("ph", std::string_view(&e.ph, 1));
+    w.kv("pid", static_cast<std::uint64_t>(e.pid));
+    w.kv("tid", static_cast<std::uint64_t>(e.tid));
+    if (e.ph != 'M') {
+      w.kv("ts", e.ts);
+      if (e.ph == 'X') w.kv("dur", e.dur);
+    }
+    if (!e.args.empty() || !e.sargs.empty()) {
+      w.key("args").begin_object();
+      for (const auto& [k, v] : e.sargs) w.kv(k, v);
+      for (const auto& [k, v] : e.args) w.kv(k, v);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace paro::obs

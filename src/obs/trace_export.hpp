@@ -1,0 +1,47 @@
+// Chrome trace-event (catapult / Perfetto) JSON export.
+//
+// Both the profiler's wall-clock spans (obs/profile.hpp) and the
+// simulator's operator trace (sim/trace.hpp) serialize through this one
+// writer, so every timeline artifact the project produces opens in
+// chrome://tracing and ui.perfetto.dev.  Only the two event types those
+// sources need are modelled: complete events (ph = "X", with ts + dur) and
+// metadata events (ph = "M", naming processes and threads/tracks).
+//
+// Format reference: the "Trace Event Format" document (Chromium project);
+// timestamps and durations are in microseconds.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace paro::obs {
+
+struct ChromeTraceEvent {
+  std::string name;
+  std::string cat = "paro";
+  char ph = 'X';
+  double ts = 0.0;   ///< microseconds
+  double dur = 0.0;  ///< microseconds; written for ph == 'X' only
+  std::uint32_t pid = 1;
+  std::uint32_t tid = 0;
+  /// Extra numeric payload shown in the trace viewer's detail pane.
+  std::vector<std::pair<std::string, double>> args;
+  /// Extra string payload ("name" for metadata events goes here too).
+  std::vector<std::pair<std::string, std::string>> sargs;
+};
+
+/// Metadata event labelling a process track.
+ChromeTraceEvent process_name_event(std::uint32_t pid, std::string name);
+
+/// Metadata event labelling a thread (sub-)track.
+ChromeTraceEvent thread_name_event(std::uint32_t pid, std::uint32_t tid,
+                                   std::string name);
+
+/// Writes `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<ChromeTraceEvent>& events);
+
+}  // namespace paro::obs

@@ -1,8 +1,11 @@
 #include "paro/accelerator.hpp"
 
+#include <array>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "sim/tiling.hpp"
 
 namespace paro {
@@ -64,8 +67,21 @@ double ParoAccelerator::attention_gemm_cycles(const GemmOp& gemm,
   const std::size_t n_tokens = is_qk ? gemm.n : gemm.k;
   const std::size_t head_dim = is_qk ? gemm.k : gemm.n;
   const auto key = std::make_tuple(gemm.m, n_tokens, head_dim, is_qk);
+  auto& reg = obs::MetricsRegistry::global();
+  const auto count_tiles = [&reg](const TileCounts& tiles) {
+    for (int b = 0; b < kNumBitChoices; ++b) {
+      if (tiles[static_cast<std::size_t>(b)] == 0) continue;
+      reg.counter("sim.tiles_bits",
+                  {{"bits", std::to_string(kBitChoices[b])}})
+          .add(static_cast<double>(tiles[static_cast<std::size_t>(b)]));
+    }
+  };
   const auto it = sched_cache_.find(key);
-  if (it != sched_cache_.end()) return it->second;
+  if (it != sched_cache_.end()) {
+    reg.counter("sim.sched_cache_hits").add(1.0);
+    count_tiles(it->second.tiles);
+    return it->second.cycles;
+  }
 
   const std::size_t b = cfg_.map_block;
   const std::size_t blocks_r = (gemm.m + b - 1) / b;
@@ -91,11 +107,18 @@ double ParoAccelerator::attention_gemm_cycles(const GemmOp& gemm,
   pe_cfg.dispatcher = cfg_.dispatcher;
   const double cycles =
       static_cast<double>(pe_array_cycles_analytic(pe_cfg, jobs));
-  sched_cache_[key] = cycles;
+  SchedEntry entry;
+  entry.cycles = cycles;
+  for (const PeBlockJob& job : jobs) {
+    ++entry.tiles[static_cast<std::size_t>(bit_choice_index(job.bits))];
+  }
+  count_tiles(entry.tiles);
+  sched_cache_[key] = entry;
   return cycles;
 }
 
 std::vector<OpCost> ParoAccelerator::build_ops(const Workload& w) const {
+  PARO_SPAN("sim.build_ops");
   std::vector<OpCost> ops;
   const double lanes = hw_.vector_lanes;
   const double act_bytes = cfg_.w8a8_linear ? 1.0 : 2.0;
@@ -202,15 +225,21 @@ std::vector<OpCost> ParoAccelerator::build_ops(const Workload& w) const {
 
 SimStats ParoAccelerator::simulate_step(const Workload& workload,
                                         Trace* trace) const {
+  PARO_SPAN("sim.step");
   const OverlapModel model(hw_);
   return model.run(build_ops(workload), trace);
 }
 
-SimStats ParoAccelerator::simulate_video(const ModelConfig& model) const {
+SimStats ParoAccelerator::simulate_video(const ModelConfig& model,
+                                         Trace* step_trace) const {
+  PARO_SPAN("sim.video");
   const Workload w = Workload::build(
       model, cfg_.include_reorder && cfg_.quant_attention);
-  SimStats stats = simulate_step(w);
+  SimStats stats = simulate_step(w, step_trace);
   stats.scale(static_cast<double>(model.sampling_steps));
+  obs::MetricsRegistry::global()
+      .counter("sim.videos_simulated")
+      .add(1.0);
   return stats;
 }
 

@@ -19,6 +19,7 @@
 // quant_attention → + output_bitwidth_aware.
 #pragma once
 
+#include <array>
 #include <map>
 #include <tuple>
 
@@ -68,8 +69,12 @@ class ParoAccelerator {
   SimStats simulate_step(const Workload& workload,
                          Trace* trace = nullptr) const;
 
-  /// Simulate a full video (workload × sampling steps).
-  SimStats simulate_video(const ModelConfig& model) const;
+  /// Simulate a full video (workload × sampling steps).  When
+  /// `step_trace` is non-null it records the operator schedule of ONE
+  /// representative diffusion step (every step runs the same schedule;
+  /// the returned stats are still scaled to the full video).
+  SimStats simulate_video(const ModelConfig& model,
+                          Trace* step_trace = nullptr) const;
 
  private:
   /// PE-array cycles of one attention GEMM, through the dispatcher model.
@@ -80,9 +85,15 @@ class ParoAccelerator {
 
   HwResources hw_;
   ParoConfig cfg_;
+  /// Scheduled attention-map tiles per bitwidth, kBitChoices order.
+  using TileCounts = std::array<std::uint64_t, kNumBitChoices>;
+  struct SchedEntry {
+    double cycles = 0.0;
+    TileCounts tiles{};
+  };
   /// Memoised scheduler results: identical GEMM shapes recur per head/layer.
   mutable std::map<std::tuple<std::size_t, std::size_t, std::size_t, bool>,
-                   double>
+                   SchedEntry>
       sched_cache_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "quant/blockwise.hpp"
 
 namespace paro {
@@ -10,6 +12,7 @@ std::vector<PlanScore> score_all_orders(const MatF& sample_map,
                                         const TokenGrid& grid,
                                         std::size_t block,
                                         int calibration_bits) {
+  PARO_SPAN("calibrate.score_orders");
   PARO_CHECK_MSG(sample_map.rows() == grid.num_tokens() &&
                      sample_map.cols() == grid.num_tokens(),
                  "sample map does not match token grid");
@@ -30,6 +33,7 @@ std::vector<PlanScore> score_all_orders(const MatF& sample_map,
 
 ReorderPlan calibrate_plan(const MatF& sample_map, const TokenGrid& grid,
                            std::size_t block, int calibration_bits) {
+  PARO_SPAN("calibrate.plan");
   const auto scores =
       score_all_orders(sample_map, grid, block, calibration_bits);
   std::size_t best = 0;
@@ -40,6 +44,10 @@ ReorderPlan calibrate_plan(const MatF& sample_map, const TokenGrid& grid,
       best = i;
     }
   }
+  obs::MetricsRegistry::global()
+      .counter("reorder.plan_chosen",
+               {{"order", axis_order_name(scores[best].order)}})
+      .add(1.0);
   return ReorderPlan::for_order(grid, scores[best].order);
 }
 

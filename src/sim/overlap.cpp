@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 
 namespace paro {
 
@@ -51,6 +53,7 @@ double OverlapModel::op_cycles(const OpCost& op) const {
 
 SimStats OverlapModel::run(const std::vector<OpCost>& ops,
                            Trace* trace) const {
+  PARO_SPAN("sim.overlap.run");
   SimStats stats;
   std::size_t index = 0;
   for (const OpCost& op : ops) {
@@ -82,6 +85,13 @@ SimStats OverlapModel::run(const std::vector<OpCost>& ops,
     ps.dram_cycles += dram_cycles;
     ps.dram_bytes += op.dram_bytes;
   }
+
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("sim.ops").add(static_cast<double>(ops.size()));
+  reg.counter("sim.total_cycles").add(stats.total_cycles);
+  reg.counter("sim.pe_busy_cycles").add(stats.pe_busy_cycles);
+  reg.counter("sim.vector_busy_cycles").add(stats.vector_busy_cycles);
+  reg.counter("sim.dram_bytes").add(stats.dram_bytes);
   return stats;
 }
 

@@ -1,6 +1,9 @@
 #include "sim/trace.hpp"
 
+#include <map>
 #include <ostream>
+
+#include "obs/trace_export.hpp"
 
 namespace paro {
 
@@ -21,6 +24,43 @@ void Trace::write_csv(std::ostream& os) const {
        << e.end_cycle << ',' << e.compute_cycles << ',' << e.vector_cycles
        << ',' << e.dram_bytes << '\n';
   }
+}
+
+void Trace::write_chrome_json(std::ostream& os) const {
+  // One viewer track (tid) per phase, in order of first appearance so the
+  // timeline reads top-to-bottom the way the schedule executes.
+  std::map<std::string, std::uint32_t> phase_tid;
+  std::vector<std::string> phase_order;
+  for (const TraceEvent& e : events_) {
+    if (phase_tid.emplace(e.phase, phase_order.size()).second) {
+      phase_order.push_back(e.phase);
+    }
+  }
+
+  constexpr std::uint32_t kPid = 1;
+  std::vector<obs::ChromeTraceEvent> out;
+  out.reserve(events_.size() + phase_order.size() + 1);
+  out.push_back(obs::process_name_event(kPid, "paro-sim (1 cycle = 1us)"));
+  for (std::size_t t = 0; t < phase_order.size(); ++t) {
+    out.push_back(obs::thread_name_event(
+        kPid, static_cast<std::uint32_t>(t), phase_order[t]));
+  }
+  for (const TraceEvent& e : events_) {
+    obs::ChromeTraceEvent c;
+    c.name = e.phase;
+    c.cat = "sim";
+    c.ph = 'X';
+    c.ts = e.start_cycle;
+    c.dur = e.duration();
+    c.pid = kPid;
+    c.tid = phase_tid.at(e.phase);
+    c.args.emplace_back("index", static_cast<double>(e.index));
+    c.args.emplace_back("compute_cycles", e.compute_cycles);
+    c.args.emplace_back("vector_cycles", e.vector_cycles);
+    c.args.emplace_back("dram_bytes", e.dram_bytes);
+    out.push_back(std::move(c));
+  }
+  obs::write_chrome_trace(os, out);
 }
 
 }  // namespace paro

@@ -2,8 +2,32 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace paro {
 namespace {
+
+/// Captures log output into a string and restores defaults on exit.
+class CapturedLog {
+ public:
+  CapturedLog() : level_before_(log_level()) {
+    set_log_sink(&os_);
+    set_log_level(LogLevel::kDebug);
+  }
+  ~CapturedLog() {
+    set_log_sink(nullptr);
+    set_log_timestamps(false);
+    set_log_level(level_before_);
+  }
+  std::string text() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+  LogLevel level_before_;
+};
 
 TEST(Logging, LevelRoundTrip) {
   const LogLevel before = log_level();
@@ -30,6 +54,66 @@ TEST(Logging, StreamsArbitraryTypes) {
   PARO_LOG(kInfo) << 1 << ' ' << 2.5 << ' ' << "str";
   set_log_level(before);
   SUCCEED();
+}
+
+TEST(Logging, SinkRedirectCapturesPrefixedLine) {
+  CapturedLog capture;
+  PARO_LOG(kWarn) << "tile budget " << 42;
+  EXPECT_EQ(capture.text(), "[paro:WARN] tile budget 42\n");
+}
+
+TEST(Logging, LevelFiltersThroughRedirectedSink) {
+  CapturedLog capture;
+  set_log_level(LogLevel::kError);
+  PARO_LOG(kInfo) << "dropped";
+  PARO_LOG(kError) << "kept";
+  EXPECT_EQ(capture.text(), "[paro:ERROR] kept\n");
+}
+
+TEST(Logging, TimestampPrefixHasExpectedShape) {
+  CapturedLog capture;
+  set_log_timestamps(true);
+  EXPECT_TRUE(log_timestamps());
+  PARO_LOG(kInfo) << "stamped";
+  const std::string line = capture.text();
+  // 2026-08-06T12:34:56.789Z [paro:INFO] stamped
+  ASSERT_GE(line.size(), 25U);
+  EXPECT_EQ(line[4], '-');
+  EXPECT_EQ(line[7], '-');
+  EXPECT_EQ(line[10], 'T');
+  EXPECT_EQ(line[13], ':');
+  EXPECT_EQ(line[16], ':');
+  EXPECT_EQ(line[19], '.');
+  EXPECT_EQ(line[23], 'Z');
+  EXPECT_NE(line.find(" [paro:INFO] stamped\n"), std::string::npos);
+  set_log_timestamps(false);
+  EXPECT_FALSE(log_timestamps());
+}
+
+TEST(Logging, ConcurrentEmissionNeverInterleavesMidLine) {
+  CapturedLog capture;
+  constexpr int kThreads = 4;
+  constexpr int kLines = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        PARO_LOG(kInfo) << "thread " << t << " line " << i << " end";
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::istringstream lines(capture.text());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.rfind("[paro:INFO] thread ", 0), 0U) << line;
+    EXPECT_EQ(line.substr(line.size() - 4), " end") << line;
+    ++count;
+  }
+  EXPECT_EQ(count, kThreads * kLines);
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "json_validate.hpp"
+
+namespace paro::obs {
+namespace {
+
+using testutil::is_valid_json;
+
+TEST(JsonEscape, PlainStringsPassThrough) {
+  EXPECT_EQ(json_escape("hello"), "\"hello\"");
+  EXPECT_EQ(json_escape(""), "\"\"");
+}
+
+TEST(JsonEscape, SpecialCharacters) {
+  EXPECT_EQ(json_escape("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_escape("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_escape("a\nb\tc"), "\"a\\nb\\tc\"");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(JsonEscape, Utf8PassesThrough) {
+  EXPECT_EQ(json_escape("µs → cycles"), "\"µs → cycles\"");
+}
+
+TEST(JsonNumber, IntegralDoublesHaveNoFraction) {
+  EXPECT_EQ(json_number(5.0), "5");
+  EXPECT_EQ(json_number(-3.0), "-3");
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(10.0), "10");
+  EXPECT_EQ(json_number(2500.0), "2500");
+  EXPECT_EQ(json_number(123456789012.0), "123456789012");
+}
+
+TEST(JsonNumber, RoundTripsExactly) {
+  for (const double v : {0.1, 1.0 / 3.0, 2.669937984e+11, 1e-300, 1e300,
+                         4.8, 0.7634338940510762}) {
+    const std::string s = json_number(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriter, CompactObject) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("a", std::int64_t{1});
+  w.kv("b", "two");
+  w.kv("c", true);
+  w.key("d").begin_array().value(1.5).null_value().end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\"a\":1,\"b\":\"two\",\"c\":true,\"d\":[1.5,null]}");
+  EXPECT_TRUE(is_valid_json(os.str()));
+  EXPECT_EQ(w.depth(), 0U);
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("o").begin_object().end_object();
+  w.key("a").begin_array().end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\"o\":{},\"a\":[]}");
+  EXPECT_TRUE(is_valid_json(os.str()));
+}
+
+TEST(JsonWriter, PrettyPrintingIsValid) {
+  std::ostringstream os;
+  JsonWriter w(os, 2);
+  w.begin_object();
+  w.kv("name", "x");
+  w.key("nested").begin_object().kv("k", 3.25).end_object();
+  w.key("list").begin_array().value(std::int64_t{1}).value(std::int64_t{2})
+      .end_array();
+  w.end_object();
+  EXPECT_TRUE(is_valid_json(os.str())) << os.str();
+  EXPECT_NE(os.str().find('\n'), std::string::npos);
+}
+
+TEST(JsonWriter, EscapesKeys) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("quote\"key", "v\\");
+  w.end_object();
+  EXPECT_TRUE(is_valid_json(os.str())) << os.str();
+}
+
+TEST(JsonValidator, RejectsGarbage) {
+  EXPECT_FALSE(is_valid_json("{"));
+  EXPECT_FALSE(is_valid_json("{\"a\":}"));
+  EXPECT_FALSE(is_valid_json("[1,]"));
+  EXPECT_FALSE(is_valid_json("{} extra"));
+  EXPECT_TRUE(is_valid_json(" {\"a\": [1, 2.5e-3, \"s\", null]} "));
+}
+
+}  // namespace
+}  // namespace paro::obs

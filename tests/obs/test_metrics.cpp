@@ -1,0 +1,174 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "json_validate.hpp"
+#include "obs/json.hpp"
+
+namespace paro::obs {
+namespace {
+
+TEST(Metrics, CounterAddAndValue) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("x");
+  c.add();
+  c.add(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+}
+
+TEST(Metrics, CounterConcurrentIncrements) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Re-fetch through the registry half the time to exercise the
+      // registration path concurrently with the add path.
+      Counter& c = reg.counter("hits");
+      for (int i = 0; i < kIters; ++i) {
+        if (i % 2 == 0) {
+          c.add(1.0);
+        } else {
+          reg.counter("hits").add(1.0);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(reg.counter("hits").value(),
+                   static_cast<double>(kThreads) * kIters);
+}
+
+TEST(Metrics, LabelsDistinguishSeries) {
+  MetricsRegistry reg;
+  reg.counter("tiles", {{"bits", "8"}}).add(10);
+  reg.counter("tiles", {{"bits", "4"}}).add(3);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.value_of("tiles", {{"bits", "8"}}), 10.0);
+  EXPECT_DOUBLE_EQ(snap.value_of("tiles", {{"bits", "4"}}), 3.0);
+  EXPECT_DOUBLE_EQ(snap.family_total("tiles"), 13.0);
+}
+
+TEST(Metrics, LabelOrderIsCanonical) {
+  MetricsRegistry reg;
+  reg.counter("m", {{"b", "2"}, {"a", "1"}}).add(1);
+  reg.counter("m", {{"a", "1"}, {"b", "2"}}).add(1);
+  EXPECT_EQ(reg.size(), 1U);
+  EXPECT_DOUBLE_EQ(reg.snapshot().value_of("m", {{"b", "2"}, {"a", "1"}}),
+                   2.0);
+}
+
+TEST(Metrics, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), ConfigError);
+  EXPECT_THROW(reg.stats("x"), ConfigError);
+  EXPECT_THROW(reg.histogram("x", 0, 1, 4), ConfigError);
+}
+
+TEST(Metrics, GaugeKeepsLastValue) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("util");
+  g.set(0.25);
+  g.set(0.75);
+  EXPECT_DOUBLE_EQ(reg.snapshot().value_of("util"), 0.75);
+}
+
+TEST(Metrics, HistogramObserves) {
+  MetricsRegistry reg;
+  HistogramMetric& h = reg.histogram("bits", 0.0, 8.0, 4);
+  h.observe(1.0);
+  h.observe(1.5);
+  h.observe(7.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricSample* s = snap.find("bits");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, MetricKind::kHistogram);
+  EXPECT_EQ(s->total, 3U);
+  ASSERT_EQ(s->bins.size(), 4U);
+  EXPECT_EQ(s->bins[0], 2U);
+  EXPECT_EQ(s->bins[3], 1U);
+}
+
+TEST(Metrics, StatsAndScopedTimer) {
+  MetricsRegistry reg;
+  StatsMetric& st = reg.stats("lat");
+  st.record(2.0);
+  st.record(4.0);
+  EXPECT_DOUBLE_EQ(st.snapshot().mean(), 3.0);
+
+  { const ScopedTimer timer(reg.stats("elapsed")); }
+  const RunningStats elapsed = reg.stats("elapsed").snapshot();
+  EXPECT_EQ(elapsed.count(), 1U);
+  EXPECT_GE(elapsed.min(), 0.0);
+}
+
+TEST(Metrics, SnapshotIsSortedAndConsistent) {
+  MetricsRegistry reg;
+  reg.counter("b").add(1);
+  reg.counter("a").add(1);
+  reg.counter("a", {{"l", "1"}}).add(1);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 3U);
+  EXPECT_EQ(snap.samples[0].name, "a");
+  EXPECT_TRUE(snap.samples[0].labels.empty());
+  EXPECT_EQ(snap.samples[1].name, "a");
+  EXPECT_EQ(snap.samples[2].name, "b");
+}
+
+TEST(Metrics, SnapshotUnderConcurrentWrites) {
+  MetricsRegistry reg;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load()) {
+      reg.counter("w").add(1.0);
+      reg.gauge("g").set(1.0);
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    const MetricsSnapshot snap = reg.snapshot();
+    // Values are monotone; a snapshot must never see a torn/negative one.
+    EXPECT_GE(snap.value_of("w"), 0.0);
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(Metrics, ResetClears) {
+  MetricsRegistry reg;
+  reg.counter("x").add(5);
+  reg.reset();
+  EXPECT_EQ(reg.size(), 0U);
+  EXPECT_DOUBLE_EQ(reg.snapshot().value_of("x"), 0.0);
+}
+
+TEST(Metrics, WriteJsonIsValid) {
+  MetricsRegistry reg;
+  reg.counter("c", {{"k", "v"}}).add(2);
+  reg.gauge("g").set(0.5);
+  reg.histogram("h", 0, 1, 2).observe(0.3);
+  reg.stats("s").record(1.25);
+  std::ostringstream os;
+  JsonWriter w(os);
+  reg.snapshot().write_json(w);
+  EXPECT_TRUE(testutil::is_valid_json(os.str())) << os.str();
+  EXPECT_NE(os.str().find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"kind\":\"gauge\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"kind\":\"stats\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"labels\":{\"k\":\"v\"}"), std::string::npos);
+}
+
+TEST(Metrics, GlobalRegistryIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+}  // namespace
+}  // namespace paro::obs

@@ -1,0 +1,77 @@
+#include "obs/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "json_validate.hpp"
+
+namespace paro::obs {
+namespace {
+
+std::string render(const std::vector<ChromeTraceEvent>& events) {
+  std::ostringstream os;
+  write_chrome_trace(os, events);
+  return os.str();
+}
+
+TEST(TraceExport, EmptyTraceIsValid) {
+  const std::string json = render({});
+  EXPECT_TRUE(testutil::is_valid_json(json)) << json;
+  EXPECT_EQ(json, "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST(TraceExport, CompleteEventGolden) {
+  ChromeTraceEvent ev;
+  ev.name = "attn.qk";
+  ev.ts = 10.0;
+  ev.dur = 2.5;
+  ev.tid = 3;
+  ev.args.emplace_back("cycles", 2500.0);
+  const std::string json = render({ev});
+  EXPECT_TRUE(testutil::is_valid_json(json)) << json;
+  EXPECT_EQ(json,
+            "{\"traceEvents\":[{\"name\":\"attn.qk\",\"cat\":\"paro\","
+            "\"ph\":\"X\",\"pid\":1,\"tid\":3,\"ts\":10,\"dur\":2.5,"
+            "\"args\":{\"cycles\":2500}}],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST(TraceExport, MetadataEventsNameTracks) {
+  const std::string json = render({
+      process_name_event(1, "paro-sim"),
+      thread_name_event(1, 2, "attention"),
+  });
+  EXPECT_TRUE(testutil::is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"paro-sim\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"attention\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+}
+
+TEST(TraceExport, StringAndNumericArgsCoexist) {
+  ChromeTraceEvent ev;
+  ev.name = "op";
+  ev.args.emplace_back("bytes", 4096.0);
+  ev.sargs.emplace_back("phase", "dram \"load\"");
+  const std::string json = render({ev});
+  EXPECT_TRUE(testutil::is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"bytes\":4096"), std::string::npos);
+  EXPECT_NE(json.find("\"phase\":\"dram \\\"load\\\"\""), std::string::npos);
+}
+
+TEST(TraceExport, EventsKeepGivenOrder) {
+  ChromeTraceEvent a;
+  a.name = "first";
+  a.ts = 5.0;
+  ChromeTraceEvent b;
+  b.name = "second";
+  b.ts = 1.0;
+  const std::string json = render({a, b});
+  EXPECT_LT(json.find("\"first\""), json.find("\"second\""));
+}
+
+}  // namespace
+}  // namespace paro::obs

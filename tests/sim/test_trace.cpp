@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "../obs/json_validate.hpp"
 #include "sim/overlap.hpp"
 
 namespace paro {
@@ -64,6 +65,69 @@ TEST(Trace, NullTraceIsNoop) {
   const OverlapModel model(unit_hw());
   const SimStats stats = model.run({{"a", 10, 0, 0}}, nullptr);
   EXPECT_DOUBLE_EQ(stats.total_cycles, 10.0);
+}
+
+TEST(Trace, ChromeJsonIsValidWithCorrectFields) {
+  const OverlapModel model(unit_hw());
+  Trace trace;
+  model.run({{"linear", 4, 2, 8}, {"attention", 6, 0, 0}}, &trace);
+  std::ostringstream os;
+  trace.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(testutil::is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"linear\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"attention\""), std::string::npos);
+  EXPECT_NE(json.find("\"compute_cycles\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"dram_bytes\":8"), std::string::npos);
+}
+
+TEST(Trace, ChromeJsonTimestampsAreMonotonic) {
+  const OverlapModel model(unit_hw());
+  Trace trace;
+  model.run({{"a", 3, 0, 0}, {"b", 5, 0, 0}, {"a", 2, 0, 0}}, &trace);
+  // Trace events are recorded back-to-back, so ts must be non-decreasing
+  // in emission order and every complete event gets ts = start cycle.
+  double prev = -1.0;
+  for (const TraceEvent& e : trace.events()) {
+    EXPECT_GE(e.start_cycle, prev);
+    prev = e.start_cycle;
+  }
+  std::ostringstream os;
+  trace.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"ts\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":8"), std::string::npos);
+}
+
+TEST(Trace, ChromeJsonPhasesGetDistinctTracks) {
+  const OverlapModel model(unit_hw());
+  Trace trace;
+  model.run({{"linear", 4, 0, 0}, {"attention", 6, 0, 0}}, &trace);
+  std::ostringstream os;
+  trace.write_chrome_json(os);
+  const std::string json = os.str();
+  // thread_name metadata labels one track per phase, first-appearance
+  // order: linear → tid 0, attention → tid 1.
+  EXPECT_NE(json.find("\"args\":{\"name\":\"linear\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"attention\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+}
+
+TEST(Trace, ChromeJsonEmptyTraceGolden) {
+  Trace trace;
+  std::ostringstream os;
+  trace.write_chrome_json(os);
+  EXPECT_EQ(os.str(),
+            "{\"traceEvents\":[{\"name\":\"process_name\","
+            "\"cat\":\"__metadata\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+            "\"args\":{\"name\":\"paro-sim (1 cycle = 1us)\"}}],"
+            "\"displayTimeUnit\":\"ms\"}\n");
 }
 
 }  // namespace

@@ -14,17 +14,33 @@
 //   paro_cli simulate [model=5b] [config=full|fp16|w8a8|quant]
 //       Run the accelerator performance model on CogVideoX.
 //
-// Every subcommand accepts key=value arguments (common/config.hpp).
+// Every subcommand accepts key=value arguments (common/config.hpp), plus
+// two observability switches shared by calibrate / quality / simulate:
+//
+//   json=1           emit a machine-readable JSON report on stdout
+//                    instead of the human-readable text (diagnostics go
+//                    to stderr, so stdout stays valid JSON);
+//   trace_out=f.json write a Chrome trace-event file: the simulator's
+//                    operator schedule for `simulate`, wall-clock
+//                    profiling spans for `calibrate` / `quality`.  Open
+//                    it in chrome://tracing or ui.perfetto.dev.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
 
 #include "attention/calibration_io.hpp"
 #include "common/config.hpp"
+#include "common/logging.hpp"
 #include "energy/area_power.hpp"
 #include "metrics/video_metrics.hpp"
 #include "model/ddim.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "paro/accelerator.hpp"
+#include "sim/trace.hpp"
 
 namespace paro {
 namespace {
@@ -53,7 +69,80 @@ QuantAttentionConfig quant_config(const KeyValueConfig& cfg) {
   return q;
 }
 
+/// "metrics": [...] section shared by every JSON report.
+void write_metrics_section(obs::JsonWriter& w) {
+  w.key("metrics");
+  obs::MetricsRegistry::global().snapshot().write_json(w);
+}
+
+/// Writes the profiler's span timeline to `path` (calibrate / quality).
+void write_profile_trace(const std::string& path) {
+  std::ofstream os(path);
+  PARO_CHECK_MSG(os.good(), "cannot open trace output: " + path);
+  obs::Profiler::global().write_chrome_json(os);
+  PARO_CHECK_MSG(os.good(), "trace write failed: " + path);
+  PARO_LOG(kInfo) << "wrote profiling trace to " << path;
+}
+
+/// Per-head summary shared by calibrate / inspect.
+struct CalibSummary {
+  std::size_t layers = 0;
+  std::size_t heads = 0;           ///< total heads
+  std::size_t with_tables = 0;
+  double avg_bits = 0.0;           ///< mean over heads (16.0 when no table)
+  std::vector<std::size_t> order_hist;
+  std::size_t tiles[kNumBitChoices] = {0, 0, 0, 0};
+};
+
+CalibSummary summarize_calibration(
+    const std::vector<std::vector<HeadCalibration>>& table) {
+  if (table.empty() || table[0].empty()) {
+    throw Error("calibration table contains no heads");
+  }
+  CalibSummary s;
+  s.layers = table.size();
+  s.order_hist.assign(all_axis_orders().size(), 0);
+  double bits_sum = 0.0;
+  for (const auto& layer : table) {
+    for (const HeadCalibration& head : layer) {
+      ++s.heads;
+      for (std::size_t i = 0; i < all_axis_orders().size(); ++i) {
+        if (head.plan.order == all_axis_orders()[i]) ++s.order_hist[i];
+      }
+      if (head.bit_table.has_value()) {
+        ++s.with_tables;
+        bits_sum += head.bit_table->average_bitwidth();
+        for (int b = 0; b < kNumBitChoices; ++b) {
+          s.tiles[b] += head.bit_table->tiles_at(kBitChoices[b]);
+        }
+      } else {
+        bits_sum += 16.0;
+      }
+    }
+  }
+  s.avg_bits = bits_sum / static_cast<double>(s.heads);
+  return s;
+}
+
+void write_summary_json(obs::JsonWriter& w, const CalibSummary& s) {
+  w.kv("layers", s.layers);
+  w.kv("heads", s.heads);
+  w.kv("heads_with_bit_tables", s.with_tables);
+  w.kv("avg_map_bits", s.avg_bits);
+  w.key("reorder_plans").begin_object();
+  for (std::size_t i = 0; i < s.order_hist.size(); ++i) {
+    w.kv(axis_order_name(all_axis_orders()[i]), s.order_hist[i]);
+  }
+  w.end_object();
+  w.key("tiles_per_bitwidth").begin_object();
+  for (int b = 0; b < kNumBitChoices; ++b) {
+    w.kv(std::to_string(kBitChoices[b]), s.tiles[b]);
+  }
+  w.end_object();
+}
+
 int cmd_calibrate(const KeyValueConfig& cfg) {
+  const bool json = cfg.get_bool("json", false);
   const SyntheticDiT dit(dit_config(cfg));
   const QuantAttentionConfig quant = quant_config(cfg);
   const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 21));
@@ -66,72 +155,91 @@ int cmd_calibrate(const KeyValueConfig& cfg) {
   const std::string out = cfg.get_string("out", "calib.txt");
   save_calibration_file(out, calib.heads);
 
-  double avg = 0.0;
-  std::size_t heads = 0;
-  for (const auto& layer : calib.heads) {
-    for (const auto& head : layer) {
-      avg += head.bit_table.has_value() ? head.bit_table->average_bitwidth()
-                                        : 16.0;
-      ++heads;
-    }
+  const CalibSummary summary = summarize_calibration(calib.heads);
+  if (json) {
+    obs::JsonWriter w(std::cout, 2);
+    w.begin_object();
+    w.kv("command", "calibrate");
+    w.kv("out", out);
+    w.kv("budget_mode", global ? "model-wide" : "per-head");
+    write_summary_json(w, summary);
+    write_metrics_section(w);
+    w.end_object();
+    std::cout << '\n';
+  } else {
+    std::printf("calibrated %zu heads (%s budget), avg map bits %.3f\n",
+                summary.heads, global ? "model-wide" : "per-head",
+                summary.avg_bits);
+    std::printf("saved to %s\n", out.c_str());
   }
-  std::printf("calibrated %zu heads (%s budget), avg map bits %.3f\n",
-              heads, global ? "model-wide" : "per-head",
-              avg / static_cast<double>(heads));
-  std::printf("saved to %s\n", out.c_str());
+  if (cfg.contains("trace_out")) {
+    write_profile_trace(cfg.get_string("trace_out", ""));
+  }
   return 0;
 }
 
 int cmd_inspect(const KeyValueConfig& cfg) {
+  const bool json = cfg.get_bool("json", false);
   const std::string in = cfg.get_string("in", "calib.txt");
   const auto table = load_calibration_file(in);
-  std::printf("calibration: %zu layers x %zu heads\n", table.size(),
+  // load_calibration_file rejects malformed headers, but re-validate here
+  // so a degenerate table can never reach the indexing below.
+  if (table.empty() || table[0].empty()) {
+    throw Error("calibration file " + in + " contains no heads");
+  }
+  const CalibSummary s = summarize_calibration(table);
+  if (json) {
+    obs::JsonWriter w(std::cout, 2);
+    w.begin_object();
+    w.kv("command", "inspect");
+    w.kv("in", in);
+    write_summary_json(w, s);
+    w.end_object();
+    std::cout << '\n';
+    return 0;
+  }
+  std::printf("calibration: %zu layers x %zu heads\n", s.layers,
               table[0].size());
-  std::vector<std::size_t> order_hist(all_axis_orders().size(), 0);
-  double avg = 0.0;
-  std::size_t with_tables = 0, heads = 0;
-  std::size_t tiles[kNumBitChoices] = {0, 0, 0, 0};
-  for (const auto& layer : table) {
-    for (const HeadCalibration& head : layer) {
-      ++heads;
-      for (std::size_t i = 0; i < all_axis_orders().size(); ++i) {
-        if (head.plan.order == all_axis_orders()[i]) ++order_hist[i];
-      }
-      if (head.bit_table.has_value()) {
-        ++with_tables;
-        avg += head.bit_table->average_bitwidth();
-        for (int b = 0; b < kNumBitChoices; ++b) {
-          tiles[b] += head.bit_table->tiles_at(kBitChoices[b]);
+  std::printf("reorder plans: ");
+  for (std::size_t i = 0; i < s.order_hist.size(); ++i) {
+    std::printf("%s=%zu ", axis_order_name(all_axis_orders()[i]).c_str(),
+                s.order_hist[i]);
+  }
+  std::printf("\n");
+  if (s.with_tables > 0) {
+    double avg_with_tables = 0.0;
+    for (const auto& layer : table) {
+      for (const HeadCalibration& head : layer) {
+        if (head.bit_table.has_value()) {
+          avg_with_tables += head.bit_table->average_bitwidth();
         }
       }
     }
-  }
-  std::printf("reorder plans: ");
-  for (std::size_t i = 0; i < order_hist.size(); ++i) {
-    std::printf("%s=%zu ", axis_order_name(all_axis_orders()[i]).c_str(),
-                order_hist[i]);
-  }
-  std::printf("\n");
-  if (with_tables > 0) {
     std::printf("bitwidth tables: %zu heads, avg %.3f bits, tiles "
                 "0/2/4/8 = %zu/%zu/%zu/%zu\n",
-                with_tables, avg / static_cast<double>(with_tables),
-                tiles[0], tiles[1], tiles[2], tiles[3]);
+                s.with_tables,
+                avg_with_tables / static_cast<double>(s.with_tables),
+                s.tiles[0], s.tiles[1], s.tiles[2], s.tiles[3]);
   }
   return 0;
 }
 
 int cmd_quality(const KeyValueConfig& cfg) {
+  const bool json = cfg.get_bool("json", false);
   const SyntheticDiT dit(dit_config(cfg));
   const QuantAttentionConfig quant = quant_config(cfg);
   const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 21));
   const int steps = static_cast<int>(cfg.get_int("steps", 10));
 
   SyntheticDiT::Calibration calib;
+  bool loaded = false;
   if (cfg.contains("in")) {
     calib.heads = load_calibration_file(cfg.get_string("in", "calib.txt"));
-    std::printf("loaded calibration from %s\n",
-                cfg.get_string("in", "calib.txt").c_str());
+    loaded = true;
+    if (!json) {
+      std::printf("loaded calibration from %s\n",
+                  cfg.get_string("in", "calib.txt").c_str());
+    }
   } else {
     const MatF latent = ddim_sample(dit, {}, nullptr, 1, seed);
     calib = dit.calibrate(quant, latent, 1.0);
@@ -148,14 +256,38 @@ int cmd_quality(const KeyValueConfig& cfg) {
   exec.quant = quant;
   const MatF video = ddim_sample(dit, exec, &calib, steps, seed);
   const VideoQuality q = evaluate_video(video, reference, grid);
-  std::printf("FVD-proxy %.5f | CLIPSIM %.5f | CLIP-Temp %.5f | VQA %.2f "
-              "| Flicker %.1f | PSNR %.1f dB\n",
-              q.fvd, q.clipsim, q.clip_temp, q.vqa, q.flicker,
-              video_psnr_db(video, reference, grid));
+  const double psnr = video_psnr_db(video, reference, grid);
+  if (json) {
+    obs::JsonWriter w(std::cout, 2);
+    w.begin_object();
+    w.kv("command", "quality");
+    w.kv("steps", static_cast<std::int64_t>(steps));
+    w.kv("integer_path", cfg.get_bool("integer", false));
+    w.kv("calibration_loaded", loaded);
+    w.key("scores").begin_object();
+    w.kv("fvd_proxy", q.fvd);
+    w.kv("clipsim", q.clipsim);
+    w.kv("clip_temp", q.clip_temp);
+    w.kv("vqa", q.vqa);
+    w.kv("flicker", q.flicker);
+    w.kv("psnr_db", psnr);
+    w.end_object();
+    write_metrics_section(w);
+    w.end_object();
+    std::cout << '\n';
+  } else {
+    std::printf("FVD-proxy %.5f | CLIPSIM %.5f | CLIP-Temp %.5f | VQA %.2f "
+                "| Flicker %.1f | PSNR %.1f dB\n",
+                q.fvd, q.clipsim, q.clip_temp, q.vqa, q.flicker, psnr);
+  }
+  if (cfg.contains("trace_out")) {
+    write_profile_trace(cfg.get_string("trace_out", ""));
+  }
   return 0;
 }
 
 int cmd_simulate(const KeyValueConfig& cfg) {
+  const bool json = cfg.get_bool("json", false);
   ModelConfig model = cfg.get_string("model", "5b") == "2b"
                           ? ModelConfig::cogvideox_2b()
                           : ModelConfig::cogvideox_5b();
@@ -170,16 +302,65 @@ int cmd_simulate(const KeyValueConfig& cfg) {
                              ? HwResources::paro_align_a100()
                              : HwResources::paro_asic();
   const ParoAccelerator accel(hw, pc);
-  const SimStats stats = accel.simulate_video(model);
-  std::printf("%s on %s (%s): %.1f s per video, PE util %.0f%%, "
-              "%.1f GB DRAM traffic\n",
-              model.name.c_str(), hw.name.c_str(), name.c_str(),
-              stats.seconds(hw.freq_ghz), 100.0 * stats.pe_utilization(),
-              stats.dram_bytes / 1e9);
-  for (const auto& [phase, ps] : stats.phases) {
-    std::printf("  %-10s %6.1f s (%4.1f%%)\n", phase.c_str(),
-                ps.cycles / (hw.freq_ghz * 1e9),
-                100.0 * ps.cycles / stats.total_cycles);
+
+  Trace step_trace;
+  const bool want_trace = cfg.contains("trace_out");
+  const SimStats stats =
+      accel.simulate_video(model, want_trace ? &step_trace : nullptr);
+
+  if (json) {
+    obs::JsonWriter w(std::cout, 2);
+    w.begin_object();
+    w.kv("command", "simulate");
+    w.kv("model", model.name);
+    w.kv("hw", hw.name);
+    w.kv("config", name);
+    w.kv("sampling_steps", model.sampling_steps);
+    w.kv("seconds_per_video", stats.seconds(hw.freq_ghz));
+    w.kv("pe_utilization", stats.pe_utilization());
+    w.kv("total_cycles", stats.total_cycles);
+    w.kv("pe_busy_cycles", stats.pe_busy_cycles);
+    w.kv("vector_busy_cycles", stats.vector_busy_cycles);
+    w.kv("dram_busy_cycles", stats.dram_busy_cycles);
+    w.kv("dram_bytes", stats.dram_bytes);
+    w.key("phases").begin_array();
+    for (const auto& [phase, ps] : stats.phases) {
+      w.begin_object();
+      w.kv("name", phase);
+      w.kv("cycles", ps.cycles);
+      w.kv("seconds", ps.cycles / (hw.freq_ghz * 1e9));
+      w.kv("fraction", ps.cycles / stats.total_cycles);
+      w.kv("compute_cycles", ps.compute_cycles);
+      w.kv("vector_cycles", ps.vector_cycles);
+      w.kv("dram_cycles", ps.dram_cycles);
+      w.kv("dram_bytes", ps.dram_bytes);
+      w.end_object();
+    }
+    w.end_array();
+    write_metrics_section(w);
+    w.end_object();
+    std::cout << '\n';
+  } else {
+    std::printf("%s on %s (%s): %.1f s per video, PE util %.0f%%, "
+                "%.1f GB DRAM traffic\n",
+                model.name.c_str(), hw.name.c_str(), name.c_str(),
+                stats.seconds(hw.freq_ghz), 100.0 * stats.pe_utilization(),
+                stats.dram_bytes / 1e9);
+    for (const auto& [phase, ps] : stats.phases) {
+      std::printf("  %-10s %6.1f s (%4.1f%%)\n", phase.c_str(),
+                  ps.cycles / (hw.freq_ghz * 1e9),
+                  100.0 * ps.cycles / stats.total_cycles);
+    }
+  }
+
+  if (want_trace) {
+    const std::string path = cfg.get_string("trace_out", "");
+    std::ofstream os(path);
+    PARO_CHECK_MSG(os.good(), "cannot open trace output: " + path);
+    step_trace.write_chrome_json(os);
+    PARO_CHECK_MSG(os.good(), "trace write failed: " + path);
+    PARO_LOG(kInfo) << "wrote simulator trace (one diffusion step) to "
+                    << path;
   }
   return 0;
 }
@@ -191,7 +372,10 @@ int usage() {
       "  calibrate  out=calib.txt global=0 budget=4.8 block=8 oba=1\n"
       "  inspect    in=calib.txt\n"
       "  quality    [in=calib.txt] steps=10 integer=0 budget=4.8\n"
-      "  simulate   model=5b|2b config=full|fp16|w8a8|quant align_a100=0\n");
+      "  simulate   model=5b|2b config=full|fp16|w8a8|quant align_a100=0\n"
+      "observability (calibrate/quality/simulate):\n"
+      "  json=1            JSON report on stdout (logs stay on stderr)\n"
+      "  trace_out=f.json  Chrome trace file for chrome://tracing/Perfetto\n");
   return 2;
 }
 
@@ -199,6 +383,9 @@ int run(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const KeyValueConfig cfg = KeyValueConfig::from_args(argc - 1, argv + 1);
+  // Wall-clock spans are cheap at CLI workload sizes; collect them always
+  // so trace_out never needs a second run.
+  obs::Profiler::global().set_enabled(true);
   try {
     if (command == "calibrate") return cmd_calibrate(cfg);
     if (command == "inspect") return cmd_inspect(cfg);
