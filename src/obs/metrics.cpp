@@ -30,14 +30,34 @@ MetricsRegistry::MetricsRegistry() = default;
 MetricsRegistry::~MetricsRegistry() = default;
 
 MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
-                                               Labels labels,
-                                               MetricKind kind) {
+                                               Labels labels, MetricKind kind,
+                                               double lo, double hi,
+                                               std::size_t bins) {
   std::sort(labels.begin(), labels.end());
   const std::lock_guard<std::mutex> lock(mu_);
   auto& slot = metrics_[{name, std::move(labels)}];
   if (slot == nullptr) {
-    slot = std::make_unique<Entry>();
-    slot->kind = kind;
+    // Construct the metric object while mu_ is still held so a fully
+    // initialized Entry is published; concurrent first-registrations of
+    // the same series must not race on the member unique_ptrs, and
+    // snapshot() must never see a half-built Entry.
+    auto e = std::make_unique<Entry>();
+    e->kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        e->counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        e->gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        e->histogram = std::make_unique<HistogramMetric>(lo, hi, bins);
+        break;
+      case MetricKind::kStats:
+        e->stats = std::make_unique<StatsMetric>();
+        break;
+    }
+    slot = std::move(e);
   } else if (slot->kind != kind) {
     throw ConfigError("metric '" + name + "' registered as " +
                       metric_kind_name(slot->kind) + ", requested as " +
@@ -47,31 +67,22 @@ MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
 }
 
 Counter& MetricsRegistry::counter(const std::string& name, Labels labels) {
-  Entry& e = entry(name, std::move(labels), MetricKind::kCounter);
-  if (e.counter == nullptr) e.counter = std::make_unique<Counter>();
-  return *e.counter;
+  return *entry(name, std::move(labels), MetricKind::kCounter).counter;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels) {
-  Entry& e = entry(name, std::move(labels), MetricKind::kGauge);
-  if (e.gauge == nullptr) e.gauge = std::make_unique<Gauge>();
-  return *e.gauge;
+  return *entry(name, std::move(labels), MetricKind::kGauge).gauge;
 }
 
 HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,
                                             double hi, std::size_t bins,
                                             Labels labels) {
-  Entry& e = entry(name, std::move(labels), MetricKind::kHistogram);
-  if (e.histogram == nullptr) {
-    e.histogram = std::make_unique<HistogramMetric>(lo, hi, bins);
-  }
-  return *e.histogram;
+  return *entry(name, std::move(labels), MetricKind::kHistogram, lo, hi, bins)
+              .histogram;
 }
 
 StatsMetric& MetricsRegistry::stats(const std::string& name, Labels labels) {
-  Entry& e = entry(name, std::move(labels), MetricKind::kStats);
-  if (e.stats == nullptr) e.stats = std::make_unique<StatsMetric>();
-  return *e.stats;
+  return *entry(name, std::move(labels), MetricKind::kStats).stats;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
@@ -95,6 +106,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         s.lo = h.bin_lo(0);
         s.hi = h.bin_hi(h.bin_count() - 1);
         s.total = h.total();
+        s.value = static_cast<double>(s.total);
         s.bins.reserve(h.bin_count());
         for (std::size_t i = 0; i < h.bin_count(); ++i) {
           s.bins.push_back(h.bin(i));
@@ -103,6 +115,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       }
       case MetricKind::kStats:
         s.stats = e->stats->snapshot();
+        s.value = s.stats.sum();
         break;
     }
     snap.samples.push_back(std::move(s));

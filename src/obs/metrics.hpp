@@ -105,7 +105,9 @@ struct MetricSample {
   std::string name;
   Labels labels;
   MetricKind kind = MetricKind::kCounter;
-  double value = 0.0;        ///< counter / gauge
+  /// Scalar view of the series: the counter/gauge value, the observation
+  /// count for kHistogram, or the running sum for kStats.
+  double value = 0.0;
   RunningStats stats;        ///< kStats
   // kHistogram summary:
   double lo = 0.0;
@@ -120,9 +122,11 @@ struct MetricsSnapshot {
   /// First sample matching (name, labels); nullptr when absent.
   const MetricSample* find(const std::string& name,
                            const Labels& labels = {}) const;
-  /// Counter/gauge value, or 0 when the series is absent.
+  /// Scalar value of the series (see MetricSample::value for the
+  /// per-kind meaning), or 0 when the series is absent.
   double value_of(const std::string& name, const Labels& labels = {}) const;
-  /// Sum of `value` over every series of the family `name` (any labels).
+  /// Sum of the scalar `value` over every series of the family `name`
+  /// (any labels).
   double family_total(const std::string& name) const;
 
   /// Serialize as a JSON array of sample objects into an open writer.
@@ -156,7 +160,10 @@ class MetricsRegistry {
 
  private:
   struct Entry;
-  Entry& entry(const std::string& name, Labels labels, MetricKind kind);
+  /// Finds or creates the series, fully constructing the metric object
+  /// while the registry mutex is held.  lo/hi/bins apply to kHistogram.
+  Entry& entry(const std::string& name, Labels labels, MetricKind kind,
+               double lo = 0.0, double hi = 0.0, std::size_t bins = 0);
 
   mutable std::mutex mu_;
   std::map<std::pair<std::string, Labels>, std::unique_ptr<Entry>> metrics_;

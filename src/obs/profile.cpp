@@ -34,13 +34,20 @@ struct Profiler::ThreadState {
 };
 
 Profiler::ThreadState& Profiler::thread_state() {
-  // Keyed by instance so independently constructed profilers (tests) do
-  // not share per-thread span stacks.
-  thread_local std::map<const Profiler*, ThreadState> states;
-  return states[this];
+  // Keyed by a monotonically increasing per-instance id (not `this`) so
+  // independently constructed profilers (tests) never share per-thread
+  // span stacks, even when a new Profiler reuses a destroyed one's
+  // address.
+  thread_local std::map<std::uint64_t, ThreadState> states;
+  return states[id_];
 }
 
-Profiler::Profiler() : epoch_ns_(now_ns()) {}
+std::uint64_t Profiler::next_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Profiler::Profiler() : epoch_ns_(now_ns()), id_(next_id()) {}
 
 void Profiler::reset() {
   const std::lock_guard<std::mutex> lock(mu_);

@@ -87,6 +87,7 @@ class Profiler {
  private:
   struct ThreadState;
   ThreadState& thread_state();
+  static std::uint64_t next_id();
 
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
@@ -95,6 +96,9 @@ class Profiler {
   /// Bumped by reset() so spans open across a reset are dropped.
   std::atomic<std::uint64_t> generation_{0};
   std::uint32_t next_tid_ = 0;
+  /// Process-unique instance id keying per-thread state (never reused,
+  /// unlike addresses).
+  std::uint64_t id_ = 0;
 };
 
 /// RAII guard behind PARO_SPAN.  Captures enablement at construction so a

@@ -46,6 +46,50 @@ TEST(Metrics, CounterConcurrentIncrements) {
                    static_cast<double>(kThreads) * kIters);
 }
 
+TEST(Metrics, ConcurrentFirstRegistration) {
+  // Many threads first-register the same fresh series of every kind while
+  // another thread snapshots: registration must publish fully constructed
+  // metrics (no half-built Entry visible, no double construction).
+  constexpr int kRounds = 50;
+  constexpr int kThreads = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    MetricsRegistry reg;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads + 1);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&reg] {
+        reg.counter("c").add(1.0);
+        reg.gauge("g").set(1.0);
+        reg.histogram("h", 0.0, 1.0, 4).observe(0.5);
+        reg.stats("s").record(1.0);
+      });
+    }
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 20; ++i) (void)reg.snapshot();
+    });
+    for (std::thread& t : threads) t.join();
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_DOUBLE_EQ(snap.value_of("c"), static_cast<double>(kThreads));
+    const MetricSample* h = snap.find("h");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->total, static_cast<std::uint64_t>(kThreads));
+  }
+}
+
+TEST(Metrics, ValueOfScalarViewPerKind) {
+  MetricsRegistry reg;
+  reg.histogram("h", 0.0, 8.0, 4).observe(1.0);
+  reg.histogram("h", 0.0, 8.0, 4).observe(5.0);
+  reg.stats("s").record(2.5);
+  reg.stats("s").record(1.5);
+  const MetricsSnapshot snap = reg.snapshot();
+  // Histogram scalar view = observation count; stats = running sum.
+  EXPECT_DOUBLE_EQ(snap.value_of("h"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.value_of("s"), 4.0);
+  EXPECT_DOUBLE_EQ(snap.family_total("h"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.family_total("s"), 4.0);
+}
+
 TEST(Metrics, LabelsDistinguishSeries) {
   MetricsRegistry reg;
   reg.counter("tiles", {{"bits", "8"}}).add(10);

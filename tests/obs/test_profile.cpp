@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 #include <thread>
 
@@ -143,6 +144,26 @@ TEST_F(ProfileTest, WriteReportRendersTree) {
   EXPECT_NE(text.find("total"), std::string::npos);
   EXPECT_NE(text.find("top"), std::string::npos);
   EXPECT_NE(text.find("  leaf"), std::string::npos);  // indented child
+}
+
+TEST(Profile, NewInstanceDoesNotInheritStaleThreadState) {
+  // Destroy a profiler with a span left open, then construct new ones
+  // (the allocator will typically reuse the freed address): the new
+  // instances must start from fresh per-thread state, not the stale
+  // open-span stack, so their first span records at depth 0.
+  for (int i = 0; i < 8; ++i) {
+    auto stale = std::make_unique<Profiler>();
+    stale->begin_span("left.open");
+    stale.reset();
+
+    auto fresh = std::make_unique<Profiler>();
+    fresh->begin_span("clean");
+    fresh->end_span();
+    const auto events = fresh->events();
+    ASSERT_EQ(events.size(), 1U);
+    EXPECT_STREQ(events[0].name, "clean");
+    EXPECT_EQ(events[0].depth, 0U);
+  }
 }
 
 TEST_F(ProfileTest, DisabledSpanIsCheap) {
