@@ -20,10 +20,12 @@ namespace {
 int run(int argc, char** argv) {
   const KeyValueConfig cfg = KeyValueConfig::from_args(argc, argv);
   const auto block = static_cast<std::size_t>(cfg.get_int("block", 8));
+  const std::size_t width = bench::configure_threads(cfg);
 
   bench::banner("Offline calibration cost",
                 "PARO §III-A deployment: one offline pass per (layer, "
                 "head); this quantifies it");
+  std::printf("threads=%zu (results are identical at any width)\n\n", width);
 
   bench::TextTable table({"grid", "tokens", "plan+alloc time (ms)",
                           "per-token (us)", "chosen plan", "avg bits"});
@@ -57,6 +59,38 @@ int run(int argc, char** argv) {
          bench::fmt(calib.bit_table->average_bitwidth(), 2)});
   }
   table.print();
+
+  // Thread-scaling section: one head calibrated serially, then at the
+  // configured width.  The plan sweep and tile scoring fan out across the
+  // pool; the resulting plan and bit table are bitwise identical, only
+  // the wall-clock changes.
+  if (width > 1) {
+    const TokenGrid grid(8, 8, 8);
+    SyntheticHeadSpec spec;
+    spec.locality_order = all_axis_orders()[3];
+    spec.locality_width = 0.01;
+    spec.pattern_gain = 5.0;
+    Rng rng(7);
+    const HeadQKV head = generate_head(grid, spec, 16, rng);
+    const QuantAttentionConfig quant = config_paro_mp(4.8, block);
+
+    auto time_once = [&]() {
+      const auto t0 = std::chrono::steady_clock::now();
+      const HeadCalibration calib = calibrate_head(head.q, head.k, grid, quant);
+      const auto t1 = std::chrono::steady_clock::now();
+      (void)calib;
+      return std::chrono::duration<double, std::milli>(t1 - t0).count();
+    };
+    set_global_threads(1);
+    const double serial_ms = time_once();
+    set_global_threads(width);
+    const double parallel_ms = time_once();
+    std::printf(
+        "\nThread scaling (8x8x8 head): threads=1 %.1f ms, threads=%zu "
+        "%.1f ms (%s)\n",
+        serial_ms, width, parallel_ms,
+        bench::fmt_times(serial_ms / parallel_ms).c_str());
+  }
   std::printf(
       "\nCost is dominated by scoring the 6 candidate orders on the sample "
       "map (O(6·N²) quantization passes).  At CogVideoX scale (17 776 "

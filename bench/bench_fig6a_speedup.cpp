@@ -5,6 +5,7 @@
 // "PARO-align-A100" scales PARO's resources to the A100's peaks.
 #include <cstdio>
 #include <fstream>
+#include <functional>
 
 #include "attention/reference.hpp"
 #include "attention/synthetic.hpp"
@@ -27,6 +28,7 @@ struct PlatformResult {
 
 int run(int argc, char** argv) {
   const KeyValueConfig cfg = KeyValueConfig::from_args(argc, argv);
+  bench::configure_threads(cfg);
   bench::banner("Fig. 6(a): end-to-end speedup (normalized to Sanger)",
                 "PARO Fig. 6a — CogVideoX-2B/5B, 49-frame 480x640 video, "
                 "DDIM 50 steps");
@@ -70,37 +72,44 @@ int run(int argc, char** argv) {
                 SangerConfig{}.density, SangerConfig{}.pack_efficiency);
   }
 
-  std::vector<PlatformResult> results;
-
-  {
-    const SangerAccelerator sanger(asic);
-    results.push_back({"Sanger",
-                       sanger.simulate_video(m2b).seconds(asic.freq_ghz),
-                       sanger.simulate_video(m5b).seconds(asic.freq_ghz)});
-  }
-  {
-    const VitcodAccelerator vitcod(asic);
-    results.push_back({"ViTCoD",
-                       vitcod.simulate_video(m2b).seconds(asic.freq_ghz),
-                       vitcod.simulate_video(m5b).seconds(asic.freq_ghz)});
-  }
-  {
-    const ParoAccelerator paro(asic, ParoConfig::full());
-    results.push_back({"PARO",
-                       paro.simulate_video(m2b).seconds(asic.freq_ghz),
-                       paro.simulate_video(m5b).seconds(asic.freq_ghz)});
-  }
-  {
-    const GpuRoofline gpu;
-    results.push_back({"A100 GPU", gpu.simulate_video_seconds(m2b),
-                       gpu.simulate_video_seconds(m5b)});
-  }
-  {
-    const ParoAccelerator paro(aligned, ParoConfig::full());
-    results.push_back({"PARO-align-A100",
-                       paro.simulate_video(m2b).seconds(aligned.freq_ghz),
-                       paro.simulate_video(m5b).seconds(aligned.freq_ghz)});
-  }
+  // One task per platform; each owns its accelerator object, so the only
+  // shared state the tasks touch is the (atomic) metrics registry.  Slot
+  // `i` is written by task `i` alone — platform order never changes.
+  const std::vector<std::function<PlatformResult()>> platforms = {
+      [&] {
+        const SangerAccelerator sanger(asic);
+        return PlatformResult{
+            "Sanger", sanger.simulate_video(m2b).seconds(asic.freq_ghz),
+            sanger.simulate_video(m5b).seconds(asic.freq_ghz)};
+      },
+      [&] {
+        const VitcodAccelerator vitcod(asic);
+        return PlatformResult{
+            "ViTCoD", vitcod.simulate_video(m2b).seconds(asic.freq_ghz),
+            vitcod.simulate_video(m5b).seconds(asic.freq_ghz)};
+      },
+      [&] {
+        const ParoAccelerator paro(asic, ParoConfig::full());
+        return PlatformResult{
+            "PARO", paro.simulate_video(m2b).seconds(asic.freq_ghz),
+            paro.simulate_video(m5b).seconds(asic.freq_ghz)};
+      },
+      [&] {
+        const GpuRoofline gpu;
+        return PlatformResult{"A100 GPU", gpu.simulate_video_seconds(m2b),
+                              gpu.simulate_video_seconds(m5b)};
+      },
+      [&] {
+        const ParoAccelerator paro(aligned, ParoConfig::full());
+        return PlatformResult{
+            "PARO-align-A100",
+            paro.simulate_video(m2b).seconds(aligned.freq_ghz),
+            paro.simulate_video(m5b).seconds(aligned.freq_ghz)};
+      },
+  };
+  std::vector<PlatformResult> results(platforms.size());
+  global_pool().parallel_for(0, platforms.size(), 1,
+                             [&](std::size_t i) { results[i] = platforms[i](); });
 
   const double sanger_2b = results[0].seconds_2b;
   const double sanger_5b = results[0].seconds_5b;

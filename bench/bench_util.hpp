@@ -5,7 +5,20 @@
 #include <string>
 #include <vector>
 
+#include "common/config.hpp"
+#include "common/thread_pool.hpp"
+
 namespace paro::bench {
+
+/// Applies the bench-standard `threads=` knob to the global pool
+/// (0 = hardware concurrency, default 1 = serial) and returns the
+/// resulting execution width.  Results never depend on this knob —
+/// common/thread_pool guarantees bitwise-identical output at any width.
+inline std::size_t configure_threads(const KeyValueConfig& cfg) {
+  const auto threads = cfg.get_int("threads", 1);
+  set_global_threads(threads < 0 ? 0 : static_cast<std::size_t>(threads));
+  return global_threads();
+}
 
 /// Fixed-width text table, printed like the paper's tables.
 class TextTable {

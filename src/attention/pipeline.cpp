@@ -5,6 +5,7 @@
 
 #include "attention/reference.hpp"
 #include "common/fixedpoint.hpp"
+#include "common/thread_pool.hpp"
 #include "mixedprec/allocator.hpp"
 #include "mixedprec/sensitivity.hpp"
 #include "obs/metrics.hpp"
@@ -29,7 +30,9 @@ MatF logits_from_int8(const QuantizedI8& q8, const QuantizedI8& k8,
   MatF logits(n_q, n_k);
 
   if (!output_bitwidth_aware || table == nullptr) {
-    for (std::size_t i = 0; i < n_q; ++i) {
+    // Rows of the logit matrix are independent; integer dot products are
+    // exact, so parallel rows are bitwise-identical to serial ones.
+    global_pool().parallel_for(0, n_q, 8, [&](std::size_t i) {
       const auto qrow = q8.codes.row(i);
       const float sq = q8.row_params[i].scale;
       for (std::size_t j = 0; j < n_k; ++j) {
@@ -42,7 +45,7 @@ MatF logits_from_int8(const QuantizedI8& q8, const QuantizedI8& k8,
         logits(i, j) =
             static_cast<float>(acc) * sq * k8.row_params[j].scale;
       }
-    }
+    });
     return logits;
   }
 
@@ -51,8 +54,14 @@ MatF logits_from_int8(const QuantizedI8& q8, const QuantizedI8& k8,
   const BlockGrid& grid = table->grid();
   PARO_CHECK_MSG(grid.rows() == n_q && grid.cols() == n_k,
                  "bit table does not match QKᵀ shape");
-  for (std::size_t br = 0; br < grid.block_rows(); ++br) {
-    for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
+  // Destination tiles are disjoint regions of `logits`; fan out over the
+  // flattened tile index.
+  global_pool().for_chunks(
+      0, grid.num_blocks(), 4,
+      [&](std::size_t t0, std::size_t t1, std::size_t /*chunk*/) {
+    for (std::size_t t = t0; t < t1; ++t) {
+      const std::size_t br = t / grid.block_cols();
+      const std::size_t bc = t % grid.block_cols();
       const auto e = grid.extent(br, bc);
       const int bits = table->bits_at(br, bc);
       if (bits == 0) {
@@ -84,7 +93,7 @@ MatF logits_from_int8(const QuantizedI8& q8, const QuantizedI8& k8,
         }
       }
     }
-  }
+  });
   return logits;
 }
 
@@ -93,7 +102,9 @@ MatF logits_from_int8(const QuantizedI8& q8, const QuantizedI8& k8,
 /// with a sane allocation, but must not produce NaN).
 MatF softmax_rows_skipaware(const MatF& logits, float scale) {
   MatF out(logits.rows(), logits.cols(), 0.0F);
-  for (std::size_t i = 0; i < logits.rows(); ++i) {
+  // Row-parallel: each row's max/exp/normalize touches only its own data,
+  // and the row-internal accumulation order never changes.
+  global_pool().parallel_for(0, logits.rows(), 8, [&](std::size_t i) {
     const auto in = logits.row(i);
     auto dst = out.row(i);
     float maxv = -std::numeric_limits<float>::infinity();
@@ -105,7 +116,7 @@ MatF softmax_rows_skipaware(const MatF& logits, float scale) {
     if (maxv == -std::numeric_limits<float>::infinity()) {
       const float u = 1.0F / static_cast<float>(in.size());
       for (float& v : dst) v = u;
-      continue;
+      return;
     }
     double sum = 0.0;
     for (std::size_t j = 0; j < in.size(); ++j) {
@@ -119,7 +130,7 @@ MatF softmax_rows_skipaware(const MatF& logits, float scale) {
     }
     const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0F;
     for (float& v : dst) v *= inv;
-  }
+  });
   return out;
 }
 
@@ -255,9 +266,9 @@ QuantAttentionResult quantized_attention(const MatF& q, const MatF& k,
     case AttnMapScheme::kNone:
       break;
     case AttnMapScheme::kPerRow: {
-      for (std::size_t r = 0; r < attn.rows(); ++r) {
+      global_pool().parallel_for(0, attn.rows(), 8, [&](std::size_t r) {
         fake_quant_group(attn.row(r), config.map_bits, /*symmetric=*/false);
-      }
+      });
       result.avg_map_bits = config.map_bits;
       break;
     }

@@ -77,6 +77,28 @@ double Rng::normal(double mean, double stddev) {
   return mean + stddev * normal();
 }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_id) {
+  // Two decoupled splitmix64 chains — one keyed by the seed, one by the
+  // stream id — XORed into every state word.  A ±k·golden-ratio relation
+  // between two seeds therefore cannot shift one stream's state-word
+  // sequence onto another's, which is the overlap hazard of collapsing
+  // (seed, stream) into a single 64-bit value first.
+  std::uint64_t a = seed ^ 0x6a09e667f3bcc909ULL;
+  std::uint64_t b = stream_id * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL;
+  Rng r(0);
+  bool nonzero = false;
+  for (auto& word : r.state_) {
+    word = splitmix64(a) ^ rotl(splitmix64(b), 27);
+    nonzero |= word != 0;
+  }
+  if (!nonzero) {
+    // xoshiro must not start from the all-zero state (probability 2^-256,
+    // but cheap to rule out entirely).
+    r.state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+  return r;
+}
+
 Rng Rng::fork(std::uint64_t stream_id) const {
   // Mix the current state with the stream id through splitmix64 so forks
   // from the same parent but different ids are independent.

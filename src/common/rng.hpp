@@ -40,6 +40,15 @@ class Rng {
   /// Deterministically derive an independent stream for `stream_id`.
   Rng fork(std::uint64_t stream_id) const;
 
+  /// Counter-based stream derivation for parallel tasks: the generator for
+  /// (seed, stream_id) depends only on those two values — no parent state,
+  /// no draw order — so task i can seed `Rng::stream(seed, i)` from any
+  /// thread, in any order, and always get the same sequence.  Distinct
+  /// stream ids mix through independent splitmix64 chains into all four
+  /// state words, so streams do not overlap (tests/common/test_rng.cpp
+  /// covers 10k-draw disjointness).
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_id);
+
   /// Fisher–Yates shuffle of `values`.
   template <typename T>
   void shuffle(std::vector<T>& values) {

@@ -1,0 +1,211 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace paro {
+
+namespace {
+/// Set for the lifetime of a worker's main loop so nested parallel regions
+/// run inline instead of re-entering the (single-job) pool.
+thread_local bool tls_in_pool_worker = false;
+}  // namespace
+
+/// One parallel region in flight.  Chunks are handed out through `next`;
+/// the layout (begin/grain/n_chunks) is fixed before any thread starts, so
+/// the racy part is only WHICH thread runs a chunk — never what it does.
+/// The Job lives on the caller's stack: workers register in `active`
+/// (guarded by Impl::mu) before touching it and the caller does not return
+/// until every registration is gone.
+struct ThreadPool::Job {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  std::size_t n_chunks = 0;
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* body =
+      nullptr;
+  std::atomic<std::size_t> next{0};
+  std::size_t active = 0;  ///< registered workers; guarded by Impl::mu
+  std::mutex error_mu;
+  std::exception_ptr error;
+};
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;   ///< wakes workers on a new job / stop
+  std::condition_variable done_cv;   ///< wakes the caller when workers leave
+  Job* job = nullptr;                ///< current job (one at a time)
+  std::uint64_t generation = 0;      ///< bumped per job so a worker joins
+                                     ///< each job at most once
+  bool stop = false;
+  std::mutex submit_mu;              ///< serializes top-level regions
+  std::vector<std::thread> workers;
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+  }
+  if (threads == 0) threads = 1;  // hardware_concurrency may report 0
+  width_ = threads;
+  impl_->workers.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    impl_->workers.emplace_back([this] { worker_main(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->workers) {
+    t.join();
+  }
+  delete impl_;
+}
+
+std::size_t ThreadPool::num_chunks(std::size_t begin, std::size_t end,
+                                   std::size_t grain) {
+  if (end <= begin) return 0;
+  if (grain == 0) grain = 1;
+  return (end - begin + grain - 1) / grain;
+}
+
+bool ThreadPool::in_worker() { return tls_in_pool_worker; }
+
+void ThreadPool::run_chunks(Job& job) {
+  for (;;) {
+    const std::size_t chunk = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job.n_chunks) return;
+    const std::size_t c0 = job.begin + chunk * job.grain;
+    const std::size_t c1 = std::min(c0 + job.grain, job.end);
+    try {
+      (*job.body)(c0, c1, chunk);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(job.error_mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_main() {
+  tls_in_pool_worker = true;
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(impl_->mu);
+      impl_->work_cv.wait(lock, [&] {
+        return impl_->stop ||
+               (impl_->job != nullptr && impl_->generation != seen);
+      });
+      if (impl_->stop) return;
+      seen = impl_->generation;
+      job = impl_->job;
+      ++job->active;
+    }
+    run_chunks(*job);
+    {
+      const std::lock_guard<std::mutex> lock(impl_->mu);
+      --job->active;
+    }
+    impl_->done_cv.notify_all();
+  }
+}
+
+void ThreadPool::for_chunks(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (grain == 0) grain = 1;
+  const std::size_t n_chunks = num_chunks(begin, end, grain);
+  if (n_chunks == 0) return;
+  // Serial paths: a 1-wide pool, a single chunk, or a nested region issued
+  // from inside a worker (run inline to avoid deadlocking the single job
+  // slot).  The chunk layout is identical to the parallel path.
+  if (width_ == 1 || n_chunks == 1 || tls_in_pool_worker) {
+    for (std::size_t chunk = 0; chunk < n_chunks; ++chunk) {
+      const std::size_t c0 = begin + chunk * grain;
+      const std::size_t c1 = std::min(c0 + grain, end);
+      body(c0, c1, chunk);
+    }
+    return;
+  }
+
+  Job job;
+  job.begin = begin;
+  job.end = end;
+  job.grain = grain;
+  job.n_chunks = n_chunks;
+  job.body = &body;
+
+  // One region at a time; concurrent top-level callers queue up here.
+  const std::lock_guard<std::mutex> submit_lock(impl_->submit_mu);
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->job = &job;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+
+  // The caller participates, then waits until every chunk ran AND every
+  // registered worker left the job (the Job is about to leave scope).
+  // Flag the caller as in-pool for the duration: a nested parallel region
+  // inside a chunk IT runs must take the inline path like it would on a
+  // worker — re-entering for_chunks here would self-deadlock on submit_mu.
+  // tls is false on entry (a true value routed us to the serial path above)
+  // and run_chunks never unwinds (chunk exceptions land in job.error), so
+  // plain restore is safe.
+  tls_in_pool_worker = true;
+  run_chunks(job);
+  tls_in_pool_worker = false;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->done_cv.wait(lock, [&] {
+      return job.active == 0 &&
+             job.next.load(std::memory_order_acquire) >= job.n_chunks;
+    });
+    // Unpublish while still holding the lock: a worker waking later sees
+    // job == nullptr (or a new generation) and never touches this frame.
+    impl_->job = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+namespace {
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+std::size_t g_threads = 0;  // configured knob; 0 → hardware concurrency
+}  // namespace
+
+ThreadPool& global_pool() {
+  const std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool) {
+    g_pool = std::make_unique<ThreadPool>(g_threads);
+  }
+  return *g_pool;
+}
+
+void set_global_threads(std::size_t threads) {
+  const std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool) {
+    std::size_t want = threads;
+    if (want == 0) want = std::thread::hardware_concurrency();
+    if (want == 0) want = 1;
+    if (g_pool->threads() == want) {
+      g_threads = threads;
+      return;  // already the requested width; keep the warm pool
+    }
+  }
+  g_pool.reset();  // joins workers
+  g_threads = threads;
+}
+
+std::size_t global_threads() { return global_pool().threads(); }
+
+}  // namespace paro

@@ -1,0 +1,117 @@
+// Deterministic fixed-size thread pool.
+//
+// Everything embarrassingly parallel in the repo — the 6-plan calibration
+// sweep, per-head quantized attention, per-tile sensitivity scoring, the
+// independent head simulations — fans out through this pool.  Two design
+// rules make multi-threaded runs bitwise-identical to single-threaded ones:
+//
+//   1. Work is split into chunks by `grain` ALONE.  The chunk layout of
+//      parallel_for(begin, end, grain, fn) depends only on (begin, end,
+//      grain), never on the thread count, so every index is processed with
+//      exactly the same neighbouring arithmetic at any pool size.
+//   2. Reductions go through ordered_reduce: each chunk produces a partial
+//      on its own, and the partials are folded LEFT-TO-RIGHT in chunk-index
+//      order on the calling thread.  Floating-point accumulation therefore
+//      has one fixed association for every thread count (including 1).
+//
+// The pool is work-stealing-free on purpose: a shared atomic chunk cursor
+// hands chunks to whichever thread is free.  WHICH thread runs a chunk is
+// racy; WHAT the chunk computes is not, and nothing downstream may depend
+// on the assignment.
+//
+// Nesting: a parallel_for issued from inside a pool task runs inline on
+// the issuing worker (no deadlock, no oversubscription).  The outermost
+// loop level owns the parallelism — calibrate_model fans out per head and
+// the per-head matmuls run serially inside the task.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace paro {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 → std::thread::hardware_concurrency().  The calling
+  /// thread participates in every parallel region, so a pool of size N
+  /// spawns N−1 workers and ThreadPool(1) is fully serial.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width (workers + the calling thread), >= 1.
+  std::size_t threads() const { return width_; }
+
+  /// Invoke `body(chunk_begin, chunk_end, chunk_index)` for every chunk of
+  /// [begin, end) of size `grain` (last chunk may be short).  Chunk layout
+  /// depends only on (begin, end, grain).  Blocks until every chunk ran;
+  /// the first exception thrown by any chunk is rethrown here.
+  void for_chunks(
+      std::size_t begin, std::size_t end, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+  /// Per-index parallel loop: fn(i) for i in [begin, end).
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    Fn&& fn) {
+    for_chunks(begin, end, grain,
+               [&fn](std::size_t c0, std::size_t c1, std::size_t /*chunk*/) {
+                 for (std::size_t i = c0; i < c1; ++i) fn(i);
+               });
+  }
+
+  /// Deterministic parallel reduction.  `chunk_fn(c0, c1)` maps one chunk
+  /// to a partial value of type T; the partials are combined left-to-right
+  /// in chunk order: combine(combine(init, p0), p1)...  Same `grain` →
+  /// same association → bitwise-identical result at any thread count.
+  template <typename T, typename ChunkFn, typename CombineFn>
+  T ordered_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                   T init, ChunkFn&& chunk_fn, CombineFn&& combine) {
+    const std::size_t n_chunks = num_chunks(begin, end, grain);
+    std::vector<T> partials(n_chunks, init);
+    for_chunks(begin, end, grain,
+               [&](std::size_t c0, std::size_t c1, std::size_t chunk) {
+                 partials[chunk] = chunk_fn(c0, c1);
+               });
+    T acc = init;
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      acc = combine(acc, partials[c]);
+    }
+    return acc;
+  }
+
+  /// Number of chunks for_chunks will produce (grain of 0 is treated as 1).
+  static std::size_t num_chunks(std::size_t begin, std::size_t end,
+                                std::size_t grain);
+
+  /// True while the calling thread is executing a pool task (used to run
+  /// nested parallel regions inline).
+  static bool in_worker();
+
+ private:
+  struct Job;
+  void worker_main();
+  static void run_chunks(Job& job);
+
+  struct Impl;
+  Impl* impl_;  // threads/mutex/condvars behind an incomplete type (keeps
+                // <thread> and <condition_variable> out of this header)
+  std::size_t width_ = 1;  ///< workers + caller
+};
+
+/// Process-wide pool used by the library's parallel hot paths.  Created on
+/// first use with the configured thread count.
+ThreadPool& global_pool();
+
+/// Sets the thread count for global_pool(): 0 → hardware concurrency,
+/// 1 → serial, N → N-wide.  Tears down and rebuilds the pool, so call it
+/// from a single thread while no parallel work is in flight (CLI / bench
+/// startup, test setup).  Results never depend on this knob.
+void set_global_threads(std::size_t threads);
+
+/// Execution width global_pool() currently provides (resolves 0).
+std::size_t global_threads();
+
+}  // namespace paro

@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace paro {
 
@@ -124,11 +125,19 @@ int lagrangian_pick(const SensitivityEntry& e, double lambda) {
 }
 
 double bits_used(const SensitivityTable& table, const std::vector<int>& bits) {
-  double used = 0.0;
-  for (std::size_t i = 0; i < table.size(); ++i) {
-    used += static_cast<double>(table[i].count) * bits[i];
-  }
-  return used;
+  // count × bits products are exact integers well below 2^53, so the sum
+  // is grouping-independent; ordered_reduce keeps the association fixed
+  // anyway.
+  return global_pool().ordered_reduce(
+      0, table.size(), 1024, 0.0,
+      [&](std::size_t i0, std::size_t i1) {
+        double partial = 0.0;
+        for (std::size_t i = i0; i < i1; ++i) {
+          partial += static_cast<double>(table[i].count) * bits[i];
+        }
+        return partial;
+      },
+      [](double a, double b) { return a + b; });
 }
 
 }  // namespace
@@ -141,9 +150,10 @@ Allocation allocate_lagrangian(const SensitivityTable& table,
 
   auto solve = [&](double lambda) {
     std::vector<int> bits(n);
-    for (std::size_t i = 0; i < n; ++i) {
+    // Per-block argmins are independent; indexed writes, no reduction.
+    global_pool().parallel_for(0, n, 256, [&](std::size_t i) {
       bits[i] = lagrangian_pick(table[i], lambda);
-    }
+    });
     return bits;
   };
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace paro {
 
@@ -18,17 +19,19 @@ double safe_pow(double base, double exponent) {
 SensitivityTable compute_sensitivity(const std::vector<BlockQuantStats>& stats,
                                      double alpha) {
   PARO_CHECK_MSG(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0,1]");
-  SensitivityTable table;
-  table.reserve(stats.size());
-  for (const BlockQuantStats& block : stats) {
+  SensitivityTable table(stats.size());
+  // Each entry depends on one BlockQuantStats; indexed writes keep the
+  // table identical at any thread count.
+  global_pool().parallel_for(0, stats.size(), 64, [&](std::size_t i) {
+    const BlockQuantStats& block = stats[i];
     SensitivityEntry entry;
     entry.count = block.count;
     const double importance = safe_pow(block.value_sum, alpha);
     for (int bi = 0; bi < kNumBitChoices; ++bi) {
       entry.s[bi] = importance * safe_pow(block.error_l2[bi], 1.0 - alpha);
     }
-    table.push_back(entry);
-  }
+    table[i] = entry;
+  });
   return table;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "attention/integer_path.hpp"
+#include "common/thread_pool.hpp"
 #include "attention/reference.hpp"
 #include "attention/synthetic.hpp"
 #include "quant/sage.hpp"
@@ -113,12 +114,17 @@ SyntheticDiT::Calibration SyntheticDiT::calibrate(
   Calibration calib;
   calib.heads.resize(cfg_.layers);
   for (std::size_t l = 0; l < cfg_.layers; ++l) {
-    calib.heads[l].reserve(cfg_.heads);
-    for (std::size_t h = 0; h < cfg_.heads; ++h) {
-      calib.heads[l].push_back(
-          calibrate_head(qk[l][h].first, qk[l][h].second, grid_, quant));
-    }
+    calib.heads[l].resize(cfg_.heads);
   }
+  // Heads calibrate independently; each task fills its own slot, so the
+  // table is identical at any thread count.
+  global_pool().parallel_for(
+      0, cfg_.layers * cfg_.heads, 1, [&](std::size_t idx) {
+        const std::size_t l = idx / cfg_.heads;
+        const std::size_t h = idx % cfg_.heads;
+        calib.heads[l][h] =
+            calibrate_head(qk[l][h].first, qk[l][h].second, grid_, quant);
+      });
   return calib;
 }
 
@@ -135,26 +141,29 @@ SyntheticDiT::Calibration SyntheticDiT::calibrate_global(
   // Per-head reorder plans + tile statistics in REORDERED space.
   Calibration calib;
   calib.heads.resize(cfg_.layers);
-  std::vector<HeadBlockStats> all_stats;
-  all_stats.reserve(cfg_.layers * cfg_.heads);
   for (std::size_t l = 0; l < cfg_.layers; ++l) {
     calib.heads[l].resize(cfg_.heads);
-    for (std::size_t h = 0; h < cfg_.heads; ++h) {
-      const MatF sample_map =
-          attention_map(qk[l][h].first, qk[l][h].second, quant.scale);
-      HeadCalibration& hc = calib.heads[l][h];
-      hc.plan = quant.use_reorder
-                    ? calibrate_plan(sample_map, grid_, quant.block)
-                    : ReorderPlan::identity(grid_.num_tokens());
-      const MatF reordered = hc.plan.apply_map(sample_map);
-      HeadBlockStats hs;
-      hs.layer = l;
-      hs.head = h;
-      hs.grid = BlockGrid(reordered.rows(), reordered.cols(), quant.block);
-      hs.stats = collect_block_stats(reordered, quant.block);
-      all_stats.push_back(std::move(hs));
-    }
   }
+  std::vector<HeadBlockStats> all_stats(cfg_.layers * cfg_.heads);
+  // all_stats keeps (layer, head) order by construction: slot idx is
+  // written only by task idx.
+  global_pool().parallel_for(
+      0, cfg_.layers * cfg_.heads, 1, [&](std::size_t idx) {
+        const std::size_t l = idx / cfg_.heads;
+        const std::size_t h = idx % cfg_.heads;
+        const MatF sample_map =
+            attention_map(qk[l][h].first, qk[l][h].second, quant.scale);
+        HeadCalibration& hc = calib.heads[l][h];
+        hc.plan = quant.use_reorder
+                      ? calibrate_plan(sample_map, grid_, quant.block)
+                      : ReorderPlan::identity(grid_.num_tokens());
+        const MatF reordered = hc.plan.apply_map(sample_map);
+        HeadBlockStats& hs = all_stats[idx];
+        hs.layer = l;
+        hs.head = h;
+        hs.grid = BlockGrid(reordered.rows(), reordered.cols(), quant.block);
+        hs.stats = collect_block_stats(reordered, quant.block);
+      });
 
   const GlobalAllocation alloc =
       allocate_global(all_stats, quant.budget_bits, quant.alpha);
@@ -221,7 +230,13 @@ MatF SyntheticDiT::forward_impl(const MatF& x, double t_frac,
     const MatF v_all = lin(u, b.wv, b.wv_q);
 
     MatF concat(h.rows(), cfg_.hidden);
-    for (std::size_t head = 0; head < cfg_.heads; ++head) {
+    if (capture.sink != nullptr) {
+      (*capture.sink)[l].resize(cfg_.heads);
+    }
+    // Heads are independent: each task writes its own column band of
+    // `concat` and its own capture slot.  Nested parallel regions inside
+    // the attention kernels run inline on the worker.
+    global_pool().parallel_for(0, cfg_.heads, 1, [&](std::size_t head) {
       MatF qh = col_slice(q_all, head * dh, dh);
       MatF kh = col_slice(k_all, head * dh, dh);
       const MatF vh = col_slice(v_all, head * dh, dh);
@@ -229,7 +244,7 @@ MatF SyntheticDiT::forward_impl(const MatF& x, double t_frac,
       qh = add(qh, b.pos[head]);
       kh = add(kh, b.pos[head]);
       if (capture.sink != nullptr) {
-        (*capture.sink)[l].emplace_back(qh, kh);
+        (*capture.sink)[l][head] = {qh, kh};
       }
       MatF oh;
       switch (exec.impl) {
@@ -261,7 +276,7 @@ MatF SyntheticDiT::forward_impl(const MatF& x, double t_frac,
         }
       }
       col_assign(concat, head * dh, oh);
-    }
+    });
     h = add(h, lin(concat, b.wo, b.wo_q));
 
     // --- FFN ---

@@ -139,6 +139,41 @@ MetricsRegistry& MetricsRegistry::global() {
   return registry;
 }
 
+void MetricsShard::add(const std::string& name, double delta, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  counters_[{name, std::move(labels)}] += delta;
+}
+
+void MetricsShard::observe(const std::string& name, double value,
+                           Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  stats_[{name, std::move(labels)}].push_back(value);
+}
+
+void MetricsShard::merge(const MetricsShard& other) {
+  for (const auto& [key, delta] : other.counters_) {
+    counters_[key] += delta;
+  }
+  for (const auto& [key, values] : other.stats_) {
+    auto& dst = stats_[key];
+    dst.insert(dst.end(), values.begin(), values.end());
+  }
+}
+
+void MetricsShard::flush_to(MetricsRegistry& registry) {
+  for (const auto& [key, delta] : counters_) {
+    registry.counter(key.first, key.second).add(delta);
+  }
+  for (const auto& [key, values] : stats_) {
+    StatsMetric& metric = registry.stats(key.first, key.second);
+    for (const double v : values) {
+      metric.record(v);
+    }
+  }
+  counters_.clear();
+  stats_.clear();
+}
+
 const MetricSample* MetricsSnapshot::find(const std::string& name,
                                           const Labels& labels) const {
   Labels sorted = labels;

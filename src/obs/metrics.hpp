@@ -169,6 +169,45 @@ class MetricsRegistry {
   std::map<std::pair<std::string, Labels>, std::unique_ptr<Entry>> metrics_;
 };
 
+/// Unsynchronized per-task metric accumulator for parallel regions.
+///
+/// Tasks running under common/thread_pool must not interleave their
+/// StatsMetric observations (the merge order would depend on thread
+/// timing) and should not hammer the registry mutex from a hot loop.
+/// Instead each task fills its own shard, and the coordinating thread
+/// flushes the shards IN TASK-INDEX ORDER at the barrier:
+///
+///   std::vector<MetricsShard> shards(n);
+///   pool.parallel_for(0, n, 1, [&](std::size_t i) {
+///     shards[i].add("sim.head_cycles", cycles);
+///     shards[i].observe("sim.head_latency", t);
+///   });
+///   for (auto& s : shards) s.flush_to(MetricsRegistry::global());
+///
+/// Counter merges are commutative anyway; the ordered flush makes stats
+/// series (RunningStats folds are order-sensitive in FP) bitwise identical
+/// at any thread count.
+class MetricsShard {
+ public:
+  /// Accumulate a counter delta.
+  void add(const std::string& name, double delta = 1.0, Labels labels = {});
+  /// Queue a stats observation (flushed in insertion order).
+  void observe(const std::string& name, double value, Labels labels = {});
+
+  /// Fold `other` into this shard (other's observations append after ours).
+  void merge(const MetricsShard& other);
+
+  /// Apply every accumulated value to `registry` and clear the shard.
+  void flush_to(MetricsRegistry& registry);
+
+  bool empty() const { return counters_.empty() && stats_.empty(); }
+
+ private:
+  using Key = std::pair<std::string, Labels>;
+  std::map<Key, double> counters_;
+  std::map<Key, std::vector<double>> stats_;
+};
+
 /// RAII timer recording elapsed wall-clock seconds into a StatsMetric.
 class ScopedTimer {
  public:

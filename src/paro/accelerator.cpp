@@ -76,6 +76,7 @@ double ParoAccelerator::attention_gemm_cycles(const GemmOp& gemm,
           .add(static_cast<double>(tiles[static_cast<std::size_t>(b)]));
     }
   };
+  const std::lock_guard<std::mutex> cache_lock(sched_mu_);
   const auto it = sched_cache_.find(key);
   if (it != sched_cache_.end()) {
     reg.counter("sim.sched_cache_hits").add(1.0);

@@ -21,6 +21,7 @@
 
 #include <array>
 #include <map>
+#include <mutex>
 #include <tuple>
 
 #include "model/workload.hpp"
@@ -92,6 +93,10 @@ class ParoAccelerator {
     TileCounts tiles{};
   };
   /// Memoised scheduler results: identical GEMM shapes recur per head/layer.
+  /// sched_mu_ serializes lookup+fill so one accelerator may be shared by
+  /// concurrent simulations; each entry is a pure function of its key, so
+  /// the cache contents never depend on arrival order.
+  mutable std::mutex sched_mu_;
   mutable std::map<std::tuple<std::size_t, std::size_t, std::size_t, bool>,
                    SchedEntry>
       sched_cache_;

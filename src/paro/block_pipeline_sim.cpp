@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "sim/cycle_engine.hpp"
 
 namespace paro {
@@ -98,6 +100,27 @@ BlockPipelineResult simulate_block_pipeline(const std::vector<PipelineOp>& ops,
   result.dram_busy_cycles = dram.busy_cycles();
   result.dram_bytes = dram.total_bytes();
   return result;
+}
+
+std::vector<BlockPipelineResult> simulate_block_pipelines(
+    const std::vector<std::vector<PipelineOp>>& streams,
+    const HwResources& hw) {
+  std::vector<BlockPipelineResult> results(streams.size());
+  std::vector<obs::MetricsShard> shards(streams.size());
+  global_pool().parallel_for(0, streams.size(), 1, [&](std::size_t i) {
+    results[i] = simulate_block_pipeline(streams[i], hw);
+    shards[i].add("sim.pipeline.streams");
+    shards[i].add("sim.pipeline.cycles",
+                  static_cast<double>(results[i].cycles));
+    shards[i].observe("sim.pipeline.stream_cycles",
+                      static_cast<double>(results[i].cycles));
+  });
+  // Ordered flush: stats series fold in stream order at any thread count.
+  auto& reg = obs::MetricsRegistry::global();
+  for (obs::MetricsShard& shard : shards) {
+    shard.flush_to(reg);
+  }
+  return results;
 }
 
 std::vector<PipelineOp> pipeline_ops_from_costs(

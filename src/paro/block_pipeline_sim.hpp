@@ -43,6 +43,16 @@ struct BlockPipelineResult {
 BlockPipelineResult simulate_block_pipeline(const std::vector<PipelineOp>& ops,
                                             const HwResources& hw);
 
+/// Run several independent operator streams (e.g. one per transformer
+/// block or per head) through the common/thread_pool.  Result slot `i`
+/// is produced solely from `streams[i]`, and each task accumulates its
+/// observability metrics in a private shard that is flushed to the global
+/// registry in stream order at the barrier — so results AND metric series
+/// are bitwise-identical at any thread count.
+std::vector<BlockPipelineResult> simulate_block_pipelines(
+    const std::vector<std::vector<PipelineOp>>& streams,
+    const HwResources& hw);
+
 /// Convert the operator-level OpCost stream (ParoAccelerator::build_ops)
 /// into pipeline operators, splitting each op's DRAM bytes evenly between
 /// load and store (the overlap model does not distinguish them).

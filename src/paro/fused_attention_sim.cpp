@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "sim/pe_array_sim.hpp"
 
 namespace paro {
@@ -171,6 +173,29 @@ FusedAttentionResult simulate_fused_attention(const FusedAttentionParams& p,
   result.stripes = controller.stripes();
   result.sram_peak_bytes = sram.peak();
   return result;
+}
+
+std::vector<FusedAttentionResult> simulate_fused_attention_heads(
+    const std::vector<FusedAttentionParams>& heads, const HwResources& hw) {
+  std::vector<FusedAttentionResult> results(heads.size());
+  std::vector<obs::MetricsShard> shards(heads.size());
+  // Each head is a self-contained pipeline (own DRAM channel, SRAM buffer
+  // and RNG seeded from its params), so head i's result depends only on
+  // heads[i].
+  global_pool().parallel_for(0, heads.size(), 1, [&](std::size_t i) {
+    results[i] = simulate_fused_attention(heads[i], hw);
+    shards[i].add("sim.fused.heads");
+    shards[i].add("sim.fused.cycles", static_cast<double>(results[i].cycles));
+    shards[i].add("sim.fused.dram_bytes", results[i].dram_bytes);
+    shards[i].observe("sim.fused.head_cycles",
+                      static_cast<double>(results[i].cycles));
+  });
+  // Ordered flush keeps stats series identical at any thread count.
+  auto& reg = obs::MetricsRegistry::global();
+  for (obs::MetricsShard& shard : shards) {
+    shard.flush_to(reg);
+  }
+  return results;
 }
 
 }  // namespace paro

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "paro/bit_distribution.hpp"
 #include "sim/dram_model.hpp"
@@ -49,5 +50,12 @@ struct FusedAttentionResult {
 /// Run the cycle-driven pipeline to completion.
 FusedAttentionResult simulate_fused_attention(const FusedAttentionParams& p,
                                               const HwResources& hw);
+
+/// Simulate many independent heads through the common/thread_pool.
+/// Result slot `i` depends only on `heads[i]`; per-task metric shards are
+/// flushed to the global registry in head order at the barrier, so both
+/// results and metric series are identical at any thread count.
+std::vector<FusedAttentionResult> simulate_fused_attention_heads(
+    const std::vector<FusedAttentionParams>& heads, const HwResources& hw);
 
 }  // namespace paro

@@ -2,9 +2,16 @@
 
 #include <cmath>
 
+#include "common/thread_pool.hpp"
+
 namespace paro {
 
 namespace {
+
+/// Tiles per parallel chunk for the per-tile sweeps below.  Fixed (not a
+/// function of the thread count) so chunk layout — and with it every
+/// ordered reduction — is identical at any pool width.
+constexpr std::size_t kTileGrain = 16;
 
 /// Copy a tile into a scratch vector.
 void gather_tile(const MatF& m, const BlockGrid::Extent& e,
@@ -34,15 +41,20 @@ void scatter_tile(MatF& m, const BlockGrid::Extent& e,
 MatF fake_quant_blockwise(const MatF& attn, std::size_t block, int bits) {
   const BlockGrid grid(attn.rows(), attn.cols(), block);
   MatF out = attn;
-  std::vector<float> tile;
-  for (std::size_t br = 0; br < grid.block_rows(); ++br) {
-    for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
-      const auto e = grid.extent(br, bc);
-      gather_tile(out, e, tile);
-      fake_quant_group(tile, bits, /*symmetric=*/false);
-      scatter_tile(out, e, tile);
-    }
-  }
+  // Tiles are disjoint regions of `out`, so quantizing them in parallel
+  // writes disjoint elements.
+  global_pool().for_chunks(
+      0, grid.num_blocks(), kTileGrain,
+      [&](std::size_t t0, std::size_t t1, std::size_t /*chunk*/) {
+        std::vector<float> tile;
+        for (std::size_t t = t0; t < t1; ++t) {
+          const auto e = grid.extent(t / grid.block_cols(),
+                                     t % grid.block_cols());
+          gather_tile(out, e, tile);
+          fake_quant_group(tile, bits, /*symmetric=*/false);
+          scatter_tile(out, e, tile);
+        }
+      });
   return out;
 }
 
@@ -51,72 +63,88 @@ MatF fake_quant_blockwise_mixed(const MatF& attn, const BitTable& table) {
   PARO_CHECK_MSG(grid.rows() == attn.rows() && grid.cols() == attn.cols(),
                  "BitTable grid does not match attention map shape");
   MatF out = attn;
-  std::vector<float> tile;
-  for (std::size_t br = 0; br < grid.block_rows(); ++br) {
-    for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
-      const auto e = grid.extent(br, bc);
-      gather_tile(out, e, tile);
-      fake_quant_group(tile, table.bits_at(br, bc), /*symmetric=*/false);
-      scatter_tile(out, e, tile);
-    }
-  }
+  global_pool().for_chunks(
+      0, grid.num_blocks(), kTileGrain,
+      [&](std::size_t t0, std::size_t t1, std::size_t /*chunk*/) {
+        std::vector<float> tile;
+        for (std::size_t t = t0; t < t1; ++t) {
+          const std::size_t br = t / grid.block_cols();
+          const std::size_t bc = t % grid.block_cols();
+          const auto e = grid.extent(br, bc);
+          gather_tile(out, e, tile);
+          fake_quant_group(tile, table.bits_at(br, bc), /*symmetric=*/false);
+          scatter_tile(out, e, tile);
+        }
+      });
   return out;
 }
 
 std::vector<BlockQuantStats> collect_block_stats(const MatF& attn,
                                                  std::size_t block) {
   const BlockGrid grid(attn.rows(), attn.cols(), block);
-  std::vector<BlockQuantStats> stats;
-  stats.reserve(grid.num_blocks());
-  std::vector<float> tile;
-  for (std::size_t br = 0; br < grid.block_rows(); ++br) {
-    for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
-      const auto e = grid.extent(br, bc);
-      gather_tile(attn, e, tile);
-      BlockQuantStats s;
-      s.block_row = br;
-      s.block_col = bc;
-      s.count = tile.size();
-      for (const float v : tile) {
-        s.value_sum += v;
-        s.abs_mean += std::abs(v);
-      }
-      s.abs_mean /= static_cast<double>(tile.size());
-      for (int bi = 0; bi < kNumBitChoices; ++bi) {
-        const int bits = kBitChoices[bi];
-        if (bits == 0) {
-          // Skipping the tile leaves the full signal as error.
-          double sq = 0.0;
-          for (const float v : tile) sq += static_cast<double>(v) * v;
-          s.error_l2[bi] = std::sqrt(sq);
-        } else {
-          const QuantParams p = calibrate_minmax(tile, bits);
-          s.error_l2[bi] = std::sqrt(quant_error_sq(tile, p));
+  std::vector<BlockQuantStats> stats(grid.num_blocks());
+  // The sensitivity pass scores every tile at every candidate bitwidth —
+  // the dominant offline cost after plan selection.  Each tile fills its
+  // own slot, so row-major tile order is preserved at any thread count.
+  global_pool().for_chunks(
+      0, grid.num_blocks(), kTileGrain,
+      [&](std::size_t t0, std::size_t t1, std::size_t /*chunk*/) {
+        std::vector<float> tile;
+        for (std::size_t t = t0; t < t1; ++t) {
+          const std::size_t br = t / grid.block_cols();
+          const std::size_t bc = t % grid.block_cols();
+          gather_tile(attn, grid.extent(br, bc), tile);
+          BlockQuantStats s;
+          s.block_row = br;
+          s.block_col = bc;
+          s.count = tile.size();
+          for (const float v : tile) {
+            s.value_sum += v;
+            s.abs_mean += std::abs(v);
+          }
+          s.abs_mean /= static_cast<double>(tile.size());
+          for (int bi = 0; bi < kNumBitChoices; ++bi) {
+            const int bits = kBitChoices[bi];
+            if (bits == 0) {
+              // Skipping the tile leaves the full signal as error.
+              double sq = 0.0;
+              for (const float v : tile) sq += static_cast<double>(v) * v;
+              s.error_l2[bi] = std::sqrt(sq);
+            } else {
+              const QuantParams p = calibrate_minmax(tile, bits);
+              s.error_l2[bi] = std::sqrt(quant_error_sq(tile, p));
+            }
+          }
+          stats[t] = s;
         }
-      }
-      stats.push_back(s);
-    }
-  }
+      });
   return stats;
 }
 
 double blockwise_quant_error_sq(const MatF& attn, std::size_t block,
                                 int bits) {
   const BlockGrid grid(attn.rows(), attn.cols(), block);
-  std::vector<float> tile;
-  double total = 0.0;
-  for (std::size_t br = 0; br < grid.block_rows(); ++br) {
-    for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
-      gather_tile(attn, grid.extent(br, bc), tile);
-      if (bits == 0) {
-        for (const float v : tile) total += static_cast<double>(v) * v;
-      } else {
-        const QuantParams p = calibrate_minmax(tile, bits);
-        total += quant_error_sq(tile, p);
-      }
-    }
-  }
-  return total;
+  // Chunk partials are combined in chunk order, so the FP sum has one fixed
+  // association regardless of thread count.
+  return global_pool().ordered_reduce(
+      0, grid.num_blocks(), kTileGrain, 0.0,
+      [&](std::size_t t0, std::size_t t1) {
+        std::vector<float> tile;
+        double partial = 0.0;
+        for (std::size_t t = t0; t < t1; ++t) {
+          gather_tile(attn,
+                      grid.extent(t / grid.block_cols(), t % grid.block_cols()),
+                      tile);
+          if (bits == 0) {
+            for (const float v : tile) partial += static_cast<double>(v) * v;
+          } else {
+            const QuantParams p = calibrate_minmax(tile, bits);
+            partial += quant_error_sq(tile, p);
+          }
+        }
+        return partial;
+      },
+      [](double a, double b) { return a + b; });
 }
 
 MatF block_mass(const MatF& attn, std::size_t block) {

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "quant/blockwise.hpp"
@@ -16,18 +17,20 @@ std::vector<PlanScore> score_all_orders(const MatF& sample_map,
   PARO_CHECK_MSG(sample_map.rows() == grid.num_tokens() &&
                      sample_map.cols() == grid.num_tokens(),
                  "sample map does not match token grid");
-  std::vector<PlanScore> scores;
-  scores.reserve(all_axis_orders().size());
-  for (const AxisOrder& order : all_axis_orders()) {
-    const ReorderPlan plan = ReorderPlan::for_order(grid, order);
+  const auto& orders = all_axis_orders();
+  std::vector<PlanScore> scores(orders.size());
+  // Each candidate order is scored independently (apply_map + a block-wise
+  // quantization pass, both O(N²)); fan the 6 plans out across the pool.
+  // Slot `i` depends only on orders[i], so the result is identical at any
+  // thread count.
+  global_pool().parallel_for(0, orders.size(), 1, [&](std::size_t i) {
+    const ReorderPlan plan = ReorderPlan::for_order(grid, orders[i]);
     const MatF reordered = plan.apply_map(sample_map);
-    PlanScore score;
-    score.order = order;
-    score.quant_error_sq =
+    scores[i].order = orders[i];
+    scores[i].quant_error_sq =
         blockwise_quant_error_sq(reordered, block, calibration_bits);
-    score.diagonality = block_diagonality(reordered, block);
-    scores.push_back(score);
-  }
+    scores[i].diagonality = block_diagonality(reordered, block);
+  });
   return scores;
 }
 
@@ -111,11 +114,19 @@ PlanTable calibrate_model(const std::vector<std::vector<MatF>>& sample_maps,
   for (std::size_t l = 0; l < sample_maps.size(); ++l) {
     PARO_CHECK_MSG(sample_maps[l].size() == table.heads(),
                    "ragged sample map table");
-    for (std::size_t h = 0; h < sample_maps[l].size(); ++h) {
-      table.set_plan(
-          l, h, calibrate_plan(sample_maps[l][h], grid, block, calibration_bits));
-    }
   }
+  // Heads are independent calibration problems (paper §III-A); fan out over
+  // the flattened (layer, head) axis.  The nested plan sweep inside
+  // calibrate_plan runs inline on the worker.
+  const std::size_t heads = table.heads();
+  global_pool().parallel_for(
+      0, table.layers() * heads, 1, [&](std::size_t idx) {
+        const std::size_t l = idx / heads;
+        const std::size_t h = idx % heads;
+        table.set_plan(
+            l, h,
+            calibrate_plan(sample_maps[l][h], grid, block, calibration_bits));
+      });
   return table;
 }
 

@@ -1,6 +1,7 @@
 #include "sim/cycle_engine.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace paro {
 
@@ -24,6 +25,11 @@ std::uint64_t CycleEngine::run(std::uint64_t max_cycles) {
     }
     ++cycle;
   }
+  // Counter adds are atomic and commutative, so concurrent engine runs
+  // (parallel head/stream simulations) report correct totals.
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("sim.engine.runs").add(1.0);
+  reg.counter("sim.engine.cycles").add(static_cast<double>(cycle));
   return cycle;
 }
 

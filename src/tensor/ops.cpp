@@ -3,30 +3,45 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.hpp"
+
 namespace paro {
+
+namespace {
+/// Output rows per parallel chunk for the matmul variants.  Fixed, so the
+/// chunk layout — and each row's unchanged left-to-right accumulation —
+/// is identical at any thread count; matrices under one grain of rows run
+/// serially inline.
+constexpr std::size_t kRowGrain = 16;
+}  // namespace
 
 MatF matmul(const MatF& a, const MatF& b) {
   PARO_CHECK_MSG(a.cols() == b.rows(), "matmul shape mismatch");
   MatF c(a.rows(), b.cols(), 0.0F);
-  // ikj loop order keeps the B row hot in cache.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const float aik = a(i, k);
-      if (aik == 0.0F) continue;
-      const auto brow = b.row(k);
-      auto crow = c.row(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) {
-        crow[j] += aik * brow[j];
-      }
-    }
-  }
+  // Each task owns a contiguous band of output rows.  ikj loop order keeps
+  // the B row hot in cache.
+  global_pool().for_chunks(
+      0, a.rows(), kRowGrain,
+      [&](std::size_t i0, std::size_t i1, std::size_t /*chunk*/) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t k = 0; k < a.cols(); ++k) {
+            const float aik = a(i, k);
+            if (aik == 0.0F) continue;
+            const auto brow = b.row(k);
+            auto crow = c.row(i);
+            for (std::size_t j = 0; j < b.cols(); ++j) {
+              crow[j] += aik * brow[j];
+            }
+          }
+        }
+      });
   return c;
 }
 
 MatF matmul_nt(const MatF& a, const MatF& b) {
   PARO_CHECK_MSG(a.cols() == b.cols(), "matmul_nt shape mismatch");
   MatF c(a.rows(), b.rows(), 0.0F);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
+  global_pool().parallel_for(0, a.rows(), kRowGrain, [&](std::size_t i) {
     const auto arow = a.row(i);
     for (std::size_t j = 0; j < b.rows(); ++j) {
       const auto brow = b.row(j);
@@ -36,14 +51,14 @@ MatF matmul_nt(const MatF& a, const MatF& b) {
       }
       c(i, j) = static_cast<float>(acc);
     }
-  }
+  });
   return c;
 }
 
 MatI32 matmul_nt_i8(const MatI8& a, const MatI8& b) {
   PARO_CHECK_MSG(a.cols() == b.cols(), "matmul_nt_i8 shape mismatch");
   MatI32 c(a.rows(), b.rows(), 0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
+  global_pool().parallel_for(0, a.rows(), kRowGrain, [&](std::size_t i) {
     const auto arow = a.row(i);
     for (std::size_t j = 0; j < b.rows(); ++j) {
       const auto brow = b.row(j);
@@ -54,7 +69,7 @@ MatI32 matmul_nt_i8(const MatI8& a, const MatI8& b) {
       }
       c(i, j) = acc;
     }
-  }
+  });
   return c;
 }
 

@@ -1,0 +1,215 @@
+#include "common/thread_pool.hpp"
+
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace paro {
+namespace {
+
+/// Exact bit pattern of a double, for bitwise-determinism assertions
+/// (EXPECT_EQ on doubles would pass for -0.0 vs +0.0).
+std::uint64_t bits_of(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, 7, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ChunkLayoutDependsOnlyOnGrain) {
+  // The same (begin, end, grain) must produce the same chunk set at any
+  // pool width; only the executing thread may vary.
+  auto layout_of = [](std::size_t width) {
+    ThreadPool pool(width);
+    std::vector<std::pair<std::size_t, std::size_t>> chunks(
+        ThreadPool::num_chunks(3, 100, 9));
+    pool.for_chunks(3, 100, 9,
+                    [&](std::size_t c0, std::size_t c1, std::size_t chunk) {
+                      chunks[chunk] = {c0, c1};
+                    });
+    return chunks;
+  };
+  const auto serial = layout_of(1);
+  EXPECT_EQ(serial, layout_of(2));
+  EXPECT_EQ(serial, layout_of(5));
+  // Layout sanity: contiguous cover of [3, 100).
+  std::size_t expect_begin = 3;
+  for (const auto& [c0, c1] : serial) {
+    EXPECT_EQ(c0, expect_begin);
+    EXPECT_GT(c1, c0);
+    expect_begin = c1;
+  }
+  EXPECT_EQ(expect_begin, 100U);
+}
+
+TEST(ThreadPool, OrderedReduceBitwiseIdenticalAcrossWidths) {
+  // A sum whose value depends on association: accumulating doubles of
+  // wildly different magnitudes.  ordered_reduce must give the exact same
+  // bits at every pool width because the fold order is fixed by grain.
+  constexpr std::size_t kN = 4096;
+  std::vector<double> data(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    data[i] = (i % 3 == 0 ? 1e16 : 1.0) * ((i % 2 == 0) ? 1.0 : -0.999);
+  }
+  auto sum_at = [&](std::size_t width) {
+    ThreadPool pool(width);
+    return pool.ordered_reduce(
+        0, kN, 64, 0.0,
+        [&](std::size_t c0, std::size_t c1) {
+          double s = 0.0;
+          for (std::size_t i = c0; i < c1; ++i) s += data[i];
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double serial = sum_at(1);
+  EXPECT_EQ(bits_of(serial), bits_of(sum_at(2)));
+  EXPECT_EQ(bits_of(serial), bits_of(sum_at(4)));
+  EXPECT_EQ(bits_of(serial), bits_of(sum_at(8)));
+}
+
+TEST(ThreadPool, OrderedReduceMatchesManualChunkFold) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 100;
+  constexpr std::size_t kGrain = 8;
+  const double pooled = pool.ordered_reduce(
+      0, kN, kGrain, 0.0,
+      [](std::size_t c0, std::size_t c1) {
+        double s = 0.0;
+        for (std::size_t i = c0; i < c1; ++i) s += 1.0 / (1.0 + i);
+        return s;
+      },
+      [](double a, double b) { return a + b; });
+  double manual = 0.0;
+  for (std::size_t c0 = 0; c0 < kN; c0 += kGrain) {
+    const std::size_t c1 = std::min(c0 + kGrain, kN);
+    double s = 0.0;
+    for (std::size_t i = c0; i < c1; ++i) s += 1.0 / (1.0 + i);
+    manual += s;
+  }
+  EXPECT_EQ(bits_of(pooled), bits_of(manual));
+}
+
+TEST(ThreadPool, NestedRegionsRunInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 32;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  // Every outer task issues a nested parallel_for; whichever thread runs
+  // the task (worker or the caller itself) must execute it inline.
+  pool.parallel_for(0, kOuter, 1, [&](std::size_t i) {
+    EXPECT_TRUE(ThreadPool::in_worker());
+    pool.parallel_for(0, kInner, 4, [&](std::size_t j) {
+      hits[i * kInner + j].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+  EXPECT_FALSE(ThreadPool::in_worker());
+}
+
+TEST(ThreadPool, ExceptionInChunkPropagatesToCaller) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.parallel_for(0, 64, 1,
+                                 [&](std::size_t i) {
+                                   if (i == 13) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                   completed.fetch_add(1);
+                                 }),
+               std::runtime_error);
+  // The region still drained every chunk before rethrowing (no chunk is
+  // abandoned mid-flight).
+  EXPECT_EQ(completed.load(), 63);
+  // The pool remains usable after an exception.
+  std::atomic<int> after{0};
+  pool.parallel_for(0, 8, 1, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, 1, [&](std::size_t) { ++calls; });
+  pool.parallel_for(7, 3, 1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(pool.ordered_reduce(
+                0, 0, 4, 42.0, [](std::size_t, std::size_t) { return 1.0; },
+                [](double a, double b) { return a + b; }),
+            42.0);
+}
+
+TEST(ThreadPool, GrainZeroIsTreatedAsOne) {
+  ThreadPool pool(2);
+  EXPECT_EQ(ThreadPool::num_chunks(0, 10, 0), 10U);
+  std::vector<std::atomic<int>> hits(10);
+  pool.parallel_for(0, 10, 0, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, GrainLargerThanRangeRunsSerialInline) {
+  ThreadPool pool(4);
+  std::size_t count = 0;  // unsynchronized on purpose: must be one chunk
+  pool.for_chunks(0, 5, 100,
+                  [&](std::size_t c0, std::size_t c1, std::size_t chunk) {
+                    EXPECT_EQ(c0, 0U);
+                    EXPECT_EQ(c1, 5U);
+                    EXPECT_EQ(chunk, 0U);
+                    ++count;
+                  });
+  EXPECT_EQ(count, 1U);
+}
+
+TEST(ThreadPool, SerialPoolNeverSpawnsWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1U);
+  bool in_worker_inside = true;
+  pool.parallel_for(0, 4, 1,
+                    [&](std::size_t) { in_worker_inside = ThreadPool::in_worker(); });
+  EXPECT_FALSE(in_worker_inside);  // inline on the caller, not a worker
+}
+
+TEST(ThreadPool, ZeroResolvesToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.threads(), 1U);
+}
+
+TEST(ThreadPoolGlobal, SetThreadsControlsWidth) {
+  set_global_threads(3);
+  EXPECT_EQ(global_threads(), 3U);
+  EXPECT_EQ(global_pool().threads(), 3U);
+  set_global_threads(1);
+  EXPECT_EQ(global_threads(), 1U);
+}
+
+TEST(ThreadPoolGlobal, RepeatedSetSameWidthKeepsPoolUsable) {
+  set_global_threads(2);
+  ThreadPool* before = &global_pool();
+  set_global_threads(2);  // warm pool kept
+  EXPECT_EQ(&global_pool(), before);
+  std::atomic<int> n{0};
+  global_pool().parallel_for(0, 16, 1, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 16);
+  set_global_threads(1);
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,240 @@
+// Determinism across thread counts (the contract of common/thread_pool):
+// the full offline + online + simulator pipeline — calibrate reorder plans,
+// allocate mixed-precision bit tables, run quantized attention, simulate
+// the head pipelines — must produce BITWISE-identical results at threads=1
+// and threads=8.  Chunk layouts depend only on grain, FP reductions fold
+// in fixed order, and every parallel write targets its own slot, so
+// nothing may drift: not plans, not bit tables, not quality metrics, not
+// cycle counts.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "attention/pipeline.hpp"
+#include "attention/reference.hpp"
+#include "attention/synthetic.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "paro/block_pipeline_sim.hpp"
+#include "paro/fused_attention_sim.hpp"
+#include "reorder/calibrate.hpp"
+#include "sim/resources.hpp"
+
+namespace paro {
+namespace {
+
+/// Bitwise equality of two float matrices (tolerances would mask drift).
+bool same_bits(const MatF& a, const MatF& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  return std::memcmp(fa.data(), fb.data(), fa.size() * sizeof(float)) == 0;
+}
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+/// Quality proxy: MSE against the reference, accumulated in index order
+/// on the test thread so the value itself is thread-count-independent by
+/// construction — any drift it shows comes from the pipeline under test.
+double mse(const MatF& a, const MatF& b) {
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  double sq = 0.0;
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    const double d = static_cast<double>(fa[i]) - static_cast<double>(fb[i]);
+    sq += d * d;
+  }
+  return sq / static_cast<double>(fa.size());
+}
+
+/// Everything the pipeline computes, captured for comparison.
+struct PipelineRun {
+  std::vector<AxisOrder> plan_orders;       // calibrated plan per head
+  std::vector<std::vector<int>> bit_tables;  // flat per-tile bitwidths
+  std::vector<double> avg_bits;
+  std::vector<MatF> outputs;                // quantized attention outputs
+  std::vector<MatF> maps;                   // reordered quantized maps
+  std::vector<double> quality;              // MSE vs FP16 reference
+  std::vector<std::uint64_t> fused_cycles;  // cycle simulator, per head
+  std::vector<std::uint64_t> pipe_cycles;   // block pipeline, per stream
+  double fused_stats_count = 0.0;           // shard-merged metric series
+  double fused_cycle_total = 0.0;
+};
+
+PipelineRun run_pipeline(std::size_t threads) {
+  set_global_threads(threads);
+  obs::MetricsRegistry::global().reset();
+  PipelineRun run;
+
+  const TokenGrid grid(4, 4, 4);
+  Rng seed_rng(11);
+  auto specs = default_head_specs(4, seed_rng);
+  const QuantAttentionConfig quant = config_paro_mp(4.8, 8);
+
+  for (std::size_t h = 0; h < specs.size(); ++h) {
+    Rng rng(900 + h);
+    const HeadQKV head = generate_head(grid, specs[h], 16, rng);
+
+    // Offline: plan + mixed-precision allocation.
+    const HeadCalibration calib =
+        calibrate_head(head.q, head.k, grid, quant);
+    run.plan_orders.push_back(calib.plan.order);
+    EXPECT_TRUE(calib.bit_table.has_value()) << "head " << h;
+    std::vector<int> bits;
+    if (calib.bit_table.has_value()) {
+      const BlockGrid& bgrid = calib.bit_table->grid();
+      for (std::size_t br = 0; br < bgrid.block_rows(); ++br) {
+        for (std::size_t bc = 0; bc < bgrid.block_cols(); ++bc) {
+          bits.push_back(calib.bit_table->bits_at(br, bc));
+        }
+      }
+    }
+    run.bit_tables.push_back(std::move(bits));
+    run.avg_bits.push_back(calib.planned_avg_bits);
+
+    // Online: quantized attention + quality vs the FP16 reference.
+    QuantAttentionResult qr =
+        quantized_attention(head.q, head.k, head.v, calib, quant);
+    const MatF reference = attention_reference(head.q, head.k, head.v);
+    run.quality.push_back(mse(qr.output, reference));
+    run.outputs.push_back(std::move(qr.output));
+    run.maps.push_back(std::move(qr.map_reordered));
+  }
+
+  // Simulator: per-head fused pipelines + block pipeline streams.
+  const HwResources hw = HwResources::paro_asic();
+  std::vector<FusedAttentionParams> heads(specs.size());
+  for (std::size_t h = 0; h < heads.size(); ++h) {
+    heads[h].tokens = 512 * (h + 1);
+    heads[h].head_dim = 64;
+    heads[h].seed = 7 + h;
+  }
+  for (const FusedAttentionResult& r :
+       simulate_fused_attention_heads(heads, hw)) {
+    run.fused_cycles.push_back(r.cycles);
+  }
+
+  std::vector<std::vector<PipelineOp>> streams;
+  for (std::size_t s = 0; s < 4; ++s) {
+    std::vector<PipelineOp> ops;
+    for (std::size_t i = 0; i < 6; ++i) {
+      PipelineOp op;
+      op.pe_cycles = 100 + 17 * ((s + i) % 5);
+      op.vector_cycles = 40 + 9 * (i % 3);
+      op.load_bytes = 4096.0 * (1 + s);
+      op.store_bytes = 2048.0;
+      ops.push_back(op);
+    }
+    streams.push_back(std::move(ops));
+  }
+  for (const BlockPipelineResult& r : simulate_block_pipelines(streams, hw)) {
+    run.pipe_cycles.push_back(r.cycles);
+  }
+
+  // Shard-merged metric series must be identical too: the ordered flush
+  // fixes the fold order of the stats series.
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  const obs::MetricSample* s = snap.find("sim.fused.head_cycles");
+  if (s != nullptr) {
+    run.fused_stats_count = static_cast<double>(s->stats.count());
+    run.fused_cycle_total = s->stats.sum();
+  }
+  return run;
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    set_global_threads(1);
+    obs::MetricsRegistry::global().reset();
+  }
+};
+
+TEST_F(DeterminismTest, PipelineBitwiseIdenticalAtOneAndEightThreads) {
+  const PipelineRun serial = run_pipeline(1);
+  const PipelineRun parallel = run_pipeline(8);
+
+  // Offline artifacts: plans and bit tables.
+  ASSERT_EQ(serial.plan_orders.size(), parallel.plan_orders.size());
+  for (std::size_t h = 0; h < serial.plan_orders.size(); ++h) {
+    EXPECT_EQ(serial.plan_orders[h], parallel.plan_orders[h]) << "head " << h;
+    EXPECT_EQ(serial.bit_tables[h], parallel.bit_tables[h]) << "head " << h;
+    EXPECT_EQ(bits_of(serial.avg_bits[h]), bits_of(parallel.avg_bits[h]))
+        << "head " << h;
+  }
+
+  // Online artifacts: outputs, quantized maps, quality metrics.
+  for (std::size_t h = 0; h < serial.outputs.size(); ++h) {
+    EXPECT_TRUE(same_bits(serial.outputs[h], parallel.outputs[h]))
+        << "output of head " << h;
+    EXPECT_TRUE(same_bits(serial.maps[h], parallel.maps[h]))
+        << "map of head " << h;
+    EXPECT_EQ(bits_of(serial.quality[h]), bits_of(parallel.quality[h]))
+        << "psnr of head " << h;
+  }
+
+  // Simulator artifacts: exact cycle counts.
+  EXPECT_EQ(serial.fused_cycles, parallel.fused_cycles);
+  EXPECT_EQ(serial.pipe_cycles, parallel.pipe_cycles);
+
+  // Shard-merged metrics: same observation count AND same ordered-fold sum.
+  EXPECT_EQ(serial.fused_stats_count, parallel.fused_stats_count);
+  EXPECT_EQ(bits_of(serial.fused_cycle_total),
+            bits_of(parallel.fused_cycle_total));
+}
+
+TEST_F(DeterminismTest, RepeatedParallelRunsAreStable) {
+  // Two runs at the same width must agree with themselves (no hidden
+  // dependence on scheduling, warm caches, or pool state).
+  const PipelineRun a = run_pipeline(8);
+  const PipelineRun b = run_pipeline(8);
+  EXPECT_EQ(a.plan_orders, b.plan_orders);
+  EXPECT_EQ(a.bit_tables, b.bit_tables);
+  EXPECT_EQ(a.fused_cycles, b.fused_cycles);
+  for (std::size_t h = 0; h < a.outputs.size(); ++h) {
+    EXPECT_TRUE(same_bits(a.outputs[h], b.outputs[h])) << "head " << h;
+  }
+}
+
+TEST_F(DeterminismTest, CalibrateModelTableIdenticalAcrossWidths) {
+  // The (layer, head) fan-out of calibrate_model fills a PlanTable; the
+  // chosen orders must not depend on the pool width.
+  const TokenGrid grid(4, 4, 4);
+  auto make_maps = [&] {
+    std::vector<std::vector<MatF>> maps(2);
+    Rng seed_rng(5);
+    auto specs = default_head_specs(3, seed_rng);
+    for (std::size_t l = 0; l < maps.size(); ++l) {
+      for (std::size_t h = 0; h < specs.size(); ++h) {
+        Rng rng(l * 100 + h);
+        const HeadQKV head = generate_head(grid, specs[h], 16, rng);
+        maps[l].push_back(attention_map(head.q, head.k));
+      }
+    }
+    return maps;
+  };
+  const auto maps = make_maps();
+
+  set_global_threads(1);
+  const PlanTable serial = calibrate_model(maps, grid, 8);
+  set_global_threads(8);
+  const PlanTable parallel = calibrate_model(maps, grid, 8);
+  ASSERT_EQ(serial.layers(), parallel.layers());
+  ASSERT_EQ(serial.heads(), parallel.heads());
+  for (std::size_t l = 0; l < serial.layers(); ++l) {
+    for (std::size_t h = 0; h < serial.heads(); ++h) {
+      EXPECT_EQ(serial.plan(l, h).order, parallel.plan(l, h).order)
+          << "layer " << l << " head " << h;
+      EXPECT_EQ(serial.plan(l, h).perm, parallel.plan(l, h).perm)
+          << "layer " << l << " head " << h;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,330 @@
+// Property-based round-trip tests for the affine and blockwise quantizers.
+//
+// Instead of hand-picked vectors, each property runs against hundreds of
+// randomly generated groups (deterministic seeds — failures reproduce) and
+// asserts the analytic contracts of uniform quantization:
+//   * dequant(quant(x)) is within half a step of x for in-range values,
+//   * the zero point lies in the unsigned code range (and is 0 when
+//     symmetric),
+//   * out-of-range inputs saturate to the code limits,
+//   * re-quantizing with the same parameters is a bitwise fixed point.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "quant/affine.hpp"
+#include "quant/bittable.hpp"
+#include "quant/blockwise.hpp"
+#include "tensor/matrix.hpp"
+
+namespace paro {
+namespace {
+
+constexpr int kBits[] = {8, 4, 2};
+constexpr std::size_t kCasesPerBits = 120;  // ≥100 random groups per bitwidth
+
+/// One random calibration group: size, scale and offset all vary so the
+/// properties are exercised across dynamic ranges from 1e-3 to 1e3.
+std::vector<float> random_group(Rng& rng) {
+  const std::size_t n = 2 + rng.uniform_index(63);
+  const double magnitude = std::pow(10.0, rng.uniform(-3.0, 3.0));
+  const double offset = rng.uniform(-2.0, 2.0) * magnitude;
+  std::vector<float> values(n);
+  for (float& v : values) {
+    v = static_cast<float>(offset + rng.normal(0.0, magnitude));
+  }
+  return values;
+}
+
+bool same_bits(std::span<const float> a, std::span<const float> b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+TEST(QuantProperty, MinmaxRoundTripWithinHalfStep) {
+  for (const int bits : kBits) {
+    Rng rng(1000 + bits);
+    for (std::size_t c = 0; c < kCasesPerBits; ++c) {
+      const std::vector<float> values = random_group(rng);
+      const QuantParams p = calibrate_minmax(values, bits);
+      ASSERT_GT(p.scale, 0.0F);
+      std::vector<float> roundtrip(values.size());
+      fake_quant_span(values, roundtrip, p);
+      // Calibration covers [min, max], so every value is in range and the
+      // nearest grid point is at most half a step away (plus float slack).
+      const double tol =
+          0.5 * p.scale * (1.0 + 1e-3) + 1e-6 * std::abs(p.scale);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        EXPECT_NEAR(roundtrip[i], values[i], tol)
+            << "bits=" << bits << " case=" << c << " i=" << i
+            << " scale=" << p.scale;
+      }
+    }
+  }
+}
+
+TEST(QuantProperty, SymmetricRoundTripWithinHalfStep) {
+  for (const int bits : kBits) {
+    Rng rng(2000 + bits);
+    for (std::size_t c = 0; c < kCasesPerBits; ++c) {
+      const std::vector<float> values = random_group(rng);
+      const QuantParams p = calibrate_symmetric(values, bits);
+      EXPECT_EQ(p.zero_point, 0);
+      EXPECT_TRUE(p.symmetric);
+      std::vector<float> roundtrip(values.size());
+      fake_quant_span(values, roundtrip, p);
+      const double tol =
+          0.5 * p.scale * (1.0 + 1e-3) + 1e-6 * std::abs(p.scale);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        EXPECT_NEAR(roundtrip[i], values[i], tol)
+            << "bits=" << bits << " case=" << c << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(QuantProperty, ZeroPointAnchorsTheCodeRange) {
+  // The zero point is z = ⌊−min/s⌉: the dequantization grid s·([0, 2^b−1]
+  // − z) covers [min, max].  When the group straddles zero, z itself lands
+  // inside the unsigned code range (so 0.0 is representable); for one-sided
+  // groups it legitimately sits outside, but every EMITTED code is always a
+  // valid b-bit integer and the grid endpoints track the calibrated range.
+  for (const int bits : kBits) {
+    const std::int32_t qmax = (1 << bits) - 1;
+    Rng rng(3000 + bits);
+    for (std::size_t c = 0; c < kCasesPerBits; ++c) {
+      const std::vector<float> values = random_group(rng);
+      const QuantParams p = calibrate_minmax(values, bits);
+      const float lo = *std::min_element(values.begin(), values.end());
+      const float hi = *std::max_element(values.begin(), values.end());
+      if (lo <= 0.0F && 0.0F <= hi) {
+        EXPECT_GE(p.zero_point, 0) << "bits=" << bits << " case=" << c;
+        EXPECT_LE(p.zero_point, qmax) << "bits=" << bits << " case=" << c;
+      }
+      // Grid endpoints: dequant(0) ≈ min and dequant(qmax) ≈ max (each up
+      // to the half-step the zero-point rounding may shift the grid by).
+      EXPECT_NEAR(dequantize_value(0, p), lo, 0.5 * p.scale * 1.001 + 1e-6);
+      EXPECT_NEAR(dequantize_value(qmax, p), hi,
+                  0.5 * p.scale * 1.001 + 1e-6);
+      // And every emitted code is a representable unsigned b-bit integer.
+      std::vector<std::int32_t> codes(values.size());
+      quantize_span(values, codes, p);
+      for (const std::int32_t q : codes) {
+        EXPECT_GE(q, 0);
+        EXPECT_LE(q, qmax);
+      }
+    }
+  }
+}
+
+TEST(QuantProperty, OutOfRangeInputsSaturate) {
+  for (const int bits : kBits) {
+    const std::int32_t qmax = (1 << bits) - 1;
+    const std::int32_t smax = (1 << (bits - 1)) - 1;
+    Rng rng(4000 + bits);
+    for (std::size_t c = 0; c < kCasesPerBits; ++c) {
+      const std::vector<float> values = random_group(rng);
+      const QuantParams asym = calibrate_minmax(values, bits);
+      const QuantParams sym = calibrate_symmetric(values, bits);
+      // Probe far beyond the calibrated range in both directions.
+      const float lo = *std::min_element(values.begin(), values.end());
+      const float hi = *std::max_element(values.begin(), values.end());
+      const float span = std::max(hi - lo, 1e-3F);
+      EXPECT_EQ(quantize_value(hi + 10.0F * span, asym), qmax);
+      EXPECT_EQ(quantize_value(lo - 10.0F * span, asym), 0);
+      EXPECT_EQ(quantize_value(hi + 10.0F * span, sym), smax);
+      EXPECT_EQ(quantize_value(lo - 10.0F * span, sym), -smax);
+      // Saturated reconstructions stay at the representable extremes.
+      EXPECT_EQ(dequantize_value(quantize_value(hi + 10.0F * span, asym), asym),
+                dequantize_value(qmax, asym));
+    }
+  }
+}
+
+TEST(QuantProperty, RequantizingWithSameParamsIsAFixedPoint) {
+  // Once values sit on the quantization grid, pushing them through the same
+  // quantizer again must not move them (bitwise).
+  for (const int bits : kBits) {
+    Rng rng(5000 + bits);
+    for (std::size_t c = 0; c < kCasesPerBits; ++c) {
+      const std::vector<float> values = random_group(rng);
+      const QuantParams p = calibrate_minmax(values, bits);
+      std::vector<float> once(values.size());
+      fake_quant_span(values, once, p);
+      std::vector<float> twice(values.size());
+      fake_quant_span(once, twice, p);
+      EXPECT_TRUE(same_bits(once, twice)) << "bits=" << bits << " case=" << c;
+    }
+  }
+}
+
+TEST(QuantProperty, ConstantGroupsRoundTripExactly) {
+  // Degenerate groups (max == min) are documented to reproduce the
+  // constant exactly, including zero and negative constants.
+  for (const int bits : kBits) {
+    Rng rng(6000 + bits);
+    for (std::size_t c = 0; c < kCasesPerBits; ++c) {
+      const float v = static_cast<float>(rng.uniform(-100.0, 100.0));
+      const std::vector<float> values(8, v);
+      const QuantParams p = calibrate_minmax(values, bits);
+      std::vector<float> roundtrip(values.size());
+      fake_quant_span(values, roundtrip, p);
+      for (const float r : roundtrip) {
+        EXPECT_FLOAT_EQ(r, v) << "bits=" << bits << " case=" << c;
+      }
+    }
+  }
+}
+
+TEST(QuantProperty, FakeQuantGroupSkipAndPassthrough) {
+  Rng rng(7000);
+  for (std::size_t c = 0; c < kCasesPerBits; ++c) {
+    const std::vector<float> values = random_group(rng);
+    // bits == 0 is PARO's "skip": the whole group becomes zero.
+    std::vector<float> skipped = values;
+    fake_quant_group(skipped, 0, false);
+    for (const float v : skipped) EXPECT_EQ(v, 0.0F);
+    // bits >= 16 is lossless passthrough, bitwise.
+    std::vector<float> kept = values;
+    fake_quant_group(kept, 16, false);
+    EXPECT_TRUE(same_bits(kept, values)) << "case=" << c;
+  }
+}
+
+/// Random non-negative attention-like map (post-softmax maps are ≥ 0, and
+/// the blockwise quantizer calibrates per tile).
+MatF random_map(Rng& rng, std::size_t rows, std::size_t cols) {
+  MatF m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double spike = rng.uniform() < 0.05 ? 50.0 : 1.0;
+      m.at(r, c) = static_cast<float>(spike * rng.uniform());
+    }
+  }
+  return m;
+}
+
+TEST(QuantProperty, BlockwiseRoundTripWithinPerTileHalfStep) {
+  // The per-tile error bound: each tile calibrates its own (s, z), so the
+  // round-trip error of every element is bounded by HALF THAT TILE'S step —
+  // much tighter than a single whole-map quantizer, which is the point of
+  // blockwise quantization.
+  constexpr std::size_t kMaps = 40;
+  for (const int bits : kBits) {
+    Rng rng(8000 + bits);
+    for (std::size_t c = 0; c < kMaps; ++c) {
+      const std::size_t rows = 9 + rng.uniform_index(24);
+      const std::size_t cols = 9 + rng.uniform_index(24);
+      const std::size_t block = 3 + rng.uniform_index(6);
+      const MatF map = random_map(rng, rows, cols);
+      const MatF deq = fake_quant_blockwise(map, block, bits);
+      const BlockGrid grid(rows, cols, block);
+      for (std::size_t br = 0; br < grid.block_rows(); ++br) {
+        for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
+          const BlockGrid::Extent e = grid.extent(br, bc);
+          float lo = map.at(e.r0, e.c0);
+          float hi = lo;
+          for (std::size_t r = e.r0; r < e.r1; ++r) {
+            for (std::size_t col = e.c0; col < e.c1; ++col) {
+              lo = std::min(lo, map.at(r, col));
+              hi = std::max(hi, map.at(r, col));
+            }
+          }
+          const double step =
+              (static_cast<double>(hi) - lo) / ((1 << bits) - 1);
+          const double tol = 0.5 * step * (1.0 + 1e-3) + 1e-6;
+          for (std::size_t r = e.r0; r < e.r1; ++r) {
+            for (std::size_t col = e.c0; col < e.c1; ++col) {
+              EXPECT_NEAR(deq.at(r, col), map.at(r, col), tol)
+                  << "bits=" << bits << " map=" << c << " tile=(" << br << ","
+                  << bc << ") at (" << r << "," << col << ")";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantProperty, BlockwiseMixedHonorsPerTileBitwidths) {
+  // Mixed-precision round-trip: 0-bit tiles are exactly zero, 8-bit tiles
+  // satisfy the 8-bit half-step bound, and the error never exceeds the
+  // per-tile bound for the assigned bitwidth.
+  Rng rng(9000);
+  for (std::size_t c = 0; c < 30; ++c) {
+    const std::size_t rows = 12 + rng.uniform_index(20);
+    const std::size_t cols = 12 + rng.uniform_index(20);
+    const std::size_t block = 4;
+    const MatF map = random_map(rng, rows, cols);
+    const BlockGrid grid(rows, cols, block);
+    BitTable table(grid, 8);
+    for (std::size_t t = 0; t < grid.num_blocks(); ++t) {
+      table.set_bits_flat(
+          t, kBitChoices[rng.uniform_index(kNumBitChoices)]);
+    }
+    const MatF deq = fake_quant_blockwise_mixed(map, table);
+    for (std::size_t br = 0; br < grid.block_rows(); ++br) {
+      for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
+        const int bits = table.bits_at(br, bc);
+        const BlockGrid::Extent e = grid.extent(br, bc);
+        if (bits == 0) {
+          for (std::size_t r = e.r0; r < e.r1; ++r) {
+            for (std::size_t col = e.c0; col < e.c1; ++col) {
+              EXPECT_EQ(deq.at(r, col), 0.0F)
+                  << "skip tile (" << br << "," << bc << ")";
+            }
+          }
+          continue;
+        }
+        float lo = map.at(e.r0, e.c0);
+        float hi = lo;
+        for (std::size_t r = e.r0; r < e.r1; ++r) {
+          for (std::size_t col = e.c0; col < e.c1; ++col) {
+            lo = std::min(lo, map.at(r, col));
+            hi = std::max(hi, map.at(r, col));
+          }
+        }
+        const double step = (static_cast<double>(hi) - lo) / ((1 << bits) - 1);
+        const double tol = 0.5 * step * (1.0 + 1e-3) + 1e-6;
+        for (std::size_t r = e.r0; r < e.r1; ++r) {
+          for (std::size_t col = e.c0; col < e.c1; ++col) {
+            EXPECT_NEAR(deq.at(r, col), map.at(r, col), tol)
+                << "bits=" << bits << " tile=(" << br << "," << bc << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantProperty, BlockwiseErrorMatchesElementwiseSum) {
+  // blockwise_quant_error_sq is an ordered reduction over tiles; its value
+  // must equal the directly accumulated squared error of the fake-quantized
+  // map (same fold order: tile-major, element-major inside a tile).
+  Rng rng(9500);
+  for (std::size_t c = 0; c < 20; ++c) {
+    const std::size_t rows = 10 + rng.uniform_index(15);
+    const std::size_t cols = 10 + rng.uniform_index(15);
+    const std::size_t block = 4;
+    const MatF map = random_map(rng, rows, cols);
+    const double total = blockwise_quant_error_sq(map, block, 4);
+    const MatF deq = fake_quant_blockwise(map, block, 4);
+    double manual = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t col = 0; col < cols; ++col) {
+        const double d =
+            static_cast<double>(map.at(r, col)) - deq.at(r, col);
+        manual += d * d;
+      }
+    }
+    EXPECT_NEAR(total, manual, 1e-6 * (1.0 + manual)) << "map " << c;
+  }
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,157 @@
+// Permutation-invariance properties of the reorder plans (paper Fig. 3).
+//
+// For every one of the 6 axis orders:
+//   * the materialised perm is a true permutation of [0, N),
+//   * invert_rows ∘ apply_rows (and invert_map ∘ apply_map) is the identity,
+//     bitwise — a gather moves floats, it never arithmetically touches them,
+//   * the conjugation law holds: reordering Q and K first and then taking
+//     the attention map equals conjugating the attention map of the
+//     original Q, K — bitwise, because row dot products see the same
+//     operands in the same order either way,
+//   * attention computed in reordered space and gathered back agrees with
+//     attention in canonical space to FP tolerance (softmax row sums
+//     reassociate, so this one is approximate by nature).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "attention/reference.hpp"
+#include "attention/synthetic.hpp"
+#include "common/rng.hpp"
+#include "reorder/plan.hpp"
+#include "reorder/token_grid.hpp"
+#include "tensor/matrix.hpp"
+
+namespace paro {
+namespace {
+
+bool same_bits(const MatF& a, const MatF& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  return std::memcmp(fa.data(), fb.data(), fa.size() * sizeof(float)) == 0;
+}
+
+MatF random_matrix(Rng& rng, std::size_t rows, std::size_t cols) {
+  MatF m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = static_cast<float>(rng.normal());
+    }
+  }
+  return m;
+}
+
+class PermutationInvariance : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  const TokenGrid grid_{3, 4, 5};  // distinct extents: order mistakes show
+  const AxisOrder order_ = all_axis_orders()[GetParam()];
+  const ReorderPlan plan_ = ReorderPlan::for_order(grid_, order_);
+};
+
+TEST_P(PermutationInvariance, PermIsAValidPermutation) {
+  const std::size_t n = grid_.num_tokens();
+  ASSERT_EQ(plan_.perm.size(), n);
+  std::vector<bool> seen(n, false);
+  for (const std::uint32_t p : plan_.perm) {
+    ASSERT_LT(p, n);
+    EXPECT_FALSE(seen[p]) << "token " << p << " appears twice";
+    seen[p] = true;
+  }
+}
+
+TEST_P(PermutationInvariance, InverseRowsUndoesApplyRowsBitwise) {
+  Rng rng(100 + GetParam());
+  const MatF x = random_matrix(rng, grid_.num_tokens(), 16);
+  const MatF there_and_back = plan_.invert_rows(plan_.apply_rows(x));
+  EXPECT_TRUE(same_bits(there_and_back, x));
+  // And the other composition too: apply after invert.
+  EXPECT_TRUE(same_bits(plan_.apply_rows(plan_.invert_rows(x)), x));
+}
+
+TEST_P(PermutationInvariance, InverseMapUndoesApplyMapBitwise) {
+  Rng rng(200 + GetParam());
+  const MatF m =
+      random_matrix(rng, grid_.num_tokens(), grid_.num_tokens());
+  EXPECT_TRUE(same_bits(plan_.invert_map(plan_.apply_map(m)), m));
+  EXPECT_TRUE(same_bits(plan_.apply_map(plan_.invert_map(m)), m));
+}
+
+TEST_P(PermutationInvariance, MapConjugationMatchesReorderedInputsBitwise) {
+  // softmax((P·Q)(P·K)ᵀ) = P · softmax(Q·Kᵀ) · Pᵀ, exactly: permuting rows
+  // of Q and K permutes rows/cols of the logit matrix without changing any
+  // dot product, and softmax acts per row.
+  Rng rng(300 + GetParam());
+  const MatF q = random_matrix(rng, grid_.num_tokens(), 16);
+  const MatF k = random_matrix(rng, grid_.num_tokens(), 16);
+  const MatF reordered_inputs =
+      attention_map(plan_.apply_rows(q), plan_.apply_rows(k));
+  const MatF conjugated = plan_.apply_map(attention_map(q, k));
+  EXPECT_TRUE(same_bits(reordered_inputs, conjugated));
+}
+
+TEST_P(PermutationInvariance, ReorderedAttentionMatchesCanonicalWithinTolerance) {
+  // Full attention computed in reordered space, gathered back.  The map
+  // rows are identical sets but the weighted sum over V reassociates, so
+  // compare with an FP tolerance instead of bitwise.
+  Rng rng(400 + GetParam());
+  const MatF q = random_matrix(rng, grid_.num_tokens(), 16);
+  const MatF k = random_matrix(rng, grid_.num_tokens(), 16);
+  const MatF v = random_matrix(rng, grid_.num_tokens(), 16);
+  const MatF direct = attention_reference(q, k, v);
+  const MatF reordered = attention_reference(
+      plan_.apply_rows(q), plan_.apply_rows(k), plan_.apply_rows(v));
+  const MatF recovered = plan_.invert_rows(reordered);
+  ASSERT_EQ(recovered.rows(), direct.rows());
+  ASSERT_EQ(recovered.cols(), direct.cols());
+  for (std::size_t r = 0; r < direct.rows(); ++r) {
+    for (std::size_t c = 0; c < direct.cols(); ++c) {
+      EXPECT_NEAR(recovered.at(r, c), direct.at(r, c), 1e-4F)
+          << "at (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST_P(PermutationInvariance, PrefixPlanKeepsPrefixInPlace) {
+  // CogVideoX text-conditioning tokens: the prefix must map to itself and
+  // the grid tokens must be the shifted grid permutation.
+  constexpr std::size_t kPrefix = 7;
+  const ReorderPlan with_prefix =
+      ReorderPlan::for_order_with_prefix(grid_, order_, kPrefix);
+  ASSERT_EQ(with_prefix.perm.size(), kPrefix + grid_.num_tokens());
+  for (std::size_t i = 0; i < kPrefix; ++i) {
+    EXPECT_EQ(with_prefix.perm[i], i) << "prefix token " << i;
+  }
+  for (std::size_t i = 0; i < grid_.num_tokens(); ++i) {
+    EXPECT_EQ(with_prefix.perm[kPrefix + i], kPrefix + plan_.perm[i])
+        << "grid token " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSixOrders, PermutationInvariance,
+                         ::testing::Range<std::size_t>(0, 6),
+                         [](const auto& info) {
+                           return axis_order_name(
+                               all_axis_orders()[info.param]);
+                         });
+
+TEST(PermutationInvariance2, IdentityPlanIsIdentity) {
+  const ReorderPlan plan = ReorderPlan::identity(24);
+  EXPECT_TRUE(plan.is_identity());
+  Rng rng(9);
+  const MatF x = random_matrix(rng, 24, 8);
+  EXPECT_TRUE(same_bits(plan.apply_rows(x), x));
+  EXPECT_TRUE(same_bits(plan.invert_rows(x), x));
+}
+
+TEST(PermutationInvariance2, CanonicalOrderYieldsIdentityPlan) {
+  const TokenGrid grid(3, 4, 5);
+  const ReorderPlan plan =
+      ReorderPlan::for_order(grid, canonical_axis_order());
+  EXPECT_TRUE(plan.is_identity());
+}
+
+}  // namespace
+}  // namespace paro

@@ -14,8 +14,11 @@
 //   paro_cli simulate [model=5b] [config=full|fp16|w8a8|quant]
 //       Run the accelerator performance model on CogVideoX.
 //
-// Every subcommand accepts key=value arguments (common/config.hpp), plus
-// two observability switches shared by calibrate / quality / simulate:
+// Every subcommand accepts key=value arguments (common/config.hpp).
+// `threads=N` sets the execution width of the library's parallel hot
+// paths (0 = hardware concurrency, default 1 = serial; results are
+// bitwise-identical for any N — see docs/parallelism.md).  Two
+// observability switches are shared by calibrate / quality / simulate:
 //
 //   json=1           emit a machine-readable JSON report on stdout
 //                    instead of the human-readable text (diagnostics go
@@ -33,6 +36,7 @@
 #include "attention/calibration_io.hpp"
 #include "common/config.hpp"
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 #include "energy/area_power.hpp"
 #include "metrics/video_metrics.hpp"
 #include "model/ddim.hpp"
@@ -373,6 +377,9 @@ int usage() {
       "  inspect    in=calib.txt\n"
       "  quality    [in=calib.txt] steps=10 integer=0 budget=4.8\n"
       "  simulate   model=5b|2b config=full|fp16|w8a8|quant align_a100=0\n"
+      "execution (all commands):\n"
+      "  threads=N         worker threads (0 = hardware concurrency,\n"
+      "                    1 = serial; results are identical for any N)\n"
       "observability (calibrate/quality/simulate):\n"
       "  json=1            JSON report on stdout (logs stay on stderr)\n"
       "  trace_out=f.json  Chrome trace file for chrome://tracing/Perfetto\n");
@@ -383,6 +390,13 @@ int run(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const KeyValueConfig cfg = KeyValueConfig::from_args(argc - 1, argv + 1);
+  // Execution width for the library's parallel hot paths.  Default is
+  // serial; every result is bitwise-identical for any setting.
+  const auto threads = cfg.get_int("threads", 1);
+  set_global_threads(threads < 0 ? 0 : static_cast<std::size_t>(threads));
+  obs::MetricsRegistry::global()
+      .gauge("config.threads")
+      .set(static_cast<double>(global_threads()));
   // Wall-clock spans are cheap at CLI workload sizes; collect them always
   // so trace_out never needs a second run.
   obs::Profiler::global().set_enabled(true);
