@@ -4,7 +4,10 @@
 // exist to keep the quality experiments fast and to catch regressions.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "attention/pipeline.hpp"
+#include "common/error.hpp"
 #include "attention/reference.hpp"
 #include "attention/synthetic.hpp"
 #include "common/fixedpoint.hpp"
@@ -133,6 +136,48 @@ void BM_QuantizedAttentionHead(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QuantizedAttentionHead);
+
+// Executor-agreement smoke (CI runs this one benchmark as a Release-mode
+// regression gate).  Times the fused streaming executor against a
+// materialized-oracle baseline computed once up front, verifies the two
+// outputs are BITWISE identical — a mismatch throws, failing the binary
+// loudly — and reports the streamed/materialized peak-working-set ratio
+// and the skipped-tile fraction as counters.
+void BM_StreamedVsMaterializedExecutor(benchmark::State& state) {
+  const TokenGrid grid(6, 6, 6);
+  SyntheticHeadSpec spec;
+  spec.locality_width = 0.012;
+  Rng rng(9);
+  const HeadQKV head = generate_head(grid, spec, 32, rng);
+  QuantAttentionConfig cfg = config_paro_mp(4.8, 8);
+  cfg.output_bitwidth_aware = true;
+  const HeadCalibration calib = calibrate_head(head.q, head.k, grid, cfg);
+
+  QuantAttentionConfig oracle_cfg = cfg;
+  oracle_cfg.executor = AttnExecutor::kMaterialized;
+  const QuantAttentionResult oracle =
+      quantized_attention(head.q, head.k, head.v, calib, oracle_cfg);
+
+  QuantAttentionResult streamed;
+  for (auto _ : state) {
+    streamed = quantized_attention(head.q, head.k, head.v, calib, cfg);
+    benchmark::DoNotOptimize(streamed);
+  }
+
+  if (!streamed.output.same_shape(oracle.output) ||
+      std::memcmp(streamed.output.flat().data(), oracle.output.flat().data(),
+                  oracle.output.flat().size() * sizeof(float)) != 0) {
+    throw Error(
+        "streamed executor diverged bitwise from the materialized oracle");
+  }
+  state.counters["peak_ws_ratio"] =
+      static_cast<double>(streamed.exec.peak_bytes) /
+      static_cast<double>(oracle.exec.peak_bytes);
+  state.counters["tiles_skipped_frac"] =
+      static_cast<double>(streamed.exec.tiles_skipped) /
+      static_cast<double>(streamed.exec.tiles_total);
+}
+BENCHMARK(BM_StreamedVsMaterializedExecutor);
 
 }  // namespace
 }  // namespace paro

@@ -1,0 +1,357 @@
+#include "attention/fused_executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "attention/reference.hpp"
+#include "common/fixedpoint.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/working_set.hpp"
+#include "quant/granularity.hpp"
+#include "quant/tile_visitor.hpp"
+
+namespace paro {
+
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+template <typename T>
+std::size_t matrix_bytes(const Matrix<T>& m) {
+  return m.size() * sizeof(T);
+}
+
+std::size_t quantized_bytes(const QuantizedI8& q) {
+  return matrix_bytes(q.codes) + q.row_params.size() * sizeof(QuantParams);
+}
+
+/// Per-stripe tallies; each stripe fills its own slot, the coordinator
+/// folds them in stripe order.
+struct StripeStats {
+  std::size_t tiles_live = 0;
+  std::size_t tiles_skipped = 0;
+  std::size_t qk_tiles = 0;
+  std::array<std::uint64_t, kNumBitChoices> per_bits{};
+  std::size_t local_bytes = 0;  ///< stripe scratch footprint
+};
+
+}  // namespace
+
+QuantAttentionResult fused_quantized_attention(
+    const MatF& q, const MatF& k, const MatF& v, const HeadCalibration& calib,
+    const QuantAttentionConfig& config) {
+  PARO_SPAN("attn.fused");
+  PARO_CHECK_MSG(q.rows() == k.rows() && k.rows() == v.rows(),
+                 "token count mismatch");
+  PARO_CHECK_MSG(q.cols() == k.cols(), "q/k head_dim mismatch");
+  const std::size_t n = q.rows();
+  const std::size_t d = q.cols();
+  const std::size_t dv = v.cols();
+  const float scale = attention_scale(q, config.scale);
+
+  obs::WorkingSetMeter meter;
+
+  const MatF qr = calib.plan.apply_rows(q);
+  const MatF kr = calib.plan.apply_rows(k);
+  const MatF vr = calib.plan.apply_rows(v);
+  meter.acquire(matrix_bytes(qr) + matrix_bytes(kr) + matrix_bytes(vr));
+
+  // INT8 per-token Q/K and per-dimension V, shared by every stripe.
+  std::optional<QuantizedI8> q8;
+  std::optional<QuantizedI8> k8;
+  MatF v_quant;
+  if (config.quantize_qkv) {
+    q8 = quantize_rows_i8(qr, 8);
+    k8 = quantize_rows_i8(kr, 8);
+    v_quant = fake_quant_matrix(vr, Granularity::kPerColumn, 8,
+                                /*symmetric=*/true);
+    meter.acquire(quantized_bytes(*q8) + quantized_bytes(*k8) +
+                  matrix_bytes(v_quant));
+  }
+  const MatF& v_used = config.quantize_qkv ? v_quant : vr;
+
+  const BitTable* table =
+      calib.bit_table.has_value() ? &*calib.bit_table : nullptr;
+  const bool mixed = config.map_scheme == AttnMapScheme::kBlockwiseMixed;
+  PARO_CHECK_MSG(!mixed || table != nullptr,
+                 "mixed scheme requires a calibrated BitTable");
+  // LDZ truncation / 0-bit QKᵀ bypass is active exactly when the
+  // materialized path takes its OBA branch.
+  const bool oba_active =
+      config.quantize_qkv && config.output_bitwidth_aware && table != nullptr;
+  const bool per_row_quant = config.map_scheme == AttnMapScheme::kPerRow;
+  const bool block_quant =
+      config.map_scheme == AttnMapScheme::kBlockwise || mixed;
+
+  const BlockGrid grid(n, n, config.block);
+  if (table != nullptr && (oba_active || mixed)) {
+    PARO_CHECK_MSG(table->grid() == grid,
+                   "BitTable grid does not match QKᵀ shape / block");
+  }
+  const TileVisitor visitor =
+      table != nullptr ? TileVisitor(*table) : TileVisitor(grid, 8);
+
+  MatF out_r(n, dv, 0.0F);
+  meter.acquire(matrix_bytes(out_r));
+
+  const std::size_t stripes = grid.block_rows();
+  const std::size_t bcols = grid.block_cols();
+  std::vector<StripeStats> stats(stripes);
+
+  // One stripe = one block-row of the map.  Stripes write disjoint rows of
+  // out_r and their own stats slot, so grain-1 fan-out is race-free and
+  // the chunk layout (hence everything) is thread-count-independent.
+  global_pool().for_chunks(0, stripes, 1, [&](std::size_t s0, std::size_t s1,
+                                              std::size_t /*chunk*/) {
+    for (std::size_t br = s0; br < s1; ++br) {
+      const auto stripe_ext = grid.extent(br, 0);
+      const std::size_t r0 = stripe_ext.r0;
+      const std::size_t rows_here = stripe_ext.rows();
+      const std::size_t tile_side = std::min(config.block, n);
+
+      // Stripe scratch: `buf` holds the stripe's logits, then exp values,
+      // then the normalized (and fake-quantized) map values in place.
+      std::vector<float> buf(rows_here * n, 0.0F);
+      std::vector<float> rowmax(rows_here, kNegInf);
+      std::vector<float> rowinv(rows_here, 0.0F);
+      std::vector<std::uint8_t> qk_skip(bcols, 0);
+      std::vector<std::uint8_t> map_zero(bcols, 0);
+      std::vector<float> tile_scratch;
+      tile_scratch.reserve(rows_here * tile_side);
+
+      StripeStats& st = stats[br];
+      st.local_bytes = buf.size() * sizeof(float) +
+                       rowmax.size() * sizeof(float) +
+                       rowinv.size() * sizeof(float) + 2 * bcols +
+                       rows_here * tile_side * sizeof(float);
+
+      // --- pass 1: per-tile QKᵀ logits + running row maxima ------------
+      visitor.for_each_tile_in_row(br, [&](const TileRef& t) {
+        const int map_bits_tile = mixed ? t.bits : config.map_bits;
+        const bool skip_qk = oba_active && t.bits == 0;
+        const bool zero_map = block_quant && map_bits_tile == 0;
+        if (zero_map) map_zero[t.bc] = 1;
+        // Stats: a tile is "skipped" when the dispatcher bypasses its
+        // AttnV work — 0 QKᵀ bits under OBA, or a 0-bit map tile.
+        if (skip_qk || zero_map) {
+          ++st.tiles_skipped;
+        } else {
+          ++st.tiles_live;
+        }
+        ++st.per_bits[static_cast<std::size_t>(
+            bit_choice_index(table != nullptr ? t.bits : 8))];
+        if (skip_qk) {
+          qk_skip[t.bc] = 1;
+          return;  // dispatcher bypass: no logits, no exp, no AttnV
+        }
+        ++st.qk_tiles;
+
+        const auto e = t.extent;
+        if (config.quantize_qkv) {
+          if (oba_active) {
+            // LDZ keeps `bits` significant magnitude bits of every K
+            // operand — applied to every live tile, like the PE array.
+            for (std::size_t i = e.r0; i < e.r1; ++i) {
+              const auto qrow = q8->codes.row(i);
+              const float sq = q8->row_params[i].scale;
+              float* brow = buf.data() + (i - r0) * n;
+              for (std::size_t j = e.c0; j < e.c1; ++j) {
+                const auto krow = k8->codes.row(j);
+                std::int64_t acc = 0;
+                for (std::size_t c = 0; c < d; ++c) {
+                  const LdzCode code = ldz_truncate(krow[c], t.bits);
+                  acc += ldz_restore(
+                      static_cast<std::int64_t>(code.mantissa) * qrow[c],
+                      code.shift);
+                }
+                brow[j] =
+                    static_cast<float>(acc) * sq * k8->row_params[j].scale;
+              }
+            }
+          } else {
+            for (std::size_t i = e.r0; i < e.r1; ++i) {
+              const auto qrow = q8->codes.row(i);
+              const float sq = q8->row_params[i].scale;
+              float* brow = buf.data() + (i - r0) * n;
+              for (std::size_t j = e.c0; j < e.c1; ++j) {
+                const auto krow = k8->codes.row(j);
+                std::int32_t acc = 0;
+                for (std::size_t c = 0; c < d; ++c) {
+                  acc += static_cast<std::int32_t>(qrow[c]) *
+                         static_cast<std::int32_t>(krow[c]);
+                }
+                brow[j] =
+                    static_cast<float>(acc) * sq * k8->row_params[j].scale;
+              }
+            }
+          }
+        } else {
+          // FP path: double dot products, like matmul_nt.
+          for (std::size_t i = e.r0; i < e.r1; ++i) {
+            const auto qrow = qr.row(i);
+            float* brow = buf.data() + (i - r0) * n;
+            for (std::size_t j = e.c0; j < e.c1; ++j) {
+              const auto krow = kr.row(j);
+              double acc = 0.0;
+              for (std::size_t c = 0; c < d; ++c) {
+                acc += static_cast<double>(qrow[c]) *
+                       static_cast<double>(krow[c]);
+              }
+              brow[j] = static_cast<float>(acc);
+            }
+          }
+        }
+        // float max is order-insensitive, so tile-by-tile updates land on
+        // the same value as the materialized whole-row scan.
+        for (std::size_t i = e.r0; i < e.r1; ++i) {
+          const float* brow = buf.data() + (i - r0) * n;
+          float m = rowmax[i - r0];
+          for (std::size_t j = e.c0; j < e.c1; ++j) {
+            m = std::max(m, brow[j] * scale);
+          }
+          rowmax[i - r0] = m;
+        }
+      });
+
+      // --- pass 2: online softmax (exp in ascending j, then normalize) --
+      bool stripe_has_dead = false;
+      for (std::size_t i = 0; i < rows_here; ++i) {
+        float* brow = buf.data() + i * n;
+        if (rowmax[i] == kNegInf) {
+          // Every tile of this row was bypassed; the materialized softmax
+          // degenerates to a uniform row.  Replicate it so the (equally
+          // degenerate) map-quant and AttnV see identical values.
+          stripe_has_dead = true;
+          const float u = 1.0F / static_cast<float>(n);
+          for (std::size_t j = 0; j < n; ++j) brow[j] = u;
+          continue;
+        }
+        double sum = 0.0;
+        for (std::size_t bc = 0; bc < bcols; ++bc) {
+          if (qk_skip[bc]) continue;  // buf stays 0, matching dst[j] = 0
+          const auto e = grid.extent(br, bc);
+          for (std::size_t j = e.c0; j < e.c1; ++j) {
+            const double ev =
+                std::exp(static_cast<double>(brow[j] * scale - rowmax[i]));
+            brow[j] = static_cast<float>(ev);
+            sum += ev;
+          }
+        }
+        const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0F;
+        rowinv[i] = inv;
+        // Full-row sweep including bypassed zeros (0·inv = 0) — exactly
+        // the materialized `v *= inv` loop.
+        for (std::size_t j = 0; j < n; ++j) brow[j] *= inv;
+      }
+
+      // --- pass 3: per-tile map fake-quant at the tile's bitwidth -------
+      if (per_row_quant) {
+        for (std::size_t i = 0; i < rows_here; ++i) {
+          fake_quant_group(std::span<float>(buf.data() + i * n, n),
+                           config.map_bits, /*symmetric=*/false);
+        }
+      } else if (block_quant) {
+        visitor.for_each_tile_in_row(br, [&](const TileRef& t) {
+          const auto e = t.extent;
+          if (map_zero[t.bc]) {
+            // 0-bit map tile: fake-quant semantics are "zero the tile".
+            // (Needed when exp mass was written — the non-OBA mixed case.)
+            for (std::size_t i = e.r0; i < e.r1; ++i) {
+              float* brow = buf.data() + (i - r0) * n;
+              for (std::size_t j = e.c0; j < e.c1; ++j) brow[j] = 0.0F;
+            }
+            return;
+          }
+          if (qk_skip[t.bc] && !stripe_has_dead) {
+            return;  // all-zero region; fake-quantizing zeros is identity
+          }
+          tile_scratch.clear();
+          for (std::size_t i = e.r0; i < e.r1; ++i) {
+            const float* brow = buf.data() + (i - r0) * n;
+            tile_scratch.insert(tile_scratch.end(), brow + e.c0, brow + e.c1);
+          }
+          fake_quant_group(tile_scratch, mixed ? t.bits : config.map_bits,
+                           /*symmetric=*/false);
+          std::size_t idx = 0;
+          for (std::size_t i = e.r0; i < e.r1; ++i) {
+            float* brow = buf.data() + (i - r0) * n;
+            for (std::size_t j = e.c0; j < e.c1; ++j) {
+              brow[j] = tile_scratch[idx++];
+            }
+          }
+        });
+      }
+
+      // --- pass 4: AttnV accumulation, tile-by-tile, 0-bit tiles skipped
+      for (std::size_t bc = 0; bc < bcols; ++bc) {
+        if (map_zero[bc]) continue;                     // zeroed tile
+        if (qk_skip[bc] && !stripe_has_dead) continue;  // all-zero tile
+        const auto e = grid.extent(br, bc);
+        for (std::size_t i = e.r0; i < e.r1; ++i) {
+          const float* arow = buf.data() + (i - r0) * n;
+          auto orow = out_r.row(i);
+          for (std::size_t j = e.c0; j < e.c1; ++j) {
+            const float a = arow[j];
+            if (a == 0.0F) continue;  // matmul's zero-skip, bit-for-bit
+            const auto vrow = v_used.row(j);
+            for (std::size_t c = 0; c < dv; ++c) {
+              orow[c] += a * vrow[c];
+            }
+          }
+        }
+      }
+    }
+  });
+
+  // Fold per-stripe tallies in stripe order; the peak is the shared
+  // buffers plus the largest single stripe's scratch (one logical stream —
+  // see obs/working_set.hpp for why the parallel copies don't count).
+  AttnExecStats exec;
+  exec.stripes = stripes;
+  exec.tiles_total = grid.num_blocks();
+  std::size_t max_local = 0;
+  for (const StripeStats& st : stats) {
+    exec.tiles_live += st.tiles_live;
+    exec.tiles_skipped += st.tiles_skipped;
+    exec.qk_tiles_computed += st.qk_tiles;
+    for (int b = 0; b < kNumBitChoices; ++b) {
+      exec.tiles_per_bits[static_cast<std::size_t>(b)] +=
+          st.per_bits[static_cast<std::size_t>(b)];
+    }
+    max_local = std::max(max_local, st.local_bytes);
+  }
+  meter.fold_local_peak(max_local);
+
+  QuantAttentionResult result;
+  switch (config.map_scheme) {
+    case AttnMapScheme::kNone:
+      result.avg_map_bits = 16.0;
+      break;
+    case AttnMapScheme::kPerRow:
+    case AttnMapScheme::kBlockwise:
+      result.avg_map_bits = config.map_bits;
+      break;
+    case AttnMapScheme::kBlockwiseMixed:
+      result.avg_map_bits = table->average_bitwidth();
+      break;
+  }
+  meter.acquire(n * dv * sizeof(float));  // canonical-order output
+  result.output = calib.plan.invert_rows(out_r);
+  exec.peak_bytes = meter.peak();
+  result.exec = exec;
+
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("attn.tiles_skipped").add(static_cast<double>(exec.tiles_skipped));
+  reg.counter("attn.tiles_live").add(static_cast<double>(exec.tiles_live));
+  obs::publish_peak_working_set("streamed", exec.peak_bytes);
+  return result;
+}
+
+}  // namespace paro

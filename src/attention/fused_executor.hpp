@@ -1,0 +1,49 @@
+// Fused block-streaming attention executor (the tiled execution core).
+//
+// PARO's hardware premise is that the attention map never touches DRAM:
+// QKᵀ logits stream out of the PE array one destination tile at a time,
+// softmax runs online per Q-stripe, the map is quantized tile-by-tile at
+// the dispatcher's bitwidth, and 0-bit tiles are bypassed outright.  The
+// materialized pipeline (attention/pipeline.cpp) models the *values* of
+// that flow but not its *shape*: it allocates full N×N logits, softmax,
+// and quantized-map buffers, which is why quality experiments cannot reach
+// CogVideoX token counts.
+//
+// This executor runs the same arithmetic in streaming form: per Q-stripe
+// (one block-row of the map), a two-pass online softmax over K-tiles —
+// pass one builds the stripe's logits tile-by-tile (with per-tile LDZ
+// truncation under OBA) and tracks row maxima, pass two exponentiates,
+// normalizes, fake-quantizes each tile at its own bitwidth, and
+// accumulates AttnV — all inside an O(rows_per_stripe · N + tile²)
+// scratch.  0-bit tiles are skipped without computing them.  The working
+// set is O(N·d + N·block), never O(N²).
+//
+// Numerics contract: outputs are BITWISE IDENTICAL to the materialized
+// path for every QuantAttentionConfig.  Every per-element operation —
+// int32/int64 MAC order, the float(acc)·s_q·s_k rescale, the
+// float-multiply-then-double-cast exp argument, the ascending-j double
+// softmax sum, the tile-gather order into calibrate_minmax, and the
+// ascending-k float AttnV accumulation with matmul's zero-skip — is
+// replicated from the materialized kernels.  Tests assert bit equality,
+// not tolerance.
+#pragma once
+
+#include "attention/pipeline.hpp"
+#include "tensor/matrix.hpp"
+
+namespace paro {
+
+/// Run one head through the fused block-streaming engine.  Drop-in
+/// replacement for the materialized quantized_attention: same inputs, same
+/// output/avg_map_bits, but `map_reordered` stays empty (the map is never
+/// materialized) and `exec` reports what the streaming engine actually did
+/// (live/skipped tiles, peak working-set bytes).
+///
+/// Callers normally go through quantized_attention() with
+/// `config.executor == AttnExecutor::kStreamed` (the default) instead of
+/// calling this directly.
+QuantAttentionResult fused_quantized_attention(
+    const MatF& q, const MatF& k, const MatF& v, const HeadCalibration& calib,
+    const QuantAttentionConfig& config);
+
+}  // namespace paro

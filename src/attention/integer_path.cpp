@@ -7,8 +7,10 @@
 #include "attention/reference.hpp"
 #include "common/fixedpoint.hpp"
 #include "common/fp16.hpp"
+#include "common/thread_pool.hpp"
 #include "quant/blockwise.hpp"
 #include "quant/granularity.hpp"
+#include "quant/tile_visitor.hpp"
 
 namespace paro {
 
@@ -66,56 +68,57 @@ IntegerAttentionResult integer_attention(const MatF& q, const MatF& k,
   }
 
   const BlockGrid grid(n, n, config.block);
-  // Effective bits of every tile.
-  auto bits_of = [&](std::size_t br, std::size_t bc) {
-    if (config.map_scheme == AttnMapScheme::kBlockwiseMixed ||
-        config.output_bitwidth_aware) {
-      PARO_CHECK_MSG(calib.bit_table.has_value(),
-                     "mixed/OBA path requires a calibrated BitTable");
-    }
-    return config.map_scheme == AttnMapScheme::kBlockwiseMixed
-               ? calib.bit_table->bits_at(br, bc)
-               : config.map_bits;
-  };
+  if (config.map_scheme == AttnMapScheme::kBlockwiseMixed ||
+      config.output_bitwidth_aware) {
+    PARO_CHECK_MSG(calib.bit_table.has_value(),
+                   "mixed/OBA path requires a calibrated BitTable");
+  }
+  // Effective bits of every tile: the BitTable for the mixed scheme, the
+  // uniform map bitwidth otherwise.
+  const TileVisitor visitor =
+      config.map_scheme == AttnMapScheme::kBlockwiseMixed
+          ? TileVisitor(*calib.bit_table)
+          : TileVisitor(grid, config.map_bits);
 
   // --- QKᵀ: int8 MACs into int32, per-block LDZ when OBA ---------------
+  // Destination tiles are disjoint regions of `logits`, and every dot
+  // product is integer-exact, so the parallel sweep is bitwise-identical
+  // to the serial one.
   MatF logits(n, n, 0.0F);
-  for (std::size_t br = 0; br < grid.block_rows(); ++br) {
-    for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
-      const auto e = grid.extent(br, bc);
-      const int bits = bits_of(br, bc);
-      if (config.output_bitwidth_aware && bits == 0) {
-        for (std::size_t i = e.r0; i < e.r1; ++i) {
-          for (std::size_t j = e.c0; j < e.c1; ++j) {
-            logits(i, j) = -std::numeric_limits<float>::infinity();
-          }
-        }
-        continue;
-      }
+  visitor.parallel_for_each_tile([&](const TileRef& t) {
+    const auto e = t.extent;
+    const int bits = t.bits;
+    if (config.output_bitwidth_aware && bits == 0) {
       for (std::size_t i = e.r0; i < e.r1; ++i) {
-        const auto qrow = q8.codes.row(i);
-        const float sq = q8.row_params[i].scale;
         for (std::size_t j = e.c0; j < e.c1; ++j) {
-          const auto krow = k8.codes.row(j);
-          std::int64_t acc = 0;
-          if (config.output_bitwidth_aware && bits < 8) {
-            for (std::size_t c = 0; c < dh; ++c) {
-              const LdzCode code = ldz_truncate(krow[c], bits);
-              acc += ldz_restore(
-                  static_cast<std::int64_t>(code.mantissa) * qrow[c],
-                  code.shift);
-            }
-          } else {
-            for (std::size_t c = 0; c < dh; ++c) {
-              acc += static_cast<std::int64_t>(qrow[c]) * krow[c];
-            }
-          }
-          logits(i, j) =
-              static_cast<float>(acc) * sq * k8.row_params[j].scale;
+          logits(i, j) = -std::numeric_limits<float>::infinity();
         }
+      }
+      return;
+    }
+    for (std::size_t i = e.r0; i < e.r1; ++i) {
+      const auto qrow = q8.codes.row(i);
+      const float sq = q8.row_params[i].scale;
+      for (std::size_t j = e.c0; j < e.c1; ++j) {
+        const auto krow = k8.codes.row(j);
+        std::int64_t acc = 0;
+        if (config.output_bitwidth_aware && bits < 8) {
+          for (std::size_t c = 0; c < dh; ++c) {
+            const LdzCode code = ldz_truncate(krow[c], bits);
+            acc += ldz_restore(
+                static_cast<std::int64_t>(code.mantissa) * qrow[c],
+                code.shift);
+          }
+        } else {
+          for (std::size_t c = 0; c < dh; ++c) {
+            acc += static_cast<std::int64_t>(qrow[c]) * krow[c];
+          }
+        }
+        logits(i, j) =
+            static_cast<float>(acc) * sq * k8.row_params[j].scale;
       }
     }
-  }
+  });
 
   // --- softmax on the vector unit (FP), tolerant of skipped blocks -----
   MatF attn(n, n, 0.0F);
@@ -142,39 +145,44 @@ IntegerAttentionResult integer_attention(const MatF& q, const MatF& k,
   // --- block-wise quantization to integer CODES -------------------------
   IntegerAttentionResult result;
   result.map_codes = Matrix<std::int32_t>(n, n, 0);
-  // Per-tile (scale, zero) for the AttnV rescale.
+  // Per-tile (scale, zero) for the AttnV rescale.  Each tile writes its
+  // own params slot and a disjoint codes region.
   std::vector<QuantParams> tile_params(grid.num_blocks());
-  double weighted_bits = 0.0;
-  std::vector<float> tile;
-  for (std::size_t br = 0; br < grid.block_rows(); ++br) {
-    for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
-      const auto e = grid.extent(br, bc);
-      const int bits = bits_of(br, bc);
-      weighted_bits += static_cast<double>(e.count()) * bits;
-      QuantParams p;
-      p.bits = bits;
-      if (bits == 0) {
-        tile_params[grid.flat_index(br, bc)] = p;
-        continue;  // codes stay 0, tile skipped
-      }
-      tile.clear();
-      for (std::size_t i = e.r0; i < e.r1; ++i) {
-        for (std::size_t j = e.c0; j < e.c1; ++j) {
-          tile.push_back(attn(i, j));
+  visitor.parallel_for_each_tile_with(
+      [] { return std::vector<float>(); },
+      [&](const TileRef& t, std::vector<float>& tile) {
+        const auto e = t.extent;
+        QuantParams p;
+        p.bits = t.bits;
+        if (t.bits == 0) {
+          tile_params[t.index] = p;
+          return;  // codes stay 0, tile skipped
         }
-      }
-      p = calibrate_minmax(tile, bits);
-      if (config.fp16_scales) {
-        p.scale = fp16_round(p.scale);
-      }
-      tile_params[grid.flat_index(br, bc)] = p;
-      for (std::size_t i = e.r0; i < e.r1; ++i) {
-        for (std::size_t j = e.c0; j < e.c1; ++j) {
-          result.map_codes(i, j) = quantize_value(attn(i, j), p);
+        tile.clear();
+        for (std::size_t i = e.r0; i < e.r1; ++i) {
+          for (std::size_t j = e.c0; j < e.c1; ++j) {
+            tile.push_back(attn(i, j));
+          }
         }
-      }
-    }
-  }
+        p = calibrate_minmax(tile, t.bits);
+        if (config.fp16_scales) {
+          p.scale = fp16_round(p.scale);
+        }
+        tile_params[t.index] = p;
+        for (std::size_t i = e.r0; i < e.r1; ++i) {
+          for (std::size_t j = e.c0; j < e.c1; ++j) {
+            result.map_codes(i, j) = quantize_value(attn(i, j), p);
+          }
+        }
+      });
+  // count·bits products are small integers, exact in double at any
+  // association — the reduce order cannot change the value.
+  const double weighted_bits = visitor.ordered_reduce_tiles(
+      0.0,
+      [](const TileRef& t) {
+        return static_cast<double>(t.extent.count()) * t.bits;
+      },
+      [](double a, double b) { return a + b; });
   result.avg_map_bits =
       weighted_bits / static_cast<double>(n) / static_cast<double>(n);
 
@@ -196,27 +204,35 @@ IntegerAttentionResult integer_attention(const MatF& q, const MatF& k,
     }
   }
 
+  // Block rows own disjoint output rows; within one block row the tiles
+  // accumulate in ascending bc, so each output element keeps the serial
+  // left-to-right FP association at any thread count.
   MatF out_r(n, dh, 0.0F);
-  for (std::size_t br = 0; br < grid.block_rows(); ++br) {
-    for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
-      const auto e = grid.extent(br, bc);
-      const QuantParams& p = tile_params[grid.flat_index(br, bc)];
-      if (p.bits == 0) continue;  // dispatcher bypass
-      for (std::size_t i = e.r0; i < e.r1; ++i) {
-        auto orow = out_r.row(i);
-        for (std::size_t c = 0; c < dh; ++c) {
-          std::int64_t acc = 0;
-          for (std::size_t j = e.c0; j < e.c1; ++j) {
-            acc += static_cast<std::int64_t>(result.map_codes(i, j)) *
-                   v8.codes(j, c);
-          }
-          acc -= static_cast<std::int64_t>(p.zero_point) * v_colsum[bc][c];
-          // Vector unit: FP rescale + accumulate across tiles.
-          orow[c] += p.scale * v8.scales[c] * static_cast<float>(acc);
+  global_pool().for_chunks(
+      0, grid.block_rows(), 1,
+      [&](std::size_t br0, std::size_t br1, std::size_t /*chunk*/) {
+        for (std::size_t br = br0; br < br1; ++br) {
+          visitor.for_each_tile_in_row(br, [&](const TileRef& t) {
+            const auto e = t.extent;
+            const QuantParams& p = tile_params[t.index];
+            if (p.bits == 0) return;  // dispatcher bypass
+            for (std::size_t i = e.r0; i < e.r1; ++i) {
+              auto orow = out_r.row(i);
+              for (std::size_t c = 0; c < dh; ++c) {
+                std::int64_t acc = 0;
+                for (std::size_t j = e.c0; j < e.c1; ++j) {
+                  acc += static_cast<std::int64_t>(result.map_codes(i, j)) *
+                         v8.codes(j, c);
+                }
+                acc -=
+                    static_cast<std::int64_t>(p.zero_point) * v_colsum[t.bc][c];
+                // Vector unit: FP rescale + accumulate across tiles.
+                orow[c] += p.scale * v8.scales[c] * static_cast<float>(acc);
+              }
+            }
+          });
         }
-      }
-    }
-  }
+      });
 
   result.output = calib.plan.invert_rows(out_r);
   return result;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "attention/fused_executor.hpp"
 #include "attention/reference.hpp"
 #include "common/fixedpoint.hpp"
 #include "common/thread_pool.hpp"
@@ -10,8 +11,10 @@
 #include "mixedprec/sensitivity.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/working_set.hpp"
 #include "quant/blockwise.hpp"
 #include "quant/granularity.hpp"
+#include "quant/tile_visitor.hpp"
 #include "tensor/ops.hpp"
 
 namespace paro {
@@ -51,49 +54,44 @@ MatF logits_from_int8(const QuantizedI8& q8, const QuantizedI8& k8,
 
   // Output-bitwidth-aware path: per destination block, the LDZ unit keeps
   // only `bits` significant magnitude bits of every K operand.
-  const BlockGrid& grid = table->grid();
-  PARO_CHECK_MSG(grid.rows() == n_q && grid.cols() == n_k,
+  PARO_CHECK_MSG(table->grid().rows() == n_q && table->grid().cols() == n_k,
                  "bit table does not match QKᵀ shape");
+  const TileVisitor visitor(*table);
   // Destination tiles are disjoint regions of `logits`; fan out over the
   // flattened tile index.
-  global_pool().for_chunks(
-      0, grid.num_blocks(), 4,
-      [&](std::size_t t0, std::size_t t1, std::size_t /*chunk*/) {
-    for (std::size_t t = t0; t < t1; ++t) {
-      const std::size_t br = t / grid.block_cols();
-      const std::size_t bc = t % grid.block_cols();
-      const auto e = grid.extent(br, bc);
-      const int bits = table->bits_at(br, bc);
-      if (bits == 0) {
+  visitor.parallel_for_each_tile(
+      [&](const TileRef& t) {
+        const auto e = t.extent;
+        if (t.bits == 0) {
+          for (std::size_t i = e.r0; i < e.r1; ++i) {
+            auto lrow = logits.row(i);
+            for (std::size_t j = e.c0; j < e.c1; ++j) {
+              lrow[j] = -std::numeric_limits<float>::infinity();
+            }
+          }
+          return;
+        }
         for (std::size_t i = e.r0; i < e.r1; ++i) {
+          const auto qrow = q8.codes.row(i);
+          const float sq = q8.row_params[i].scale;
           auto lrow = logits.row(i);
           for (std::size_t j = e.c0; j < e.c1; ++j) {
-            lrow[j] = -std::numeric_limits<float>::infinity();
+            const auto krow = k8.codes.row(j);
+            std::int64_t acc = 0;
+            for (std::size_t c = 0; c < d; ++c) {
+              // mantissa·q, restored by the MSVB shift — what the PE +
+              // shifter pair computes.
+              const LdzCode code = ldz_truncate(krow[c], t.bits);
+              acc += ldz_restore(static_cast<std::int64_t>(code.mantissa) *
+                                     qrow[c],
+                                 code.shift);
+            }
+            lrow[j] =
+                static_cast<float>(acc) * sq * k8.row_params[j].scale;
           }
         }
-        continue;
-      }
-      for (std::size_t i = e.r0; i < e.r1; ++i) {
-        const auto qrow = q8.codes.row(i);
-        const float sq = q8.row_params[i].scale;
-        auto lrow = logits.row(i);
-        for (std::size_t j = e.c0; j < e.c1; ++j) {
-          const auto krow = k8.codes.row(j);
-          std::int64_t acc = 0;
-          for (std::size_t c = 0; c < d; ++c) {
-            // mantissa·q, restored by the MSVB shift — what the PE +
-            // shifter pair computes.
-            const LdzCode code = ldz_truncate(krow[c], bits);
-            acc += ldz_restore(static_cast<std::int64_t>(code.mantissa) *
-                                   qrow[c],
-                               code.shift);
-          }
-          lrow[j] =
-              static_cast<float>(acc) * sq * k8.row_params[j].scale;
-        }
-      }
-    }
-  });
+      },
+      /*grain=*/4);
   return logits;
 }
 
@@ -150,114 +148,123 @@ void record_head_metrics(const HeadCalibration& calib) {
   }
 }
 
-}  // namespace
-
-HeadCalibration calibrate_head(const MatF& sample_q, const MatF& sample_k,
-                               const TokenGrid& grid,
-                               const QuantAttentionConfig& config) {
-  PARO_SPAN("calibrate.head");
-  PARO_CHECK_MSG(sample_q.rows() == grid.num_tokens(),
-                 "sample does not match token grid");
-  HeadCalibration calib;
-  const MatF sample_map = attention_map(sample_q, sample_k, config.scale);
-  calib.plan = config.use_reorder
-                   ? calibrate_plan(sample_map, grid, config.block)
-                   : ReorderPlan::identity(grid.num_tokens());
-
-  const bool needs_table =
-      config.map_scheme == AttnMapScheme::kBlockwiseMixed ||
-      config.output_bitwidth_aware;
-  if (!needs_table) {
-    record_head_metrics(calib);
-    return calib;
-  }
-  const MatF reordered = calib.plan.apply_map(sample_map);
-  const BlockGrid bgrid(reordered.rows(), reordered.cols(), config.block);
-  if (config.map_scheme == AttnMapScheme::kBlockwiseMixed) {
-    const auto stats = collect_block_stats(reordered, config.block);
-    const auto sens = compute_sensitivity(stats, config.alpha);
-    const Allocation alloc = allocate_lagrangian(sens, config.budget_bits);
-    calib.bit_table = make_bittable(bgrid, alloc.bits);
-    calib.planned_avg_bits = alloc.average_bitwidth;
-  } else {
-    // OBA with a uniform map bitwidth: a uniform table.
-    const int bits = config.map_scheme == AttnMapScheme::kNone
-                         ? 8
-                         : config.map_bits;
-    calib.bit_table = BitTable(bgrid, bits);
-    calib.planned_avg_bits = bits;
-  }
-  record_head_metrics(calib);
-  return calib;
-}
-
-HeadCalibration calibrate_head_with_prefix(
-    const MatF& sample_q, const MatF& sample_k, const TokenGrid& grid,
-    std::size_t prefix, const QuantAttentionConfig& config) {
+/// Shared body of calibrate_head / calibrate_head_with_prefix: `prefix`
+/// text-conditioning tokens (0 for the plain case) ahead of the video
+/// grid, plan selection, and the BitTable-construction branch.
+HeadCalibration calibrate_head_impl(const MatF& sample_q,
+                                    const MatF& sample_k,
+                                    const TokenGrid& grid, std::size_t prefix,
+                                    const QuantAttentionConfig& config) {
   PARO_SPAN("calibrate.head");
   const std::size_t n = prefix + grid.num_tokens();
   PARO_CHECK_MSG(sample_q.rows() == n,
                  "sample does not match prefix + token grid");
   HeadCalibration calib;
   const MatF sample_map = attention_map(sample_q, sample_k, config.scale);
-  calib.plan =
-      config.use_reorder
-          ? calibrate_plan_with_prefix(sample_map, grid, prefix, config.block)
-          : ReorderPlan::identity(n);
+  if (!config.use_reorder) {
+    calib.plan = ReorderPlan::identity(n);
+  } else if (prefix == 0) {
+    calib.plan = calibrate_plan(sample_map, grid, config.block);
+  } else {
+    calib.plan =
+        calibrate_plan_with_prefix(sample_map, grid, prefix, config.block);
+  }
 
   const bool needs_table =
       config.map_scheme == AttnMapScheme::kBlockwiseMixed ||
       config.output_bitwidth_aware;
-  if (!needs_table) {
-    record_head_metrics(calib);
-    return calib;
-  }
-  const MatF reordered = calib.plan.apply_map(sample_map);
-  const BlockGrid bgrid(reordered.rows(), reordered.cols(), config.block);
-  if (config.map_scheme == AttnMapScheme::kBlockwiseMixed) {
-    const auto stats = collect_block_stats(reordered, config.block);
-    const auto sens = compute_sensitivity(stats, config.alpha);
-    const Allocation alloc = allocate_lagrangian(sens, config.budget_bits);
-    calib.bit_table = make_bittable(bgrid, alloc.bits);
-    calib.planned_avg_bits = alloc.average_bitwidth;
-  } else {
-    const int bits =
-        config.map_scheme == AttnMapScheme::kNone ? 8 : config.map_bits;
-    calib.bit_table = BitTable(bgrid, bits);
-    calib.planned_avg_bits = bits;
+  if (needs_table) {
+    const MatF reordered = calib.plan.apply_map(sample_map);
+    const BlockGrid bgrid(reordered.rows(), reordered.cols(), config.block);
+    if (config.map_scheme == AttnMapScheme::kBlockwiseMixed) {
+      const auto stats = collect_block_stats(reordered, config.block);
+      const auto sens = compute_sensitivity(stats, config.alpha);
+      const Allocation alloc = allocate_lagrangian(sens, config.budget_bits);
+      calib.bit_table = make_bittable(bgrid, alloc.bits);
+      calib.planned_avg_bits = alloc.average_bitwidth;
+    } else {
+      // OBA with a uniform map bitwidth: a uniform table.
+      const int bits = config.map_scheme == AttnMapScheme::kNone
+                           ? 8
+                           : config.map_bits;
+      calib.bit_table = BitTable(bgrid, bits);
+      calib.planned_avg_bits = bits;
+    }
   }
   record_head_metrics(calib);
   return calib;
 }
 
-QuantAttentionResult quantized_attention(const MatF& q, const MatF& k,
-                                         const MatF& v,
-                                         const HeadCalibration& calib,
-                                         const QuantAttentionConfig& config) {
-  PARO_SPAN("attn.quantized");
-  obs::MetricsRegistry::global().counter("attn.quantized_calls").add(1.0);
-  PARO_CHECK_MSG(q.rows() == k.rows() && k.rows() == v.rows(),
-                 "token count mismatch");
+/// Tile tallies of the materialized run (the same classification the
+/// streaming engine tracks live) so both executors report AttnExecStats.
+AttnExecStats materialized_exec_stats(std::size_t n, const BitTable* table,
+                                      const QuantAttentionConfig& config) {
+  const bool mixed = config.map_scheme == AttnMapScheme::kBlockwiseMixed;
+  const bool block_quant =
+      config.map_scheme == AttnMapScheme::kBlockwise || mixed;
+  const bool oba_active =
+      config.quantize_qkv && config.output_bitwidth_aware && table != nullptr;
+  const TileVisitor visitor = table != nullptr
+                                  ? TileVisitor(*table)
+                                  : TileVisitor(BlockGrid(n, n, config.block),
+                                                8);
+  AttnExecStats exec;
+  exec.tiles_total = visitor.num_tiles();
+  visitor.for_each_tile([&](const TileRef& t) {
+    const int map_bits_tile = mixed ? t.bits : config.map_bits;
+    const bool skip_qk = oba_active && t.bits == 0;
+    const bool zero_map = block_quant && map_bits_tile == 0;
+    if (skip_qk || zero_map) {
+      ++exec.tiles_skipped;
+    } else {
+      ++exec.tiles_live;
+    }
+    if (!skip_qk) ++exec.qk_tiles_computed;
+    ++exec.tiles_per_bits[static_cast<std::size_t>(
+        bit_choice_index(table != nullptr ? t.bits : 8))];
+  });
+  return exec;
+}
+
+/// The materialized engine: full N×N logits, softmax, and quantized map.
+/// O(N²) memory — kept as the bit-exact oracle for the streaming engine
+/// and as the only path that returns `map_reordered`.
+QuantAttentionResult materialized_quantized_attention(
+    const MatF& q, const MatF& k, const MatF& v, const HeadCalibration& calib,
+    const QuantAttentionConfig& config) {
+  const std::size_t n = q.rows();
   const float scale = attention_scale(q, config.scale);
+  obs::WorkingSetMeter meter;
+  const std::size_t nd_bytes = q.size() * sizeof(float);
+  const std::size_t nn_bytes = n * n * sizeof(float);
 
   const MatF qr = calib.plan.apply_rows(q);
   const MatF kr = calib.plan.apply_rows(k);
   const MatF vr = calib.plan.apply_rows(v);
+  meter.acquire(3 * nd_bytes);
+
+  const BitTable* table =
+      calib.bit_table.has_value() ? &*calib.bit_table : nullptr;
 
   // --- QKᵀ ---
   MatF logits;
   if (config.quantize_qkv) {
     const QuantizedI8 q8 = quantize_rows_i8(qr, 8);
     const QuantizedI8 k8 = quantize_rows_i8(kr, 8);
-    const BitTable* table =
-        calib.bit_table.has_value() ? &*calib.bit_table : nullptr;
+    meter.acquire(2 * (q8.codes.size() * sizeof(std::int8_t) +
+                       q8.row_params.size() * sizeof(QuantParams)));
     logits = logits_from_int8(q8, k8, table, config.output_bitwidth_aware);
+    meter.acquire(nn_bytes);
+    meter.release(2 * (q8.codes.size() * sizeof(std::int8_t) +
+                       q8.row_params.size() * sizeof(QuantParams)));
   } else {
     logits = matmul_nt(qr, kr);
+    meter.acquire(nn_bytes);
   }
 
   // --- softmax (vector unit, FP) ---
   MatF attn = softmax_rows_skipaware(logits, scale);
+  meter.acquire(nn_bytes);
 
   // --- attention-map quantization ---
   QuantAttentionResult result;
@@ -273,14 +280,18 @@ QuantAttentionResult quantized_attention(const MatF& q, const MatF& k,
       break;
     }
     case AttnMapScheme::kBlockwise: {
+      meter.acquire(nn_bytes);  // quantized copy coexists with the source
       attn = fake_quant_blockwise(attn, config.block, config.map_bits);
+      meter.release(nn_bytes);
       result.avg_map_bits = config.map_bits;
       break;
     }
     case AttnMapScheme::kBlockwiseMixed: {
       PARO_CHECK_MSG(calib.bit_table.has_value(),
                      "mixed scheme requires a calibrated BitTable");
+      meter.acquire(nn_bytes);
       attn = fake_quant_blockwise_mixed(attn, *calib.bit_table);
+      meter.release(nn_bytes);
       result.avg_map_bits = calib.bit_table->average_bitwidth();
       break;
     }
@@ -288,15 +299,56 @@ QuantAttentionResult quantized_attention(const MatF& q, const MatF& k,
 
   // --- AttnV ---
   MatF v_used = vr;
+  meter.acquire(nd_bytes);
   if (config.quantize_qkv) {
     v_used = fake_quant_matrix(vr, Granularity::kPerColumn, 8,
                                /*symmetric=*/true);
   }
   const MatF out_reordered = matmul(attn, v_used);
+  meter.acquire(nd_bytes);
 
+  meter.acquire(nd_bytes);  // canonical-order output
   result.output = calib.plan.invert_rows(out_reordered);
   result.map_reordered = std::move(attn);
+
+  result.exec = materialized_exec_stats(n, table, config);
+  result.exec.peak_bytes = meter.peak();
+
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("attn.tiles_skipped")
+      .add(static_cast<double>(result.exec.tiles_skipped));
+  reg.counter("attn.tiles_live")
+      .add(static_cast<double>(result.exec.tiles_live));
+  obs::publish_peak_working_set("materialized", result.exec.peak_bytes);
   return result;
+}
+
+}  // namespace
+
+HeadCalibration calibrate_head(const MatF& sample_q, const MatF& sample_k,
+                               const TokenGrid& grid,
+                               const QuantAttentionConfig& config) {
+  return calibrate_head_impl(sample_q, sample_k, grid, /*prefix=*/0, config);
+}
+
+HeadCalibration calibrate_head_with_prefix(
+    const MatF& sample_q, const MatF& sample_k, const TokenGrid& grid,
+    std::size_t prefix, const QuantAttentionConfig& config) {
+  return calibrate_head_impl(sample_q, sample_k, grid, prefix, config);
+}
+
+QuantAttentionResult quantized_attention(const MatF& q, const MatF& k,
+                                         const MatF& v,
+                                         const HeadCalibration& calib,
+                                         const QuantAttentionConfig& config) {
+  PARO_SPAN("attn.quantized");
+  obs::MetricsRegistry::global().counter("attn.quantized_calls").add(1.0);
+  PARO_CHECK_MSG(q.rows() == k.rows() && k.rows() == v.rows(),
+                 "token count mismatch");
+  if (config.executor == AttnExecutor::kStreamed) {
+    return fused_quantized_attention(q, k, v, calib, config);
+  }
+  return materialized_quantized_attention(q, k, v, calib, config);
 }
 
 QuantAttentionConfig config_fp16() {

@@ -15,6 +15,8 @@
 //   block-wise mixed quant of the map → AttnV (INT8 V) → inverse reorder.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <optional>
 
 #include "quant/bittable.hpp"
@@ -33,6 +35,48 @@ enum class AttnMapScheme {
   kBlockwiseMixed,  ///< per-tile bitwidth from the calibrated BitTable
 };
 
+/// Which execution engine runs the online pipeline.
+enum class AttnExecutor {
+  /// Materialize full N×N logits / softmax / quantized map.  O(N²) memory;
+  /// keeps the quantized map around — the test oracle.
+  kMaterialized,
+  /// Fused block-streaming engine (attention/fused_executor.hpp): per
+  /// Q-stripe online softmax over K-tiles, 0-bit tiles skipped outright,
+  /// never allocates an N×N buffer.  Bitwise-identical outputs.
+  kStreamed,
+};
+
+/// What an executor actually did with the tile decomposition — fed back
+/// into the cycle simulators and the obs layer instead of re-deriving
+/// counts from the BitTable.
+struct AttnExecStats {
+  std::size_t stripes = 0;       ///< Q-stripes processed (streamed path)
+  std::size_t tiles_total = 0;   ///< tiles in the map decomposition
+  std::size_t tiles_live = 0;    ///< tiles that reached map-quant + AttnV
+  std::size_t tiles_skipped = 0; ///< 0-bit tiles the dispatcher bypassed
+  std::size_t qk_tiles_computed = 0;  ///< tiles whose QKᵀ logits were built
+  /// Tile counts per bitwidth class, indexed like kBitChoices {0,2,4,8}.
+  std::array<std::uint64_t, kNumBitChoices> tiles_per_bits{};
+  /// High-water mark of executor-held bytes (one logical stream: shared
+  /// buffers + the largest single stripe's scratch).
+  std::size_t peak_bytes = 0;
+
+  /// Accumulate another run (across heads, layers, or diffusion steps):
+  /// counters add, the peak stays a high-water mark.
+  void merge(const AttnExecStats& o) {
+    stripes += o.stripes;
+    tiles_total += o.tiles_total;
+    tiles_live += o.tiles_live;
+    tiles_skipped += o.tiles_skipped;
+    qk_tiles_computed += o.qk_tiles_computed;
+    for (int b = 0; b < kNumBitChoices; ++b) {
+      tiles_per_bits[static_cast<std::size_t>(b)] +=
+          o.tiles_per_bits[static_cast<std::size_t>(b)];
+    }
+    peak_bytes = peak_bytes > o.peak_bytes ? peak_bytes : o.peak_bytes;
+  }
+};
+
 struct QuantAttentionConfig {
   bool quantize_qkv = true;   ///< INT8 per-token Q/K and per-dim V
   AttnMapScheme map_scheme = AttnMapScheme::kBlockwiseMixed;
@@ -48,6 +92,9 @@ struct QuantAttentionConfig {
   /// its own fake-quant noise).
   bool fp16_scales = false;
   float scale = -1.0F;        ///< softmax scale; -1 → 1/sqrt(head_dim)
+  /// Execution engine.  Streamed by default; switch to kMaterialized when
+  /// the full quantized map is needed (map inspection, oracle tests).
+  AttnExecutor executor = AttnExecutor::kStreamed;
 };
 
 /// Offline calibration artifacts for one (layer, head).
@@ -76,8 +123,12 @@ HeadCalibration calibrate_head_with_prefix(const MatF& sample_q,
 /// Result of a quantized attention forward pass.
 struct QuantAttentionResult {
   MatF output;          ///< [tokens, head_dim], canonical order
-  MatF map_reordered;   ///< the (quantized) map in reordered space
+  /// The (quantized) map in reordered space.  Only the materialized
+  /// executor produces it; the streamed engine never builds the N×N map
+  /// and leaves this empty.
+  MatF map_reordered;
   double avg_map_bits = 16.0;  ///< achieved element-weighted bitwidth
+  AttnExecStats exec;   ///< what the executor did (tiles, peak bytes)
 };
 
 /// Run the quantized pipeline for one head.  `q/k/v` are in canonical

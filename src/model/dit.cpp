@@ -233,6 +233,10 @@ MatF SyntheticDiT::forward_impl(const MatF& x, double t_frac,
     if (capture.sink != nullptr) {
       (*capture.sink)[l].resize(cfg_.heads);
     }
+    // Per-head executor accounting lands in its own slot and folds in head
+    // order below — the aggregate never depends on the pool width.
+    std::vector<AttnExecStats> head_stats(
+        exec.attn_stats != nullptr ? cfg_.heads : 0);
     // Heads are independent: each task writes its own column band of
     // `concat` and its own capture slot.  Nested parallel regions inside
     // the attention kernels run inline on the worker.
@@ -262,9 +266,12 @@ MatF SyntheticDiT::forward_impl(const MatF& x, double t_frac,
           break;
         case AttnImpl::kQuantized: {
           PARO_CHECK(calib != nullptr);
-          oh = quantized_attention(qh, kh, vh, calib->heads.at(l).at(head),
-                                   exec.quant)
-                   .output;
+          QuantAttentionResult r = quantized_attention(
+              qh, kh, vh, calib->heads.at(l).at(head), exec.quant);
+          if (exec.attn_stats != nullptr) {
+            head_stats[head] = r.exec;
+          }
+          oh = std::move(r.output);
           break;
         }
         case AttnImpl::kQuantizedInteger: {
@@ -277,6 +284,9 @@ MatF SyntheticDiT::forward_impl(const MatF& x, double t_frac,
       }
       col_assign(concat, head * dh, oh);
     });
+    for (const AttnExecStats& s : head_stats) {
+      exec.attn_stats->merge(s);
+    }
     h = add(h, lin(concat, b.wo, b.wo_q));
 
     // --- FFN ---

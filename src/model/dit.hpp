@@ -57,6 +57,11 @@ class SyntheticDiT {
     QuantAttentionConfig quant;    ///< used when impl == kQuantized
     float sanger_threshold = 2e-4F;
     bool w8a8_linear = false;      ///< INT8 linear layers (PARO / ablations)
+    /// Optional sink for executor accounting (kQuantized only): every
+    /// (layer, head) attention call merges its AttnExecStats here, folded
+    /// in (layer, head) order so the totals are thread-count-pure.  The
+    /// caller owns the object and may accumulate across forward passes.
+    AttnExecStats* attn_stats = nullptr;
   };
 
   /// Offline per-(layer, head) calibration artifacts.

@@ -56,6 +56,15 @@ class Counter {
 class Gauge {
  public:
   void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  /// Raise the gauge to `v` if it is below — a commutative high-water
+  /// update, safe (and deterministic) from concurrent emitters because
+  /// max() has no order sensitivity.
+  void set_max(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
   double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:

@@ -1,0 +1,13 @@
+#include "obs/working_set.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace paro::obs {
+
+void publish_peak_working_set(const char* executor, std::size_t peak_bytes) {
+  MetricsRegistry::global()
+      .gauge("attn.peak_working_set_bytes", {{"executor", executor}})
+      .set_max(static_cast<double>(peak_bytes));
+}
+
+}  // namespace paro::obs

@@ -1,0 +1,71 @@
+// Working-set accounting for the attention executors.
+//
+// The repo's memory claim — the streamed executor runs in O(N·d + tile²)
+// where the materialized oracle needs O(N²) — must be measurable, not
+// asserted.  Executors meter every logical buffer they hold through a
+// WorkingSetMeter and publish the high-water mark to the
+// `attn.peak_working_set_bytes{executor=...}` gauge, which paro_cli
+// surfaces in its JSON reports.
+//
+// Determinism rule: a meter models ONE logical execution stream.  Parallel
+// stripe workers do NOT share a meter (a shared concurrent high-water mark
+// would depend on scheduling); each stripe meters its own scratch locally
+// and the coordinator folds the per-stripe peaks with fold_local_peak(),
+// which is a max over values that are themselves thread-count-independent.
+#pragma once
+
+#include <cstddef>
+
+namespace paro::obs {
+
+/// Byte accounting with a high-water mark for one logical allocation scope.
+/// Not thread-safe by design — see the determinism rule above.
+class WorkingSetMeter {
+ public:
+  /// Record `bytes` entering the working set.
+  void acquire(std::size_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  /// Record `bytes` leaving the working set.
+  void release(std::size_t bytes) {
+    current_ = bytes > current_ ? 0 : current_ - bytes;
+  }
+
+  /// Fold a subordinate scope's peak that lived ON TOP of this meter's
+  /// current bytes (e.g. one stripe's scratch over the executor's shared
+  /// buffers): peak = max(peak, current + local_peak).
+  void fold_local_peak(std::size_t local_peak) {
+    if (current_ + local_peak > peak_) peak_ = current_ + local_peak;
+  }
+
+  std::size_t current() const { return current_; }
+  std::size_t peak() const { return peak_; }
+
+ private:
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// RAII acquire/release of one buffer's bytes on a meter.
+class ScopedBytes {
+ public:
+  ScopedBytes(WorkingSetMeter& meter, std::size_t bytes)
+      : meter_(meter), bytes_(bytes) {
+    meter_.acquire(bytes_);
+  }
+  ~ScopedBytes() { meter_.release(bytes_); }
+  ScopedBytes(const ScopedBytes&) = delete;
+  ScopedBytes& operator=(const ScopedBytes&) = delete;
+
+ private:
+  WorkingSetMeter& meter_;
+  std::size_t bytes_;
+};
+
+/// Publish `peak_bytes` to the global registry's high-water gauge
+/// `attn.peak_working_set_bytes{executor=<executor>}`.
+void publish_peak_working_set(const char* executor, std::size_t peak_bytes);
+
+}  // namespace paro::obs

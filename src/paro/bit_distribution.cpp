@@ -56,6 +56,49 @@ BitDistribution BitDistribution::from_bittable(const BitTable& table) {
   return d;
 }
 
+BitDistribution BitDistribution::from_tile_counts(
+    const std::array<std::uint64_t, kNumBitChoices>& counts) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  PARO_CHECK_MSG(total > 0, "tile counts are all zero");
+  BitDistribution d;
+  for (int i = 0; i < kNumBitChoices; ++i) {
+    d.fraction[static_cast<std::size_t>(i)] =
+        static_cast<double>(counts[static_cast<std::size_t>(i)]) /
+        static_cast<double>(total);
+  }
+  return d;
+}
+
+std::array<std::uint64_t, kNumBitChoices> slice_tile_counts(
+    const std::array<std::uint64_t, kNumBitChoices>& counts,
+    std::size_t slice, std::size_t num_slices) {
+  PARO_CHECK(num_slices > 0 && slice < num_slices);
+  std::array<std::uint64_t, kNumBitChoices> out{};
+  for (int i = 0; i < kNumBitChoices; ++i) {
+    const std::uint64_t c = counts[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(i)] =
+        c * (slice + 1) / num_slices - c * slice / num_slices;
+  }
+  return out;
+}
+
+std::vector<PeBlockJob> expand_tile_count_jobs(
+    const std::array<std::uint64_t, kNumBitChoices>& counts,
+    std::uint64_t base_cycles, Rng& rng) {
+  std::vector<PeBlockJob> jobs;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  jobs.reserve(total);
+  for (int i = 0; i < kNumBitChoices; ++i) {
+    for (std::uint64_t j = 0; j < counts[static_cast<std::size_t>(i)]; ++j) {
+      jobs.push_back({kBitChoices[i], base_cycles});
+    }
+  }
+  rng.shuffle(jobs);
+  return jobs;
+}
+
 std::vector<PeBlockJob> BitDistribution::make_jobs(std::size_t num_blocks,
                                                    std::uint64_t base_cycles,
                                                    Rng& rng) const {

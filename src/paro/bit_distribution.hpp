@@ -33,6 +33,11 @@ struct BitDistribution {
   static BitDistribution paro_mp_default();
   /// Measure the distribution of a calibrated BitTable.
   static BitDistribution from_bittable(const BitTable& table);
+  /// Tile-weighted distribution from exact per-class tile counts — e.g.
+  /// AttnExecStats::tiles_per_bits measured by the online executor, or
+  /// BitTable::tiles_at sums aggregated over a saved calibration.
+  static BitDistribution from_tile_counts(
+      const std::array<std::uint64_t, kNumBitChoices>& counts);
 
   /// Expand into a shuffled per-block job list (`num_blocks` jobs, each
   /// needing `base_cycles` in 8-bit mode) for the PE-array scheduler.
@@ -44,5 +49,20 @@ struct BitDistribution {
   /// the given PE mode speedups and 0-bit skipping (perfect dispatch).
   double ideal_cycle_factor(bool output_bitwidth_aware) const;
 };
+
+/// Deterministic split of exact per-class tile counts across `num_slices`
+/// stripes: slice `s` of class `i` gets counts[i]·(s+1)/S − counts[i]·s/S,
+/// so the slices sum to the totals exactly and no class drifts by more
+/// than one tile between stripes.  Used by the fused-attention simulator
+/// to spread executor-measured counts over its stripe schedule.
+std::array<std::uint64_t, kNumBitChoices> slice_tile_counts(
+    const std::array<std::uint64_t, kNumBitChoices>& counts,
+    std::size_t slice, std::size_t num_slices);
+
+/// Expand exact per-class counts into a shuffled job list (the exact-count
+/// analogue of BitDistribution::make_jobs).
+std::vector<PeBlockJob> expand_tile_count_jobs(
+    const std::array<std::uint64_t, kNumBitChoices>& counts,
+    std::uint64_t base_cycles, Rng& rng);
 
 }  // namespace paro

@@ -52,14 +52,35 @@ class StripeController : public Component {
       store_bytes_[s] = act_bytes * static_cast<double>(rows_here) * dh;
 
       if (p.quantized) {
-        const std::size_t br = (rows_here + p.map_block - 1) / p.map_block;
-        const std::size_t bc = (p.tokens + p.map_block - 1) / p.map_block;
-        BitDistribution qk_bits = p.map_bits;
-        if (!p.output_bitwidth_aware) {
-          qk_bits = BitDistribution::uniform(8);
+        std::vector<PeBlockJob> qk_jobs;
+        std::vector<PeBlockJob> av_jobs;
+        if (p.tile_counts.has_value()) {
+          // Executor-measured counts: this stripe schedules its exact
+          // slice of the tiles the online engine actually dispatched.
+          const auto slice = slice_tile_counts(*p.tile_counts, s, stripes_);
+          av_jobs = expand_tile_count_jobs(slice, base_cycles, rng);
+          if (p.output_bitwidth_aware) {
+            qk_jobs = expand_tile_count_jobs(slice, base_cycles, rng);
+          } else {
+            // Without OBA the table cannot steer QKᵀ: every tile — 0-bit
+            // ones included, their logits feed the softmax denominator —
+            // computes at the 8-bit input rate.
+            std::array<std::uint64_t, kNumBitChoices> all8{};
+            for (const std::uint64_t c : slice) {
+              all8[kNumBitChoices - 1] += c;
+            }
+            qk_jobs = expand_tile_count_jobs(all8, base_cycles, rng);
+          }
+        } else {
+          const std::size_t br = (rows_here + p.map_block - 1) / p.map_block;
+          const std::size_t bc = (p.tokens + p.map_block - 1) / p.map_block;
+          BitDistribution qk_bits = p.map_bits;
+          if (!p.output_bitwidth_aware) {
+            qk_bits = BitDistribution::uniform(8);
+          }
+          qk_jobs = qk_bits.make_jobs(br * bc, base_cycles, rng);
+          av_jobs = p.map_bits.make_jobs(br * bc, base_cycles, rng);
         }
-        auto qk_jobs = qk_bits.make_jobs(br * bc, base_cycles, rng);
-        auto av_jobs = p.map_bits.make_jobs(br * bc, base_cycles, rng);
         const PeArrayConfig pe_cfg{static_cast<std::size_t>(rows),
                                    p.dispatcher};
         pe_cycles_[s] = pe_array_cycles_analytic(pe_cfg, qk_jobs) +

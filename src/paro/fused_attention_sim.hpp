@@ -17,7 +17,9 @@
 // to within the pipeline fill/drain overhead.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "paro/bit_distribution.hpp"
@@ -31,6 +33,12 @@ struct FusedAttentionParams {
   std::size_t head_dim = 64;
   std::size_t map_block = 64;     ///< attention-map tile side
   BitDistribution map_bits = BitDistribution::paro_mp_default();
+  /// Exact per-class tile counts for the whole head, kBitChoices order —
+  /// feed AttnExecStats::tiles_per_bits here so the simulator schedules
+  /// the tiles the executor actually dispatched instead of re-deriving a
+  /// per-stripe mix from `map_bits` fractions.  Counts are spread across
+  /// stripes with slice_tile_counts (sums are exact).
+  std::optional<std::array<std::uint64_t, kNumBitChoices>> tile_counts;
   bool output_bitwidth_aware = true;
   bool dispatcher = true;
   bool quantized = true;          ///< INT8 flow vs FP16 baseline

@@ -2,16 +2,11 @@
 
 #include <cmath>
 
-#include "common/thread_pool.hpp"
+#include "quant/tile_visitor.hpp"
 
 namespace paro {
 
 namespace {
-
-/// Tiles per parallel chunk for the per-tile sweeps below.  Fixed (not a
-/// function of the thread count) so chunk layout — and with it every
-/// ordered reduction — is identical at any pool width.
-constexpr std::size_t kTileGrain = 16;
 
 /// Copy a tile into a scratch vector.
 void gather_tile(const MatF& m, const BlockGrid::Extent& e,
@@ -39,130 +34,109 @@ void scatter_tile(MatF& m, const BlockGrid::Extent& e,
 }  // namespace
 
 MatF fake_quant_blockwise(const MatF& attn, std::size_t block, int bits) {
-  const BlockGrid grid(attn.rows(), attn.cols(), block);
+  const TileVisitor visitor(BlockGrid(attn.rows(), attn.cols(), block), bits);
   MatF out = attn;
   // Tiles are disjoint regions of `out`, so quantizing them in parallel
   // writes disjoint elements.
-  global_pool().for_chunks(
-      0, grid.num_blocks(), kTileGrain,
-      [&](std::size_t t0, std::size_t t1, std::size_t /*chunk*/) {
-        std::vector<float> tile;
-        for (std::size_t t = t0; t < t1; ++t) {
-          const auto e = grid.extent(t / grid.block_cols(),
-                                     t % grid.block_cols());
-          gather_tile(out, e, tile);
-          fake_quant_group(tile, bits, /*symmetric=*/false);
-          scatter_tile(out, e, tile);
-        }
+  visitor.parallel_for_each_tile_with(
+      [] { return std::vector<float>(); },
+      [&](const TileRef& t, std::vector<float>& tile) {
+        gather_tile(out, t.extent, tile);
+        fake_quant_group(tile, t.bits, /*symmetric=*/false);
+        scatter_tile(out, t.extent, tile);
       });
   return out;
 }
 
 MatF fake_quant_blockwise_mixed(const MatF& attn, const BitTable& table) {
-  const BlockGrid& grid = table.grid();
-  PARO_CHECK_MSG(grid.rows() == attn.rows() && grid.cols() == attn.cols(),
+  PARO_CHECK_MSG(table.grid().rows() == attn.rows() &&
+                     table.grid().cols() == attn.cols(),
                  "BitTable grid does not match attention map shape");
+  const TileVisitor visitor(table);
   MatF out = attn;
-  global_pool().for_chunks(
-      0, grid.num_blocks(), kTileGrain,
-      [&](std::size_t t0, std::size_t t1, std::size_t /*chunk*/) {
-        std::vector<float> tile;
-        for (std::size_t t = t0; t < t1; ++t) {
-          const std::size_t br = t / grid.block_cols();
-          const std::size_t bc = t % grid.block_cols();
-          const auto e = grid.extent(br, bc);
-          gather_tile(out, e, tile);
-          fake_quant_group(tile, table.bits_at(br, bc), /*symmetric=*/false);
-          scatter_tile(out, e, tile);
-        }
+  visitor.parallel_for_each_tile_with(
+      [] { return std::vector<float>(); },
+      [&](const TileRef& t, std::vector<float>& tile) {
+        gather_tile(out, t.extent, tile);
+        fake_quant_group(tile, t.bits, /*symmetric=*/false);
+        scatter_tile(out, t.extent, tile);
       });
   return out;
 }
 
 std::vector<BlockQuantStats> collect_block_stats(const MatF& attn,
                                                  std::size_t block) {
-  const BlockGrid grid(attn.rows(), attn.cols(), block);
-  std::vector<BlockQuantStats> stats(grid.num_blocks());
+  const TileVisitor visitor(BlockGrid(attn.rows(), attn.cols(), block));
+  std::vector<BlockQuantStats> stats(visitor.num_tiles());
   // The sensitivity pass scores every tile at every candidate bitwidth —
   // the dominant offline cost after plan selection.  Each tile fills its
   // own slot, so row-major tile order is preserved at any thread count.
-  global_pool().for_chunks(
-      0, grid.num_blocks(), kTileGrain,
-      [&](std::size_t t0, std::size_t t1, std::size_t /*chunk*/) {
-        std::vector<float> tile;
-        for (std::size_t t = t0; t < t1; ++t) {
-          const std::size_t br = t / grid.block_cols();
-          const std::size_t bc = t % grid.block_cols();
-          gather_tile(attn, grid.extent(br, bc), tile);
-          BlockQuantStats s;
-          s.block_row = br;
-          s.block_col = bc;
-          s.count = tile.size();
-          for (const float v : tile) {
-            s.value_sum += v;
-            s.abs_mean += std::abs(v);
-          }
-          s.abs_mean /= static_cast<double>(tile.size());
-          for (int bi = 0; bi < kNumBitChoices; ++bi) {
-            const int bits = kBitChoices[bi];
-            if (bits == 0) {
-              // Skipping the tile leaves the full signal as error.
-              double sq = 0.0;
-              for (const float v : tile) sq += static_cast<double>(v) * v;
-              s.error_l2[bi] = std::sqrt(sq);
-            } else {
-              const QuantParams p = calibrate_minmax(tile, bits);
-              s.error_l2[bi] = std::sqrt(quant_error_sq(tile, p));
-            }
-          }
-          stats[t] = s;
+  visitor.parallel_for_each_tile_with(
+      [] { return std::vector<float>(); },
+      [&](const TileRef& t, std::vector<float>& tile) {
+        gather_tile(attn, t.extent, tile);
+        BlockQuantStats s;
+        s.block_row = t.br;
+        s.block_col = t.bc;
+        s.count = tile.size();
+        for (const float v : tile) {
+          s.value_sum += v;
+          s.abs_mean += std::abs(v);
         }
+        s.abs_mean /= static_cast<double>(tile.size());
+        for (int bi = 0; bi < kNumBitChoices; ++bi) {
+          const int bits = kBitChoices[bi];
+          if (bits == 0) {
+            // Skipping the tile leaves the full signal as error.
+            double sq = 0.0;
+            for (const float v : tile) sq += static_cast<double>(v) * v;
+            s.error_l2[bi] = std::sqrt(sq);
+          } else {
+            const QuantParams p = calibrate_minmax(tile, bits);
+            s.error_l2[bi] = std::sqrt(quant_error_sq(tile, p));
+          }
+        }
+        stats[t.index] = s;
       });
   return stats;
 }
 
 double blockwise_quant_error_sq(const MatF& attn, std::size_t block,
                                 int bits) {
-  const BlockGrid grid(attn.rows(), attn.cols(), block);
-  // Chunk partials are combined in chunk order, so the FP sum has one fixed
-  // association regardless of thread count.
-  return global_pool().ordered_reduce(
-      0, grid.num_blocks(), kTileGrain, 0.0,
-      [&](std::size_t t0, std::size_t t1) {
+  const TileVisitor visitor(BlockGrid(attn.rows(), attn.cols(), block), bits);
+  // Per-tile errors accumulate in flat-tile order and chunk partials fold
+  // in chunk order, so the FP sum has one fixed association regardless of
+  // thread count.
+  return visitor.ordered_reduce_tiles(
+      0.0,
+      [&](const TileRef& t) {
         std::vector<float> tile;
-        double partial = 0.0;
-        for (std::size_t t = t0; t < t1; ++t) {
-          gather_tile(attn,
-                      grid.extent(t / grid.block_cols(), t % grid.block_cols()),
-                      tile);
-          if (bits == 0) {
-            for (const float v : tile) partial += static_cast<double>(v) * v;
-          } else {
-            const QuantParams p = calibrate_minmax(tile, bits);
-            partial += quant_error_sq(tile, p);
-          }
+        gather_tile(attn, t.extent, tile);
+        if (t.bits == 0) {
+          double sq = 0.0;
+          for (const float v : tile) sq += static_cast<double>(v) * v;
+          return sq;
         }
-        return partial;
+        const QuantParams p = calibrate_minmax(tile, t.bits);
+        return quant_error_sq(tile, p);
       },
       [](double a, double b) { return a + b; });
 }
 
 MatF block_mass(const MatF& attn, std::size_t block) {
-  const BlockGrid grid(attn.rows(), attn.cols(), block);
-  MatF mass(grid.block_rows(), grid.block_cols(), 0.0F);
-  for (std::size_t br = 0; br < grid.block_rows(); ++br) {
-    for (std::size_t bc = 0; bc < grid.block_cols(); ++bc) {
-      const auto e = grid.extent(br, bc);
-      double sum = 0.0;
-      for (std::size_t r = e.r0; r < e.r1; ++r) {
-        const auto row = attn.row(r);
-        for (std::size_t c = e.c0; c < e.c1; ++c) {
-          sum += row[c];
-        }
+  const TileVisitor visitor(BlockGrid(attn.rows(), attn.cols(), block));
+  MatF mass(visitor.grid().block_rows(), visitor.grid().block_cols(), 0.0F);
+  visitor.for_each_tile([&](const TileRef& t) {
+    double sum = 0.0;
+    for (std::size_t r = t.extent.r0; r < t.extent.r1; ++r) {
+      const auto row = attn.row(r);
+      for (std::size_t c = t.extent.c0; c < t.extent.c1; ++c) {
+        sum += row[c];
       }
-      mass(br, bc) = static_cast<float>(sum / static_cast<double>(e.count()));
     }
-  }
+    mass(t.br, t.bc) =
+        static_cast<float>(sum / static_cast<double>(t.extent.count()));
+  });
   return mass;
 }
 

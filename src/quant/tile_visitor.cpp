@@ -1,0 +1,21 @@
+#include "quant/tile_visitor.hpp"
+
+namespace paro {
+
+std::size_t TileVisitor::count_live() const {
+  std::size_t live = 0;
+  for_each_tile([&](const TileRef& t) {
+    if (t.live()) ++live;
+  });
+  return live;
+}
+
+std::vector<std::size_t> TileVisitor::counts_per_bits() const {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(kNumBitChoices), 0);
+  for_each_tile([&](const TileRef& t) {
+    ++counts[static_cast<std::size_t>(bit_choice_index(t.bits))];
+  });
+  return counts;
+}
+
+}  // namespace paro

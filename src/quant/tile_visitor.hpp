@@ -1,0 +1,167 @@
+// Tile iteration over BlockGrid / BitTable — the shared walking layer of
+// the tiled execution core.
+//
+// Every consumer of the block decomposition (block-wise fake-quant, the
+// OBA logits kernel, the integer-exact path, the fused streaming executor)
+// used to hand-roll the same `t / block_cols(), t % block_cols()` loop and
+// re-derive extents and bitwidths inline.  TileVisitor centralizes that:
+// it resolves a flat tile index into a TileRef carrying (br, bc, extent,
+// bits) and offers serial, parallel, and reducing sweeps.
+//
+// Parallel sweeps run on common/thread_pool with a FIXED grain, so the
+// chunk layout — and with it every ordered reduction — depends only on the
+// tile count, never on the thread count (the repo's chunk-purity rule).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "quant/bittable.hpp"
+
+namespace paro {
+
+/// One tile of a BlockGrid, annotated with its bitwidth: the BitTable's
+/// entry when the visitor wraps a table, a uniform default otherwise.
+struct TileRef {
+  std::size_t index = 0;     ///< flat row-major tile index
+  std::size_t br = 0;        ///< block row
+  std::size_t bc = 0;        ///< block column
+  BlockGrid::Extent extent{0, 0, 0, 0};
+  int bits = 8;
+
+  /// A tile the dispatcher would hand to the PE array (bits > 0).
+  bool live() const { return bits != 0; }
+};
+
+class TileVisitor {
+ public:
+  /// Tiles per parallel chunk.  Fixed (not a function of the thread count)
+  /// so chunk layout is identical at any pool width.
+  static constexpr std::size_t kDefaultGrain = 16;
+
+  /// Visit `grid` with every tile at `uniform_bits`.
+  explicit TileVisitor(const BlockGrid& grid, int uniform_bits = 8)
+      : grid_(grid), uniform_bits_(uniform_bits) {}
+
+  /// Visit `table.grid()` with per-tile bitwidths from `table`.  The table
+  /// is borrowed: it must outlive the visitor.
+  explicit TileVisitor(const BitTable& table)
+      : grid_(table.grid()), table_(&table) {}
+
+  const BlockGrid& grid() const { return grid_; }
+  std::size_t num_tiles() const { return grid_.num_blocks(); }
+  bool has_table() const { return table_ != nullptr; }
+
+  /// Resolve a flat tile index into its TileRef.
+  TileRef tile(std::size_t flat) const {
+    TileRef t;
+    t.index = flat;
+    t.br = flat / grid_.block_cols();
+    t.bc = flat % grid_.block_cols();
+    t.extent = grid_.extent(t.br, t.bc);
+    t.bits = table_ != nullptr ? table_->bits_flat(flat) : uniform_bits_;
+    return t;
+  }
+
+  /// Serial sweep over every tile in flat (row-major) order.
+  template <typename Fn>
+  void for_each_tile(Fn&& fn) const {
+    for (std::size_t t = 0; t < grid_.num_blocks(); ++t) {
+      fn(tile(t));
+    }
+  }
+
+  /// Serial sweep over tiles the dispatcher keeps (bits > 0).
+  template <typename Fn>
+  void for_each_live_tile(Fn&& fn) const {
+    for (std::size_t t = 0; t < grid_.num_blocks(); ++t) {
+      const TileRef ref = tile(t);
+      if (ref.live()) fn(ref);
+    }
+  }
+
+  /// Serial sweep over the tiles of one block row, bc ascending.
+  template <typename Fn>
+  void for_each_tile_in_row(std::size_t br, Fn&& fn) const {
+    const std::size_t base = br * grid_.block_cols();
+    for (std::size_t bc = 0; bc < grid_.block_cols(); ++bc) {
+      fn(tile(base + bc));
+    }
+  }
+
+  /// Parallel sweep: fn(tile) for every tile, fanned out on the global
+  /// pool in chunks of `grain` tiles.  Tiles are disjoint regions, so
+  /// callers writing only inside their tile race on nothing.
+  template <typename Fn>
+  void parallel_for_each_tile(Fn&& fn,
+                              std::size_t grain = kDefaultGrain) const {
+    global_pool().for_chunks(
+        0, grid_.num_blocks(), grain,
+        [&](std::size_t t0, std::size_t t1, std::size_t /*chunk*/) {
+          for (std::size_t t = t0; t < t1; ++t) fn(tile(t));
+        });
+  }
+
+  /// Parallel sweep with per-chunk scratch state: `make_state()` runs once
+  /// per chunk and its result is passed (by reference) to every tile of
+  /// that chunk — the hoisted-scratch idiom of the per-tile quant loops,
+  /// without a hand-rolled chunk loop.  State must not leak information
+  /// between tiles that affects results (scratch buffers only).
+  template <typename MakeState, typename Fn>
+  void parallel_for_each_tile_with(MakeState&& make_state, Fn&& fn,
+                                   std::size_t grain = kDefaultGrain) const {
+    global_pool().for_chunks(
+        0, grid_.num_blocks(), grain,
+        [&](std::size_t t0, std::size_t t1, std::size_t /*chunk*/) {
+          auto state = make_state();
+          for (std::size_t t = t0; t < t1; ++t) fn(tile(t), state);
+        });
+  }
+
+  /// Parallel sweep over live tiles only (dead tiles are filtered inside
+  /// the chunk, so the chunk layout still covers all flat indices and
+  /// stays pure in the tile count).
+  template <typename Fn>
+  void parallel_for_each_live_tile(Fn&& fn,
+                                   std::size_t grain = kDefaultGrain) const {
+    parallel_for_each_tile(
+        [&](const TileRef& t) {
+          if (t.live()) fn(t);
+        },
+        grain);
+  }
+
+  /// Deterministic reduction over tiles: `tile_fn(tile)` maps each tile to
+  /// a value, chunk partials accumulate with `combine` in flat-tile order,
+  /// and chunk partials fold left-to-right in chunk order (thread_pool's
+  /// ordered_reduce) — one fixed FP association at any thread count.
+  template <typename T, typename TileFn, typename CombineFn>
+  T ordered_reduce_tiles(T init, TileFn&& tile_fn, CombineFn&& combine,
+                         std::size_t grain = kDefaultGrain) const {
+    return global_pool().ordered_reduce(
+        0, grid_.num_blocks(), grain, init,
+        [&](std::size_t t0, std::size_t t1) {
+          T partial = init;
+          for (std::size_t t = t0; t < t1; ++t) {
+            partial = combine(partial, tile_fn(tile(t)));
+          }
+          return partial;
+        },
+        [&](T a, T b) { return combine(std::move(a), std::move(b)); });
+  }
+
+  /// Count of live (bits > 0) tiles.
+  std::size_t count_live() const;
+
+  /// Tile counts per bitwidth class, indexed like kBitChoices.
+  std::vector<std::size_t> counts_per_bits() const;
+
+ private:
+  BlockGrid grid_;
+  const BitTable* table_ = nullptr;  // borrowed, nullable
+  int uniform_bits_ = 8;
+};
+
+}  // namespace paro

@@ -1,0 +1,264 @@
+// The fused block-streaming executor against its oracle: the materialized
+// pipeline.  The contract is BITWISE equality of outputs (stronger than
+// the usual tolerance — the streaming engine replicates the exact FP
+// associations of the N×N path) at a fraction of the working set.
+#include "attention/fused_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "attention/pipeline.hpp"
+#include "attention/reference.hpp"
+#include "attention/synthetic.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "paro/fused_attention_sim.hpp"
+#include "quant/bittable.hpp"
+#include "sim/resources.hpp"
+
+namespace paro {
+namespace {
+
+constexpr std::size_t kBlock = 8;
+
+bool same_bits(const MatF& a, const MatF& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  return std::memcmp(fa.data(), fb.data(), fa.size() * sizeof(float)) == 0;
+}
+
+struct Fixture {
+  TokenGrid grid;
+  HeadQKV head;
+
+  explicit Fixture(const TokenGrid& g = TokenGrid(6, 6, 6),
+                   std::uint64_t seed = 53) : grid(g) {
+    SyntheticHeadSpec spec;
+    spec.locality_order = all_axis_orders()[3];
+    spec.locality_width = 0.01;
+    spec.pattern_gain = 5.0;
+    spec.content_gain = 0.5;
+    spec.global_fraction = 0.01;
+    spec.global_gain = 3.5;
+    Rng rng(seed);
+    head = generate_head(grid, spec, 16, rng);
+  }
+
+  /// Run both executors on the same calibration and compare bitwise.
+  void expect_agreement(QuantAttentionConfig cfg,
+                        const std::string& label) const {
+    const HeadCalibration calib =
+        calibrate_head(head.q, head.k, grid, cfg);
+    cfg.executor = AttnExecutor::kMaterialized;
+    const auto oracle = quantized_attention(head.q, head.k, head.v, calib,
+                                            cfg);
+    cfg.executor = AttnExecutor::kStreamed;
+    const auto streamed = quantized_attention(head.q, head.k, head.v, calib,
+                                              cfg);
+    EXPECT_TRUE(same_bits(oracle.output, streamed.output)) << label;
+    EXPECT_EQ(oracle.avg_map_bits, streamed.avg_map_bits) << label;
+    // Both engines walked the same decomposition.
+    EXPECT_EQ(oracle.exec.tiles_total, streamed.exec.tiles_total) << label;
+    EXPECT_EQ(oracle.exec.tiles_skipped, streamed.exec.tiles_skipped)
+        << label;
+    EXPECT_EQ(oracle.exec.tiles_per_bits, streamed.exec.tiles_per_bits)
+        << label;
+    // The streamed engine never built the map.
+    EXPECT_EQ(streamed.map_reordered.rows(), 0U) << label;
+    EXPECT_GT(oracle.map_reordered.rows(), 0U) << label;
+  }
+};
+
+TEST(FusedExecutor, MatchesMaterializedOnEveryPreset) {
+  const Fixture f;
+  f.expect_agreement(config_fp16(), "fp16");
+  f.expect_agreement(config_naive_int(4), "naive_int4");
+  f.expect_agreement(config_naive_int(8), "naive_int8");
+  f.expect_agreement(config_blockwise_int(4, kBlock), "blockwise_int4");
+  f.expect_agreement(config_paro_int(4, kBlock), "paro_int4");
+  f.expect_agreement(config_paro_int(8, kBlock), "paro_int8");
+  f.expect_agreement(config_paro_mp(4.8, kBlock), "paro_mp_4.8");
+  f.expect_agreement(config_paro_mp(2.0, kBlock), "paro_mp_2.0");
+}
+
+TEST(FusedExecutor, MatchesMaterializedWithOutputBitwidthAware) {
+  const Fixture f;
+  QuantAttentionConfig cfg = config_paro_mp(4.8, kBlock);
+  cfg.output_bitwidth_aware = true;
+  f.expect_agreement(cfg, "paro_mp_oba");
+  cfg = config_paro_mp(2.0, kBlock);  // many 0-bit tiles → dead-row paths
+  cfg.output_bitwidth_aware = true;
+  f.expect_agreement(cfg, "paro_mp_2.0_oba");
+}
+
+TEST(FusedExecutor, MatchesMaterializedOnRaggedSequences) {
+  // 125 tokens against block 8: 15 full tiles + a ragged 5-wide edge.
+  const Fixture f(TokenGrid(5, 5, 5), 71);
+  f.expect_agreement(config_paro_mp(4.8, kBlock), "ragged_mp");
+  QuantAttentionConfig oba = config_paro_mp(3.0, kBlock);
+  oba.output_bitwidth_aware = true;
+  f.expect_agreement(oba, "ragged_mp_oba");
+  f.expect_agreement(config_blockwise_int(4, kBlock), "ragged_blockwise");
+  f.expect_agreement(config_fp16(), "ragged_fp16");
+}
+
+TEST(FusedExecutor, UnquantizedMapConfigsAreExactVsReference) {
+  // With no map quantization and no QKV quantization the pipeline is plain
+  // attention: the streamed engine must agree with the direct reference to
+  // float tolerance (and with the oracle bitwise, covered above).
+  const Fixture f;
+  const QuantAttentionConfig cfg = config_fp16();
+  const HeadCalibration calib =
+      calibrate_head(f.head.q, f.head.k, f.grid, cfg);
+  const auto streamed =
+      quantized_attention(f.head.q, f.head.k, f.head.v, calib, cfg);
+  const MatF ref = attention_reference(f.head.q, f.head.k, f.head.v);
+  EXPECT_GT(snr_db(ref.flat(), streamed.output.flat()), 120.0);
+}
+
+/// Hand-build a calibration with a known bit layout (no offline pass).
+HeadCalibration manual_calibration(std::size_t n, std::size_t block) {
+  HeadCalibration calib;
+  calib.plan = ReorderPlan::identity(n);
+  BitTable table(BlockGrid(n, n, block), 8);
+  const std::size_t bcols = table.grid().block_cols();
+  for (std::size_t br = 0; br < table.grid().block_rows(); ++br) {
+    for (std::size_t bc = 0; bc < bcols; ++bc) {
+      const std::size_t d = br > bc ? br - bc : bc - br;
+      const int bits = d == 0 ? 8 : d == 1 ? 4 : d == 2 ? 2 : 0;
+      table.set_bits(br, bc, bits);
+    }
+  }
+  calib.planned_avg_bits = table.average_bitwidth();
+  calib.bit_table = std::move(table);
+  return calib;
+}
+
+MatF random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  MatF m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (float& x : m.row(r)) {
+      x = static_cast<float>(rng.normal());
+    }
+  }
+  return m;
+}
+
+TEST(FusedExecutor, SkipsZeroBitTilesWithoutComputingThem) {
+  const std::size_t n = 64, block = 8;
+  Rng rng(5);
+  const MatF q = random_matrix(n, 16, rng);
+  const MatF k = random_matrix(n, 16, rng);
+  const MatF v = random_matrix(n, 16, rng);
+  const HeadCalibration calib = manual_calibration(n, block);
+  QuantAttentionConfig cfg = config_paro_mp(4.8, block);
+  cfg.output_bitwidth_aware = true;  // dispatcher bypass active
+  const auto r = fused_quantized_attention(q, k, v, calib, cfg);
+  const std::size_t zero_tiles = calib.bit_table->tiles_at(0);
+  ASSERT_GT(zero_tiles, 0U);
+  EXPECT_EQ(r.exec.tiles_total, calib.bit_table->grid().num_blocks());
+  EXPECT_EQ(r.exec.tiles_skipped, zero_tiles);
+  // The skipped tiles never reached QKᵀ: computed + skipped = total.
+  EXPECT_EQ(r.exec.qk_tiles_computed, r.exec.tiles_total - zero_tiles);
+  EXPECT_EQ(r.exec.tiles_per_bits[0], zero_tiles);
+  std::size_t per_bits_sum = 0;
+  for (const auto c : r.exec.tiles_per_bits) {
+    per_bits_sum += static_cast<std::size_t>(c);
+  }
+  EXPECT_EQ(per_bits_sum, r.exec.tiles_total);
+  EXPECT_EQ(r.exec.stripes, (n + block - 1) / block);
+}
+
+TEST(FusedExecutor, ExecStatsFeedTheCycleSimulator) {
+  // The online executor's measured tile mix drives the cycle model: a
+  // skip-heavy head must simulate strictly faster than an all-8-bit one
+  // of the same shape.  The grid is large enough (64×64 tiles, mostly
+  // 0-bit off the band) that the dispatcher's makespan follows the mix
+  // rather than a single longest job.
+  const std::size_t n = 512, block = 8;
+  Rng rng(6);
+  const MatF q = random_matrix(n, 16, rng);
+  const MatF k = random_matrix(n, 16, rng);
+  const MatF v = random_matrix(n, 16, rng);
+  QuantAttentionConfig cfg = config_paro_mp(4.8, block);
+  cfg.output_bitwidth_aware = true;
+  const auto r =
+      fused_quantized_attention(q, k, v, manual_calibration(n, block), cfg);
+
+  FusedAttentionParams p;
+  p.tokens = 4096;
+  p.head_dim = 64;
+  p.tile_counts = r.exec.tiles_per_bits;
+  const HwResources hw = HwResources::paro_asic();
+  const FusedAttentionResult mixed = simulate_fused_attention(p, hw);
+
+  FusedAttentionParams uniform = p;
+  std::array<std::uint64_t, kNumBitChoices> all8{};
+  all8[kNumBitChoices - 1] = r.exec.tiles_total;
+  uniform.tile_counts = all8;
+  const FusedAttentionResult dense = simulate_fused_attention(uniform, hw);
+
+  // End-to-end cycles can be DRAM-bound at this size; the PE occupancy
+  // must reflect the cheaper mix unconditionally.
+  EXPECT_LT(mixed.pe_busy_cycles, dense.pe_busy_cycles);
+  EXPECT_GT(mixed.pe_busy_cycles, 0U);
+  EXPECT_LE(mixed.cycles, dense.cycles);
+}
+
+TEST(FusedExecutor, WorkingSetStaysFarBelowMaterializedAtScale) {
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  GTEST_SKIP() << "N=4096 run is too slow under sanitizers";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+  GTEST_SKIP() << "N=4096 run is too slow under sanitizers";
+#endif
+#endif
+  // The acceptance shape: N=4096, d=64, block=64.  The streamed engine's
+  // peak (row buffers + one stripe) must be under 10% of the N×N path.
+  const std::size_t n = 4096, d = 64, block = 64;
+  Rng rng(9);
+  const MatF q = random_matrix(n, d, rng);
+  const MatF k = random_matrix(n, d, rng);
+  const MatF v = random_matrix(n, d, rng);
+  const HeadCalibration calib = manual_calibration(n, block);
+  QuantAttentionConfig cfg = config_paro_mp(4.8, block);
+  cfg.output_bitwidth_aware = true;
+  cfg.use_reorder = false;
+
+  obs::MetricsRegistry::global().reset();
+  cfg.executor = AttnExecutor::kStreamed;
+  const auto streamed = quantized_attention(q, k, v, calib, cfg);
+  cfg.executor = AttnExecutor::kMaterialized;
+  const auto oracle = quantized_attention(q, k, v, calib, cfg);
+
+  ASSERT_GT(streamed.exec.peak_bytes, 0U);
+  ASSERT_GT(oracle.exec.peak_bytes, 0U);
+  // The materialized path holds at least logits + attn (two N×N floats).
+  EXPECT_GE(oracle.exec.peak_bytes, 2 * n * n * sizeof(float));
+  const double ratio = static_cast<double>(streamed.exec.peak_bytes) /
+                       static_cast<double>(oracle.exec.peak_bytes);
+  EXPECT_LT(ratio, 0.10) << "streamed peak " << streamed.exec.peak_bytes
+                         << " vs materialized " << oracle.exec.peak_bytes;
+  // And the oracle holds at scale too: bitwise-equal outputs.
+  EXPECT_TRUE(same_bits(oracle.output, streamed.output));
+
+  // The obs gauge carries the same high-water marks.
+  auto& reg = obs::MetricsRegistry::global();
+  EXPECT_EQ(reg.gauge("attn.peak_working_set_bytes",
+                      {{"executor", "streamed"}})
+                .value(),
+            static_cast<double>(streamed.exec.peak_bytes));
+  EXPECT_EQ(reg.gauge("attn.peak_working_set_bytes",
+                      {{"executor", "materialized"}})
+                .value(),
+            static_cast<double>(oracle.exec.peak_bytes));
+  obs::MetricsRegistry::global().reset();
+}
+
+}  // namespace
+}  // namespace paro

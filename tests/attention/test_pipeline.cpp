@@ -125,12 +125,22 @@ TEST(Pipeline, OutputBitwidthAwareCloseToPlainMixed) {
 TEST(Pipeline, ZeroBitBlocksProduceZeroMass) {
   const Fixture f;
   auto cfg = config_paro_mp(2.0, kBlock);  // tight budget → many skipped tiles
+  // Only the materialized oracle exposes the full reordered map; the
+  // streamed executor never builds it.
+  cfg.executor = AttnExecutor::kMaterialized;
   const HeadCalibration calib =
       calibrate_head(f.head.q, f.head.k, f.grid, cfg);
   ASSERT_TRUE(calib.bit_table.has_value());
   EXPECT_GT(calib.bit_table->tiles_at(0), 0U);
   const auto result = quantized_attention(f.head.q, f.head.k, f.head.v,
                                           calib, cfg);
+  // The executor's own accounting must agree with the table: every 0-bit
+  // tile is reported skipped, none of them reaches the PE array.
+  EXPECT_EQ(result.exec.tiles_total,
+            calib.bit_table->grid().num_blocks());
+  EXPECT_GE(result.exec.tiles_skipped, calib.bit_table->tiles_at(0));
+  EXPECT_EQ(result.exec.tiles_live + result.exec.tiles_skipped,
+            result.exec.tiles_total);
   const BitTable& table = *calib.bit_table;
   const BlockGrid& bg = table.grid();
   for (std::size_t br = 0; br < bg.block_rows(); ++br) {

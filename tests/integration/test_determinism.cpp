@@ -59,14 +59,18 @@ struct PipelineRun {
   std::vector<double> avg_bits;
   std::vector<MatF> outputs;                // quantized attention outputs
   std::vector<MatF> maps;                   // reordered quantized maps
+                                            //   (materialized executor only)
   std::vector<double> quality;              // MSE vs FP16 reference
+  std::vector<std::size_t> tiles_skipped;   // executor accounting per head
+  std::vector<std::size_t> peak_bytes;      // working-set meter per head
   std::vector<std::uint64_t> fused_cycles;  // cycle simulator, per head
   std::vector<std::uint64_t> pipe_cycles;   // block pipeline, per stream
   double fused_stats_count = 0.0;           // shard-merged metric series
   double fused_cycle_total = 0.0;
 };
 
-PipelineRun run_pipeline(std::size_t threads) {
+PipelineRun run_pipeline(std::size_t threads,
+                         AttnExecutor exec = AttnExecutor::kStreamed) {
   set_global_threads(threads);
   obs::MetricsRegistry::global().reset();
   PipelineRun run;
@@ -74,7 +78,8 @@ PipelineRun run_pipeline(std::size_t threads) {
   const TokenGrid grid(4, 4, 4);
   Rng seed_rng(11);
   auto specs = default_head_specs(4, seed_rng);
-  const QuantAttentionConfig quant = config_paro_mp(4.8, 8);
+  QuantAttentionConfig quant = config_paro_mp(4.8, 8);
+  quant.executor = exec;
 
   for (std::size_t h = 0; h < specs.size(); ++h) {
     Rng rng(900 + h);
@@ -102,6 +107,8 @@ PipelineRun run_pipeline(std::size_t threads) {
         quantized_attention(head.q, head.k, head.v, calib, quant);
     const MatF reference = attention_reference(head.q, head.k, head.v);
     run.quality.push_back(mse(qr.output, reference));
+    run.tiles_skipped.push_back(qr.exec.tiles_skipped);
+    run.peak_bytes.push_back(qr.exec.peak_bytes);
     run.outputs.push_back(std::move(qr.output));
     run.maps.push_back(std::move(qr.map_reordered));
   }
@@ -155,10 +162,8 @@ class DeterminismTest : public ::testing::Test {
   }
 };
 
-TEST_F(DeterminismTest, PipelineBitwiseIdenticalAtOneAndEightThreads) {
-  const PipelineRun serial = run_pipeline(1);
-  const PipelineRun parallel = run_pipeline(8);
-
+void expect_bitwise_equal(const PipelineRun& serial,
+                          const PipelineRun& parallel) {
   // Offline artifacts: plans and bit tables.
   ASSERT_EQ(serial.plan_orders.size(), parallel.plan_orders.size());
   for (std::size_t h = 0; h < serial.plan_orders.size(); ++h) {
@@ -178,6 +183,11 @@ TEST_F(DeterminismTest, PipelineBitwiseIdenticalAtOneAndEightThreads) {
         << "psnr of head " << h;
   }
 
+  // Executor accounting: tile skip counts and the working-set peak come
+  // from stripe-local meters folded in stripe order — thread-count-pure.
+  EXPECT_EQ(serial.tiles_skipped, parallel.tiles_skipped);
+  EXPECT_EQ(serial.peak_bytes, parallel.peak_bytes);
+
   // Simulator artifacts: exact cycle counts.
   EXPECT_EQ(serial.fused_cycles, parallel.fused_cycles);
   EXPECT_EQ(serial.pipe_cycles, parallel.pipe_cycles);
@@ -186,6 +196,17 @@ TEST_F(DeterminismTest, PipelineBitwiseIdenticalAtOneAndEightThreads) {
   EXPECT_EQ(serial.fused_stats_count, parallel.fused_stats_count);
   EXPECT_EQ(bits_of(serial.fused_cycle_total),
             bits_of(parallel.fused_cycle_total));
+}
+
+TEST_F(DeterminismTest, PipelineBitwiseIdenticalAtOneAndEightThreads) {
+  for (const AttnExecutor exec :
+       {AttnExecutor::kStreamed, AttnExecutor::kMaterialized}) {
+    SCOPED_TRACE(exec == AttnExecutor::kStreamed ? "streamed"
+                                                 : "materialized");
+    const PipelineRun serial = run_pipeline(1, exec);
+    const PipelineRun parallel = run_pipeline(8, exec);
+    expect_bitwise_equal(serial, parallel);
+  }
 }
 
 TEST_F(DeterminismTest, RepeatedParallelRunsAreStable) {

@@ -81,5 +81,47 @@ TEST(BitDistribution, AllEightBitFactorsAreOne) {
   EXPECT_DOUBLE_EQ(d.ideal_cycle_factor(true), 1.0);
 }
 
+TEST(BitDistribution, FromTileCountsIsTileWeighted) {
+  const std::array<std::uint64_t, kNumBitChoices> counts{10, 20, 30, 40};
+  const BitDistribution d = BitDistribution::from_tile_counts(counts);
+  d.validate();
+  EXPECT_DOUBLE_EQ(d.fraction[0], 0.10);
+  EXPECT_DOUBLE_EQ(d.fraction[3], 0.40);
+  EXPECT_THROW(BitDistribution::from_tile_counts({0, 0, 0, 0}), Error);
+}
+
+TEST(BitDistribution, SliceTileCountsSumsExactly) {
+  // Awkward counts over an awkward stripe count: slices must reconstruct
+  // the totals exactly, with per-class drift of at most one tile.
+  const std::array<std::uint64_t, kNumBitChoices> counts{7, 13, 101, 5};
+  const std::size_t slices = 9;
+  std::array<std::uint64_t, kNumBitChoices> sum{};
+  for (std::size_t s = 0; s < slices; ++s) {
+    const auto part = slice_tile_counts(counts, s, slices);
+    for (int i = 0; i < kNumBitChoices; ++i) {
+      sum[static_cast<std::size_t>(i)] += part[static_cast<std::size_t>(i)];
+      // No slice deviates from the even share by more than one.
+      const double share = static_cast<double>(counts[
+          static_cast<std::size_t>(i)]) / static_cast<double>(slices);
+      EXPECT_LE(part[static_cast<std::size_t>(i)],
+                static_cast<std::uint64_t>(share) + 1);
+    }
+  }
+  EXPECT_EQ(sum, counts);
+}
+
+TEST(BitDistribution, ExpandTileCountJobsMatchesCounts) {
+  const std::array<std::uint64_t, kNumBitChoices> counts{3, 0, 2, 5};
+  Rng rng(4);
+  const auto jobs = expand_tile_count_jobs(counts, 12, rng);
+  ASSERT_EQ(jobs.size(), 10U);
+  std::array<std::uint64_t, kNumBitChoices> seen{};
+  for (const auto& j : jobs) {
+    ++seen[static_cast<std::size_t>(bit_choice_index(j.bits))];
+    EXPECT_EQ(j.base_cycles, 12U);
+  }
+  EXPECT_EQ(seen, counts);
+}
+
 }  // namespace
 }  // namespace paro

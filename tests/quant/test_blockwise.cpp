@@ -103,6 +103,49 @@ TEST(Blockwise, MixedTableShapeMismatchThrows) {
   EXPECT_THROW(fake_quant_blockwise_mixed(m, table), Error);
 }
 
+TEST(Blockwise, RaggedMixedMatchesPerTileOracle) {
+  // 45 is not a multiple of 8: the right/bottom tile rims are ragged.  The
+  // TileVisitor-driven sweep must agree bitwise with a hand-rolled serial
+  // per-tile quantization straight off BlockGrid extents.
+  Rng rng(6);
+  const std::size_t n = 45, block = 8;
+  const MatF m = diagonal_map(n, 5, rng);
+  BitTable table(BlockGrid(n, n, block), 8);
+  for (std::size_t br = 0; br < table.grid().block_rows(); ++br) {
+    for (std::size_t bc = 0; bc < table.grid().block_cols(); ++bc) {
+      const std::size_t d = br > bc ? br - bc : bc - br;
+      table.set_bits(br, bc, d == 0 ? 8 : d == 1 ? 4 : d == 2 ? 2 : 0);
+    }
+  }
+  const MatF q = fake_quant_blockwise_mixed(m, table);
+
+  MatF oracle = m;
+  std::vector<float> tile;
+  for (std::size_t br = 0; br < table.grid().block_rows(); ++br) {
+    for (std::size_t bc = 0; bc < table.grid().block_cols(); ++bc) {
+      const auto e = table.grid().extent(br, bc);
+      tile.clear();
+      for (std::size_t r = e.r0; r < e.r1; ++r) {
+        for (std::size_t c = e.c0; c < e.c1; ++c) {
+          tile.push_back(oracle(r, c));
+        }
+      }
+      fake_quant_group(tile, table.bits_at(br, bc), /*symmetric=*/false);
+      std::size_t k = 0;
+      for (std::size_t r = e.r0; r < e.r1; ++r) {
+        for (std::size_t c = e.c0; c < e.c1; ++c) {
+          oracle(r, c) = tile[k++];
+        }
+      }
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      ASSERT_EQ(q(r, c), oracle(r, c)) << "(" << r << "," << c << ")";
+    }
+  }
+}
+
 TEST(BlockStats, CountsAndImportance) {
   MatF m(4, 4, 0.0F);
   m(0, 0) = 1.0F;  // all mass in tile (0,0)

@@ -1,0 +1,183 @@
+#include "quant/tile_visitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace paro {
+namespace {
+
+class TileVisitorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_global_threads(1); }
+};
+
+TEST_F(TileVisitorTest, ResolvesFlatIndexToRowColExtent) {
+  const BlockGrid grid(16, 24, 8);  // 2 x 3 tiles
+  const TileVisitor v(grid, 4);
+  ASSERT_EQ(v.num_tiles(), 6U);
+  for (std::size_t flat = 0; flat < v.num_tiles(); ++flat) {
+    const TileRef t = v.tile(flat);
+    EXPECT_EQ(t.index, flat);
+    EXPECT_EQ(t.br, flat / 3);
+    EXPECT_EQ(t.bc, flat % 3);
+    const auto e = grid.extent(t.br, t.bc);
+    EXPECT_EQ(t.extent.r0, e.r0);
+    EXPECT_EQ(t.extent.c1, e.c1);
+    EXPECT_EQ(t.bits, 4);
+    EXPECT_TRUE(t.live());
+  }
+}
+
+TEST_F(TileVisitorTest, TableVisitorReadsPerTileBits) {
+  BitTable table(BlockGrid(16, 16, 8), 8);
+  table.set_bits(0, 1, 0);
+  table.set_bits(1, 0, 2);
+  const TileVisitor v(table);
+  EXPECT_TRUE(v.has_table());
+  EXPECT_EQ(v.tile(0).bits, 8);
+  EXPECT_EQ(v.tile(1).bits, 0);
+  EXPECT_FALSE(v.tile(1).live());
+  EXPECT_EQ(v.tile(2).bits, 2);
+  EXPECT_EQ(v.count_live(), 3U);
+  const auto counts = v.counts_per_bits();
+  ASSERT_EQ(counts.size(), static_cast<std::size_t>(kNumBitChoices));
+  EXPECT_EQ(counts[0], 1U);  // 0-bit
+  EXPECT_EQ(counts[1], 1U);  // 2-bit
+  EXPECT_EQ(counts[2], 0U);  // 4-bit
+  EXPECT_EQ(counts[3], 2U);  // 8-bit
+}
+
+TEST_F(TileVisitorTest, SerialSweepIsFlatOrderAndRowSweepIsAscending) {
+  const TileVisitor v(BlockGrid(24, 24, 8));
+  std::vector<std::size_t> seen;
+  v.for_each_tile([&](const TileRef& t) { seen.push_back(t.index); });
+  ASSERT_EQ(seen.size(), 9U);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], i);
+  }
+  std::vector<std::size_t> row;
+  v.for_each_tile_in_row(1, [&](const TileRef& t) {
+    EXPECT_EQ(t.br, 1U);
+    row.push_back(t.bc);
+  });
+  ASSERT_EQ(row.size(), 3U);
+  EXPECT_EQ(row, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST_F(TileVisitorTest, LiveSweepSkipsZeroBitTiles) {
+  BitTable table(BlockGrid(16, 16, 8), 8);
+  table.set_bits(0, 0, 0);
+  table.set_bits(1, 1, 0);
+  const TileVisitor v(table);
+  std::size_t visited = 0;
+  v.for_each_live_tile([&](const TileRef& t) {
+    EXPECT_NE(t.bits, 0);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 2U);
+  set_global_threads(4);
+  std::atomic<std::size_t> parallel_visited{0};
+  v.parallel_for_each_live_tile(
+      [&](const TileRef& t) {
+        EXPECT_NE(t.bits, 0);
+        parallel_visited.fetch_add(1, std::memory_order_relaxed);
+      });
+  EXPECT_EQ(parallel_visited.load(), 2U);
+}
+
+// Ragged decomposition: N not a multiple of block.  The union of tile
+// extents must cover every element exactly once, with no tile empty.
+TEST_F(TileVisitorTest, RaggedGridCoversEveryElementOnce) {
+  // The last case has block larger than the matrix: one ragged tile.
+  const std::size_t cases[][3] = {{23, 23, 8}, {17, 31, 8}, {9, 9, 4},
+                                  {5, 5, 8}};
+  for (const auto& c : cases) {
+    const std::size_t n = c[0], m = c[1], block = c[2];
+    const TileVisitor v(BlockGrid(n, m, block));
+    std::vector<int> hits(n * m, 0);
+    v.for_each_tile([&](const TileRef& t) {
+      EXPECT_GT(t.extent.count(), 0U);
+      EXPECT_LE(t.extent.rows(), block);
+      EXPECT_LE(t.extent.cols(), block);
+      for (std::size_t r = t.extent.r0; r < t.extent.r1; ++r) {
+        for (std::size_t c = t.extent.c0; c < t.extent.c1; ++c) {
+          ++hits[r * m + c];
+        }
+      }
+    });
+    for (const int h : hits) {
+      EXPECT_EQ(h, 1) << "n=" << n << " m=" << m << " block=" << block;
+    }
+  }
+}
+
+TEST_F(TileVisitorTest, ParallelSweepVisitsEachTileOnceAtAnyWidth) {
+  const TileVisitor v(BlockGrid(100, 100, 8));  // 13 x 13 ragged tiles
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    set_global_threads(threads);
+    std::vector<std::atomic<int>> hits(v.num_tiles());
+    for (auto& h : hits) h.store(0);
+    v.parallel_for_each_tile([&](const TileRef& t) {
+      hits[t.index].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "tile " << i;
+    }
+  }
+}
+
+TEST_F(TileVisitorTest, ParallelWithStateReusesScratchWithinChunk) {
+  const TileVisitor v(BlockGrid(64, 64, 8));
+  set_global_threads(4);
+  std::atomic<std::size_t> makes{0};
+  std::vector<std::atomic<int>> hits(v.num_tiles());
+  for (auto& h : hits) h.store(0);
+  v.parallel_for_each_tile_with(
+      [&] {
+        makes.fetch_add(1, std::memory_order_relaxed);
+        return std::vector<float>();
+      },
+      [&](const TileRef& t, std::vector<float>& scratch) {
+        scratch.assign(t.extent.count(), 0.0F);
+        hits[t.index].fetch_add(1, std::memory_order_relaxed);
+      });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "tile " << i;
+  }
+  // One state per chunk, not per tile: 64 tiles at the default grain of
+  // 16 make exactly 4 chunks.
+  EXPECT_EQ(makes.load(), 4U);
+}
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+TEST_F(TileVisitorTest, OrderedReduceIsBitwiseStableAcrossThreadCounts) {
+  // An FP sum whose value depends on association: any chunk-layout or
+  // fold-order drift across widths shows up as a bit difference.
+  const TileVisitor v(BlockGrid(90, 90, 8));
+  auto tile_value = [](const TileRef& t) {
+    double x = 1.0;
+    for (std::size_t i = 0; i <= t.index % 7; ++i) {
+      x = x / 3.0 + static_cast<double>(t.extent.count()) * 1e-3;
+    }
+    return x;
+  };
+  auto combine = [](double a, double b) { return a + b; };
+  set_global_threads(1);
+  const double serial = v.ordered_reduce_tiles(0.0, tile_value, combine);
+  set_global_threads(8);
+  const double parallel = v.ordered_reduce_tiles(0.0, tile_value, combine);
+  EXPECT_EQ(bits_of(serial), bits_of(parallel));
+}
+
+}  // namespace
+}  // namespace paro

@@ -8,11 +8,18 @@
 //       Summarise a saved calibration: plan histogram, bitwidth stats.
 //
 //   paro_cli quality [in=calib.txt] [steps=10] [integer=0]
+//            [executor=streamed|materialized]
 //       Generate a video with the (loaded or freshly computed)
-//       calibration and score it against the FP16 run.
+//       calibration and score it against the FP16 run.  The executor
+//       knob selects the fused block-streaming engine (default) or the
+//       N×N materializing oracle; their outputs are bitwise-identical.
 //
 //   paro_cli simulate [model=5b] [config=full|fp16|w8a8|quant]
-//       Run the accelerator performance model on CogVideoX.
+//            [bits_from=calib.txt]
+//       Run the accelerator performance model on CogVideoX.  bits_from
+//       aggregates the exact per-bitwidth tile counts of a saved
+//       calibration and feeds them to the scheduler in place of the
+//       representative distribution.
 //
 // Every subcommand accepts key=value arguments (common/config.hpp).
 // `threads=N` sets the execution width of the library's parallel hot
@@ -27,6 +34,7 @@
 //                    operator schedule for `simulate`, wall-clock
 //                    profiling spans for `calibrate` / `quality`.  Open
 //                    it in chrome://tracing or ui.perfetto.dev.
+#include <array>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -70,7 +78,20 @@ QuantAttentionConfig quant_config(const KeyValueConfig& cfg) {
       static_cast<std::size_t>(cfg.get_int("block", 8)),
       cfg.get_double("alpha", 0.5));
   q.output_bitwidth_aware = cfg.get_bool("oba", true);
+  const std::string executor = cfg.get_string("executor", "streamed");
+  if (executor == "streamed") {
+    q.executor = AttnExecutor::kStreamed;
+  } else if (executor == "materialized") {
+    q.executor = AttnExecutor::kMaterialized;
+  } else {
+    throw Error("unknown executor '" + executor +
+                "' (expected streamed|materialized)");
+  }
   return q;
+}
+
+const char* executor_name(AttnExecutor e) {
+  return e == AttnExecutor::kStreamed ? "streamed" : "materialized";
 }
 
 /// "metrics": [...] section shared by every JSON report.
@@ -258,6 +279,13 @@ int cmd_quality(const KeyValueConfig& cfg) {
                   : SyntheticDiT::AttnImpl::kQuantized;
   exec.w8a8_linear = true;
   exec.quant = quant;
+  // Executor accounting summed over every (step, layer, head) attention
+  // call of the quantized run (float path only; the integer dataflow has
+  // no streaming executor).
+  AttnExecStats attn_stats;
+  if (exec.impl == SyntheticDiT::AttnImpl::kQuantized) {
+    exec.attn_stats = &attn_stats;
+  }
   const MatF video = ddim_sample(dit, exec, &calib, steps, seed);
   const VideoQuality q = evaluate_video(video, reference, grid);
   const double psnr = video_psnr_db(video, reference, grid);
@@ -267,7 +295,24 @@ int cmd_quality(const KeyValueConfig& cfg) {
     w.kv("command", "quality");
     w.kv("steps", static_cast<std::int64_t>(steps));
     w.kv("integer_path", cfg.get_bool("integer", false));
+    w.kv("executor", executor_name(quant.executor));
     w.kv("calibration_loaded", loaded);
+    if (exec.attn_stats != nullptr) {
+      w.key("attention").begin_object();
+      w.kv("stripes", attn_stats.stripes);
+      w.kv("tiles_total", attn_stats.tiles_total);
+      w.kv("tiles_live", attn_stats.tiles_live);
+      w.kv("tiles_skipped", attn_stats.tiles_skipped);
+      w.kv("qk_tiles_computed", attn_stats.qk_tiles_computed);
+      w.key("tiles_per_bits").begin_object();
+      for (int b = 0; b < kNumBitChoices; ++b) {
+        w.kv(std::to_string(kBitChoices[b]),
+             attn_stats.tiles_per_bits[static_cast<std::size_t>(b)]);
+      }
+      w.end_object();
+      w.kv("peak_working_set_bytes", attn_stats.peak_bytes);
+      w.end_object();
+    }
     w.key("scores").begin_object();
     w.kv("fvd_proxy", q.fvd);
     w.kv("clipsim", q.clipsim);
@@ -283,6 +328,15 @@ int cmd_quality(const KeyValueConfig& cfg) {
     std::printf("FVD-proxy %.5f | CLIPSIM %.5f | CLIP-Temp %.5f | VQA %.2f "
                 "| Flicker %.1f | PSNR %.1f dB\n",
                 q.fvd, q.clipsim, q.clip_temp, q.vqa, q.flicker, psnr);
+    if (exec.attn_stats != nullptr && attn_stats.tiles_total > 0) {
+      std::printf("attention (%s): %zu/%zu tiles skipped (%.1f%%), peak "
+                  "working set %.2f MiB\n",
+                  executor_name(quant.executor), attn_stats.tiles_skipped,
+                  attn_stats.tiles_total,
+                  100.0 * static_cast<double>(attn_stats.tiles_skipped) /
+                      static_cast<double>(attn_stats.tiles_total),
+                  static_cast<double>(attn_stats.peak_bytes) / (1024.0 * 1024.0));
+    }
   }
   if (cfg.contains("trace_out")) {
     write_profile_trace(cfg.get_string("trace_out", ""));
@@ -302,6 +356,30 @@ int cmd_simulate(const KeyValueConfig& cfg) {
                   : name == "w8a8"  ? ParoConfig::w8a8_only()
                   : name == "quant" ? ParoConfig::quant_attn()
                                     : ParoConfig::full();
+  // bits_from=calib.txt replaces the representative bitwidth distribution
+  // with the exact tile counts of a saved calibration, aggregated over
+  // every (layer, head) BitTable — the simulator then schedules the mix
+  // the online executor would actually dispatch.
+  if (cfg.contains("bits_from")) {
+    const std::string bits_path = cfg.get_string("bits_from", "");
+    const auto calib_table = load_calibration_file(bits_path);
+    std::array<std::uint64_t, kNumBitChoices> counts{};
+    std::size_t with_tables = 0;
+    for (const auto& layer : calib_table) {
+      for (const HeadCalibration& head : layer) {
+        if (!head.bit_table.has_value()) continue;
+        ++with_tables;
+        for (int b = 0; b < kNumBitChoices; ++b) {
+          counts[static_cast<std::size_t>(b)] +=
+              head.bit_table->tiles_at(kBitChoices[b]);
+        }
+      }
+    }
+    if (with_tables == 0) {
+      throw Error("calibration " + bits_path + " holds no bitwidth tables");
+    }
+    pc.map_bits = BitDistribution::from_tile_counts(counts);
+  }
   const HwResources hw = cfg.get_bool("align_a100", false)
                              ? HwResources::paro_align_a100()
                              : HwResources::paro_asic();
@@ -319,6 +397,10 @@ int cmd_simulate(const KeyValueConfig& cfg) {
     w.kv("model", model.name);
     w.kv("hw", hw.name);
     w.kv("config", name);
+    if (cfg.contains("bits_from")) {
+      w.kv("bits_from", cfg.get_string("bits_from", ""));
+    }
+    w.kv("avg_map_bits", pc.map_bits.average_bits());
     w.kv("sampling_steps", model.sampling_steps);
     w.kv("seconds_per_video", stats.seconds(hw.freq_ghz));
     w.kv("pe_utilization", stats.pe_utilization());
@@ -376,7 +458,11 @@ int usage() {
       "  calibrate  out=calib.txt global=0 budget=4.8 block=8 oba=1\n"
       "  inspect    in=calib.txt\n"
       "  quality    [in=calib.txt] steps=10 integer=0 budget=4.8\n"
+      "             executor=streamed|materialized (block-streaming fused\n"
+      "             engine vs the N^2 oracle; outputs are bitwise-equal)\n"
       "  simulate   model=5b|2b config=full|fp16|w8a8|quant align_a100=0\n"
+      "             bits_from=calib.txt (exact tile counts from a saved\n"
+      "             calibration instead of the representative mix)\n"
       "execution (all commands):\n"
       "  threads=N         worker threads (0 = hardware concurrency,\n"
       "                    1 = serial; results are identical for any N)\n"
