@@ -1,10 +1,17 @@
 #include "attention/calibration_io.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
+#include <optional>
 #include <sstream>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/logging.hpp"
+#include "obs/metrics.hpp"
 
 namespace paro {
 
@@ -14,37 +21,40 @@ AxisOrder parse_order(const std::string& name) {
   for (const AxisOrder& order : all_axis_orders()) {
     if (axis_order_name(order) == name) return order;
   }
-  throw Error("unknown axis order: " + name);
+  throw DataError("unknown axis order: " + name);
 }
 
 std::string expect_token(std::istream& is, const char* what) {
   std::string token;
   if (!(is >> token)) {
-    throw Error(std::string("calibration stream ended while reading ") +
-                what);
+    throw DataError(std::string("calibration stream ended while reading ") +
+                    what);
   }
   return token;
 }
 
 void expect_keyword(std::istream& is, const std::string& keyword) {
   const std::string token = expect_token(is, keyword.c_str());
-  PARO_CHECK_MSG(token == keyword,
-                 "expected '" + keyword + "', got '" + token + "'");
+  if (token != keyword) {
+    throw DataError("expected '" + keyword + "', got '" + token + "'");
+  }
 }
 
 template <typename T>
 T read_number(std::istream& is, const char* what) {
   T value{};
   if (!(is >> value)) {
-    throw Error(std::string("failed to parse ") + what);
+    throw DataError(std::string("failed to parse ") + what);
   }
   return value;
 }
 
-}  // namespace
-
-void write_head_calibration(std::ostream& os, const HeadCalibration& calib) {
-  os << "head\n";
+/// The checksummed payload of a head record: every line between `head` and
+/// `crc`/`end`.  Writing and CRC verification both go through this one
+/// serializer, so the checksum is over canonical bytes — any corruption
+/// that still parses necessarily changes the re-serialization and is
+/// caught by the CRC compare.
+void write_head_payload(std::ostream& os, const HeadCalibration& calib) {
   os << "order " << axis_order_name(calib.plan.order) << "\n";
   os << "perm " << calib.plan.perm.size();
   for (const std::uint32_t p : calib.plan.perm) {
@@ -64,10 +74,18 @@ void write_head_calibration(std::ostream& os, const HeadCalibration& calib) {
   }
   os << "avgbits " << std::setprecision(17) << calib.planned_avg_bits
      << "\n";
-  os << "end\n";
 }
 
-HeadCalibration read_head_calibration(std::istream& is) {
+std::string head_payload_string(const HeadCalibration& calib) {
+  std::ostringstream os;
+  write_head_payload(os, calib);
+  return os.str();
+}
+
+/// Parses the fields of one head record (after `head`, through `end`).
+/// `had_crc` reports whether the record carried a checksum; when it did,
+/// the checksum has been verified against the re-serialized payload.
+HeadCalibration parse_head_record(std::istream& is, bool* had_crc) {
   expect_keyword(is, "head");
   HeadCalibration calib;
 
@@ -87,12 +105,14 @@ HeadCalibration read_head_calibration(std::istream& is) {
     std::size_t rows = 0;
     {
       std::istringstream header(bits_token);
-      if (!(header >> rows)) throw Error("bad bits row count");
+      if (!(header >> rows)) throw DataError("bad bits row count");
     }
     const auto cols = read_number<std::size_t>(is, "bits cols");
     const auto block = read_number<std::size_t>(is, "bits block");
     BitTable table(BlockGrid(rows, cols, block), 8);
     for (std::size_t i = 0; i < table.grid().num_blocks(); ++i) {
+      // set_bits_flat rejects values outside {0, 2, 4, 8}, so an
+      // out-of-domain bitwidth fails here, at parse time.
       table.set_bits_flat(i, read_number<int>(is, "bit entry"));
     }
     calib.bit_table = std::move(table);
@@ -100,57 +120,428 @@ HeadCalibration read_head_calibration(std::istream& is) {
 
   expect_keyword(is, "avgbits");
   calib.planned_avg_bits = read_number<double>(is, "avgbits");
-  expect_keyword(is, "end");
+
+  std::string token = expect_token(is, "crc or end");
+  bool crc_present = false;
+  if (token == "crc") {
+    const std::uint32_t stored =
+        parse_crc32_hex(expect_token(is, "crc value"));
+    const std::uint32_t computed = crc32(head_payload_string(calib));
+    if (stored != computed) {
+      throw DataError("head record checksum mismatch (stored " +
+                      crc32_hex(stored) + ", computed " +
+                      crc32_hex(computed) + ")");
+    }
+    crc_present = true;
+    token = expect_token(is, "end");
+  }
+  if (token != "end") {
+    throw DataError("expected 'end', got '" + token + "'");
+  }
+  if (had_crc != nullptr) *had_crc = crc_present;
   return calib;
 }
 
+/// Table header: returns the version (1 or 2) and the declared shape.
+int parse_table_header(std::istream& is, std::size_t* layers,
+                       std::size_t* heads) {
+  std::string magic;
+  if (!(is >> magic)) {
+    throw DataError("calibration stream is empty");
+  }
+  if (magic != "paro-calib") {
+    throw DataError("expected 'paro-calib', got '" + magic + "'");
+  }
+  const std::string version_token = expect_token(is, "format version");
+  int version = 0;
+  if (version_token == "v1") {
+    version = 1;
+  } else if (version_token == "v2") {
+    version = 2;
+  } else {
+    throw DataError("unsupported calibration format version '" +
+                    version_token + "'");
+  }
+  expect_keyword(is, "layers");
+  *layers = read_number<std::size_t>(is, "layer count");
+  expect_keyword(is, "heads");
+  *heads = read_number<std::size_t>(is, "head count");
+  if (*layers == 0 || *heads == 0) {
+    throw DataError("degenerate table header");
+  }
+  return version;
+}
+
+std::string trim(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return {};
+  const std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+/// Split the record region of the stream into per-record byte segments,
+/// resyncing on `head` lines.  Line-based segmentation is what makes
+/// quarantine possible: a corrupted record cannot desynchronize the
+/// token stream for its neighbours — damage stays contained to the
+/// segment it occurred in (plus a swallowed neighbour when the `head` /
+/// `end` markers themselves are hit, which quarantines both).
+std::vector<std::string> segment_head_records(std::istream& is) {
+  std::vector<std::string> segments;
+  std::string line;
+  std::string current;
+  bool open = false;
+  while (std::getline(is, line)) {
+    const std::string t = trim(line);
+    if (t == "head") {
+      if (open) segments.push_back(current);  // truncated predecessor
+      current = line + "\n";
+      open = true;
+      continue;
+    }
+    if (!open) continue;  // garbage between records: fails no one else
+    current += line + "\n";
+    if (t == "end") {
+      segments.push_back(current);
+      current.clear();
+      open = false;
+    }
+  }
+  if (open) segments.push_back(current);  // truncated final record
+  return segments;
+}
+
+/// Fault sites modelling artifact damage between calibrate and inference.
+/// They mutate the already-segmented record bytes, so the recovery path
+/// they exercise is exactly the one real corruption would take.
+void maybe_inject_read_faults(std::string& segment) {
+  std::uint64_t seed = 0;
+  if (PARO_FAULT_FIRE("calib.read.corrupt-bit", &seed) && !segment.empty()) {
+    const std::size_t bit = seed % (segment.size() * 8);
+    segment[bit / 8] = static_cast<char>(
+        segment[bit / 8] ^ static_cast<char>(1U << (bit % 8)));
+  }
+  if (PARO_FAULT_FIRE("calib.read.truncate", &seed) && !segment.empty()) {
+    segment.resize(seed % segment.size());
+  }
+}
+
+struct ParsedSegment {
+  std::optional<HeadCalibration> head;  ///< set when parse+validate passed
+  std::exception_ptr error;             ///< set otherwise
+  std::string error_text;
+};
+
+ParsedSegment parse_segment(std::string segment, int version,
+                            const CalibExpectations& expect) {
+  maybe_inject_read_faults(segment);
+  ParsedSegment out;
+  try {
+    std::istringstream ss(segment);
+    bool had_crc = false;
+    HeadCalibration head = parse_head_record(ss, &had_crc);
+    if (version >= 2 && !had_crc) {
+      throw DataError("v2 head record is missing its checksum");
+    }
+    validate_head_calibration(head, expect);
+    out.head = std::move(head);
+  } catch (const std::exception& e) {
+    out.error = std::current_exception();
+    out.error_text = e.what();
+  }
+  return out;
+}
+
+[[noreturn]] void rethrow_with_head_context(const std::exception_ptr& error,
+                                            std::size_t layer,
+                                            std::size_t head) {
+  const std::string context =
+      "head record (layer " + std::to_string(layer) + ", head " +
+      std::to_string(head) + ")";
+  with_error_context(context, [&]() -> int {
+    std::rethrow_exception(error);
+  });
+  std::abort();  // unreachable: with_error_context always throws here
+}
+
+}  // namespace
+
+void validate_head_calibration(const HeadCalibration& calib,
+                               const CalibExpectations& expect) {
+  const std::size_t n = calib.plan.perm.size();
+  if (n == 0) {
+    throw DataError("permutation is empty");
+  }
+  if (expect.tokens != 0 && n != expect.tokens) {
+    throw DataError("permutation covers " + std::to_string(n) +
+                    " tokens, model expects " +
+                    std::to_string(expect.tokens));
+  }
+  // Bijectivity: every canonical index appears exactly once.  A duplicate
+  // implies a missing index at equal length, so one scan covers both.
+  std::vector<char> seen(n, 0);
+  for (const std::uint32_t p : calib.plan.perm) {
+    if (p >= n) {
+      throw DataError("permutation entry " + std::to_string(p) +
+                      " out of range [0, " + std::to_string(n) + ")");
+    }
+    if (seen[p] != 0) {
+      throw DataError("permutation entry " + std::to_string(p) +
+                      " appears more than once (not a bijection)");
+    }
+    seen[p] = 1;
+  }
+  if (!std::isfinite(calib.planned_avg_bits) ||
+      calib.planned_avg_bits < 0.0 || calib.planned_avg_bits > 16.0) {
+    throw DataError("avgbits " + std::to_string(calib.planned_avg_bits) +
+                    " outside [0, 16]");
+  }
+  if (calib.bit_table.has_value()) {
+    const BlockGrid& grid = calib.bit_table->grid();
+    // The bit alphabet itself ({0,2,4,8}) is structurally enforced:
+    // BitTable's setters reject anything else, so any instance is valid.
+    if (grid.rows() != n || grid.cols() != n) {
+      throw DataError("bit table covers " + std::to_string(grid.rows()) +
+                      "x" + std::to_string(grid.cols()) +
+                      " but the permutation has " + std::to_string(n) +
+                      " tokens");
+    }
+    if (expect.block != 0 && grid.block() != expect.block) {
+      throw DataError("bit table tile side " +
+                      std::to_string(grid.block()) + ", model expects " +
+                      std::to_string(expect.block));
+    }
+    const double actual = calib.bit_table->average_bitwidth();
+    if (std::abs(calib.planned_avg_bits - actual) > 1e-6) {
+      throw DataError("stored avgbits " +
+                      std::to_string(calib.planned_avg_bits) +
+                      " disagrees with the bit table's average " +
+                      std::to_string(actual));
+    }
+  }
+}
+
+HeadCalibration fallback_head_calibration(std::size_t tokens,
+                                          std::size_t block) {
+  PARO_CHECK_MSG(tokens > 0, "fallback needs a token count");
+  HeadCalibration fallback;
+  fallback.plan = ReorderPlan::identity(tokens);
+  if (block > 0) {
+    fallback.bit_table = BitTable(BlockGrid(tokens, tokens, block), 8);
+    fallback.planned_avg_bits = 8.0;
+  }
+  return fallback;
+}
+
+void write_head_calibration(std::ostream& os, const HeadCalibration& calib,
+                            int version) {
+  PARO_CHECK_MSG(version == 1 || version == 2,
+                 "unsupported calibration version");
+  os << "head\n";
+  const std::string payload = head_payload_string(calib);
+  os << payload;
+  if (version >= 2) {
+    os << "crc " << crc32_hex(crc32(payload)) << "\n";
+  }
+  os << "end\n";
+}
+
+HeadCalibration read_head_calibration(std::istream& is) {
+  return parse_head_record(is, nullptr);
+}
+
 void write_calibration_table(
-    std::ostream& os,
-    const std::vector<std::vector<HeadCalibration>>& table) {
+    std::ostream& os, const std::vector<std::vector<HeadCalibration>>& table,
+    int version) {
+  PARO_CHECK_MSG(version == 1 || version == 2,
+                 "unsupported calibration version");
   PARO_CHECK_MSG(!table.empty() && !table[0].empty(), "empty table");
-  os << "paro-calib v1\n";
+  os << "paro-calib v" << version << "\n";
   os << "layers " << table.size() << " heads " << table[0].size() << "\n";
   for (const auto& layer : table) {
     PARO_CHECK_MSG(layer.size() == table[0].size(), "ragged table");
     for (const HeadCalibration& head : layer) {
-      write_head_calibration(os, head);
+      write_head_calibration(os, head, version);
     }
   }
 }
 
 std::vector<std::vector<HeadCalibration>> read_calibration_table(
     std::istream& is) {
-  expect_keyword(is, "paro-calib");
-  expect_keyword(is, "v1");
-  expect_keyword(is, "layers");
-  const auto layers = read_number<std::size_t>(is, "layer count");
-  expect_keyword(is, "heads");
-  const auto heads = read_number<std::size_t>(is, "head count");
-  PARO_CHECK_MSG(layers > 0 && heads > 0, "degenerate table header");
+  return read_calibration_table(is, CalibLoadOptions{}, nullptr);
+}
+
+std::vector<std::vector<HeadCalibration>> read_calibration_table(
+    std::istream& is, const CalibLoadOptions& options,
+    CalibLoadReport* report) {
+  std::size_t layers = 0;
+  std::size_t heads = 0;
+  const int version = parse_table_header(is, &layers, &heads);
+  const std::vector<std::string> segments = segment_head_records(is);
+  const std::size_t expected_records = layers * heads;
+  const bool strict = options.recovery == CalibRecovery::kStrict;
+
+  if (segments.size() > expected_records) {
+    if (strict) {
+      throw DataError("file holds " + std::to_string(segments.size()) +
+                      " head records, header declares " +
+                      std::to_string(expected_records));
+    }
+    PARO_LOG(kWarn) << "calibration file holds " << segments.size()
+                    << " head records, header declares " << expected_records
+                    << "; ignoring the extras";
+  }
+
+  // Parse every present record first: quarantine decisions (and fallback
+  // geometry) need the full picture before any substitution happens.
+  std::vector<ParsedSegment> parsed;
+  parsed.reserve(expected_records);
+  for (std::size_t i = 0; i < expected_records && i < segments.size(); ++i) {
+    parsed.push_back(parse_segment(segments[i], version, options.expect));
+  }
+
+  // Resolve the geometry fallback records need: the caller's expectation
+  // wins; otherwise the first intact record supplies it.  Records that
+  // disagree with the resolved token count are demoted — a head whose
+  // permutation length differs from its siblings cannot run in the same
+  // model, however internally consistent it is.
+  std::size_t tokens = options.expect.tokens;
+  std::size_t block = options.expect.block;
+  for (const ParsedSegment& p : parsed) {
+    if (!p.head.has_value()) continue;
+    if (tokens == 0) tokens = p.head->plan.perm.size();
+    if (block == 0 && p.head->bit_table.has_value()) {
+      block = p.head->bit_table->grid().block();
+    }
+  }
+  for (ParsedSegment& p : parsed) {
+    if (!p.head.has_value() || tokens == 0) continue;
+    if (p.head->plan.perm.size() != tokens) {
+      p.error_text = "permutation covers " +
+                     std::to_string(p.head->plan.perm.size()) +
+                     " tokens, other heads cover " + std::to_string(tokens);
+      try {
+        throw DataError(p.error_text);
+      } catch (...) {
+        p.error = std::current_exception();
+      }
+      p.head.reset();
+    }
+  }
+
+  CalibLoadReport local_report;
+  CalibLoadReport& rep = report != nullptr ? *report : local_report;
+  rep = CalibLoadReport{};
+  rep.version = version;
+  rep.layers = layers;
+  rep.heads = heads;
+  rep.head_status.reserve(expected_records);
+
   std::vector<std::vector<HeadCalibration>> table(layers);
   for (std::size_t l = 0; l < layers; ++l) {
     table[l].reserve(heads);
     for (std::size_t h = 0; h < heads; ++h) {
-      table[l].push_back(read_head_calibration(is));
+      const std::size_t index = l * heads + h;
+      HeadLoadStatus status;
+      status.layer = l;
+      status.head = h;
+      if (index < parsed.size() && parsed[index].head.has_value()) {
+        table[l].push_back(std::move(*parsed[index].head));
+      } else {
+        std::exception_ptr error;
+        if (index < parsed.size()) {
+          status.error = parsed[index].error_text;
+          error = parsed[index].error;
+        } else {
+          status.error = "record missing (file truncated?)";
+        }
+        if (strict) {
+          if (error != nullptr) rethrow_with_head_context(error, l, h);
+          throw DataError("head record (layer " + std::to_string(l) +
+                          ", head " + std::to_string(h) + "): " +
+                          status.error);
+        }
+        if (tokens == 0) {
+          throw IoError(
+              "no intact head record and no expected geometry — cannot "
+              "build fallbacks (first record error: " + status.error + ")");
+        }
+        status.ok = false;
+        table[l].push_back(fallback_head_calibration(tokens, block));
+        PARO_LOG(kWarn) << "calibration layer " << l << " head " << h
+                        << " quarantined (" << status.error
+                        << "); substituting identity reorder + INT8 map";
+      }
+      if (status.ok) {
+        ++rep.ok_count;
+      } else {
+        ++rep.fallback_count;
+      }
+      rep.head_status.push_back(std::move(status));
     }
   }
+
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("calib.load.heads_ok")
+      .add(static_cast<double>(rep.ok_count));
+  if (rep.fallback_count > 0) {
+    reg.counter("calib.load.heads_fallback")
+        .add(static_cast<double>(rep.fallback_count));
+  }
+  reg.gauge("calib.load.version").set(static_cast<double>(version));
   return table;
 }
 
 void save_calibration_file(
     const std::string& path,
     const std::vector<std::vector<HeadCalibration>>& table) {
-  std::ofstream os(path);
-  PARO_CHECK_MSG(os.good(), "cannot open for writing: " + path);
-  write_calibration_table(os, table);
-  PARO_CHECK_MSG(os.good(), "write failed: " + path);
+  // Serialize fully before touching the filesystem, then write to a
+  // sibling temp file and rename into place: readers either see the old
+  // artifact or the complete new one, never a torn prefix.
+  std::ostringstream buffer;
+  write_calibration_table(buffer, table);
+  const std::string payload = buffer.str();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os.good()) throw IoError("cannot open for writing: " + tmp);
+    std::uint64_t seed = 0;
+    if (PARO_FAULT_FIRE("calib.write.truncate", &seed)) {
+      // Model a crash mid-write: a torn prefix lands in the temp file and
+      // stays there (a real crash would not clean up either).  The key
+      // invariant — `path` is untouched — holds because the rename below
+      // never runs.
+      os.write(payload.data(),
+               static_cast<std::streamsize>(seed % payload.size()));
+      os.flush();
+      throw IoError("injected crash while writing " + tmp);
+    }
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    os.flush();
+    if (!os.good()) {
+      os.close();
+      std::remove(tmp.c_str());
+      throw IoError("write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("rename failed: " + tmp + " -> " + path);
+  }
 }
 
 std::vector<std::vector<HeadCalibration>> load_calibration_file(
     const std::string& path) {
+  return load_calibration_file(path, CalibLoadOptions{}, nullptr);
+}
+
+std::vector<std::vector<HeadCalibration>> load_calibration_file(
+    const std::string& path, const CalibLoadOptions& options,
+    CalibLoadReport* report) {
   std::ifstream is(path);
-  PARO_CHECK_MSG(is.good(), "cannot open for reading: " + path);
-  return read_calibration_table(is);
+  if (!is.good()) throw IoError("cannot open for reading: " + path);
+  return with_error_context("calibration file " + path, [&] {
+    return read_calibration_table(is, options, report);
+  });
 }
 
 }  // namespace paro

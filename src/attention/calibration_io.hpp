@@ -2,22 +2,34 @@
 // tables).
 //
 // The paper's deployment story is offline calibration → online inference;
-// a production toolchain persists the calibration between the two.  The
-// format is a line-oriented text file ("paro-calib v1"), deliberately
+// a production toolchain persists the calibration between the two, which
+// makes the artifact boundary the critical robustness surface: a corrupted
+// permutation or bitwidth table silently poisons every downstream quality
+// number.  The format is a line-oriented text file, deliberately
 // human-inspectable:
 //
-//   paro-calib v1
+//   paro-calib v2
+//   layers <L> heads <H>
 //   head
 //   order HWF
 //   perm <n> i0 i1 ...
 //   bits <rows> <cols> <block> b0 b1 ...   | bits none
 //   avgbits <x>
+//   crc <8 hex digits>                      (v2 only)
 //   end
 //
-// A model-level file is just a header plus one `head` record per
-// (layer, head) in row-major order.
+// A model-level file is a header plus one `head` record per (layer, head)
+// in row-major order.  v2 adds a CRC-32 per head record, computed over the
+// record's payload lines (order through avgbits); v1 files (no crc line)
+// remain readable.  Loaders validate every record on entry — permutation
+// bijectivity, bits ∈ {0,2,4,8}, grid/shape consistency, avgbits
+// cross-check — and can either fail fast (kStrict) or quarantine bad head
+// records and substitute the conservative paper-faithful fallback of an
+// identity reorder + uniform INT8 map (kQuarantine), reporting per-head
+// status instead of aborting the whole model.  See docs/robustness.md.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -26,24 +38,92 @@
 
 namespace paro {
 
-/// Write one head's calibration record.
-void write_head_calibration(std::ostream& os, const HeadCalibration& calib);
+/// Artifact versions this build writes / reads.
+inline constexpr int kCalibVersionLatest = 2;
 
-/// Read one head's calibration record (expects the `head` keyword next).
+/// Shape knowledge the loader validates records against (0 = unknown).
+/// When inference knows the model geometry, passing it here turns shape
+/// drift (a calibration for a different model) into a load-time DataError
+/// instead of a crash — and gives quarantine mode the geometry it needs to
+/// build fallback records even when every stored record is damaged.
+struct CalibExpectations {
+  std::size_t tokens = 0;  ///< perm length == prefix + grid tokens
+  std::size_t block = 0;   ///< BitTable tile side
+};
+
+/// What the loader does with an invalid head record.
+enum class CalibRecovery {
+  kStrict,      ///< throw (DataError/IoError) naming the (layer, head)
+  kQuarantine,  ///< substitute fallback_head_calibration, record status
+};
+
+struct CalibLoadOptions {
+  CalibRecovery recovery = CalibRecovery::kStrict;
+  CalibExpectations expect;
+};
+
+/// Per-head load outcome (row-major over [layer][head]).
+struct HeadLoadStatus {
+  std::size_t layer = 0;
+  std::size_t head = 0;
+  bool ok = true;
+  std::string error;  ///< empty when ok
+};
+
+/// What a load actually did — surfaced through the CLI JSON report and the
+/// obs counters calib.load.heads_ok / calib.load.heads_fallback.
+struct CalibLoadReport {
+  int version = 0;
+  std::size_t layers = 0;
+  std::size_t heads = 0;  ///< per layer
+  std::vector<HeadLoadStatus> head_status;
+  std::size_t ok_count = 0;
+  std::size_t fallback_count = 0;
+  bool all_ok() const { return fallback_count == 0; }
+};
+
+/// Domain validation of one head record: permutation bijectivity, bit
+/// domain, grid/shape/block consistency (against `expect` where known),
+/// planned-avgbits cross-check against the stored table.  Throws DataError
+/// describing the first violation.
+void validate_head_calibration(const HeadCalibration& calib,
+                               const CalibExpectations& expect = {});
+
+/// The conservative degraded-mode substitute for a quarantined record:
+/// identity reorder + uniform INT8 map (the paper's safe operating point —
+/// no pattern assumptions, full-precision-class map).  `block` == 0 omits
+/// the bit table.
+HeadCalibration fallback_head_calibration(std::size_t tokens,
+                                          std::size_t block);
+
+/// Write one head's calibration record (v2 with checksum by default).
+void write_head_calibration(std::ostream& os, const HeadCalibration& calib,
+                            int version = kCalibVersionLatest);
+
+/// Read one head's calibration record (expects the `head` keyword next;
+/// accepts records with or without a crc line and verifies it if present).
 HeadCalibration read_head_calibration(std::istream& is);
 
 /// Whole-model table: [layer][head].
 void write_calibration_table(
-    std::ostream& os,
-    const std::vector<std::vector<HeadCalibration>>& table);
+    std::ostream& os, const std::vector<std::vector<HeadCalibration>>& table,
+    int version = kCalibVersionLatest);
 std::vector<std::vector<HeadCalibration>> read_calibration_table(
     std::istream& is);
+std::vector<std::vector<HeadCalibration>> read_calibration_table(
+    std::istream& is, const CalibLoadOptions& options,
+    CalibLoadReport* report);
 
-/// Convenience: round-trip through files.
+/// Convenience: round-trip through files.  Saving is atomic (temp file +
+/// rename), so a crash mid-write never leaves a half-written artifact at
+/// `path`.
 void save_calibration_file(
     const std::string& path,
     const std::vector<std::vector<HeadCalibration>>& table);
 std::vector<std::vector<HeadCalibration>> load_calibration_file(
     const std::string& path);
+std::vector<std::vector<HeadCalibration>> load_calibration_file(
+    const std::string& path, const CalibLoadOptions& options,
+    CalibLoadReport* report);
 
 }  // namespace paro

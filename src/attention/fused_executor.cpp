@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "attention/reference.hpp"
+#include "common/fault.hpp"
 #include "common/fixedpoint.hpp"
+#include "common/numeric_guard.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
@@ -220,6 +222,16 @@ QuantAttentionResult fused_quantized_attention(
         }
       });
 
+      // Fault site: numerical blow-up inside this stripe's QKᵀ.  Fires
+      // per stripe, so a spec's skip/count window can target one stripe
+      // and prove damage stays contained to it.
+      {
+        std::uint64_t seed = 0;
+        if (PARO_FAULT_FIRE("attn.logits.nonfinite", &seed) && !buf.empty()) {
+          buf[seed % buf.size()] = std::numeric_limits<float>::quiet_NaN();
+        }
+      }
+
       // --- pass 2: online softmax (exp in ascending j, then normalize) --
       bool stripe_has_dead = false;
       for (std::size_t i = 0; i < rows_here; ++i) {
@@ -249,6 +261,22 @@ QuantAttentionResult fused_quantized_attention(
         // Full-row sweep including bypassed zeros (0·inv = 0) — exactly
         // the materialized `v *= inv` loop.
         for (std::size_t j = 0; j < n; ++j) brow[j] *= inv;
+      }
+
+      // Map-boundary guard: post-softmax values are probabilities, so a
+      // non-finite entry here is numerical failure whatever its origin.
+      // Clean stripes pay one read-only scan — no copy, no mutation — so
+      // guarded and unguarded runs stay bitwise identical.
+      {
+        const std::size_t bad = count_nonfinite(buf);
+        if (bad > 0) {
+          obs::MetricsRegistry::global()
+              .counter("numeric.nonfinite", {{"stage", "map"}})
+              .add(static_cast<double>(bad));
+          guard_nonfinite(std::span<float>(buf), config.nonfinite,
+                          "attention map (stripe " + std::to_string(br) +
+                              ")");
+        }
       }
 
       // --- pass 3: per-tile map fake-quant at the tile's bitwidth -------

@@ -5,7 +5,9 @@
 
 #include "attention/fused_executor.hpp"
 #include "attention/reference.hpp"
+#include "common/fault.hpp"
 #include "common/fixedpoint.hpp"
+#include "common/numeric_guard.hpp"
 #include "common/thread_pool.hpp"
 #include "mixedprec/allocator.hpp"
 #include "mixedprec/sensitivity.hpp"
@@ -130,6 +132,54 @@ MatF softmax_rows_skipaware(const MatF& logits, float scale) {
     for (float& v : dst) v *= inv;
   });
   return out;
+}
+
+/// Bump the non-finite counter for one stage boundary, then apply the
+/// policy (which may throw).  The counter records what was observed, so it
+/// is bumped even when kThrow aborts the operation a line later.
+void record_nonfinite(std::size_t count, const char* stage) {
+  obs::MetricsRegistry::global()
+      .counter("numeric.nonfinite", {{"stage", stage}})
+      .add(static_cast<double>(count));
+}
+
+/// Input-boundary guard.  The fast path for healthy data is a single
+/// read-only scan — no copy, no registry traffic — which is what keeps the
+/// guarded pipeline bitwise identical to an unguarded one.  Only when a
+/// non-finite value is present AND the policy is kSanitize does the input
+/// get copied (into `own`) so the caller's matrix is never mutated.
+void guard_input(const MatF*& ptr, MatF& own, NonFinitePolicy policy,
+                 const char* which) {
+  const std::size_t count = count_nonfinite(ptr->flat());
+  if (count == 0) return;
+  record_nonfinite(count, "input");
+  const std::string context = std::string("attention input ") + which;
+  if (policy == NonFinitePolicy::kSanitize) {
+    if (ptr != &own) {
+      own = *ptr;
+      ptr = &own;
+    }
+    guard_nonfinite(own.flat(), policy, context);
+  } else {
+    guard_nonfinite_readonly(ptr->flat(), policy, context);
+  }
+}
+
+/// Map-boundary guard (post-softmax values are probabilities; anything
+/// non-finite here is numerical failure regardless of the input state).
+void guard_map(std::span<float> data, NonFinitePolicy policy,
+               const std::string& context) {
+  const std::size_t count = count_nonfinite(data);
+  if (count == 0) return;
+  record_nonfinite(count, "map");
+  guard_nonfinite(data, policy, context);
+}
+
+/// Poke one quiet NaN into `data` at a seed-chosen index (the
+/// attn.*.nonfinite fault sites).
+void inject_nan(std::span<float> data, std::uint64_t seed) {
+  if (data.empty()) return;
+  data[seed % data.size()] = std::numeric_limits<float>::quiet_NaN();
 }
 
 /// Per-head calibration telemetry: one `calibrate.heads` tick plus the
@@ -262,9 +312,18 @@ QuantAttentionResult materialized_quantized_attention(
     meter.acquire(nn_bytes);
   }
 
+  // Fault site: numerical blow-up inside QKᵀ (overflow, bad scale).
+  {
+    std::uint64_t seed = 0;
+    if (PARO_FAULT_FIRE("attn.logits.nonfinite", &seed)) {
+      inject_nan(logits.flat(), seed);
+    }
+  }
+
   // --- softmax (vector unit, FP) ---
   MatF attn = softmax_rows_skipaware(logits, scale);
   meter.acquire(nn_bytes);
+  guard_map(attn.flat(), config.nonfinite, "attention map (post-softmax)");
 
   // --- attention-map quantization ---
   QuantAttentionResult result;
@@ -345,10 +404,42 @@ QuantAttentionResult quantized_attention(const MatF& q, const MatF& k,
   obs::MetricsRegistry::global().counter("attn.quantized_calls").add(1.0);
   PARO_CHECK_MSG(q.rows() == k.rows() && k.rows() == v.rows(),
                  "token count mismatch");
-  if (config.executor == AttnExecutor::kStreamed) {
-    return fused_quantized_attention(q, k, v, calib, config);
+
+  // --- input boundary -------------------------------------------------
+  // Guarded here, above the executor switch, so both engines share one
+  // policy implementation.  `*_use` stays pointing at the caller's data
+  // unless sanitization (or fault injection) forces a private copy.
+  const MatF* q_use = &q;
+  const MatF* k_use = &k;
+  const MatF* v_use = &v;
+  MatF q_own, k_own, v_own;
+  {
+    // Fault site: upstream layer handed us poisoned activations.
+    std::uint64_t seed = 0;
+    if (PARO_FAULT_FIRE("attn.input.nonfinite", &seed)) {
+      q_own = q;
+      inject_nan(q_own.flat(), seed);
+      q_use = &q_own;
+    }
   }
-  return materialized_quantized_attention(q, k, v, calib, config);
+  guard_input(q_use, q_own, config.nonfinite, "q");
+  guard_input(k_use, k_own, config.nonfinite, "k");
+  guard_input(v_use, v_own, config.nonfinite, "v");
+
+  QuantAttentionResult result =
+      config.executor == AttnExecutor::kStreamed
+          ? fused_quantized_attention(*q_use, *k_use, *v_use, calib, config)
+          : materialized_quantized_attention(*q_use, *k_use, *v_use, calib,
+                                             config);
+
+  // --- output boundary ------------------------------------------------
+  const std::size_t bad = count_nonfinite(result.output.flat());
+  if (bad > 0) {
+    record_nonfinite(bad, "output");
+    guard_nonfinite(result.output.flat(), config.nonfinite,
+                    "attention output");
+  }
+  return result;
 }
 
 QuantAttentionConfig config_fp16() {

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/numeric_guard.hpp"
 #include "quant/bittable.hpp"
 #include "reorder/calibrate.hpp"
 #include "reorder/plan.hpp"
@@ -95,6 +96,13 @@ struct QuantAttentionConfig {
   /// Execution engine.  Streamed by default; switch to kMaterialized when
   /// the full quantized map is needed (map inspection, oracle tests).
   AttnExecutor executor = AttnExecutor::kStreamed;
+  /// What to do when NaN/Inf appears at an attention stage boundary
+  /// (inputs, the post-softmax map, the output): fail fast with a
+  /// NumericalError naming the boundary, zero the values and count them,
+  /// or log and pass them through.  Both executors honour it; non-finite
+  /// counts surface as the obs counter `numeric.nonfinite{stage=...}`.
+  /// See docs/robustness.md.
+  NonFinitePolicy nonfinite = NonFinitePolicy::kThrow;
 };
 
 /// Offline calibration artifacts for one (layer, head).

@@ -1,0 +1,67 @@
+#include "common/crc32.hpp"
+
+#include <array>
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace paro {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1U) : c >> 1U;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFU;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFU] ^ (c >> 8U);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+std::string crc32_hex(std::uint32_t crc) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[crc & 0xFU];
+    crc >>= 4U;
+  }
+  return out;
+}
+
+std::uint32_t parse_crc32_hex(std::string_view hex) {
+  if (hex.size() != 8) {
+    throw DataError("checksum must be 8 hex digits, got '" +
+                    std::string(hex) + "'");
+  }
+  std::uint32_t value = 0;
+  for (const char ch : hex) {
+    value <<= 4U;
+    if (ch >= '0' && ch <= '9') {
+      value |= static_cast<std::uint32_t>(ch - '0');
+    } else if (ch >= 'a' && ch <= 'f') {
+      value |= static_cast<std::uint32_t>(ch - 'a' + 10);
+    } else if (ch >= 'A' && ch <= 'F') {
+      value |= static_cast<std::uint32_t>(ch - 'A' + 10);
+    } else {
+      throw DataError("checksum has non-hex digit '" + std::string(1, ch) +
+                      "'");
+    }
+  }
+  return value;
+}
+
+}  // namespace paro

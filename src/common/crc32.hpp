@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte strings.
+//
+// Used to checksum every head record of a `paro-calib v2` artifact so a
+// flipped bit between calibration and inference is detected at load time
+// instead of silently skewing quality numbers (docs/robustness.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace paro {
+
+/// CRC-32 of `data`.  `seed` is a previous CRC to continue from, so long
+/// payloads can be folded incrementally: crc32(b, crc32(a)) == crc32(a+b).
+std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);
+
+/// `crc` as 8 lowercase hex digits (the artifact wire format).
+std::string crc32_hex(std::uint32_t crc);
+
+/// Parse an 8-hex-digit checksum; throws paro::DataError on malformed input.
+std::uint32_t parse_crc32_hex(std::string_view hex);
+
+}  // namespace paro

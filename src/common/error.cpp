@@ -2,6 +2,22 @@
 
 #include <sstream>
 
+namespace paro {
+
+const char* error_kind_name(const std::exception& e) {
+  if (dynamic_cast<const ShapeError*>(&e) != nullptr) return "ShapeError";
+  if (dynamic_cast<const ConfigError*>(&e) != nullptr) return "ConfigError";
+  if (dynamic_cast<const IoError*>(&e) != nullptr) return "IoError";
+  if (dynamic_cast<const DataError*>(&e) != nullptr) return "DataError";
+  if (dynamic_cast<const NumericalError*>(&e) != nullptr) {
+    return "NumericalError";
+  }
+  if (dynamic_cast<const Error*>(&e) != nullptr) return "Error";
+  return "std::exception";
+}
+
+}  // namespace paro
+
 namespace paro::detail {
 
 void throw_check_failure(const char* expr, const char* file, int line,

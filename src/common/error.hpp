@@ -29,6 +29,61 @@ class ConfigError : public Error {
   explicit ConfigError(const std::string& what) : Error(what) {}
 };
 
+/// Raised when the environment fails us: a file that cannot be opened,
+/// a write that fails mid-stream, a rename that does not land.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when data READ successfully is semantically invalid: a checksum
+/// mismatch, a non-bijective permutation, an out-of-domain bitwidth.  The
+/// distinction from IoError matters for recovery — DataError on one head
+/// record can be quarantined, IoError usually dooms the whole artifact.
+class DataError : public Error {
+ public:
+  explicit DataError(const std::string& what) : Error(what) {}
+};
+
+/// Raised by the numerical guardrails when a NaN/Inf crosses a stage
+/// boundary under NonFinitePolicy::kThrow (common/numeric_guard.hpp).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// Stable name of the dynamic error type ("DataError", "IoError", ...);
+/// "Error" for the base class, "std::exception" for foreign exceptions.
+/// The CLI prints it so scripts can branch on the failure class.
+const char* error_kind_name(const std::exception& e);
+
+/// Run `fn`, prefixing any paro::Error it throws with `context` while
+/// preserving the dynamic error type.  This is how failures deep in the
+/// pipeline come out naming the (layer, head, tile) that produced them:
+///
+///   with_error_context("layer 3 head 1", [&] { return attention(...); });
+///
+/// throws e.g. NumericalError("layer 3 head 1: attn.logits: ...").
+template <typename Fn>
+auto with_error_context(const std::string& context, Fn&& fn)
+    -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const ShapeError& e) {
+    throw ShapeError(context + ": " + e.what());
+  } catch (const ConfigError& e) {
+    throw ConfigError(context + ": " + e.what());
+  } catch (const IoError& e) {
+    throw IoError(context + ": " + e.what());
+  } catch (const DataError& e) {
+    throw DataError(context + ": " + e.what());
+  } catch (const NumericalError& e) {
+    throw NumericalError(context + ": " + e.what());
+  } catch (const Error& e) {
+    throw Error(context + ": " + e.what());
+  }
+}
+
 namespace detail {
 [[noreturn]] void throw_check_failure(const char* expr, const char* file,
                                       int line, const std::string& msg);

@@ -1,0 +1,194 @@
+#include "common/fault.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace paro::fault {
+
+namespace {
+
+/// splitmix64: one 64-bit state step — the standard cheap mixer.  Makes the
+/// per-hit seed a pure function of (arm seed, hit index).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30U)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27U)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31U);
+}
+
+/// Canonical injection sites and where they fire.  Kept here (not in the
+/// modules that evaluate them) so spec validation works even in binaries
+/// the linker dead-strips, and so docs/robustness.md has one source of
+/// truth to mirror.
+constexpr const char* kBuiltinSites[] = {
+    // calibration_io: flip a seed-chosen bit in a head record's bytes
+    // before it is parsed (models at-rest corruption).
+    "calib.read.corrupt-bit",
+    // calibration_io: cut a head record's bytes short (models a torn read
+    // or a file truncated by a crashed writer).
+    "calib.read.truncate",
+    // calibration_io: abandon save_calibration_file mid-write, before the
+    // atomic rename (models a crash during `paro_cli calibrate`).
+    "calib.write.truncate",
+    // attention pipeline: poison one element of the Q input at the
+    // entrance of quantized_attention (both executors).
+    "attn.input.nonfinite",
+    // attention executors: poison one logit after QKᵀ — the full N×N
+    // matrix (materialized) or a stripe buffer (streamed).
+    "attn.logits.nonfinite",
+    // thread pool: throw from inside a pool task (run_chunks).
+    "pool.task.throw",
+};
+
+std::set<std::string>& site_registry() {
+  static std::set<std::string> registry = [] {
+    std::set<std::string> seeded;
+    for (const char* site : kBuiltinSites) seeded.insert(site);
+    return seeded;
+  }();
+  return registry;
+}
+
+std::mutex& registry_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+struct Injector::Impl {
+  std::atomic<bool> enabled{false};
+  mutable std::mutex mu;
+  std::map<std::string, Arm, std::less<>> arms;
+  struct SiteCounters {
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+  std::map<std::string, SiteCounters, std::less<>> counters;
+};
+
+Injector::Injector() : impl_(new Impl) {
+  // Leaked intentionally (process-lifetime singleton member).
+  const char* env = std::getenv("PARO_FAULT");
+  if (env != nullptr && env[0] != '\0') {
+    configure(env);
+  }
+}
+
+Injector& Injector::global() {
+  static Injector injector;
+  return injector;
+}
+
+void Injector::register_site(const char* name) {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  site_registry().insert(name);
+}
+
+std::vector<std::string> Injector::registered_sites() {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  return {site_registry().begin(), site_registry().end()};
+}
+
+void Injector::configure(const std::string& spec) {
+  std::map<std::string, Arm, std::less<>> arms;
+  std::istringstream ss(spec);
+  std::string part;
+  while (std::getline(ss, part, ';')) {
+    if (part.empty()) continue;
+    Arm arm;
+    std::istringstream ps(part);
+    std::string field;
+    int index = 0;
+    while (std::getline(ps, field, ':')) {
+      if (index == 0) {
+        arm.site = field;
+      } else {
+        std::uint64_t value = 0;
+        std::istringstream fs(field);
+        if (!(fs >> value) || !fs.eof()) {
+          throw ConfigError("fault spec field '" + field + "' in '" + part +
+                            "' is not an unsigned integer");
+        }
+        if (index == 1) arm.skip = value;
+        if (index == 2) arm.count = value;
+        if (index == 3) arm.seed = value;
+        if (index > 3) {
+          throw ConfigError("fault spec '" + part +
+                            "' has too many fields (site[:skip[:count[:seed]]])");
+        }
+      }
+      ++index;
+    }
+    if (arm.site.empty()) {
+      throw ConfigError("fault spec '" + part + "' names no site");
+    }
+    {
+      const std::lock_guard<std::mutex> lock(registry_mutex());
+      if (site_registry().count(arm.site) == 0) {
+        std::string known;
+        for (const std::string& s : site_registry()) {
+          known += known.empty() ? s : ", " + s;
+        }
+        throw ConfigError("unknown fault site '" + arm.site +
+                          "' (registered: " + known + ")");
+      }
+    }
+    arms[arm.site] = arm;
+  }
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->arms = std::move(arms);
+  impl_->counters.clear();
+  impl_->enabled.store(!impl_->arms.empty(), std::memory_order_release);
+}
+
+void Injector::clear() {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->arms.clear();
+  impl_->counters.clear();
+  impl_->enabled.store(false, std::memory_order_release);
+}
+
+bool Injector::enabled() const {
+  return impl_->enabled.load(std::memory_order_acquire);
+}
+
+bool Injector::should_fire(std::string_view site, std::uint64_t* seed_out) {
+  if (!enabled()) return false;
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  auto counters = impl_->counters.find(site);
+  if (counters == impl_->counters.end()) {
+    counters = impl_->counters.emplace(std::string(site),
+                                       Impl::SiteCounters{}).first;
+  }
+  const std::uint64_t hit = counters->second.hits++;
+  const auto arm = impl_->arms.find(site);
+  if (arm == impl_->arms.end()) return false;
+  if (hit < arm->second.skip) return false;
+  if (hit - arm->second.skip >= arm->second.count) return false;
+  ++counters->second.fires;
+  if (seed_out != nullptr) {
+    *seed_out = mix64(arm->second.seed ^ mix64(hit + 1));
+  }
+  return true;
+}
+
+std::uint64_t Injector::hits(std::string_view site) const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->counters.find(site);
+  return it == impl_->counters.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t Injector::fires(std::string_view site) const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->counters.find(site);
+  return it == impl_->counters.end() ? 0 : it->second.fires;
+}
+
+}  // namespace paro::fault

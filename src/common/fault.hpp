@@ -1,0 +1,115 @@
+// Deterministic, seedable fault injection.
+//
+// Robustness claims are only claims until a test drives the failure path.
+// This framework lets tests (and the CI smoke job) inject the faults the
+// calibration→inference pipeline must absorb: calibration-file corruption,
+// truncated streams, NaN/Inf at attention stage boundaries, thread-pool
+// task failures.  Each failure path is guarded by a *named site* compiled
+// into production code:
+//
+//   std::uint64_t seed = 0;
+//   if (PARO_FAULT_FIRE("calib.read.corrupt-bit", &seed)) {
+//     ...flip the bit chosen by `seed`...
+//   }
+//
+// The canonical site list lives in fault.cpp (so spec validation works in
+// every binary regardless of linker dead-stripping); tests can add ad-hoc
+// sites with PARO_FAULT_REGISTER.  registered_sites() enumerates all of
+// them, so the coverage test can assert every site has a recovery test.
+// With no arm configured, the whole machinery is one
+// relaxed atomic load per site evaluation — the production hot paths pay
+// nothing measurable, and behavior is bit-for-bit the no-faults build.
+//
+// Arming is driven by a spec string, either programmatically
+// (Injector::global().configure(spec)) or through the PARO_FAULT
+// environment variable / the CLI's fault= knob:
+//
+//   PARO_FAULT="site[:skip[:count[:seed]]][;site2...]"
+//
+//   calib.read.corrupt-bit            fire on every hit of the site
+//   calib.read.corrupt-bit:2          skip 2 hits, then fire forever
+//   calib.read.corrupt-bit:2:1        skip 2 hits, fire exactly once
+//   calib.read.corrupt-bit:0:1:77     ...with corruption seed 77
+//
+// Determinism: a site's hit counter increments on every evaluation while
+// the injector is enabled, and the per-hit seed is a pure function of
+// (arm seed, hit index).  Runs with threads=1 are exactly reproducible;
+// multi-threaded runs attribute hits racily across threads (WHICH hit a
+// thread sees is scheduling-dependent) but the set of fired faults for a
+// `skip=0, count=∞` arm is not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paro::fault {
+
+/// One armed fault: site fires on hit indices [skip, skip + count).
+struct Arm {
+  std::string site;
+  std::uint64_t skip = 0;
+  std::uint64_t count = UINT64_MAX;
+  std::uint64_t seed = 0;
+};
+
+class Injector {
+ public:
+  /// Process-wide injector.  On first use it arms itself from the
+  /// PARO_FAULT environment variable (empty / unset → disarmed).
+  static Injector& global();
+
+  /// Replace all arms with those parsed from `spec` (grammar above).
+  /// Empty spec disarms everything.  Throws ConfigError on bad syntax or
+  /// an unregistered site name.
+  void configure(const std::string& spec);
+
+  /// Disarm all faults and clear hit/fire counters.
+  void clear();
+
+  /// True when at least one arm is configured — the fast-path gate every
+  /// site checks before touching any shared state.
+  bool enabled() const;
+
+  /// Evaluate `site`: bump its hit counter and decide whether this hit
+  /// faults.  When firing and `seed_out` is non-null it receives a
+  /// deterministic per-hit value for choosing WHAT to corrupt.
+  /// Call through PARO_FAULT_FIRE so the disabled fast path stays free.
+  bool should_fire(std::string_view site, std::uint64_t* seed_out = nullptr);
+
+  /// Times `site` was evaluated / actually fired since the last clear().
+  /// (Counters advance only while the injector is enabled.)
+  std::uint64_t hits(std::string_view site) const;
+  std::uint64_t fires(std::string_view site) const;
+
+  /// Every site name registered in this binary, sorted.
+  static std::vector<std::string> registered_sites();
+
+  /// Idempotently add `name` to the registry (use PARO_FAULT_REGISTER).
+  static void register_site(const char* name);
+
+ private:
+  Injector();
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Registers a site name during static initialization.
+struct SiteRegistrar {
+  explicit SiteRegistrar(const char* name) { Injector::register_site(name); }
+};
+
+}  // namespace paro::fault
+
+/// Declare a fault site at namespace scope in the .cpp that evaluates it.
+#define PARO_FAULT_REGISTER(var, name) \
+  namespace {                          \
+  const ::paro::fault::SiteRegistrar var{name}; \
+  }
+
+/// Evaluate a fault site: false (with zero shared-state traffic) unless
+/// the injector is armed.  `seed_out` is a std::uint64_t* or nullptr.
+#define PARO_FAULT_FIRE(site, seed_out)              \
+  (::paro::fault::Injector::global().enabled() &&    \
+   ::paro::fault::Injector::global().should_fire((site), (seed_out)))

@@ -1,0 +1,96 @@
+#include "common/numeric_guard.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace paro {
+
+namespace {
+
+[[noreturn]] void throw_nonfinite(std::string_view context,
+                                  std::size_t first_index,
+                                  std::size_t count, std::size_t total) {
+  throw NumericalError(std::string(context) + ": " + std::to_string(count) +
+                       " non-finite value(s) in " + std::to_string(total) +
+                       " (first at flat index " +
+                       std::to_string(first_index) + ")");
+}
+
+}  // namespace
+
+const char* nonfinite_policy_name(NonFinitePolicy policy) {
+  switch (policy) {
+    case NonFinitePolicy::kThrow:
+      return "throw";
+    case NonFinitePolicy::kSanitize:
+      return "sanitize";
+    case NonFinitePolicy::kLog:
+      return "log";
+  }
+  return "?";
+}
+
+NonFinitePolicy parse_nonfinite_policy(std::string_view name) {
+  if (name == "throw") return NonFinitePolicy::kThrow;
+  if (name == "sanitize") return NonFinitePolicy::kSanitize;
+  if (name == "log") return NonFinitePolicy::kLog;
+  throw ConfigError("unknown non-finite policy '" + std::string(name) +
+                    "' (expected throw|sanitize|log)");
+}
+
+std::size_t count_nonfinite(std::span<const float> data) {
+  std::size_t count = 0;
+  for (const float v : data) {
+    if (!std::isfinite(v)) ++count;
+  }
+  return count;
+}
+
+std::size_t guard_nonfinite(std::span<float> data, NonFinitePolicy policy,
+                            std::string_view context) {
+  std::size_t count = 0;
+  std::size_t first = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (std::isfinite(data[i])) continue;
+    if (count == 0) first = i;
+    ++count;
+    if (policy == NonFinitePolicy::kSanitize) data[i] = 0.0F;
+  }
+  if (count == 0) return 0;
+  switch (policy) {
+    case NonFinitePolicy::kThrow:
+      throw_nonfinite(context, first, count, data.size());
+    case NonFinitePolicy::kSanitize:
+      PARO_LOG(kWarn) << context << ": sanitized " << count
+                      << " non-finite value(s)";
+      break;
+    case NonFinitePolicy::kLog:
+      PARO_LOG(kWarn) << context << ": " << count
+                      << " non-finite value(s) passing through";
+      break;
+  }
+  return count;
+}
+
+std::size_t guard_nonfinite_readonly(std::span<const float> data,
+                                     NonFinitePolicy policy,
+                                     std::string_view context) {
+  std::size_t count = 0;
+  std::size_t first = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (std::isfinite(data[i])) continue;
+    if (count == 0) first = i;
+    ++count;
+  }
+  if (count == 0) return 0;
+  if (policy == NonFinitePolicy::kThrow) {
+    throw_nonfinite(context, first, count, data.size());
+  }
+  PARO_LOG(kWarn) << context << ": " << count << " non-finite value(s)";
+  return count;
+}
+
+}  // namespace paro

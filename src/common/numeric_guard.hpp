@@ -1,0 +1,52 @@
+// Numerical guardrails: NaN/Inf policy at stage boundaries.
+//
+// A NaN that slips into a Q/K/V tile propagates through softmax and AttnV
+// and silently corrupts every downstream quality number.  The guardrails
+// scan stage-boundary buffers (attention inputs, logits, the softmaxed
+// map, the output) and apply a configurable policy:
+//
+//   kThrow     raise NumericalError naming the stage and first bad index
+//              (default — fail fast, nothing downstream sees the value);
+//   kSanitize  replace non-finite values with 0 in place and report the
+//              count (degraded but bounded: a zeroed logit behaves like a
+//              fully-truncated tile, a zeroed map entry like a skipped
+//              one);
+//   kLog       count and PARO_LOG(kWarn), let the values through (observe
+//              only — the pre-guardrail behavior plus telemetry).
+//
+// The scan is read-only on clean data, so any policy is bitwise-neutral
+// for finite inputs.  Callers surface the returned count through the obs
+// layer (the guard itself stays obs-free to keep common → obs acyclic).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+namespace paro {
+
+enum class NonFinitePolicy { kThrow, kSanitize, kLog };
+
+const char* nonfinite_policy_name(NonFinitePolicy policy);
+
+/// Parse "throw" / "sanitize" / "log"; throws ConfigError otherwise.
+NonFinitePolicy parse_nonfinite_policy(std::string_view name);
+
+/// Number of NaN/Inf values in `data`.
+std::size_t count_nonfinite(std::span<const float> data);
+
+/// Apply `policy` to `data` at the stage boundary named `context`.
+/// Returns the number of non-finite values found (0 on the clean fast
+/// path; after kSanitize they are zeroed in place).
+std::size_t guard_nonfinite(std::span<float> data, NonFinitePolicy policy,
+                            std::string_view context);
+
+/// Read-only variant for buffers the caller does not own (e.g. the user's
+/// Q/K/V inputs).  kSanitize cannot fix the data in place here, so it
+/// only counts — callers that can substitute a sanitized copy do so
+/// themselves (see attention/pipeline.cpp).
+std::size_t guard_nonfinite_readonly(std::span<const float> data,
+                                     NonFinitePolicy policy,
+                                     std::string_view context);
+
+}  // namespace paro

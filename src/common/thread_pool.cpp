@@ -7,6 +7,9 @@
 #include <mutex>
 #include <thread>
 
+#include "common/error.hpp"
+#include "common/fault.hpp"
+
 namespace paro {
 
 namespace {
@@ -86,6 +89,14 @@ void ThreadPool::run_chunks(Job& job) {
     const std::size_t c0 = job.begin + chunk * job.grain;
     const std::size_t c1 = std::min(c0 + job.grain, job.end);
     try {
+      // Fault site: a task that dies mid-region.  The pool's contract is
+      // that the first exception is rethrown on the calling thread after
+      // every chunk has been handed out — injected here so tests can
+      // prove the propagation path without a bespoke throwing body.
+      if (PARO_FAULT_FIRE("pool.task.throw", nullptr)) {
+        throw Error("injected thread-pool task failure (chunk " +
+                    std::to_string(chunk) + ")");
+      }
       (*job.body)(c0, c1, chunk);
     } catch (...) {
       const std::lock_guard<std::mutex> lock(job.error_mu);
@@ -132,6 +143,12 @@ void ThreadPool::for_chunks(
     for (std::size_t chunk = 0; chunk < n_chunks; ++chunk) {
       const std::size_t c0 = begin + chunk * grain;
       const std::size_t c1 = std::min(c0 + grain, end);
+      // Same fault site as the parallel path (run_chunks) so injected
+      // task failures behave identically at any pool width.
+      if (PARO_FAULT_FIRE("pool.task.throw", nullptr)) {
+        throw Error("injected thread-pool task failure (chunk " +
+                    std::to_string(chunk) + ")");
+      }
       body(c0, c1, chunk);
     }
     return;

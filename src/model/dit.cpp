@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "attention/integer_path.hpp"
+#include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "attention/reference.hpp"
 #include "attention/synthetic.hpp"
@@ -205,6 +206,18 @@ MatF SyntheticDiT::forward_impl(const MatF& x, double t_frac,
       exec.impl == AttnImpl::kQuantizedInteger) {
     PARO_CHECK_MSG(capture.sink != nullptr || calib != nullptr,
                    "quantized execution requires calibration");
+    // A calibration for a different model must fail loudly here, not as a
+    // vector out-of-range deep inside a worker thread.
+    if (calib != nullptr &&
+        (calib->heads.size() != cfg_.layers ||
+         (!calib->heads.empty() && calib->heads[0].size() != cfg_.heads))) {
+      throw DataError(
+          "calibration covers " + std::to_string(calib->heads.size()) +
+          " layers x " +
+          std::to_string(calib->heads.empty() ? 0 : calib->heads[0].size()) +
+          " heads, model has " + std::to_string(cfg_.layers) + " x " +
+          std::to_string(cfg_.heads));
+    }
   }
   const std::size_t dh = head_dim();
 
@@ -266,8 +279,18 @@ MatF SyntheticDiT::forward_impl(const MatF& x, double t_frac,
           break;
         case AttnImpl::kQuantized: {
           PARO_CHECK(calib != nullptr);
-          QuantAttentionResult r = quantized_attention(
-              qh, kh, vh, calib->heads.at(l).at(head), exec.quant);
+          // Failures below (NumericalError from a guard, DataError from a
+          // bad calibration record) name only tensor-level context; the
+          // model layer owns the (layer, head) coordinates.
+          QuantAttentionResult r =
+              with_error_context("layer " + std::to_string(l) + " head " +
+                                     std::to_string(head),
+                                 [&] {
+                                   return quantized_attention(
+                                       qh, kh, vh,
+                                       calib->heads.at(l).at(head),
+                                       exec.quant);
+                                 });
           if (exec.attn_stats != nullptr) {
             head_stats[head] = r.exec;
           }
@@ -276,8 +299,14 @@ MatF SyntheticDiT::forward_impl(const MatF& x, double t_frac,
         }
         case AttnImpl::kQuantizedInteger: {
           PARO_CHECK(calib != nullptr);
-          oh = integer_attention(qh, kh, vh, calib->heads.at(l).at(head),
-                                 exec.quant)
+          oh = with_error_context(
+                   "layer " + std::to_string(l) + " head " +
+                       std::to_string(head),
+                   [&] {
+                     return integer_attention(qh, kh, vh,
+                                              calib->heads.at(l).at(head),
+                                              exec.quant);
+                   })
                    .output;
           break;
         }

@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "attention/reference.hpp"
 #include "attention/synthetic.hpp"
+#include "common/fault.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace paro {
 namespace {
@@ -173,6 +176,334 @@ TEST(CalibrationIo, CorruptInputThrows) {
 TEST(CalibrationIo, RejectsEmptyTable) {
   std::stringstream ss;
   EXPECT_THROW(write_calibration_table(ss, {}), Error);
+}
+
+// ---------------------------------------------------------------------
+// v2 artifacts: checksums, validation, quarantine recovery, fault sites.
+// ---------------------------------------------------------------------
+
+std::vector<std::vector<HeadCalibration>> make_table_2x2() {
+  std::vector<std::vector<HeadCalibration>> table(2);
+  table[0] = {make_calibration(1, true), make_calibration(2, true)};
+  table[1] = {make_calibration(3, true), make_calibration(4, true)};
+  return table;
+}
+
+std::string serialize(const std::vector<std::vector<HeadCalibration>>& t,
+                      int version = kCalibVersionLatest) {
+  std::ostringstream os;
+  write_calibration_table(os, t, version);
+  return os.str();
+}
+
+bool heads_equal(const HeadCalibration& a, const HeadCalibration& b) {
+  return plans_equal(a.plan, b.plan) &&
+         tables_equal(a.bit_table, b.bit_table) &&
+         std::abs(a.planned_avg_bits - b.planned_avg_bits) < 1e-12;
+}
+
+TEST(CalibrationIoV2, WriterEmitsChecksumsByDefault) {
+  const std::string text = serialize(make_table_2x2());
+  EXPECT_NE(text.find("paro-calib v2"), std::string::npos);
+  std::size_t crc_lines = 0;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("crc ", 0) == 0) ++crc_lines;
+  }
+  EXPECT_EQ(crc_lines, 4U);  // one per head record
+}
+
+TEST(CalibrationIoV2, V1FilesRemainReadable) {
+  const auto table = make_table_2x2();
+  const std::string v1 = serialize(table, 1);
+  EXPECT_NE(v1.find("paro-calib v1"), std::string::npos);
+  EXPECT_EQ(v1.find("crc "), std::string::npos);
+  std::istringstream is(v1);
+  CalibLoadReport rep;
+  const auto restored = read_calibration_table(is, {}, &rep);
+  EXPECT_EQ(rep.version, 1);
+  EXPECT_TRUE(rep.all_ok());
+  for (std::size_t l = 0; l < 2; ++l) {
+    for (std::size_t h = 0; h < 2; ++h) {
+      EXPECT_TRUE(heads_equal(table[l][h], restored[l][h]));
+    }
+  }
+}
+
+TEST(CalibrationIoV2, V1ToV2MigrationRoundTrips) {
+  const auto table = make_table_2x2();
+  std::istringstream v1(serialize(table, 1));
+  const auto loaded = read_calibration_table(v1);
+  // Re-saving writes v2; the payload must survive the upgrade exactly.
+  std::istringstream v2(serialize(loaded));
+  CalibLoadReport rep;
+  const auto upgraded = read_calibration_table(v2, {}, &rep);
+  EXPECT_EQ(rep.version, 2);
+  for (std::size_t l = 0; l < 2; ++l) {
+    for (std::size_t h = 0; h < 2; ++h) {
+      EXPECT_TRUE(heads_equal(table[l][h], upgraded[l][h]));
+    }
+  }
+}
+
+TEST(CalibrationIoV2, ChecksumMismatchIsDetected) {
+  std::string text = serialize(make_table_2x2());
+  const std::size_t pos = text.find("crc ");
+  ASSERT_NE(pos, std::string::npos);
+  // Flip one hex digit of the stored checksum: the record still parses,
+  // so only the CRC compare can catch it.
+  text[pos + 4] = text[pos + 4] == '0' ? '1' : '0';
+  std::istringstream strict(text);
+  EXPECT_THROW(read_calibration_table(strict), DataError);
+  // Quarantine mode demotes exactly that record.
+  std::istringstream lenient(text);
+  CalibLoadOptions opt;
+  opt.recovery = CalibRecovery::kQuarantine;
+  CalibLoadReport rep;
+  const auto table = read_calibration_table(lenient, opt, &rep);
+  EXPECT_EQ(rep.fallback_count, 1U);
+  EXPECT_EQ(rep.ok_count, 3U);
+  ASSERT_FALSE(rep.head_status[0].ok);
+  EXPECT_NE(rep.head_status[0].error.find("checksum"), std::string::npos);
+  EXPECT_TRUE(table[0][0].plan.is_identity());
+}
+
+TEST(CalibrationIoV2, MissingChecksumInV2IsRejected) {
+  std::string text = serialize(make_table_2x2());
+  const std::size_t pos = text.find("crc ");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t eol = text.find('\n', pos);
+  text.erase(pos, eol - pos + 1);
+  std::istringstream is(text);
+  EXPECT_THROW(read_calibration_table(is), DataError);
+}
+
+TEST(CalibrationIoV2, ValidateRejectsBrokenPermutations) {
+  HeadCalibration calib = make_calibration(6, true);
+  // Duplicate index (which implies a missing one at equal length).
+  HeadCalibration dup = calib;
+  dup.plan.perm[1] = dup.plan.perm[0];
+  EXPECT_THROW(validate_head_calibration(dup), DataError);
+  // Out-of-range index.
+  HeadCalibration oob = calib;
+  oob.plan.perm[0] = static_cast<std::uint32_t>(oob.plan.perm.size());
+  EXPECT_THROW(validate_head_calibration(oob), DataError);
+  // Empty permutation.
+  HeadCalibration empty;
+  EXPECT_THROW(validate_head_calibration(empty), DataError);
+  // The original is fine.
+  EXPECT_NO_THROW(validate_head_calibration(calib));
+}
+
+TEST(CalibrationIoV2, ValidateCrossChecksAvgBitsAndGeometry) {
+  HeadCalibration calib = make_calibration(8, true);
+  HeadCalibration lying = calib;
+  lying.planned_avg_bits = calib.planned_avg_bits + 1.0;
+  EXPECT_THROW(validate_head_calibration(lying), DataError);
+  HeadCalibration inf_bits = calib;
+  inf_bits.planned_avg_bits = -1.0;
+  EXPECT_THROW(validate_head_calibration(inf_bits), DataError);
+  // Expectation pins: wrong token count / tile side for the model.
+  CalibExpectations expect;
+  expect.tokens = calib.plan.perm.size() + 1;
+  EXPECT_THROW(validate_head_calibration(calib, expect), DataError);
+  expect.tokens = calib.plan.perm.size();
+  expect.block = calib.bit_table->grid().block() + 1;
+  EXPECT_THROW(validate_head_calibration(calib, expect), DataError);
+  expect.block = calib.bit_table->grid().block();
+  EXPECT_NO_THROW(validate_head_calibration(calib, expect));
+}
+
+TEST(CalibrationIoV2, DuplicatePermIndexInFileFailsStrictAsDataError) {
+  // Tamper through a v1 serialization (no CRC) so the BIJECTIVITY check —
+  // not the checksum — is what catches it.
+  auto table = make_table_2x2();
+  std::string text = serialize(table, 1);
+  const std::size_t perm_pos = text.find("perm ");
+  ASSERT_NE(perm_pos, std::string::npos);
+  // "perm <n> i0 i1 ..." — overwrite i1 with i0 by position.
+  std::istringstream head(text.substr(perm_pos));
+  std::string kw, n, i0, i1;
+  head >> kw >> n >> i0 >> i1;
+  const std::size_t i1_pos =
+      perm_pos + kw.size() + 1 + n.size() + 1 + i0.size() + 1;
+  ASSERT_EQ(text.substr(i1_pos, i1.size()), i1);
+  text.replace(i1_pos, i1.size(), i0);
+  std::istringstream strict(text);
+  try {
+    (void)read_calibration_table(strict);
+    FAIL() << "expected DataError";
+  } catch (const DataError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("layer 0, head 0"), std::string::npos);
+    EXPECT_NE(msg.find("bijection"), std::string::npos);
+  }
+}
+
+TEST(CalibrationIoV2, OutOfDomainBitsAreRejectedAtParse) {
+  const HeadCalibration calib = make_calibration(2, true);
+  std::ostringstream os;
+  write_head_calibration(os, calib, 1);
+  std::string text = os.str();
+  const std::size_t bits_pos = text.find("bits ");
+  ASSERT_NE(bits_pos, std::string::npos);
+  const std::size_t eol = text.find('\n', bits_pos);
+  std::string line = text.substr(bits_pos, eol - bits_pos);
+  // Replace the last bit entry with 3 (not in {0,2,4,8}).
+  const std::size_t last_sp = line.rfind(' ');
+  line = line.substr(0, last_sp) + " 3";
+  text.replace(bits_pos, eol - bits_pos, line);
+  std::istringstream is(text);
+  EXPECT_THROW(read_head_calibration(is), Error);
+}
+
+TEST(CalibrationIoV2, TruncatedFileQuarantinesTailRecords) {
+  const auto table = make_table_2x2();
+  std::string text = serialize(table);
+  text.resize(text.size() / 2);  // records 2+ gone, boundary record torn
+  std::istringstream strict(text);
+  EXPECT_THROW(read_calibration_table(strict), DataError);
+
+  std::istringstream lenient(text);
+  CalibLoadOptions opt;
+  opt.recovery = CalibRecovery::kQuarantine;
+  CalibLoadReport rep;
+  const auto restored = read_calibration_table(lenient, opt, &rep);
+  ASSERT_EQ(restored.size(), 2U);
+  ASSERT_EQ(restored[0].size(), 2U);
+  EXPECT_GT(rep.fallback_count, 0U);
+  EXPECT_GT(rep.ok_count, 0U);
+  EXPECT_EQ(rep.ok_count + rep.fallback_count, 4U);
+  // Intact prefix records survive verbatim; quarantined slots carry the
+  // documented fallback: identity reorder + uniform INT8 map.
+  EXPECT_TRUE(heads_equal(table[0][0], restored[0][0]));
+  const HeadCalibration& fb = restored[1][1];
+  EXPECT_TRUE(fb.plan.is_identity());
+  ASSERT_TRUE(fb.bit_table.has_value());
+  EXPECT_DOUBLE_EQ(fb.bit_table->average_bitwidth(), 8.0);
+  EXPECT_DOUBLE_EQ(fb.planned_avg_bits, 8.0);
+}
+
+TEST(CalibrationIoV2, QuarantineSurfacesObsCounters) {
+  auto& reg = obs::MetricsRegistry::global();
+  const double ok_before = reg.snapshot().value_of("calib.load.heads_ok");
+  const double fb_before =
+      reg.snapshot().value_of("calib.load.heads_fallback");
+  std::string text = serialize(make_table_2x2());
+  const std::size_t pos = text.find("crc ");
+  text[pos + 4] = text[pos + 4] == 'f' ? 'e' : 'f';
+  std::istringstream is(text);
+  CalibLoadOptions opt;
+  opt.recovery = CalibRecovery::kQuarantine;
+  (void)read_calibration_table(is, opt, nullptr);
+  EXPECT_EQ(reg.snapshot().value_of("calib.load.heads_ok"), ok_before + 3);
+  EXPECT_EQ(reg.snapshot().value_of("calib.load.heads_fallback"),
+            fb_before + 1);
+}
+
+TEST(CalibrationIoV2, QuarantineWithNoIntactRecordNeedsExpectations) {
+  // Header only — every record missing.  Without geometry the loader
+  // cannot even build fallbacks and must say so...
+  const std::string text = "paro-calib v2\nlayers 1 heads 2\n";
+  CalibLoadOptions opt;
+  opt.recovery = CalibRecovery::kQuarantine;
+  std::istringstream no_geo(text);
+  EXPECT_THROW(read_calibration_table(no_geo, opt, nullptr), IoError);
+  // ...while a caller that knows the model shape gets a fully degraded
+  // but runnable table.
+  opt.expect.tokens = 64;
+  opt.expect.block = 8;
+  std::istringstream with_geo(text);
+  CalibLoadReport rep;
+  const auto table = read_calibration_table(with_geo, opt, &rep);
+  EXPECT_EQ(rep.fallback_count, 2U);
+  EXPECT_EQ(table[0][0].plan.perm.size(), 64U);
+}
+
+class CalibFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Injector::global().clear(); }
+};
+
+TEST_F(CalibFaultTest, CorruptBitFaultIsAlwaysCaughtAndQuarantined) {
+  // Flip one seed-chosen bit in the first record's bytes.  Whatever the
+  // flip hits — a digit, a keyword, the crc line, a newline — the v2
+  // combination of parse + domain validation + checksum must catch it;
+  // nothing may load as silently-wrong data.
+  const std::string text = serialize(make_table_2x2());
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    fault::Injector::global().configure(
+        "calib.read.corrupt-bit:0:1:" + std::to_string(seed));
+    std::istringstream is(text);
+    CalibLoadOptions opt;
+    opt.recovery = CalibRecovery::kQuarantine;
+    CalibLoadReport rep;
+    const auto table = read_calibration_table(is, opt, &rep);
+    fault::Injector::global().clear();
+    ASSERT_EQ(table.size(), 2U) << "seed=" << seed;
+    EXPECT_EQ(rep.fallback_count, 1U) << "seed=" << seed;
+    EXPECT_FALSE(rep.head_status[0].ok) << "seed=" << seed;
+  }
+}
+
+TEST_F(CalibFaultTest, CorruptBitFaultIsDeterministic) {
+  const std::string text = serialize(make_table_2x2());
+  const auto run = [&] {
+    fault::Injector::global().configure("calib.read.corrupt-bit:0:1:7");
+    std::istringstream is(text);
+    CalibLoadOptions opt;
+    opt.recovery = CalibRecovery::kQuarantine;
+    CalibLoadReport rep;
+    (void)read_calibration_table(is, opt, &rep);
+    fault::Injector::global().clear();
+    return rep.head_status[0].error;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_F(CalibFaultTest, TruncateFaultQuarantinesTheRecord) {
+  const std::string text = serialize(make_table_2x2());
+  fault::Injector::global().configure("calib.read.truncate:1:1");
+  std::istringstream is(text);
+  CalibLoadOptions opt;
+  opt.recovery = CalibRecovery::kQuarantine;
+  CalibLoadReport rep;
+  const auto table = read_calibration_table(is, opt, &rep);
+  EXPECT_EQ(rep.fallback_count, 1U);
+  EXPECT_FALSE(rep.head_status[1].ok);
+  EXPECT_TRUE(rep.head_status[0].ok);
+  EXPECT_TRUE(table[0][1].plan.is_identity());
+}
+
+TEST_F(CalibFaultTest, StrictModeStillFailsFastUnderInjection) {
+  const std::string text = serialize(make_table_2x2());
+  fault::Injector::global().configure("calib.read.truncate:0:1");
+  std::istringstream is(text);
+  EXPECT_THROW(read_calibration_table(is), DataError);
+}
+
+TEST_F(CalibFaultTest, CrashDuringSaveLeavesOriginalArtifactIntact) {
+  const std::string path = ::testing::TempDir() + "/paro_atomic_save.txt";
+  const auto table = make_table_2x2();
+  save_calibration_file(path, table);
+  const std::string original = serialize(table);
+
+  // A "crash" mid-write of a replacement must not tear the live artifact.
+  std::vector<std::vector<HeadCalibration>> other(1);
+  other[0] = {make_calibration(9, true)};
+  fault::Injector::global().configure("calib.write.truncate");
+  EXPECT_THROW(save_calibration_file(path, other), IoError);
+  fault::Injector::global().clear();
+
+  std::ifstream is(path);
+  const std::string after((std::istreambuf_iterator<char>(is)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_EQ(after, original);
+  // And the artifact still loads strict-clean.
+  EXPECT_NO_THROW(load_calibration_file(path));
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
 }
 
 }  // namespace

@@ -1,0 +1,168 @@
+// Fault-injection → recovery tests for the attention executors: the
+// attn.input.nonfinite / attn.logits.nonfinite sites, the NonFinitePolicy
+// at each stage boundary, and the bitwise-no-op guarantee of the guards on
+// clean data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "attention/calibration_io.hpp"
+#include "attention/pipeline.hpp"
+#include "attention/synthetic.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+
+namespace paro {
+namespace {
+
+struct HeadFixture {
+  HeadQKV qkv;
+  HeadCalibration calib;
+  QuantAttentionConfig cfg;
+};
+
+HeadFixture make_fixture(AttnExecutor executor) {
+  const TokenGrid grid(4, 4, 4);
+  SyntheticHeadSpec spec;
+  spec.locality_order = all_axis_orders()[2];
+  spec.locality_width = 0.01;
+  spec.pattern_gain = 5.0;
+  Rng rng(17);
+  HeadFixture f;
+  f.qkv = generate_head(grid, spec, 16, rng);
+  f.cfg = config_paro_mp(4.8, 8);
+  f.cfg.executor = executor;
+  f.calib = calibrate_head(f.qkv.q, f.qkv.k, grid, f.cfg);
+  return f;
+}
+
+double map_nonfinite_counter() {
+  return obs::MetricsRegistry::global().snapshot().value_of(
+      "numeric.nonfinite", {{"stage", "map"}});
+}
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Injector::global().clear(); }
+};
+
+TEST_F(RobustnessTest, CleanRunsAreIdenticalUnderEveryPolicy) {
+  // The guards' fast path on healthy data is a read-only scan: the policy
+  // knob must not perturb a single bit of the result.
+  for (const AttnExecutor exec :
+       {AttnExecutor::kMaterialized, AttnExecutor::kStreamed}) {
+    HeadFixture f = make_fixture(exec);
+    f.cfg.nonfinite = NonFinitePolicy::kThrow;
+    const auto base =
+        quantized_attention(f.qkv.q, f.qkv.k, f.qkv.v, f.calib, f.cfg);
+    for (const NonFinitePolicy p :
+         {NonFinitePolicy::kSanitize, NonFinitePolicy::kLog}) {
+      f.cfg.nonfinite = p;
+      const auto out =
+          quantized_attention(f.qkv.q, f.qkv.k, f.qkv.v, f.calib, f.cfg);
+      EXPECT_EQ(base.output, out.output);
+    }
+  }
+}
+
+TEST_F(RobustnessTest, InputFaultThrowPolicyNamesTheBoundary) {
+  for (const AttnExecutor exec :
+       {AttnExecutor::kMaterialized, AttnExecutor::kStreamed}) {
+    const HeadFixture f = make_fixture(exec);
+    fault::Injector::global().configure("attn.input.nonfinite");
+    try {
+      (void)quantized_attention(f.qkv.q, f.qkv.k, f.qkv.v, f.calib, f.cfg);
+      FAIL() << "expected NumericalError";
+    } catch (const NumericalError& e) {
+      EXPECT_NE(std::string(e.what()).find("attention input q"),
+                std::string::npos);
+    }
+    fault::Injector::global().clear();
+  }
+}
+
+TEST_F(RobustnessTest, InputFaultSanitizeRecoversWithoutTouchingCaller) {
+  for (const AttnExecutor exec :
+       {AttnExecutor::kMaterialized, AttnExecutor::kStreamed}) {
+    HeadFixture f = make_fixture(exec);
+    f.cfg.nonfinite = NonFinitePolicy::kSanitize;
+    const MatF q_before = f.qkv.q;
+    fault::Injector::global().configure("attn.input.nonfinite");
+    const auto out =
+        quantized_attention(f.qkv.q, f.qkv.k, f.qkv.v, f.calib, f.cfg);
+    fault::Injector::global().clear();
+    // Degraded but alive: the result is fully finite...
+    EXPECT_EQ(count_nonfinite(out.output.flat()), 0U);
+    // ...and the sanitization happened on a private copy, never on the
+    // caller's tensor.
+    EXPECT_EQ(f.qkv.q, q_before);
+  }
+}
+
+TEST_F(RobustnessTest, LogitsFaultThrowPolicyNamesTheStage) {
+  // Materialized executor: the guard sits behind the full softmax.
+  {
+    const HeadFixture f = make_fixture(AttnExecutor::kMaterialized);
+    fault::Injector::global().configure("attn.logits.nonfinite:0:1");
+    try {
+      (void)quantized_attention(f.qkv.q, f.qkv.k, f.qkv.v, f.calib, f.cfg);
+      FAIL() << "expected NumericalError";
+    } catch (const NumericalError& e) {
+      EXPECT_NE(std::string(e.what()).find("post-softmax"),
+                std::string::npos);
+    }
+    fault::Injector::global().clear();
+  }
+  // Streamed executor: the guard names the stripe it caught the value in.
+  {
+    const HeadFixture f = make_fixture(AttnExecutor::kStreamed);
+    fault::Injector::global().configure("attn.logits.nonfinite:0:1");
+    try {
+      (void)quantized_attention(f.qkv.q, f.qkv.k, f.qkv.v, f.calib, f.cfg);
+      FAIL() << "expected NumericalError";
+    } catch (const NumericalError& e) {
+      EXPECT_NE(std::string(e.what()).find("stripe"), std::string::npos);
+    }
+    fault::Injector::global().clear();
+  }
+}
+
+TEST_F(RobustnessTest, LogitsFaultSanitizeRecoversAndCounts) {
+  for (const AttnExecutor exec :
+       {AttnExecutor::kMaterialized, AttnExecutor::kStreamed}) {
+    HeadFixture f = make_fixture(exec);
+    f.cfg.nonfinite = NonFinitePolicy::kSanitize;
+    const double before = map_nonfinite_counter();
+    fault::Injector::global().configure("attn.logits.nonfinite:0:1");
+    const auto out =
+        quantized_attention(f.qkv.q, f.qkv.k, f.qkv.v, f.calib, f.cfg);
+    fault::Injector::global().clear();
+    EXPECT_EQ(count_nonfinite(out.output.flat()), 0U);
+    // The degradation is observable: the map-stage counter moved.
+    EXPECT_GT(map_nonfinite_counter(), before);
+  }
+}
+
+TEST_F(RobustnessTest, FallbackCalibrationRunsOnBothExecutors) {
+  // The quarantine substitute (identity reorder + uniform INT8 map) must
+  // be executable end-to-end, and the executors must agree on it exactly
+  // — it is what a degraded production run actually computes.
+  HeadFixture f = make_fixture(AttnExecutor::kMaterialized);
+  const HeadCalibration fallback =
+      fallback_head_calibration(f.qkv.q.rows(), f.cfg.block);
+  const auto a =
+      quantized_attention(f.qkv.q, f.qkv.k, f.qkv.v, fallback, f.cfg);
+  f.cfg.executor = AttnExecutor::kStreamed;
+  const auto b =
+      quantized_attention(f.qkv.q, f.qkv.k, f.qkv.v, fallback, f.cfg);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(count_nonfinite(a.output.flat()), 0U);
+  EXPECT_DOUBLE_EQ(a.avg_map_bits, 8.0);
+}
+
+}  // namespace
+}  // namespace paro

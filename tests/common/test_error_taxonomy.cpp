@@ -1,0 +1,66 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace paro {
+namespace {
+
+TEST(ErrorTaxonomy, SubclassesAreCatchableAsError) {
+  // Call sites that predate the taxonomy catch paro::Error; every new
+  // kind must still land there.
+  EXPECT_THROW(throw IoError("x"), Error);
+  EXPECT_THROW(throw DataError("x"), Error);
+  EXPECT_THROW(throw NumericalError("x"), Error);
+  EXPECT_THROW(throw ShapeError("x"), Error);
+  EXPECT_THROW(throw ConfigError("x"), Error);
+}
+
+TEST(ErrorTaxonomy, KindNames) {
+  EXPECT_STREQ(error_kind_name(Error("x")), "Error");
+  EXPECT_STREQ(error_kind_name(ShapeError("x")), "ShapeError");
+  EXPECT_STREQ(error_kind_name(ConfigError("x")), "ConfigError");
+  EXPECT_STREQ(error_kind_name(IoError("x")), "IoError");
+  EXPECT_STREQ(error_kind_name(DataError("x")), "DataError");
+  EXPECT_STREQ(error_kind_name(NumericalError("x")), "NumericalError");
+  EXPECT_STREQ(error_kind_name(std::runtime_error("x")), "std::exception");
+}
+
+TEST(ErrorTaxonomy, WithErrorContextPrefixesAndPreservesType) {
+  try {
+    with_error_context("outer", []() -> int { throw DataError("inner"); });
+    FAIL() << "expected DataError";
+  } catch (const DataError& e) {
+    EXPECT_STREQ(e.what(), "outer: inner");
+  }
+  // Nested contexts chain outermost-first.
+  try {
+    with_error_context("layer 1", [] {
+      with_error_context("head 2", []() -> int {
+        throw NumericalError("NaN in tile 3");
+      });
+      return 0;
+    });
+    FAIL() << "expected NumericalError";
+  } catch (const NumericalError& e) {
+    EXPECT_STREQ(e.what(), "layer 1: head 2: NaN in tile 3");
+  }
+}
+
+TEST(ErrorTaxonomy, WithErrorContextPassesResultsThrough) {
+  EXPECT_EQ(with_error_context("ctx", [] { return 42; }), 42);
+  bool ran = false;
+  with_error_context("ctx", [&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ErrorTaxonomy, NonParoExceptionsPassThroughUnchanged) {
+  EXPECT_THROW(
+      with_error_context("ctx", []() -> int { throw std::runtime_error("x"); }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace paro

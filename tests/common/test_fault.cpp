@@ -1,0 +1,146 @@
+#include "common/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace paro {
+namespace {
+
+PARO_FAULT_REGISTER(kTestSite, "test.fault.site");
+PARO_FAULT_REGISTER(kTestSiteB, "test.fault.other");
+
+/// Every test leaves the process-wide injector disarmed: the other suites
+/// in this binary (thread pool, config, ...) compile fault sites into
+/// their production paths and must see them dormant.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Injector::global().clear(); }
+  void TearDown() override { fault::Injector::global().clear(); }
+};
+
+TEST_F(FaultTest, DisarmedByDefault) {
+  auto& inj = fault::Injector::global();
+  EXPECT_FALSE(inj.enabled());
+  EXPECT_FALSE(PARO_FAULT_FIRE("test.fault.site", nullptr));
+  // Disabled evaluations do not even count as hits.
+  EXPECT_EQ(inj.hits("test.fault.site"), 0U);
+}
+
+TEST_F(FaultTest, FiresOnEveryHitWithBareSiteName) {
+  auto& inj = fault::Injector::global();
+  inj.configure("test.fault.site");
+  EXPECT_TRUE(inj.enabled());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(PARO_FAULT_FIRE("test.fault.site", nullptr));
+  }
+  EXPECT_EQ(inj.hits("test.fault.site"), 5U);
+  EXPECT_EQ(inj.fires("test.fault.site"), 5U);
+  // Other sites stay dormant.
+  EXPECT_FALSE(PARO_FAULT_FIRE("test.fault.other", nullptr));
+}
+
+TEST_F(FaultTest, SkipCountWindow) {
+  auto& inj = fault::Injector::global();
+  inj.configure("test.fault.site:2:3");
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) {
+    fired.push_back(PARO_FAULT_FIRE("test.fault.site", nullptr));
+  }
+  // Hits 0,1 skipped; 2,3,4 fire; 5+ exhausted.
+  const std::vector<bool> expected = {false, false, true, true,
+                                      true,  false, false, false};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(inj.hits("test.fault.site"), 8U);
+  EXPECT_EQ(inj.fires("test.fault.site"), 3U);
+}
+
+TEST_F(FaultTest, PerHitSeedsAreDeterministic) {
+  auto& inj = fault::Injector::global();
+  const auto collect = [&] {
+    inj.configure("test.fault.site:0:4:99");
+    std::vector<std::uint64_t> seeds;
+    for (int i = 0; i < 4; ++i) {
+      std::uint64_t s = 0;
+      EXPECT_TRUE(PARO_FAULT_FIRE("test.fault.site", &s));
+      seeds.push_back(s);
+    }
+    inj.clear();
+    return seeds;
+  };
+  const auto a = collect();
+  const auto b = collect();
+  EXPECT_EQ(a, b);
+  // Distinct hits corrupt distinct things.
+  EXPECT_EQ(std::set<std::uint64_t>(a.begin(), a.end()).size(), a.size());
+  // A different arm seed chooses different corruption.
+  inj.configure("test.fault.site:0:4:100");
+  std::uint64_t s = 0;
+  ASSERT_TRUE(PARO_FAULT_FIRE("test.fault.site", &s));
+  EXPECT_NE(s, a[0]);
+}
+
+TEST_F(FaultTest, MultipleArmsSeparatedBySemicolon) {
+  auto& inj = fault::Injector::global();
+  inj.configure("test.fault.site:1;test.fault.other:0:1");
+  EXPECT_FALSE(PARO_FAULT_FIRE("test.fault.site", nullptr));
+  EXPECT_TRUE(PARO_FAULT_FIRE("test.fault.site", nullptr));
+  EXPECT_TRUE(PARO_FAULT_FIRE("test.fault.other", nullptr));
+  EXPECT_FALSE(PARO_FAULT_FIRE("test.fault.other", nullptr));
+}
+
+TEST_F(FaultTest, EmptySpecDisarms) {
+  auto& inj = fault::Injector::global();
+  inj.configure("test.fault.site");
+  ASSERT_TRUE(inj.enabled());
+  inj.configure("");
+  EXPECT_FALSE(inj.enabled());
+}
+
+TEST_F(FaultTest, BadSpecsThrowConfigError) {
+  auto& inj = fault::Injector::global();
+  EXPECT_THROW(inj.configure("no.such.site"), ConfigError);
+  EXPECT_THROW(inj.configure("test.fault.site:abc"), ConfigError);
+  EXPECT_THROW(inj.configure("test.fault.site:1:2:3:4"), ConfigError);
+  EXPECT_THROW(inj.configure(":1"), ConfigError);
+  // A failed configure leaves the injector disarmed, not half-armed.
+  EXPECT_FALSE(inj.enabled());
+}
+
+TEST_F(FaultTest, CanonicalSitesAreRegisteredEverywhere) {
+  // The production fault sites must be spec-addressable in every binary,
+  // static-library dead-stripping notwithstanding.  Each one has a
+  // recovery test: calib.* in tests/attention/test_calibration_io.cpp,
+  // attn.* in tests/attention/test_robustness.cpp, pool.* in
+  // tests/common/test_thread_pool.cpp.
+  const auto sites = fault::Injector::registered_sites();
+  for (const char* site :
+       {"calib.read.corrupt-bit", "calib.read.truncate",
+        "calib.write.truncate", "attn.input.nonfinite",
+        "attn.logits.nonfinite", "pool.task.throw"}) {
+    EXPECT_TRUE(std::find(sites.begin(), sites.end(), site) != sites.end())
+        << site << " is not registered";
+    EXPECT_NO_THROW(fault::Injector::global().configure(site));
+    fault::Injector::global().clear();
+  }
+  // And the ad-hoc test registration path works too.
+  EXPECT_TRUE(std::find(sites.begin(), sites.end(), "test.fault.site") !=
+              sites.end());
+}
+
+TEST_F(FaultTest, ClearResetsCounters) {
+  auto& inj = fault::Injector::global();
+  inj.configure("test.fault.site");
+  (void)PARO_FAULT_FIRE("test.fault.site", nullptr);
+  EXPECT_EQ(inj.fires("test.fault.site"), 1U);
+  inj.clear();
+  EXPECT_EQ(inj.hits("test.fault.site"), 0U);
+  EXPECT_EQ(inj.fires("test.fault.site"), 0U);
+}
+
+}  // namespace
+}  // namespace paro

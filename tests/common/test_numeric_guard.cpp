@@ -1,0 +1,91 @@
+#include "common/numeric_guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace paro {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+TEST(NumericGuard, PolicyNamesRoundTrip) {
+  for (const NonFinitePolicy p :
+       {NonFinitePolicy::kThrow, NonFinitePolicy::kSanitize,
+        NonFinitePolicy::kLog}) {
+    EXPECT_EQ(parse_nonfinite_policy(nonfinite_policy_name(p)), p);
+  }
+  EXPECT_THROW(parse_nonfinite_policy("panic"), ConfigError);
+}
+
+TEST(NumericGuard, CountNonfinite) {
+  const std::vector<float> clean = {0.0F, -1.5F, 3e30F};
+  EXPECT_EQ(count_nonfinite(clean), 0U);
+  const std::vector<float> dirty = {1.0F, kNaN, kInf, -kInf, 2.0F};
+  EXPECT_EQ(count_nonfinite(dirty), 3U);
+}
+
+TEST(NumericGuard, ThrowPolicyNamesContextAndIndex) {
+  std::vector<float> data = {1.0F, 2.0F, kNaN, kInf};
+  try {
+    guard_nonfinite(data, NonFinitePolicy::kThrow, "unit test stage");
+    FAIL() << "expected NumericalError";
+  } catch (const NumericalError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unit test stage"), std::string::npos);
+    EXPECT_NE(msg.find("2 non-finite"), std::string::npos);
+    EXPECT_NE(msg.find("index 2"), std::string::npos);
+  }
+  // kThrow never mutates.
+  EXPECT_TRUE(std::isnan(data[2]));
+}
+
+TEST(NumericGuard, SanitizePolicyZeroesInPlaceAndCounts) {
+  std::vector<float> data = {kNaN, 1.0F, -kInf, 4.0F};
+  const std::size_t n =
+      guard_nonfinite(data, NonFinitePolicy::kSanitize, "stage");
+  EXPECT_EQ(n, 2U);
+  EXPECT_EQ(data, (std::vector<float>{0.0F, 1.0F, 0.0F, 4.0F}));
+}
+
+TEST(NumericGuard, LogPolicyCountsWithoutMutating) {
+  std::vector<float> data = {kNaN, 1.0F};
+  EXPECT_EQ(guard_nonfinite(data, NonFinitePolicy::kLog, "stage"), 1U);
+  EXPECT_TRUE(std::isnan(data[0]));
+}
+
+TEST(NumericGuard, CleanDataIsAlwaysUntouchedAndFree) {
+  std::vector<float> data = {1.0F, -2.0F, 0.5F};
+  const std::vector<float> before = data;
+  for (const NonFinitePolicy p :
+       {NonFinitePolicy::kThrow, NonFinitePolicy::kSanitize,
+        NonFinitePolicy::kLog}) {
+    EXPECT_EQ(guard_nonfinite(data, p, "stage"), 0U);
+    EXPECT_EQ(data, before);
+  }
+}
+
+TEST(NumericGuard, ReadonlyGuardThrowsButNeverWrites) {
+  const std::vector<float> data = {kInf, 1.0F};
+  EXPECT_THROW(
+      guard_nonfinite_readonly(data, NonFinitePolicy::kThrow, "stage"),
+      NumericalError);
+  EXPECT_EQ(
+      guard_nonfinite_readonly(data, NonFinitePolicy::kSanitize, "stage"),
+      1U);
+  EXPECT_EQ(guard_nonfinite_readonly(data, NonFinitePolicy::kLog, "stage"),
+            1U);
+}
+
+TEST(NumericGuard, EmptySpanIsClean) {
+  std::vector<float> empty;
+  EXPECT_EQ(guard_nonfinite(empty, NonFinitePolicy::kThrow, "stage"), 0U);
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 #include <gtest/gtest.h>
 
@@ -190,6 +191,38 @@ TEST(ThreadPool, SerialPoolNeverSpawnsWorkers) {
 TEST(ThreadPool, ZeroResolvesToHardwareConcurrency) {
   ThreadPool pool(0);
   EXPECT_GE(pool.threads(), 1U);
+}
+
+/// Recovery contract of the pool.task.throw fault site: an injected task
+/// failure surfaces as an exception on the calling thread (the first one
+/// wins), every other chunk is still handed out, and the pool remains
+/// fully usable afterwards — at serial and parallel widths alike.
+TEST(ThreadPool, InjectedTaskFailurePropagatesAndPoolSurvives) {
+  auto& inj = fault::Injector::global();
+  for (const std::size_t width : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(width);
+    inj.configure("pool.task.throw:2:1");  // third task evaluation fails
+    try {
+      std::atomic<int> ran{0};
+      EXPECT_THROW(pool.parallel_for(0, 8, 1,
+                                     [&](std::size_t) { ran.fetch_add(1); }),
+                   Error);
+      EXPECT_EQ(inj.fires("pool.task.throw"), 1U);
+      // Serial inline execution stops at the failing task; the parallel
+      // pool drains every chunk and rethrows at the barrier — in both
+      // cases exactly the failing chunk's body was replaced.
+      EXPECT_EQ(ran.load(), width == 1 ? 2 : 7);
+    } catch (...) {
+      inj.clear();
+      throw;
+    }
+    inj.clear();
+
+    // The same pool keeps working once the fault is disarmed.
+    std::atomic<int> n{0};
+    pool.parallel_for(0, 16, 1, [&](std::size_t) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 16) << "width=" << width;
+  }
 }
 
 TEST(ThreadPoolGlobal, SetThreadsControlsWidth) {

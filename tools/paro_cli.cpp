@@ -43,7 +43,10 @@
 
 #include "attention/calibration_io.hpp"
 #include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/logging.hpp"
+#include "common/numeric_guard.hpp"
 #include "common/thread_pool.hpp"
 #include "energy/area_power.hpp"
 #include "metrics/video_metrics.hpp"
@@ -87,7 +90,49 @@ QuantAttentionConfig quant_config(const KeyValueConfig& cfg) {
     throw Error("unknown executor '" + executor +
                 "' (expected streamed|materialized)");
   }
+  q.nonfinite = parse_nonfinite_policy(cfg.get_string("nonfinite", "throw"));
   return q;
+}
+
+/// Calibration load policy for inference commands: quarantine-and-degrade
+/// by default (strict=1 opts back into fail-fast), validated against the
+/// geometry the model will actually run.
+CalibLoadOptions calib_load_options(const KeyValueConfig& cfg,
+                                    const SyntheticDiT::Config& dc,
+                                    const QuantAttentionConfig& quant) {
+  CalibLoadOptions opt;
+  opt.recovery = cfg.get_bool("strict", false) ? CalibRecovery::kStrict
+                                               : CalibRecovery::kQuarantine;
+  opt.expect.tokens = dc.frames * dc.height * dc.width;
+  opt.expect.block = quant.block;
+  return opt;
+}
+
+/// "calibration": {...} section of a JSON report — what the loader did,
+/// including how many heads run on the degraded fallback.
+void write_calib_report_json(obs::JsonWriter& w, const std::string& path,
+                             const CalibLoadReport& rep, bool per_head) {
+  w.key("calibration").begin_object();
+  w.kv("path", path);
+  w.kv("version", static_cast<std::int64_t>(rep.version));
+  w.kv("layers", rep.layers);
+  w.kv("heads_per_layer", rep.heads);
+  w.kv("heads_ok", rep.ok_count);
+  w.kv("heads_fallback", rep.fallback_count);
+  w.kv("ok", rep.all_ok());
+  if (per_head) {
+    w.key("head_status").begin_array();
+    for (const HeadLoadStatus& hs : rep.head_status) {
+      w.begin_object();
+      w.kv("layer", hs.layer);
+      w.kv("head", hs.head);
+      w.kv("ok", hs.ok);
+      if (!hs.ok) w.kv("error", hs.error);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
 }
 
 const char* executor_name(AttnExecutor e) {
@@ -249,6 +294,30 @@ int cmd_inspect(const KeyValueConfig& cfg) {
   return 0;
 }
 
+/// `paro_cli verify calib=<path>` — validate an artifact (checksums plus
+/// every domain check the loader enforces) and print per-head status JSON
+/// without running any inference.  Exit 0 iff every record is intact;
+/// exit 1 (with the report still printed) when any head would degrade.
+int cmd_verify(const KeyValueConfig& cfg) {
+  const std::string in =
+      cfg.get_string("calib", cfg.get_string("in", "calib.txt"));
+  CalibLoadOptions opt;
+  opt.recovery = CalibRecovery::kQuarantine;
+  // Optional geometry pins: with them, a calibration for a different
+  // model shape is reported as bad instead of merely internally valid.
+  opt.expect.tokens = static_cast<std::size_t>(cfg.get_int("tokens", 0));
+  opt.expect.block = static_cast<std::size_t>(cfg.get_int("block", 0));
+  CalibLoadReport rep;
+  (void)load_calibration_file(in, opt, &rep);
+  obs::JsonWriter w(std::cout, 2);
+  w.begin_object();
+  w.kv("command", "verify");
+  write_calib_report_json(w, in, rep, /*per_head=*/true);
+  w.end_object();
+  std::cout << '\n';
+  return rep.all_ok() ? 0 : 1;
+}
+
 int cmd_quality(const KeyValueConfig& cfg) {
   const bool json = cfg.get_bool("json", false);
   const SyntheticDiT dit(dit_config(cfg));
@@ -258,12 +327,19 @@ int cmd_quality(const KeyValueConfig& cfg) {
 
   SyntheticDiT::Calibration calib;
   bool loaded = false;
+  std::string calib_path;
+  CalibLoadReport calib_report;
   if (cfg.contains("in")) {
-    calib.heads = load_calibration_file(cfg.get_string("in", "calib.txt"));
+    calib_path = cfg.get_string("in", "calib.txt");
+    calib.heads = load_calibration_file(
+        calib_path, calib_load_options(cfg, dit.config(), quant),
+        &calib_report);
     loaded = true;
     if (!json) {
-      std::printf("loaded calibration from %s\n",
-                  cfg.get_string("in", "calib.txt").c_str());
+      std::printf("loaded calibration from %s (%zu heads ok, %zu on "
+                  "fallback)\n",
+                  calib_path.c_str(), calib_report.ok_count,
+                  calib_report.fallback_count);
     }
   } else {
     const MatF latent = ddim_sample(dit, {}, nullptr, 1, seed);
@@ -297,6 +373,10 @@ int cmd_quality(const KeyValueConfig& cfg) {
     w.kv("integer_path", cfg.get_bool("integer", false));
     w.kv("executor", executor_name(quant.executor));
     w.kv("calibration_loaded", loaded);
+    if (loaded) {
+      write_calib_report_json(w, calib_path, calib_report,
+                              /*per_head=*/false);
+    }
     if (exec.attn_stats != nullptr) {
       w.key("attention").begin_object();
       w.kv("stripes", attn_stats.stripes);
@@ -360,9 +440,20 @@ int cmd_simulate(const KeyValueConfig& cfg) {
   // with the exact tile counts of a saved calibration, aggregated over
   // every (layer, head) BitTable — the simulator then schedules the mix
   // the online executor would actually dispatch.
+  CalibLoadReport bits_report;
   if (cfg.contains("bits_from")) {
     const std::string bits_path = cfg.get_string("bits_from", "");
-    const auto calib_table = load_calibration_file(bits_path);
+    CalibLoadOptions opt;
+    opt.recovery = cfg.get_bool("strict", false) ? CalibRecovery::kStrict
+                                                 : CalibRecovery::kQuarantine;
+    const auto calib_table =
+        load_calibration_file(bits_path, opt, &bits_report);
+    if (!bits_report.all_ok()) {
+      PARO_LOG(kWarn) << "bits_from calibration " << bits_path << ": "
+                      << bits_report.fallback_count
+                      << " head(s) on the INT8 fallback — the simulated "
+                         "bit mix is degraded";
+    }
     std::array<std::uint64_t, kNumBitChoices> counts{};
     std::size_t with_tables = 0;
     for (const auto& layer : calib_table) {
@@ -399,6 +490,8 @@ int cmd_simulate(const KeyValueConfig& cfg) {
     w.kv("config", name);
     if (cfg.contains("bits_from")) {
       w.kv("bits_from", cfg.get_string("bits_from", ""));
+      write_calib_report_json(w, cfg.get_string("bits_from", ""),
+                              bits_report, /*per_head=*/false);
     }
     w.kv("avg_map_bits", pc.map_bits.average_bits());
     w.kv("sampling_steps", model.sampling_steps);
@@ -457,6 +550,9 @@ int usage() {
       "commands:\n"
       "  calibrate  out=calib.txt global=0 budget=4.8 block=8 oba=1\n"
       "  inspect    in=calib.txt\n"
+      "  verify     calib=calib.txt [tokens=N block=B]\n"
+      "             validate an artifact (checksums + domain checks) and\n"
+      "             print per-head status JSON; exit 0 iff fully intact\n"
       "  quality    [in=calib.txt] steps=10 integer=0 budget=4.8\n"
       "             executor=streamed|materialized (block-streaming fused\n"
       "             engine vs the N^2 oracle; outputs are bitwise-equal)\n"
@@ -466,6 +562,13 @@ int usage() {
       "execution (all commands):\n"
       "  threads=N         worker threads (0 = hardware concurrency,\n"
       "                    1 = serial; results are identical for any N)\n"
+      "robustness (see docs/robustness.md):\n"
+      "  strict=1          fail fast on a bad calibration record instead\n"
+      "                    of quarantining it onto the INT8 fallback\n"
+      "  nonfinite=throw|sanitize|log   NaN/Inf policy at attention\n"
+      "                    stage boundaries (default throw)\n"
+      "  fault=SPEC        arm fault injection (site[:skip[:count[:seed]]]\n"
+      "                    joined by ';'); PARO_FAULT env works too\n"
       "observability (calibrate/quality/simulate):\n"
       "  json=1            JSON report on stdout (logs stay on stderr)\n"
       "  trace_out=f.json  Chrome trace file for chrome://tracing/Perfetto\n");
@@ -487,12 +590,21 @@ int run(int argc, char** argv) {
   // so trace_out never needs a second run.
   obs::Profiler::global().set_enabled(true);
   try {
+    // Arm fault injection before any subcommand work so the spec also
+    // covers the load/calibrate path (PARO_FAULT in the environment is
+    // honoured by the injector on first use).
+    if (cfg.contains("fault")) {
+      fault::Injector::global().configure(cfg.get_string("fault", ""));
+    }
     if (command == "calibrate") return cmd_calibrate(cfg);
     if (command == "inspect") return cmd_inspect(cfg);
+    if (command == "verify") return cmd_verify(cfg);
     if (command == "quality") return cmd_quality(cfg);
     if (command == "simulate") return cmd_simulate(cfg);
-  } catch (const Error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+  } catch (const std::exception& e) {
+    // Everything — paro taxonomy or a bare std:: exception — exits with a
+    // structured one-line diagnostic, never a terminate() crash.
+    std::fprintf(stderr, "error [%s]: %s\n", error_kind_name(e), e.what());
     return 1;
   }
   return usage();
