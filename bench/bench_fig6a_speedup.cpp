@@ -14,6 +14,7 @@
 #include "baselines/vitcod.hpp"
 #include "bench_util.hpp"
 #include "common/config.hpp"
+#include "obs/json.hpp"
 #include "paro/accelerator.hpp"
 #include "quant/sparse_attention.hpp"
 
@@ -156,6 +157,29 @@ int run(int argc, char** argv) {
          << sanger_2b / r.seconds_2b << ',' << sanger_5b / r.seconds_5b
          << "\n";
     }
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+
+  // Machine-readable results (json=<path>), schema paro.bench_fig6a.v1.
+  if (cfg.contains("json")) {
+    const std::string path = cfg.get_string("json", "fig6a.json");
+    std::ofstream os(path);
+    obs::JsonWriter w(os, 2);
+    w.begin_object();
+    w.kv("schema", "paro.bench_fig6a.v1");
+    w.key("platforms").begin_array();
+    for (const PlatformResult& r : results) {
+      w.begin_object();
+      w.kv("platform", r.name);
+      w.kv("seconds_2b", r.seconds_2b);
+      w.kv("seconds_5b", r.seconds_5b);
+      w.kv("speedup_2b_vs_sanger", sanger_2b / r.seconds_2b);
+      w.kv("speedup_5b_vs_sanger", sanger_5b / r.seconds_5b);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << "\n";
     std::printf("\nwrote %s\n", path.c_str());
   }
   return 0;

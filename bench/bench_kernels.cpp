@@ -1,17 +1,45 @@
-// Micro-kernel benchmarks (google-benchmark) for the host-side reference
-// implementations: GEMM, softmax, quantizers, reorder, LDZ, allocation.
-// These time the SIMULATION substrate, not the modelled hardware — they
-// exist to keep the quality experiments fast and to catch regressions.
+// Micro-kernel benchmarks for the SIMD kernel layer (src/kernels/) plus the
+// host-side simulation substrate: GEMM, softmax, quantizers, reorder, LDZ,
+// allocation.  These time the SIMULATION substrate, not the modelled
+// hardware — they exist to keep the quality experiments fast and to catch
+// regressions.
+//
+// Two modes:
+//   * google-benchmark (default): the BM_* registrations below, driven by
+//     the usual --benchmark_* flags (CI's executor-agreement smoke uses
+//     --benchmark_filter=StreamedVsMaterializedExecutor).
+//   * --kernels_json=<path>: the per-kernel speedup harness.  Every kernel
+//     is timed under PARO's scalar reference backend and under each
+//     available vector ISA (forced via kernels::force_isa, same inputs),
+//     and the results — GB/s, GOP/s, speedup vs scalar, and the ISA the
+//     dispatcher would choose — are written as BENCH_kernels.json
+//     (schema "paro.bench_kernels.v1").
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
+#include "attention/fused_executor.hpp"
 #include "attention/pipeline.hpp"
-#include "common/error.hpp"
 #include "attention/reference.hpp"
 #include "attention/synthetic.hpp"
+#include "common/error.hpp"
 #include "common/fixedpoint.hpp"
+#include "common/thread_pool.hpp"
+#include "kernels/isa.hpp"
+#include "kernels/kernels.hpp"
 #include "mixedprec/allocator.hpp"
+#include "obs/json.hpp"
+#include "quant/bittable.hpp"
 #include "quant/blockwise.hpp"
 #include "quant/granularity.hpp"
 #include "reorder/calibrate.hpp"
@@ -20,6 +48,10 @@
 
 namespace paro {
 namespace {
+
+// ---------------------------------------------------------------------------
+// google-benchmark registrations (simulation substrate)
+// ---------------------------------------------------------------------------
 
 void BM_MatmulNt(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -33,6 +65,38 @@ void BM_MatmulNt(benchmark::State& state) {
                           static_cast<std::int64_t>(n) * 64);
 }
 BENCHMARK(BM_MatmulNt)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_MatmulNtI8(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const QuantizedI8 a = quantize_rows_i8(random_normal(n, 64, rng), 8);
+  const QuantizedI8 b = quantize_rows_i8(random_normal(n, 64, rng), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_nt_i8(a.codes, b.codes));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n) * 64);
+}
+BENCHMARK(BM_MatmulNtI8)->Arg(256)->Arg(1024);
+
+void BM_QkTileI8(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 64;
+  Rng rng(1);
+  const QuantizedI8 q = quantize_rows_i8(random_normal(n, d, rng), 8);
+  const QuantizedI8 k = quantize_rows_i8(random_normal(n, d, rng), 8);
+  std::vector<float> sq(n, 0.01F), sk(n, 0.01F), out(n * n);
+  for (auto _ : state) {
+    kernels::qk_tile_i8_scaled(q.codes.row(0).data(), d, n,
+                               k.codes.row(0).data(), d, n, d, sq.data(),
+                               sk.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(d));
+}
+BENCHMARK(BM_QkTileI8)->Arg(256)->Arg(1024);
 
 void BM_SoftmaxRows(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -179,5 +243,340 @@ void BM_StreamedVsMaterializedExecutor(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamedVsMaterializedExecutor);
 
+// ---------------------------------------------------------------------------
+// --kernels_json harness: scalar vs vector ISA speedups
+// ---------------------------------------------------------------------------
+
+/// One kernel case: `fn` runs a fixed amount of work (`ops` arithmetic
+/// operations over `bytes` of traffic) whose backend is whatever
+/// kernels::force_isa last selected.
+struct KernelCase {
+  std::string name;
+  std::string shape;
+  double ops;
+  double bytes;
+  std::function<void()> fn;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Best-of-3 timing, with the repetition count sized so one measured block
+/// lasts >= ~30 ms (single repetition for already-long cases).
+double measure_seconds(const std::function<void()>& fn) {
+  fn();  // warm caches and the dispatch pointer
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const double once = seconds_since(t0);
+  const int reps =
+      once >= 0.03 ? 1 : static_cast<int>(0.03 / std::max(once, 1e-7)) + 1;
+  double best = std::numeric_limits<double>::infinity();
+  for (int round = 0; round < 3; ++round) {
+    t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) fn();
+    best = std::min(best, seconds_since(t0) / reps);
+  }
+  return best;
+}
+
+/// End-to-end fused streaming attention at N=4096, d=64 with an OBA 4-bit
+/// uniform table — the packed-decode QK^T path, softmax, blockwise map
+/// quant, and AttnV, exactly as the executor runs them.
+KernelCase fused_attention_case() {
+  const std::size_t n = 4096, d = 64;
+  Rng rng(11);
+  auto q = std::make_shared<MatF>(random_normal(n, d, rng));
+  auto k = std::make_shared<MatF>(random_normal(n, d, rng));
+  auto v = std::make_shared<MatF>(random_normal(n, d, rng));
+  auto calib = std::make_shared<HeadCalibration>();
+  calib->plan = ReorderPlan::identity(n);
+  calib->bit_table = BitTable(BlockGrid(n, n, 64), 4);
+  calib->planned_avg_bits = 4.0;
+  QuantAttentionConfig cfg;
+  cfg.map_scheme = AttnMapScheme::kBlockwise;
+  cfg.map_bits = 8;
+  cfg.block = 64;
+  cfg.use_reorder = false;
+  cfg.output_bitwidth_aware = true;
+  cfg.executor = AttnExecutor::kStreamed;
+  KernelCase c;
+  c.name = "fused_attention";
+  c.shape = "n=4096 d=64 block=64 oba4";
+  c.ops = 2.0 * n * n * d * 2;  // QK^T + AttnV MAC+add
+  c.bytes = static_cast<double>(n) * n * sizeof(float);
+  c.fn = [q, k, v, calib, cfg] {
+    benchmark::DoNotOptimize(
+        fused_quantized_attention(*q, *k, *v, *calib, cfg));
+  };
+  return c;
+}
+
+std::vector<KernelCase> build_cases() {
+  std::vector<KernelCase> cases;
+  Rng rng(10);
+
+  {  // int8 GEMM through the cache-blocked tile kernel
+    const std::size_t m = 2048, n = 2048, kk = 64;
+    auto a = std::make_shared<QuantizedI8>(
+        quantize_rows_i8(random_normal(m, kk, rng), 8));
+    auto b = std::make_shared<QuantizedI8>(
+        quantize_rows_i8(random_normal(n, kk, rng), 8));
+    auto c32 = std::make_shared<std::vector<std::int32_t>>(m * n);
+    KernelCase c;
+    c.name = "matmul_nt_i8_block";
+    c.shape = "m=2048 n=2048 k=64";
+    c.ops = 2.0 * m * n * kk;
+    c.bytes = static_cast<double>(m * kk + n * kk + m * n * 4);
+    c.fn = [a, b, c32, m, n, kk] {
+      kernels::matmul_nt_i8_block(a->codes.row(0).data(), kk, m,
+                                  b->codes.row(0).data(), kk, n, kk,
+                                  c32->data(), n);
+      benchmark::DoNotOptimize(c32->data());
+    };
+    cases.push_back(std::move(c));
+  }
+  {  // scaled QK^T tile kernel (the fused executor's pass-1 workhorse)
+    const std::size_t n = 1024, d = 64;
+    auto q = std::make_shared<QuantizedI8>(
+        quantize_rows_i8(random_normal(n, d, rng), 8));
+    auto k = std::make_shared<QuantizedI8>(
+        quantize_rows_i8(random_normal(n, d, rng), 8));
+    auto sq = std::make_shared<std::vector<float>>(n, 0.01F);
+    auto out = std::make_shared<std::vector<float>>(n * n);
+    KernelCase c;
+    c.name = "qk_tile_i8_scaled";
+    c.shape = "q_rows=1024 k_rows=1024 d=64";
+    c.ops = 2.0 * n * n * d;
+    c.bytes = static_cast<double>(2 * n * d + n * n * 4);
+    c.fn = [q, k, sq, out, n, d] {
+      kernels::qk_tile_i8_scaled(q->codes.row(0).data(), d, n,
+                                 k->codes.row(0).data(), d, n, d, sq->data(),
+                                 sq->data(), out->data(), n);
+      benchmark::DoNotOptimize(out->data());
+    };
+    cases.push_back(std::move(c));
+  }
+  {  // FP fallback dot rows
+    const std::size_t n = 4096, d = 64;
+    auto a = std::make_shared<MatF>(random_normal(1, d, rng));
+    auto b = std::make_shared<MatF>(random_normal(n, d, rng));
+    auto out = std::make_shared<std::vector<float>>(n);
+    KernelCase c;
+    c.name = "nt_dot_f32_row";
+    c.shape = "rows=4096 d=64";
+    c.ops = 2.0 * n * d;
+    c.bytes = static_cast<double>((n * d + d + n) * 4);
+    c.fn = [a, b, out, n, d] {
+      kernels::nt_dot_f32_row(a->row(0).data(), b->row(0).data(), d, n, d,
+                              out->data());
+      benchmark::DoNotOptimize(out->data());
+    };
+    cases.push_back(std::move(c));
+  }
+  {  // AttnV accumulation
+    const std::size_t n = 4096, dv = 64;
+    auto w = std::make_shared<std::vector<float>>(n, 1.0F / 4096.0F);
+    auto v = std::make_shared<MatF>(random_normal(n, dv, rng));
+    auto out = std::make_shared<std::vector<float>>(dv, 0.0F);
+    KernelCase c;
+    c.name = "attnv_accum";
+    c.shape = "rows=4096 dv=64";
+    c.ops = 2.0 * n * dv;
+    c.bytes = static_cast<double>((n * dv + n + dv) * 4);
+    c.fn = [w, v, out, n, dv] {
+      std::fill(out->begin(), out->end(), 0.0F);
+      kernels::attnv_accum(w->data(), n, v->row(0).data(), dv, dv,
+                           out->data());
+      benchmark::DoNotOptimize(out->data());
+    };
+    cases.push_back(std::move(c));
+  }
+
+  const std::size_t big = std::size_t{1} << 20;
+  auto fdata = std::make_shared<std::vector<float>>(big);
+  {
+    Rng r2(12);
+    for (float& x : *fdata) x = static_cast<float>(r2.uniform(-4.0, 4.0));
+  }
+  auto fout = std::make_shared<std::vector<float>>(big);
+  kernels::QuantTransform t8;
+  t8.scale = 0.03125F;
+  t8.qlo = -127;
+  t8.qhi = 127;
+
+  auto elementwise = [&](std::string name, double ops_per, double bytes_per,
+                         std::function<void()> fn) {
+    KernelCase c;
+    c.name = std::move(name);
+    c.shape = "n=1Mi";
+    c.ops = ops_per * static_cast<double>(big);
+    c.bytes = bytes_per * static_cast<double>(big);
+    c.fn = std::move(fn);
+    cases.push_back(std::move(c));
+  };
+
+  elementwise("row_max_scaled", 2.0, 4.0, [fdata, big] {
+    benchmark::DoNotOptimize(
+        kernels::row_max_scaled(fdata->data(), big, 0.125F, 0.0F));
+  });
+  elementwise("minmax_f32", 2.0, 4.0, [fdata, big] {
+    float lo = 0.0F, hi = 0.0F;
+    kernels::minmax_f32(fdata->data(), big, &lo, &hi);
+    benchmark::DoNotOptimize(lo);
+  });
+  elementwise("absmax_f32", 2.0, 4.0, [fdata, big] {
+    benchmark::DoNotOptimize(kernels::absmax_f32(fdata->data(), big));
+  });
+  elementwise("fake_quant_f32", 4.0, 8.0, [fdata, fout, big, t8] {
+    kernels::fake_quant_f32(fdata->data(), fout->data(), big, t8);
+    benchmark::DoNotOptimize(fout->data());
+  });
+
+  auto i8out = std::make_shared<std::vector<std::int8_t>>(big);
+  elementwise("quantize_i8", 3.0, 5.0, [fdata, i8out, big, t8] {
+    kernels::quantize_i8(fdata->data(), i8out->data(), big, t8);
+    benchmark::DoNotOptimize(i8out->data());
+  });
+  elementwise("dequant_i8", 1.0, 5.0, [i8out, fout, big] {
+    kernels::dequant_i8(i8out->data(), fout->data(), big, 0.03125F);
+    benchmark::DoNotOptimize(fout->data());
+  });
+  {
+    auto acc = std::make_shared<std::vector<std::int32_t>>(big, 1234);
+    auto scales = std::make_shared<std::vector<float>>(big, 0.01F);
+    elementwise("dequant_i32_scaled", 2.0, 12.0,
+                [acc, scales, fout, big] {
+                  kernels::dequant_i32_scaled(acc->data(), big, 0.02F,
+                                              scales->data(), fout->data());
+                  benchmark::DoNotOptimize(fout->data());
+                });
+  }
+  {
+    auto dst = std::make_shared<std::vector<std::int8_t>>(big);
+    elementwise("ldz_truncate_i8", 4.0, 2.0, [i8out, dst, big] {
+      kernels::ldz_truncate_i8(i8out->data(), dst->data(), big, 4);
+      benchmark::DoNotOptimize(dst->data());
+    });
+    for (const int bits : {4, 2}) {
+      auto mag = std::make_shared<std::vector<std::uint8_t>>(
+          kernels::ldz_mag_bytes(big, bits), 0);
+      auto ss = std::make_shared<std::vector<std::uint8_t>>(
+          kernels::ldz_signshift_bytes(big), 0);
+      kernels::ldz_truncate_i8(i8out->data(), dst->data(), big, bits);
+      kernels::ldz_pack(dst->data(), big, bits, mag->data(), ss->data());
+      elementwise("ldz_unpack_" + std::to_string(bits) + "b", 4.0, 1.5,
+                  [mag, ss, dst, big, bits] {
+                    kernels::ldz_unpack(mag->data(), ss->data(), big, bits,
+                                        dst->data());
+                    benchmark::DoNotOptimize(dst->data());
+                  });
+    }
+  }
+
+  cases.push_back(fused_attention_case());
+  return cases;
+}
+
+int run_kernel_harness(const std::string& json_path) {
+  set_global_threads(1);  // isolate SIMD effect: same thread count per ISA
+  const std::vector<kernels::Isa> isas = kernels::available_isas();
+  const kernels::Isa chosen = isas.front();
+  std::printf("kernel speedup harness: chosen ISA %s, candidates:",
+              kernels::isa_name(chosen));
+  for (const auto isa : isas) std::printf(" %s", kernels::isa_name(isa));
+  std::printf("\n");
+
+  std::vector<KernelCase> cases = build_cases();
+  // seconds[case][isa index]
+  std::vector<std::vector<double>> seconds(cases.size(),
+                                           std::vector<double>(isas.size()));
+  for (std::size_t ii = 0; ii < isas.size(); ++ii) {
+    kernels::force_isa(isas[ii]);
+    for (std::size_t c = 0; c < cases.size(); ++c) {
+      seconds[c][ii] = measure_seconds(cases[c].fn);
+      std::printf("  %-20s %-8s %10.3f ms\n", cases[c].name.c_str(),
+                  kernels::isa_name(isas[ii]), seconds[c][ii] * 1e3);
+    }
+  }
+  kernels::reset_isa();
+
+  const std::size_t scalar_index = isas.size() - 1;  // scalar is always last
+  std::ofstream os(json_path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  obs::JsonWriter w(os, 2);
+  w.begin_object();
+  w.kv("schema", "paro.bench_kernels.v1");
+  w.kv("chosen_isa", kernels::isa_name(chosen));
+  w.key("available_isas").begin_array();
+  for (const auto isa : isas) w.value(kernels::isa_name(isa));
+  w.end_array();
+  w.kv("threads", std::uint64_t{1});
+  w.key("kernels").begin_array();
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    w.begin_object();
+    w.kv("name", cases[c].name);
+    w.kv("shape", cases[c].shape);
+    w.kv("scalar_seconds", seconds[c][scalar_index]);
+    w.key("isas").begin_array();
+    for (std::size_t ii = 0; ii < isas.size(); ++ii) {
+      const double s = seconds[c][ii];
+      w.begin_object();
+      w.kv("isa", kernels::isa_name(isas[ii]));
+      w.kv("seconds", s);
+      w.kv("gops", cases[c].ops / s * 1e-9);
+      w.kv("gbps", cases[c].bytes / s * 1e-9);
+      w.kv("speedup_vs_scalar", seconds[c][scalar_index] / s);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+  std::printf("wrote %s\n", json_path.c_str());
+
+  // Headline ratios (the ISSUE's acceptance targets) to stdout.
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    if (cases[c].name == "matmul_nt_i8_block" ||
+        cases[c].name == "fused_attention") {
+      std::printf("%s: %s %.2fx vs scalar\n", cases[c].name.c_str(),
+                  kernels::isa_name(chosen),
+                  seconds[c][scalar_index] / seconds[c][0]);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace paro
+
+int main(int argc, char** argv) {
+  std::string kernels_json;
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kFlag = "--kernels_json=";
+    if (arg.rfind(kFlag, 0) == 0) {
+      kernels_json = std::string(arg.substr(kFlag.size()));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!kernels_json.empty()) {
+    return paro::run_kernel_harness(kernels_json);
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,9 +10,10 @@
 
 #include "attention/reference.hpp"
 #include "common/fault.hpp"
-#include "common/fixedpoint.hpp"
 #include "common/numeric_guard.hpp"
 #include "common/thread_pool.hpp"
+#include "kernels/kernels.hpp"
+#include "kernels/pack.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/working_set.hpp"
@@ -32,6 +33,13 @@ std::size_t matrix_bytes(const Matrix<T>& m) {
 
 std::size_t quantized_bytes(const QuantizedI8& q) {
   return matrix_bytes(q.codes) + q.row_params.size() * sizeof(QuantParams);
+}
+
+std::vector<float> row_scales(const QuantizedI8& q) {
+  std::vector<float> s;
+  s.reserve(q.row_params.size());
+  for (const QuantParams& p : q.row_params) s.push_back(p.scale);
+  return s;
 }
 
 /// Per-stripe tallies; each stripe fills its own slot, the coordinator
@@ -69,6 +77,8 @@ QuantAttentionResult fused_quantized_attention(
   std::optional<QuantizedI8> q8;
   std::optional<QuantizedI8> k8;
   MatF v_quant;
+  std::vector<float> q_scales;
+  std::vector<float> k_scales;
   if (config.quantize_qkv) {
     q8 = quantize_rows_i8(qr, 8);
     k8 = quantize_rows_i8(kr, 8);
@@ -76,6 +86,8 @@ QuantAttentionResult fused_quantized_attention(
                                 /*symmetric=*/true);
     meter.acquire(quantized_bytes(*q8) + quantized_bytes(*k8) +
                   matrix_bytes(v_quant));
+    q_scales = row_scales(*q8);
+    k_scales = row_scales(*k8);
   }
   const MatF& v_used = config.quantize_qkv ? v_quant : vr;
 
@@ -99,6 +111,20 @@ QuantAttentionResult fused_quantized_attention(
   }
   const TileVisitor visitor =
       table != nullptr ? TileVisitor(*table) : TileVisitor(grid, 8);
+
+  // OBA: pack the LDZ-truncated K operands once per head (one plane per
+  // sub-8 bitwidth the table actually uses).  Stripes decode a tile's rows
+  // into scratch and run the ordinary int8 tile kernel — bit-exact vs the
+  // per-product (mantissa * q) << shift formulation.
+  kernels::PackedLdzK packed_k;
+  if (oba_active && n > 0) {
+    std::vector<int> plane_bits;
+    for (const int b : kBitChoices) {
+      if (b > 0 && b < 8 && table->tiles_at(b) > 0) plane_bits.push_back(b);
+    }
+    packed_k.build(k8->codes.row(0).data(), n, d, plane_bits);
+    meter.acquire(packed_k.packed_bytes());
+  }
 
   MatF out_r(n, dv, 0.0F);
   meter.acquire(matrix_bytes(out_r));
@@ -127,12 +153,15 @@ QuantAttentionResult fused_quantized_attention(
       std::vector<std::uint8_t> map_zero(bcols, 0);
       std::vector<float> tile_scratch;
       tile_scratch.reserve(rows_here * tile_side);
+      // Decoded K rows for one sub-8-bit OBA tile (value domain int8).
+      std::vector<std::int8_t> ktile;
+      if (!packed_k.empty()) ktile.resize(tile_side * d);
 
       StripeStats& st = stats[br];
       st.local_bytes = buf.size() * sizeof(float) +
                        rowmax.size() * sizeof(float) +
                        rowinv.size() * sizeof(float) + 2 * bcols +
-                       rows_here * tile_side * sizeof(float);
+                       rows_here * tile_side * sizeof(float) + ktile.size();
 
       // --- pass 1: per-tile QKᵀ logits + running row maxima ------------
       visitor.for_each_tile_in_row(br, [&](const TileRef& t) {
@@ -157,68 +186,33 @@ QuantAttentionResult fused_quantized_attention(
 
         const auto e = t.extent;
         if (config.quantize_qkv) {
-          if (oba_active) {
+          const std::int8_t* ktp = k8->codes.row(e.c0).data();
+          if (oba_active && t.bits < 8) {
             // LDZ keeps `bits` significant magnitude bits of every K
             // operand — applied to every live tile, like the PE array.
-            for (std::size_t i = e.r0; i < e.r1; ++i) {
-              const auto qrow = q8->codes.row(i);
-              const float sq = q8->row_params[i].scale;
-              float* brow = buf.data() + (i - r0) * n;
-              for (std::size_t j = e.c0; j < e.c1; ++j) {
-                const auto krow = k8->codes.row(j);
-                std::int64_t acc = 0;
-                for (std::size_t c = 0; c < d; ++c) {
-                  const LdzCode code = ldz_truncate(krow[c], t.bits);
-                  acc += ldz_restore(
-                      static_cast<std::int64_t>(code.mantissa) * qrow[c],
-                      code.shift);
-                }
-                brow[j] =
-                    static_cast<float>(acc) * sq * k8->row_params[j].scale;
-              }
-            }
-          } else {
-            for (std::size_t i = e.r0; i < e.r1; ++i) {
-              const auto qrow = q8->codes.row(i);
-              const float sq = q8->row_params[i].scale;
-              float* brow = buf.data() + (i - r0) * n;
-              for (std::size_t j = e.c0; j < e.c1; ++j) {
-                const auto krow = k8->codes.row(j);
-                std::int32_t acc = 0;
-                for (std::size_t c = 0; c < d; ++c) {
-                  acc += static_cast<std::int32_t>(qrow[c]) *
-                         static_cast<std::int32_t>(krow[c]);
-                }
-                brow[j] =
-                    static_cast<float>(acc) * sq * k8->row_params[j].scale;
-              }
-            }
+            // Decode this tile's rows from the packed plane; the int8 dot
+            // over decoded values equals the per-product LDZ sum exactly.
+            packed_k.decode_rows(t.bits, e.c0, e.c1, ktile.data());
+            ktp = ktile.data();
           }
+          kernels::qk_tile_i8_scaled(
+              q8->codes.row(e.r0).data(), d, e.r1 - e.r0, ktp, d, e.c1 - e.c0,
+              d, q_scales.data() + e.r0, k_scales.data() + e.c0,
+              buf.data() + (e.r0 - r0) * n + e.c0, n);
         } else {
-          // FP path: double dot products, like matmul_nt.
+          // FP path: 4-lane double dot products, like matmul_nt.
           for (std::size_t i = e.r0; i < e.r1; ++i) {
-            const auto qrow = qr.row(i);
-            float* brow = buf.data() + (i - r0) * n;
-            for (std::size_t j = e.c0; j < e.c1; ++j) {
-              const auto krow = kr.row(j);
-              double acc = 0.0;
-              for (std::size_t c = 0; c < d; ++c) {
-                acc += static_cast<double>(qrow[c]) *
-                       static_cast<double>(krow[c]);
-              }
-              brow[j] = static_cast<float>(acc);
-            }
+            kernels::nt_dot_f32_row(qr.row(i).data(), kr.row(e.c0).data(), d,
+                                    e.c1 - e.c0, d,
+                                    buf.data() + (i - r0) * n + e.c0);
           }
         }
         // float max is order-insensitive, so tile-by-tile updates land on
         // the same value as the materialized whole-row scan.
         for (std::size_t i = e.r0; i < e.r1; ++i) {
           const float* brow = buf.data() + (i - r0) * n;
-          float m = rowmax[i - r0];
-          for (std::size_t j = e.c0; j < e.c1; ++j) {
-            m = std::max(m, brow[j] * scale);
-          }
-          rowmax[i - r0] = m;
+          rowmax[i - r0] = kernels::row_max_scaled(brow + e.c0, e.c1 - e.c0,
+                                                   scale, rowmax[i - r0]);
         }
       });
 
@@ -249,18 +243,16 @@ QuantAttentionResult fused_quantized_attention(
         for (std::size_t bc = 0; bc < bcols; ++bc) {
           if (qk_skip[bc]) continue;  // buf stays 0, matching dst[j] = 0
           const auto e = grid.extent(br, bc);
-          for (std::size_t j = e.c0; j < e.c1; ++j) {
-            const double ev =
-                std::exp(static_cast<double>(brow[j] * scale - rowmax[i]));
-            brow[j] = static_cast<float>(ev);
-            sum += ev;
-          }
+          // Segments chain the same serial double sum as the whole-row
+          // materialized loop (exp_sum_segment extends `sum` in place).
+          sum = kernels::exp_sum_segment(brow + e.c0, e.c1 - e.c0, scale,
+                                         rowmax[i], sum);
         }
         const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0F;
         rowinv[i] = inv;
         // Full-row sweep including bypassed zeros (0·inv = 0) — exactly
         // the materialized `v *= inv` loop.
-        for (std::size_t j = 0; j < n; ++j) brow[j] *= inv;
+        kernels::scale_inplace(brow, n, inv);
       }
 
       // Map-boundary guard: post-softmax values are probabilities, so a
@@ -322,17 +314,12 @@ QuantAttentionResult fused_quantized_attention(
         if (map_zero[bc]) continue;                     // zeroed tile
         if (qk_skip[bc] && !stripe_has_dead) continue;  // all-zero tile
         const auto e = grid.extent(br, bc);
+        // attnv_accum skips zero weights — matmul's zero-skip, bit-for-bit.
         for (std::size_t i = e.r0; i < e.r1; ++i) {
           const float* arow = buf.data() + (i - r0) * n;
-          auto orow = out_r.row(i);
-          for (std::size_t j = e.c0; j < e.c1; ++j) {
-            const float a = arow[j];
-            if (a == 0.0F) continue;  // matmul's zero-skip, bit-for-bit
-            const auto vrow = v_used.row(j);
-            for (std::size_t c = 0; c < dv; ++c) {
-              orow[c] += a * vrow[c];
-            }
-          }
+          kernels::attnv_accum(arow + e.c0, e.c1 - e.c0,
+                               v_used.row(e.c0).data(), v_used.cols(), dv,
+                               out_r.row(i).data());
         }
       }
     }
@@ -379,6 +366,7 @@ QuantAttentionResult fused_quantized_attention(
   reg.counter("attn.tiles_skipped").add(static_cast<double>(exec.tiles_skipped));
   reg.counter("attn.tiles_live").add(static_cast<double>(exec.tiles_live));
   obs::publish_peak_working_set("streamed", exec.peak_bytes);
+  kernels::publish_kernel_metrics();
   return result;
 }
 

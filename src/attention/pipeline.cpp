@@ -6,9 +6,10 @@
 #include "attention/fused_executor.hpp"
 #include "attention/reference.hpp"
 #include "common/fault.hpp"
-#include "common/fixedpoint.hpp"
 #include "common/numeric_guard.hpp"
 #include "common/thread_pool.hpp"
+#include "kernels/kernels.hpp"
+#include "kernels/pack.hpp"
 #include "mixedprec/allocator.hpp"
 #include "mixedprec/sensitivity.hpp"
 #include "obs/metrics.hpp"
@@ -23,6 +24,14 @@ namespace paro {
 
 namespace {
 
+/// Contiguous per-row scale vector (kernel epilogue operand).
+std::vector<float> row_scales(const QuantizedI8& q) {
+  std::vector<float> s;
+  s.reserve(q.row_params.size());
+  for (const QuantParams& p : q.row_params) s.push_back(p.scale);
+  return s;
+}
+
 /// Reconstruct FP logits from INT8 Q/K with optional per-block LDZ
 /// truncation of the K operand (paper Fig. 5b).  Blocks whose destination
 /// bitwidth is 0 are skipped: their logits are set to -inf so softmax
@@ -33,36 +42,45 @@ MatF logits_from_int8(const QuantizedI8& q8, const QuantizedI8& k8,
   const std::size_t n_k = k8.codes.rows();
   const std::size_t d = q8.codes.cols();
   MatF logits(n_q, n_k);
+  if (n_q == 0 || n_k == 0) return logits;
+  const std::vector<float> q_scales = row_scales(q8);
+  const std::vector<float> k_scales = row_scales(k8);
+  const std::int8_t* kbase = k8.codes.row(0).data();
 
   if (!output_bitwidth_aware || table == nullptr) {
-    // Rows of the logit matrix are independent; integer dot products are
-    // exact, so parallel rows are bitwise-identical to serial ones.
-    global_pool().parallel_for(0, n_q, 8, [&](std::size_t i) {
-      const auto qrow = q8.codes.row(i);
-      const float sq = q8.row_params[i].scale;
-      for (std::size_t j = 0; j < n_k; ++j) {
-        const auto krow = k8.codes.row(j);
-        std::int32_t acc = 0;
-        for (std::size_t c = 0; c < d; ++c) {
-          acc += static_cast<std::int32_t>(qrow[c]) *
-                 static_cast<std::int32_t>(krow[c]);
-        }
-        logits(i, j) =
-            static_cast<float>(acc) * sq * k8.row_params[j].scale;
-      }
+    // Bands of the logit matrix are independent; integer dot products are
+    // exact, so parallel bands are bitwise-identical to serial ones.
+    global_pool().for_chunks(0, n_q, 8, [&](std::size_t i0, std::size_t i1,
+                                            std::size_t /*chunk*/) {
+      kernels::qk_tile_i8_scaled(q8.codes.row(i0).data(), d, i1 - i0, kbase,
+                                 d, n_k, d, q_scales.data() + i0,
+                                 k_scales.data(), logits.row(i0).data(), n_k);
     });
     return logits;
   }
 
   // Output-bitwidth-aware path: per destination block, the LDZ unit keeps
-  // only `bits` significant magnitude bits of every K operand.
+  // only `bits` significant magnitude bits of every K operand.  The K codes
+  // are packed once per used sub-8 bitwidth; tiles decode their rows and
+  // run the same int8 tile kernel as the streamed executor — the identity
+  // (mantissa * q) << shift == (mantissa << shift) * q makes the decoded
+  // dot bit-exact vs the per-product PE + shifter formulation.
   PARO_CHECK_MSG(table->grid().rows() == n_q && table->grid().cols() == n_k,
                  "bit table does not match QKᵀ shape");
+  kernels::PackedLdzK packed_k;
+  {
+    std::vector<int> plane_bits;
+    for (const int b : kBitChoices) {
+      if (b > 0 && b < 8 && table->tiles_at(b) > 0) plane_bits.push_back(b);
+    }
+    packed_k.build(kbase, n_k, d, plane_bits);
+  }
   const TileVisitor visitor(*table);
-  // Destination tiles are disjoint regions of `logits`; fan out over the
-  // flattened tile index.
-  visitor.parallel_for_each_tile(
-      [&](const TileRef& t) {
+  // Destination tiles are disjoint regions of `logits`; fan out on the
+  // flattened tile index with one decoded-K scratch per chunk.
+  visitor.parallel_for_each_tile_with(
+      [] { return std::vector<std::int8_t>(); },
+      [&](const TileRef& t, std::vector<std::int8_t>& ktile) {
         const auto e = t.extent;
         if (t.bits == 0) {
           for (std::size_t i = e.r0; i < e.r1; ++i) {
@@ -73,25 +91,16 @@ MatF logits_from_int8(const QuantizedI8& q8, const QuantizedI8& k8,
           }
           return;
         }
-        for (std::size_t i = e.r0; i < e.r1; ++i) {
-          const auto qrow = q8.codes.row(i);
-          const float sq = q8.row_params[i].scale;
-          auto lrow = logits.row(i);
-          for (std::size_t j = e.c0; j < e.c1; ++j) {
-            const auto krow = k8.codes.row(j);
-            std::int64_t acc = 0;
-            for (std::size_t c = 0; c < d; ++c) {
-              // mantissa·q, restored by the MSVB shift — what the PE +
-              // shifter pair computes.
-              const LdzCode code = ldz_truncate(krow[c], t.bits);
-              acc += ldz_restore(static_cast<std::int64_t>(code.mantissa) *
-                                     qrow[c],
-                                 code.shift);
-            }
-            lrow[j] =
-                static_cast<float>(acc) * sq * k8.row_params[j].scale;
-          }
+        const std::int8_t* ktp = kbase + e.c0 * d;
+        if (t.bits < 8) {
+          ktile.resize((e.c1 - e.c0) * d);
+          packed_k.decode_rows(t.bits, e.c0, e.c1, ktile.data());
+          ktp = ktile.data();
         }
+        kernels::qk_tile_i8_scaled(
+            q8.codes.row(e.r0).data(), d, e.r1 - e.r0, ktp, d, e.c1 - e.c0, d,
+            q_scales.data() + e.r0, k_scales.data() + e.c0,
+            logits.row(e.r0).data() + e.c0, n_k);
       },
       /*grain=*/4);
   return logits;
@@ -107,29 +116,22 @@ MatF softmax_rows_skipaware(const MatF& logits, float scale) {
   global_pool().parallel_for(0, logits.rows(), 8, [&](std::size_t i) {
     const auto in = logits.row(i);
     auto dst = out.row(i);
-    float maxv = -std::numeric_limits<float>::infinity();
-    for (const float v : in) {
-      if (v != -std::numeric_limits<float>::infinity()) {
-        maxv = std::max(maxv, v * scale);
-      }
-    }
+    const float maxv = kernels::row_max_scaled_skipinf(
+        in.data(), in.size(), scale,
+        -std::numeric_limits<float>::infinity());
     if (maxv == -std::numeric_limits<float>::infinity()) {
       const float u = 1.0F / static_cast<float>(in.size());
       for (float& v : dst) v = u;
       return;
     }
-    double sum = 0.0;
-    for (std::size_t j = 0; j < in.size(); ++j) {
-      if (in[j] == -std::numeric_limits<float>::infinity()) {
-        dst[j] = 0.0F;
-        continue;
-      }
-      const double e = std::exp(static_cast<double>(in[j] * scale - maxv));
-      dst[j] = static_cast<float>(e);
-      sum += e;
-    }
+    // -inf entries pass straight through exp_sum_segment: exp(-inf) is an
+    // exact +0.0 (the old explicit dst[j] = 0), and sum += 0.0 leaves the
+    // serial double chain bit-identical.
+    std::copy(in.begin(), in.end(), dst.begin());
+    const double sum =
+        kernels::exp_sum_segment(dst.data(), dst.size(), scale, maxv, 0.0);
     const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0F;
-    for (float& v : dst) v *= inv;
+    kernels::scale_inplace(dst.data(), dst.size(), inv);
   });
   return out;
 }

@@ -1,0 +1,543 @@
+// AVX2 backend.  This translation unit builds with -mavx2 and must only be
+// reached through the dispatcher after __builtin_cpu_supports("avx2").
+//
+// Bitwise-exactness notes:
+//  * Integer kernels: int32 addition is associative, so any
+//    vector-width/summation-tree change is exact vs scalar.
+//  * Float kernels use ONLY mul/add/max/min/div/round intrinsics in the same
+//    per-element op sequence as the scalar backend (no FMA — see the root
+//    CMakeLists -ffp-contract=off note), and dot products reproduce the
+//    scalar 4-double-lane k%4 striping exactly.
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "kernels/backend.hpp"
+
+namespace paro::kernels::detail {
+namespace {
+
+// ---------------------------------------------------------------- int8 dots
+
+inline __m256i madd16(__m256i acc, __m128i a, __m128i b) {
+  // int8 -> int16 widen, then 16x int16 pairwise multiply-add into int32.
+  // |a*b| <= 16384, a pair sums to <= 32768 in int32 lanes: exact.
+  return _mm256_add_epi32(
+      acc, _mm256_madd_epi16(_mm256_cvtepi8_epi16(a), _mm256_cvtepi8_epi16(b)));
+}
+
+inline std::int32_t hsum_epi32(__m256i v) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+// Reduces four int32 accumulators to {sum0, sum1, sum2, sum3} in one vector
+// — a transpose-reduce via hadd, ~2x cheaper than four independent hsums.
+inline __m128i hsum4_epi32(__m256i a0, __m256i a1, __m256i a2, __m256i a3) {
+  const __m128i s0 = _mm_add_epi32(_mm256_castsi256_si128(a0),
+                                   _mm256_extracti128_si256(a0, 1));
+  const __m128i s1 = _mm_add_epi32(_mm256_castsi256_si128(a1),
+                                   _mm256_extracti128_si256(a1, 1));
+  const __m128i s2 = _mm_add_epi32(_mm256_castsi256_si128(a2),
+                                   _mm256_extracti128_si256(a2, 1));
+  const __m128i s3 = _mm_add_epi32(_mm256_castsi256_si128(a3),
+                                   _mm256_extracti128_si256(a3, 1));
+  return _mm_hadd_epi32(_mm_hadd_epi32(s0, s1), _mm_hadd_epi32(s2, s3));
+}
+
+// Four dot products sharing one A row (B-panel reuse amortizes the A loads);
+// returns {dot0, dot1, dot2, dot3}.  32-byte main steps halve loop overhead
+// on the d = 64 attention head dims.
+inline __m128i dot_i8_x4(const std::int8_t* a, const std::int8_t* b0,
+                         const std::int8_t* b1, const std::int8_t* b2,
+                         const std::int8_t* b3, std::size_t k) {
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  __m256i acc2 = _mm256_setzero_si256();
+  __m256i acc3 = _mm256_setzero_si256();
+  const auto load = [](const std::int8_t* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  };
+  std::size_t c = 0;
+  for (; c + 32 <= k; c += 32) {
+    const __m128i a_lo = load(a + c);
+    const __m128i a_hi = load(a + c + 16);
+    acc0 = madd16(madd16(acc0, a_lo, load(b0 + c)), a_hi, load(b0 + c + 16));
+    acc1 = madd16(madd16(acc1, a_lo, load(b1 + c)), a_hi, load(b1 + c + 16));
+    acc2 = madd16(madd16(acc2, a_lo, load(b2 + c)), a_hi, load(b2 + c + 16));
+    acc3 = madd16(madd16(acc3, a_lo, load(b3 + c)), a_hi, load(b3 + c + 16));
+  }
+  for (; c + 16 <= k; c += 16) {
+    const __m128i av = load(a + c);
+    acc0 = madd16(acc0, av, load(b0 + c));
+    acc1 = madd16(acc1, av, load(b1 + c));
+    acc2 = madd16(acc2, av, load(b2 + c));
+    acc3 = madd16(acc3, av, load(b3 + c));
+  }
+  __m128i sums = hsum4_epi32(acc0, acc1, acc2, acc3);
+  if (c < k) {  // alignment-safe tail, still exact int32
+    alignas(16) std::int32_t t[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(t), sums);
+    for (; c < k; ++c) {
+      const std::int32_t av = a[c];
+      t[0] += av * b0[c];
+      t[1] += av * b1[c];
+      t[2] += av * b2[c];
+      t[3] += av * b3[c];
+    }
+    sums = _mm_load_si128(reinterpret_cast<const __m128i*>(t));
+  }
+  return sums;
+}
+
+inline std::int32_t dot_i8_x1(const std::int8_t* a, const std::int8_t* b,
+                              std::size_t k) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t c = 0;
+  for (; c + 16 <= k; c += 16) {
+    acc = madd16(acc, _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + c)),
+                 _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + c)));
+  }
+  std::int32_t s = hsum_epi32(acc);
+  for (; c < k; ++c) s += static_cast<std::int32_t>(a[c]) * b[c];
+  return s;
+}
+
+void qk_tile_i8_scaled_avx2(const std::int8_t* q, std::size_t q_stride,
+                            std::size_t q_rows, const std::int8_t* k,
+                            std::size_t k_stride, std::size_t k_rows,
+                            std::size_t d, const float* q_scales,
+                            const float* k_scales, float* out,
+                            std::size_t out_stride) {
+  for (std::size_t i = 0; i < q_rows; ++i) {
+    const std::int8_t* qi = q + i * q_stride;
+    const float sq = q_scales[i];
+    float* orow = out + i * out_stride;
+    const __m128 sqv = _mm_set1_ps(sq);
+    std::size_t j = 0;
+    for (; j + 4 <= k_rows; j += 4) {
+      const std::int8_t* kj = k + j * k_stride;
+      const __m128i acc = dot_i8_x4(qi, kj, kj + k_stride, kj + 2 * k_stride,
+                                    kj + 3 * k_stride, d);
+      // Per lane: (float(acc) * sq) * k_scale — the exact scalar epilogue
+      // (cvtepi32_ps rounds identically to static_cast<float>).
+      _mm_storeu_ps(orow + j,
+                    _mm_mul_ps(_mm_mul_ps(_mm_cvtepi32_ps(acc), sqv),
+                               _mm_loadu_ps(k_scales + j)));
+    }
+    for (; j < k_rows; ++j) {
+      const std::int32_t acc = dot_i8_x1(qi, k + j * k_stride, d);
+      orow[j] = (static_cast<float>(acc) * sq) * k_scales[j];
+    }
+  }
+}
+
+void matmul_nt_i8_block_avx2(const std::int8_t* a, std::size_t a_stride,
+                             std::size_t m, const std::int8_t* b,
+                             std::size_t b_stride, std::size_t n,
+                             std::size_t k, std::int32_t* c,
+                             std::size_t c_stride) {
+  // Block over B rows so the active panel (kJBlock * k bytes) stays in L1/L2
+  // while every A row streams over it once.
+  constexpr std::size_t kJBlock = 256;
+  for (std::size_t jb = 0; jb < n; jb += kJBlock) {
+    const std::size_t jend = std::min(jb + kJBlock, n);
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::int8_t* ai = a + i * a_stride;
+      std::int32_t* ci = c + i * c_stride;
+      std::size_t j = jb;
+      for (; j + 4 <= jend; j += 4) {
+        const std::int8_t* bj = b + j * b_stride;
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i*>(ci + j),
+            dot_i8_x4(ai, bj, bj + b_stride, bj + 2 * b_stride,
+                      bj + 3 * b_stride, k));
+      }
+      for (; j < jend; ++j) {
+        ci[j] = dot_i8_x1(ai, b + j * b_stride, k);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- float kernels
+
+void nt_dot_f32_row_avx2(const float* a, const float* b, std::size_t b_stride,
+                         std::size_t n_rows, std::size_t d, float* out) {
+  for (std::size_t j = 0; j < n_rows; ++j) {
+    const float* bj = b + j * b_stride;
+    // Lane l accumulates elements with k % 4 == l — identical striping to
+    // the scalar reference (cvtps_pd preserves element order).
+    __m256d acc = _mm256_setzero_pd();
+    std::size_t c = 0;
+    for (; c + 4 <= d; c += 4) {
+      const __m256d av = _mm256_cvtps_pd(_mm_loadu_ps(a + c));
+      const __m256d bv = _mm256_cvtps_pd(_mm_loadu_ps(bj + c));
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(av, bv));
+    }
+    double lane[4];
+    _mm256_storeu_pd(lane, acc);
+    for (; c < d; ++c) {
+      lane[c % 4] += static_cast<double>(a[c]) * static_cast<double>(bj[c]);
+    }
+    out[j] = static_cast<float>((lane[0] + lane[1]) + (lane[2] + lane[3]));
+  }
+}
+
+void attnv_accum_avx2(const float* w, std::size_t rows, const float* v,
+                      std::size_t v_stride, std::size_t dv, float* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float wr = w[r];
+    if (wr == 0.0F) continue;
+    const float* vrow = v + r * v_stride;
+    const __m256 vw = _mm256_set1_ps(wr);
+    std::size_t c = 0;
+    for (; c + 8 <= dv; c += 8) {
+      const __m256 prod = _mm256_mul_ps(vw, _mm256_loadu_ps(vrow + c));
+      _mm256_storeu_ps(out + c, _mm256_add_ps(_mm256_loadu_ps(out + c), prod));
+    }
+    for (; c < dv; ++c) out[c] += wr * vrow[c];
+  }
+}
+
+inline float hmax_ps(__m256 v) {
+  __m128 s = _mm_max_ps(_mm256_castps256_ps128(v),
+                        _mm256_extractf128_ps(v, 1));
+  s = _mm_max_ps(s, _mm_shuffle_ps(s, s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_max_ps(s, _mm_shuffle_ps(s, s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtss_f32(s);
+}
+
+inline float hmin_ps(__m256 v) {
+  __m128 s = _mm_min_ps(_mm256_castps256_ps128(v),
+                        _mm256_extractf128_ps(v, 1));
+  s = _mm_min_ps(s, _mm_shuffle_ps(s, s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_min_ps(s, _mm_shuffle_ps(s, s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtss_f32(s);
+}
+
+float row_max_scaled_avx2(const float* x, std::size_t n, float scale,
+                          float init) {
+  float m = init;
+  const __m256 vs = _mm256_set1_ps(scale);
+  __m256 vm = _mm256_set1_ps(init);
+  std::size_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    vm = _mm256_max_ps(vm, _mm256_mul_ps(_mm256_loadu_ps(x + c), vs));
+  }
+  if (c != 0) m = std::max(m, hmax_ps(vm));
+  for (; c < n; ++c) m = std::max(m, x[c] * scale);
+  return m;
+}
+
+float row_max_scaled_skipinf_avx2(const float* x, std::size_t n, float scale,
+                                  float init) {
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  float m = init;
+  const __m256 vs = _mm256_set1_ps(scale);
+  const __m256 vneginf = _mm256_set1_ps(kNegInf);
+  __m256 vm = _mm256_set1_ps(init);
+  std::size_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    const __m256 xv = _mm256_loadu_ps(x + c);
+    // Entries equal to -inf contribute -inf to the max (a no-op) instead of
+    // their scaled value; NEQ_UQ keeps NaNs on the scaled path like scalar.
+    const __m256 keep = _mm256_cmp_ps(xv, vneginf, _CMP_NEQ_UQ);
+    const __m256 cand =
+        _mm256_blendv_ps(vneginf, _mm256_mul_ps(xv, vs), keep);
+    vm = _mm256_max_ps(vm, cand);
+  }
+  if (c != 0) m = std::max(m, hmax_ps(vm));
+  for (; c < n; ++c) {
+    if (x[c] != kNegInf) m = std::max(m, x[c] * scale);
+  }
+  return m;
+}
+
+void scale_inplace_avx2(float* x, std::size_t n, float s) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::size_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    _mm256_storeu_ps(x + c, _mm256_mul_ps(_mm256_loadu_ps(x + c), vs));
+  }
+  for (; c < n; ++c) x[c] *= s;
+}
+
+void minmax_f32_avx2(const float* x, std::size_t n, float* lo, float* hi) {
+  float l = x[0];
+  float h = x[0];
+  __m256 vlo = _mm256_set1_ps(x[0]);
+  __m256 vhi = vlo;
+  std::size_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    const __m256 xv = _mm256_loadu_ps(x + c);
+    vlo = _mm256_min_ps(vlo, xv);
+    vhi = _mm256_max_ps(vhi, xv);
+  }
+  if (c != 0) {
+    l = std::min(l, hmin_ps(vlo));
+    h = std::max(h, hmax_ps(vhi));
+  }
+  for (; c < n; ++c) {
+    l = std::min(l, x[c]);
+    h = std::max(h, x[c]);
+  }
+  *lo = l;
+  *hi = h;
+}
+
+float absmax_f32_avx2(const float* x, std::size_t n) {
+  const __m256 absmask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+  __m256 vm = _mm256_setzero_ps();
+  std::size_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    vm = _mm256_max_ps(vm, _mm256_and_ps(_mm256_loadu_ps(x + c), absmask));
+  }
+  float m = c != 0 ? std::max(0.0F, hmax_ps(vm)) : 0.0F;
+  for (; c < n; ++c) m = std::max(m, std::fabs(x[c]));
+  return m;
+}
+
+// Exact std::lround emulation on 4 doubles: round-to-nearest-even, then where
+// the fraction is exactly .5 redo as q + copysign(0.5, q) (exact addition on
+// a representable half-integer -> rounds half AWAY from zero like lround).
+inline __m256d lround_pd(__m256d q) {
+  const __m256d signbit = _mm256_set1_pd(-0.0);
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d r0 =
+      _mm256_round_pd(q, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  const __m256d frac =
+      _mm256_andnot_pd(signbit, _mm256_sub_pd(q, r0));  // |q - r0|
+  const __m256d tie = _mm256_cmp_pd(frac, half, _CMP_EQ_OQ);
+  const __m256d away =
+      _mm256_add_pd(q, _mm256_or_pd(_mm256_and_pd(signbit, q), half));
+  return _mm256_blendv_pd(r0, away, tie);
+}
+
+void fake_quant_f32_avx2(const float* in, float* out, std::size_t n,
+                         const QuantTransform& t) {
+  const __m256d vscale = _mm256_set1_pd(static_cast<double>(t.scale));
+  const __m256d vzp = _mm256_set1_pd(static_cast<double>(t.zero_point));
+  const __m256d vqlo = _mm256_set1_pd(static_cast<double>(t.qlo));
+  const __m256d vqhi = _mm256_set1_pd(static_cast<double>(t.qhi));
+  const __m128 vfscale = _mm_set1_ps(t.scale);
+  std::size_t c = 0;
+  for (; c + 4 <= n; c += 4) {
+    const __m256d x = _mm256_cvtps_pd(_mm_loadu_ps(in + c));
+    const __m256d r = lround_pd(_mm256_div_pd(x, vscale));
+    __m256d qi = _mm256_add_pd(r, vzp);
+    qi = _mm256_min_pd(_mm256_max_pd(qi, vqlo), vqhi);
+    // (qi - zp) is an exactly-representable small integer in double; the
+    // pd->ps convert rounds it to float exactly like the scalar int->float
+    // cast does.
+    const __m128 dq = _mm256_cvtpd_ps(_mm256_sub_pd(qi, vzp));
+    _mm_storeu_ps(out + c, _mm_mul_ps(vfscale, dq));
+  }
+  for (; c < n; ++c) out[c] = fake_quant_value(in[c], t);
+}
+
+void quantize_i8_avx2(const float* in, std::int8_t* out, std::size_t n,
+                      const QuantTransform& t) {
+  const __m256d vscale = _mm256_set1_pd(static_cast<double>(t.scale));
+  const __m256d vzp = _mm256_set1_pd(static_cast<double>(t.zero_point));
+  const __m256d vqlo = _mm256_set1_pd(static_cast<double>(t.qlo));
+  const __m256d vqhi = _mm256_set1_pd(static_cast<double>(t.qhi));
+  std::size_t c = 0;
+  for (; c + 4 <= n; c += 4) {
+    const __m256d x = _mm256_cvtps_pd(_mm_loadu_ps(in + c));
+    const __m256d r = lround_pd(_mm256_div_pd(x, vscale));
+    __m256d qi = _mm256_add_pd(r, vzp);
+    qi = _mm256_min_pd(_mm256_max_pd(qi, vqlo), vqhi);
+    const __m128i q32 = _mm256_cvtpd_epi32(qi);  // integral values: exact
+    alignas(16) std::int32_t lane[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lane), q32);
+    out[c] = static_cast<std::int8_t>(lane[0]);
+    out[c + 1] = static_cast<std::int8_t>(lane[1]);
+    out[c + 2] = static_cast<std::int8_t>(lane[2]);
+    out[c + 3] = static_cast<std::int8_t>(lane[3]);
+  }
+  for (; c < n; ++c) out[c] = quantize_i8_value(in[c], t);
+}
+
+void dequant_i8_avx2(const std::int8_t* in, float* out, std::size_t n,
+                     float scale) {
+  const __m256 vs = _mm256_set1_ps(scale);
+  std::size_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    const __m128i b =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(in + c));
+    const __m128i lo4 = _mm_cvtepi8_epi32(b);
+    const __m128i hi4 = _mm_cvtepi8_epi32(_mm_srli_si128(b, 4));
+    const __m256 vf =
+        _mm256_cvtepi32_ps(_mm256_set_m128i(hi4, lo4));
+    _mm256_storeu_ps(out + c, _mm256_mul_ps(vs, vf));
+  }
+  for (; c < n; ++c) out[c] = scale * static_cast<float>(in[c]);
+}
+
+void dequant_i32_scaled_avx2(const std::int32_t* acc, std::size_t n,
+                             float row_scale, const float* col_scales,
+                             float* out) {
+  const __m256 vr = _mm256_set1_ps(row_scale);
+  std::size_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    const __m256 vf = _mm256_cvtepi32_ps(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + c)));
+    const __m256 scaled = _mm256_mul_ps(vf, vr);
+    _mm256_storeu_ps(out + c,
+                     _mm256_mul_ps(scaled, _mm256_loadu_ps(col_scales + c)));
+  }
+  for (; c < n; ++c) {
+    out[c] = (static_cast<float>(acc[c]) * row_scale) * col_scales[c];
+  }
+}
+
+// ------------------------------------------------------------- LDZ kernels
+
+void ldz_truncate_i8_avx2(const std::int8_t* src, std::int8_t* dst,
+                          std::size_t n, int bits) {
+  if (bits >= 8) {
+    std::memcpy(dst, src, n);
+    return;
+  }
+  // Per-byte bit-length via nibble LUT (index 8 covers |v| = 128 = 0x80),
+  // then mask off the (len - bits) low magnitude bits and restore the sign.
+  const __m256i bitlen4 = _mm256_broadcastsi128_si256(
+      _mm_setr_epi8(0, 1, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 4, 4, 4, 4));
+  const __m256i keepmask = _mm256_broadcastsi128_si256(_mm_setr_epi8(
+      static_cast<char>(0xFF), static_cast<char>(0xFE),
+      static_cast<char>(0xFC), static_cast<char>(0xF8),
+      static_cast<char>(0xF0), static_cast<char>(0xE0),
+      static_cast<char>(0xC0), static_cast<char>(0x80), 0, 0, 0, 0, 0, 0, 0,
+      0));
+  const __m256i nib = _mm256_set1_epi8(0x0F);
+  const __m256i vbits = _mm256_set1_epi8(static_cast<char>(bits));
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t c = 0;
+  for (; c + 32 <= n; c += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + c));
+    const __m256i mag = _mm256_abs_epi8(v);  // |-128| wraps to 0x80: wanted
+    const __m256i lo = _mm256_and_si256(mag, nib);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(mag, 4), nib);
+    const __m256i lenlo = _mm256_shuffle_epi8(bitlen4, lo);
+    const __m256i lenhi = _mm256_shuffle_epi8(bitlen4, hi);
+    const __m256i has_hi = _mm256_cmpgt_epi8(hi, zero);
+    const __m256i len = _mm256_blendv_epi8(
+        lenlo, _mm256_add_epi8(lenhi, _mm256_set1_epi8(4)), has_hi);
+    const __m256i shift = _mm256_subs_epu8(len, vbits);  // 0..7
+    const __m256i mask = _mm256_shuffle_epi8(keepmask, shift);
+    const __m256i kept = _mm256_and_si256(mag, mask);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + c),
+                        _mm256_sign_epi8(kept, v));
+  }
+  for (; c < n; ++c) dst[c] = ldz_truncate_value(src[c], bits);
+}
+
+void ldz_unpack_avx2(const std::uint8_t* mag, const std::uint8_t* signshift,
+                     std::size_t n, int bits, std::int8_t* dst) {
+  if (bits != 2 && bits != 4) {
+    scalar_backend()->ldz_unpack(mag, signshift, n, bits, dst);
+    return;
+  }
+  const __m128i nib = _mm_set1_epi8(0x0F);
+  const __m128i pow2 = _mm_setr_epi8(1, 2, 4, 8, 16, 32, 64,
+                                     static_cast<char>(0x80), 0, 0, 0, 0, 0, 0,
+                                     0, 0);
+  const __m128i vseven = _mm_set1_epi8(7);
+  const __m128i veight = _mm_set1_epi8(8);
+  const __m128i zero = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    // 16 sign/shift nibbles from 8 bytes, restored to code order.
+    const __m128i ssb = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(signshift + i / 2));
+    const __m128i ss = _mm_unpacklo_epi8(
+        _mm_and_si128(ssb, nib), _mm_and_si128(_mm_srli_epi16(ssb, 4), nib));
+    const __m128i shift = _mm_and_si128(ss, vseven);
+    const __m128i pw = _mm_shuffle_epi8(pow2, shift);
+
+    __m128i m;
+    if (bits == 4) {
+      const __m128i mb =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(mag + i / 2));
+      m = _mm_unpacklo_epi8(_mm_and_si128(mb, nib),
+                            _mm_and_si128(_mm_srli_epi16(mb, 4), nib));
+    } else {  // bits == 2: 16 codes from 4 bytes, lsb-first crumbs
+      std::uint32_t word;
+      std::memcpy(&word, mag + i / 4, sizeof(word));
+      const __m128i mb = _mm_cvtsi32_si128(static_cast<int>(word));
+      const __m128i two = _mm_set1_epi8(3);
+      const __m128i v0 = _mm_and_si128(mb, two);
+      const __m128i v1 = _mm_and_si128(_mm_srli_epi16(mb, 2), two);
+      const __m128i v2 = _mm_and_si128(_mm_srli_epi16(mb, 4), two);
+      const __m128i v3 = _mm_and_si128(_mm_srli_epi16(mb, 6), two);
+      m = _mm_unpacklo_epi16(_mm_unpacklo_epi8(v0, v1),
+                             _mm_unpacklo_epi8(v2, v3));
+    }
+    // value = mantissa << shift  (<= 128, so u16 mullo then pack is exact;
+    // 128 packs to 0x80 which negation maps to the desired -128).
+    const __m128i lo =
+        _mm_mullo_epi16(_mm_unpacklo_epi8(m, zero), _mm_unpacklo_epi8(pw, zero));
+    const __m128i hi =
+        _mm_mullo_epi16(_mm_unpackhi_epi8(m, zero), _mm_unpackhi_epi8(pw, zero));
+    const __m128i val = _mm_packus_epi16(lo, hi);
+    const __m128i negm =
+        _mm_cmpeq_epi8(_mm_and_si128(ss, veight), veight);
+    const __m128i signed_val =
+        _mm_sub_epi8(_mm_xor_si128(val, negm), negm);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), signed_val);
+  }
+  if (i < n) {
+    // Scalar tail, re-reading the packed streams at code granularity.
+    const int per = ldz_codes_per_byte(bits);
+    const unsigned mask = (1U << static_cast<unsigned>(bits)) - 1U;
+    for (; i < n; ++i) {
+      const unsigned m =
+          (mag[i / static_cast<std::size_t>(per)] >>
+           ((i % static_cast<std::size_t>(per)) *
+            static_cast<std::size_t>(bits))) &
+          mask;
+      const unsigned ss = (signshift[i / 2] >> ((i % 2) * 4)) & 0x0FU;
+      const unsigned shift = ss & 7U;
+      const int value = static_cast<int>(m << shift);
+      dst[i] = static_cast<std::int8_t>((ss & 8U) != 0U ? -value : value);
+    }
+  }
+}
+
+}  // namespace
+
+const Backend* avx2_backend() {
+  static const Backend backend = [] {
+    Backend b = *scalar_backend();  // inherit (ldz_pack stays scalar)
+    b.isa = Isa::kAvx2;
+    b.name = "avx2";
+    b.qk_tile_i8_scaled = &qk_tile_i8_scaled_avx2;
+    b.matmul_nt_i8_block = &matmul_nt_i8_block_avx2;
+    b.nt_dot_f32_row = &nt_dot_f32_row_avx2;
+    b.attnv_accum = &attnv_accum_avx2;
+    b.row_max_scaled = &row_max_scaled_avx2;
+    b.row_max_scaled_skipinf = &row_max_scaled_skipinf_avx2;
+    b.scale_inplace = &scale_inplace_avx2;
+    b.minmax_f32 = &minmax_f32_avx2;
+    b.absmax_f32 = &absmax_f32_avx2;
+    b.fake_quant_f32 = &fake_quant_f32_avx2;
+    b.quantize_i8 = &quantize_i8_avx2;
+    b.dequant_i8 = &dequant_i8_avx2;
+    b.dequant_i32_scaled = &dequant_i32_scaled_avx2;
+    b.ldz_truncate_i8 = &ldz_truncate_i8_avx2;
+    b.ldz_unpack = &ldz_unpack_avx2;
+    return b;
+  }();
+  return &backend;
+}
+
+}  // namespace paro::kernels::detail

@@ -1,0 +1,164 @@
+// AVX-512 backend (F+BW+VL).  Builds with -mavx512f/bw/vl/dq; reached only
+// after the cpuid check.  Inherits the AVX2 implementations and overrides
+// where doubling the vector width pays: the order-insensitive / purely
+// elementwise float kernels.  The int8 dot kernels stay on the AVX2 code —
+// at attention head dims (d <= 64) a 512-bit accumulator leaves only two
+// madd steps before the (expensive) cross-512 reduce, and measured slower
+// than the 256-bit panel kernel.  The fixed-order float kernels
+// (nt_dot_f32_row, fake_quant) also stay on AVX2 — their accumulation
+// contract is 4 double lanes regardless of ISA.
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "kernels/backend.hpp"
+
+namespace paro::kernels::detail {
+namespace {
+
+void attnv_accum_avx512(const float* w, std::size_t rows, const float* v,
+                        std::size_t v_stride, std::size_t dv, float* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float wr = w[r];
+    if (wr == 0.0F) continue;
+    const float* vrow = v + r * v_stride;
+    const __m512 vw = _mm512_set1_ps(wr);
+    std::size_t c = 0;
+    for (; c + 16 <= dv; c += 16) {
+      const __m512 prod = _mm512_mul_ps(vw, _mm512_loadu_ps(vrow + c));
+      _mm512_storeu_ps(out + c, _mm512_add_ps(_mm512_loadu_ps(out + c), prod));
+    }
+    for (; c < dv; ++c) out[c] += wr * vrow[c];
+  }
+}
+
+float row_max_scaled_avx512(const float* x, std::size_t n, float scale,
+                            float init) {
+  float m = init;
+  const __m512 vs = _mm512_set1_ps(scale);
+  __m512 vm = _mm512_set1_ps(init);
+  std::size_t c = 0;
+  for (; c + 16 <= n; c += 16) {
+    vm = _mm512_max_ps(vm, _mm512_mul_ps(_mm512_loadu_ps(x + c), vs));
+  }
+  if (c != 0) m = std::max(m, _mm512_reduce_max_ps(vm));
+  for (; c < n; ++c) m = std::max(m, x[c] * scale);
+  return m;
+}
+
+float row_max_scaled_skipinf_avx512(const float* x, std::size_t n, float scale,
+                                    float init) {
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  float m = init;
+  const __m512 vs = _mm512_set1_ps(scale);
+  const __m512 vneginf = _mm512_set1_ps(kNegInf);
+  __m512 vm = _mm512_set1_ps(init);
+  std::size_t c = 0;
+  for (; c + 16 <= n; c += 16) {
+    const __m512 xv = _mm512_loadu_ps(x + c);
+    const __mmask16 keep = _mm512_cmp_ps_mask(xv, vneginf, _CMP_NEQ_UQ);
+    vm = _mm512_max_ps(
+        vm, _mm512_mask_blend_ps(keep, vneginf, _mm512_mul_ps(xv, vs)));
+  }
+  if (c != 0) m = std::max(m, _mm512_reduce_max_ps(vm));
+  for (; c < n; ++c) {
+    if (x[c] != kNegInf) m = std::max(m, x[c] * scale);
+  }
+  return m;
+}
+
+void scale_inplace_avx512(float* x, std::size_t n, float s) {
+  const __m512 vs = _mm512_set1_ps(s);
+  std::size_t c = 0;
+  for (; c + 16 <= n; c += 16) {
+    _mm512_storeu_ps(x + c, _mm512_mul_ps(_mm512_loadu_ps(x + c), vs));
+  }
+  for (; c < n; ++c) x[c] *= s;
+}
+
+void minmax_f32_avx512(const float* x, std::size_t n, float* lo, float* hi) {
+  float l = x[0];
+  float h = x[0];
+  __m512 vlo = _mm512_set1_ps(x[0]);
+  __m512 vhi = vlo;
+  std::size_t c = 0;
+  for (; c + 16 <= n; c += 16) {
+    const __m512 xv = _mm512_loadu_ps(x + c);
+    vlo = _mm512_min_ps(vlo, xv);
+    vhi = _mm512_max_ps(vhi, xv);
+  }
+  if (c != 0) {
+    l = std::min(l, _mm512_reduce_min_ps(vlo));
+    h = std::max(h, _mm512_reduce_max_ps(vhi));
+  }
+  for (; c < n; ++c) {
+    l = std::min(l, x[c]);
+    h = std::max(h, x[c]);
+  }
+  *lo = l;
+  *hi = h;
+}
+
+float absmax_f32_avx512(const float* x, std::size_t n) {
+  __m512 vm = _mm512_setzero_ps();
+  std::size_t c = 0;
+  for (; c + 16 <= n; c += 16) {
+    vm = _mm512_max_ps(vm, _mm512_abs_ps(_mm512_loadu_ps(x + c)));
+  }
+  float m = c != 0 ? std::max(0.0F, _mm512_reduce_max_ps(vm)) : 0.0F;
+  for (; c < n; ++c) m = std::max(m, std::fabs(x[c]));
+  return m;
+}
+
+void dequant_i8_avx512(const std::int8_t* in, float* out, std::size_t n,
+                       float scale) {
+  const __m512 vs = _mm512_set1_ps(scale);
+  std::size_t c = 0;
+  for (; c + 16 <= n; c += 16) {
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + c));
+    const __m512 vf = _mm512_cvtepi32_ps(_mm512_cvtepi8_epi32(b));
+    _mm512_storeu_ps(out + c, _mm512_mul_ps(vs, vf));
+  }
+  for (; c < n; ++c) out[c] = scale * static_cast<float>(in[c]);
+}
+
+void dequant_i32_scaled_avx512(const std::int32_t* acc, std::size_t n,
+                               float row_scale, const float* col_scales,
+                               float* out) {
+  const __m512 vr = _mm512_set1_ps(row_scale);
+  std::size_t c = 0;
+  for (; c + 16 <= n; c += 16) {
+    const __m512 vf = _mm512_cvtepi32_ps(_mm512_loadu_si512(acc + c));
+    const __m512 scaled = _mm512_mul_ps(vf, vr);
+    _mm512_storeu_ps(out + c,
+                     _mm512_mul_ps(scaled, _mm512_loadu_ps(col_scales + c)));
+  }
+  for (; c < n; ++c) {
+    out[c] = (static_cast<float>(acc[c]) * row_scale) * col_scales[c];
+  }
+}
+
+}  // namespace
+
+const Backend* avx512_backend() {
+  static const Backend backend = [] {
+    Backend b = *avx2_backend();  // inherit int8 dots, LDZ, fake-quant, nt_dot
+    b.isa = Isa::kAvx512;
+    b.name = "avx512";
+    b.attnv_accum = &attnv_accum_avx512;
+    b.row_max_scaled = &row_max_scaled_avx512;
+    b.row_max_scaled_skipinf = &row_max_scaled_skipinf_avx512;
+    b.scale_inplace = &scale_inplace_avx512;
+    b.minmax_f32 = &minmax_f32_avx512;
+    b.absmax_f32 = &absmax_f32_avx512;
+    b.dequant_i8 = &dequant_i8_avx512;
+    b.dequant_i32_scaled = &dequant_i32_scaled_avx512;
+    return b;
+  }();
+  return &backend;
+}
+
+}  // namespace paro::kernels::detail

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/isa.hpp"
+#include "kernels/kernels.hpp"
+
+// Internal dispatch table.  Each backend fills the entries it implements and
+// inherits the scalar pointer for the rest, so a partially-vectorized backend
+// (e.g. NEON) is still complete and still bit-exact.
+namespace paro::kernels::detail {
+
+struct Backend {
+  Isa isa = Isa::kScalar;
+  const char* name = "scalar";
+
+  void (*qk_tile_i8_scaled)(const std::int8_t*, std::size_t, std::size_t,
+                            const std::int8_t*, std::size_t, std::size_t,
+                            std::size_t, const float*, const float*, float*,
+                            std::size_t) = nullptr;
+  void (*matmul_nt_i8_block)(const std::int8_t*, std::size_t, std::size_t,
+                             const std::int8_t*, std::size_t, std::size_t,
+                             std::size_t, std::int32_t*, std::size_t) = nullptr;
+  void (*nt_dot_f32_row)(const float*, const float*, std::size_t, std::size_t,
+                         std::size_t, float*) = nullptr;
+  void (*attnv_accum)(const float*, std::size_t, const float*, std::size_t,
+                      std::size_t, float*) = nullptr;
+  float (*row_max_scaled)(const float*, std::size_t, float, float) = nullptr;
+  float (*row_max_scaled_skipinf)(const float*, std::size_t, float,
+                                  float) = nullptr;
+  void (*scale_inplace)(float*, std::size_t, float) = nullptr;
+  void (*minmax_f32)(const float*, std::size_t, float*, float*) = nullptr;
+  float (*absmax_f32)(const float*, std::size_t) = nullptr;
+  void (*fake_quant_f32)(const float*, float*, std::size_t,
+                         const QuantTransform&) = nullptr;
+  void (*quantize_i8)(const float*, std::int8_t*, std::size_t,
+                      const QuantTransform&) = nullptr;
+  void (*dequant_i8)(const std::int8_t*, float*, std::size_t,
+                     float) = nullptr;
+  void (*dequant_i32_scaled)(const std::int32_t*, std::size_t, float,
+                             const float*, float*) = nullptr;
+  void (*ldz_truncate_i8)(const std::int8_t*, std::int8_t*, std::size_t,
+                          int) = nullptr;
+  void (*ldz_pack)(const std::int8_t*, std::size_t, int, std::uint8_t*,
+                   std::uint8_t*) = nullptr;
+  void (*ldz_unpack)(const std::uint8_t*, const std::uint8_t*, std::size_t,
+                     int, std::int8_t*) = nullptr;
+};
+
+// Backend factories.  Only the scalar one is unconditionally compiled; the
+// others exist when the matching source file is part of the build (CMake
+// gates on the target architecture) and must only be CALLED after an
+// isa_available() check — their translation units carry -m<isa> flags.
+const Backend* scalar_backend();
+#if defined(__x86_64__) || defined(_M_X64)
+const Backend* avx2_backend();
+const Backend* avx512_backend();
+#endif
+#if defined(__aarch64__)
+const Backend* neon_backend();
+#endif
+
+// The currently selected backend (runs env/auto selection on first use).
+const Backend& active_backend();
+
+// --- shared scalar element formulas ----------------------------------------
+// Vector backends call these for loop tails; keeping one definition is what
+// makes "same scalar op sequence per element" trivially true.
+
+inline float fake_quant_value(float x, const QuantTransform& t) {
+  const auto q = static_cast<std::int64_t>(
+      std::lround(static_cast<double>(x) / t.scale));
+  auto qc = q + t.zero_point;
+  if (qc < t.qlo) qc = t.qlo;
+  if (qc > t.qhi) qc = t.qhi;
+  return t.scale * static_cast<float>(qc - t.zero_point);
+}
+
+inline std::int8_t quantize_i8_value(float x, const QuantTransform& t) {
+  const auto q = static_cast<std::int64_t>(
+      std::lround(static_cast<double>(x) / t.scale));
+  auto qc = q + t.zero_point;
+  if (qc < t.qlo) qc = t.qlo;
+  if (qc > t.qhi) qc = t.qhi;
+  return static_cast<std::int8_t>(qc);
+}
+
+inline int ldz_bit_length_u8(unsigned v) {
+  int len = 0;
+  while (v != 0U) {
+    ++len;
+    v >>= 1U;
+  }
+  return len;
+}
+
+inline std::int8_t ldz_truncate_value(std::int8_t v, int bits) {
+  const bool neg = v < 0;
+  const unsigned mag = neg ? static_cast<unsigned>(-static_cast<int>(v))
+                           : static_cast<unsigned>(v);
+  const int len = ldz_bit_length_u8(mag);
+  const int shift = len > bits ? len - bits : 0;
+  const unsigned kept = (mag >> shift) << shift;
+  const int out = neg ? -static_cast<int>(kept) : static_cast<int>(kept);
+  return static_cast<std::int8_t>(out);
+}
+
+}  // namespace paro::kernels::detail

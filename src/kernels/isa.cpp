@@ -1,0 +1,139 @@
+#include "kernels/isa.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "kernels/backend.hpp"
+
+namespace paro::kernels {
+namespace {
+
+using detail::Backend;
+
+bool cpu_supports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(__x86_64__) || defined(_M_X64)
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0;
+#else
+      return false;
+#endif
+    case Isa::kNeon:
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const Backend* backend_for(Isa isa) {
+  if (!isa_available(isa)) {
+    throw ConfigError(std::string("kernel ISA '") + isa_name(isa) +
+                      "' is not available on this host");
+  }
+  switch (isa) {
+    case Isa::kScalar:
+      return detail::scalar_backend();
+#if defined(__x86_64__) || defined(_M_X64)
+    case Isa::kAvx2:
+      return detail::avx2_backend();
+    case Isa::kAvx512:
+      return detail::avx512_backend();
+#endif
+#if defined(__aarch64__)
+    case Isa::kNeon:
+      return detail::neon_backend();
+#endif
+    default:
+      break;
+  }
+  throw ConfigError(std::string("kernel ISA '") + isa_name(isa) +
+                    "' is not compiled into this build");
+}
+
+// Selected-backend pointer.  nullptr means "not selected yet"; selection is
+// deterministic (same env, same CPU -> same backend), so a benign first-use
+// race between threads lands on the same value.
+std::atomic<const Backend*> g_backend{nullptr};
+
+const Backend* select_backend() {
+  const char* env = std::getenv("PARO_ISA");
+  if (env != nullptr && *env != '\0') {
+    // An explicit request either takes effect or fails loudly — a silent
+    // scalar fallback would invalidate every benchmark run under PARO_ISA.
+    return backend_for(parse_isa(env));
+  }
+  const std::vector<Isa> isas = available_isas();
+  return backend_for(isas.front());
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+Isa parse_isa(const std::string& name) {
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "avx2") return Isa::kAvx2;
+  if (name == "avx512") return Isa::kAvx512;
+  if (name == "neon") return Isa::kNeon;
+  throw ConfigError("unknown kernel ISA '" + name +
+                    "' (expected scalar|avx2|avx512|neon)");
+}
+
+bool isa_available(Isa isa) { return cpu_supports(isa); }
+
+std::vector<Isa> available_isas() {
+  std::vector<Isa> out;
+  for (Isa isa : {Isa::kAvx512, Isa::kAvx2, Isa::kNeon}) {
+    if (isa_available(isa)) out.push_back(isa);
+  }
+  out.push_back(Isa::kScalar);
+  return out;
+}
+
+Isa active_isa() { return detail::active_backend().isa; }
+
+void force_isa(Isa isa) {
+  g_backend.store(backend_for(isa), std::memory_order_release);
+}
+
+void reset_isa() { g_backend.store(nullptr, std::memory_order_release); }
+
+namespace detail {
+
+const Backend& active_backend() {
+  const Backend* b = g_backend.load(std::memory_order_acquire);
+  if (b == nullptr) {
+    b = select_backend();
+    g_backend.store(b, std::memory_order_release);
+  }
+  return *b;
+}
+
+}  // namespace detail
+}  // namespace paro::kernels

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace paro::kernels {
+
+// Instruction-set backends the kernel layer can dispatch to.  kScalar is the
+// always-available, always-correct reference; every other backend must be
+// bit-exact against it (integer kernels on all inputs, float kernels by
+// construction of a shared operation order — see docs/performance.md).
+enum class Isa {
+  kScalar,
+  kAvx2,
+  kAvx512,
+  kNeon,
+};
+
+// Lower-case stable name used in PARO_ISA=, metrics labels and JSON reports.
+const char* isa_name(Isa isa);
+
+// Parses a PARO_ISA value ("scalar", "avx2", "avx512", "neon").
+// Throws ConfigError on an unknown name.
+Isa parse_isa(const std::string& name);
+
+// True when the host CPU (and this build) can execute `isa`.
+bool isa_available(Isa isa);
+
+// Every ISA available on this host, best first (scalar always last).
+std::vector<Isa> available_isas();
+
+// The ISA the kernel layer is currently dispatching to.  On first use this
+// reads PARO_ISA (throwing ConfigError for an unknown or unavailable value —
+// never silently falling back) or, when unset, picks the best available ISA.
+Isa active_isa();
+
+// Test/bench hook: pin dispatch to `isa` for the rest of the process (or
+// until the next call).  Throws ConfigError when `isa` is unavailable.
+void force_isa(Isa isa);
+
+// Test hook: drop any forced/selected backend so the next kernel call
+// re-reads PARO_ISA and re-runs auto-selection.
+void reset_isa();
+
+}  // namespace paro::kernels

@@ -1,0 +1,224 @@
+#include "kernels/kernels.hpp"
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "kernels/backend.hpp"
+#include "obs/metrics.hpp"
+
+namespace paro::kernels {
+
+namespace {
+
+enum KernelId : std::size_t {
+  kQkTileI8 = 0,
+  kMatmulNtI8,
+  kNtDotF32,
+  kAttnVAccum,
+  kRowMax,
+  kRowMaxSkipInf,
+  kScaleInplace,
+  kExpSum,
+  kMinMax,
+  kAbsMax,
+  kFakeQuant,
+  kQuantizeI8,
+  kDequantI8,
+  kDequantI32,
+  kLdzTruncate,
+  kLdzPack,
+  kLdzUnpack,
+  kNumKernels,
+};
+
+constexpr std::array<const char*, kNumKernels> kKernelNames = {
+    "qk_tile_i8_scaled", "matmul_nt_i8_block", "nt_dot_f32_row",
+    "attnv_accum",       "row_max_scaled",     "row_max_scaled_skipinf",
+    "scale_inplace",     "exp_sum_segment",    "minmax_f32",
+    "absmax_f32",        "fake_quant_f32",     "quantize_i8",
+    "dequant_i8",        "dequant_i32_scaled", "ldz_truncate_i8",
+    "ldz_pack",          "ldz_unpack",
+};
+
+// Relaxed: counts are telemetry, not synchronization.  One cache line per
+// counter would be nicer, but the hot kernels amortize over whole tiles.
+std::array<std::atomic<std::uint64_t>, kNumKernels>& counters() {
+  static std::array<std::atomic<std::uint64_t>, kNumKernels> c{};
+  return c;
+}
+
+inline void count(KernelId id) {
+  counters()[id].fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void qk_tile_i8_scaled(const std::int8_t* q, std::size_t q_stride,
+                       std::size_t q_rows, const std::int8_t* k,
+                       std::size_t k_stride, std::size_t k_rows, std::size_t d,
+                       const float* q_scales, const float* k_scales, float* out,
+                       std::size_t out_stride) {
+  count(kQkTileI8);
+  detail::active_backend().qk_tile_i8_scaled(q, q_stride, q_rows, k, k_stride,
+                                             k_rows, d, q_scales, k_scales,
+                                             out, out_stride);
+}
+
+void matmul_nt_i8_block(const std::int8_t* a, std::size_t a_stride,
+                        std::size_t m, const std::int8_t* b,
+                        std::size_t b_stride, std::size_t n, std::size_t k,
+                        std::int32_t* c, std::size_t c_stride) {
+  count(kMatmulNtI8);
+  detail::active_backend().matmul_nt_i8_block(a, a_stride, m, b, b_stride, n,
+                                              k, c, c_stride);
+}
+
+void nt_dot_f32_row(const float* a, const float* b, std::size_t b_stride,
+                    std::size_t n_rows, std::size_t d, float* out) {
+  count(kNtDotF32);
+  detail::active_backend().nt_dot_f32_row(a, b, b_stride, n_rows, d, out);
+}
+
+void attnv_accum(const float* w, std::size_t rows, const float* v,
+                 std::size_t v_stride, std::size_t dv, float* out) {
+  count(kAttnVAccum);
+  detail::active_backend().attnv_accum(w, rows, v, v_stride, dv, out);
+}
+
+float row_max_scaled(const float* x, std::size_t n, float scale, float init) {
+  count(kRowMax);
+  return detail::active_backend().row_max_scaled(x, n, scale, init);
+}
+
+float row_max_scaled_skipinf(const float* x, std::size_t n, float scale,
+                             float init) {
+  count(kRowMaxSkipInf);
+  return detail::active_backend().row_max_scaled_skipinf(x, n, scale, init);
+}
+
+void scale_inplace(float* x, std::size_t n, float s) {
+  count(kScaleInplace);
+  detail::active_backend().scale_inplace(x, n, s);
+}
+
+double exp_sum_segment(float* x, std::size_t n, float scale, float row_max,
+                       double sum) {
+  count(kExpSum);
+  // Deliberately NOT dispatched: libm exp on a serial double chain is the
+  // one sequence every ISA shares, which pins cross-backend bitwise
+  // identity of the softmax (and of everything downstream of it).
+  for (std::size_t c = 0; c < n; ++c) {
+    const double e =
+        std::exp(static_cast<double>(x[c] * scale - row_max));
+    x[c] = static_cast<float>(e);
+    sum += e;
+  }
+  return sum;
+}
+
+void minmax_f32(const float* x, std::size_t n, float* lo, float* hi) {
+  PARO_CHECK_MSG(n > 0, "minmax_f32 needs a non-empty span");
+  count(kMinMax);
+  detail::active_backend().minmax_f32(x, n, lo, hi);
+}
+
+float absmax_f32(const float* x, std::size_t n) {
+  count(kAbsMax);
+  return detail::active_backend().absmax_f32(x, n);
+}
+
+void fake_quant_f32(const float* in, float* out, std::size_t n,
+                    const QuantTransform& t) {
+  count(kFakeQuant);
+  detail::active_backend().fake_quant_f32(in, out, n, t);
+}
+
+void quantize_i8(const float* in, std::int8_t* out, std::size_t n,
+                 const QuantTransform& t) {
+  PARO_CHECK_MSG(t.qlo >= -128 && t.qhi <= 127,
+                 "quantize_i8 range does not fit int8");
+  count(kQuantizeI8);
+  detail::active_backend().quantize_i8(in, out, n, t);
+}
+
+void dequant_i8(const std::int8_t* in, float* out, std::size_t n,
+                float scale) {
+  count(kDequantI8);
+  detail::active_backend().dequant_i8(in, out, n, scale);
+}
+
+void dequant_i32_scaled(const std::int32_t* acc, std::size_t n,
+                        float row_scale, const float* col_scales, float* out) {
+  count(kDequantI32);
+  detail::active_backend().dequant_i32_scaled(acc, n, row_scale, col_scales,
+                                              out);
+}
+
+void ldz_truncate_i8(const std::int8_t* src, std::int8_t* dst, std::size_t n,
+                     int bits) {
+  PARO_CHECK_MSG(bits >= 1 && bits <= 8, "ldz bits out of range");
+  count(kLdzTruncate);
+  detail::active_backend().ldz_truncate_i8(src, dst, n, bits);
+}
+
+void ldz_pack(const std::int8_t* src, std::size_t n, int bits,
+              std::uint8_t* mag, std::uint8_t* signshift) {
+  PARO_CHECK_MSG(bits >= 1 && bits <= 7, "ldz_pack bits out of range");
+  count(kLdzPack);
+  detail::active_backend().ldz_pack(src, n, bits, mag, signshift);
+}
+
+void ldz_unpack(const std::uint8_t* mag, const std::uint8_t* signshift,
+                std::size_t n, int bits, std::int8_t* dst) {
+  PARO_CHECK_MSG(bits >= 1 && bits <= 7, "ldz_unpack bits out of range");
+  count(kLdzUnpack);
+  detail::active_backend().ldz_unpack(mag, signshift, n, bits, dst);
+}
+
+int ldz_codes_per_byte(int bits) {
+  return (bits == 1 || bits == 2 || bits == 4) ? 8 / bits : 1;
+}
+
+std::size_t ldz_mag_bytes(std::size_t n, int bits) {
+  const auto per = static_cast<std::size_t>(ldz_codes_per_byte(bits));
+  return (n + per - 1) / per;
+}
+
+std::size_t ldz_signshift_bytes(std::size_t n) { return (n + 1) / 2; }
+
+std::vector<KernelCallCount> kernel_call_counts() {
+  std::vector<KernelCallCount> out;
+  out.reserve(kNumKernels);
+  for (std::size_t i = 0; i < kNumKernels; ++i) {
+    out.push_back(
+        {kKernelNames[i], counters()[i].load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+void reset_kernel_call_counts() {
+  for (auto& c : counters()) c.store(0, std::memory_order_relaxed);
+}
+
+void publish_kernel_metrics() {
+  // The obs counters are cumulative `add()`s, so publish deltas vs the last
+  // snapshot (guarded: publish may be called from several report writers).
+  static std::mutex mu;
+  static std::array<std::uint64_t, kNumKernels> published{};
+  std::lock_guard<std::mutex> lock(mu);
+  auto& reg = obs::MetricsRegistry::global();
+  reg.gauge("kernel.dispatch", {{"isa", isa_name(active_isa())}}).set(1.0);
+  for (std::size_t i = 0; i < kNumKernels; ++i) {
+    const std::uint64_t now = counters()[i].load(std::memory_order_relaxed);
+    if (now > published[i]) {
+      reg.counter("kernel.calls", {{"kernel", kKernelNames[i]}})
+          .add(static_cast<double>(now - published[i]));
+      published[i] = now;
+    }
+  }
+}
+
+}  // namespace paro::kernels

@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kernels/isa.hpp"
+
+// Runtime-dispatched micro-kernels for the quantized attention hot paths.
+//
+// Contracts (enforced by tests/kernels/):
+//  * Integer kernels are bit-exact against the scalar backend on every shape
+//    and bitwidth: integer addition is associative, so vector-width changes
+//    cannot alter results.
+//  * Float kernels are bitwise identical across backends because every
+//    backend follows the same fixed operation order: dot products accumulate
+//    into 4 double lanes striped by k%4 and fold as (l0+l1)+(l2+l3);
+//    elementwise ops perform the same scalar op sequence per element; `exp`
+//    stays sequential scalar in every backend (exp_sum_segment).
+//  * No FMA contraction anywhere (vector code uses separate mul/add
+//    intrinsics; scalar TUs build with -ffp-contract=off).
+//
+// The layer depends only on paro_common/paro_obs and takes raw pointers, so
+// tensor/quant/attention can all sit on top of it.
+namespace paro::kernels {
+
+// Affine quantization transform in kernel-native form.  Callers derive it
+// from quant::QuantParams; keeping a local mirror avoids a dependency cycle
+// (paro_quant links against paro_kernels).
+struct QuantTransform {
+  float scale = 1.0F;
+  std::int32_t zero_point = 0;
+  std::int64_t qlo = 0;
+  std::int64_t qhi = 0;
+};
+
+// --- packed / integer tile kernels -----------------------------------------
+
+// out[i*out_stride + j] = (float(dot_i32(q_i, k_j)) * q_scales[i]) * k_scales[j]
+// for i in [0,q_rows), j in [0,k_rows); rows are length-d int8 vectors.
+void qk_tile_i8_scaled(const std::int8_t* q, std::size_t q_stride,
+                       std::size_t q_rows, const std::int8_t* k,
+                       std::size_t k_stride, std::size_t k_rows, std::size_t d,
+                       const float* q_scales, const float* k_scales, float* out,
+                       std::size_t out_stride);
+
+// c[m x n] = a[m x k] * b[n x k]^T in int32 (cache-blocked, alignment-safe
+// tails for any k % simd_width).
+void matmul_nt_i8_block(const std::int8_t* a, std::size_t a_stride,
+                        std::size_t m, const std::int8_t* b,
+                        std::size_t b_stride, std::size_t n, std::size_t k,
+                        std::int32_t* c, std::size_t c_stride);
+
+// --- float kernels (fixed accumulation order) ------------------------------
+
+// out[j] = float(dot(a, b_j)) for j in [0,n_rows) with the 4-lane double
+// accumulation contract described above.
+void nt_dot_f32_row(const float* a, const float* b, std::size_t b_stride,
+                    std::size_t n_rows, std::size_t d, float* out);
+
+// out[c] += w[r] * v[r*v_stride + c] for all r with w[r] != 0 (rows with a
+// zero weight are skipped entirely, mirroring the sparse attention map).
+void attnv_accum(const float* w, std::size_t rows, const float* v,
+                 std::size_t v_stride, std::size_t dv, float* out);
+
+// max(init, max_c x[c] * scale); order-insensitive, so vectorizable.
+float row_max_scaled(const float* x, std::size_t n, float scale, float init);
+
+// Same, but entries equal to -inf are excluded (skip-aware softmax).
+float row_max_scaled_skipinf(const float* x, std::size_t n, float scale,
+                             float init);
+
+// x[c] *= s.
+void scale_inplace(float* x, std::size_t n, float s);
+
+// In place: x[c] = float(exp(double(x[c] * scale - row_max))); returns
+// `sum` extended element-by-element (sum = (((sum+e0)+e1)+...), so a row
+// split into tile segments chains to exactly the whole-row sum).  ALWAYS
+// scalar in every backend: libm exp and a serial double chain are the
+// cross-ISA determinism anchor.
+double exp_sum_segment(float* x, std::size_t n, float scale, float row_max,
+                       double sum);
+
+// Elementwise min/max over x (n > 0); lo/hi are outputs.
+void minmax_f32(const float* x, std::size_t n, float* lo, float* hi);
+
+// max_c |x[c]| (0 for n == 0).
+float absmax_f32(const float* x, std::size_t n);
+
+// out[c] = t.scale * float(clamp(lround(x[c]/t.scale) + zp, qlo, qhi) - zp);
+// identical to quantize_value/dequantize_value composition in quant/affine.
+void fake_quant_f32(const float* in, float* out, std::size_t n,
+                    const QuantTransform& t);
+
+// out[c] = int8(clamp(lround(x[c]/t.scale) + zp, qlo, qhi)); caller must
+// guarantee [qlo,qhi] fits int8.
+void quantize_i8(const float* in, std::int8_t* out, std::size_t n,
+                 const QuantTransform& t);
+
+// out[c] = scale * float(in[c])  (symmetric dequant).
+void dequant_i8(const std::int8_t* in, float* out, std::size_t n, float scale);
+
+// out[j] = (float(acc[j]) * row_scale) * col_scales[j]  (W8A8 epilogue).
+void dequant_i32_scaled(const std::int32_t* acc, std::size_t n,
+                        float row_scale, const float* col_scales, float* out);
+
+// --- LDZ truncation / packing ----------------------------------------------
+
+// dst[c] = fixedpoint ldz_approximate(src[c], bits): keep the `bits` leading
+// significant bits of |src[c]|, zero the rest, restore sign.  bits in [1,8]
+// (8 copies through).  Values must be int8 (|v| <= 128 by construction).
+void ldz_truncate_i8(const std::int8_t* src, std::int8_t* dst, std::size_t n,
+                     int bits);
+
+// Packs n LDZ-truncated codes into two streams mirroring the PE operand
+// modes: `mag` holds the bits-wide mantissa magnitudes packed lsb-first
+// (2b-quads: 4/byte, 4b-pairs: 2/byte, 1b: 8/byte; other widths 1/byte) and
+// `signshift` holds one nibble per code: shift | (negative << 3).  Both
+// buffers must be zeroed by the caller (ldz_packed_bytes sizes them).
+// bits in [1,7].
+void ldz_pack(const std::int8_t* src, std::size_t n, int bits,
+              std::uint8_t* mag, std::uint8_t* signshift);
+
+// Inverse of ldz_pack: dst[c] = sign * (mantissa << shift); bit-exact equal
+// to ldz_truncate_i8 of the original values.
+void ldz_unpack(const std::uint8_t* mag, const std::uint8_t* signshift,
+                std::size_t n, int bits, std::int8_t* dst);
+
+// Packed mantissa codes per byte for a given width (4 for 2b, 2 for 4b, ...).
+int ldz_codes_per_byte(int bits);
+// Byte sizes of the two streams for n codes at `bits`.
+std::size_t ldz_mag_bytes(std::size_t n, int bits);
+std::size_t ldz_signshift_bytes(std::size_t n);
+
+// --- observability ----------------------------------------------------------
+
+struct KernelCallCount {
+  const char* name;
+  std::uint64_t calls;
+};
+
+// Per-kernel call counts since process start (or the last reset).
+std::vector<KernelCallCount> kernel_call_counts();
+void reset_kernel_call_counts();
+
+// Publishes kernel.dispatch{isa=...} and kernel.calls{kernel=...} into the
+// global metrics registry (delta-tracked; safe to call repeatedly).
+void publish_kernel_metrics();
+
+}  // namespace paro::kernels

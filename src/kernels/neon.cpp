@@ -1,0 +1,157 @@
+// NEON (AArch64) backend.  Implements the int8 dot kernels and the simple
+// elementwise/order-insensitive float kernels; everything with a subtler
+// contract (fake-quant rounding, LDZ packing) inherits the scalar reference,
+// which is always bit-exact by definition.
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "kernels/backend.hpp"
+
+namespace paro::kernels::detail {
+namespace {
+
+inline std::int32_t dot_i8_neon(const std::int8_t* a, const std::int8_t* b,
+                                std::size_t k) {
+  int32x4_t acc = vdupq_n_s32(0);
+  std::size_t c = 0;
+  for (; c + 16 <= k; c += 16) {
+    const int8x16_t av = vld1q_s8(a + c);
+    const int8x16_t bv = vld1q_s8(b + c);
+    const int16x8_t lo = vmull_s8(vget_low_s8(av), vget_low_s8(bv));
+    const int16x8_t hi = vmull_s8(vget_high_s8(av), vget_high_s8(bv));
+    acc = vpadalq_s16(acc, lo);
+    acc = vpadalq_s16(acc, hi);
+  }
+  std::int32_t s = vaddvq_s32(acc);
+  for (; c < k; ++c) s += static_cast<std::int32_t>(a[c]) * b[c];
+  return s;
+}
+
+void qk_tile_i8_scaled_neon(const std::int8_t* q, std::size_t q_stride,
+                            std::size_t q_rows, const std::int8_t* k,
+                            std::size_t k_stride, std::size_t k_rows,
+                            std::size_t d, const float* q_scales,
+                            const float* k_scales, float* out,
+                            std::size_t out_stride) {
+  for (std::size_t i = 0; i < q_rows; ++i) {
+    const std::int8_t* qi = q + i * q_stride;
+    const float sq = q_scales[i];
+    float* orow = out + i * out_stride;
+    for (std::size_t j = 0; j < k_rows; ++j) {
+      const std::int32_t acc = dot_i8_neon(qi, k + j * k_stride, d);
+      orow[j] = (static_cast<float>(acc) * sq) * k_scales[j];
+    }
+  }
+}
+
+void matmul_nt_i8_block_neon(const std::int8_t* a, std::size_t a_stride,
+                             std::size_t m, const std::int8_t* b,
+                             std::size_t b_stride, std::size_t n,
+                             std::size_t k, std::int32_t* c,
+                             std::size_t c_stride) {
+  constexpr std::size_t kJBlock = 256;
+  for (std::size_t jb = 0; jb < n; jb += kJBlock) {
+    const std::size_t jend = std::min(jb + kJBlock, n);
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::int8_t* ai = a + i * a_stride;
+      std::int32_t* ci = c + i * c_stride;
+      for (std::size_t j = jb; j < jend; ++j) {
+        ci[j] = dot_i8_neon(ai, b + j * b_stride, k);
+      }
+    }
+  }
+}
+
+void nt_dot_f32_row_neon(const float* a, const float* b, std::size_t b_stride,
+                         std::size_t n_rows, std::size_t d, float* out) {
+  for (std::size_t j = 0; j < n_rows; ++j) {
+    const float* bj = b + j * b_stride;
+    // Same 4-double-lane k%4 striping as the scalar reference, held in two
+    // float64x2 registers (lanes 0/1 and 2/3); vmul+vadd, never vfma.
+    float64x2_t acc01 = vdupq_n_f64(0.0);
+    float64x2_t acc23 = vdupq_n_f64(0.0);
+    std::size_t c = 0;
+    for (; c + 4 <= d; c += 4) {
+      const float32x4_t af = vld1q_f32(a + c);
+      const float32x4_t bf = vld1q_f32(bj + c);
+      const float64x2_t a01 = vcvt_f64_f32(vget_low_f32(af));
+      const float64x2_t a23 = vcvt_high_f64_f32(af);
+      const float64x2_t b01 = vcvt_f64_f32(vget_low_f32(bf));
+      const float64x2_t b23 = vcvt_high_f64_f32(bf);
+      acc01 = vaddq_f64(acc01, vmulq_f64(a01, b01));
+      acc23 = vaddq_f64(acc23, vmulq_f64(a23, b23));
+    }
+    double lane[4] = {vgetq_lane_f64(acc01, 0), vgetq_lane_f64(acc01, 1),
+                      vgetq_lane_f64(acc23, 0), vgetq_lane_f64(acc23, 1)};
+    for (; c < d; ++c) {
+      lane[c % 4] += static_cast<double>(a[c]) * static_cast<double>(bj[c]);
+    }
+    out[j] = static_cast<float>((lane[0] + lane[1]) + (lane[2] + lane[3]));
+  }
+}
+
+void attnv_accum_neon(const float* w, std::size_t rows, const float* v,
+                      std::size_t v_stride, std::size_t dv, float* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float wr = w[r];
+    if (wr == 0.0F) continue;
+    const float* vrow = v + r * v_stride;
+    const float32x4_t vw = vdupq_n_f32(wr);
+    std::size_t c = 0;
+    for (; c + 4 <= dv; c += 4) {
+      const float32x4_t prod = vmulq_f32(vw, vld1q_f32(vrow + c));
+      vst1q_f32(out + c, vaddq_f32(vld1q_f32(out + c), prod));
+    }
+    for (; c < dv; ++c) out[c] += wr * vrow[c];
+  }
+}
+
+void scale_inplace_neon(float* x, std::size_t n, float s) {
+  const float32x4_t vs = vdupq_n_f32(s);
+  std::size_t c = 0;
+  for (; c + 4 <= n; c += 4) {
+    vst1q_f32(x + c, vmulq_f32(vld1q_f32(x + c), vs));
+  }
+  for (; c < n; ++c) x[c] *= s;
+}
+
+void dequant_i8_neon(const std::int8_t* in, float* out, std::size_t n,
+                     float scale) {
+  const float32x4_t vs = vdupq_n_f32(scale);
+  std::size_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    const int16x8_t w = vmovl_s8(vld1_s8(in + c));
+    const float32x4_t lo = vcvtq_f32_s32(vmovl_s16(vget_low_s16(w)));
+    const float32x4_t hi = vcvtq_f32_s32(vmovl_s16(vget_high_s16(w)));
+    vst1q_f32(out + c, vmulq_f32(vs, lo));
+    vst1q_f32(out + c + 4, vmulq_f32(vs, hi));
+  }
+  for (; c < n; ++c) out[c] = scale * static_cast<float>(in[c]);
+}
+
+}  // namespace
+
+const Backend* neon_backend() {
+  static const Backend backend = [] {
+    Backend b = *scalar_backend();
+    b.isa = Isa::kNeon;
+    b.name = "neon";
+    b.qk_tile_i8_scaled = &qk_tile_i8_scaled_neon;
+    b.matmul_nt_i8_block = &matmul_nt_i8_block_neon;
+    b.nt_dot_f32_row = &nt_dot_f32_row_neon;
+    b.attnv_accum = &attnv_accum_neon;
+    b.scale_inplace = &scale_inplace_neon;
+    b.dequant_i8 = &dequant_i8_neon;
+    return b;
+  }();
+  return &backend;
+}
+
+}  // namespace paro::kernels::detail
+
+#endif  // __aarch64__

@@ -1,0 +1,67 @@
+#include "kernels/pack.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "kernels/kernels.hpp"
+
+namespace paro::kernels {
+
+void PackedLdzK::build(const std::int8_t* codes, std::size_t rows,
+                       std::size_t d, const std::vector<int>& bitwidths) {
+  rows_ = rows;
+  d_ = d;
+  planes_.clear();
+  std::vector<int> wanted;
+  for (const int b : bitwidths) {
+    if (b >= 1 && b <= 7 &&
+        std::find(wanted.begin(), wanted.end(), b) == wanted.end()) {
+      wanted.push_back(b);
+    }
+  }
+  std::sort(wanted.begin(), wanted.end());
+  for (const int bits : wanted) {
+    Plane p;
+    p.bits = bits;
+    p.mag_stride = ldz_mag_bytes(d, bits);
+    p.ss_stride = ldz_signshift_bytes(d);
+    p.mag.assign(rows * p.mag_stride, 0);  // ldz_pack ORs into zeroed bytes
+    p.ss.assign(rows * p.ss_stride, 0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      ldz_pack(codes + r * d, d, bits, p.mag.data() + r * p.mag_stride,
+               p.ss.data() + r * p.ss_stride);
+    }
+    planes_.push_back(std::move(p));
+  }
+}
+
+const PackedLdzK::Plane* PackedLdzK::find(int bits) const {
+  for (const Plane& p : planes_) {
+    if (p.bits == bits) return &p;
+  }
+  return nullptr;
+}
+
+bool PackedLdzK::has_plane(int bits) const { return find(bits) != nullptr; }
+
+void PackedLdzK::decode_rows(int bits, std::size_t r0, std::size_t r1,
+                             std::int8_t* dst) const {
+  const Plane* p = find(bits);
+  PARO_CHECK_MSG(p != nullptr, "PackedLdzK has no plane for requested bits");
+  PARO_CHECK_MSG(r0 <= r1 && r1 <= rows_, "PackedLdzK row range out of bounds");
+  for (std::size_t r = r0; r < r1; ++r) {
+    ldz_unpack(p->mag.data() + r * p->mag_stride,
+               p->ss.data() + r * p->ss_stride, d_, bits,
+               dst + (r - r0) * d_);
+  }
+}
+
+std::size_t PackedLdzK::packed_bytes() const {
+  std::size_t total = 0;
+  for (const Plane& p : planes_) {
+    total += p.mag.size() + p.ss.size();
+  }
+  return total;
+}
+
+}  // namespace paro::kernels

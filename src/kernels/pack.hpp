@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+// Tile-major packed K operands for the output-bitwidth-aware (OBA) QK^T
+// path.  The LDZ identity  (mantissa * q) << shift == (mantissa << shift) * q
+// holds exactly in integer arithmetic, so instead of truncating every K
+// operand per product (the naive hot loop), each head packs its K codes ONCE
+// per used sub-8 bitwidth into PE-mode operand streams:
+//
+//   bits plane b:  mag  — b-bit mantissa magnitudes, packed lsb-first
+//                         (2b-quads: 4 codes/byte, 4b-pairs: 2 codes/byte)
+//                  ss   — one nibble per code: shift | (negative << 3)
+//
+// Stripes then decode the rows of one tile into an int8 scratch (value
+// domain, mantissa << shift) and run the ordinary int8 dot kernel — bit
+// exact vs the per-product LDZ formulation, at int8-dot speed.  K rows are
+// row-major within a plane and tiles are contiguous row ranges, so a tile's
+// operands are one contiguous packed span reused across every Q stripe.
+namespace paro::kernels {
+
+class PackedLdzK {
+ public:
+  PackedLdzK() = default;
+
+  /// Packs `rows` x `d` row-major int8 codes (stride == d) into one plane
+  /// per distinct bitwidth in `bitwidths` (each in [1,7]; 0 and 8 entries
+  /// are ignored — 0-bit tiles are skipped upstream, 8-bit tiles read the
+  /// raw codes directly).
+  void build(const std::int8_t* codes, std::size_t rows, std::size_t d,
+             const std::vector<int>& bitwidths);
+
+  bool empty() const { return planes_.empty(); }
+  bool has_plane(int bits) const;
+
+  /// Decodes rows [r0, r1) of the `bits` plane into dst[(r1-r0) x d]
+  /// (row-major, stride d).  Values equal ldz_approximate(code, bits).
+  void decode_rows(int bits, std::size_t r0, std::size_t r1,
+                   std::int8_t* dst) const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t dim() const { return d_; }
+  /// Total packed footprint in bytes (for working-set accounting).
+  std::size_t packed_bytes() const;
+
+ private:
+  struct Plane {
+    int bits = 0;
+    std::size_t mag_stride = 0;  ///< bytes per row in `mag`
+    std::size_t ss_stride = 0;   ///< bytes per row in `ss`
+    std::vector<std::uint8_t> mag;
+    std::vector<std::uint8_t> ss;
+  };
+
+  const Plane* find(int bits) const;
+
+  std::size_t rows_ = 0;
+  std::size_t d_ = 0;
+  std::vector<Plane> planes_;
+};
+
+}  // namespace paro::kernels

@@ -1,0 +1,236 @@
+// Portable scalar reference backend.  Every other backend is defined as
+// "bit-exact equal to this one"; keep it simple and obviously correct.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/error.hpp"
+#include "kernels/backend.hpp"
+
+namespace paro::kernels::detail {
+namespace {
+
+std::int32_t dot_i8(const std::int8_t* a, const std::int8_t* b,
+                    std::size_t k) {
+  std::int32_t acc = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    acc += static_cast<std::int32_t>(a[c]) * static_cast<std::int32_t>(b[c]);
+  }
+  return acc;
+}
+
+void qk_tile_i8_scaled_scalar(const std::int8_t* q, std::size_t q_stride,
+                              std::size_t q_rows, const std::int8_t* k,
+                              std::size_t k_stride, std::size_t k_rows,
+                              std::size_t d, const float* q_scales,
+                              const float* k_scales, float* out,
+                              std::size_t out_stride) {
+  for (std::size_t i = 0; i < q_rows; ++i) {
+    const std::int8_t* qi = q + i * q_stride;
+    float* orow = out + i * out_stride;
+    for (std::size_t j = 0; j < k_rows; ++j) {
+      const std::int32_t acc = dot_i8(qi, k + j * k_stride, d);
+      orow[j] = (static_cast<float>(acc) * q_scales[i]) * k_scales[j];
+    }
+  }
+}
+
+void matmul_nt_i8_block_scalar(const std::int8_t* a, std::size_t a_stride,
+                               std::size_t m, const std::int8_t* b,
+                               std::size_t b_stride, std::size_t n,
+                               std::size_t k, std::int32_t* c,
+                               std::size_t c_stride) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::int8_t* ai = a + i * a_stride;
+    std::int32_t* ci = c + i * c_stride;
+    for (std::size_t j = 0; j < n; ++j) {
+      ci[j] = dot_i8(ai, b + j * b_stride, k);
+    }
+  }
+}
+
+// The fixed 4-lane contract: element k lands in lane k%4, lanes fold as
+// (l0+l1)+(l2+l3).  Vector backends reproduce exactly this order.
+float nt_dot_f32_lanes(const float* a, const float* b, std::size_t d) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t c = 0;
+  for (; c + 4 <= d; c += 4) {
+    lane[0] += static_cast<double>(a[c]) * static_cast<double>(b[c]);
+    lane[1] += static_cast<double>(a[c + 1]) * static_cast<double>(b[c + 1]);
+    lane[2] += static_cast<double>(a[c + 2]) * static_cast<double>(b[c + 2]);
+    lane[3] += static_cast<double>(a[c + 3]) * static_cast<double>(b[c + 3]);
+  }
+  for (; c < d; ++c) {
+    lane[c % 4] += static_cast<double>(a[c]) * static_cast<double>(b[c]);
+  }
+  return static_cast<float>((lane[0] + lane[1]) + (lane[2] + lane[3]));
+}
+
+void nt_dot_f32_row_scalar(const float* a, const float* b,
+                           std::size_t b_stride, std::size_t n_rows,
+                           std::size_t d, float* out) {
+  for (std::size_t j = 0; j < n_rows; ++j) {
+    out[j] = nt_dot_f32_lanes(a, b + j * b_stride, d);
+  }
+}
+
+void attnv_accum_scalar(const float* w, std::size_t rows, const float* v,
+                        std::size_t v_stride, std::size_t dv, float* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float wr = w[r];
+    if (wr == 0.0F) continue;
+    const float* vrow = v + r * v_stride;
+    for (std::size_t c = 0; c < dv; ++c) {
+      out[c] += wr * vrow[c];
+    }
+  }
+}
+
+float row_max_scaled_scalar(const float* x, std::size_t n, float scale,
+                            float init) {
+  float m = init;
+  for (std::size_t c = 0; c < n; ++c) {
+    m = std::max(m, x[c] * scale);
+  }
+  return m;
+}
+
+float row_max_scaled_skipinf_scalar(const float* x, std::size_t n, float scale,
+                                    float init) {
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  float m = init;
+  for (std::size_t c = 0; c < n; ++c) {
+    if (x[c] != kNegInf) m = std::max(m, x[c] * scale);
+  }
+  return m;
+}
+
+void scale_inplace_scalar(float* x, std::size_t n, float s) {
+  for (std::size_t c = 0; c < n; ++c) x[c] *= s;
+}
+
+void minmax_f32_scalar(const float* x, std::size_t n, float* lo, float* hi) {
+  float l = x[0];
+  float h = x[0];
+  for (std::size_t c = 0; c < n; ++c) {
+    l = std::min(l, x[c]);
+    h = std::max(h, x[c]);
+  }
+  *lo = l;
+  *hi = h;
+}
+
+float absmax_f32_scalar(const float* x, std::size_t n) {
+  float m = 0.0F;
+  for (std::size_t c = 0; c < n; ++c) {
+    m = std::max(m, std::fabs(x[c]));
+  }
+  return m;
+}
+
+void fake_quant_f32_scalar(const float* in, float* out, std::size_t n,
+                           const QuantTransform& t) {
+  for (std::size_t c = 0; c < n; ++c) {
+    out[c] = fake_quant_value(in[c], t);
+  }
+}
+
+void quantize_i8_scalar(const float* in, std::int8_t* out, std::size_t n,
+                        const QuantTransform& t) {
+  for (std::size_t c = 0; c < n; ++c) {
+    out[c] = quantize_i8_value(in[c], t);
+  }
+}
+
+void dequant_i8_scalar(const std::int8_t* in, float* out, std::size_t n,
+                       float scale) {
+  for (std::size_t c = 0; c < n; ++c) {
+    out[c] = scale * static_cast<float>(in[c]);
+  }
+}
+
+void dequant_i32_scaled_scalar(const std::int32_t* acc, std::size_t n,
+                               float row_scale, const float* col_scales,
+                               float* out) {
+  for (std::size_t c = 0; c < n; ++c) {
+    out[c] = (static_cast<float>(acc[c]) * row_scale) * col_scales[c];
+  }
+}
+
+void ldz_truncate_i8_scalar(const std::int8_t* src, std::int8_t* dst,
+                            std::size_t n, int bits) {
+  if (bits >= 8) {
+    std::memcpy(dst, src, n);
+    return;
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    dst[c] = ldz_truncate_value(src[c], bits);
+  }
+}
+
+void ldz_pack_scalar(const std::int8_t* src, std::size_t n, int bits,
+                     std::uint8_t* mag, std::uint8_t* signshift) {
+  const int per = ldz_codes_per_byte(bits);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int8_t v = src[i];
+    const bool neg = v < 0;
+    const unsigned m = neg ? static_cast<unsigned>(-static_cast<int>(v))
+                           : static_cast<unsigned>(v);
+    const int len = ldz_bit_length_u8(m);
+    const int shift = len > bits ? len - bits : 0;
+    const unsigned mantissa = m >> shift;
+    mag[i / static_cast<std::size_t>(per)] |= static_cast<std::uint8_t>(
+        mantissa << ((i % static_cast<std::size_t>(per)) *
+                     static_cast<std::size_t>(bits)));
+    const unsigned ss =
+        static_cast<unsigned>(shift) | (neg ? 8U : 0U);  // shift <= 7 fits
+    signshift[i / 2] |= static_cast<std::uint8_t>(ss << ((i % 2) * 4));
+  }
+}
+
+void ldz_unpack_scalar(const std::uint8_t* mag, const std::uint8_t* signshift,
+                       std::size_t n, int bits, std::int8_t* dst) {
+  const int per = ldz_codes_per_byte(bits);
+  const unsigned mask = (1U << static_cast<unsigned>(bits)) - 1U;
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned m =
+        (mag[i / static_cast<std::size_t>(per)] >>
+         ((i % static_cast<std::size_t>(per)) * static_cast<std::size_t>(bits))) &
+        mask;
+    const unsigned ss = (signshift[i / 2] >> ((i % 2) * 4)) & 0x0FU;
+    const unsigned shift = ss & 7U;
+    const int value = static_cast<int>(m << shift);
+    dst[i] = static_cast<std::int8_t>((ss & 8U) != 0U ? -value : value);
+  }
+}
+
+}  // namespace
+
+const Backend* scalar_backend() {
+  static const Backend backend = [] {
+    Backend b;
+    b.isa = Isa::kScalar;
+    b.name = "scalar";
+    b.qk_tile_i8_scaled = &qk_tile_i8_scaled_scalar;
+    b.matmul_nt_i8_block = &matmul_nt_i8_block_scalar;
+    b.nt_dot_f32_row = &nt_dot_f32_row_scalar;
+    b.attnv_accum = &attnv_accum_scalar;
+    b.row_max_scaled = &row_max_scaled_scalar;
+    b.row_max_scaled_skipinf = &row_max_scaled_skipinf_scalar;
+    b.scale_inplace = &scale_inplace_scalar;
+    b.minmax_f32 = &minmax_f32_scalar;
+    b.absmax_f32 = &absmax_f32_scalar;
+    b.fake_quant_f32 = &fake_quant_f32_scalar;
+    b.quantize_i8 = &quantize_i8_scalar;
+    b.dequant_i8 = &dequant_i8_scalar;
+    b.dequant_i32_scaled = &dequant_i32_scaled_scalar;
+    b.ldz_truncate_i8 = &ldz_truncate_i8_scalar;
+    b.ldz_pack = &ldz_pack_scalar;
+    b.ldz_unpack = &ldz_unpack_scalar;
+    return b;
+  }();
+  return &backend;
+}
+
+}  // namespace paro::kernels::detail

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "kernels/kernels.hpp"
 
 namespace paro {
 
@@ -13,16 +14,29 @@ namespace {
 constexpr float kMinScale = 1e-12F;
 
 std::int64_t qmax_unsigned(int bits) { return (std::int64_t{1} << bits) - 1; }
+
+/// QuantParams in kernel-native form: the clamp interval spelled out.
+kernels::QuantTransform transform_of(const QuantParams& p) {
+  kernels::QuantTransform t;
+  t.scale = p.scale;
+  t.zero_point = p.zero_point;
+  if (p.symmetric) {
+    const std::int64_t qmax = (std::int64_t{1} << (p.bits - 1)) - 1;
+    t.qlo = -qmax;
+    t.qhi = qmax;
+  } else {
+    t.qlo = 0;
+    t.qhi = qmax_unsigned(p.bits);
+  }
+  return t;
+}
 }  // namespace
 
 QuantParams calibrate_minmax(std::span<const float> values, int bits) {
   PARO_CHECK_MSG(bits >= 1 && bits <= 16, "bits out of range");
   PARO_CHECK_MSG(!values.empty(), "cannot calibrate an empty group");
   float lo = values[0], hi = values[0];
-  for (const float v : values) {
-    lo = std::min(lo, v);
-    hi = std::max(hi, v);
-  }
+  kernels::minmax_f32(values.data(), values.size(), &lo, &hi);
   QuantParams p;
   p.bits = bits;
   p.symmetric = false;
@@ -46,10 +60,7 @@ QuantParams calibrate_minmax(std::span<const float> values, int bits) {
 QuantParams calibrate_symmetric(std::span<const float> values, int bits) {
   PARO_CHECK_MSG(bits >= 2 && bits <= 16, "symmetric quant needs >= 2 bits");
   PARO_CHECK_MSG(!values.empty(), "cannot calibrate an empty group");
-  float amax = 0.0F;
-  for (const float v : values) {
-    amax = std::max(amax, std::abs(v));
-  }
+  const float amax = kernels::absmax_f32(values.data(), values.size());
   QuantParams p;
   p.bits = bits;
   p.symmetric = true;
@@ -108,9 +119,7 @@ void quantize_span(std::span<const float> in, std::span<std::int32_t> out,
 void fake_quant_span(std::span<const float> in, std::span<float> out,
                      const QuantParams& p) {
   PARO_CHECK(in.size() == out.size());
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    out[i] = dequantize_value(quantize_value(in[i], p), p);
-  }
+  kernels::fake_quant_f32(in.data(), out.data(), in.size(), transform_of(p));
 }
 
 double quant_error_sq(std::span<const float> values, const QuantParams& p) {

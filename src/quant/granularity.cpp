@@ -1,5 +1,7 @@
 #include "quant/granularity.hpp"
 
+#include "common/thread_pool.hpp"
+#include "kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace paro {
@@ -42,16 +44,22 @@ QuantizedI8 quantize_rows_i8(const MatF& m, int bits) {
   PARO_CHECK_MSG(bits >= 2 && bits <= 8, "int8-path bits must be in [2,8]");
   QuantizedI8 q;
   q.codes = MatI8(m.rows(), m.cols());
-  q.row_params.reserve(m.rows());
-  for (std::size_t r = 0; r < m.rows(); ++r) {
+  q.row_params.resize(m.rows());
+  // Rows are independent (own codes row, own params slot) and both the
+  // absmax calibration and the rounding kernel are element-exact, so the
+  // parallel fan-out is bitwise identical to the old serial loop.
+  global_pool().parallel_for(0, m.rows(), 16, [&](std::size_t r) {
     const QuantParams p = calibrate_symmetric(m.row(r), bits);
     const auto src = m.row(r);
-    auto dst = q.codes.row(r);
-    for (std::size_t c = 0; c < src.size(); ++c) {
-      dst[c] = static_cast<std::int8_t>(quantize_value(src[c], p));
-    }
-    q.row_params.push_back(p);
-  }
+    kernels::QuantTransform t;
+    t.scale = p.scale;
+    t.zero_point = 0;
+    const std::int64_t qmax = (std::int64_t{1} << (bits - 1)) - 1;
+    t.qlo = -qmax;
+    t.qhi = qmax;
+    kernels::quantize_i8(src.data(), q.codes.row(r).data(), src.size(), t);
+    q.row_params[r] = p;
+  });
   return q;
 }
 
@@ -61,8 +69,12 @@ MatF dequantize_rows(const QuantizedI8& q) {
     const QuantParams& p = q.row_params.at(r);
     const auto src = q.codes.row(r);
     auto dst = out.row(r);
-    for (std::size_t c = 0; c < src.size(); ++c) {
-      dst[c] = dequantize_value(src[c], p);
+    if (p.zero_point == 0) {
+      kernels::dequant_i8(src.data(), dst.data(), src.size(), p.scale);
+    } else {
+      for (std::size_t c = 0; c < src.size(); ++c) {
+        dst[c] = dequantize_value(src[c], p);
+      }
     }
   }
   return out;

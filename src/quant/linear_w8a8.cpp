@@ -1,21 +1,38 @@
 #include "quant/linear_w8a8.hpp"
 
+#include "common/thread_pool.hpp"
+#include "kernels/kernels.hpp"
 #include "quant/granularity.hpp"
 #include "tensor/ops.hpp"
 
 namespace paro {
 
+namespace {
+
+/// Symmetric int8 transform for `bits`-wide codes (zero point 0).
+kernels::QuantTransform symmetric_transform(float scale, int bits) {
+  kernels::QuantTransform t;
+  t.scale = scale;
+  t.zero_point = 0;
+  const std::int64_t qmax = (std::int64_t{1} << (bits - 1)) - 1;
+  t.qlo = -qmax;
+  t.qhi = qmax;
+  return t;
+}
+
+}  // namespace
+
 LinearW8A8::LinearW8A8(const MatF& weight) {
   codes_ = MatI8(weight.rows(), weight.cols());
   channel_params_.reserve(weight.rows());
+  channel_scales_.reserve(weight.rows());
   for (std::size_t r = 0; r < weight.rows(); ++r) {
     const QuantParams p = calibrate_symmetric(weight.row(r), 8);
     const auto src = weight.row(r);
-    auto dst = codes_.row(r);
-    for (std::size_t c = 0; c < src.size(); ++c) {
-      dst[c] = static_cast<std::int8_t>(quantize_value(src[c], p));
-    }
+    kernels::quantize_i8(src.data(), codes_.row(r).data(), src.size(),
+                         symmetric_transform(p.scale, 8));
     channel_params_.push_back(p);
+    channel_scales_.push_back(p.scale);
   }
 }
 
@@ -24,26 +41,21 @@ MatF LinearW8A8::forward(const MatF& x) const {
   const QuantizedI8 xa = quantize_rows_i8(x, 8);
   const MatI32 acc = matmul_nt_i8(xa.codes, codes_);
   MatF y(x.rows(), out_features());
-  for (std::size_t t = 0; t < y.rows(); ++t) {
-    const float sx = xa.row_params[t].scale;
-    const auto arow = acc.row(t);
-    auto yrow = y.row(t);
-    for (std::size_t o = 0; o < yrow.size(); ++o) {
-      yrow[o] = static_cast<float>(arow[o]) * sx * channel_params_[o].scale;
-    }
-  }
+  // Dequant epilogue rows are independent; each is one kernel call over the
+  // contiguous per-channel scale vector.
+  global_pool().parallel_for(0, y.rows(), 16, [&](std::size_t t) {
+    kernels::dequant_i32_scaled(acc.row(t).data(), y.cols(),
+                                xa.row_params[t].scale,
+                                channel_scales_.data(), y.row(t).data());
+  });
   return y;
 }
 
 MatF LinearW8A8::dequantized_weight() const {
   MatF w(codes_.rows(), codes_.cols());
   for (std::size_t r = 0; r < w.rows(); ++r) {
-    const float s = channel_params_[r].scale;
-    const auto src = codes_.row(r);
-    auto dst = w.row(r);
-    for (std::size_t c = 0; c < src.size(); ++c) {
-      dst[c] = static_cast<float>(src[c]) * s;
-    }
+    kernels::dequant_i8(codes_.row(r).data(), w.row(r).data(), w.cols(),
+                        channel_params_[r].scale);
   }
   return w;
 }

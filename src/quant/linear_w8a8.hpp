@@ -38,6 +38,7 @@ class LinearW8A8 {
  private:
   MatI8 codes_;                        // [out, in]
   std::vector<QuantParams> channel_params_;  // one per output channel
+  std::vector<float> channel_scales_;  // contiguous mirror for the kernel
 };
 
 }  // namespace paro

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/thread_pool.hpp"
+#include "kernels/kernels.hpp"
 
 namespace paro {
 
@@ -18,21 +19,15 @@ constexpr std::size_t kRowGrain = 16;
 MatF matmul(const MatF& a, const MatF& b) {
   PARO_CHECK_MSG(a.cols() == b.rows(), "matmul shape mismatch");
   MatF c(a.rows(), b.cols(), 0.0F);
-  // Each task owns a contiguous band of output rows.  ikj loop order keeps
-  // the B row hot in cache.
+  if (a.cols() == 0) return c;
+  // Each task owns a contiguous band of output rows.  The kernel keeps the
+  // ikj loop order (B row hot in cache) and the aik == 0 row skip.
   global_pool().for_chunks(
       0, a.rows(), kRowGrain,
       [&](std::size_t i0, std::size_t i1, std::size_t /*chunk*/) {
         for (std::size_t i = i0; i < i1; ++i) {
-          for (std::size_t k = 0; k < a.cols(); ++k) {
-            const float aik = a(i, k);
-            if (aik == 0.0F) continue;
-            const auto brow = b.row(k);
-            auto crow = c.row(i);
-            for (std::size_t j = 0; j < b.cols(); ++j) {
-              crow[j] += aik * brow[j];
-            }
-          }
+          kernels::attnv_accum(a.row(i).data(), a.cols(), b.row(0).data(),
+                               b.cols(), b.cols(), c.row(i).data());
         }
       });
   return c;
@@ -41,16 +36,13 @@ MatF matmul(const MatF& a, const MatF& b) {
 MatF matmul_nt(const MatF& a, const MatF& b) {
   PARO_CHECK_MSG(a.cols() == b.cols(), "matmul_nt shape mismatch");
   MatF c(a.rows(), b.rows(), 0.0F);
+  if (b.rows() == 0) return c;
+  // Fixed accumulation contract (4 double lanes striped by k % 4, folded as
+  // (l0+l1)+(l2+l3)) — identical in the scalar reference and every SIMD
+  // backend, so results are bitwise independent of the dispatched ISA.
   global_pool().parallel_for(0, a.rows(), kRowGrain, [&](std::size_t i) {
-    const auto arow = a.row(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const auto brow = b.row(j);
-      double acc = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) {
-        acc += static_cast<double>(arow[k]) * static_cast<double>(brow[k]);
-      }
-      c(i, j) = static_cast<float>(acc);
-    }
+    kernels::nt_dot_f32_row(a.row(i).data(), b.row(0).data(), b.cols(),
+                            b.rows(), a.cols(), c.row(i).data());
   });
   return c;
 }
@@ -58,18 +50,16 @@ MatF matmul_nt(const MatF& a, const MatF& b) {
 MatI32 matmul_nt_i8(const MatI8& a, const MatI8& b) {
   PARO_CHECK_MSG(a.cols() == b.cols(), "matmul_nt_i8 shape mismatch");
   MatI32 c(a.rows(), b.rows(), 0);
-  global_pool().parallel_for(0, a.rows(), kRowGrain, [&](std::size_t i) {
-    const auto arow = a.row(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const auto brow = b.row(j);
-      std::int32_t acc = 0;
-      for (std::size_t k = 0; k < a.cols(); ++k) {
-        acc += static_cast<std::int32_t>(arow[k]) *
-               static_cast<std::int32_t>(brow[k]);
-      }
-      c(i, j) = acc;
-    }
-  });
+  if (b.rows() == 0) return c;
+  // Cache-blocked packed-int8 kernel per row band; integer sums are exact,
+  // so the result is bit-identical at any vector width or thread count.
+  global_pool().for_chunks(
+      0, a.rows(), kRowGrain,
+      [&](std::size_t i0, std::size_t i1, std::size_t /*chunk*/) {
+        kernels::matmul_nt_i8_block(a.row(i0).data(), a.cols(), i1 - i0,
+                                    b.row(0).data(), b.cols(), b.rows(),
+                                    a.cols(), c.row(i0).data(), c.cols());
+      });
   return c;
 }
 
@@ -78,20 +68,14 @@ MatF softmax_rows(const MatF& logits, float scale) {
   for (std::size_t i = 0; i < logits.rows(); ++i) {
     const auto in = logits.row(i);
     auto dst = out.row(i);
-    float maxv = -std::numeric_limits<float>::infinity();
-    for (const float v : in) {
-      maxv = std::max(maxv, v * scale);
-    }
-    double sum = 0.0;
-    for (std::size_t j = 0; j < in.size(); ++j) {
-      const double e = std::exp(static_cast<double>(in[j] * scale - maxv));
-      dst[j] = static_cast<float>(e);
-      sum += e;
-    }
+    const float maxv = kernels::row_max_scaled(
+        in.data(), in.size(), scale,
+        -std::numeric_limits<float>::infinity());
+    std::copy(in.begin(), in.end(), dst.begin());
+    const double sum =
+        kernels::exp_sum_segment(dst.data(), dst.size(), scale, maxv, 0.0);
     const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0F;
-    for (float& v : dst) {
-      v *= inv;
-    }
+    kernels::scale_inplace(dst.data(), dst.size(), inv);
   }
   return out;
 }

@@ -1,0 +1,505 @@
+// Property tests for the runtime-dispatched SIMD kernel layer.
+//
+// The central contract: every vector backend is BIT-EXACT against the scalar
+// reference — integer kernels on every shape and bitwidth (integer addition
+// is associative), float kernels by construction of a shared operation
+// order.  The sweeps below force each available ISA in turn on ragged
+// shapes, all 256 int8 values, every bitwidth class, and the exact rounding
+// ties of the affine quantizers, and then check the whole fused executor
+// end-to-end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "attention/fused_executor.hpp"
+#include "attention/pipeline.hpp"
+#include "attention/synthetic.hpp"
+#include "common/error.hpp"
+#include "common/fixedpoint.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "kernels/isa.hpp"
+#include "kernels/kernels.hpp"
+#include "kernels/pack.hpp"
+#include "obs/metrics.hpp"
+#include "tensor/random.hpp"
+
+namespace paro::kernels {
+namespace {
+
+/// Forces `isa` for the lifetime of the object, restores auto-selection on
+/// scope exit so tests cannot leak a forced backend into each other.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(Isa isa) { force_isa(isa); }
+  ~ScopedIsa() { reset_isa(); }
+  ScopedIsa(const ScopedIsa&) = delete;
+  ScopedIsa& operator=(const ScopedIsa&) = delete;
+};
+
+std::vector<Isa> vector_isas() {
+  std::vector<Isa> out;
+  for (const Isa isa : available_isas()) {
+    if (isa != Isa::kScalar) out.push_back(isa);
+  }
+  return out;
+}
+
+/// Random int8 codes covering the full value range (including -128).
+std::vector<std::int8_t> random_codes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int8_t> v(n);
+  for (auto& x : v) {
+    x = static_cast<std::int8_t>(
+        static_cast<int>(rng.uniform_index(256)) - 128);
+  }
+  return v;
+}
+
+/// Random floats in [-8, 8] with no negative zeros (vector min/max folds
+/// may legally resolve +0/-0 differently; production data never hits it).
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = static_cast<float>(rng.uniform(-8.0, 8.0));
+    if (x == 0.0F) x = 0.0F;  // normalize any -0 to +0
+  }
+  return v;
+}
+
+// --------------------------------------------------------------- dispatch
+
+TEST(KernelIsa, ScalarAlwaysAvailableAndLast) {
+  const auto isas = available_isas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.back(), Isa::kScalar);
+  for (const Isa isa : isas) EXPECT_TRUE(isa_available(isa));
+}
+
+TEST(KernelIsa, ParseRoundTripsAndRejectsUnknown) {
+  for (const Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512, Isa::kNeon}) {
+    EXPECT_EQ(parse_isa(isa_name(isa)), isa);
+  }
+  EXPECT_THROW(parse_isa("sse9"), ConfigError);
+  EXPECT_THROW(parse_isa(""), ConfigError);
+}
+
+TEST(KernelIsa, ForceIsaPinsDispatch) {
+  for (const Isa isa : available_isas()) {
+    ScopedIsa pin(isa);
+    EXPECT_EQ(active_isa(), isa);
+  }
+  // After reset, auto-selection lands on the best available ISA again.
+  EXPECT_EQ(active_isa(), available_isas().front());
+}
+
+TEST(KernelIsa, ForcingUnavailableIsaThrows) {
+  Isa missing = Isa::kNeon;
+#if defined(__aarch64__)
+  missing = Isa::kAvx2;
+#endif
+  ASSERT_FALSE(isa_available(missing));
+  EXPECT_THROW(force_isa(missing), ConfigError);
+}
+
+// ------------------------------------------------------------ LDZ kernels
+
+TEST(KernelLdz, TruncateMatchesFixedpointOracleOnAllValuesAllBits) {
+  std::vector<std::int8_t> src(256);
+  for (int v = -128; v <= 127; ++v) {
+    src[static_cast<std::size_t>(v + 128)] = static_cast<std::int8_t>(v);
+  }
+  std::vector<std::int8_t> dst(src.size());
+  for (const Isa isa : available_isas()) {
+    ScopedIsa pin(isa);
+    for (int bits = 1; bits <= 8; ++bits) {
+      ldz_truncate_i8(src.data(), dst.data(), src.size(), bits);
+      for (std::size_t i = 0; i < src.size(); ++i) {
+        EXPECT_EQ(static_cast<std::int32_t>(dst[i]),
+                  ldz_approximate(src[i], bits))
+            << "isa=" << isa_name(isa) << " bits=" << bits
+            << " v=" << static_cast<int>(src[i]);
+      }
+    }
+  }
+}
+
+TEST(KernelLdz, PackUnpackRoundTripsOnRaggedLengths) {
+  for (const std::size_t n : {1UL, 3UL, 7UL, 15UL, 16UL, 31UL, 33UL, 257UL}) {
+    const auto raw = random_codes(n, 1000 + n);
+    std::vector<std::int8_t> truncated(n), unpacked(n);
+    for (int bits = 1; bits <= 7; ++bits) {
+      ldz_truncate_i8(raw.data(), truncated.data(), n, bits);
+      std::vector<std::uint8_t> mag(ldz_mag_bytes(n, bits), 0);
+      std::vector<std::uint8_t> ss(ldz_signshift_bytes(n), 0);
+      ldz_pack(truncated.data(), n, bits, mag.data(), ss.data());
+      for (const Isa isa : available_isas()) {
+        ScopedIsa pin(isa);
+        std::fill(unpacked.begin(), unpacked.end(), std::int8_t{99});
+        ldz_unpack(mag.data(), ss.data(), n, bits, unpacked.data());
+        EXPECT_EQ(std::memcmp(unpacked.data(), truncated.data(), n), 0)
+            << "isa=" << isa_name(isa) << " bits=" << bits << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(KernelLdz, PackedLdzKDecodesTileRowsExactly) {
+  const std::size_t rows = 37, d = 19;
+  const auto codes = random_codes(rows * d, 7);
+  PackedLdzK packed;
+  packed.build(codes.data(), rows, d, {2, 4, 0, 8, 4});  // dupes/0/8 ignored
+  EXPECT_TRUE(packed.has_plane(2));
+  EXPECT_TRUE(packed.has_plane(4));
+  EXPECT_FALSE(packed.has_plane(8));
+  EXPECT_GT(packed.packed_bytes(), 0U);
+
+  std::vector<std::int8_t> expect(rows * d), got(rows * d);
+  for (const int bits : {2, 4}) {
+    ldz_truncate_i8(codes.data(), expect.data(), rows * d, bits);
+    for (const auto& [r0, r1] : {std::pair<std::size_t, std::size_t>{0, rows},
+                                {5, 6},
+                                {11, 23},
+                                {rows - 1, rows}}) {
+      packed.decode_rows(bits, r0, r1, got.data());
+      EXPECT_EQ(std::memcmp(got.data(), expect.data() + r0 * d,
+                            (r1 - r0) * d),
+                0)
+          << "bits=" << bits << " rows [" << r0 << "," << r1 << ")";
+    }
+  }
+}
+
+// --------------------------------------------------- integer tile kernels
+
+TEST(KernelInt8, QkTileBitExactVsNaiveOnRaggedShapes) {
+  for (const Isa isa : available_isas()) {
+    ScopedIsa pin(isa);
+    for (const std::size_t qr : {1UL, 3UL, 8UL, 17UL}) {
+      for (const std::size_t krows : {1UL, 5UL, 16UL, 31UL}) {
+        for (const std::size_t d :
+             {1UL, 4UL, 15UL, 16UL, 17UL, 31UL, 33UL, 64UL, 100UL}) {
+          const auto q = random_codes(qr * d, qr * 31 + d);
+          const auto k = random_codes(krows * d, krows * 17 + d);
+          std::vector<float> sq(qr), sk(krows);
+          Rng rng(qr + krows + d);
+          for (auto& s : sq) s = static_cast<float>(rng.uniform(0.001, 0.1));
+          for (auto& s : sk) s = static_cast<float>(rng.uniform(0.001, 0.1));
+          std::vector<float> out(qr * krows, -1.0F);
+          qk_tile_i8_scaled(q.data(), d, qr, k.data(), d, krows, d, sq.data(),
+                            sk.data(), out.data(), krows);
+          for (std::size_t i = 0; i < qr; ++i) {
+            for (std::size_t j = 0; j < krows; ++j) {
+              std::int32_t acc = 0;
+              for (std::size_t c = 0; c < d; ++c) {
+                acc += static_cast<std::int32_t>(q[i * d + c]) *
+                       static_cast<std::int32_t>(k[j * d + c]);
+              }
+              const float want =
+                  (static_cast<float>(acc) * sq[i]) * sk[j];
+              ASSERT_EQ(out[i * krows + j], want)
+                  << "isa=" << isa_name(isa) << " q_rows=" << qr
+                  << " k_rows=" << krows << " d=" << d << " (" << i << ","
+                  << j << ")";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelInt8, MatmulNtBlockBitExactVsNaive) {
+  for (const Isa isa : available_isas()) {
+    ScopedIsa pin(isa);
+    for (const std::size_t m : {1UL, 7UL, 64UL}) {
+      for (const std::size_t n : {1UL, 9UL, 300UL}) {  // > one j-block
+        for (const std::size_t k : {1UL, 16UL, 33UL, 64UL}) {
+          const auto a = random_codes(m * k, m * 7 + k);
+          const auto b = random_codes(n * k, n * 13 + k);
+          std::vector<std::int32_t> c(m * n, -7);
+          matmul_nt_i8_block(a.data(), k, m, b.data(), k, n, k, c.data(), n);
+          for (std::size_t i = 0; i < m; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+              std::int32_t acc = 0;
+              for (std::size_t t = 0; t < k; ++t) {
+                acc += static_cast<std::int32_t>(a[i * k + t]) *
+                       static_cast<std::int32_t>(b[j * k + t]);
+              }
+              ASSERT_EQ(c[i * n + j], acc)
+                  << "isa=" << isa_name(isa) << " m=" << m << " n=" << n
+                  << " k=" << k;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// --------------------------------------------- float kernels, bitwise ISAs
+
+TEST(KernelFloat, AllPrimitivesBitwiseIdenticalToScalar) {
+  const std::vector<std::size_t> sizes = {1, 2, 3, 4, 7, 8, 15, 16,
+                                          17, 31, 32, 33, 100, 1023};
+  for (const std::size_t n : sizes) {
+    const auto x = random_floats(n, 40 + n);
+    const auto y = random_floats(n, 90 + n);
+    std::vector<std::int32_t> acc32(n);
+    std::vector<std::int8_t> codes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      acc32[i] = static_cast<std::int32_t>(i * 37) - 512;
+      codes[i] = static_cast<std::int8_t>((i * 29) % 256 - 128);
+    }
+    QuantTransform t;
+    t.scale = 0.034F;
+    t.qlo = -127;
+    t.qhi = 127;
+
+    // Scalar reference values first.
+    struct Ref {
+      std::vector<float> dot, fq, dq8, dq32, scaled;
+      std::vector<std::int8_t> q8;
+      float rmax = 0, rmax_skip = 0, amax = 0, lo = 0, hi = 0;
+      double expsum = 0;
+      std::vector<float> expd;
+      std::vector<float> attnv;
+    } ref;
+    {
+      ScopedIsa pin(Isa::kScalar);
+      ref.dot.resize(n);
+      nt_dot_f32_row(x.data(), y.data(), 1, n, 1, ref.dot.data());
+      std::vector<float> dotd(n);
+      const std::size_t rows = n >= 4 ? n / 4 : 1, d = n / rows;
+      ref.dot.assign(rows, 0.0F);
+      nt_dot_f32_row(x.data(), y.data(), d, rows, d, ref.dot.data());
+      ref.attnv.assign(d, 0.0F);
+      attnv_accum(x.data(), rows, y.data(), d, d, ref.attnv.data());
+      ref.rmax = row_max_scaled(x.data(), n, 0.125F, -1e30F);
+      ref.rmax_skip = row_max_scaled_skipinf(x.data(), n, 0.125F, -1e30F);
+      ref.amax = absmax_f32(x.data(), n);
+      minmax_f32(x.data(), n, &ref.lo, &ref.hi);
+      ref.fq.resize(n);
+      fake_quant_f32(x.data(), ref.fq.data(), n, t);
+      ref.q8.resize(n);
+      quantize_i8(x.data(), ref.q8.data(), n, t);
+      ref.dq8.resize(n);
+      dequant_i8(codes.data(), ref.dq8.data(), n, 0.034F);
+      ref.dq32.resize(n);
+      dequant_i32_scaled(acc32.data(), n, 0.02F, y.data(), ref.dq32.data());
+      ref.scaled = x;
+      scale_inplace(ref.scaled.data(), n, 0.73F);
+      ref.expd = x;
+      ref.expsum = exp_sum_segment(ref.expd.data(), n, 0.125F, 1.0F, 0.5);
+    }
+
+    for (const Isa isa : vector_isas()) {
+      ScopedIsa pin(isa);
+      const std::size_t rows = n >= 4 ? n / 4 : 1, d = n / rows;
+      std::vector<float> got(rows, 0.0F);
+      nt_dot_f32_row(x.data(), y.data(), d, rows, d, got.data());
+      EXPECT_EQ(0, std::memcmp(got.data(), ref.dot.data(),
+                               rows * sizeof(float)))
+          << "nt_dot_f32_row isa=" << isa_name(isa) << " n=" << n;
+
+      std::vector<float> av(d, 0.0F);
+      attnv_accum(x.data(), rows, y.data(), d, d, av.data());
+      EXPECT_EQ(0, std::memcmp(av.data(), ref.attnv.data(),
+                               d * sizeof(float)))
+          << "attnv_accum isa=" << isa_name(isa) << " n=" << n;
+
+      EXPECT_EQ(row_max_scaled(x.data(), n, 0.125F, -1e30F), ref.rmax)
+          << "row_max isa=" << isa_name(isa) << " n=" << n;
+      EXPECT_EQ(row_max_scaled_skipinf(x.data(), n, 0.125F, -1e30F),
+                ref.rmax_skip)
+          << "row_max_skipinf isa=" << isa_name(isa) << " n=" << n;
+      EXPECT_EQ(absmax_f32(x.data(), n), ref.amax)
+          << "absmax isa=" << isa_name(isa) << " n=" << n;
+      float lo = 0, hi = 0;
+      minmax_f32(x.data(), n, &lo, &hi);
+      EXPECT_EQ(lo, ref.lo);
+      EXPECT_EQ(hi, ref.hi);
+
+      std::vector<float> fq(n);
+      fake_quant_f32(x.data(), fq.data(), n, t);
+      EXPECT_EQ(0, std::memcmp(fq.data(), ref.fq.data(), n * sizeof(float)))
+          << "fake_quant isa=" << isa_name(isa) << " n=" << n;
+
+      std::vector<std::int8_t> q8(n);
+      quantize_i8(x.data(), q8.data(), n, t);
+      EXPECT_EQ(0, std::memcmp(q8.data(), ref.q8.data(), n))
+          << "quantize_i8 isa=" << isa_name(isa) << " n=" << n;
+
+      std::vector<float> dq8(n);
+      dequant_i8(codes.data(), dq8.data(), n, 0.034F);
+      EXPECT_EQ(0, std::memcmp(dq8.data(), ref.dq8.data(), n * sizeof(float)))
+          << "dequant_i8 isa=" << isa_name(isa) << " n=" << n;
+
+      std::vector<float> dq32(n);
+      dequant_i32_scaled(acc32.data(), n, 0.02F, y.data(), dq32.data());
+      EXPECT_EQ(0,
+                std::memcmp(dq32.data(), ref.dq32.data(), n * sizeof(float)))
+          << "dequant_i32_scaled isa=" << isa_name(isa) << " n=" << n;
+
+      std::vector<float> scaled = x;
+      scale_inplace(scaled.data(), n, 0.73F);
+      EXPECT_EQ(0, std::memcmp(scaled.data(), ref.scaled.data(),
+                               n * sizeof(float)))
+          << "scale_inplace isa=" << isa_name(isa) << " n=" << n;
+
+      std::vector<float> expd = x;
+      const double sum = exp_sum_segment(expd.data(), n, 0.125F, 1.0F, 0.5);
+      EXPECT_EQ(sum, ref.expsum);
+      EXPECT_EQ(0,
+                std::memcmp(expd.data(), ref.expd.data(), n * sizeof(float)))
+          << "exp_sum_segment isa=" << isa_name(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelFloat, FakeQuantRoundsTiesExactlyLikeLround) {
+  // Exact .5 ties in the quotient x / scale, both signs, at scale 1: lround
+  // rounds half away from zero — the tie-blend in the vector backends must
+  // match it on every value.
+  QuantTransform t;
+  t.scale = 1.0F;
+  t.qlo = -127;
+  t.qhi = 127;
+  std::vector<float> ties;
+  for (int i = -40; i <= 40; ++i) {
+    ties.push_back(static_cast<float>(i) + 0.5F);
+    ties.push_back(static_cast<float>(i) - 0.5F);
+    ties.push_back(static_cast<float>(i));
+  }
+  std::vector<float> out(ties.size());
+  std::vector<std::int8_t> q(ties.size());
+  for (const Isa isa : available_isas()) {
+    ScopedIsa pin(isa);
+    fake_quant_f32(ties.data(), out.data(), ties.size(), t);
+    quantize_i8(ties.data(), q.data(), ties.size(), t);
+    for (std::size_t i = 0; i < ties.size(); ++i) {
+      const auto want = std::clamp<long>(
+          std::lround(static_cast<double>(ties[i])), -127, 127);
+      EXPECT_EQ(q[i], static_cast<std::int8_t>(want))
+          << "isa=" << isa_name(isa) << " x=" << ties[i];
+      EXPECT_EQ(out[i], static_cast<float>(want))
+          << "isa=" << isa_name(isa) << " x=" << ties[i];
+    }
+  }
+}
+
+TEST(KernelFloat, ExpSumSegmentChainsAcrossSplits) {
+  const std::size_t n = 257;
+  const auto x = random_floats(n, 5);
+  std::vector<float> whole = x;
+  const double whole_sum =
+      exp_sum_segment(whole.data(), n, 0.07F, 0.9F, 0.0);
+  std::vector<float> split = x;
+  double sum = 0.0;
+  for (const auto& [s0, s1] :
+       {std::pair<std::size_t, std::size_t>{0, 64}, {64, 65}, {65, 257}}) {
+    sum = exp_sum_segment(split.data() + s0, s1 - s0, 0.07F, 0.9F, sum);
+  }
+  EXPECT_EQ(sum, whole_sum);
+  EXPECT_EQ(0, std::memcmp(split.data(), whole.data(), n * sizeof(float)));
+}
+
+// ------------------------------------------------------- observability
+
+TEST(KernelObs, CallCountersTickAndPublish) {
+  reset_kernel_call_counts();
+  const auto x = random_floats(64, 3);
+  (void)absmax_f32(x.data(), x.size());
+  (void)absmax_f32(x.data(), x.size());
+  bool found = false;
+  for (const auto& kc : kernel_call_counts()) {
+    if (std::string(kc.name) == "absmax_f32") {
+      found = true;
+      EXPECT_GE(kc.calls, 2U);
+    }
+  }
+  EXPECT_TRUE(found);
+  publish_kernel_metrics();
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::global().snapshot();
+  EXPECT_GT(snapshot.family_total("kernel.dispatch"), 0.0);
+  EXPECT_GT(snapshot.family_total("kernel.calls"), 0.0);
+}
+
+// ------------------------------------------- fused executor across ISAs
+
+TEST(KernelEndToEnd, FusedExecutorBitwiseIdenticalAcrossIsas) {
+  const TokenGrid grid(4, 4, 4);
+  SyntheticHeadSpec spec;
+  spec.locality_width = 0.02;
+  Rng rng(21);
+  const HeadQKV head = generate_head(grid, spec, 16, rng);
+
+  std::vector<QuantAttentionConfig> configs;
+  configs.push_back(config_fp16());
+  configs.push_back(config_blockwise_int(8, 16));
+  {
+    QuantAttentionConfig oba = config_paro_mp(4.8, 16);
+    oba.output_bitwidth_aware = true;
+    configs.push_back(oba);
+  }
+
+  for (const auto& cfg : configs) {
+    const HeadCalibration calib =
+        calibrate_head(head.q, head.k, grid, cfg);
+    for (const auto executor :
+         {AttnExecutor::kStreamed, AttnExecutor::kMaterialized}) {
+      QuantAttentionConfig run_cfg = cfg;
+      run_cfg.executor = executor;
+      MatF ref_out;
+      {
+        ScopedIsa pin(Isa::kScalar);
+        ref_out = quantized_attention(head.q, head.k, head.v, calib, run_cfg)
+                      .output;
+      }
+      for (const Isa isa : vector_isas()) {
+        ScopedIsa pin(isa);
+        const MatF out =
+            quantized_attention(head.q, head.k, head.v, calib, run_cfg)
+                .output;
+        ASSERT_TRUE(out.same_shape(ref_out));
+        EXPECT_EQ(0, std::memcmp(out.flat().data(), ref_out.flat().data(),
+                                 ref_out.size() * sizeof(float)))
+            << "isa=" << isa_name(isa)
+            << " executor=" << (executor == AttnExecutor::kStreamed ? "s" : "m")
+            << " oba=" << cfg.output_bitwidth_aware;
+      }
+    }
+  }
+}
+
+TEST(KernelEndToEnd, FusedExecutorThreadCountInvariantPerIsa) {
+  const TokenGrid grid(4, 4, 4);
+  SyntheticHeadSpec spec;
+  Rng rng(22);
+  const HeadQKV head = generate_head(grid, spec, 16, rng);
+  QuantAttentionConfig cfg = config_paro_mp(4.8, 16);
+  cfg.output_bitwidth_aware = true;
+  const HeadCalibration calib = calibrate_head(head.q, head.k, grid, cfg);
+
+  for (const Isa isa : available_isas()) {
+    ScopedIsa pin(isa);
+    set_global_threads(1);
+    const MatF serial =
+        quantized_attention(head.q, head.k, head.v, calib, cfg).output;
+    set_global_threads(8);
+    const MatF parallel =
+        quantized_attention(head.q, head.k, head.v, calib, cfg).output;
+    set_global_threads(0);
+    EXPECT_EQ(0, std::memcmp(serial.flat().data(), parallel.flat().data(),
+                             serial.size() * sizeof(float)))
+        << "isa=" << isa_name(isa);
+  }
+}
+
+}  // namespace
+}  // namespace paro::kernels

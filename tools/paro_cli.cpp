@@ -49,6 +49,8 @@
 #include "common/numeric_guard.hpp"
 #include "common/thread_pool.hpp"
 #include "energy/area_power.hpp"
+#include "kernels/isa.hpp"
+#include "kernels/kernels.hpp"
 #include "metrics/video_metrics.hpp"
 #include "model/ddim.hpp"
 #include "obs/json.hpp"
@@ -145,6 +147,19 @@ void write_metrics_section(obs::JsonWriter& w) {
   obs::MetricsRegistry::global().snapshot().write_json(w);
 }
 
+/// "kernels": {...} section — which SIMD backend dispatch selected and how
+/// many times each micro-kernel ran (zero-call kernels omitted).
+void write_kernels_section(obs::JsonWriter& w) {
+  w.key("kernels").begin_object();
+  w.kv("isa", kernels::isa_name(kernels::active_isa()));
+  w.key("calls").begin_object();
+  for (const kernels::KernelCallCount& kc : kernels::kernel_call_counts()) {
+    if (kc.calls > 0) w.kv(kc.name, static_cast<std::uint64_t>(kc.calls));
+  }
+  w.end_object();
+  w.end_object();
+}
+
 /// Writes the profiler's span timeline to `path` (calibrate / quality).
 void write_profile_trace(const std::string& path) {
   std::ofstream os(path);
@@ -233,6 +248,7 @@ int cmd_calibrate(const KeyValueConfig& cfg) {
     w.kv("out", out);
     w.kv("budget_mode", global ? "model-wide" : "per-head");
     write_summary_json(w, summary);
+    write_kernels_section(w);
     write_metrics_section(w);
     w.end_object();
     std::cout << '\n';
@@ -401,6 +417,7 @@ int cmd_quality(const KeyValueConfig& cfg) {
     w.kv("flicker", q.flicker);
     w.kv("psnr_db", psnr);
     w.end_object();
+    write_kernels_section(w);
     write_metrics_section(w);
     w.end_object();
     std::cout << '\n';
@@ -516,6 +533,7 @@ int cmd_simulate(const KeyValueConfig& cfg) {
       w.end_object();
     }
     w.end_array();
+    write_kernels_section(w);
     write_metrics_section(w);
     w.end_object();
     std::cout << '\n';
