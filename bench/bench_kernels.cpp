@@ -13,7 +13,9 @@
 //     available vector ISA (forced via kernels::force_isa, same inputs),
 //     and the results — GB/s, GOP/s, speedup vs scalar, and the ISA the
 //     dispatcher would choose — are written as BENCH_kernels.json
-//     (schema "paro.bench_kernels.v1").
+//     (schema "paro.bench_kernels.v2": v1's fields plus a "build" metadata
+//     block and a "flight_recorder" overhead measurement; tools/bench_diff
+//     reads both versions).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -39,6 +41,7 @@
 #include "kernels/kernels.hpp"
 #include "mixedprec/allocator.hpp"
 #include "obs/json.hpp"
+#include "obs/ring_log.hpp"
 #include "quant/bittable.hpp"
 #include "quant/blockwise.hpp"
 #include "quant/granularity.hpp"
@@ -479,6 +482,33 @@ std::vector<KernelCase> build_cases() {
   return cases;
 }
 
+/// Compiler identity baked in at build time (schema v2 "build" block) —
+/// bench_diff warns when two reports come from different compilers.
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_flags() {
+#ifdef PARO_BENCH_CXX_FLAGS
+  return PARO_BENCH_CXX_FLAGS;
+#else
+  std::string f;
+#ifdef __OPTIMIZE__
+  f += "optimized";
+#endif
+#ifdef NDEBUG
+  f += f.empty() ? "NDEBUG" : " NDEBUG";
+#endif
+  return f;
+#endif
+}
+
 int run_kernel_harness(const std::string& json_path) {
   set_global_threads(1);  // isolate SIMD effect: same thread count per ISA
   const std::vector<kernels::Isa> isas = kernels::available_isas();
@@ -502,6 +532,22 @@ int run_kernel_harness(const std::string& json_path) {
   }
   kernels::reset_isa();
 
+  // Flight-recorder overhead on the end-to-end fused attention case under
+  // the dispatch-chosen backend: the ISSUE's acceptance gate is <5%
+  // steady-state cost with recording enabled (rings wrap; no allocation).
+  const KernelCase fr_case = fused_attention_case();
+  obs::FlightRecorder::global().set_enabled(false);
+  const double fr_disabled_s = measure_seconds(fr_case.fn);
+  obs::FlightRecorder::global().reset();
+  obs::FlightRecorder::global().set_enabled(true);
+  const double fr_enabled_s = measure_seconds(fr_case.fn);
+  obs::FlightRecorder::global().set_enabled(false);
+  const double fr_overhead = fr_enabled_s / fr_disabled_s - 1.0;
+  std::printf("flight recorder on %s: %.3f ms off, %.3f ms on "
+              "(%+.2f%% overhead)\n",
+              fr_case.name.c_str(), fr_disabled_s * 1e3, fr_enabled_s * 1e3,
+              100.0 * fr_overhead);
+
   const std::size_t scalar_index = isas.size() - 1;  // scalar is always last
   std::ofstream os(json_path);
   if (!os) {
@@ -510,12 +556,29 @@ int run_kernel_harness(const std::string& json_path) {
   }
   obs::JsonWriter w(os, 2);
   w.begin_object();
-  w.kv("schema", "paro.bench_kernels.v1");
+  w.kv("schema", "paro.bench_kernels.v2");
   w.kv("chosen_isa", kernels::isa_name(chosen));
   w.key("available_isas").begin_array();
   for (const auto isa : isas) w.value(kernels::isa_name(isa));
   w.end_array();
   w.kv("threads", std::uint64_t{1});
+  // v2: machine/build provenance, so trajectory comparisons can detect
+  // apples-to-oranges diffs (bench_diff warns on a compiler mismatch).
+  w.key("build").begin_object();
+  w.kv("compiler", compiler_id());
+  w.kv("flags", build_flags());
+  w.kv("threads", std::uint64_t{1});
+  w.key("isas").begin_array();
+  for (const auto isa : isas) w.value(kernels::isa_name(isa));
+  w.end_array();
+  w.end_object();
+  // v2: steady-state flight-recorder cost on the fused attention case.
+  w.key("flight_recorder").begin_object();
+  w.kv("case", fr_case.name);
+  w.kv("disabled_seconds", fr_disabled_s);
+  w.kv("enabled_seconds", fr_enabled_s);
+  w.kv("overhead_frac", fr_overhead);
+  w.end_object();
   w.key("kernels").begin_array();
   for (std::size_t c = 0; c < cases.size(); ++c) {
     w.begin_object();

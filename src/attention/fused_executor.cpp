@@ -1,6 +1,7 @@
 #include "attention/fused_executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -16,6 +17,7 @@
 #include "kernels/pack.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/ring_log.hpp"
 #include "obs/working_set.hpp"
 #include "quant/granularity.hpp"
 #include "quant/tile_visitor.hpp"
@@ -58,6 +60,7 @@ QuantAttentionResult fused_quantized_attention(
     const MatF& q, const MatF& k, const MatF& v, const HeadCalibration& calib,
     const QuantAttentionConfig& config) {
   PARO_SPAN("attn.fused");
+  const auto call_start = std::chrono::steady_clock::now();
   PARO_CHECK_MSG(q.rows() == k.rows() && k.rows() == v.rows(),
                  "token count mismatch");
   PARO_CHECK_MSG(q.cols() == k.cols(), "q/k head_dim mismatch");
@@ -142,6 +145,9 @@ QuantAttentionResult fused_quantized_attention(
       const auto stripe_ext = grid.extent(br, 0);
       const std::size_t r0 = stripe_ext.r0;
       const std::size_t rows_here = stripe_ext.rows();
+      // Flight-recorder breadcrumbs: a post-mortem of a wedged or slow
+      // run shows which stripe each thread was in and how big it was.
+      PARO_FR("attn.stripe.begin", br, rows_here);
       const std::size_t tile_side = std::min(config.block, n);
 
       // Stripe scratch: `buf` holds the stripe's logits, then exp values,
@@ -322,6 +328,8 @@ QuantAttentionResult fused_quantized_attention(
                                out_r.row(i).data());
         }
       }
+      PARO_FR("attn.stripe.end", br,
+              static_cast<std::uint64_t>(st.tiles_live));
     }
   });
 
@@ -365,6 +373,20 @@ QuantAttentionResult fused_quantized_attention(
   auto& reg = obs::MetricsRegistry::global();
   reg.counter("attn.tiles_skipped").add(static_cast<double>(exec.tiles_skipped));
   reg.counter("attn.tiles_live").add(static_cast<double>(exec.tiles_live));
+  for (int b = 0; b < kNumBitChoices; ++b) {
+    const auto count = exec.tiles_per_bits[static_cast<std::size_t>(b)];
+    if (count == 0) continue;
+    reg.counter("attn.tiles_bits",
+                {{"bits", std::to_string(kBitChoices[b])}})
+        .add(static_cast<double>(count));
+  }
+  // Wall-clock latency of this head's full attention call, feeding the
+  // p50/p95/p99 export (range 0–50 ms, 250 µs bins).
+  const double call_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - call_start)
+          .count();
+  reg.histogram("attn.fused.latency_us", 0.0, 50000.0, 200).observe(call_us);
   obs::publish_peak_working_set("streamed", exec.peak_bytes);
   kernels::publish_kernel_metrics();
   return result;

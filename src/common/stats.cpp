@@ -138,6 +138,27 @@ double Histogram::bin_hi(std::size_t index) const {
                    static_cast<double>(counts_.size());
 }
 
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, continuous); walk the
+  // cumulative counts and interpolate linearly inside the containing bin.
+  const double rank = q * static_cast<double>(total_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t c = counts_[i];
+    if (c == 0) continue;
+    const double cum_before = static_cast<double>(cum);
+    cum += c;
+    if (static_cast<double>(cum) >= rank) {
+      const double within = std::clamp(
+          (rank - cum_before) / static_cast<double>(c), 0.0, 1.0);
+      return bin_lo(i) + within * (bin_hi(i) - bin_lo(i));
+    }
+  }
+  return hi_;
+}
+
 double Histogram::tail_fraction(double value) const {
   if (total_ == 0) return 0.0;
   std::uint64_t above = 0;

@@ -68,6 +68,11 @@ class Histogram {
   /// Fraction of mass in bins at or above `value`.
   double tail_fraction(double value) const;
 
+  /// Approximate q-quantile (q in [0, 1]) with linear interpolation
+  /// inside the containing bin; error is bounded by one bin width.
+  /// Returns lo on an empty histogram.
+  double quantile(double q) const;
+
  private:
   double lo_;
   double hi_;

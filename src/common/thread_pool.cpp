@@ -16,7 +16,17 @@ namespace {
 /// Set for the lifetime of a worker's main loop so nested parallel regions
 /// run inline instead of re-entering the (single-job) pool.
 thread_local bool tls_in_pool_worker = false;
+
+std::atomic<PoolTraceObserver*> g_pool_observer{nullptr};
 }  // namespace
+
+void set_pool_trace_observer(PoolTraceObserver* observer) {
+  g_pool_observer.store(observer, std::memory_order_release);
+}
+
+PoolTraceObserver* pool_trace_observer() {
+  return g_pool_observer.load(std::memory_order_acquire);
+}
 
 /// One parallel region in flight.  Chunks are handed out through `next`;
 /// the layout (begin/grain/n_chunks) is fixed before any thread starts, so
@@ -35,6 +45,10 @@ struct ThreadPool::Job {
   std::size_t active = 0;  ///< registered workers; guarded by Impl::mu
   std::mutex error_mu;
   std::exception_ptr error;
+  /// Flow-event hookup, fixed by the submitter before workers wake.
+  /// Null observer (or flow_base 0) means this region is not traced.
+  PoolTraceObserver* observer = nullptr;
+  std::uint64_t flow_base = 0;
 };
 
 struct ThreadPool::Impl {
@@ -88,6 +102,7 @@ void ThreadPool::run_chunks(Job& job) {
     if (chunk >= job.n_chunks) return;
     const std::size_t c0 = job.begin + chunk * job.grain;
     const std::size_t c1 = std::min(c0 + job.grain, job.end);
+    if (job.observer != nullptr) job.observer->chunk_begin(job.flow_base, chunk);
     try {
       // Fault site: a task that dies mid-region.  The pool's contract is
       // that the first exception is rethrown on the calling thread after
@@ -102,6 +117,7 @@ void ThreadPool::run_chunks(Job& job) {
       const std::lock_guard<std::mutex> lock(job.error_mu);
       if (!job.error) job.error = std::current_exception();
     }
+    if (job.observer != nullptr) job.observer->chunk_end();
   }
 }
 
@@ -160,6 +176,12 @@ void ThreadPool::for_chunks(
   job.grain = grain;
   job.n_chunks = n_chunks;
   job.body = &body;
+  // Flow tracing covers only genuinely parallel regions — the serial and
+  // nested-inline paths above run under the caller's open span already.
+  if (PoolTraceObserver* observer = pool_trace_observer()) {
+    job.flow_base = observer->region_begin(n_chunks);
+    if (job.flow_base != 0) job.observer = observer;
+  }
 
   // One region at a time; concurrent top-level callers queue up here.
   const std::lock_guard<std::mutex> submit_lock(impl_->submit_mu);
@@ -191,6 +213,7 @@ void ThreadPool::for_chunks(
     // job == nullptr (or a new generation) and never touches this frame.
     impl_->job = nullptr;
   }
+  if (job.observer != nullptr) job.observer->region_end(job.flow_base);
   if (job.error) std::rethrow_exception(job.error);
 }
 

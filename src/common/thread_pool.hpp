@@ -26,10 +26,35 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 namespace paro {
+
+/// Observer of parallel-region lifecycle.  The obs layer installs one to
+/// link pool chunks back to the span that spawned them (Chrome-trace flow
+/// events); the pool itself stays obs-free.  region_begin runs on the
+/// submitting thread before workers wake and returns a nonzero flow base
+/// to receive per-chunk callbacks (0 opts the region out entirely, e.g.
+/// while the profiler is disabled).  chunk_begin/chunk_end bracket every
+/// chunk body on whichever thread executes it; region_end runs on the
+/// submitting thread after the barrier.  Callbacks must not issue parallel
+/// work.
+class PoolTraceObserver {
+ public:
+  virtual ~PoolTraceObserver() = default;
+  virtual std::uint64_t region_begin(std::size_t n_chunks) = 0;
+  virtual void chunk_begin(std::uint64_t flow_base, std::size_t chunk) = 0;
+  virtual void chunk_end() = 0;
+  virtual void region_end(std::uint64_t flow_base) = 0;
+};
+
+/// Install the process-wide pool observer (nullptr removes it).  Not
+/// synchronized against in-flight regions — install at startup, before
+/// parallel work begins, and keep the observer alive for process life.
+void set_pool_trace_observer(PoolTraceObserver* observer);
+PoolTraceObserver* pool_trace_observer();
 
 class ThreadPool {
  public:

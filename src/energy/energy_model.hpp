@@ -39,6 +39,22 @@ EnergyReport estimate_energy(const SimStats& stats, const HwResources& hw,
                              double effective_ops,
                              const EnergyModelConfig& config = {});
 
+/// Two-bucket view of a report for cost attribution: the DRAM interface
+/// energy scales with bytes moved, everything else (PE, LDZ, vector,
+/// buffers, leakage) scales with cycles.  The buckets sum to total_j, so
+/// an attribution over them reconciles with the report exactly.
+struct EnergySplit {
+  double dram_j = 0.0;
+  double non_dram_j = 0.0;
+};
+
+inline EnergySplit energy_attribution_split(const EnergyReport& report) {
+  EnergySplit s;
+  s.dram_j = report.dram_j;
+  s.non_dram_j = report.total_j - report.dram_j;
+  return s;
+}
+
 /// GPU energy: measured average power × runtime.
 EnergyReport estimate_gpu_energy(double seconds, const GpuResources& gpu,
                                  double effective_ops);

@@ -1,10 +1,13 @@
 #include "model/dit.hpp"
 
+#include <array>
 #include <cmath>
+#include <span>
 
 #include "attention/integer_path.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/attribution.hpp"
 #include "attention/reference.hpp"
 #include "attention/synthetic.hpp"
 #include "quant/sage.hpp"
@@ -249,7 +252,8 @@ MatF SyntheticDiT::forward_impl(const MatF& x, double t_frac,
     // Per-head executor accounting lands in its own slot and folds in head
     // order below — the aggregate never depends on the pool width.
     std::vector<AttnExecStats> head_stats(
-        exec.attn_stats != nullptr ? cfg_.heads : 0);
+        exec.attn_stats != nullptr || exec.cost_ledger != nullptr ? cfg_.heads
+                                                                  : 0);
     // Heads are independent: each task writes its own column band of
     // `concat` and its own capture slot.  Nested parallel regions inside
     // the attention kernels run inline on the worker.
@@ -291,7 +295,7 @@ MatF SyntheticDiT::forward_impl(const MatF& x, double t_frac,
                                        calib->heads.at(l).at(head),
                                        exec.quant);
                                  });
-          if (exec.attn_stats != nullptr) {
+          if (!head_stats.empty()) {
             head_stats[head] = r.exec;
           }
           oh = std::move(r.output);
@@ -313,8 +317,39 @@ MatF SyntheticDiT::forward_impl(const MatF& x, double t_frac,
       }
       col_assign(concat, head * dh, oh);
     });
-    for (const AttnExecStats& s : head_stats) {
-      exec.attn_stats->merge(s);
+    if (exec.attn_stats != nullptr) {
+      for (const AttnExecStats& s : head_stats) {
+        exec.attn_stats->merge(s);
+      }
+    }
+    if (exec.cost_ledger != nullptr) {
+      // Attribution feed, on the coordinating thread in head order.  Tile
+      // counts land on their own bitwidth class; skipped tiles are the
+      // 0-bit class by construction; QKᵀ tiles split over the classes
+      // that actually computed (bits > 0), remainder-exact so the ledger
+      // sum equals qk_tiles_computed.
+      for (std::size_t head = 0; head < head_stats.size(); ++head) {
+        const AttnExecStats& s = head_stats[head];
+        std::array<double, kNumBitChoices> qk_weights{};
+        for (int b = 1; b < kNumBitChoices; ++b) {
+          qk_weights[static_cast<std::size_t>(b)] =
+              static_cast<double>(s.tiles_per_bits[static_cast<std::size_t>(b)]);
+        }
+        std::array<std::uint64_t, kNumBitChoices> qk_split{};
+        obs::apportion_exact(s.qk_tiles_computed, qk_weights,
+                             std::span<std::uint64_t>(qk_split));
+        for (int b = 0; b < kNumBitChoices; ++b) {
+          const auto bi = static_cast<std::size_t>(b);
+          obs::CostRecord rec;
+          rec.tiles = s.tiles_per_bits[bi];
+          rec.tiles_skipped = b == 0 ? s.tiles_skipped : 0;
+          rec.qk_tiles = qk_split[bi];
+          if (rec.tiles == 0 && rec.tiles_skipped == 0 && rec.qk_tiles == 0) {
+            continue;
+          }
+          exec.cost_ledger->add({l, head, kBitChoices[b]}, rec);
+        }
+      }
     }
     h = add(h, lin(concat, b.wo, b.wo_q));
 

@@ -22,6 +22,10 @@
 #include "reorder/token_grid.hpp"
 #include "tensor/matrix.hpp"
 
+namespace paro::obs {
+class CostLedger;
+}  // namespace paro::obs
+
 namespace paro {
 
 class SyntheticDiT {
@@ -62,6 +66,12 @@ class SyntheticDiT {
     /// in (layer, head) order so the totals are thread-count-pure.  The
     /// caller owns the object and may accumulate across forward passes.
     AttnExecStats* attn_stats = nullptr;
+    /// Optional cost-attribution sink (kQuantized only): each (layer,
+    /// head) feeds its per-bitwidth tile counts (tiles, skipped, QKᵀ
+    /// tiles) into the ledger, in (layer, head) order on the coordinating
+    /// thread — bitwise-stable at any thread count.  Cycles/bytes/joules
+    /// fields are left to the simulator and energy feeds (obs/attribution).
+    obs::CostLedger* cost_ledger = nullptr;
   };
 
   /// Offline per-(layer, head) calibration artifacts.

@@ -1,0 +1,146 @@
+#include "obs/attribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace paro::obs {
+
+void apportion_exact(std::uint64_t total, std::span<const double> weights,
+                     std::span<std::uint64_t> out) {
+  const std::size_t n = weights.size();
+  if (n == 0) return;
+  std::fill(out.begin(), out.end(), std::uint64_t{0});
+  double wsum = 0.0;
+  for (double w : weights) wsum += (w > 0.0 ? w : 0.0);
+  if (!(wsum > 0.0)) {
+    out[0] = total;
+    return;
+  }
+  std::uint64_t assigned = 0;
+  std::vector<double> frac(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    const double share = static_cast<double>(total) * (w / wsum);
+    std::uint64_t base = static_cast<std::uint64_t>(std::floor(share));
+    if (base > total) base = total;  // FP overshoot guard
+    out[i] = base;
+    frac[i] = share - static_cast<double>(base);
+    assigned += base;
+  }
+  // Hand the leftover units to the largest fractional remainders, lowest
+  // index first on ties — deterministic regardless of FP noise ordering.
+  std::uint64_t leftover = total >= assigned ? total - assigned : 0;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return frac[a] > frac[b];
+  });
+  for (std::size_t k = 0; leftover > 0; k = (k + 1) % n) {
+    out[order[k]] += 1;
+    --leftover;
+  }
+}
+
+void apportion_exact(double total, std::span<const double> weights,
+                     std::span<double> out) {
+  const std::size_t n = weights.size();
+  if (n == 0) return;
+  std::fill(out.begin(), out.end(), 0.0);
+  double wsum = 0.0;
+  for (double w : weights) wsum += (w > 0.0 ? w : 0.0);
+  if (!(wsum > 0.0)) {
+    out[0] = total;
+    return;
+  }
+  std::size_t last_nz = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (weights[i] > 0.0) last_nz = i;
+  }
+  double others = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == last_nz) continue;
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    out[i] = total * (w / wsum);
+    others += out[i];
+  }
+  // Absorb the FP residue so Σout == total bit-for-bit.
+  out[last_nz] = total - others;
+}
+
+void CostLedger::add(const CostKey& key, const CostRecord& delta) {
+  std::lock_guard<std::mutex> lk(mu_);
+  records_[key].merge(delta);
+}
+
+void CostLedger::merge(const CostLedger& other) {
+  // Copy first so we never hold both mutexes at once.
+  const auto theirs = other.rollup();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [key, rec] : theirs) records_[key].merge(rec);
+}
+
+std::vector<std::pair<CostKey, CostRecord>> CostLedger::rollup() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return {records_.begin(), records_.end()};
+}
+
+CostRecord CostLedger::total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  CostRecord sum;
+  for (const auto& [key, rec] : records_) sum.merge(rec);
+  return sum;
+}
+
+void CostLedger::attribute_joules(double non_dram_j, double dram_j) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (records_.empty()) return;
+  const std::size_t n = records_.size();
+  std::vector<double> cycle_w(n), byte_w(n);
+  std::size_t i = 0;
+  for (const auto& [key, rec] : records_) {
+    cycle_w[i] = static_cast<double>(rec.cycles);
+    byte_w[i] = rec.dram_bytes;
+    ++i;
+  }
+  std::vector<double> from_cycles(n), from_bytes(n);
+  apportion_exact(non_dram_j, cycle_w, std::span<double>(from_cycles));
+  apportion_exact(dram_j, byte_w, std::span<double>(from_bytes));
+  i = 0;
+  for (auto& [key, rec] : records_) {
+    rec.joules += from_cycles[i] + from_bytes[i];
+    ++i;
+  }
+}
+
+void CostLedger::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  records_.clear();
+}
+
+bool CostLedger::empty() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_.empty();
+}
+
+std::size_t CostLedger::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_.size();
+}
+
+Reconciliation reconcile(const CostLedger& ledger, std::uint64_t total_cycles,
+                         double total_dram_bytes, double total_joules) {
+  const CostRecord sum = ledger.total();
+  const auto rel = [](double have, double want) {
+    const double denom = std::max(std::abs(want), 1.0);
+    return std::abs(have - want) / denom;
+  };
+  Reconciliation r;
+  r.cycles_rel = rel(static_cast<double>(sum.cycles),
+                     static_cast<double>(total_cycles));
+  r.dram_rel = rel(sum.dram_bytes, total_dram_bytes);
+  r.joules_rel = rel(sum.joules, total_joules);
+  return r;
+}
+
+}  // namespace paro::obs

@@ -1,0 +1,139 @@
+// Cost attribution: per-(layer, head, bitwidth) rollups of what a run
+// actually spent.
+//
+// PARO's argument is a cost model — pattern-aware reorder buys fewer bits,
+// fewer bits buy fewer cycles / bytes / joules — so the obs layer must be
+// able to attribute measured cost to the (layer, head, bitwidth) decisions
+// the calibrator made.  A CostLedger collects CostRecords keyed by
+// (layer, head, bits):
+//
+//   * tile counts come from AttnExecStats (what the executors dispatched),
+//     fed per (layer, head) by the model fan-out (model/dit);
+//   * cycles / DRAM bytes come from the cycle simulators
+//     (paro/fused_attention_sim), apportioned across bitwidth classes;
+//   * joules come from the energy model, attributed over the ledger with
+//     attribute_joules().
+//
+// Apportionment uses the largest-remainder method (apportion_exact), so
+// per-class splits sum EXACTLY to the per-head totals — the ledger
+// reconciles against simulator and energy aggregates by construction, and
+// reconcile() verifies it.  All feeds happen on the coordinating thread in
+// (layer, head) order, so rollups are bitwise-identical at any pool width.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace paro::obs {
+
+/// One attribution bucket.  `bits` is the bitwidth class as a plain int
+/// ({0, 2, 4, 8} for the PARO mixed-precision path) — the obs layer does
+/// not depend on the quant layer's BitTable types.
+struct CostKey {
+  std::size_t layer = 0;
+  std::size_t head = 0;
+  int bits = 0;
+
+  friend bool operator<(const CostKey& a, const CostKey& b) {
+    if (a.layer != b.layer) return a.layer < b.layer;
+    if (a.head != b.head) return a.head < b.head;
+    return a.bits < b.bits;
+  }
+  friend bool operator==(const CostKey& a, const CostKey& b) {
+    return a.layer == b.layer && a.head == b.head && a.bits == b.bits;
+  }
+};
+
+/// Cost accumulated against one (layer, head, bits) bucket.  Different
+/// feeders own different fields (the executor feed fills tile counts, the
+/// simulator feed fills cycles/bytes, attribute_joules fills joules), so
+/// merging feeds never double-counts.
+struct CostRecord {
+  std::uint64_t tiles = 0;          ///< map tiles in this bitwidth class
+  std::uint64_t tiles_skipped = 0;  ///< dispatcher-bypassed (0-bit class)
+  std::uint64_t qk_tiles = 0;       ///< QKᵀ tiles computed
+  std::uint64_t kernel_calls = 0;   ///< SIMD micro-kernel invocations
+  std::uint64_t cycles = 0;         ///< simulated total cycles
+  std::uint64_t pe_cycles = 0;      ///< simulated PE-busy cycles
+  double dram_bytes = 0.0;          ///< simulated DRAM traffic
+  double joules = 0.0;              ///< attributed energy
+
+  void merge(const CostRecord& o) {
+    tiles += o.tiles;
+    tiles_skipped += o.tiles_skipped;
+    qk_tiles += o.qk_tiles;
+    kernel_calls += o.kernel_calls;
+    cycles += o.cycles;
+    pe_cycles += o.pe_cycles;
+    dram_bytes += o.dram_bytes;
+    joules += o.joules;
+  }
+};
+
+/// Largest-remainder apportionment of an integer `total` over `weights`:
+/// out[i] ≈ total·w[i]/Σw, floors first, then the remainder goes to the
+/// largest fractional parts (ties broken by lowest index).  The outputs
+/// sum to `total` EXACTLY.  All-zero weights put the whole total in
+/// out[0].  `weights.size() == out.size()` is required.
+void apportion_exact(std::uint64_t total, std::span<const double> weights,
+                     std::span<std::uint64_t> out);
+
+/// Double-valued analogue: proportional shares with the FP residue folded
+/// into the last nonzero-weight slot, so the outputs sum to `total`
+/// exactly (bit-for-bit: the last share is computed as total − Σothers).
+void apportion_exact(double total, std::span<const double> weights,
+                     std::span<double> out);
+
+/// Thread-safe accumulator of CostRecords.  Writers add deltas; readers
+/// take sorted rollups.  The repo's feeds call add() from coordinating
+/// threads in (layer, head) order, keeping the contents thread-count-pure
+/// — but the ledger itself is safe under concurrent add() too.
+class CostLedger {
+ public:
+  void add(const CostKey& key, const CostRecord& delta);
+  void merge(const CostLedger& other);
+
+  /// Sorted copy of every (key, record) pair.
+  std::vector<std::pair<CostKey, CostRecord>> rollup() const;
+
+  /// Sum of every record.
+  CostRecord total() const;
+
+  /// Distribute an energy estimate over the ledger: `dram_j` is split by
+  /// DRAM-byte share, `non_dram_j` (PE + LDZ + vector + buffer + leakage)
+  /// by cycle share; both splits are remainder-exact, so the attributed
+  /// joules sum to non_dram_j + dram_j.  No-op on an empty ledger.
+  void attribute_joules(double non_dram_j, double dram_j);
+
+  void reset();
+  bool empty() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<CostKey, CostRecord> records_;
+};
+
+/// Outcome of checking ledger totals against the aggregates they were fed
+/// from.  Relative errors are |ledger − aggregate| / max(|aggregate|, 1).
+struct Reconciliation {
+  double cycles_rel = 0.0;
+  double dram_rel = 0.0;
+  double joules_rel = 0.0;
+
+  bool ok(double tol = 1e-3) const {
+    return cycles_rel <= tol && dram_rel <= tol && joules_rel <= tol;
+  }
+};
+
+/// Compare the ledger's cycle/byte/joule totals with independently summed
+/// aggregates (cycle-simulator totals, the energy model's total_j).
+Reconciliation reconcile(const CostLedger& ledger, std::uint64_t total_cycles,
+                         double total_dram_bytes, double total_joules);
+
+}  // namespace paro::obs

@@ -1,0 +1,224 @@
+#include "obs/json_parse.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace paro::obs {
+
+const JsonValue* JsonValue::get(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  auto it = obj_v.find(key);
+  return it == obj_v.end() ? nullptr : it->second.get();
+}
+
+double JsonValue::number_or(double fallback) const {
+  return kind == Kind::kNumber ? num_v : fallback;
+}
+
+std::string JsonValue::string_or(const std::string& fallback) const {
+  return kind == Kind::kString ? str_v : fallback;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValuePtr parse() {
+    skip_ws();
+    JsonValuePtr v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw DataError("json parse error at byte " + std::to_string(pos_) + ": " +
+                    why);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  char take() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void expect(char c) {
+    if (take() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  JsonValuePtr value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return literal("true", [](JsonValue& v) {
+        v.kind = JsonValue::Kind::kBool;
+        v.bool_v = true;
+      });
+      case 'f': return literal("false", [](JsonValue& v) {
+        v.kind = JsonValue::Kind::kBool;
+        v.bool_v = false;
+      });
+      case 'n': return literal("null", [](JsonValue& v) {
+        v.kind = JsonValue::Kind::kNull;
+      });
+      default: return number();
+    }
+  }
+
+  template <typename Fill>
+  JsonValuePtr literal(const char* word, Fill fill) {
+    for (const char* p = word; *p; ++p) {
+      if (take() != *p) fail(std::string("bad literal, expected ") + word);
+    }
+    auto v = std::make_shared<JsonValue>();
+    fill(*v);
+    return v;
+  }
+
+  JsonValuePtr object() {
+    expect('{');
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string_raw();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      v->obj_v[std::move(key)] = value();
+      skip_ws();
+      const char c = take();
+      if (c == ',') continue;
+      if (c == '}') return v;
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValuePtr array() {
+    expect('[');
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      v->arr_v.push_back(value());
+      skip_ws();
+      const char c = take();
+      if (c == ',') continue;
+      if (c == ']') return v;
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  JsonValuePtr string_value() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::kString;
+    v->str_v = string_raw();
+    return v;
+  }
+
+  std::string string_raw() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char e = take();
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by the repo's writer; pass them through raw).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValuePtr number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("bad number");
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("bad fraction");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("bad exponent");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::kNumber;
+    v->num_v = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValuePtr parse_json(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace paro::obs

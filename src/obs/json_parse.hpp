@@ -1,0 +1,50 @@
+// Minimal JSON reader for the observability tooling.
+//
+// The obs layer writes JSON with its own streaming writer; bench_diff and
+// the trace tests need to read it back.  This is a strict RFC 8259
+// recursive-descent parser into a small value tree — no external
+// dependency, throws paro::DataError on malformed input.  Numbers are
+// kept as doubles (fine for every count/seconds field the repo emits).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace paro::obs {
+
+class JsonValue;
+using JsonValuePtr = std::shared_ptr<JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_v = false;
+  double num_v = 0.0;
+  std::string str_v;
+  std::vector<JsonValuePtr> arr_v;
+  std::map<std::string, JsonValuePtr> obj_v;  // sorted keys; fine for configs
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* get(const std::string& key) const;
+
+  /// Typed accessors with defaults (no throw on absence/type mismatch).
+  double number_or(double fallback) const;
+  std::string string_or(const std::string& fallback) const;
+};
+
+/// Parse a complete JSON document; throws paro::DataError on any syntax
+/// error or trailing non-whitespace.
+JsonValuePtr parse_json(const std::string& text);
+
+}  // namespace paro::obs

@@ -111,6 +111,11 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         for (std::size_t i = 0; i < h.bin_count(); ++i) {
           s.bins.push_back(h.bin(i));
         }
+        if (s.total > 0) {
+          s.p50 = h.quantile(0.50);
+          s.p95 = h.quantile(0.95);
+          s.p99 = h.quantile(0.99);
+        }
         break;
       }
       case MetricKind::kStats:
@@ -218,6 +223,9 @@ void MetricsSnapshot::write_json(JsonWriter& w) const {
         w.kv("lo", s.lo);
         w.kv("hi", s.hi);
         w.kv("total", s.total);
+        w.kv("p50", s.p50);
+        w.kv("p95", s.p95);
+        w.kv("p99", s.p99);
         w.key("bins").begin_array();
         for (const std::uint64_t b : s.bins) w.value(b);
         w.end_array();

@@ -123,6 +123,11 @@ struct MetricSample {
   double hi = 0.0;
   std::uint64_t total = 0;
   std::vector<std::uint64_t> bins;
+  // Latency-style quantiles (bin-interpolated; error bounded by one bin
+  // width).  Zero when total == 0.
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
 };
 
 struct MetricsSnapshot {

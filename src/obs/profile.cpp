@@ -5,6 +5,7 @@
 #include <map>
 #include <ostream>
 
+#include "common/thread_pool.hpp"
 #include "obs/trace_export.hpp"
 
 namespace paro::obs {
@@ -22,24 +23,40 @@ struct OpenSpan {
   const char* name;
   std::uint64_t start_ns;
   std::uint32_t depth;
+  std::uint64_t flow_in;
 };
 
 }  // namespace
 
+/// Per-thread span stack.  The owning thread is the only mutator; the
+/// export path reads concurrently under `mu` (so in-progress spans can be
+/// emitted), which is why states live centrally as shared_ptrs rather
+/// than purely in TLS.  Lock order is Profiler::mu_ before ThreadState::mu
+/// whenever both are held.
 struct Profiler::ThreadState {
-  std::uint32_t tid = 0;
-  bool tid_assigned = false;
-  std::uint64_t generation = 0;
+  std::mutex mu;              ///< guards `stack`
+  std::uint32_t tid = 0;      ///< re-assigned on generation sync; mu_ held
+  std::uint64_t generation = 0;  ///< owner-written; epoch of stack contents
   std::vector<OpenSpan> stack;
 };
 
-Profiler::ThreadState& Profiler::thread_state() {
+std::shared_ptr<Profiler::ThreadState> Profiler::thread_state() {
   // Keyed by a monotonically increasing per-instance id (not `this`) so
   // independently constructed profilers (tests) never share per-thread
   // span stacks, even when a new Profiler reuses a destroyed one's
   // address.
-  thread_local std::map<std::uint64_t, ThreadState> states;
-  return states[id_];
+  thread_local std::map<std::uint64_t, std::shared_ptr<ThreadState>> states;
+  auto it = states.find(id_);
+  if (it != states.end()) return it->second;
+  auto st = std::make_shared<ThreadState>();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    st->generation = generation_.load(std::memory_order_relaxed);
+    st->tid = next_tid_++;
+    states_.push_back(st);
+  }
+  states.emplace(id_, st);
+  return st;
 }
 
 std::uint64_t Profiler::next_id() {
@@ -49,52 +66,88 @@ std::uint64_t Profiler::next_id() {
 
 Profiler::Profiler() : epoch_ns_(now_ns()), id_(next_id()) {}
 
+Profiler::~Profiler() = default;
+
 void Profiler::reset() {
   const std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
+  flow_origins_.clear();
   epoch_ns_ = now_ns();
   generation_.fetch_add(1, std::memory_order_acq_rel);
   next_tid_ = 0;
 }
 
-void Profiler::begin_span(const char* name) {
-  ThreadState& st = thread_state();
+void Profiler::begin_span(const char* name) { begin_span_flow(name, 0); }
+
+void Profiler::begin_span_flow(const char* name, std::uint64_t flow_id) {
+  const std::shared_ptr<ThreadState> st = thread_state();
   const std::uint64_t gen = generation_.load(std::memory_order_acquire);
-  if (st.generation != gen) {
-    // First span since a reset(): stale opens belong to the old epoch.
-    st.stack.clear();
-    st.generation = gen;
-    st.tid_assigned = false;
+  if (st->generation != gen) {
+    // First span since a reset(): stale opens belong to the old epoch,
+    // and the dense tid numbering restarted.
+    const std::lock_guard<std::mutex> lock(mu_);
+    const std::lock_guard<std::mutex> slock(st->mu);
+    st->stack.clear();
+    st->generation = generation_.load(std::memory_order_relaxed);
+    st->tid = next_tid_++;
   }
-  st.stack.push_back(
-      {name, now_ns(), static_cast<std::uint32_t>(st.stack.size())});
+  const std::lock_guard<std::mutex> slock(st->mu);
+  st->stack.push_back({name, now_ns(),
+                       static_cast<std::uint32_t>(st->stack.size()), flow_id});
 }
 
 void Profiler::end_span() {
   const std::uint64_t end_ns = now_ns();
-  ThreadState& st = thread_state();
-  if (st.stack.empty()) return;
-  const OpenSpan span = st.stack.back();
-  st.stack.pop_back();
+  const std::shared_ptr<ThreadState> st = thread_state();
+  OpenSpan span;
+  {
+    const std::lock_guard<std::mutex> slock(st->mu);
+    if (st->stack.empty()) return;
+    span = st->stack.back();
+    st->stack.pop_back();
+  }
 
   const std::lock_guard<std::mutex> lock(mu_);
-  if (st.generation != generation_.load(std::memory_order_relaxed)) {
+  if (st->generation != generation_.load(std::memory_order_relaxed)) {
     // reset() happened while this span was open; its start time belongs
     // to the previous epoch, so drop it and every stale open above it.
-    st.stack.clear();
+    const std::lock_guard<std::mutex> slock(st->mu);
+    st->stack.clear();
     return;
-  }
-  if (!st.tid_assigned) {
-    st.tid = next_tid_++;
-    st.tid_assigned = true;
   }
   SpanEvent e;
   e.name = span.name;
-  e.tid = st.tid;
+  e.tid = st->tid;
   e.depth = span.depth;
   e.start_us = static_cast<double>(span.start_ns - epoch_ns_) * 1e-3;
   e.dur_us = static_cast<double>(end_ns - span.start_ns) * 1e-3;
+  e.flow_in = span.flow_in;
   events_.push_back(e);
+}
+
+std::uint64_t Profiler::begin_flow_fanout(const char* name, std::size_t count) {
+  if (!enabled() || count == 0) return 0;
+  const std::shared_ptr<ThreadState> st = thread_state();
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (st->generation != gen) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const std::lock_guard<std::mutex> slock(st->mu);
+    st->stack.clear();
+    st->generation = generation_.load(std::memory_order_relaxed);
+    st->tid = next_tid_++;
+  }
+  const std::uint64_t base =
+      next_flow_id_.fetch_add(count, std::memory_order_relaxed);
+  const std::uint64_t ts_ns = now_ns();
+  const std::lock_guard<std::mutex> lock(mu_);
+  FlowOrigin origin;
+  origin.name = name;
+  origin.base = base;
+  origin.count = count;
+  origin.tid = st->tid;
+  origin.ts_us = static_cast<double>(ts_ns - epoch_ns_) * 1e-3;
+  flow_origins_.push_back(origin);
+  return base;
 }
 
 std::vector<SpanEvent> Profiler::events() const {
@@ -177,21 +230,70 @@ void write_node(std::ostream& os, const ProfileNode& node, int depth) {
 
 }  // namespace
 
-void Profiler::write_report(std::ostream& os) const {
-  write_node(os, report(), 0);
-}
-
 void Profiler::write_chrome_json(std::ostream& os) const {
-  const std::vector<SpanEvent> evs = events();
+  const std::uint64_t export_ns = now_ns();
+  std::vector<SpanEvent> evs;
+  std::vector<FlowOrigin> origins;
+  std::vector<std::shared_ptr<ThreadState>> states;
+  std::uint64_t epoch_ns = 0;
+  std::uint64_t gen = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    evs = events_;
+    origins = flow_origins_;
+    states = states_;
+    epoch_ns = epoch_ns_;
+    gen = generation_.load(std::memory_order_relaxed);
+  }
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     return a.start_us < b.start_us;
+                   });
+
+  // Spans still open at export time become in-progress slices reaching
+  // the export timestamp, so a trace taken mid-run stays balanced.
+  std::vector<SpanEvent> open;
+  for (const auto& st : states) {
+    const std::lock_guard<std::mutex> slock(st->mu);
+    if (st->generation != gen) continue;  // stale pre-reset opens
+    for (const OpenSpan& s : st->stack) {
+      SpanEvent e;
+      e.name = s.name;
+      e.tid = st->tid;
+      e.depth = s.depth;
+      e.start_us = static_cast<double>(s.start_ns - epoch_ns) * 1e-3;
+      e.dur_us = s.start_ns <= export_ns
+                     ? static_cast<double>(export_ns - s.start_ns) * 1e-3
+                     : 0.0;
+      e.flow_in = s.flow_in;
+      open.push_back(e);
+    }
+  }
+
+  // Flow finish events bind by id; only ids some fanout actually reserved
+  // get an arrow (a receiver that outlived a reset would otherwise emit an
+  // unmatched 'f').
+  const auto origin_for = [&origins](std::uint64_t id) -> const FlowOrigin* {
+    if (id == 0) return nullptr;
+    for (const FlowOrigin& o : origins) {
+      if (id >= o.base && id < o.base + o.count) return &o;
+    }
+    return nullptr;
+  };
+
   std::vector<ChromeTraceEvent> out;
-  out.reserve(evs.size() + 4);
+  out.reserve(evs.size() + open.size() + 3 * origins.size() + 4);
   out.push_back(process_name_event(1, "paro"));
   std::uint32_t max_tid = 0;
   for (const SpanEvent& e : evs) max_tid = std::max(max_tid, e.tid);
+  for (const SpanEvent& e : open) max_tid = std::max(max_tid, e.tid);
+  for (const FlowOrigin& o : origins) max_tid = std::max(max_tid, o.tid);
   for (std::uint32_t t = 0; t <= max_tid; ++t) {
     out.push_back(thread_name_event(1, t, "thread " + std::to_string(t)));
   }
-  for (const SpanEvent& e : evs) {
+
+  const auto append_span = [&out, &origin_for](const SpanEvent& e,
+                                               bool in_progress) {
     ChromeTraceEvent c;
     c.name = e.name;
     c.cat = "span";
@@ -200,14 +302,79 @@ void Profiler::write_chrome_json(std::ostream& os) const {
     c.dur = e.dur_us;
     c.pid = 1;
     c.tid = e.tid;
+    if (in_progress) c.args.emplace_back("in_progress", 1.0);
     out.push_back(std::move(c));
+    if (const FlowOrigin* o = origin_for(e.flow_in)) {
+      ChromeTraceEvent f;
+      f.name = o->name;
+      f.cat = "flow";
+      f.ph = 'f';
+      f.ts = e.start_us;
+      f.pid = 1;
+      f.tid = e.tid;
+      f.id = e.flow_in;
+      f.bp = "e";
+      out.push_back(std::move(f));
+    }
+  };
+
+  // One start record per reserved id, all anchored at the fanout point.
+  for (const FlowOrigin& o : origins) {
+    for (std::size_t k = 0; k < o.count; ++k) {
+      ChromeTraceEvent s;
+      s.name = o.name;
+      s.cat = "flow";
+      s.ph = 's';
+      s.ts = o.ts_us;
+      s.pid = 1;
+      s.tid = o.tid;
+      s.id = o.base + k;
+      out.push_back(std::move(s));
+    }
   }
+  for (const SpanEvent& e : evs) append_span(e, false);
+  for (const SpanEvent& e : open) append_span(e, true);
   write_chrome_trace(os, out);
 }
 
+void Profiler::write_report(std::ostream& os) const {
+  write_node(os, report(), 0);
+}
+
+namespace {
+
+/// Links ThreadPool parallel regions to the global profiler: the region
+/// fanout reserves one flow id per chunk, and every chunk body runs under
+/// a "pool.chunk" span carrying its id — the Chrome export then draws the
+/// arrows.  region_begin returning 0 while the profiler is disabled keeps
+/// the steady-state cost at one atomic load per region.
+class ProfilerPoolObserver final : public PoolTraceObserver {
+ public:
+  std::uint64_t region_begin(std::size_t n_chunks) override {
+    Profiler& p = Profiler::global();
+    if (!p.enabled()) return 0;
+    return p.begin_flow_fanout("pool.region", n_chunks);
+  }
+  void chunk_begin(std::uint64_t flow_base, std::size_t chunk) override {
+    Profiler::global().begin_span_flow("pool.chunk", flow_base + chunk);
+  }
+  void chunk_end() override { Profiler::global().end_span(); }
+  void region_end(std::uint64_t /*flow_base*/) override {}
+};
+
+}  // namespace
+
 Profiler& Profiler::global() {
-  static Profiler profiler;
-  return profiler;
+  // Leaked on purpose: worker threads may record spans during static
+  // destruction of other TUs, and the pool observer must outlive every
+  // parallel region.
+  static Profiler* profiler = new Profiler();
+  static const bool pool_hook_installed = [] {
+    set_pool_trace_observer(new ProfilerPoolObserver());
+    return true;
+  }();
+  (void)pool_hook_installed;
+  return *profiler;
 }
 
 }  // namespace paro::obs

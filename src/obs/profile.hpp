@@ -13,6 +13,20 @@
 // aggregated call tree (report() / write_report()), or a Chrome trace
 // file (write_chrome_json(), loadable in chrome://tracing / Perfetto).
 //
+// Cross-thread flows: begin_flow_fanout() reserves a contiguous block of
+// flow ids at the current span position, and begin_span_flow() opens a
+// span that declares one of those ids as its inbound edge.  The export
+// then emits Chrome flow records ('s' at the origin, 'f' with bp:"e" at
+// each receiving span), so a threads=8 run renders pool chunks linked to
+// the span that spawned them.  The thread pool is wired up automatically:
+// Profiler::global() installs a PoolTraceObserver, so enabling the global
+// profiler is all it takes.
+//
+// Spans still open when write_chrome_json() runs are exported as
+// in-progress slices (duration up to the export timestamp, args
+// {"in_progress": 1}) instead of being dropped — a trace taken mid-run or
+// after a crash-adjacent stop stays balanced.
+//
 // The profiler is DISABLED by default: a disabled PARO_SPAN costs one
 // relaxed atomic load and no allocation, so instrumentation can stay in
 // hot paths permanently.  Span names must be string literals (the pointer
@@ -22,6 +36,7 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -35,6 +50,19 @@ struct SpanEvent {
   std::uint32_t depth = 0;  ///< nesting depth at the time the span opened
   double start_us = 0.0;    ///< relative to the profiler epoch (reset())
   double dur_us = 0.0;
+  /// Inbound flow id (0 = none): this span was spawned by the fanout that
+  /// reserved the id, and the Chrome export draws the arrow.
+  std::uint64_t flow_in = 0;
+};
+
+/// One flow fanout: `count` ids starting at `base`, originating at
+/// (tid, ts_us).  Receiving spans carry base+k as their flow_in.
+struct FlowOrigin {
+  const char* name = "";
+  std::uint64_t base = 0;
+  std::size_t count = 0;
+  std::uint32_t tid = 0;
+  double ts_us = 0.0;
 };
 
 /// Aggregated call-tree node (children ordered by first appearance).
@@ -53,6 +81,7 @@ struct ProfileNode {
 class Profiler {
  public:
   Profiler();
+  ~Profiler();
   Profiler(const Profiler&) = delete;
   Profiler& operator=(const Profiler&) = delete;
 
@@ -74,27 +103,42 @@ class Profiler {
   /// Indented text rendering of report() (calls, total ms, self ms).
   void write_report(std::ostream& os) const;
 
-  /// Chrome trace-event JSON of every completed span.
+  /// Chrome trace-event JSON: completed spans, flow arrows, and spans
+  /// still open at export time (as in-progress slices).
   void write_chrome_json(std::ostream& os) const;
 
   /// Used by SpanScope; call through PARO_SPAN rather than directly.
   void begin_span(const char* name);
   void end_span();
 
-  /// Process-wide profiler the PARO_SPAN macro records into.
+  /// Open a span declaring `flow_id` as its inbound flow edge.  Closed
+  /// with the ordinary end_span().
+  void begin_span_flow(const char* name, std::uint64_t flow_id);
+
+  /// Reserve `count` flow ids anchored at the calling thread's current
+  /// position; receivers open spans with begin_span_flow(_, base + k).
+  /// Returns 0 (no flow recorded) when disabled or count == 0.
+  std::uint64_t begin_flow_fanout(const char* name, std::size_t count);
+
+  /// Process-wide profiler the PARO_SPAN macro records into.  First use
+  /// also installs the thread-pool flow observer.
   static Profiler& global();
 
  private:
   struct ThreadState;
-  ThreadState& thread_state();
+  std::shared_ptr<ThreadState> thread_state();
   static std::uint64_t next_id();
 
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
   std::vector<SpanEvent> events_;
+  std::vector<FlowOrigin> flow_origins_;
+  std::vector<std::shared_ptr<ThreadState>> states_;
   std::uint64_t epoch_ns_ = 0;
   /// Bumped by reset() so spans open across a reset are dropped.
   std::atomic<std::uint64_t> generation_{0};
+  /// Flow ids are process-monotonic and never reused (0 = "no flow").
+  std::atomic<std::uint64_t> next_flow_id_{1};
   std::uint32_t next_tid_ = 0;
   /// Process-unique instance id keying per-thread state (never reused,
   /// unlike addresses).

@@ -1,0 +1,264 @@
+#include "obs/ring_log.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace paro::obs {
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr char kMagic[8] = {'P', 'A', 'R', 'O', 'F', 'R', '1', '\0'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  unsigned char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  out.write(reinterpret_cast<const char*>(b), 4);
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  out.write(reinterpret_cast<const char*>(b), 8);
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  unsigned char b[4];
+  if (!in.read(reinterpret_cast<char*>(b), 4)) {
+    throw DataError("flight dump truncated reading u32");
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{b[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  unsigned char b[8];
+  if (!in.read(reinterpret_cast<char*>(b), 8)) {
+    throw DataError("flight dump truncated reading u64");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{b[i]} << (8 * i);
+  return v;
+}
+
+std::atomic<std::uint64_t> g_next_instance_id{1};
+
+}  // namespace
+
+/// One thread's ring.  The owning thread writes under `mu`; snapshot/dump
+/// readers also take `mu`, so concurrent writers and dumpers are safe (the
+/// lock is per-thread and uncontended in steady state — the writer is the
+/// only regular taker).
+struct FlightRecorder::ThreadRing {
+  std::mutex mu;
+  std::vector<RingEvent> buf;       // capacity-sized, circular
+  std::size_t head = 0;             // next write slot
+  std::size_t count = 0;            // live events (<= capacity)
+  std::uint64_t total_writes = 0;   // lifetime writes (for drop accounting)
+  std::uint32_t tid = 0;
+};
+
+FlightRecorder::FlightRecorder(std::size_t capacity_per_thread)
+    : capacity_(std::max<std::size_t>(1, capacity_per_thread)),
+      instance_id_(g_next_instance_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+FlightRecorder::~FlightRecorder() = default;
+
+std::uint32_t FlightRecorder::register_site(const char* name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (std::uint32_t i = 0; i < sites_.size(); ++i) {
+    if (sites_[i] == name) return i;
+  }
+  sites_.emplace_back(name);
+  return static_cast<std::uint32_t>(sites_.size() - 1);
+}
+
+std::shared_ptr<FlightRecorder::ThreadRing> FlightRecorder::ring_for_this_thread() {
+  // Keyed by instance id so distinct recorders (tests) don't share rings,
+  // and a recorder destroyed+recreated at the same address can't inherit
+  // a stale ring.
+  thread_local std::map<std::uint64_t, std::shared_ptr<ThreadRing>> tls_rings;
+  auto it = tls_rings.find(instance_id_);
+  if (it != tls_rings.end()) return it->second;
+
+  auto ring = std::make_shared<ThreadRing>();
+  ring->buf.resize(capacity_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ring->tid = next_tid_++;
+    rings_.push_back(ring);
+  }
+  tls_rings.emplace(instance_id_, ring);
+  return ring;
+}
+
+void FlightRecorder::record(std::uint32_t site, std::uint64_t a,
+                            std::uint64_t b) {
+  if (!enabled()) return;
+  auto ring = ring_for_this_thread();
+  RingEvent ev;
+  ev.ts_ns = steady_now_ns();
+  ev.site = site;
+  ev.tid = ring->tid;
+  ev.a = a;
+  ev.b = b;
+  std::lock_guard<std::mutex> lk(ring->mu);
+  ring->buf[ring->head] = ev;
+  ring->head = (ring->head + 1) % capacity_;
+  if (ring->count < capacity_) ++ring->count;
+  ++ring->total_writes;
+}
+
+FlightDump FlightRecorder::snapshot() const {
+  FlightDump out;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    rings = rings_;
+    out.sites = sites_;
+  }
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lk(ring->mu);
+    out.dropped += ring->total_writes - ring->count;
+    // Oldest-first: the ring is [head - count, head) modulo capacity.
+    for (std::size_t i = 0; i < ring->count; ++i) {
+      const std::size_t idx =
+          (ring->head + capacity_ - ring->count + i) % capacity_;
+      DecodedEvent de;
+      de.ev = ring->buf[idx];
+      de.site_name = de.ev.site < out.sites.size() ? out.sites[de.ev.site]
+                                                   : std::string("<unknown>");
+      out.events.push_back(std::move(de));
+    }
+  }
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const DecodedEvent& x, const DecodedEvent& y) {
+                     return x.ev.ts_ns < y.ev.ts_ns;
+                   });
+  return out;
+}
+
+void FlightRecorder::dump(std::ostream& out) const {
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  std::vector<std::string> sites;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    rings = rings_;
+    sites = sites_;
+  }
+  out.write(kMagic, sizeof(kMagic));
+  put_u32(out, kVersion);
+  put_u32(out, static_cast<std::uint32_t>(sizeof(RingEvent)));
+  put_u32(out, static_cast<std::uint32_t>(sites.size()));
+  for (std::uint32_t i = 0; i < sites.size(); ++i) {
+    put_u32(out, i);
+    put_u32(out, static_cast<std::uint32_t>(sites[i].size()));
+    out.write(sites[i].data(), static_cast<std::streamsize>(sites[i].size()));
+  }
+  put_u32(out, static_cast<std::uint32_t>(rings.size()));
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lk(ring->mu);
+    put_u32(out, ring->tid);
+    put_u64(out, ring->total_writes);
+    put_u32(out, static_cast<std::uint32_t>(ring->count));
+    for (std::size_t i = 0; i < ring->count; ++i) {
+      const std::size_t idx =
+          (ring->head + capacity_ - ring->count + i) % capacity_;
+      const RingEvent& ev = ring->buf[idx];
+      put_u64(out, ev.ts_ns);
+      put_u32(out, ev.site);
+      put_u32(out, ev.tid);
+      put_u64(out, ev.a);
+      put_u64(out, ev.b);
+    }
+  }
+}
+
+FlightDump FlightRecorder::decode(std::istream& in) {
+  char magic[8];
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw DataError("flight dump: bad magic (not a PAROFR1 stream)");
+  }
+  const std::uint32_t version = get_u32(in);
+  if (version != kVersion) {
+    throw DataError("flight dump: unsupported version " +
+                    std::to_string(version));
+  }
+  const std::uint32_t event_size = get_u32(in);
+  if (event_size != sizeof(RingEvent)) {
+    throw DataError("flight dump: event size mismatch (" +
+                    std::to_string(event_size) + " vs " +
+                    std::to_string(sizeof(RingEvent)) + ")");
+  }
+  FlightDump out;
+  const std::uint32_t n_sites = get_u32(in);
+  if (n_sites > (1u << 20)) throw DataError("flight dump: implausible site count");
+  out.sites.resize(n_sites);
+  for (std::uint32_t i = 0; i < n_sites; ++i) {
+    const std::uint32_t id = get_u32(in);
+    const std::uint32_t len = get_u32(in);
+    if (id >= n_sites) throw DataError("flight dump: site id out of range");
+    if (len > (1u << 16)) throw DataError("flight dump: implausible site name");
+    std::string name(len, '\0');
+    if (!in.read(name.data(), len)) {
+      throw DataError("flight dump truncated reading site name");
+    }
+    out.sites[id] = std::move(name);
+  }
+  const std::uint32_t n_rings = get_u32(in);
+  if (n_rings > (1u << 16)) throw DataError("flight dump: implausible ring count");
+  for (std::uint32_t r = 0; r < n_rings; ++r) {
+    get_u32(in);  // tid (also carried per-event)
+    const std::uint64_t total_writes = get_u64(in);
+    const std::uint32_t count = get_u32(in);
+    if (count > (1u << 26)) throw DataError("flight dump: implausible ring size");
+    out.dropped += total_writes - count;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      DecodedEvent de;
+      de.ev.ts_ns = get_u64(in);
+      de.ev.site = get_u32(in);
+      de.ev.tid = get_u32(in);
+      de.ev.a = get_u64(in);
+      de.ev.b = get_u64(in);
+      de.site_name = de.ev.site < out.sites.size() ? out.sites[de.ev.site]
+                                                   : std::string("<unknown>");
+      out.events.push_back(std::move(de));
+    }
+  }
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const DecodedEvent& x, const DecodedEvent& y) {
+                     return x.ev.ts_ns < y.ev.ts_ns;
+                   });
+  return out;
+}
+
+void FlightRecorder::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> rlk(ring->mu);
+    ring->head = 0;
+    ring->count = 0;
+    ring->total_writes = 0;
+  }
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder* g = new FlightRecorder(4096);
+  return *g;
+}
+
+}  // namespace paro::obs

@@ -1,0 +1,118 @@
+// Flight recorder: fixed-size per-thread ring buffers of binary events.
+//
+// The profiler answers "where did time go" for runs you planned to watch;
+// the flight recorder answers "what happened just before it went wrong"
+// for runs you didn't.  Each thread writes 32-byte RingEvents into its own
+// fixed-capacity ring, so steady-state cost is one relaxed atomic load
+// (when disabled) or a TLS lookup plus a bounded-buffer store (when
+// enabled) — no allocation, no unbounded growth, old events overwritten.
+//
+// Sites are interned once per call site (static-local id from
+// register_site), so events carry a u32 site id instead of a string.
+// dump() serializes the rings plus the site table to a compact binary
+// format ("PAROFR1"); decode() reads it back offline, so post-mortems of
+// long runs don't require the process that produced them.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace paro::obs {
+
+/// One recorded event.  `a` and `b` are site-defined payload words
+/// (e.g. stripe index and live-tile count for an attention stripe).
+struct RingEvent {
+  std::uint64_t ts_ns = 0;  ///< steady-clock nanoseconds
+  std::uint32_t site = 0;   ///< interned site id (see FlightRecorder::site_name)
+  std::uint32_t tid = 0;    ///< recorder-local thread id (assignment order)
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+static_assert(sizeof(RingEvent) == 32, "binary dump format assumes 32B events");
+
+/// Decoded form used by snapshot()/decode(): event plus resolved site name.
+struct DecodedEvent {
+  RingEvent ev;
+  std::string site_name;
+};
+
+/// Decoded dump: everything needed for an offline post-mortem.
+struct FlightDump {
+  std::vector<std::string> sites;        ///< site id -> name
+  std::vector<DecodedEvent> events;      ///< all threads, sorted by ts_ns
+  std::uint64_t dropped = 0;             ///< events overwritten by wraparound
+};
+
+class FlightRecorder {
+ public:
+  /// `capacity_per_thread` is the ring size in events (rounded up to 1).
+  explicit FlightRecorder(std::size_t capacity_per_thread = 4096);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Intern a site name, returning its stable id.  Call once per call
+  /// site and cache the result (the PARO_FR macro does this with a
+  /// static local).  Re-registering the same name returns the same id.
+  std::uint32_t register_site(const char* name);
+
+  /// Record an event at `site`.  Cheap no-op while disabled.
+  void record(std::uint32_t site, std::uint64_t a, std::uint64_t b);
+
+  /// Decode the current contents in-process (ts-sorted across threads).
+  FlightDump snapshot() const;
+
+  /// Serialize site table + all rings to `out` in the PAROFR1 binary
+  /// format.  The stream must be opened in binary mode.
+  void dump(std::ostream& out) const;
+
+  /// Parse a PAROFR1 dump produced by dump().  Throws paro::DataError on
+  /// a malformed stream.
+  static FlightDump decode(std::istream& in);
+
+  /// Clear all rings and drop-counters; site table and enabled flag keep.
+  void reset();
+
+  /// Process-wide recorder used by the PARO_FR macro.  Disabled until
+  /// set_enabled(true); rings are only allocated for threads that write.
+  static FlightRecorder& global();
+
+ private:
+  struct ThreadRing;
+  std::shared_ptr<ThreadRing> ring_for_this_thread();
+
+  std::atomic<bool> enabled_{false};
+  const std::size_t capacity_;
+  const std::uint64_t instance_id_;
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadRing>> rings_;
+  std::vector<std::string> sites_;
+  std::uint32_t next_tid_ = 0;
+};
+
+}  // namespace paro::obs
+
+/// Record a flight-recorder event against the global recorder.  The site
+/// id is interned once (static local), so the steady-state disabled cost
+/// is a single relaxed load.  `name` must be a string literal.
+#define PARO_FR(name, a, b)                                                  \
+  do {                                                                       \
+    auto& paro_fr_rec_ = ::paro::obs::FlightRecorder::global();              \
+    if (paro_fr_rec_.enabled()) {                                            \
+      static const std::uint32_t paro_fr_site_ =                             \
+          ::paro::obs::FlightRecorder::global().register_site(name);         \
+      paro_fr_rec_.record(paro_fr_site_, static_cast<std::uint64_t>(a),      \
+                          static_cast<std::uint64_t>(b));                    \
+    }                                                                        \
+  } while (0)

@@ -40,6 +40,10 @@ void write_chrome_trace(std::ostream& os,
       w.kv("ts", e.ts);
       if (e.ph == 'X') w.kv("dur", e.dur);
     }
+    if (e.ph == 's' || e.ph == 't' || e.ph == 'f') {
+      w.kv("id", e.id);
+      if (!e.bp.empty()) w.kv("bp", e.bp);
+    }
     if (!e.args.empty() || !e.sargs.empty()) {
       w.key("args").begin_object();
       for (const auto& [k, v] : e.sargs) w.kv(k, v);

@@ -7,6 +7,11 @@
 // sources need are modelled: complete events (ph = "X", with ts + dur) and
 // metadata events (ph = "M", naming processes and threads/tracks).
 //
+// Flow events (ph = "s" start / "f" finish, plus "t" step) are also
+// supported so the profiler can draw arrows from a spawning span to the
+// pool chunks it fanned out — they carry a shared `id`, and finish events
+// bind to the enclosing slice ("bp": "e") per the spec.
+//
 // Format reference: the "Trace Event Format" document (Chromium project);
 // timestamps and durations are in microseconds.
 #pragma once
@@ -27,6 +32,11 @@ struct ChromeTraceEvent {
   double dur = 0.0;  ///< microseconds; written for ph == 'X' only
   std::uint32_t pid = 1;
   std::uint32_t tid = 0;
+  /// Flow-event binding id; written only for ph in {'s', 't', 'f'}.
+  std::uint64_t id = 0;
+  /// Binding point; "e" on finish events so the arrow lands on the
+  /// enclosing slice.  Written only when non-empty on a flow phase.
+  std::string bp;
   /// Extra numeric payload shown in the trace viewer's detail pane.
   std::vector<std::pair<std::string, double>> args;
   /// Extra string payload ("name" for metadata events goes here too).

@@ -1,11 +1,13 @@
 #include "paro/fused_attention_sim.hpp"
 
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
 #include "sim/pe_array_sim.hpp"
 
@@ -197,7 +199,8 @@ FusedAttentionResult simulate_fused_attention(const FusedAttentionParams& p,
 }
 
 std::vector<FusedAttentionResult> simulate_fused_attention_heads(
-    const std::vector<FusedAttentionParams>& heads, const HwResources& hw) {
+    const std::vector<FusedAttentionParams>& heads, const HwResources& hw,
+    obs::CostLedger* cost_ledger) {
   std::vector<FusedAttentionResult> results(heads.size());
   std::vector<obs::MetricsShard> shards(heads.size());
   // Each head is a self-contained pipeline (own DRAM channel, SRAM buffer
@@ -215,6 +218,42 @@ std::vector<FusedAttentionResult> simulate_fused_attention_heads(
   auto& reg = obs::MetricsRegistry::global();
   for (obs::MetricsShard& shard : shards) {
     shard.flush_to(reg);
+  }
+  // Attribution feed: serial, in head order, with remainder-exact splits —
+  // ledger totals equal the summed results by construction.
+  if (cost_ledger != nullptr) {
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      const FusedAttentionParams& p = heads[i];
+      const FusedAttentionResult& r = results[i];
+      std::array<double, kNumBitChoices> weights{};
+      if (p.tile_counts.has_value()) {
+        // Cost scales with tiles·bits; the 0-bit class gets zero weight
+        // unless every class is empty-or-skipped, in which case the
+        // integer apportioner routes the whole total to slot 0 (= 0-bit).
+        for (int b = 0; b < kNumBitChoices; ++b) {
+          weights[static_cast<std::size_t>(b)] =
+              static_cast<double>((*p.tile_counts)[static_cast<std::size_t>(b)]) *
+              static_cast<double>(kBitChoices[b]);
+        }
+      } else {
+        weights[kNumBitChoices - 1] = 1.0;  // no mix known: all 8-bit
+      }
+      std::array<std::uint64_t, kNumBitChoices> cycles{}, pe_cycles{};
+      std::array<double, kNumBitChoices> dram{};
+      obs::apportion_exact(r.cycles, weights, std::span<std::uint64_t>(cycles));
+      obs::apportion_exact(r.pe_busy_cycles, weights,
+                           std::span<std::uint64_t>(pe_cycles));
+      obs::apportion_exact(r.dram_bytes, weights, std::span<double>(dram));
+      for (int b = 0; b < kNumBitChoices; ++b) {
+        const auto bi = static_cast<std::size_t>(b);
+        if (cycles[bi] == 0 && pe_cycles[bi] == 0 && dram[bi] == 0.0) continue;
+        obs::CostRecord rec;
+        rec.cycles = cycles[bi];
+        rec.pe_cycles = pe_cycles[bi];
+        rec.dram_bytes = dram[bi];
+        cost_ledger->add({p.layer, p.head, kBitChoices[b]}, rec);
+      }
+    }
   }
   return results;
 }

@@ -26,6 +26,10 @@
 #include "sim/dram_model.hpp"
 #include "sim/resources.hpp"
 
+namespace paro::obs {
+class CostLedger;
+}  // namespace paro::obs
+
 namespace paro {
 
 struct FusedAttentionParams {
@@ -43,6 +47,11 @@ struct FusedAttentionParams {
   bool dispatcher = true;
   bool quantized = true;          ///< INT8 flow vs FP16 baseline
   std::uint64_t seed = 7;
+  /// Attribution key used when a CostLedger is passed to
+  /// simulate_fused_attention_heads: which (layer, head) this pipeline
+  /// models.  Has no effect on the simulation itself.
+  std::size_t layer = 0;
+  std::size_t head = 0;
 };
 
 struct FusedAttentionResult {
@@ -63,7 +72,17 @@ FusedAttentionResult simulate_fused_attention(const FusedAttentionParams& p,
 /// Result slot `i` depends only on `heads[i]`; per-task metric shards are
 /// flushed to the global registry in head order at the barrier, so both
 /// results and metric series are identical at any thread count.
+///
+/// When `cost_ledger` is non-null, each head's cycles / PE-busy cycles /
+/// DRAM bytes are attributed to its (layer, head) across the bitwidth
+/// classes, weighted by tile_count·bits (everything lands on the 8-bit
+/// class when tile_counts is absent, and on the 0-bit class when every
+/// tile was skipped).  The splits are remainder-exact, so ledger totals
+/// equal the summed FusedAttentionResult aggregates.  Feeding happens on
+/// the calling thread in head order after the barrier — deterministic at
+/// any thread count.
 std::vector<FusedAttentionResult> simulate_fused_attention_heads(
-    const std::vector<FusedAttentionParams>& heads, const HwResources& hw);
+    const std::vector<FusedAttentionParams>& heads, const HwResources& hw,
+    obs::CostLedger* cost_ledger = nullptr);
 
 }  // namespace paro

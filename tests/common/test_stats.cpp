@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -123,6 +124,45 @@ TEST(Histogram, ClampsOutOfRange) {
 TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(1.0, 0.0, 4), Error);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(Histogram, QuantileMatchesSortedOracleWithinBinWidth) {
+  // 5000 deterministic samples over [0, 100) into 1000 bins (width 0.1):
+  // the histogram quantile may only err by the bin discretization.
+  Histogram h(0.0, 100.0, 1000);
+  std::vector<double> values;
+  values.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = std::fmod(static_cast<double>(i) * 37.777, 100.0);
+    values.push_back(v);
+    h.add(v);
+  }
+  std::sort(values.begin(), values.end());
+  const double bin_width = 0.1;
+  for (const double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(values.size()));
+    const double oracle = values[std::min(rank, values.size() - 1)];
+    EXPECT_NEAR(h.quantile(q), oracle, bin_width + 1e-9) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram empty(0.0, 1.0, 4);
+  EXPECT_EQ(empty.quantile(0.5), 0.0);  // empty histogram reports lo
+
+  Histogram h(0.0, 10.0, 10);
+  h.add(2.5);
+  h.add(7.5);
+  // q clamps to [0, 1]; extremes stay inside the populated bins.
+  EXPECT_GE(h.quantile(-0.5), 2.0);
+  EXPECT_LE(h.quantile(0.0), 3.0);
+  EXPECT_GE(h.quantile(1.5), 7.0);
+  EXPECT_LE(h.quantile(1.0), 8.0);
+  // Median of {2.5, 7.5} lies in one of the two populated bins.
+  const double med = h.quantile(0.5);
+  EXPECT_GE(med, 2.0);
+  EXPECT_LE(med, 8.0);
 }
 
 TEST(Summarize, SpanOverload) {

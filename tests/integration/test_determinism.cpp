@@ -11,15 +11,20 @@
 #include <cstring>
 #include <vector>
 
+#include <array>
+
 #include "attention/pipeline.hpp"
 #include "attention/reference.hpp"
 #include "attention/synthetic.hpp"
 #include "common/thread_pool.hpp"
+#include "model/dit.hpp"
+#include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
 #include "paro/block_pipeline_sim.hpp"
 #include "paro/fused_attention_sim.hpp"
 #include "reorder/calibrate.hpp"
 #include "sim/resources.hpp"
+#include "tensor/random.hpp"
 
 namespace paro {
 namespace {
@@ -219,6 +224,71 @@ TEST_F(DeterminismTest, RepeatedParallelRunsAreStable) {
   EXPECT_EQ(a.fused_cycles, b.fused_cycles);
   for (std::size_t h = 0; h < a.outputs.size(); ++h) {
     EXPECT_TRUE(same_bits(a.outputs[h], b.outputs[h])) << "head " << h;
+  }
+}
+
+TEST_F(DeterminismTest, AttributionLedgerBitwiseIdenticalAcrossWidths) {
+  // Both ledger feeds — the model fan-out (tile counts, on the
+  // coordinating thread in (layer, head) order) and the fused-attention
+  // simulator (cycles/bytes, fed after its barrier) — must produce
+  // bitwise-identical rollups at any pool width, including the
+  // FP-carrying dram_bytes and attributed joules.
+  auto run_ledger = [](std::size_t threads) {
+    set_global_threads(threads);
+    obs::MetricsRegistry::global().reset();
+    obs::CostLedger ledger;
+
+    SyntheticDiT::Config dc;
+    dc.frames = 3;
+    dc.height = 4;
+    dc.width = 4;
+    dc.layers = 2;
+    dc.hidden = 32;
+    dc.heads = 2;
+    dc.channels = 4;
+    const SyntheticDiT dit(dc);
+    const QuantAttentionConfig quant = config_paro_mp(4.8, 8);
+    Rng rng(17);
+    const MatF latent =
+        random_normal(dc.frames * dc.height * dc.width, dc.channels, rng);
+    const SyntheticDiT::Calibration calib = dit.calibrate(quant, latent, 1.0);
+    SyntheticDiT::ExecConfig exec;
+    exec.impl = SyntheticDiT::AttnImpl::kQuantized;
+    exec.quant = quant;
+    exec.cost_ledger = &ledger;
+    (void)dit.forward(latent, 0.5, exec, &calib);
+
+    std::vector<FusedAttentionParams> heads(3);
+    for (std::size_t h = 0; h < heads.size(); ++h) {
+      heads[h].tokens = 256;
+      heads[h].head_dim = 64;
+      heads[h].seed = 7 + h;
+      heads[h].layer = h;
+      heads[h].tile_counts =
+          std::array<std::uint64_t, kNumBitChoices>{h, 8, 2, 1 + h};
+    }
+    (void)simulate_fused_attention_heads(heads, HwResources::paro_asic(),
+                                         &ledger);
+    ledger.attribute_joules(2.5, 0.5);
+    return ledger.rollup();
+  };
+
+  const auto serial = run_ledger(1);
+  const auto parallel = run_ledger(8);
+  ASSERT_FALSE(serial.empty());
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i].first == parallel[i].first) << "row " << i;
+    const obs::CostRecord& a = serial[i].second;
+    const obs::CostRecord& b = parallel[i].second;
+    EXPECT_EQ(a.tiles, b.tiles) << "row " << i;
+    EXPECT_EQ(a.tiles_skipped, b.tiles_skipped) << "row " << i;
+    EXPECT_EQ(a.qk_tiles, b.qk_tiles) << "row " << i;
+    EXPECT_EQ(a.kernel_calls, b.kernel_calls) << "row " << i;
+    EXPECT_EQ(a.cycles, b.cycles) << "row " << i;
+    EXPECT_EQ(a.pe_cycles, b.pe_cycles) << "row " << i;
+    EXPECT_EQ(bits_of(a.dram_bytes), bits_of(b.dram_bytes)) << "row " << i;
+    EXPECT_EQ(bits_of(a.joules), bits_of(b.joules)) << "row " << i;
   }
 }
 

@@ -1,0 +1,215 @@
+#include "obs/attribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "paro/fused_attention_sim.hpp"
+#include "quant/bittable.hpp"
+#include "sim/resources.hpp"
+
+namespace paro::obs {
+namespace {
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+TEST(Apportion, IntegerSharesAreProportionalAndExact) {
+  const std::vector<double> weights = {1.0, 1.0, 2.0};
+  std::vector<std::uint64_t> out(3, 99);
+  apportion_exact(std::uint64_t{100}, weights, out);
+  EXPECT_EQ(out[0], 25U);
+  EXPECT_EQ(out[1], 25U);
+  EXPECT_EQ(out[2], 50U);
+}
+
+TEST(Apportion, IntegerRemainderGoesToLargestFractions) {
+  // 10 over equal thirds: floors are 3 each, the leftover unit lands on
+  // the lowest index among the tied fractions.
+  const std::vector<double> weights = {1.0, 1.0, 1.0};
+  std::vector<std::uint64_t> out(3, 0);
+  apportion_exact(std::uint64_t{10}, weights, out);
+  EXPECT_EQ(out[0], 4U);
+  EXPECT_EQ(out[1], 3U);
+  EXPECT_EQ(out[2], 3U);
+}
+
+TEST(Apportion, IntegerSumsExactlyForAwkwardInputs) {
+  const std::vector<std::vector<double>> weight_sets = {
+      {0.3, 0.3, 0.4},
+      {1e-9, 1.0, 1e9},
+      {0.0, 5.0, 0.0, 7.0},
+      {2.0},
+      {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0},
+  };
+  const std::vector<std::uint64_t> totals = {0, 1, 7, 97, 1000003,
+                                             123456789012345ULL};
+  for (const auto& weights : weight_sets) {
+    for (const std::uint64_t total : totals) {
+      std::vector<std::uint64_t> out(weights.size(), 1);
+      apportion_exact(total, weights, out);
+      const std::uint64_t sum =
+          std::accumulate(out.begin(), out.end(), std::uint64_t{0});
+      EXPECT_EQ(sum, total) << "n=" << weights.size() << " total=" << total;
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        if (weights[i] == 0.0) EXPECT_EQ(out[i], 0U) << "slot " << i;
+      }
+    }
+  }
+}
+
+TEST(Apportion, IntegerAllZeroWeightsFallBackToFirstSlot) {
+  const std::vector<double> weights = {0.0, 0.0, 0.0};
+  std::vector<std::uint64_t> out(3, 7);
+  apportion_exact(std::uint64_t{42}, weights, out);
+  EXPECT_EQ(out[0], 42U);
+  EXPECT_EQ(out[1], 0U);
+  EXPECT_EQ(out[2], 0U);
+}
+
+TEST(Apportion, DoubleSharesSumBitwiseToTotal) {
+  const std::vector<double> weights = {0.1, 0.2, 0.0, 0.7};
+  for (const double total : {0.0, 1.0, 3.14159, 1e12, 7.3e-5}) {
+    std::vector<double> out(weights.size(), -1.0);
+    apportion_exact(total, weights, out);
+    double sum = 0.0;
+    for (const double v : out) sum += v;
+    EXPECT_EQ(bits_of(sum), bits_of(total)) << "total=" << total;
+    EXPECT_EQ(out[2], 0.0);  // zero weight gets exactly zero
+  }
+}
+
+TEST(CostLedger, AddMergesRecordsByKey) {
+  CostLedger ledger;
+  CostRecord r1;
+  r1.tiles = 10;
+  r1.qk_tiles = 4;
+  CostRecord r2;
+  r2.tiles = 5;
+  r2.cycles = 100;
+  ledger.add({0, 1, 4}, r1);
+  ledger.add({0, 1, 4}, r2);
+  ledger.add({1, 0, 8}, r1);
+  EXPECT_EQ(ledger.size(), 2U);
+
+  const auto rows = ledger.rollup();
+  ASSERT_EQ(rows.size(), 2U);
+  // Sorted by (layer, head, bits).
+  EXPECT_TRUE((rows[0].first == CostKey{0, 1, 4}));
+  EXPECT_EQ(rows[0].second.tiles, 15U);
+  EXPECT_EQ(rows[0].second.qk_tiles, 4U);
+  EXPECT_EQ(rows[0].second.cycles, 100U);
+  EXPECT_TRUE((rows[1].first == CostKey{1, 0, 8}));
+
+  const CostRecord total = ledger.total();
+  EXPECT_EQ(total.tiles, 25U);
+  EXPECT_EQ(total.cycles, 100U);
+}
+
+TEST(CostLedger, MergeFoldsAnotherLedger) {
+  CostLedger a;
+  CostLedger b;
+  CostRecord r;
+  r.cycles = 3;
+  a.add({0, 0, 8}, r);
+  b.add({0, 0, 8}, r);
+  b.add({0, 0, 2}, r);
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2U);
+  EXPECT_EQ(a.total().cycles, 9U);
+}
+
+TEST(CostLedger, AttributeJoulesSplitsByCyclesAndBytes) {
+  CostLedger ledger;
+  CostRecord fast;
+  fast.cycles = 300;
+  fast.dram_bytes = 100.0;
+  CostRecord slow;
+  slow.cycles = 100;
+  slow.dram_bytes = 300.0;
+  ledger.add({0, 0, 8}, fast);
+  ledger.add({0, 1, 4}, slow);
+  ledger.attribute_joules(/*non_dram_j=*/4.0, /*dram_j=*/8.0);
+
+  const auto rows = ledger.rollup();
+  ASSERT_EQ(rows.size(), 2U);
+  // fast: 3/4 of the cycle bucket + 1/4 of the byte bucket = 3 + 2.
+  EXPECT_NEAR(rows[0].second.joules, 5.0, 1e-12);
+  // slow: 1/4 of the cycle bucket + 3/4 of the byte bucket = 1 + 6.
+  EXPECT_NEAR(rows[1].second.joules, 7.0, 1e-12);
+  EXPECT_NEAR(ledger.total().joules, 12.0, 1e-9);
+}
+
+TEST(Reconcile, ZeroErrorWhenTotalsMatchAndFlagsDrift) {
+  CostLedger ledger;
+  CostRecord r;
+  r.cycles = 1000;
+  r.dram_bytes = 4096.0;
+  r.joules = 2.0;
+  ledger.add({0, 0, 8}, r);
+
+  const Reconciliation exact = reconcile(ledger, 1000, 4096.0, 2.0);
+  EXPECT_EQ(exact.cycles_rel, 0.0);
+  EXPECT_EQ(exact.dram_rel, 0.0);
+  EXPECT_EQ(exact.joules_rel, 0.0);
+  EXPECT_TRUE(exact.ok());
+
+  const Reconciliation off = reconcile(ledger, 1010, 4096.0, 2.0);
+  EXPECT_GT(off.cycles_rel, 1e-3);
+  EXPECT_FALSE(off.ok());
+  EXPECT_TRUE(off.ok(/*tol=*/0.05));
+}
+
+TEST(Reconcile, SimulatorFeedReconcilesExactly) {
+  // The acceptance property end-to-end: cycles and bytes fed by the
+  // fused-attention simulator must reconcile with its own summed results
+  // with zero relative error, and attributed joules with the energy total.
+  std::vector<FusedAttentionParams> heads(3);
+  for (std::size_t h = 0; h < heads.size(); ++h) {
+    heads[h].tokens = 256;
+    heads[h].head_dim = 64;
+    heads[h].seed = 11 + h;
+    heads[h].layer = h / 2;
+    heads[h].head = h % 2;
+  }
+  heads[0].tile_counts = std::array<std::uint64_t, kNumBitChoices>{4, 6, 3, 3};
+  heads[1].tile_counts = std::array<std::uint64_t, kNumBitChoices>{16, 0, 0, 0};
+  // heads[2]: no tile_counts — everything lands on the 8-bit class.
+
+  CostLedger ledger;
+  const HwResources hw = HwResources::paro_asic();
+  const auto results = simulate_fused_attention_heads(heads, hw, &ledger);
+
+  std::uint64_t cycles = 0;
+  double bytes = 0.0;
+  for (const FusedAttentionResult& r : results) {
+    cycles += r.cycles;
+    bytes += r.dram_bytes;
+  }
+  ledger.attribute_joules(/*non_dram_j=*/1.25, /*dram_j=*/0.75);
+
+  const Reconciliation recon = reconcile(ledger, cycles, bytes, 2.0);
+  EXPECT_EQ(recon.cycles_rel, 0.0);
+  EXPECT_EQ(recon.dram_rel, 0.0);
+  EXPECT_LE(recon.joules_rel, 1e-12);
+  EXPECT_TRUE(recon.ok(1e-3));
+
+  // The all-skipped head attributes to the 0-bit class of its key.
+  bool found_zero_bit = false;
+  for (const auto& [key, rec] : ledger.rollup()) {
+    if (key.layer == 0 && key.head == 1 && key.bits == 0) {
+      found_zero_bit = rec.cycles > 0;
+    }
+  }
+  EXPECT_TRUE(found_zero_bit);
+}
+
+}  // namespace
+}  // namespace paro::obs

@@ -2,11 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <thread>
 
+#include "common/thread_pool.hpp"
 #include "json_validate.hpp"
+#include "obs/json_parse.hpp"
 
 namespace paro::obs {
 namespace {
@@ -164,6 +169,111 @@ TEST(Profile, NewInstanceDoesNotInheritStaleThreadState) {
     EXPECT_STREQ(events[0].name, "clean");
     EXPECT_EQ(events[0].depth, 0U);
   }
+}
+
+TEST_F(ProfileTest, OpenSpansExportAsInProgress) {
+  Profiler::global().begin_span("still.open");
+  std::ostringstream os;
+  Profiler::global().write_chrome_json(os);
+  Profiler::global().end_span();
+  const std::string json = os.str();
+  EXPECT_TRUE(testutil::is_valid_json(json)) << json;
+  // The open span appears as a complete event up to the export timestamp,
+  // flagged so a reader can tell it never closed.
+  EXPECT_NE(json.find("\"name\":\"still.open\""), std::string::npos);
+  EXPECT_NE(json.find("\"in_progress\":1"), std::string::npos);
+  // Closed afterwards: the normal record must not carry the flag twice.
+  std::ostringstream os2;
+  Profiler::global().write_chrome_json(os2);
+  EXPECT_EQ(os2.str().find("\"in_progress\""), std::string::npos);
+}
+
+namespace {
+
+// Per-item busy work heavy enough (~tens of microseconds) that the issuing
+// thread cannot drain every chunk before the workers wake; without it the
+// fan-out can legitimately land on a single track and the multi-tid check
+// below would be flaky.
+std::uint64_t busy_item(std::size_t i) {
+  volatile std::uint64_t acc = i;
+  for (int k = 0; k < 20000; ++k) acc = acc + static_cast<std::uint64_t>(k);
+  return acc;
+}
+
+}  // namespace
+
+TEST_F(ProfileTest, PoolFlowEventsPairUnderEightThreads) {
+  set_global_threads(8);
+  std::atomic<std::uint64_t> sum{0};
+  std::string json;
+  // Scheduling is not obligated to spread chunks across workers; retry the
+  // fan-out a few times and keep the last export.  Every attempt still must
+  // satisfy the flow-pairing checks below.
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    sum.store(0);
+    Profiler::global().reset();
+    global_pool().parallel_for(0, 64, 1, [&sum](std::size_t i) {
+      busy_item(i);
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    std::ostringstream os;
+    Profiler::global().write_chrome_json(os);
+    json = os.str();
+    std::size_t tids = 0;
+    std::size_t pos = 0;
+    std::set<std::string> seen;
+    while ((pos = json.find("\"name\":\"pool.chunk\"", pos)) !=
+           std::string::npos) {
+      const std::size_t tid_pos = json.find("\"tid\":", pos);
+      if (tid_pos != std::string::npos) {
+        seen.insert(json.substr(tid_pos, json.find(',', tid_pos) - tid_pos));
+      }
+      ++pos;
+    }
+    tids = seen.size();
+    if (tids > 1) break;
+  }
+  set_global_threads(1);
+  EXPECT_EQ(sum.load(), 64U * 63U / 2U);
+  ASSERT_TRUE(testutil::is_valid_json(json)) << json;
+
+  // Every flow-finish ('f') id must have a matching flow-start ('s'), and
+  // the fan-out must actually have produced flows on multiple tracks.
+  const JsonValuePtr root = parse_json(json);
+  const JsonValue* events = root->get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  std::set<std::uint64_t> starts;
+  std::set<std::uint64_t> finishes;
+  std::set<double> chunk_tids;
+  for (const JsonValuePtr& e : events->arr_v) {
+    const JsonValue* ph = e->get("ph");
+    if (ph == nullptr) continue;
+    const std::string phase = ph->string_or("");
+    const JsonValue* id = e->get("id");
+    if (phase == "s") {
+      ASSERT_NE(id, nullptr);
+      starts.insert(static_cast<std::uint64_t>(id->number_or(0.0)));
+    } else if (phase == "f") {
+      ASSERT_NE(id, nullptr);
+      finishes.insert(static_cast<std::uint64_t>(id->number_or(0.0)));
+      // Chrome requires bp:"e" on 'f' records to bind to the enclosing
+      // slice; without it the arrow is dropped silently.
+      const JsonValue* bp = e->get("bp");
+      ASSERT_NE(bp, nullptr);
+      EXPECT_EQ(bp->string_or(""), "e");
+    } else if (phase == "X" &&
+               e->get("name")->string_or("") == "pool.chunk") {
+      chunk_tids.insert(e->get("tid")->number_or(-1.0));
+    }
+  }
+  EXPECT_FALSE(finishes.empty());
+  for (const std::uint64_t id : finishes) {
+    EXPECT_TRUE(starts.count(id) > 0) << "flow finish without start: " << id;
+  }
+  // 64 chunks across an 8-wide pool: the chunks cannot all have landed on
+  // one track.
+  EXPECT_GT(chunk_tids.size(), 1U);
 }
 
 TEST_F(ProfileTest, DisabledSpanIsCheap) {

@@ -1,0 +1,171 @@
+#include "obs/ring_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace paro::obs {
+namespace {
+
+TEST(RingLog, DisabledRecordsNothing) {
+  FlightRecorder rec(16);
+  const std::uint32_t site = rec.register_site("noop");
+  rec.record(site, 1, 2);
+  const FlightDump dump = rec.snapshot();
+  EXPECT_TRUE(dump.events.empty());
+  EXPECT_EQ(dump.dropped, 0U);
+}
+
+TEST(RingLog, RecordAndSnapshotResolvesSiteNames) {
+  FlightRecorder rec(16);
+  rec.set_enabled(true);
+  const std::uint32_t a = rec.register_site("site.a");
+  const std::uint32_t b = rec.register_site("site.b");
+  EXPECT_EQ(rec.register_site("site.a"), a);  // interning is idempotent
+  rec.record(a, 10, 11);
+  rec.record(b, 20, 21);
+  rec.record(a, 30, 31);
+  const FlightDump dump = rec.snapshot();
+  ASSERT_EQ(dump.events.size(), 3U);
+  EXPECT_EQ(dump.dropped, 0U);
+  // Sorted by timestamp — same thread, so recording order is preserved.
+  EXPECT_EQ(dump.events[0].site_name, "site.a");
+  EXPECT_EQ(dump.events[0].ev.a, 10U);
+  EXPECT_EQ(dump.events[1].site_name, "site.b");
+  EXPECT_EQ(dump.events[2].ev.b, 31U);
+  for (std::size_t i = 1; i < dump.events.size(); ++i) {
+    EXPECT_GE(dump.events[i].ev.ts_ns, dump.events[i - 1].ev.ts_ns);
+  }
+}
+
+TEST(RingLog, WraparoundKeepsNewestAndCountsDropped) {
+  FlightRecorder rec(4);
+  rec.set_enabled(true);
+  const std::uint32_t site = rec.register_site("wrap");
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    rec.record(site, i, 0);
+  }
+  const FlightDump dump = rec.snapshot();
+  ASSERT_EQ(dump.events.size(), 4U);
+  EXPECT_EQ(dump.dropped, 6U);
+  // Oldest-first of the surviving window: payloads 6, 7, 8, 9.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(dump.events[i].ev.a, 6U + i);
+  }
+}
+
+TEST(RingLog, ResetClearsEventsKeepsSites) {
+  FlightRecorder rec(8);
+  rec.set_enabled(true);
+  const std::uint32_t site = rec.register_site("kept");
+  rec.record(site, 1, 1);
+  rec.reset();
+  EXPECT_TRUE(rec.snapshot().events.empty());
+  rec.record(site, 2, 2);  // old site id still valid after reset
+  const FlightDump dump = rec.snapshot();
+  ASSERT_EQ(dump.events.size(), 1U);
+  EXPECT_EQ(dump.events[0].site_name, "kept");
+}
+
+TEST(RingLog, ConcurrentWritersEachGetTheirOwnRing) {
+  // Eight writers hammer the same recorder; each thread's ring is
+  // private, so nothing is lost below capacity and tids stay distinct.
+  // (Run under TSan, this is also the data-race check.)
+  FlightRecorder rec(2048);
+  rec.set_enabled(true);
+  const std::uint32_t site = rec.register_site("mt");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 1000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&rec, site, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        rec.record(site, static_cast<std::uint64_t>(t), i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const FlightDump dump = rec.snapshot();
+  EXPECT_EQ(dump.events.size(), kThreads * kPerThread);
+  EXPECT_EQ(dump.dropped, 0U);
+  std::set<std::uint32_t> tids;
+  std::vector<std::uint64_t> per_thread(kThreads, 0);
+  for (const DecodedEvent& e : dump.events) {
+    tids.insert(e.ev.tid);
+    ASSERT_LT(e.ev.a, static_cast<std::uint64_t>(kThreads));
+    ++per_thread[e.ev.a];
+  }
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per_thread[static_cast<std::size_t>(t)], kPerThread)
+        << "writer " << t;
+  }
+}
+
+TEST(RingLog, DumpDecodeRoundtrip) {
+  FlightRecorder rec(8);
+  rec.set_enabled(true);
+  const std::uint32_t a = rec.register_site("rt.a");
+  const std::uint32_t b = rec.register_site("rt.b");
+  for (std::uint64_t i = 0; i < 12; ++i) {  // wraps: 12 > capacity 8
+    rec.record(i % 2 == 0 ? a : b, i, 100 + i);
+  }
+  const FlightDump live = rec.snapshot();
+
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  rec.dump(buf);
+  const FlightDump decoded = FlightRecorder::decode(buf);
+
+  EXPECT_EQ(decoded.dropped, live.dropped);
+  ASSERT_EQ(decoded.events.size(), live.events.size());
+  for (std::size_t i = 0; i < live.events.size(); ++i) {
+    EXPECT_EQ(decoded.events[i].ev.ts_ns, live.events[i].ev.ts_ns);
+    EXPECT_EQ(decoded.events[i].ev.tid, live.events[i].ev.tid);
+    EXPECT_EQ(decoded.events[i].ev.a, live.events[i].ev.a);
+    EXPECT_EQ(decoded.events[i].ev.b, live.events[i].ev.b);
+    EXPECT_EQ(decoded.events[i].site_name, live.events[i].site_name);
+  }
+}
+
+TEST(RingLog, DecodeRejectsMalformedStreams) {
+  {
+    std::stringstream bad("not a flight dump at all");
+    EXPECT_THROW(FlightRecorder::decode(bad), DataError);
+  }
+  {
+    // Valid dump truncated mid-stream.
+    FlightRecorder rec(8);
+    rec.set_enabled(true);
+    rec.record(rec.register_site("trunc"), 1, 2);
+    std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+    rec.dump(buf);
+    const std::string whole = buf.str();
+    std::stringstream cut(whole.substr(0, whole.size() / 2));
+    EXPECT_THROW(FlightRecorder::decode(cut), DataError);
+  }
+}
+
+TEST(RingLog, MacroRecordsIntoGlobalRecorder) {
+  FlightRecorder& g = FlightRecorder::global();
+  g.reset();
+  g.set_enabled(true);
+  PARO_FR("macro.site", 7, 8);
+  g.set_enabled(false);
+  PARO_FR("macro.site", 9, 10);  // disabled: must not record
+  const FlightDump dump = g.snapshot();
+  ASSERT_EQ(dump.events.size(), 1U);
+  EXPECT_EQ(dump.events[0].site_name, "macro.site");
+  EXPECT_EQ(dump.events[0].ev.a, 7U);
+  EXPECT_EQ(dump.events[0].ev.b, 8U);
+  g.reset();
+}
+
+}  // namespace
+}  // namespace paro::obs

@@ -1,0 +1,200 @@
+// bench_diff — bench-trajectory gate for BENCH_kernels.json reports.
+//
+//   bench_diff <baseline.json> <current.json> [tol=0.5] [fr_max=0.05]
+//
+// Compares two reports from bench_kernels --kernels_json (schema
+// paro.bench_kernels.v1 or .v2) and exits nonzero on a regression:
+//
+//   * per-kernel speedup-vs-scalar of the dispatch-chosen ISA must not
+//     drop below baseline × (1 − tol).  Speedups are ratios, so they are
+//     far more stable across machines and load than raw seconds — `tol`
+//     defaults to a generous 0.5 (CI machines are noisy);
+//   * the flight-recorder overhead fraction of the current report (v2
+//     only) must stay ≤ fr_max (default 5%, the acceptance target).
+//
+// Kernels present on only one side are reported but never fail the gate
+// (the suite is allowed to grow).  A compiler mismatch between two v2
+// reports prints a warning — absolute times are then not comparable, but
+// the ratio gates still run.  Exit codes: 0 ok, 1 regression, 2 usage or
+// unreadable input.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/json_parse.hpp"
+
+namespace paro {
+namespace {
+
+struct KernelRow {
+  double speedup = 0.0;  ///< chosen-ISA speedup vs scalar
+  double seconds = 0.0;  ///< chosen-ISA best time
+};
+
+struct BenchReport {
+  std::string schema;
+  std::string chosen_isa;
+  std::string compiler;          ///< empty for v1
+  std::map<std::string, KernelRow> kernels;
+  bool has_flight = false;
+  double fr_overhead = 0.0;
+};
+
+BenchReport load_report(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw DataError("cannot open " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const obs::JsonValuePtr root = obs::parse_json(buf.str());
+
+  BenchReport rep;
+  rep.schema = root->get("schema") != nullptr
+                   ? root->get("schema")->string_or("")
+                   : "";
+  if (rep.schema.rfind("paro.bench_kernels.", 0) != 0) {
+    throw DataError(path + ": unrecognised schema '" + rep.schema + "'");
+  }
+  rep.chosen_isa = root->get("chosen_isa") != nullptr
+                       ? root->get("chosen_isa")->string_or("")
+                       : "";
+  if (const obs::JsonValue* build = root->get("build")) {
+    if (const obs::JsonValue* cc = build->get("compiler")) {
+      rep.compiler = cc->string_or("");
+    }
+  }
+  if (const obs::JsonValue* fr = root->get("flight_recorder")) {
+    if (const obs::JsonValue* of = fr->get("overhead_frac")) {
+      rep.has_flight = true;
+      rep.fr_overhead = of->number_or(0.0);
+    }
+  }
+
+  const obs::JsonValue* kernels = root->get("kernels");
+  if (kernels == nullptr || !kernels->is_array()) {
+    throw DataError(path + ": missing \"kernels\" array");
+  }
+  for (const obs::JsonValuePtr& k : kernels->arr_v) {
+    const obs::JsonValue* name = k->get("name");
+    const obs::JsonValue* isas = k->get("isas");
+    if (name == nullptr || isas == nullptr || !isas->is_array()) continue;
+    for (const obs::JsonValuePtr& entry : isas->arr_v) {
+      const obs::JsonValue* isa = entry->get("isa");
+      if (isa == nullptr || isa->string_or("") != rep.chosen_isa) continue;
+      KernelRow row;
+      if (const obs::JsonValue* s = entry->get("speedup_vs_scalar")) {
+        row.speedup = s->number_or(0.0);
+      }
+      if (const obs::JsonValue* s = entry->get("seconds")) {
+        row.seconds = s->number_or(0.0);
+      }
+      rep.kernels[name->string_or("")] = row;
+    }
+  }
+  if (rep.kernels.empty()) {
+    throw DataError(path + ": no kernel entries for chosen ISA '" +
+                    rep.chosen_isa + "'");
+  }
+  return rep;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_diff <baseline.json> <current.json> "
+      "[tol=0.5] [fr_max=0.05]\n"
+      "  gates per-kernel chosen-ISA speedup-vs-scalar against the\n"
+      "  baseline (fail below baseline*(1-tol)) and the flight-recorder\n"
+      "  overhead fraction (fail above fr_max); exit 1 on regression\n");
+  return 2;
+}
+
+int run(int argc, char** argv) {
+  std::vector<std::string> paths;
+  double tol = 0.5;
+  double fr_max = 0.05;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("tol=", 0) == 0) {
+      tol = std::stod(arg.substr(4));
+    } else if (arg.rfind("fr_max=", 0) == 0) {
+      fr_max = std::stod(arg.substr(7));
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) return usage();
+
+  const BenchReport base = load_report(paths[0]);
+  const BenchReport cur = load_report(paths[1]);
+  std::printf("bench_diff: %s (%s, %s) vs %s (%s, %s), tol=%.2f\n",
+              paths[0].c_str(), base.schema.c_str(), base.chosen_isa.c_str(),
+              paths[1].c_str(), cur.schema.c_str(), cur.chosen_isa.c_str(),
+              tol);
+  if (!base.compiler.empty() && !cur.compiler.empty() &&
+      base.compiler != cur.compiler) {
+    std::printf("WARNING: compiler mismatch ('%s' vs '%s') — absolute "
+                "times are not comparable; ratio gates still apply\n",
+                base.compiler.c_str(), cur.compiler.c_str());
+  }
+  if (base.chosen_isa != cur.chosen_isa) {
+    std::printf("WARNING: chosen ISA changed (%s -> %s)\n",
+                base.chosen_isa.c_str(), cur.chosen_isa.c_str());
+  }
+
+  int regressions = 0;
+  for (const auto& [name, brow] : base.kernels) {
+    const auto it = cur.kernels.find(name);
+    if (it == cur.kernels.end()) {
+      std::printf("  %-22s only in baseline (skipped)\n", name.c_str());
+      continue;
+    }
+    const KernelRow& crow = it->second;
+    const double floor = brow.speedup * (1.0 - tol);
+    const bool ok = crow.speedup >= floor;
+    std::printf("  %-22s speedup %7.2fx -> %7.2fx (floor %6.2fx)  %s\n",
+                name.c_str(), brow.speedup, crow.speedup, floor,
+                ok ? "ok" : "REGRESSION");
+    if (!ok) ++regressions;
+  }
+  for (const auto& [name, crow] : cur.kernels) {
+    if (base.kernels.find(name) == base.kernels.end()) {
+      std::printf("  %-22s new kernel (%.2fx, not gated)\n", name.c_str(),
+                  crow.speedup);
+    }
+  }
+
+  if (cur.has_flight) {
+    const bool ok = cur.fr_overhead <= fr_max;
+    std::printf("  flight-recorder overhead %+.2f%% (max %.2f%%)  %s\n",
+                100.0 * cur.fr_overhead, 100.0 * fr_max,
+                ok ? "ok" : "REGRESSION");
+    if (!ok) ++regressions;
+  } else if (base.has_flight) {
+    std::printf("WARNING: baseline has a flight_recorder block but the "
+                "current report does not\n");
+  }
+
+  if (regressions > 0) {
+    std::fprintf(stderr, "bench_diff: %d regression(s)\n", regressions);
+    return 1;
+  }
+  std::printf("bench_diff: no regressions\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace paro
+
+int main(int argc, char** argv) {
+  try {
+    return paro::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error [%s]: %s\n", paro::error_kind_name(e),
+                 e.what());
+    return 2;
+  }
+}

@@ -14,6 +14,13 @@
 //       knob selects the fused block-streaming engine (default) or the
 //       N×N materializing oracle; their outputs are bitwise-identical.
 //
+//   paro_cli report [in=calib.txt] [steps=2] [flight_out=f.bin]
+//       Per-(layer, head, bitwidth) cost attribution: run the quantized
+//       sampler with a cost ledger attached, replay the dispatched tile
+//       mix through the cycle simulator and energy model, and print a
+//       bottleneck table (or json=1) whose totals reconcile with the
+//       simulator / energy aggregates to 0.1%.
+//
 //   paro_cli simulate [model=5b] [config=full|fp16|w8a8|quant]
 //            [bits_from=calib.txt]
 //       Run the accelerator performance model on CogVideoX.  bits_from
@@ -34,12 +41,17 @@
 //                    operator schedule for `simulate`, wall-clock
 //                    profiling spans for `calibrate` / `quality`.  Open
 //                    it in chrome://tracing or ui.perfetto.dev.
+#include <algorithm>
 #include <array>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "attention/calibration_io.hpp"
 #include "common/config.hpp"
@@ -49,14 +61,18 @@
 #include "common/numeric_guard.hpp"
 #include "common/thread_pool.hpp"
 #include "energy/area_power.hpp"
+#include "energy/energy_model.hpp"
 #include "kernels/isa.hpp"
 #include "kernels/kernels.hpp"
 #include "metrics/video_metrics.hpp"
 #include "model/ddim.hpp"
+#include "obs/attribution.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/ring_log.hpp"
 #include "paro/accelerator.hpp"
+#include "paro/fused_attention_sim.hpp"
 #include "sim/trace.hpp"
 
 namespace paro {
@@ -158,6 +174,28 @@ void write_kernels_section(obs::JsonWriter& w) {
   }
   w.end_object();
   w.end_object();
+}
+
+/// "attribution": [...] section — per-(layer, head, bitwidth) cost rollup
+/// from a CostLedger, sorted by key (obs/attribution.hpp).
+void write_attribution_json(obs::JsonWriter& w, const obs::CostLedger& ledger) {
+  w.key("attribution").begin_array();
+  for (const auto& [key, rec] : ledger.rollup()) {
+    w.begin_object();
+    w.kv("layer", key.layer);
+    w.kv("head", key.head);
+    w.kv("bits", static_cast<std::int64_t>(key.bits));
+    w.kv("tiles", rec.tiles);
+    w.kv("tiles_skipped", rec.tiles_skipped);
+    w.kv("qk_tiles", rec.qk_tiles);
+    w.kv("kernel_calls", rec.kernel_calls);
+    w.kv("cycles", rec.cycles);
+    w.kv("pe_cycles", rec.pe_cycles);
+    w.kv("dram_bytes", rec.dram_bytes);
+    w.kv("joules", rec.joules);
+    w.end_object();
+  }
+  w.end_array();
 }
 
 /// Writes the profiler's span timeline to `path` (calibrate / quality).
@@ -375,8 +413,10 @@ int cmd_quality(const KeyValueConfig& cfg) {
   // call of the quantized run (float path only; the integer dataflow has
   // no streaming executor).
   AttnExecStats attn_stats;
+  obs::CostLedger ledger;
   if (exec.impl == SyntheticDiT::AttnImpl::kQuantized) {
     exec.attn_stats = &attn_stats;
+    exec.cost_ledger = &ledger;
   }
   const MatF video = ddim_sample(dit, exec, &calib, steps, seed);
   const VideoQuality q = evaluate_video(video, reference, grid);
@@ -409,6 +449,12 @@ int cmd_quality(const KeyValueConfig& cfg) {
       w.kv("peak_working_set_bytes", attn_stats.peak_bytes);
       w.end_object();
     }
+    // Per-(layer, head, bitwidth) tile attribution of the run.  Cycle /
+    // byte / joule fields stay zero here — `paro_cli report` fills them by
+    // replaying the mix through the cycle simulator and energy model.
+    if (exec.cost_ledger != nullptr && !ledger.empty()) {
+      write_attribution_json(w, ledger);
+    }
     w.key("scores").begin_object();
     w.kv("fvd_proxy", q.fvd);
     w.kv("clipsim", q.clipsim);
@@ -437,6 +483,235 @@ int cmd_quality(const KeyValueConfig& cfg) {
   }
   if (cfg.contains("trace_out")) {
     write_profile_trace(cfg.get_string("trace_out", ""));
+  }
+  return 0;
+}
+
+/// `paro_cli report` — end-to-end cost attribution.  Runs the quantized
+/// sampler with a CostLedger attached (exact per-(layer, head, bitwidth)
+/// tile counts), replays each head's mix through the cycle-driven fused
+/// attention model (cycles / bytes land in the same ledger, split
+/// remainder-exactly across bitwidth classes), attributes the energy
+/// model's joules over the ledger, and prints a bottleneck table sorted
+/// by simulated cycles.  The ledger is reconciled against the simulator
+/// and energy aggregates; disagreement beyond 0.1% exits 1.
+///
+///   flight_out=f.bin   enable the flight recorder around the run and
+///                      dump its binary ring buffers to `f.bin`
+int cmd_report(const KeyValueConfig& cfg) {
+  const bool json = cfg.get_bool("json", false);
+  const SyntheticDiT dit(dit_config(cfg));
+  const QuantAttentionConfig quant = quant_config(cfg);
+  const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 21));
+  const int steps = static_cast<int>(cfg.get_int("steps", 2));
+
+  const bool flight = cfg.contains("flight_out");
+  if (flight) {
+    obs::FlightRecorder::global().reset();
+    obs::FlightRecorder::global().set_enabled(true);
+  }
+
+  SyntheticDiT::Calibration calib;
+  CalibLoadReport calib_report;
+  bool loaded = false;
+  std::string calib_path;
+  if (cfg.contains("in")) {
+    calib_path = cfg.get_string("in", "calib.txt");
+    calib.heads = load_calibration_file(
+        calib_path, calib_load_options(cfg, dit.config(), quant),
+        &calib_report);
+    loaded = true;
+  } else {
+    const MatF latent = ddim_sample(dit, {}, nullptr, 1, seed);
+    calib = dit.calibrate(quant, latent, 1.0);
+  }
+
+  SyntheticDiT::ExecConfig exec;
+  exec.impl = SyntheticDiT::AttnImpl::kQuantized;
+  exec.w8a8_linear = true;
+  exec.quant = quant;
+  AttnExecStats attn_stats;
+  exec.attn_stats = &attn_stats;
+  obs::CostLedger ledger;
+  exec.cost_ledger = &ledger;
+
+  const auto count_kernel_calls = [] {
+    std::uint64_t total = 0;
+    for (const kernels::KernelCallCount& kc : kernels::kernel_call_counts()) {
+      total += kc.calls;
+    }
+    return total;
+  };
+  const std::uint64_t kcalls_before = count_kernel_calls();
+  (void)ddim_sample(dit, exec, &calib, steps, seed);
+  const std::uint64_t kcalls = count_kernel_calls() - kcalls_before;
+  if (flight) obs::FlightRecorder::global().set_enabled(false);
+
+  // Kernel calls are counted process-wide, not per head, so the run's
+  // delta is apportioned over the buckets by computed-tile share (QKᵀ
+  // plus map tiles) — remainder-exact, sums to the measured delta.
+  {
+    const auto entries = ledger.rollup();
+    if (!entries.empty() && kcalls > 0) {
+      std::vector<double> weights;
+      weights.reserve(entries.size());
+      for (const auto& [key, rec] : entries) {
+        weights.push_back(static_cast<double>(rec.qk_tiles + rec.tiles));
+      }
+      std::vector<std::uint64_t> split(entries.size(), 0);
+      obs::apportion_exact(kcalls, weights, split);
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        obs::CostRecord delta;
+        delta.kernel_calls = split[i];
+        ledger.add(entries[i].first, delta);
+      }
+    }
+  }
+
+  // Replay each (layer, head)'s exact dispatched tile mix — accumulated
+  // over every sampling step — through the cycle-driven pipeline model.
+  const std::size_t tokens =
+      dit.config().frames * dit.config().height * dit.config().width;
+  std::map<std::pair<std::size_t, std::size_t>,
+           std::array<std::uint64_t, kNumBitChoices>>
+      head_tiles;
+  for (const auto& [key, rec] : ledger.rollup()) {
+    head_tiles[{key.layer, key.head}]
+              [static_cast<std::size_t>(bit_choice_index(key.bits))] +=
+        rec.tiles;
+  }
+  std::vector<FusedAttentionParams> head_params;
+  head_params.reserve(head_tiles.size());
+  for (const auto& [lh, counts] : head_tiles) {
+    FusedAttentionParams p;
+    p.tokens = tokens;
+    p.head_dim = dit.head_dim();
+    p.map_block = quant.block;
+    p.tile_counts = counts;
+    p.output_bitwidth_aware = quant.output_bitwidth_aware;
+    p.layer = lh.first;
+    p.head = lh.second;
+    head_params.push_back(p);
+  }
+  const HwResources hw = cfg.get_bool("align_a100", false)
+                             ? HwResources::paro_align_a100()
+                             : HwResources::paro_asic();
+  const std::vector<FusedAttentionResult> sims =
+      simulate_fused_attention_heads(head_params, hw, &ledger);
+
+  SimStats stats;
+  std::uint64_t sim_cycles = 0;
+  for (const FusedAttentionResult& r : sims) {
+    sim_cycles += r.cycles;
+    stats.total_cycles += static_cast<double>(r.cycles);
+    stats.pe_busy_cycles += static_cast<double>(r.pe_busy_cycles);
+    stats.vector_busy_cycles += static_cast<double>(r.vector_busy_cycles);
+    stats.dram_busy_cycles += static_cast<double>(r.dram_busy_cycles);
+    stats.dram_bytes += r.dram_bytes;
+  }
+
+  // Effective ops follow the paper's convention: the FP16 workload's
+  // 2 × MACs, i.e. 4·n²·d per head per step (QKᵀ and attn·V).
+  const double n = static_cast<double>(tokens);
+  const double d = static_cast<double>(dit.head_dim());
+  const double effective_ops = 4.0 * n * n * d *
+                               static_cast<double>(head_params.size()) *
+                               static_cast<double>(steps);
+  const EnergyReport energy = estimate_energy(stats, hw, effective_ops);
+  const EnergySplit split = energy_attribution_split(energy);
+  ledger.attribute_joules(split.non_dram_j, split.dram_j);
+
+  const obs::Reconciliation recon =
+      obs::reconcile(ledger, sim_cycles, stats.dram_bytes, energy.total_j);
+  const obs::CostRecord totals = ledger.total();
+
+  if (flight) {
+    const std::string path = cfg.get_string("flight_out", "");
+    std::ofstream os(path, std::ios::binary);
+    PARO_CHECK_MSG(os.good(), "cannot open flight output: " + path);
+    obs::FlightRecorder::global().dump(os);
+    PARO_CHECK_MSG(os.good(), "flight dump failed: " + path);
+    PARO_LOG(kInfo) << "wrote flight-recorder dump to " << path;
+  }
+
+  if (json) {
+    obs::JsonWriter w(std::cout, 2);
+    w.begin_object();
+    w.kv("command", "report");
+    w.kv("steps", static_cast<std::int64_t>(steps));
+    w.kv("executor", executor_name(quant.executor));
+    w.kv("hw", hw.name);
+    w.kv("tokens", tokens);
+    w.kv("heads", head_params.size());
+    w.kv("calibration_loaded", loaded);
+    if (loaded) {
+      write_calib_report_json(w, calib_path, calib_report, /*per_head=*/false);
+    }
+    write_attribution_json(w, ledger);
+    w.key("totals").begin_object();
+    w.kv("tiles", totals.tiles);
+    w.kv("tiles_skipped", totals.tiles_skipped);
+    w.kv("qk_tiles", totals.qk_tiles);
+    w.kv("kernel_calls", totals.kernel_calls);
+    w.kv("cycles", totals.cycles);
+    w.kv("pe_cycles", totals.pe_cycles);
+    w.kv("dram_bytes", totals.dram_bytes);
+    w.kv("joules", totals.joules);
+    w.end_object();
+    w.key("energy").begin_object();
+    w.kv("total_j", energy.total_j);
+    w.kv("dram_j", energy.dram_j);
+    w.kv("seconds", energy.seconds);
+    w.kv("effective_tops_per_watt", energy.effective_tops_per_watt);
+    w.end_object();
+    w.key("reconciliation").begin_object();
+    w.kv("cycles_rel", recon.cycles_rel);
+    w.kv("dram_rel", recon.dram_rel);
+    w.kv("joules_rel", recon.joules_rel);
+    w.kv("ok", recon.ok());
+    w.end_object();
+    write_kernels_section(w);
+    write_metrics_section(w);
+    w.end_object();
+    std::cout << '\n';
+  } else {
+    std::printf("cost report: %zu tokens, %zu heads, %d steps on %s\n",
+                tokens, head_params.size(), steps, hw.name.c_str());
+    std::printf("%5s %4s %4s %10s %10s %12s %14s %11s\n", "layer", "head",
+                "bits", "tiles", "qk_tiles", "cycles", "dram_bytes",
+                "joules");
+    auto rows = ledger.rollup();
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second.cycles > b.second.cycles;
+                     });
+    for (const auto& [key, rec] : rows) {
+      std::printf("%5zu %4zu %4d %10llu %10llu %12llu %14.0f %11.4e\n",
+                  key.layer, key.head, key.bits,
+                  static_cast<unsigned long long>(rec.tiles),
+                  static_cast<unsigned long long>(rec.qk_tiles),
+                  static_cast<unsigned long long>(rec.cycles),
+                  rec.dram_bytes, rec.joules);
+    }
+    std::printf("totals: %llu cycles, %.0f DRAM bytes, %.4e J "
+                "(%.2f effective TOPS/W)\n",
+                static_cast<unsigned long long>(totals.cycles),
+                totals.dram_bytes, totals.joules,
+                energy.effective_tops_per_watt);
+    std::printf("reconciliation: cycles %.2e, dram %.2e, joules %.2e (%s)\n",
+                recon.cycles_rel, recon.dram_rel, recon.joules_rel,
+                recon.ok() ? "ok" : "FAIL");
+  }
+  if (cfg.contains("trace_out")) {
+    write_profile_trace(cfg.get_string("trace_out", ""));
+  }
+  if (!recon.ok()) {
+    std::fprintf(stderr,
+                 "error [Data]: attribution ledger does not reconcile with "
+                 "simulator/energy aggregates (cycles %.3e, dram %.3e, "
+                 "joules %.3e; tol 1e-3)\n",
+                 recon.cycles_rel, recon.dram_rel, recon.joules_rel);
+    return 1;
   }
   return 0;
 }
@@ -574,6 +849,11 @@ int usage() {
       "  quality    [in=calib.txt] steps=10 integer=0 budget=4.8\n"
       "             executor=streamed|materialized (block-streaming fused\n"
       "             engine vs the N^2 oracle; outputs are bitwise-equal)\n"
+      "  report     [in=calib.txt] steps=2 align_a100=0 [flight_out=f.bin]\n"
+      "             per-(layer,head,bitwidth) cost attribution: runs the\n"
+      "             quantized sampler, replays its tile mix through the\n"
+      "             cycle simulator + energy model, prints a bottleneck\n"
+      "             table; exit 1 if the ledger fails to reconcile\n"
       "  simulate   model=5b|2b config=full|fp16|w8a8|quant align_a100=0\n"
       "             bits_from=calib.txt (exact tile counts from a saved\n"
       "             calibration instead of the representative mix)\n"
@@ -618,6 +898,7 @@ int run(int argc, char** argv) {
     if (command == "inspect") return cmd_inspect(cfg);
     if (command == "verify") return cmd_verify(cfg);
     if (command == "quality") return cmd_quality(cfg);
+    if (command == "report") return cmd_report(cfg);
     if (command == "simulate") return cmd_simulate(cfg);
   } catch (const std::exception& e) {
     // Everything — paro taxonomy or a bare std:: exception — exits with a
