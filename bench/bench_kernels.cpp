@@ -32,6 +32,7 @@
 
 #include "attention/fused_executor.hpp"
 #include "attention/pipeline.hpp"
+#include "attention/session.hpp"
 #include "attention/reference.hpp"
 #include "attention/synthetic.hpp"
 #include "common/error.hpp"
@@ -316,6 +317,42 @@ KernelCase fused_attention_case() {
   return c;
 }
 
+/// The same end-to-end shape through the session executor: a warm
+/// SessionContext makes every iteration after the first malloc-free
+/// (retained workspaces + arena scratch), so steady/cold is the measured
+/// value of the zero-allocation steady state.  bench_diff gates the ratio
+/// within one report via steady_max=.
+KernelCase fused_attention_steady_case() {
+  const std::size_t n = 4096, d = 64;
+  Rng rng(11);
+  auto q = std::make_shared<MatF>(random_normal(n, d, rng));
+  auto k = std::make_shared<MatF>(random_normal(n, d, rng));
+  auto v = std::make_shared<MatF>(random_normal(n, d, rng));
+  auto calib = std::make_shared<HeadCalibration>();
+  calib->plan = ReorderPlan::identity(n);
+  calib->bit_table = BitTable(BlockGrid(n, n, 64), 4);
+  calib->planned_avg_bits = 4.0;
+  QuantAttentionConfig cfg;
+  cfg.map_scheme = AttnMapScheme::kBlockwise;
+  cfg.map_bits = 8;
+  cfg.block = 64;
+  cfg.use_reorder = false;
+  cfg.output_bitwidth_aware = true;
+  cfg.executor = AttnExecutor::kStreamed;
+  auto session = std::make_shared<SessionContext>();
+  KernelCase c;
+  c.name = "fused_attention_steady";
+  c.shape = "n=4096 d=64 block=64 oba4 warm-session";
+  c.ops = 2.0 * n * n * d * 2;
+  c.bytes = static_cast<double>(n) * n * sizeof(float);
+  c.fn = [q, k, v, calib, cfg, session] {
+    session->begin_step();
+    benchmark::DoNotOptimize(fused_quantized_attention_session(
+        *q, *k, *v, *calib, cfg, *session, 0, 0, nullptr));
+  };
+  return c;
+}
+
 std::vector<KernelCase> build_cases() {
   std::vector<KernelCase> cases;
   Rng rng(10);
@@ -479,6 +516,7 @@ std::vector<KernelCase> build_cases() {
   }
 
   cases.push_back(fused_attention_case());
+  cases.push_back(fused_attention_steady_case());
   return cases;
 }
 

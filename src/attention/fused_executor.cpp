@@ -5,11 +5,13 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
-#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "attention/reference.hpp"
+#include "attention/session.hpp"
+#include "common/arena.hpp"
 #include "common/fault.hpp"
 #include "common/numeric_guard.hpp"
 #include "common/thread_pool.hpp"
@@ -37,28 +39,40 @@ std::size_t quantized_bytes(const QuantizedI8& q) {
   return matrix_bytes(q.codes) + q.row_params.size() * sizeof(QuantParams);
 }
 
-std::vector<float> row_scales(const QuantizedI8& q) {
-  std::vector<float> s;
-  s.reserve(q.row_params.size());
-  for (const QuantParams& p : q.row_params) s.push_back(p.scale);
-  return s;
+/// Contiguous per-row scale vector (kernel epilogue operand), refilled
+/// into retained storage.
+void row_scales_into(const QuantizedI8& q, std::vector<float>& s) {
+  s.resize(q.row_params.size());
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = q.row_params[i].scale;
 }
 
-/// Per-stripe tallies; each stripe fills its own slot, the coordinator
-/// folds them in stripe order.
-struct StripeStats {
-  std::size_t tiles_live = 0;
-  std::size_t tiles_skipped = 0;
-  std::size_t qk_tiles = 0;
-  std::array<std::uint64_t, kNumBitChoices> per_bits{};
-  std::size_t local_bytes = 0;  ///< stripe scratch footprint
+/// Raw-pointer views of one stripe's scratch.  The buffers come from
+/// per-call vectors (allocating path) or from a worker thread's arena
+/// shard (session path); the stripe body is identical either way, which is
+/// what keeps the two paths bitwise interchangeable.
+struct StripeScratch {
+  float* buf = nullptr;          ///< [rows_here, n] logits→exp→map values
+  float* rowmax = nullptr;       ///< [rows_here] running row maxima
+  float* rowinv = nullptr;       ///< [rows_here] 1/rowsum
+  std::uint8_t* qk_skip = nullptr;   ///< [bcols] dispatcher-bypassed tiles
+  std::uint8_t* map_zero = nullptr;  ///< [bcols] 0-bit map tiles
+  float* tile_scratch = nullptr;     ///< capacity rows_here * tile_side
+  std::int8_t* ktile = nullptr;      ///< decoded K rows (OBA), may be null
+  std::size_t ktile_len = 0;
 };
 
-}  // namespace
-
-QuantAttentionResult fused_quantized_attention(
-    const MatF& q, const MatF& k, const MatF& v, const HeadCalibration& calib,
-    const QuantAttentionConfig& config) {
+/// Shared engine body.  `session == nullptr` is the classic allocating
+/// path (per-stripe vectors, registry-lookup metrics); a non-null session
+/// serves stripe scratch from its arena shards and writes metrics through
+/// pre-resolved handles.  `ws` holds every operand either way — the
+/// allocating wrapper passes a call-local workspace.  The canonical-order
+/// output lands in ws.out; `exec_out` / `avg_bits_out` receive the
+/// executor accounting when non-null.
+void fused_attention_impl(const MatF& q, const MatF& k, const MatF& v,
+                          const HeadCalibration& calib,
+                          const QuantAttentionConfig& config,
+                          SessionContext* session, HeadWorkspace& ws,
+                          AttnExecStats* exec_out, double* avg_bits_out) {
   PARO_SPAN("attn.fused");
   const auto call_start = std::chrono::steady_clock::now();
   PARO_CHECK_MSG(q.rows() == k.rows() && k.rows() == v.rows(),
@@ -71,28 +85,24 @@ QuantAttentionResult fused_quantized_attention(
 
   obs::WorkingSetMeter meter;
 
-  const MatF qr = calib.plan.apply_rows(q);
-  const MatF kr = calib.plan.apply_rows(k);
-  const MatF vr = calib.plan.apply_rows(v);
-  meter.acquire(matrix_bytes(qr) + matrix_bytes(kr) + matrix_bytes(vr));
+  calib.plan.apply_rows_into(q, ws.qr);
+  calib.plan.apply_rows_into(k, ws.kr);
+  calib.plan.apply_rows_into(v, ws.vr);
+  meter.acquire(matrix_bytes(ws.qr) + matrix_bytes(ws.kr) +
+                matrix_bytes(ws.vr));
 
   // INT8 per-token Q/K and per-dimension V, shared by every stripe.
-  std::optional<QuantizedI8> q8;
-  std::optional<QuantizedI8> k8;
-  MatF v_quant;
-  std::vector<float> q_scales;
-  std::vector<float> k_scales;
   if (config.quantize_qkv) {
-    q8 = quantize_rows_i8(qr, 8);
-    k8 = quantize_rows_i8(kr, 8);
-    v_quant = fake_quant_matrix(vr, Granularity::kPerColumn, 8,
-                                /*symmetric=*/true);
-    meter.acquire(quantized_bytes(*q8) + quantized_bytes(*k8) +
-                  matrix_bytes(v_quant));
-    q_scales = row_scales(*q8);
-    k_scales = row_scales(*k8);
+    quantize_rows_i8_into(ws.qr, ws.q8, 8);
+    quantize_rows_i8_into(ws.kr, ws.k8, 8);
+    fake_quant_per_column_into(ws.vr, 8, /*symmetric=*/true, ws.v_quant,
+                               ws.v_tscratch, ws.v_params);
+    meter.acquire(quantized_bytes(ws.q8) + quantized_bytes(ws.k8) +
+                  matrix_bytes(ws.v_quant));
+    row_scales_into(ws.q8, ws.q_scales);
+    row_scales_into(ws.k8, ws.k_scales);
   }
-  const MatF& v_used = config.quantize_qkv ? v_quant : vr;
+  const MatF& v_used = config.quantize_qkv ? ws.v_quant : ws.vr;
 
   const BitTable* table =
       calib.bit_table.has_value() ? &*calib.bit_table : nullptr;
@@ -118,27 +128,213 @@ QuantAttentionResult fused_quantized_attention(
   // OBA: pack the LDZ-truncated K operands once per head (one plane per
   // sub-8 bitwidth the table actually uses).  Stripes decode a tile's rows
   // into scratch and run the ordinary int8 tile kernel — bit-exact vs the
-  // per-product (mantissa * q) << shift formulation.
-  kernels::PackedLdzK packed_k;
+  // per-product (mantissa * q) << shift formulation.  The workspace keeps
+  // the plane storage; build() refills it in place when the geometry is
+  // unchanged.
   if (oba_active && n > 0) {
-    std::vector<int> plane_bits;
+    ws.plane_bits.clear();
     for (const int b : kBitChoices) {
-      if (b > 0 && b < 8 && table->tiles_at(b) > 0) plane_bits.push_back(b);
+      if (b > 0 && b < 8 && table->tiles_at(b) > 0) ws.plane_bits.push_back(b);
     }
-    packed_k.build(k8->codes.row(0).data(), n, d, plane_bits);
-    meter.acquire(packed_k.packed_bytes());
+    ws.packed_k.build(ws.k8.codes.row(0).data(), n, d, ws.plane_bits);
+    meter.acquire(ws.packed_k.packed_bytes());
+  } else if (!ws.packed_k.empty()) {
+    // A retained workspace flipping away from OBA must drop its planes so
+    // `empty()` gates the decode scratch like a fresh run.
+    ws.packed_k.clear();
   }
 
-  MatF out_r(n, dv, 0.0F);
-  meter.acquire(matrix_bytes(out_r));
+  ws.out_r.resize(n, dv);
+  std::fill(ws.out_r.flat().begin(), ws.out_r.flat().end(), 0.0F);
+  meter.acquire(matrix_bytes(ws.out_r));
 
   const std::size_t stripes = grid.block_rows();
   const std::size_t bcols = grid.block_cols();
-  std::vector<StripeStats> stats(stripes);
+  ws.stripe_stats.assign(stripes, StripeStats{});
+  std::vector<StripeStats>& stats = ws.stripe_stats;
+
+  // The stripe body, independent of where its scratch lives.
+  auto run_stripe = [&](std::size_t br, std::size_t r0, std::size_t rows_here,
+                        std::size_t tile_side, const StripeScratch& sc) {
+    float* const buf = sc.buf;
+    const std::size_t buf_len = rows_here * n;
+
+    StripeStats& st = stats[br];
+    st.local_bytes = buf_len * sizeof(float) + rows_here * sizeof(float) +
+                     rows_here * sizeof(float) + 2 * bcols +
+                     rows_here * tile_side * sizeof(float) + sc.ktile_len;
+
+    // --- pass 1: per-tile QKᵀ logits + running row maxima ------------
+    visitor.for_each_tile_in_row(br, [&](const TileRef& t) {
+      const int map_bits_tile = mixed ? t.bits : config.map_bits;
+      const bool skip_qk = oba_active && t.bits == 0;
+      const bool zero_map = block_quant && map_bits_tile == 0;
+      if (zero_map) sc.map_zero[t.bc] = 1;
+      // Stats: a tile is "skipped" when the dispatcher bypasses its
+      // AttnV work — 0 QKᵀ bits under OBA, or a 0-bit map tile.
+      if (skip_qk || zero_map) {
+        ++st.tiles_skipped;
+      } else {
+        ++st.tiles_live;
+      }
+      ++st.per_bits[static_cast<std::size_t>(
+          bit_choice_index(table != nullptr ? t.bits : 8))];
+      if (skip_qk) {
+        sc.qk_skip[t.bc] = 1;
+        return;  // dispatcher bypass: no logits, no exp, no AttnV
+      }
+      ++st.qk_tiles;
+
+      const auto e = t.extent;
+      if (config.quantize_qkv) {
+        const std::int8_t* ktp = ws.k8.codes.row(e.c0).data();
+        if (oba_active && t.bits < 8) {
+          // LDZ keeps `bits` significant magnitude bits of every K
+          // operand — applied to every live tile, like the PE array.
+          // Decode this tile's rows from the packed plane; the int8 dot
+          // over decoded values equals the per-product LDZ sum exactly.
+          ws.packed_k.decode_rows(t.bits, e.c0, e.c1, sc.ktile);
+          ktp = sc.ktile;
+        }
+        kernels::qk_tile_i8_scaled(
+            ws.q8.codes.row(e.r0).data(), d, e.r1 - e.r0, ktp, d, e.c1 - e.c0,
+            d, ws.q_scales.data() + e.r0, ws.k_scales.data() + e.c0,
+            buf + (e.r0 - r0) * n + e.c0, n);
+      } else {
+        // FP path: 4-lane double dot products, like matmul_nt.
+        for (std::size_t i = e.r0; i < e.r1; ++i) {
+          kernels::nt_dot_f32_row(ws.qr.row(i).data(), ws.kr.row(e.c0).data(),
+                                  d, e.c1 - e.c0, d,
+                                  buf + (i - r0) * n + e.c0);
+        }
+      }
+      // float max is order-insensitive, so tile-by-tile updates land on
+      // the same value as the materialized whole-row scan.
+      for (std::size_t i = e.r0; i < e.r1; ++i) {
+        const float* brow = buf + (i - r0) * n;
+        sc.rowmax[i - r0] = kernels::row_max_scaled(
+            brow + e.c0, e.c1 - e.c0, scale, sc.rowmax[i - r0]);
+      }
+    });
+
+    // Fault site: numerical blow-up inside this stripe's QKᵀ.  Fires
+    // per stripe, so a spec's skip/count window can target one stripe
+    // and prove damage stays contained to it.
+    {
+      std::uint64_t seed = 0;
+      if (PARO_FAULT_FIRE("attn.logits.nonfinite", &seed) && buf_len > 0) {
+        buf[seed % buf_len] = std::numeric_limits<float>::quiet_NaN();
+      }
+    }
+
+    // --- pass 2: online softmax (exp in ascending j, then normalize) --
+    bool stripe_has_dead = false;
+    for (std::size_t i = 0; i < rows_here; ++i) {
+      float* brow = buf + i * n;
+      if (sc.rowmax[i] == kNegInf) {
+        // Every tile of this row was bypassed; the materialized softmax
+        // degenerates to a uniform row.  Replicate it so the (equally
+        // degenerate) map-quant and AttnV see identical values.
+        stripe_has_dead = true;
+        const float u = 1.0F / static_cast<float>(n);
+        for (std::size_t j = 0; j < n; ++j) brow[j] = u;
+        continue;
+      }
+      double sum = 0.0;
+      for (std::size_t bc = 0; bc < bcols; ++bc) {
+        if (sc.qk_skip[bc]) continue;  // buf stays 0, matching dst[j] = 0
+        const auto e = grid.extent(br, bc);
+        // Segments chain the same serial double sum as the whole-row
+        // materialized loop (exp_sum_segment extends `sum` in place).
+        sum = kernels::exp_sum_segment(brow + e.c0, e.c1 - e.c0, scale,
+                                       sc.rowmax[i], sum);
+      }
+      const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0F;
+      sc.rowinv[i] = inv;
+      // Full-row sweep including bypassed zeros (0·inv = 0) — exactly
+      // the materialized `v *= inv` loop.
+      kernels::scale_inplace(brow, n, inv);
+    }
+
+    // Map-boundary guard: post-softmax values are probabilities, so a
+    // non-finite entry here is numerical failure whatever its origin.
+    // Clean stripes pay one read-only scan — no copy, no mutation — so
+    // guarded and unguarded runs stay bitwise identical.
+    {
+      const std::size_t bad =
+          count_nonfinite(std::span<const float>(buf, buf_len));
+      if (bad > 0) {
+        obs::MetricsRegistry::global()
+            .counter("numeric.nonfinite", {{"stage", "map"}})
+            .add(static_cast<double>(bad));
+        guard_nonfinite(std::span<float>(buf, buf_len), config.nonfinite,
+                        "attention map (stripe " + std::to_string(br) + ")");
+      }
+    }
+
+    // --- pass 3: per-tile map fake-quant at the tile's bitwidth -------
+    if (per_row_quant) {
+      for (std::size_t i = 0; i < rows_here; ++i) {
+        fake_quant_group(std::span<float>(buf + i * n, n), config.map_bits,
+                         /*symmetric=*/false);
+      }
+    } else if (block_quant) {
+      visitor.for_each_tile_in_row(br, [&](const TileRef& t) {
+        const auto e = t.extent;
+        if (sc.map_zero[t.bc]) {
+          // 0-bit map tile: fake-quant semantics are "zero the tile".
+          // (Needed when exp mass was written — the non-OBA mixed case.)
+          for (std::size_t i = e.r0; i < e.r1; ++i) {
+            float* brow = buf + (i - r0) * n;
+            for (std::size_t j = e.c0; j < e.c1; ++j) brow[j] = 0.0F;
+          }
+          return;
+        }
+        if (sc.qk_skip[t.bc] && !stripe_has_dead) {
+          return;  // all-zero region; fake-quantizing zeros is identity
+        }
+        // Gather the tile into contiguous scratch (same element order as
+        // the vector-insert idiom it replaces), fake-quant, scatter back.
+        std::size_t ts_len = 0;
+        for (std::size_t i = e.r0; i < e.r1; ++i) {
+          const float* brow = buf + (i - r0) * n;
+          std::copy(brow + e.c0, brow + e.c1, sc.tile_scratch + ts_len);
+          ts_len += e.c1 - e.c0;
+        }
+        fake_quant_group(std::span<float>(sc.tile_scratch, ts_len),
+                         mixed ? t.bits : config.map_bits,
+                         /*symmetric=*/false);
+        std::size_t idx = 0;
+        for (std::size_t i = e.r0; i < e.r1; ++i) {
+          float* brow = buf + (i - r0) * n;
+          for (std::size_t j = e.c0; j < e.c1; ++j) {
+            brow[j] = sc.tile_scratch[idx++];
+          }
+        }
+      });
+    }
+
+    // --- pass 4: AttnV accumulation, tile-by-tile, 0-bit tiles skipped
+    for (std::size_t bc = 0; bc < bcols; ++bc) {
+      if (sc.map_zero[bc]) continue;                     // zeroed tile
+      if (sc.qk_skip[bc] && !stripe_has_dead) continue;  // all-zero tile
+      const auto e = grid.extent(br, bc);
+      // attnv_accum skips zero weights — matmul's zero-skip, bit-for-bit.
+      for (std::size_t i = e.r0; i < e.r1; ++i) {
+        const float* arow = buf + (i - r0) * n;
+        kernels::attnv_accum(arow + e.c0, e.c1 - e.c0,
+                             v_used.row(e.c0).data(), v_used.cols(), dv,
+                             ws.out_r.row(i).data());
+      }
+    }
+  };
 
   // One stripe = one block-row of the map.  Stripes write disjoint rows of
   // out_r and their own stats slot, so grain-1 fan-out is race-free and
   // the chunk layout (hence everything) is thread-count-independent.
+  // Which arena shard serves a stripe is scheduling-dependent, but spans
+  // are fully written before they are read and nothing depends on their
+  // addresses, so outputs stay deterministic (common/arena.hpp).
   global_pool().for_chunks(0, stripes, 1, [&](std::size_t s0, std::size_t s1,
                                               std::size_t /*chunk*/) {
     for (std::size_t br = s0; br < s1; ++br) {
@@ -149,187 +345,55 @@ QuantAttentionResult fused_quantized_attention(
       // run shows which stripe each thread was in and how big it was.
       PARO_FR("attn.stripe.begin", br, rows_here);
       const std::size_t tile_side = std::min(config.block, n);
+      const std::size_t ktile_len =
+          ws.packed_k.empty() ? 0 : tile_side * d;
 
-      // Stripe scratch: `buf` holds the stripe's logits, then exp values,
-      // then the normalized (and fake-quantized) map values in place.
-      std::vector<float> buf(rows_here * n, 0.0F);
-      std::vector<float> rowmax(rows_here, kNegInf);
-      std::vector<float> rowinv(rows_here, 0.0F);
-      std::vector<std::uint8_t> qk_skip(bcols, 0);
-      std::vector<std::uint8_t> map_zero(bcols, 0);
-      std::vector<float> tile_scratch;
-      tile_scratch.reserve(rows_here * tile_side);
-      // Decoded K rows for one sub-8-bit OBA tile (value domain int8).
-      std::vector<std::int8_t> ktile;
-      if (!packed_k.empty()) ktile.resize(tile_side * d);
-
-      StripeStats& st = stats[br];
-      st.local_bytes = buf.size() * sizeof(float) +
-                       rowmax.size() * sizeof(float) +
-                       rowinv.size() * sizeof(float) + 2 * bcols +
-                       rows_here * tile_side * sizeof(float) + ktile.size();
-
-      // --- pass 1: per-tile QKᵀ logits + running row maxima ------------
-      visitor.for_each_tile_in_row(br, [&](const TileRef& t) {
-        const int map_bits_tile = mixed ? t.bits : config.map_bits;
-        const bool skip_qk = oba_active && t.bits == 0;
-        const bool zero_map = block_quant && map_bits_tile == 0;
-        if (zero_map) map_zero[t.bc] = 1;
-        // Stats: a tile is "skipped" when the dispatcher bypasses its
-        // AttnV work — 0 QKᵀ bits under OBA, or a 0-bit map tile.
-        if (skip_qk || zero_map) {
-          ++st.tiles_skipped;
-        } else {
-          ++st.tiles_live;
+      StripeScratch sc;
+      sc.ktile_len = ktile_len;
+      if (session != nullptr) {
+        // Arena-backed scratch: bump-carved from this worker's shard,
+        // reset per stripe (offsets rewind, slabs stay), explicitly
+        // re-initialized exactly like the vector constructors below.
+        Arena& arena = session->scratch().local();
+        arena.reset();
+        sc.buf = arena.alloc_span<float>(rows_here * n, /*zero=*/true).data();
+        auto rowmax = arena.alloc_span<float>(rows_here);
+        std::fill(rowmax.begin(), rowmax.end(), kNegInf);
+        sc.rowmax = rowmax.data();
+        sc.rowinv = arena.alloc_span<float>(rows_here, /*zero=*/true).data();
+        sc.qk_skip =
+            arena.alloc_span<std::uint8_t>(bcols, /*zero=*/true).data();
+        sc.map_zero =
+            arena.alloc_span<std::uint8_t>(bcols, /*zero=*/true).data();
+        sc.tile_scratch =
+            arena.alloc_span<float>(rows_here * tile_side).data();
+        if (ktile_len > 0) {
+          sc.ktile = arena.alloc_span<std::int8_t>(ktile_len).data();
         }
-        ++st.per_bits[static_cast<std::size_t>(
-            bit_choice_index(table != nullptr ? t.bits : 8))];
-        if (skip_qk) {
-          qk_skip[t.bc] = 1;
-          return;  // dispatcher bypass: no logits, no exp, no AttnV
-        }
-        ++st.qk_tiles;
-
-        const auto e = t.extent;
-        if (config.quantize_qkv) {
-          const std::int8_t* ktp = k8->codes.row(e.c0).data();
-          if (oba_active && t.bits < 8) {
-            // LDZ keeps `bits` significant magnitude bits of every K
-            // operand — applied to every live tile, like the PE array.
-            // Decode this tile's rows from the packed plane; the int8 dot
-            // over decoded values equals the per-product LDZ sum exactly.
-            packed_k.decode_rows(t.bits, e.c0, e.c1, ktile.data());
-            ktp = ktile.data();
-          }
-          kernels::qk_tile_i8_scaled(
-              q8->codes.row(e.r0).data(), d, e.r1 - e.r0, ktp, d, e.c1 - e.c0,
-              d, q_scales.data() + e.r0, k_scales.data() + e.c0,
-              buf.data() + (e.r0 - r0) * n + e.c0, n);
-        } else {
-          // FP path: 4-lane double dot products, like matmul_nt.
-          for (std::size_t i = e.r0; i < e.r1; ++i) {
-            kernels::nt_dot_f32_row(qr.row(i).data(), kr.row(e.c0).data(), d,
-                                    e.c1 - e.c0, d,
-                                    buf.data() + (i - r0) * n + e.c0);
-          }
-        }
-        // float max is order-insensitive, so tile-by-tile updates land on
-        // the same value as the materialized whole-row scan.
-        for (std::size_t i = e.r0; i < e.r1; ++i) {
-          const float* brow = buf.data() + (i - r0) * n;
-          rowmax[i - r0] = kernels::row_max_scaled(brow + e.c0, e.c1 - e.c0,
-                                                   scale, rowmax[i - r0]);
-        }
-      });
-
-      // Fault site: numerical blow-up inside this stripe's QKᵀ.  Fires
-      // per stripe, so a spec's skip/count window can target one stripe
-      // and prove damage stays contained to it.
-      {
-        std::uint64_t seed = 0;
-        if (PARO_FAULT_FIRE("attn.logits.nonfinite", &seed) && !buf.empty()) {
-          buf[seed % buf.size()] = std::numeric_limits<float>::quiet_NaN();
-        }
-      }
-
-      // --- pass 2: online softmax (exp in ascending j, then normalize) --
-      bool stripe_has_dead = false;
-      for (std::size_t i = 0; i < rows_here; ++i) {
-        float* brow = buf.data() + i * n;
-        if (rowmax[i] == kNegInf) {
-          // Every tile of this row was bypassed; the materialized softmax
-          // degenerates to a uniform row.  Replicate it so the (equally
-          // degenerate) map-quant and AttnV see identical values.
-          stripe_has_dead = true;
-          const float u = 1.0F / static_cast<float>(n);
-          for (std::size_t j = 0; j < n; ++j) brow[j] = u;
-          continue;
-        }
-        double sum = 0.0;
-        for (std::size_t bc = 0; bc < bcols; ++bc) {
-          if (qk_skip[bc]) continue;  // buf stays 0, matching dst[j] = 0
-          const auto e = grid.extent(br, bc);
-          // Segments chain the same serial double sum as the whole-row
-          // materialized loop (exp_sum_segment extends `sum` in place).
-          sum = kernels::exp_sum_segment(brow + e.c0, e.c1 - e.c0, scale,
-                                         rowmax[i], sum);
-        }
-        const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0F;
-        rowinv[i] = inv;
-        // Full-row sweep including bypassed zeros (0·inv = 0) — exactly
-        // the materialized `v *= inv` loop.
-        kernels::scale_inplace(brow, n, inv);
-      }
-
-      // Map-boundary guard: post-softmax values are probabilities, so a
-      // non-finite entry here is numerical failure whatever its origin.
-      // Clean stripes pay one read-only scan — no copy, no mutation — so
-      // guarded and unguarded runs stay bitwise identical.
-      {
-        const std::size_t bad = count_nonfinite(buf);
-        if (bad > 0) {
-          obs::MetricsRegistry::global()
-              .counter("numeric.nonfinite", {{"stage", "map"}})
-              .add(static_cast<double>(bad));
-          guard_nonfinite(std::span<float>(buf), config.nonfinite,
-                          "attention map (stripe " + std::to_string(br) +
-                              ")");
-        }
-      }
-
-      // --- pass 3: per-tile map fake-quant at the tile's bitwidth -------
-      if (per_row_quant) {
-        for (std::size_t i = 0; i < rows_here; ++i) {
-          fake_quant_group(std::span<float>(buf.data() + i * n, n),
-                           config.map_bits, /*symmetric=*/false);
-        }
-      } else if (block_quant) {
-        visitor.for_each_tile_in_row(br, [&](const TileRef& t) {
-          const auto e = t.extent;
-          if (map_zero[t.bc]) {
-            // 0-bit map tile: fake-quant semantics are "zero the tile".
-            // (Needed when exp mass was written — the non-OBA mixed case.)
-            for (std::size_t i = e.r0; i < e.r1; ++i) {
-              float* brow = buf.data() + (i - r0) * n;
-              for (std::size_t j = e.c0; j < e.c1; ++j) brow[j] = 0.0F;
-            }
-            return;
-          }
-          if (qk_skip[t.bc] && !stripe_has_dead) {
-            return;  // all-zero region; fake-quantizing zeros is identity
-          }
-          tile_scratch.clear();
-          for (std::size_t i = e.r0; i < e.r1; ++i) {
-            const float* brow = buf.data() + (i - r0) * n;
-            tile_scratch.insert(tile_scratch.end(), brow + e.c0, brow + e.c1);
-          }
-          fake_quant_group(tile_scratch, mixed ? t.bits : config.map_bits,
-                           /*symmetric=*/false);
-          std::size_t idx = 0;
-          for (std::size_t i = e.r0; i < e.r1; ++i) {
-            float* brow = buf.data() + (i - r0) * n;
-            for (std::size_t j = e.c0; j < e.c1; ++j) {
-              brow[j] = tile_scratch[idx++];
-            }
-          }
-        });
-      }
-
-      // --- pass 4: AttnV accumulation, tile-by-tile, 0-bit tiles skipped
-      for (std::size_t bc = 0; bc < bcols; ++bc) {
-        if (map_zero[bc]) continue;                     // zeroed tile
-        if (qk_skip[bc] && !stripe_has_dead) continue;  // all-zero tile
-        const auto e = grid.extent(br, bc);
-        // attnv_accum skips zero weights — matmul's zero-skip, bit-for-bit.
-        for (std::size_t i = e.r0; i < e.r1; ++i) {
-          const float* arow = buf.data() + (i - r0) * n;
-          kernels::attnv_accum(arow + e.c0, e.c1 - e.c0,
-                               v_used.row(e.c0).data(), v_used.cols(), dv,
-                               out_r.row(i).data());
-        }
+        run_stripe(br, r0, rows_here, tile_side, sc);
+      } else {
+        // Stripe scratch: `buf` holds the stripe's logits, then exp
+        // values, then the normalized (and fake-quantized) map values in
+        // place.
+        std::vector<float> buf(rows_here * n, 0.0F);
+        std::vector<float> rowmax(rows_here, kNegInf);
+        std::vector<float> rowinv(rows_here, 0.0F);
+        std::vector<std::uint8_t> qk_skip(bcols, 0);
+        std::vector<std::uint8_t> map_zero(bcols, 0);
+        std::vector<float> tile_scratch(rows_here * tile_side);
+        // Decoded K rows for one sub-8-bit OBA tile (value domain int8).
+        std::vector<std::int8_t> ktile(ktile_len);
+        sc.buf = buf.data();
+        sc.rowmax = rowmax.data();
+        sc.rowinv = rowinv.data();
+        sc.qk_skip = qk_skip.data();
+        sc.map_zero = map_zero.data();
+        sc.tile_scratch = tile_scratch.data();
+        sc.ktile = ktile.empty() ? nullptr : ktile.data();
+        run_stripe(br, r0, rows_here, tile_side, sc);
       }
       PARO_FR("attn.stripe.end", br,
-              static_cast<std::uint64_t>(st.tiles_live));
+              static_cast<std::uint64_t>(stats[br].tiles_live));
     }
   });
 
@@ -352,44 +416,108 @@ QuantAttentionResult fused_quantized_attention(
   }
   meter.fold_local_peak(max_local);
 
-  QuantAttentionResult result;
+  double avg_map_bits = 16.0;
   switch (config.map_scheme) {
     case AttnMapScheme::kNone:
-      result.avg_map_bits = 16.0;
+      avg_map_bits = 16.0;
       break;
     case AttnMapScheme::kPerRow:
     case AttnMapScheme::kBlockwise:
-      result.avg_map_bits = config.map_bits;
+      avg_map_bits = config.map_bits;
       break;
     case AttnMapScheme::kBlockwiseMixed:
-      result.avg_map_bits = table->average_bitwidth();
+      avg_map_bits = table->average_bitwidth();
       break;
   }
   meter.acquire(n * dv * sizeof(float));  // canonical-order output
-  result.output = calib.plan.invert_rows(out_r);
+  calib.plan.invert_rows_into(ws.out_r, ws.out);
   exec.peak_bytes = meter.peak();
-  result.exec = exec;
 
-  auto& reg = obs::MetricsRegistry::global();
-  reg.counter("attn.tiles_skipped").add(static_cast<double>(exec.tiles_skipped));
-  reg.counter("attn.tiles_live").add(static_cast<double>(exec.tiles_live));
-  for (int b = 0; b < kNumBitChoices; ++b) {
-    const auto count = exec.tiles_per_bits[static_cast<std::size_t>(b)];
-    if (count == 0) continue;
-    reg.counter("attn.tiles_bits",
-                {{"bits", std::to_string(kBitChoices[b])}})
-        .add(static_cast<double>(count));
-  }
   // Wall-clock latency of this head's full attention call, feeding the
   // p50/p95/p99 export (range 0–50 ms, 250 µs bins).
-  const double call_us =
-      std::chrono::duration<double, std::micro>(
-          std::chrono::steady_clock::now() - call_start)
-          .count();
-  reg.histogram("attn.fused.latency_us", 0.0, 50000.0, 200).observe(call_us);
-  obs::publish_peak_working_set("streamed", exec.peak_bytes);
-  kernels::publish_kernel_metrics();
+  const double call_us = std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - call_start)
+                             .count();
+
+  if (session != nullptr) {
+    // Steady-state emission path: every series was resolved when the
+    // session was built, so no (string, Labels) keys are constructed here.
+    const SessionMetricHandles& h = session->metrics();
+    h.tiles_skipped->add(static_cast<double>(exec.tiles_skipped));
+    h.tiles_live->add(static_cast<double>(exec.tiles_live));
+    for (int b = 0; b < kNumBitChoices; ++b) {
+      const auto count = exec.tiles_per_bits[static_cast<std::size_t>(b)];
+      if (count == 0) continue;
+      h.tiles_bits[static_cast<std::size_t>(b)]->add(
+          static_cast<double>(count));
+    }
+    h.fused_latency->observe(call_us);
+    h.peak_ws_streamed->set_max(static_cast<double>(exec.peak_bytes));
+    // kernels::publish_kernel_metrics() builds label vectors; the session
+    // flushes it once per step in begin_step() instead of per call.
+  } else {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("attn.tiles_skipped")
+        .add(static_cast<double>(exec.tiles_skipped));
+    reg.counter("attn.tiles_live").add(static_cast<double>(exec.tiles_live));
+    for (int b = 0; b < kNumBitChoices; ++b) {
+      const auto count = exec.tiles_per_bits[static_cast<std::size_t>(b)];
+      if (count == 0) continue;
+      reg.counter("attn.tiles_bits",
+                  {{"bits", std::to_string(kBitChoices[b])}})
+          .add(static_cast<double>(count));
+    }
+    reg.histogram("attn.fused.latency_us", 0.0, 50000.0, 200).observe(call_us);
+    obs::publish_peak_working_set("streamed", exec.peak_bytes);
+    kernels::publish_kernel_metrics();
+  }
+
+  if (exec_out != nullptr) *exec_out = exec;
+  if (avg_bits_out != nullptr) *avg_bits_out = avg_map_bits;
+}
+
+}  // namespace
+
+QuantAttentionResult fused_quantized_attention(
+    const MatF& q, const MatF& k, const MatF& v, const HeadCalibration& calib,
+    const QuantAttentionConfig& config) {
+  // Call-local workspace: allocates fresh buffers exactly once, like the
+  // pre-workspace implementation, and frees them on return.
+  HeadWorkspace ws;
+  QuantAttentionResult result;
+  fused_attention_impl(q, k, v, calib, config, /*session=*/nullptr, ws,
+                       &result.exec, &result.avg_map_bits);
+  result.output = std::move(ws.out);
   return result;
+}
+
+MatF& fused_quantized_attention_session(const MatF& q, const MatF& k,
+                                        const MatF& v,
+                                        const HeadCalibration& calib,
+                                        const QuantAttentionConfig& config,
+                                        SessionContext& session,
+                                        std::size_t layer, std::size_t head,
+                                        AttnExecStats* stats_out) {
+  HeadWorkspace& ws = session.workspace(layer, head);
+  const std::uint32_t ccrc = config_fingerprint(config);
+  const std::uint32_t cfp = calib_fingerprint(calib);
+  const bool hit = ws.valid && ws.n == q.rows() && ws.d == q.cols() &&
+                   ws.dv == v.cols() && ws.config_crc == ccrc &&
+                   ws.calib_fingerprint == cfp;
+  if (hit) {
+    session.note_cache_hit();
+  } else {
+    session.note_cache_miss();
+    ws.valid = true;
+    ws.n = q.rows();
+    ws.d = q.cols();
+    ws.dv = v.cols();
+    ws.config_crc = ccrc;
+    ws.calib_fingerprint = cfp;
+  }
+  fused_attention_impl(q, k, v, calib, config, &session, ws, stats_out,
+                       /*avg_bits_out=*/nullptr);
+  return ws.out;
 }
 
 }  // namespace paro

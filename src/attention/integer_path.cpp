@@ -2,9 +2,11 @@
 
 #include <cmath>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "attention/reference.hpp"
+#include "common/arena.hpp"
 #include "common/fixedpoint.hpp"
 #include "common/fp16.hpp"
 #include "common/thread_pool.hpp"
@@ -15,6 +17,14 @@
 namespace paro {
 
 namespace {
+
+/// Shard arenas for the map-quant tile gather: retained across calls so
+/// repeated integer-path runs stop allocating per-chunk scratch vectors.
+/// Leaked intentionally (thread-exit order).
+ShardedArena& map_tile_arena() {
+  static ShardedArena* arena = new ShardedArena();
+  return *arena;
+}
 
 /// Per-column symmetric INT8 quantization of V (paper: "per-dimension").
 struct QuantizedV {
@@ -148,9 +158,8 @@ IntegerAttentionResult integer_attention(const MatF& q, const MatF& k,
   // Per-tile (scale, zero) for the AttnV rescale.  Each tile writes its
   // own params slot and a disjoint codes region.
   std::vector<QuantParams> tile_params(grid.num_blocks());
-  visitor.parallel_for_each_tile_with(
-      [] { return std::vector<float>(); },
-      [&](const TileRef& t, std::vector<float>& tile) {
+  visitor.parallel_for_each_tile_sharded(
+      map_tile_arena(), [&](const TileRef& t, Arena& arena) {
         const auto e = t.extent;
         QuantParams p;
         p.bits = t.bits;
@@ -158,12 +167,14 @@ IntegerAttentionResult integer_attention(const MatF& q, const MatF& k,
           tile_params[t.index] = p;
           return;  // codes stay 0, tile skipped
         }
-        tile.clear();
+        const auto scratch = arena.alloc_span<float>(e.count());
+        std::size_t kk = 0;
         for (std::size_t i = e.r0; i < e.r1; ++i) {
           for (std::size_t j = e.c0; j < e.c1; ++j) {
-            tile.push_back(attn(i, j));
+            scratch[kk++] = attn(i, j);
           }
         }
+        const std::span<const float> tile(scratch.data(), scratch.size());
         p = calibrate_minmax(tile, t.bits);
         if (config.fp16_scales) {
           p.scale = fp16_round(p.scale);

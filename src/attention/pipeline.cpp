@@ -5,6 +5,7 @@
 
 #include "attention/fused_executor.hpp"
 #include "attention/reference.hpp"
+#include "attention/session.hpp"
 #include "common/fault.hpp"
 #include "common/numeric_guard.hpp"
 #include "common/thread_pool.hpp"
@@ -79,7 +80,13 @@ MatF logits_from_int8(const QuantizedI8& q8, const QuantizedI8& k8,
   // Destination tiles are disjoint regions of `logits`; fan out on the
   // flattened tile index with one decoded-K scratch per chunk.
   visitor.parallel_for_each_tile_with(
-      [] { return std::vector<std::int8_t>(); },
+      [&] {
+        // Sized once per chunk to the widest possible tile; every tile
+        // decodes into a prefix.  (The old lazy per-tile resize churned a
+        // reallocation on each ragged-edge width change.)
+        return std::vector<std::int8_t>(
+            std::min(table->grid().block(), n_k) * d);
+      },
       [&](const TileRef& t, std::vector<std::int8_t>& ktile) {
         const auto e = t.extent;
         if (t.bits == 0) {
@@ -93,7 +100,6 @@ MatF logits_from_int8(const QuantizedI8& q8, const QuantizedI8& k8,
         }
         const std::int8_t* ktp = kbase + e.c0 * d;
         if (t.bits < 8) {
-          ktile.resize((e.c1 - e.c0) * d);
           packed_k.decode_rows(t.bits, e.c0, e.c1, ktile.data());
           ktp = ktile.data();
         }
@@ -442,6 +448,63 @@ QuantAttentionResult quantized_attention(const MatF& q, const MatF& k,
                     "attention output");
   }
   return result;
+}
+
+MatF& quantized_attention_session(const MatF& q, const MatF& k, const MatF& v,
+                                  const HeadCalibration& calib,
+                                  const QuantAttentionConfig& config,
+                                  SessionContext& session, std::size_t layer,
+                                  std::size_t head,
+                                  AttnExecStats* stats_out) {
+  PARO_SPAN("attn.quantized");
+  session.metrics().quantized_calls->add(1.0);
+  PARO_CHECK_MSG(q.rows() == k.rows() && k.rows() == v.rows(),
+                 "token count mismatch");
+
+  // --- input boundary -------------------------------------------------
+  // Same guard stack as the allocating dispatcher.  Healthy data pays one
+  // read-only scan per tensor; only sanitization / fault injection copies
+  // (and those error paths may allocate — they are off the steady state).
+  const MatF* q_use = &q;
+  const MatF* k_use = &k;
+  const MatF* v_use = &v;
+  MatF q_own, k_own, v_own;
+  {
+    std::uint64_t seed = 0;
+    if (PARO_FAULT_FIRE("attn.input.nonfinite", &seed)) {
+      q_own = q;
+      inject_nan(q_own.flat(), seed);
+      q_use = &q_own;
+    }
+  }
+  guard_input(q_use, q_own, config.nonfinite, "q");
+  guard_input(k_use, k_own, config.nonfinite, "k");
+  guard_input(v_use, v_own, config.nonfinite, "v");
+
+  MatF* out = nullptr;
+  if (config.executor == AttnExecutor::kStreamed) {
+    out = &fused_quantized_attention_session(*q_use, *k_use, *v_use, calib,
+                                             config, session, layer, head,
+                                             stats_out);
+  } else {
+    // Materialized fallback: the O(N²) oracle allocates by design; the
+    // session still parks the output in the head's workspace so callers
+    // see one storage contract for both executors.
+    QuantAttentionResult r = materialized_quantized_attention(
+        *q_use, *k_use, *v_use, calib, config);
+    if (stats_out != nullptr) *stats_out = r.exec;
+    HeadWorkspace& ws = session.workspace(layer, head);
+    ws.out = std::move(r.output);
+    out = &ws.out;
+  }
+
+  // --- output boundary ------------------------------------------------
+  const std::size_t bad = count_nonfinite(out->flat());
+  if (bad > 0) {
+    record_nonfinite(bad, "output");
+    guard_nonfinite(out->flat(), config.nonfinite, "attention output");
+  }
+  return *out;
 }
 
 QuantAttentionConfig config_fp16() {

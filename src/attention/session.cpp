@@ -1,0 +1,131 @@
+#include "attention/session.hpp"
+
+#include <cstring>
+#include <string_view>
+
+#include "common/crc32.hpp"
+#include "kernels/kernels.hpp"
+
+namespace paro {
+
+namespace {
+
+/// View of an object's bytes for CRC folding.  Only used on buffers we
+/// fill ourselves (no padding garbage).
+std::string_view bytes_of(const void* p, std::size_t n) {
+  return std::string_view(static_cast<const char*>(p), n);
+}
+
+}  // namespace
+
+SessionContext::SessionContext(std::size_t arena_hint_bytes)
+    : scratch_(arena_hint_bytes) {
+  auto& reg = obs::MetricsRegistry::global();
+  metrics_.arena_bytes = &reg.gauge("mem.arena_bytes");
+  metrics_.mallocs_per_step = &reg.counter("mem.mallocs_per_step");
+  metrics_.cache_hits = &reg.counter("mem.cache_hits");
+  metrics_.cache_misses = &reg.counter("mem.cache_misses");
+  metrics_.quantized_calls = &reg.counter("attn.quantized_calls");
+  metrics_.tiles_skipped = &reg.counter("attn.tiles_skipped");
+  metrics_.tiles_live = &reg.counter("attn.tiles_live");
+  for (int b = 0; b < kNumBitChoices; ++b) {
+    metrics_.tiles_bits[static_cast<std::size_t>(b)] = &reg.counter(
+        "attn.tiles_bits", {{"bits", std::to_string(kBitChoices[b])}});
+  }
+  metrics_.fused_latency =
+      &reg.histogram("attn.fused.latency_us", 0.0, 50000.0, 200);
+  metrics_.peak_ws_streamed = &reg.gauge("attn.peak_working_set_bytes",
+                                         {{"executor", "streamed"}});
+}
+
+HeadWorkspace& SessionContext::workspace(std::size_t layer, std::size_t head) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = workspaces_[{layer, head}];
+  if (slot == nullptr) {
+    slot = std::make_unique<HeadWorkspace>();
+  }
+  return *slot;
+}
+
+void SessionContext::begin_step() {
+  scratch_.reset_all();
+  ++steps_;
+  metrics_.arena_bytes->set_max(
+      static_cast<double>(scratch_.high_water_total()));
+  const std::uint64_t mallocs = scratch_.slab_mallocs_total();
+  metrics_.mallocs_per_step->add(
+      static_cast<double>(mallocs - published_slab_mallocs_));
+  published_slab_mallocs_ = mallocs;
+  // The per-call fused path skips the kernel dispatch flush (it allocates
+  // label vectors); once per step keeps the series fresh.
+  kernels::publish_kernel_metrics();
+}
+
+void SessionContext::invalidate() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, ws] : workspaces_) {
+    ws->valid = false;
+  }
+}
+
+void SessionContext::note_cache_hit() {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.cache_hits->add(1.0);
+}
+
+void SessionContext::note_cache_miss() {
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.cache_misses->add(1.0);
+}
+
+std::uint32_t config_fingerprint(const QuantAttentionConfig& config) {
+  // Fixed-layout buffer, zeroed, fields memcpy'd at stable offsets — no
+  // struct padding reaches the CRC.
+  unsigned char buf[64] = {};
+  std::size_t off = 0;
+  auto put = [&](const void* p, std::size_t n) {
+    std::memcpy(buf + off, p, n);
+    off += n;
+  };
+  const std::uint8_t qkv = config.quantize_qkv ? 1 : 0;
+  const std::uint32_t scheme = static_cast<std::uint32_t>(config.map_scheme);
+  const std::int32_t map_bits = config.map_bits;
+  const std::uint64_t block = config.block;
+  const std::uint8_t reorder = config.use_reorder ? 1 : 0;
+  const double budget = config.budget_bits;
+  const double alpha = config.alpha;
+  const std::uint8_t oba = config.output_bitwidth_aware ? 1 : 0;
+  const std::uint8_t fp16 = config.fp16_scales ? 1 : 0;
+  const float scale = config.scale;
+  const std::uint32_t executor = static_cast<std::uint32_t>(config.executor);
+  const std::uint32_t nonfinite = static_cast<std::uint32_t>(config.nonfinite);
+  put(&qkv, 1);
+  put(&scheme, 4);
+  put(&map_bits, 4);
+  put(&block, 8);
+  put(&reorder, 1);
+  put(&budget, 8);
+  put(&alpha, 8);
+  put(&oba, 1);
+  put(&fp16, 1);
+  put(&scale, 4);
+  put(&executor, 4);
+  put(&nonfinite, 4);
+  return crc32(bytes_of(buf, off));
+}
+
+std::uint32_t calib_fingerprint(const HeadCalibration& calib) {
+  std::uint32_t crc = crc32(bytes_of(
+      calib.plan.perm.data(), calib.plan.perm.size() * sizeof(std::uint32_t)));
+  if (calib.bit_table.has_value()) {
+    const BitTable& t = *calib.bit_table;
+    const std::size_t tiles = t.grid().num_blocks();
+    for (std::size_t i = 0; i < tiles; ++i) {
+      const std::int8_t b = static_cast<std::int8_t>(t.bits_flat(i));
+      crc = crc32(bytes_of(&b, 1), crc);
+    }
+  }
+  return crc;
+}
+
+}  // namespace paro

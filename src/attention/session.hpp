@@ -1,0 +1,199 @@
+// Per-session memory subsystem for the steady-state generation loop.
+//
+// A diffusion run calls the same (layer, head) attention heads once per
+// DDIM step with identical shapes and configs — only the values change.
+// The seed implementation paid the full allocation bill every call:
+// reordered Q/K/V copies, int8 code matrices, packed LDZ planes, the
+// stripe scratch, and the output, all malloc'd and freed per head per
+// step.  A SessionContext turns every one of those into retained storage:
+//
+//   * HeadWorkspace — per-(layer, head) operand storage (reordered
+//     matrices, int8 codes, scale vectors, PackedLdzK planes, the output)
+//     that is RE-FILLED each step but never re-allocated while the shape,
+//     config, and calibration stay the same.  This is storage-reuse
+//     caching, not content caching: K changes every step, so the packed
+//     planes are rebuilt into the retained bytes.
+//   * ShardedArena scratch — per-worker-thread bump arenas serving the
+//     stripe scratch of the fused executor.  Spans are carved per stripe
+//     and the arena is reset (offsets rewound, slabs retained) at stripe
+//     granularity, so steps >= 2 touch the heap zero times.
+//   * Pre-resolved metric handles — registry lookups build (string,
+//     Labels) keys and allocate; the session resolves every steady-state
+//     series once at construction and the hot path writes through the
+//     handles.  MetricsRegistry::reset() invalidates them: construct the
+//     session AFTER any registry reset.
+//
+// Determinism: workspaces and arena spans are scratch that is fully
+// written before it is read, and no result depends on span addresses, so
+// outputs stay bitwise identical to the allocating path at any thread
+// count (tested in tests/attention/test_session.cpp).
+//
+// Cache validity: a workspace is keyed by (n, d, dv) plus fingerprints of
+// the QuantAttentionConfig and the head's calibration (CRC-32 over the
+// plan permutation and BitTable bits).  Any mismatch is a miss: the key
+// is re-recorded and storage is resized (the only allocating path).
+// SessionContext::invalidate() drops every key explicitly — call it after
+// reloading calibration artifacts.  Hits and misses surface as the
+// `mem.cache_hits` / `mem.cache_misses` counters.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "attention/pipeline.hpp"
+#include "common/arena.hpp"
+#include "kernels/pack.hpp"
+#include "obs/metrics.hpp"
+#include "quant/granularity.hpp"
+#include "tensor/matrix.hpp"
+
+namespace paro {
+
+/// Per-stripe tallies of the fused executor; each stripe fills its own
+/// slot and the coordinator folds them in stripe order.  Lives here so the
+/// slot vector can be retained in the head workspace across steps.
+struct StripeStats {
+  std::size_t tiles_live = 0;
+  std::size_t tiles_skipped = 0;
+  std::size_t qk_tiles = 0;
+  std::array<std::uint64_t, kNumBitChoices> per_bits{};
+  std::size_t local_bytes = 0;  ///< stripe scratch footprint
+};
+
+/// Retained per-(layer, head) storage for the fused executor.  Every
+/// member is re-filled each call; none is re-allocated while the validity
+/// key below matches.
+struct HeadWorkspace {
+  // --- validity key -----------------------------------------------------
+  bool valid = false;
+  std::size_t n = 0, d = 0, dv = 0;
+  std::uint32_t config_crc = 0;
+  std::uint32_t calib_fingerprint = 0;
+
+  // --- operand storage --------------------------------------------------
+  MatF qr, kr, vr;        ///< reordered Q/K/V
+  QuantizedI8 q8, k8;     ///< int8 codes + per-row params
+  MatF v_quant;           ///< per-column fake-quantized V
+  MatF v_tscratch;        ///< transpose scratch for the V path
+  std::vector<QuantParams> v_params;
+  std::vector<float> q_scales, k_scales;
+  std::vector<int> plane_bits;        ///< sub-8 bitwidths for packing
+  kernels::PackedLdzK packed_k;       ///< LDZ planes (refilled per step)
+  MatF out_r;             ///< reordered output accumulator
+  MatF out;               ///< canonical-order output (returned by ref)
+  std::vector<StripeStats> stripe_stats;
+
+  // --- model-layer slices (dit's per-head Q/K/V columns) ----------------
+  MatF qh, kh, vh;
+};
+
+/// Steady-state metric handles, resolved once so the hot path never
+/// touches the registry's (string, Labels) map.
+struct SessionMetricHandles {
+  obs::Gauge* arena_bytes = nullptr;       ///< mem.arena_bytes (high water)
+  obs::Counter* mallocs_per_step = nullptr;///< mem.mallocs_per_step
+  obs::Counter* cache_hits = nullptr;      ///< mem.cache_hits
+  obs::Counter* cache_misses = nullptr;    ///< mem.cache_misses
+  obs::Counter* quantized_calls = nullptr; ///< attn.quantized_calls
+  obs::Counter* tiles_skipped = nullptr;   ///< attn.tiles_skipped
+  obs::Counter* tiles_live = nullptr;      ///< attn.tiles_live
+  std::array<obs::Counter*, kNumBitChoices> tiles_bits{};  ///< attn.tiles_bits
+  obs::HistogramMetric* fused_latency = nullptr;  ///< attn.fused.latency_us
+  obs::Gauge* peak_ws_streamed = nullptr;  ///< attn.peak_working_set_bytes
+};
+
+/// Owns the arenas, workspaces, and metric handles of one generation
+/// session.  Thread-safe: workspace() takes a mutex (once per head per
+/// step), the arena shards are per-thread, and the counters are atomic.
+class SessionContext {
+ public:
+  /// `arena_hint_bytes` pre-carves each worker shard on first touch
+  /// (AttnExecStats::peak_bytes from a prior run is the natural hint);
+  /// 0 falls back to the default slab size.
+  explicit SessionContext(std::size_t arena_hint_bytes = 0);
+
+  ShardedArena& scratch() { return scratch_; }
+  const SessionMetricHandles& metrics() const { return metrics_; }
+
+  /// Workspace of one (layer, head), created on first use.  The reference
+  /// is stable for the session's lifetime.
+  HeadWorkspace& workspace(std::size_t layer, std::size_t head);
+
+  /// Per-step hook (call once per diffusion step, before the forward
+  /// pass): resets every arena shard, publishes `mem.arena_bytes` /
+  /// `mem.mallocs_per_step`, and flushes the per-kernel dispatch metrics
+  /// the per-call path deliberately skips.
+  void begin_step();
+
+  /// Drop every workspace's validity key (storage is kept).  Call after
+  /// reloading calibration artifacts: the next step re-fingerprints and
+  /// re-records every head (a miss each).
+  void invalidate();
+
+  /// Bump the hit/miss accounting (registry counters + local atomics).
+  void note_cache_hit();
+  void note_cache_miss();
+
+  std::uint64_t cache_hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t cache_misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t steps_begun() const { return steps_; }
+
+ private:
+  ShardedArena scratch_;
+  std::mutex mu_;
+  std::map<std::pair<std::size_t, std::size_t>,
+           std::unique_ptr<HeadWorkspace>>
+      workspaces_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::uint64_t steps_ = 0;
+  std::uint64_t published_slab_mallocs_ = 0;
+  SessionMetricHandles metrics_;
+};
+
+/// CRC-32 fingerprint of the config fields that change executor behaviour
+/// (scheme, bits, block, reorder, OBA, executor, policy, ...).
+std::uint32_t config_fingerprint(const QuantAttentionConfig& config);
+
+/// CRC-32 fingerprint of a head's calibration: the plan permutation bytes
+/// folded with the BitTable's per-tile bitwidths.  Detects a swapped or
+/// reloaded calibration even without an explicit invalidate().
+std::uint32_t calib_fingerprint(const HeadCalibration& calib);
+
+/// Session-aware streamed attention for one (layer, head).  Bitwise
+/// identical to fused_quantized_attention, but every buffer lives in the
+/// head's retained workspace and the stripe scratch comes from the
+/// session's arena shards — steps >= 2 perform zero heap allocations
+/// (tests/attention/test_steady_state.cpp).  The returned reference is the
+/// workspace's canonical-order output; it stays valid (and is overwritten)
+/// until the head's next call.  `stats_out`, when non-null, receives the
+/// executor accounting of this call.
+MatF& fused_quantized_attention_session(const MatF& q, const MatF& k,
+                                        const MatF& v,
+                                        const HeadCalibration& calib,
+                                        const QuantAttentionConfig& config,
+                                        SessionContext& session,
+                                        std::size_t layer, std::size_t head,
+                                        AttnExecStats* stats_out);
+
+/// Session-aware twin of quantized_attention: the same input/output
+/// numeric-boundary guards around the session executor.  A non-streamed
+/// config falls back to the materialized engine (allocating), parking its
+/// output in the workspace so the reference contract holds either way.
+MatF& quantized_attention_session(const MatF& q, const MatF& k, const MatF& v,
+                                  const HeadCalibration& calib,
+                                  const QuantAttentionConfig& config,
+                                  SessionContext& session, std::size_t layer,
+                                  std::size_t head, AttnExecStats* stats_out);
+
+}  // namespace paro

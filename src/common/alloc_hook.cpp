@@ -1,0 +1,28 @@
+#include "common/alloc_hook.hpp"
+
+#include <atomic>
+
+namespace paro::alloc_hook {
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<bool> g_active{false};
+}  // namespace
+
+void note_allocation() noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t allocation_count() noexcept {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+bool interposition_active() noexcept {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+void set_interposition_active() noexcept {
+  g_active.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace paro::alloc_hook

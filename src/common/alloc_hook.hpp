@@ -1,0 +1,32 @@
+// Heap-allocation counting hook for the zero-allocation steady state.
+//
+// The counting API below is always linked and inert: nothing in the
+// library calls note_allocation() unless a test target also links the
+// interposing translation unit (tests/support/alloc_interpose.cpp), which
+// replaces the global operator new/delete pairs with forwarding versions
+// that tick the counter.  Production binaries never pay for it, and the
+// sanitizer builds keep their own allocator interposition untouched in
+// every target that does not opt in.
+//
+// Used by the malloc-count regression test: steps >= 2 of a multi-step
+// generation must perform ZERO heap allocations on the fused-attention
+// path (docs/architecture.md, "Memory & steady state").
+#pragma once
+
+#include <cstdint>
+
+namespace paro::alloc_hook {
+
+/// Tick the allocation counter (called by the interposed operator new).
+void note_allocation() noexcept;
+
+/// Allocations observed since process start.  Monotonic; only moves when
+/// the interposing TU is linked.
+std::uint64_t allocation_count() noexcept;
+
+/// True when an interposing TU registered itself (so callers can tell a
+/// genuine zero from "hook not linked").
+bool interposition_active() noexcept;
+void set_interposition_active() noexcept;
+
+}  // namespace paro::alloc_hook

@@ -1,0 +1,144 @@
+#include "common/arena.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace paro {
+
+Arena::Arena(std::size_t hint_bytes) {
+  if (hint_bytes > 0) {
+    // Round the hint up to the slab granule so repeated sessions with
+    // slightly different peaks land on the same capacity class.
+    const std::size_t size =
+        (hint_bytes + kDefaultSlabBytes - 1) / kDefaultSlabBytes *
+        kDefaultSlabBytes;
+    Slab s;
+    s.data = std::make_unique<std::byte[]>(size);
+    s.size = size;
+    capacity_ += size;
+    ++slab_mallocs_;
+    slabs_.push_back(std::move(s));
+  }
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  PARO_CHECK_MSG(align != 0 && (align & (align - 1)) == 0,
+                 "arena alignment must be a power of two");
+  while (active_ < slabs_.size()) {
+    Slab& s = slabs_[active_];
+    const std::size_t base =
+        reinterpret_cast<std::uintptr_t>(s.data.get()) + s.offset;
+    const std::size_t pad = (align - base % align) % align;
+    if (s.offset + pad + bytes <= s.size) {
+      void* p = s.data.get() + s.offset + pad;
+      s.offset += pad + bytes;
+      in_use_ += pad + bytes;
+      if (in_use_ > high_water_) high_water_ = in_use_;
+      return p;
+    }
+    ++active_;  // this slab is full for a request this size; try the next
+  }
+  // No retained slab fits: carve a new one (the only heap traffic an
+  // arena ever produces).  operator new memory is aligned for
+  // max_align_t; larger alignments are absorbed by the pad logic above
+  // on the recursive retry.
+  const std::size_t need = bytes + align;
+  const std::size_t size = std::max(need, kDefaultSlabBytes);
+  Slab s;
+  s.data = std::make_unique<std::byte[]>(size);
+  s.size = size;
+  capacity_ += size;
+  ++slab_mallocs_;
+  slabs_.push_back(std::move(s));
+  active_ = slabs_.size() - 1;
+  return allocate(bytes, align);
+}
+
+void Arena::reset() {
+  for (Slab& s : slabs_) s.offset = 0;
+  active_ = 0;
+  in_use_ = 0;
+}
+
+void Arena::release_all() {
+  slabs_.clear();
+  active_ = 0;
+  in_use_ = 0;
+  capacity_ = 0;
+}
+
+namespace {
+
+/// Free-list of thread slots.  A thread leases a slot on first use and a
+/// thread-local guard returns it at thread exit, so slot ids are bounded
+/// by the peak live-thread count (pool rebuilds recycle ids) and a
+/// ShardedArena's fixed array never overflows in practice.
+struct SlotPool {
+  std::mutex mu;
+  std::vector<std::size_t> free;
+  std::size_t next = 0;
+
+  std::size_t acquire() {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (!free.empty()) {
+      const std::size_t slot = free.back();
+      free.pop_back();
+      return slot;
+    }
+    PARO_CHECK_MSG(next < kMaxThreadSlots,
+                   "thread arena slots exhausted (kMaxThreadSlots)");
+    return next++;
+  }
+
+  void release(std::size_t slot) {
+    const std::lock_guard<std::mutex> lock(mu);
+    free.push_back(slot);
+  }
+};
+
+SlotPool& slot_pool() {
+  static SlotPool pool;  // leaked-on-exit by design (threads may outlive
+                         // static destruction order otherwise)
+  return pool;
+}
+
+struct SlotLease {
+  std::size_t slot;
+  SlotLease() : slot(slot_pool().acquire()) {}
+  ~SlotLease() { slot_pool().release(slot); }
+};
+
+}  // namespace
+
+std::size_t thread_arena_slot() {
+  thread_local SlotLease lease;
+  return lease.slot;
+}
+
+std::size_t ShardedArena::high_water_total() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    if (s) total += s->high_water();
+  }
+  return total;
+}
+
+std::uint64_t ShardedArena::slab_mallocs_total() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    if (s) total += s->slab_mallocs();
+  }
+  return total;
+}
+
+std::size_t ShardedArena::capacity_total() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    if (s) total += s->capacity();
+  }
+  return total;
+}
+
+}  // namespace paro

@@ -1,0 +1,169 @@
+// Bump/slab arenas for the zero-allocation steady state.
+//
+// The generation hot loop (ROADMAP item 3) re-runs the same attention
+// shapes every DDIM step, so every scratch buffer it needs on step N it
+// needed on step 1 too.  An Arena turns that repetition into reuse: it
+// hands out aligned spans by bumping an offset through retained slabs,
+// and reset() rewinds the offsets WITHOUT freeing the slabs.  After the
+// first step has sized the slab set, allocate() never touches the heap
+// again — a step is malloc-free and its cost is pure compute.
+//
+// Determinism rule: arena spans are SCRATCH.  Callers must fully
+// initialize a span before reading it (alloc_span can zero-fill), and no
+// result may depend on a span's address.  Under that rule, per-thread
+// sub-arenas (ShardedArena) are safe in parallel regions: WHICH shard
+// serves a chunk is scheduling-dependent, but WHAT the chunk computes is
+// not — the same bitwise-identity argument the thread pool makes for its
+// chunk cursor (common/thread_pool.hpp).
+//
+// Sizing: pass a hint (e.g. AttnExecStats::peak_bytes from a prior run)
+// to pre-carve one slab and make even the FIRST step allocation-free;
+// without a hint the arena grows on demand and is steady after one pass.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace paro {
+
+/// Typed view of arena memory: pointer + element count.  Converts to
+/// std::span implicitly; kept as its own type so call sites document that
+/// the storage is arena-scratch (invalid after the owning arena resets).
+template <typename T>
+struct ArenaSpan {
+  T* ptr = nullptr;
+  std::size_t count = 0;
+
+  T* data() const { return ptr; }
+  std::size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  T& operator[](std::size_t i) const { return ptr[i]; }
+  T* begin() const { return ptr; }
+  T* end() const { return ptr + count; }
+};
+
+/// Bump allocator over a list of retained slabs.  Not thread-safe: one
+/// arena serves one logical execution stream (shard per thread via
+/// ShardedArena for parallel regions).
+class Arena {
+ public:
+  /// Default slab size when growing without a hint.  Big enough that the
+  /// fused executor's stripe scratch (block × N floats at N ≈ 20k) fits
+  /// in one or two slabs, small enough not to hurt small sessions.
+  static constexpr std::size_t kDefaultSlabBytes = std::size_t{1} << 20;
+
+  /// `hint_bytes` > 0 pre-carves one slab of that size (rounded up to the
+  /// default slab granule) so the first pass is already allocation-free.
+  explicit Arena(std::size_t hint_bytes = 0);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Aligned raw allocation.  Bumps within the current slab; falls back to
+  /// the next retained slab, and only mallocs a new slab when no retained
+  /// slab fits (counted in slab_mallocs()).
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+
+  /// Typed span of `count` elements (trivially-destructible T only — the
+  /// arena never runs destructors).  `zero` fills with value-initialized
+  /// bytes; otherwise contents are unspecified and the caller must write
+  /// before reading.
+  template <typename T>
+  ArenaSpan<T> alloc_span(std::size_t count, bool zero = false) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena spans never run destructors");
+    auto* p = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    if (zero && count > 0) {
+      std::memset(static_cast<void*>(p), 0, count * sizeof(T));
+    }
+    return {p, count};
+  }
+
+  /// Rewind every slab offset to zero.  Slabs are RETAINED — this is what
+  /// makes the steady state malloc-free.  All outstanding spans become
+  /// invalid.
+  void reset();
+
+  /// Free every slab (used by tests; sessions normally keep slabs for
+  /// their whole life).
+  void release_all();
+
+  /// Bytes currently handed out (sum over slabs' bump offsets).
+  std::size_t in_use() const { return in_use_; }
+  /// High-water mark of in_use() since construction (survives reset()).
+  std::size_t high_water() const { return high_water_; }
+  /// Total retained slab capacity.
+  std::size_t capacity() const { return capacity_; }
+  /// Heap allocations this arena performed (slab creations).  Flat after
+  /// warm-up == the zero-allocation steady state, observable.
+  std::uint64_t slab_mallocs() const { return slab_mallocs_; }
+
+ private:
+  struct Slab {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t offset = 0;
+  };
+
+  std::vector<Slab> slabs_;
+  std::size_t active_ = 0;  ///< slab currently being bumped
+  std::size_t in_use_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t capacity_ = 0;
+  std::uint64_t slab_mallocs_ = 0;
+};
+
+/// Process-wide slot id of the calling thread, in [0, kMaxThreadSlots).
+/// Slots are leased from a free list and returned when the thread exits,
+/// so the id space is bounded by the peak number of LIVE threads, not the
+/// number ever created (thread-pool rebuilds recycle slots).
+std::size_t thread_arena_slot();
+inline constexpr std::size_t kMaxThreadSlots = 256;
+
+/// Per-thread arena shards for parallel regions.  local() returns the
+/// calling thread's shard: one fixed-size array index, no lock — a shard
+/// is created (one heap hit) only on a thread's first touch.  Each array
+/// slot is read and written by exactly one thread (the slot owner), so
+/// the steady-state path needs no synchronization; the aggregate calls
+/// run on the coordinating thread between parallel regions, where the
+/// pool's region barrier already orders worker writes.
+class ShardedArena {
+ public:
+  explicit ShardedArena(std::size_t hint_bytes_per_shard = 0)
+      : hint_(hint_bytes_per_shard) {}
+
+  /// The calling thread's shard.
+  Arena& local() {
+    const std::size_t slot = thread_arena_slot();
+    Arena* a = shards_[slot].get();
+    if (a == nullptr) {
+      shards_[slot] = std::make_unique<Arena>(hint_);
+      a = shards_[slot].get();
+    }
+    return *a;
+  }
+
+  /// Reset every shard (between steps, on the coordinating thread while
+  /// no parallel work is in flight).
+  void reset_all() {
+    for (auto& s : shards_) {
+      if (s) s->reset();
+    }
+  }
+
+  /// Aggregate stats across shards (coordinating thread only).
+  std::size_t high_water_total() const;
+  std::uint64_t slab_mallocs_total() const;
+  std::size_t capacity_total() const;
+
+ private:
+  std::array<std::unique_ptr<Arena>, kMaxThreadSlots> shards_;
+  std::size_t hint_ = 0;
+};
+
+}  // namespace paro

@@ -39,8 +39,8 @@ struct ThreadPool::Job {
   std::size_t end = 0;
   std::size_t grain = 1;
   std::size_t n_chunks = 0;
-  const std::function<void(std::size_t, std::size_t, std::size_t)>* body =
-      nullptr;
+  void* ctx = nullptr;
+  void (*fn)(void*, std::size_t, std::size_t, std::size_t) = nullptr;
   std::atomic<std::size_t> next{0};
   std::size_t active = 0;  ///< registered workers; guarded by Impl::mu
   std::mutex error_mu;
@@ -112,7 +112,7 @@ void ThreadPool::run_chunks(Job& job) {
         throw Error("injected thread-pool task failure (chunk " +
                     std::to_string(chunk) + ")");
       }
-      (*job.body)(c0, c1, chunk);
+      job.fn(job.ctx, c0, c1, chunk);
     } catch (...) {
       const std::lock_guard<std::mutex> lock(job.error_mu);
       if (!job.error) job.error = std::current_exception();
@@ -146,9 +146,10 @@ void ThreadPool::worker_main() {
   }
 }
 
-void ThreadPool::for_chunks(
-    std::size_t begin, std::size_t end, std::size_t grain,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+void ThreadPool::for_chunks_erased(std::size_t begin, std::size_t end,
+                                   std::size_t grain, void* ctx,
+                                   void (*fn)(void*, std::size_t, std::size_t,
+                                              std::size_t)) {
   if (grain == 0) grain = 1;
   const std::size_t n_chunks = num_chunks(begin, end, grain);
   if (n_chunks == 0) return;
@@ -165,7 +166,7 @@ void ThreadPool::for_chunks(
         throw Error("injected thread-pool task failure (chunk " +
                     std::to_string(chunk) + ")");
       }
-      body(c0, c1, chunk);
+      fn(ctx, c0, c1, chunk);
     }
     return;
   }
@@ -175,7 +176,8 @@ void ThreadPool::for_chunks(
   job.end = end;
   job.grain = grain;
   job.n_chunks = n_chunks;
-  job.body = &body;
+  job.ctx = ctx;
+  job.fn = fn;
   // Flow tracing covers only genuinely parallel regions — the serial and
   // nested-inline paths above run under the caller's open span already.
   if (PoolTraceObserver* observer = pool_trace_observer()) {

@@ -27,7 +27,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <type_traits>
 #include <vector>
 
 namespace paro {
@@ -73,9 +73,29 @@ class ThreadPool {
   /// [begin, end) of size `grain` (last chunk may be short).  Chunk layout
   /// depends only on (begin, end, grain).  Blocks until every chunk ran;
   /// the first exception thrown by any chunk is rethrown here.
-  void for_chunks(
-      std::size_t begin, std::size_t end, std::size_t grain,
-      const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+  ///
+  /// The body is passed by ADDRESS through a monomorphic trampoline, not
+  /// converted to std::function — a large-capture lambda would blow
+  /// std::function's small-buffer limit and heap-allocate on every call,
+  /// which the zero-allocation steady state of the attention hot paths
+  /// cannot afford (docs/architecture.md, "Memory & steady state").
+  template <typename Body>
+  void for_chunks(std::size_t begin, std::size_t end, std::size_t grain,
+                  Body&& body) {
+    for_chunks_erased(
+        begin, end, grain, const_cast<void*>(static_cast<const void*>(&body)),
+        [](void* ctx, std::size_t c0, std::size_t c1, std::size_t chunk) {
+          (*static_cast<std::remove_reference_t<Body>*>(ctx))(c0, c1, chunk);
+        });
+  }
+
+  /// Type-erased core of for_chunks: `fn(ctx, c0, c1, chunk)` for every
+  /// chunk.  The ctx/fn pair lives in the Job by value — no std::function,
+  /// no allocation on any path.
+  void for_chunks_erased(std::size_t begin, std::size_t end, std::size_t grain,
+                         void* ctx,
+                         void (*fn)(void*, std::size_t, std::size_t,
+                                    std::size_t));
 
   /// Per-index parallel loop: fn(i) for i in [begin, end).
   template <typename Fn>

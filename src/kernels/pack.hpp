@@ -35,6 +35,15 @@ class PackedLdzK {
   bool empty() const { return planes_.empty(); }
   bool has_plane(int bits) const;
 
+  /// Drop every plane (frees plane storage).  Workspaces that flip away
+  /// from the OBA path call this so `empty()` keeps gating the decode
+  /// scratch exactly as a freshly-built object would.
+  void clear() {
+    rows_ = 0;
+    d_ = 0;
+    planes_.clear();
+  }
+
   /// Decodes rows [r0, r1) of the `bits` plane into dst[(r1-r0) x d]
   /// (row-major, stride d).  Values equal ldz_approximate(code, bits).
   void decode_rows(int bits, std::size_t r0, std::size_t r1,

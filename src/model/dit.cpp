@@ -5,6 +5,7 @@
 #include <span>
 
 #include "attention/integer_path.hpp"
+#include "attention/session.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/attribution.hpp"
@@ -44,6 +45,30 @@ void col_assign(MatF& m, std::size_t c0, const MatF& part) {
     for (std::size_t c = 0; c < part.cols(); ++c) {
       dst[c0 + c] = src[c];
     }
+  }
+}
+
+/// col_slice into retained workspace storage (same loops, no fresh matrix).
+void col_slice_into(const MatF& m, std::size_t c0, std::size_t width,
+                    MatF& out) {
+  PARO_CHECK(c0 + width <= m.cols());
+  out.resize(m.rows(), width);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto src = m.row(r);
+    auto dst = out.row(r);
+    for (std::size_t c = 0; c < width; ++c) {
+      dst[c] = src[c0 + c];
+    }
+  }
+}
+
+/// a += b, elementwise — the same float additions as add(a, b).
+void add_inplace(MatF& a, const MatF& b) {
+  PARO_CHECK_MSG(a.same_shape(b), "add_inplace shape mismatch");
+  auto fa = a.flat();
+  const auto fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    fa[i] += fb[i];
   }
 }
 
@@ -223,6 +248,12 @@ MatF SyntheticDiT::forward_impl(const MatF& x, double t_frac,
     }
   }
   const std::size_t dh = head_dim();
+  // One forward pass = one diffusion step for the session's memory
+  // subsystem: arena shards rewind, mem.* gauges publish, and the
+  // per-kernel dispatch metrics flush (the per-call path skips them).
+  if (exec.session != nullptr) {
+    exec.session->begin_step();
+  }
 
   auto lin = [&](const MatF& in, const MatF& w, const LinearW8A8& wq) {
     return exec.w8a8_linear ? wq.forward(in) : matmul(in, w);
@@ -258,6 +289,30 @@ MatF SyntheticDiT::forward_impl(const MatF& x, double t_frac,
     // `concat` and its own capture slot.  Nested parallel regions inside
     // the attention kernels run inline on the worker.
     global_pool().parallel_for(0, cfg_.heads, 1, [&](std::size_t head) {
+      // Session fast path: slice into the head's retained workspace and
+      // run the workspace-backed attention — no per-head allocations once
+      // warm, outputs bitwise identical to the generic path below.
+      if (exec.impl == AttnImpl::kQuantized && exec.session != nullptr &&
+          capture.sink == nullptr) {
+        PARO_CHECK(calib != nullptr);
+        SessionContext& session = *exec.session;
+        HeadWorkspace& hw = session.workspace(l, head);
+        col_slice_into(q_all, head * dh, dh, hw.qh);
+        col_slice_into(k_all, head * dh, dh, hw.kh);
+        col_slice_into(v_all, head * dh, dh, hw.vh);
+        add_inplace(hw.qh, b.pos[head]);
+        add_inplace(hw.kh, b.pos[head]);
+        with_error_context(
+            "layer " + std::to_string(l) + " head " + std::to_string(head),
+            [&] {
+              const MatF& o = quantized_attention_session(
+                  hw.qh, hw.kh, hw.vh, calib->heads.at(l).at(head), exec.quant,
+                  session, l, head,
+                  head_stats.empty() ? nullptr : &head_stats[head]);
+              col_assign(concat, head * dh, o);
+            });
+        return;
+      }
       MatF qh = col_slice(q_all, head * dh, dh);
       MatF kh = col_slice(k_all, head * dh, dh);
       const MatF vh = col_slice(v_all, head * dh, dh);

@@ -28,6 +28,8 @@ class CostLedger;
 
 namespace paro {
 
+class SessionContext;
+
 class SyntheticDiT {
  public:
   struct Config {
@@ -66,6 +68,14 @@ class SyntheticDiT {
     /// in (layer, head) order so the totals are thread-count-pure.  The
     /// caller owns the object and may accumulate across forward passes.
     AttnExecStats* attn_stats = nullptr;
+    /// Optional per-session memory context (kQuantized + streamed executor
+    /// only): per-(layer, head) workspaces retain every attention operand
+    /// across diffusion steps and stripe scratch comes from per-thread
+    /// arena shards, so steps >= 2 of a generation run are allocation-free
+    /// on the attention path (attention/session.hpp).  forward() calls
+    /// session->begin_step() once per pass.  Outputs are bitwise identical
+    /// with or without a session.  The caller owns the context.
+    SessionContext* session = nullptr;
     /// Optional cost-attribution sink (kQuantized only): each (layer,
     /// head) feeds its per-bitwidth tile counts (tiles, skipped, QKᵀ
     /// tiles) into the ledger, in (layer, head) order on the coordinating

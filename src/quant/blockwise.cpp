@@ -1,27 +1,29 @@
 #include "quant/blockwise.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 
+#include "common/arena.hpp"
 #include "quant/tile_visitor.hpp"
 
 namespace paro {
 
 namespace {
 
-/// Copy a tile into a scratch vector.
-void gather_tile(const MatF& m, const BlockGrid::Extent& e,
-                 std::vector<float>& scratch) {
-  scratch.clear();
-  scratch.reserve(e.count());
+/// Copy a tile into contiguous scratch (row-major within the tile — the
+/// same element order the vector-insert idiom produced).
+void gather_tile(const MatF& m, const BlockGrid::Extent& e, float* scratch) {
+  std::size_t k = 0;
   for (std::size_t r = e.r0; r < e.r1; ++r) {
     const auto row = m.row(r);
-    scratch.insert(scratch.end(), row.begin() + static_cast<std::ptrdiff_t>(e.c0),
-                   row.begin() + static_cast<std::ptrdiff_t>(e.c1));
+    std::copy(row.begin() + static_cast<std::ptrdiff_t>(e.c0),
+              row.begin() + static_cast<std::ptrdiff_t>(e.c1), scratch + k);
+    k += e.cols();
   }
 }
 
-void scatter_tile(MatF& m, const BlockGrid::Extent& e,
-                  const std::vector<float>& scratch) {
+void scatter_tile(MatF& m, const BlockGrid::Extent& e, const float* scratch) {
   std::size_t k = 0;
   for (std::size_t r = e.r0; r < e.r1; ++r) {
     auto row = m.row(r);
@@ -31,6 +33,16 @@ void scatter_tile(MatF& m, const BlockGrid::Extent& e,
   }
 }
 
+/// Process-wide shard arenas for the tile sweeps: a tile's gather scratch
+/// (≤ block² floats per thread) is carved per tile and the storage is
+/// retained across calls, so repeated sweeps — the calibration scoring
+/// loop, the materialized map quant per step — stop paying a heap
+/// round-trip per chunk.  Leaked intentionally (thread-exit order).
+ShardedArena& tile_scratch_arena() {
+  static ShardedArena* arena = new ShardedArena();
+  return *arena;
+}
+
 }  // namespace
 
 MatF fake_quant_blockwise(const MatF& attn, std::size_t block, int bits) {
@@ -38,12 +50,13 @@ MatF fake_quant_blockwise(const MatF& attn, std::size_t block, int bits) {
   MatF out = attn;
   // Tiles are disjoint regions of `out`, so quantizing them in parallel
   // writes disjoint elements.
-  visitor.parallel_for_each_tile_with(
-      [] { return std::vector<float>(); },
-      [&](const TileRef& t, std::vector<float>& tile) {
-        gather_tile(out, t.extent, tile);
-        fake_quant_group(tile, t.bits, /*symmetric=*/false);
-        scatter_tile(out, t.extent, tile);
+  visitor.parallel_for_each_tile_sharded(
+      tile_scratch_arena(), [&](const TileRef& t, Arena& arena) {
+        const auto tile = arena.alloc_span<float>(t.extent.count());
+        gather_tile(out, t.extent, tile.data());
+        fake_quant_group(std::span<float>(tile.data(), tile.size()), t.bits,
+                         /*symmetric=*/false);
+        scatter_tile(out, t.extent, tile.data());
       });
   return out;
 }
@@ -54,12 +67,13 @@ MatF fake_quant_blockwise_mixed(const MatF& attn, const BitTable& table) {
                  "BitTable grid does not match attention map shape");
   const TileVisitor visitor(table);
   MatF out = attn;
-  visitor.parallel_for_each_tile_with(
-      [] { return std::vector<float>(); },
-      [&](const TileRef& t, std::vector<float>& tile) {
-        gather_tile(out, t.extent, tile);
-        fake_quant_group(tile, t.bits, /*symmetric=*/false);
-        scatter_tile(out, t.extent, tile);
+  visitor.parallel_for_each_tile_sharded(
+      tile_scratch_arena(), [&](const TileRef& t, Arena& arena) {
+        const auto tile = arena.alloc_span<float>(t.extent.count());
+        gather_tile(out, t.extent, tile.data());
+        fake_quant_group(std::span<float>(tile.data(), tile.size()), t.bits,
+                         /*symmetric=*/false);
+        scatter_tile(out, t.extent, tile.data());
       });
   return out;
 }
@@ -71,10 +85,11 @@ std::vector<BlockQuantStats> collect_block_stats(const MatF& attn,
   // The sensitivity pass scores every tile at every candidate bitwidth —
   // the dominant offline cost after plan selection.  Each tile fills its
   // own slot, so row-major tile order is preserved at any thread count.
-  visitor.parallel_for_each_tile_with(
-      [] { return std::vector<float>(); },
-      [&](const TileRef& t, std::vector<float>& tile) {
-        gather_tile(attn, t.extent, tile);
+  visitor.parallel_for_each_tile_sharded(
+      tile_scratch_arena(), [&](const TileRef& t, Arena& arena) {
+        const auto scratch = arena.alloc_span<float>(t.extent.count());
+        gather_tile(attn, t.extent, scratch.data());
+        const std::span<const float> tile(scratch.data(), scratch.size());
         BlockQuantStats s;
         s.block_row = t.br;
         s.block_col = t.bc;
@@ -110,8 +125,11 @@ double blockwise_quant_error_sq(const MatF& attn, std::size_t block,
   return visitor.ordered_reduce_tiles(
       0.0,
       [&](const TileRef& t) {
-        std::vector<float> tile;
-        gather_tile(attn, t.extent, tile);
+        Arena& arena = tile_scratch_arena().local();
+        arena.reset();
+        const auto scratch = arena.alloc_span<float>(t.extent.count());
+        gather_tile(attn, t.extent, scratch.data());
+        const std::span<const float> tile(scratch.data(), scratch.size());
         if (t.bits == 0) {
           double sq = 0.0;
           for (const float v : tile) sq += static_cast<double>(v) * v;

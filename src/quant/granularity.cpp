@@ -41,10 +41,15 @@ MatF fake_quant_matrix(const MatF& m, Granularity granularity, int bits,
 }
 
 QuantizedI8 quantize_rows_i8(const MatF& m, int bits) {
-  PARO_CHECK_MSG(bits >= 2 && bits <= 8, "int8-path bits must be in [2,8]");
   QuantizedI8 q;
-  q.codes = MatI8(m.rows(), m.cols());
-  q.row_params.resize(m.rows());
+  quantize_rows_i8_into(m, q, bits);
+  return q;
+}
+
+void quantize_rows_i8_into(const MatF& m, QuantizedI8& out, int bits) {
+  PARO_CHECK_MSG(bits >= 2 && bits <= 8, "int8-path bits must be in [2,8]");
+  out.codes.resize(m.rows(), m.cols());
+  out.row_params.resize(m.rows());
   // Rows are independent (own codes row, own params slot) and both the
   // absmax calibration and the rounding kernel are element-exact, so the
   // parallel fan-out is bitwise identical to the old serial loop.
@@ -57,10 +62,24 @@ QuantizedI8 quantize_rows_i8(const MatF& m, int bits) {
     const std::int64_t qmax = (std::int64_t{1} << (bits - 1)) - 1;
     t.qlo = -qmax;
     t.qhi = qmax;
-    kernels::quantize_i8(src.data(), q.codes.row(r).data(), src.size(), t);
-    q.row_params[r] = p;
+    kernels::quantize_i8(src.data(), out.codes.row(r).data(), src.size(), t);
+    out.row_params[r] = p;
   });
-  return q;
+}
+
+void fake_quant_per_column_into(const MatF& m, int bits, bool symmetric,
+                                MatF& out, MatF& transpose_scratch,
+                                std::vector<QuantParams>& params) {
+  // Same transpose → per-row fake-quant → transpose-back dance as the
+  // kPerColumn branch of fake_quant_matrix, with every intermediate in
+  // retained storage.  Identical operations in identical order → bitwise
+  // identical values.
+  transpose_into(m, transpose_scratch);
+  params.resize(transpose_scratch.rows());
+  for (std::size_t r = 0; r < transpose_scratch.rows(); ++r) {
+    params[r] = fake_quant_group(transpose_scratch.row(r), bits, symmetric);
+  }
+  transpose_into(transpose_scratch, out);
 }
 
 MatF dequantize_rows(const QuantizedI8& q) {

@@ -31,6 +31,19 @@ struct QuantizedI8 {
 };
 QuantizedI8 quantize_rows_i8(const MatF& m, int bits = 8);
 
+/// Allocation-free twin of quantize_rows_i8: codes/params storage in `out`
+/// is resized (retained capacity is reused — the session-workspace idiom)
+/// and refilled.  Bitwise identical to quantize_rows_i8.
+void quantize_rows_i8_into(const MatF& m, QuantizedI8& out, int bits = 8);
+
+/// Allocation-free per-column symmetric fake-quant (the executor's V-path):
+/// equivalent to fake_quant_matrix(m, kPerColumn, bits, /*symmetric=*/true)
+/// bit for bit, but the transpose scratch and the output live in
+/// caller-retained storage.  `params` receives the per-column parameters.
+void fake_quant_per_column_into(const MatF& m, int bits, bool symmetric,
+                                MatF& out, MatF& transpose_scratch,
+                                std::vector<QuantParams>& params);
+
 /// Dequantize a QuantizedI8 back to float (for checking / reference paths).
 MatF dequantize_rows(const QuantizedI8& q);
 

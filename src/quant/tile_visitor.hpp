@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/thread_pool.hpp"
 #include "quant/bittable.hpp"
 
@@ -117,6 +118,28 @@ class TileVisitor {
         [&](std::size_t t0, std::size_t t1, std::size_t /*chunk*/) {
           auto state = make_state();
           for (std::size_t t = t0; t < t1; ++t) fn(tile(t), state);
+        });
+  }
+
+  /// Parallel sweep whose scratch comes from per-thread arena shards
+  /// instead of per-chunk vectors: the calling worker's shard is reset
+  /// before each tile and handed to `fn(tile, arena)`, which carves spans
+  /// valid until the next tile.  Spans are scratch — fully written before
+  /// they are read, with no result depending on their addresses — so
+  /// WHICH shard serves a tile is scheduling-dependent but WHAT it
+  /// computes is not (the same argument as the pool's chunk purity).
+  /// Steady-state sweeps over a warmed arena touch the heap zero times.
+  template <typename Fn>
+  void parallel_for_each_tile_sharded(ShardedArena& arena, Fn&& fn,
+                                      std::size_t grain = kDefaultGrain) const {
+    global_pool().for_chunks(
+        0, grid_.num_blocks(), grain,
+        [&](std::size_t t0, std::size_t t1, std::size_t /*chunk*/) {
+          Arena& local = arena.local();
+          for (std::size_t t = t0; t < t1; ++t) {
+            local.reset();
+            fn(tile(t), local);
+          }
         });
   }
 

@@ -1,5 +1,6 @@
 #include "reorder/plan.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 #include "tensor/ops.hpp"
@@ -49,6 +50,24 @@ MatF ReorderPlan::apply_rows(const MatF& x) const {
 
 MatF ReorderPlan::invert_rows(const MatF& x) const {
   return unpermute_rows(x, perm);
+}
+
+void ReorderPlan::apply_rows_into(const MatF& x, MatF& out) const {
+  PARO_CHECK_MSG(x.rows() == perm.size(), "plan length does not match rows");
+  out.resize(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto src = x.row(perm[i]);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+}
+
+void ReorderPlan::invert_rows_into(const MatF& x, MatF& out) const {
+  PARO_CHECK_MSG(x.rows() == perm.size(), "plan length does not match rows");
+  out.resize(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto src = x.row(i);
+    std::copy(src.begin(), src.end(), out.row(perm[i]).begin());
+  }
 }
 
 MatF ReorderPlan::apply_map(const MatF& attn) const {

@@ -43,6 +43,15 @@ struct ReorderPlan {
   /// Inverse-reorder per-token rows (the output O).
   MatF invert_rows(const MatF& x) const;
 
+  /// Allocation-free twins writing into a caller-owned matrix (resized to
+  /// x's shape; retained workspace storage is reused).  They skip the
+  /// permutation validity re-check — plans are validated when built or
+  /// loaded (calibration_io), and the hot loop must not pay an O(N)
+  /// alloc-bearing scan per call.  Values are bitwise identical to the
+  /// allocating versions (pure row gathers / scatters).
+  void apply_rows_into(const MatF& x, MatF& out) const;
+  void invert_rows_into(const MatF& x, MatF& out) const;
+
   /// Conjugate a token×token attention map: out(i,j) = in(perm[i], perm[j]).
   MatF apply_map(const MatF& attn) const;
 

@@ -60,6 +60,17 @@ class Matrix {
   std::span<T> flat() { return {data_.data(), data_.size()}; }
   std::span<const T> flat() const { return {data_.data(), data_.size()}; }
 
+  /// Reshape in place.  Storage is retained when the element count does
+  /// not grow past the vector's capacity, which is what lets session
+  /// workspaces reuse one matrix across steps without reallocating.
+  /// Contents are unspecified after a resize (grown elements are
+  /// value-initialized); callers overwrite before reading.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   bool same_shape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }

@@ -82,12 +82,17 @@ MatF softmax_rows(const MatF& logits, float scale) {
 
 MatF transpose(const MatF& a) {
   MatF t(a.cols(), a.rows());
+  transpose_into(a, t);
+  return t;
+}
+
+void transpose_into(const MatF& a, MatF& out) {
+  out.resize(a.cols(), a.rows());
   for (std::size_t i = 0; i < a.rows(); ++i) {
     for (std::size_t j = 0; j < a.cols(); ++j) {
-      t(j, i) = a(i, j);
+      out(j, i) = a(i, j);
     }
   }
-  return t;
 }
 
 void check_permutation(const std::vector<std::uint32_t>& perm, std::size_t n) {

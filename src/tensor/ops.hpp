@@ -29,6 +29,11 @@ MatF softmax_rows(const MatF& logits, float scale = 1.0F);
 /// Transpose.
 MatF transpose(const MatF& a);
 
+/// Transpose into a caller-owned matrix (resized to [a.cols, a.rows]) —
+/// the allocation-free twin used by session workspaces.  Values are
+/// bitwise identical to transpose()'s (pure data movement).
+void transpose_into(const MatF& a, MatF& out);
+
 /// Gather rows: out.row(i) = in.row(perm[i]).  perm must be a permutation
 /// of [0, rows).
 MatF permute_rows(const MatF& in, const std::vector<std::uint32_t>& perm);

@@ -1,0 +1,324 @@
+// The per-session memory subsystem: session-aware attention must be
+// BITWISE identical to the allocating path (cold or warm, any executor,
+// any thread count), and the workspace validity keys must miss exactly
+// when the shape, config, or calibration changes.
+#include "attention/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "attention/fused_executor.hpp"
+#include "attention/pipeline.hpp"
+#include "attention/synthetic.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "model/dit.hpp"
+#include "obs/metrics.hpp"
+#include "tensor/random.hpp"
+
+namespace paro {
+namespace {
+
+constexpr std::size_t kBlock = 8;
+
+bool same_bits(const MatF& a, const MatF& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  return std::memcmp(fa.data(), fb.data(), fa.size() * sizeof(float)) == 0;
+}
+
+struct Fixture {
+  TokenGrid grid;
+  HeadQKV head;
+
+  explicit Fixture(const TokenGrid& g = TokenGrid(6, 6, 6),
+                   std::uint64_t seed = 53) : grid(g) {
+    SyntheticHeadSpec spec;
+    spec.locality_order = all_axis_orders()[3];
+    spec.locality_width = 0.01;
+    spec.pattern_gain = 5.0;
+    spec.content_gain = 0.5;
+    spec.global_fraction = 0.01;
+    spec.global_gain = 3.5;
+    Rng rng(seed);
+    head = generate_head(grid, spec, 16, rng);
+  }
+};
+
+TEST(Session, MatchesAllocatingPathBitwiseOnEveryPreset) {
+  const Fixture f;
+  SessionContext session;
+  const QuantAttentionConfig presets[] = {
+      config_fp16(),           config_naive_int(8),
+      config_blockwise_int(4, kBlock), config_paro_int(4, kBlock),
+      config_paro_mp(4.8, kBlock),     config_paro_mp(2.0, kBlock),
+  };
+  std::size_t layer = 0;
+  for (const auto& cfg : presets) {
+    const HeadCalibration calib = calibrate_head(f.head.q, f.head.k, f.grid,
+                                                 cfg);
+    const auto oracle =
+        fused_quantized_attention(f.head.q, f.head.k, f.head.v, calib, cfg);
+    // Run the session path twice (cold workspace, then warm) — both must
+    // equal the allocating path exactly.
+    for (int step = 0; step < 2; ++step) {
+      session.begin_step();
+      AttnExecStats stats;
+      const MatF& out = fused_quantized_attention_session(
+          f.head.q, f.head.k, f.head.v, calib, cfg, session, layer, 0,
+          &stats);
+      EXPECT_TRUE(same_bits(oracle.output, out))
+          << "preset " << layer << " step " << step;
+      EXPECT_EQ(stats.tiles_total, oracle.exec.tiles_total);
+      EXPECT_EQ(stats.tiles_per_bits, oracle.exec.tiles_per_bits);
+      EXPECT_EQ(stats.peak_bytes, oracle.exec.peak_bytes);
+    }
+    ++layer;  // give each preset its own (layer, head) workspace
+  }
+}
+
+TEST(Session, ObaPathMatchesIncludingPackedPlanes) {
+  const Fixture f;
+  SessionContext session;
+  QuantAttentionConfig cfg = config_paro_mp(4.8, kBlock);
+  cfg.output_bitwidth_aware = true;
+  const HeadCalibration calib =
+      calibrate_head(f.head.q, f.head.k, f.grid, cfg);
+  const auto oracle =
+      fused_quantized_attention(f.head.q, f.head.k, f.head.v, calib, cfg);
+  for (int step = 0; step < 3; ++step) {
+    session.begin_step();
+    const MatF& out = fused_quantized_attention_session(
+        f.head.q, f.head.k, f.head.v, calib, cfg, session, 0, 0, nullptr);
+    EXPECT_TRUE(same_bits(oracle.output, out)) << "step " << step;
+  }
+}
+
+TEST(Session, CacheMissesOnFirstUseThenHits) {
+  const Fixture f;
+  SessionContext session;
+  const QuantAttentionConfig cfg = config_paro_mp(4.8, kBlock);
+  const HeadCalibration calib =
+      calibrate_head(f.head.q, f.head.k, f.grid, cfg);
+  auto run = [&] {
+    return fused_quantized_attention_session(f.head.q, f.head.k, f.head.v,
+                                             calib, cfg, session, 0, 0,
+                                             nullptr);
+  };
+  run();
+  EXPECT_EQ(session.cache_misses(), 1U);
+  EXPECT_EQ(session.cache_hits(), 0U);
+  run();
+  run();
+  EXPECT_EQ(session.cache_misses(), 1U);
+  EXPECT_EQ(session.cache_hits(), 2U);
+  // Distinct heads get distinct workspaces: a second head misses once.
+  fused_quantized_attention_session(f.head.q, f.head.k, f.head.v, calib, cfg,
+                                    session, 0, 1, nullptr);
+  EXPECT_EQ(session.cache_misses(), 2U);
+}
+
+TEST(Session, ShapeChangeMissesAndStaysBitwiseCorrect) {
+  const Fixture big;                            // 216 tokens
+  const Fixture small(TokenGrid(4, 4, 4), 19);  // 64 tokens
+  const QuantAttentionConfig cfg = config_paro_mp(4.8, kBlock);
+  const HeadCalibration calib_big =
+      calibrate_head(big.head.q, big.head.k, big.grid, cfg);
+  const HeadCalibration calib_small =
+      calibrate_head(small.head.q, small.head.k, small.grid, cfg);
+
+  SessionContext session;
+  fused_quantized_attention_session(big.head.q, big.head.k, big.head.v,
+                                    calib_big, cfg, session, 0, 0, nullptr);
+  EXPECT_EQ(session.cache_misses(), 1U);
+  // Same (layer, head), new shape: miss, and the resized workspace must
+  // reproduce the cold-path output exactly.
+  const auto cold = fused_quantized_attention(small.head.q, small.head.k,
+                                              small.head.v, calib_small, cfg);
+  const MatF& warm = fused_quantized_attention_session(
+      small.head.q, small.head.k, small.head.v, calib_small, cfg, session, 0,
+      0, nullptr);
+  EXPECT_EQ(session.cache_misses(), 2U);
+  EXPECT_TRUE(same_bits(cold.output, warm));
+  // Flipping back also misses (the key records only the latest shape).
+  fused_quantized_attention_session(big.head.q, big.head.k, big.head.v,
+                                    calib_big, cfg, session, 0, 0, nullptr);
+  EXPECT_EQ(session.cache_misses(), 3U);
+}
+
+TEST(Session, ConfigChangeMissesAndStaysBitwiseCorrect) {
+  const Fixture f;
+  SessionContext session;
+  QuantAttentionConfig a = config_paro_mp(4.8, kBlock);
+  QuantAttentionConfig b = a;
+  b.output_bitwidth_aware = true;
+  const HeadCalibration calib = calibrate_head(f.head.q, f.head.k, f.grid, a);
+  ASSERT_NE(config_fingerprint(a), config_fingerprint(b));
+
+  fused_quantized_attention_session(f.head.q, f.head.k, f.head.v, calib, a,
+                                    session, 0, 0, nullptr);
+  const auto cold_b =
+      fused_quantized_attention(f.head.q, f.head.k, f.head.v, calib, b);
+  const MatF& warm_b = fused_quantized_attention_session(
+      f.head.q, f.head.k, f.head.v, calib, b, session, 0, 0, nullptr);
+  EXPECT_EQ(session.cache_misses(), 2U);
+  EXPECT_TRUE(same_bits(cold_b.output, warm_b));
+}
+
+TEST(Session, CalibrationReloadIsDetectedByFingerprint) {
+  const Fixture f;
+  SessionContext session;
+  const QuantAttentionConfig cfg = config_paro_mp(4.8, kBlock);
+  HeadCalibration calib = calibrate_head(f.head.q, f.head.k, f.grid, cfg);
+  fused_quantized_attention_session(f.head.q, f.head.k, f.head.v, calib, cfg,
+                                    session, 0, 0, nullptr);
+  EXPECT_EQ(session.cache_misses(), 1U);
+
+  // A "reloaded" calibration with different tile bits must be noticed even
+  // WITHOUT an explicit invalidate() — the fingerprint covers the table.
+  HeadCalibration reloaded = calib;
+  ASSERT_TRUE(reloaded.bit_table.has_value());
+  const int old_bits = reloaded.bit_table->bits_flat(0);
+  reloaded.bit_table->set_bits(0, 0, old_bits == 8 ? 4 : 8);
+  ASSERT_NE(calib_fingerprint(calib), calib_fingerprint(reloaded));
+  const auto cold = fused_quantized_attention(f.head.q, f.head.k, f.head.v,
+                                              reloaded, cfg);
+  const MatF& warm = fused_quantized_attention_session(
+      f.head.q, f.head.k, f.head.v, reloaded, cfg, session, 0, 0, nullptr);
+  EXPECT_EQ(session.cache_misses(), 2U);
+  EXPECT_TRUE(same_bits(cold.output, warm));
+}
+
+TEST(Session, ExplicitInvalidateForcesMisses) {
+  const Fixture f;
+  SessionContext session;
+  const QuantAttentionConfig cfg = config_paro_mp(4.8, kBlock);
+  const HeadCalibration calib =
+      calibrate_head(f.head.q, f.head.k, f.grid, cfg);
+  auto run = [&](std::size_t head) {
+    return &fused_quantized_attention_session(f.head.q, f.head.k, f.head.v,
+                                              calib, cfg, session, 0, head,
+                                              nullptr);
+  };
+  const auto oracle =
+      fused_quantized_attention(f.head.q, f.head.k, f.head.v, calib, cfg);
+  run(0);
+  run(1);
+  run(0);
+  EXPECT_EQ(session.cache_misses(), 2U);
+  EXPECT_EQ(session.cache_hits(), 1U);
+  session.invalidate();  // the calib-reload hook: every key drops
+  const MatF* out = run(0);
+  run(1);
+  EXPECT_EQ(session.cache_misses(), 4U);
+  EXPECT_TRUE(same_bits(oracle.output, *out));
+}
+
+TEST(Session, BitwiseIdenticalAcrossThreadCounts) {
+  const Fixture f;
+  QuantAttentionConfig cfg = config_paro_mp(4.8, kBlock);
+  cfg.output_bitwidth_aware = true;
+  const HeadCalibration calib =
+      calibrate_head(f.head.q, f.head.k, f.grid, cfg);
+
+  set_global_threads(1);
+  SessionContext serial;
+  serial.begin_step();
+  const MatF one = fused_quantized_attention_session(
+      f.head.q, f.head.k, f.head.v, calib, cfg, serial, 0, 0, nullptr);
+
+  set_global_threads(8);
+  SessionContext wide;
+  wide.begin_step();
+  const MatF& eight = fused_quantized_attention_session(
+      f.head.q, f.head.k, f.head.v, calib, cfg, wide, 0, 0, nullptr);
+  EXPECT_TRUE(same_bits(one, eight));
+  set_global_threads(0);
+}
+
+TEST(Session, QuantizedWrapperGuardsAndFallsBackToMaterialized) {
+  const Fixture f;
+  SessionContext session;
+  QuantAttentionConfig cfg = config_paro_mp(4.8, kBlock);
+  const HeadCalibration calib =
+      calibrate_head(f.head.q, f.head.k, f.grid, cfg);
+
+  // Streamed: the wrapper routes to the session executor.
+  const auto oracle =
+      quantized_attention(f.head.q, f.head.k, f.head.v, calib, cfg);
+  const MatF& streamed = quantized_attention_session(
+      f.head.q, f.head.k, f.head.v, calib, cfg, session, 0, 0, nullptr);
+  EXPECT_TRUE(same_bits(oracle.output, streamed));
+
+  // Materialized: allocating fallback, same reference contract.
+  cfg.executor = AttnExecutor::kMaterialized;
+  const auto mat_oracle =
+      quantized_attention(f.head.q, f.head.k, f.head.v, calib, cfg);
+  const MatF& mat = quantized_attention_session(
+      f.head.q, f.head.k, f.head.v, calib, cfg, session, 0, 1, nullptr);
+  EXPECT_TRUE(same_bits(mat_oracle.output, mat));
+
+  // The handle writes to the same registry counter the allocating wrapper
+  // bumps: two oracle calls + two session calls.
+  EXPECT_EQ(session.metrics().quantized_calls->value(), 4.0);
+}
+
+TEST(Session, DitForwardWithSessionIsBitwiseIdentical) {
+  SyntheticDiT::Config c;
+  c.frames = 3;
+  c.height = 4;
+  c.width = 4;
+  c.layers = 2;
+  c.hidden = 32;
+  c.heads = 2;
+  c.channels = 4;
+  c.seed = 11;
+  const SyntheticDiT dit(c);
+  Rng rng(5);
+  const MatF x = random_normal(dit.token_grid().num_tokens(), c.channels, rng);
+
+  SyntheticDiT::ExecConfig exec;
+  exec.impl = SyntheticDiT::AttnImpl::kQuantized;
+  exec.quant = config_paro_mp(4.8, kBlock);
+  const auto calib = dit.calibrate(exec.quant, x, 0.9);
+
+  const MatF plain1 = dit.forward(x, 0.5, exec, &calib);
+  const MatF plain2 = dit.forward(x, 0.3, exec, &calib);
+
+  SessionContext session;
+  exec.session = &session;
+  const MatF s1 = dit.forward(x, 0.5, exec, &calib);
+  const MatF s2 = dit.forward(x, 0.3, exec, &calib);
+  EXPECT_TRUE(same_bits(plain1, s1));
+  EXPECT_TRUE(same_bits(plain2, s2));
+  EXPECT_EQ(session.steps_begun(), 2U);
+  // layers × heads workspaces, all warm after the first pass.
+  EXPECT_EQ(session.cache_misses(), c.layers * c.heads);
+  EXPECT_EQ(session.cache_hits(), c.layers * c.heads);
+}
+
+TEST(Session, BeginStepPublishesArenaGauges) {
+  obs::MetricsRegistry::global().reset();
+  {
+    const Fixture f;
+    SessionContext session;
+    const QuantAttentionConfig cfg = config_paro_mp(4.8, kBlock);
+    const HeadCalibration calib =
+        calibrate_head(f.head.q, f.head.k, f.grid, cfg);
+    session.begin_step();
+    fused_quantized_attention_session(f.head.q, f.head.k, f.head.v, calib,
+                                      cfg, session, 0, 0, nullptr);
+    session.begin_step();  // publishes the warm-up's arena stats
+    auto& reg = obs::MetricsRegistry::global();
+    EXPECT_GT(reg.gauge("mem.arena_bytes").value(), 0.0);
+    EXPECT_GT(reg.counter("mem.mallocs_per_step").value(), 0.0);
+    EXPECT_EQ(reg.counter("mem.cache_misses").value(), 1.0);
+  }
+  obs::MetricsRegistry::global().reset();
+}
+
+}  // namespace
+}  // namespace paro

@@ -1,0 +1,162 @@
+// The bump/slab arena underneath the zero-allocation steady state: slabs
+// are retained across reset(), the high-water mark survives rewinds, and
+// a warmed arena replays the same allocation sequence without touching
+// the heap.
+#include "common/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace paro {
+namespace {
+
+TEST(Arena, SpansAreAlignedTypedAndWritable) {
+  Arena arena;
+  const auto f = arena.alloc_span<float>(37);
+  const auto d = arena.alloc_span<double>(11);
+  const auto b = arena.alloc_span<std::uint8_t>(3);
+  const auto q = arena.alloc_span<std::int64_t>(5);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(f.data()) % alignof(float), 0U);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) % alignof(double), 0U);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q.data()) % alignof(std::int64_t),
+            0U);
+  for (std::size_t i = 0; i < f.size(); ++i) f[i] = static_cast<float>(i);
+  for (std::size_t i = 0; i < q.size(); ++i) q[i] = -static_cast<long>(i);
+  b[0] = 7;
+  EXPECT_EQ(f[36], 36.0F);
+  EXPECT_EQ(q[4], -4);
+  EXPECT_EQ(f.size(), 37U);
+  EXPECT_FALSE(f.empty());
+  EXPECT_TRUE(arena.alloc_span<float>(0).empty());
+}
+
+TEST(Arena, ZeroFillClearsRecycledBytes) {
+  Arena arena;
+  auto dirty = arena.alloc_span<float>(256);
+  for (auto& x : dirty) x = 1.25F;
+  arena.reset();
+  const auto clean = arena.alloc_span<float>(256, /*zero=*/true);
+  for (const float x : clean) EXPECT_EQ(x, 0.0F);
+}
+
+TEST(Arena, ResetRetainsSlabsAndSteadyStateIsMallocFree) {
+  Arena arena;
+  // Warm-up pass sizes the slab set (spills past one default slab).
+  const std::size_t kChunk = 64 * 1024;
+  for (int i = 0; i < 40; ++i) arena.alloc_span<float>(kChunk / 4);
+  const std::uint64_t warm_mallocs = arena.slab_mallocs();
+  const std::size_t warm_capacity = arena.capacity();
+  EXPECT_GT(warm_mallocs, 0U);
+  EXPECT_GE(warm_capacity, 40 * kChunk);
+
+  // Steady state: the same sequence after reset() touches the heap zero
+  // times and grows no capacity.
+  for (int step = 0; step < 3; ++step) {
+    arena.reset();
+    EXPECT_EQ(arena.in_use(), 0U);
+    for (int i = 0; i < 40; ++i) arena.alloc_span<float>(kChunk / 4);
+    EXPECT_EQ(arena.slab_mallocs(), warm_mallocs);
+    EXPECT_EQ(arena.capacity(), warm_capacity);
+  }
+}
+
+TEST(Arena, HighWaterSurvivesResetAndTracksPeak) {
+  Arena arena;
+  arena.alloc_span<float>(1000);
+  const std::size_t peak = arena.high_water();
+  EXPECT_GE(peak, 1000 * sizeof(float));
+  arena.reset();
+  EXPECT_EQ(arena.high_water(), peak);
+  arena.alloc_span<float>(10);
+  EXPECT_EQ(arena.high_water(), peak);  // smaller pass cannot lower it
+  arena.alloc_span<float>(2000);
+  EXPECT_GT(arena.high_water(), peak);
+}
+
+TEST(Arena, HintPreCarvesOneSlab) {
+  Arena arena(512 * 1024);
+  EXPECT_EQ(arena.slab_mallocs(), 1U);
+  EXPECT_GE(arena.capacity(), 512 * 1024U);
+  // Everything inside the hint is served from the pre-carved slab.
+  for (int i = 0; i < 8; ++i) arena.alloc_span<float>(8 * 1024);
+  EXPECT_EQ(arena.slab_mallocs(), 1U);
+}
+
+TEST(Arena, OversizedRequestGetsItsOwnSlab) {
+  Arena arena;
+  const std::size_t big = 3 * Arena::kDefaultSlabBytes;
+  const auto span = arena.alloc_span<std::uint8_t>(big);
+  ASSERT_NE(span.data(), nullptr);
+  span[big - 1] = 1;
+  EXPECT_GE(arena.capacity(), big);
+  // The oversized slab is retained too: replay is heap-free.
+  const std::uint64_t warm = arena.slab_mallocs();
+  arena.reset();
+  arena.alloc_span<std::uint8_t>(big);
+  EXPECT_EQ(arena.slab_mallocs(), warm);
+}
+
+TEST(Arena, ReleaseAllDropsCapacityButKeepsHighWater) {
+  Arena arena;
+  arena.alloc_span<float>(4096);
+  const std::size_t peak = arena.high_water();
+  arena.release_all();
+  EXPECT_EQ(arena.capacity(), 0U);
+  EXPECT_EQ(arena.in_use(), 0U);
+  EXPECT_EQ(arena.high_water(), peak);
+  // Usable again after release.
+  const auto span = arena.alloc_span<float>(16, /*zero=*/true);
+  EXPECT_EQ(span[15], 0.0F);
+}
+
+TEST(ThreadArenaSlot, StableWithinThreadAndBounded) {
+  const std::size_t slot = thread_arena_slot();
+  EXPECT_LT(slot, kMaxThreadSlots);
+  EXPECT_EQ(thread_arena_slot(), slot);  // idempotent per thread
+}
+
+TEST(ShardedArena, ShardsServeWorkersAndAggregateTotals) {
+  ShardedArena sharded;
+  // Every worker carves per-chunk scratch; each shard is single-owner so
+  // the writes race on nothing.
+  global_pool().for_chunks(
+      0, 64, 1, [&](std::size_t c0, std::size_t c1, std::size_t /*chunk*/) {
+        Arena& local = sharded.local();
+        local.reset();
+        const auto span = local.alloc_span<float>(1024, /*zero=*/true);
+        for (std::size_t c = c0; c < c1; ++c) {
+          span[c % span.size()] += static_cast<float>(c);
+        }
+      });
+  EXPECT_GE(sharded.high_water_total(), 1024 * sizeof(float));
+  EXPECT_GT(sharded.slab_mallocs_total(), 0U);
+  EXPECT_GT(sharded.capacity_total(), 0U);
+
+  // reset_all rewinds every shard; replaying the sweep allocates nothing.
+  const std::uint64_t warm = sharded.slab_mallocs_total();
+  for (int step = 0; step < 3; ++step) {
+    sharded.reset_all();
+    global_pool().for_chunks(
+        0, 64, 1, [&](std::size_t, std::size_t, std::size_t /*chunk*/) {
+          Arena& local = sharded.local();
+          local.reset();
+          local.alloc_span<float>(1024);
+        });
+    EXPECT_EQ(sharded.slab_mallocs_total(), warm);
+  }
+}
+
+TEST(ShardedArena, HintReachesEveryShard) {
+  ShardedArena sharded(64 * 1024);
+  Arena& local = sharded.local();
+  EXPECT_GE(local.capacity(), 64 * 1024U);
+  EXPECT_EQ(local.slab_mallocs(), 1U);
+}
+
+}  // namespace
+}  // namespace paro

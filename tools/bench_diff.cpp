@@ -1,6 +1,7 @@
 // bench_diff — bench-trajectory gate for BENCH_kernels.json reports.
 //
 //   bench_diff <baseline.json> <current.json> [tol=0.5] [fr_max=0.05]
+//              [steady_max=1.10]
 //
 // Compares two reports from bench_kernels --kernels_json (schema
 // paro.bench_kernels.v1 or .v2) and exits nonzero on a regression:
@@ -10,7 +11,12 @@
 //     far more stable across machines and load than raw seconds — `tol`
 //     defaults to a generous 0.5 (CI machines are noisy);
 //   * the flight-recorder overhead fraction of the current report (v2
-//     only) must stay ≤ fr_max (default 5%, the acceptance target).
+//     only) must stay ≤ fr_max (default 5%, the acceptance target);
+//   * when the current report carries both `fused_attention` and
+//     `fused_attention_steady`, the warm-session time must stay ≤ cold ×
+//     steady_max — an intra-report ratio (immune to machine changes) that
+//     keeps the zero-allocation steady state from regressing into
+//     per-step churn.
 //
 // Kernels present on only one side are reported but never fail the gate
 // (the suite is allowed to grow).  A compiler mismatch between two v2
@@ -105,10 +111,12 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: bench_diff <baseline.json> <current.json> "
-      "[tol=0.5] [fr_max=0.05]\n"
+      "[tol=0.5] [fr_max=0.05] [steady_max=1.10]\n"
       "  gates per-kernel chosen-ISA speedup-vs-scalar against the\n"
-      "  baseline (fail below baseline*(1-tol)) and the flight-recorder\n"
-      "  overhead fraction (fail above fr_max); exit 1 on regression\n");
+      "  baseline (fail below baseline*(1-tol)), the flight-recorder\n"
+      "  overhead fraction (fail above fr_max), and the warm-session\n"
+      "  steady/cold time ratio of the current report (fail above\n"
+      "  steady_max); exit 1 on regression\n");
   return 2;
 }
 
@@ -116,12 +124,15 @@ int run(int argc, char** argv) {
   std::vector<std::string> paths;
   double tol = 0.5;
   double fr_max = 0.05;
+  double steady_max = 1.10;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("tol=", 0) == 0) {
       tol = std::stod(arg.substr(4));
     } else if (arg.rfind("fr_max=", 0) == 0) {
       fr_max = std::stod(arg.substr(7));
+    } else if (arg.rfind("steady_max=", 0) == 0) {
+      steady_max = std::stod(arg.substr(11));
     } else {
       paths.push_back(arg);
     }
@@ -165,6 +176,21 @@ int run(int argc, char** argv) {
       std::printf("  %-22s new kernel (%.2fx, not gated)\n", name.c_str(),
                   crow.speedup);
     }
+  }
+
+  // Steady-state gate: warm-session vs cold fused attention within the
+  // CURRENT report.  Both cases ran back-to-back on the same machine and
+  // backend, so the ratio is noise-robust where absolute times are not.
+  const auto cold_it = cur.kernels.find("fused_attention");
+  const auto steady_it = cur.kernels.find("fused_attention_steady");
+  if (cold_it != cur.kernels.end() && steady_it != cur.kernels.end() &&
+      cold_it->second.seconds > 0.0) {
+    const double ratio =
+        steady_it->second.seconds / cold_it->second.seconds;
+    const bool ok = ratio <= steady_max;
+    std::printf("  steady/cold fused attention %.3f (max %.3f)  %s\n", ratio,
+                steady_max, ok ? "ok" : "REGRESSION");
+    if (!ok) ++regressions;
   }
 
   if (cur.has_flight) {

@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "attention/calibration_io.hpp"
+#include "attention/session.hpp"
 #include "common/config.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
@@ -534,6 +535,11 @@ int cmd_report(const KeyValueConfig& cfg) {
   exec.attn_stats = &attn_stats;
   obs::CostLedger ledger;
   exec.cost_ledger = &ledger;
+  // Session memory: retained per-(layer, head) workspaces + arena scratch,
+  // so every sampling step after the first is allocation-free on the
+  // attention path.  The session feeds the report's "memory" section.
+  SessionContext session;
+  exec.session = &session;
 
   const auto count_kernel_calls = [] {
     std::uint64_t total = 0;
@@ -670,6 +676,16 @@ int cmd_report(const KeyValueConfig& cfg) {
     w.kv("joules_rel", recon.joules_rel);
     w.kv("ok", recon.ok());
     w.end_object();
+    w.key("memory").begin_object();
+    w.kv("arena_bytes_high_water",
+         static_cast<std::uint64_t>(session.scratch().high_water_total()));
+    w.kv("arena_capacity_bytes",
+         static_cast<std::uint64_t>(session.scratch().capacity_total()));
+    w.kv("arena_slab_mallocs", session.scratch().slab_mallocs_total());
+    w.kv("cache_hits", session.cache_hits());
+    w.kv("cache_misses", session.cache_misses());
+    w.kv("steps_begun", session.steps_begun());
+    w.end_object();
     write_kernels_section(w);
     write_metrics_section(w);
     w.end_object();
@@ -701,6 +717,14 @@ int cmd_report(const KeyValueConfig& cfg) {
     std::printf("reconciliation: cycles %.2e, dram %.2e, joules %.2e (%s)\n",
                 recon.cycles_rel, recon.dram_rel, recon.joules_rel,
                 recon.ok() ? "ok" : "FAIL");
+    std::printf("memory: arena high-water %zu bytes in %llu slab mallocs, "
+                "workspace cache %llu hits / %llu misses over %llu steps\n",
+                session.scratch().high_water_total(),
+                static_cast<unsigned long long>(
+                    session.scratch().slab_mallocs_total()),
+                static_cast<unsigned long long>(session.cache_hits()),
+                static_cast<unsigned long long>(session.cache_misses()),
+                static_cast<unsigned long long>(session.steps_begun()));
   }
   if (cfg.contains("trace_out")) {
     write_profile_trace(cfg.get_string("trace_out", ""));
