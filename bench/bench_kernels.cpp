@@ -40,6 +40,7 @@
 #include "common/thread_pool.hpp"
 #include "kernels/isa.hpp"
 #include "kernels/kernels.hpp"
+#include "kernels/pack.hpp"
 #include "mixedprec/allocator.hpp"
 #include "obs/json.hpp"
 #include "obs/ring_log.hpp"
@@ -267,28 +268,27 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-/// Best-of-3 timing, with the repetition count sized so one measured block
-/// lasts >= ~30 ms (single repetition for already-long cases).
-double measure_seconds(const std::function<void()>& fn) {
-  fn();  // warm caches and the dispatch pointer
-  auto t0 = std::chrono::steady_clock::now();
-  fn();
-  const double once = seconds_since(t0);
-  const int reps =
-      once >= 0.03 ? 1 : static_cast<int>(0.03 / std::max(once, 1e-7)) + 1;
-  double best = std::numeric_limits<double>::infinity();
-  for (int round = 0; round < 3; ++round) {
-    t0 = std::chrono::steady_clock::now();
-    for (int r = 0; r < reps; ++r) fn();
-    best = std::min(best, seconds_since(t0) / reps);
-  }
-  return best;
+/// One timed block: `reps` back-to-back calls, per-call seconds.
+double time_block(const std::function<void()>& fn, int reps) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) fn();
+  return seconds_since(t0) / reps;
 }
 
-/// End-to-end fused streaming attention at N=4096, d=64 with an OBA 4-bit
-/// uniform table — the packed-decode QK^T path, softmax, blockwise map
-/// quant, and AttnV, exactly as the executor runs them.
-KernelCase fused_attention_case() {
+/// Repetition count sized so one measured block lasts >= ~30 ms (single
+/// repetition for already-long cases).  Also serves as the warm-up pass.
+int calibrate_reps(const std::function<void()>& fn) {
+  fn();  // warm caches and the dispatch pointer
+  const double once = time_block(fn, 1);
+  return once >= 0.03 ? 1 : static_cast<int>(0.03 / std::max(once, 1e-7)) + 1;
+}
+
+/// End-to-end fused streaming attention at N=4096, d=64 under a caller-
+/// provided OBA BitTable — the packed QK^T path, softmax, blockwise map
+/// quant, and AttnV, exactly as the executor runs them.  `avg_bits` is the
+/// table's average (stamped into the calibration for bookkeeping only).
+KernelCase fused_attention_case_with(std::string name, std::string shape,
+                                     BitTable table, double avg_bits) {
   const std::size_t n = 4096, d = 64;
   Rng rng(11);
   auto q = std::make_shared<MatF>(random_normal(n, d, rng));
@@ -296,8 +296,8 @@ KernelCase fused_attention_case() {
   auto v = std::make_shared<MatF>(random_normal(n, d, rng));
   auto calib = std::make_shared<HeadCalibration>();
   calib->plan = ReorderPlan::identity(n);
-  calib->bit_table = BitTable(BlockGrid(n, n, 64), 4);
-  calib->planned_avg_bits = 4.0;
+  calib->bit_table = std::move(table);
+  calib->planned_avg_bits = avg_bits;
   QuantAttentionConfig cfg;
   cfg.map_scheme = AttnMapScheme::kBlockwise;
   cfg.map_bits = 8;
@@ -306,8 +306,8 @@ KernelCase fused_attention_case() {
   cfg.output_bitwidth_aware = true;
   cfg.executor = AttnExecutor::kStreamed;
   KernelCase c;
-  c.name = "fused_attention";
-  c.shape = "n=4096 d=64 block=64 oba4";
+  c.name = std::move(name);
+  c.shape = std::move(shape);
   c.ops = 2.0 * n * n * d * 2;  // QK^T + AttnV MAC+add
   c.bytes = static_cast<double>(n) * n * sizeof(float);
   c.fn = [q, k, v, calib, cfg] {
@@ -315,6 +315,41 @@ KernelCase fused_attention_case() {
         fused_quantized_attention(*q, *k, *v, *calib, cfg));
   };
   return c;
+}
+
+KernelCase fused_attention_case() {
+  const std::size_t n = 4096;
+  return fused_attention_case_with("fused_attention",
+                                   "n=4096 d=64 block=64 oba4",
+                                   BitTable(BlockGrid(n, n, 64), 4), 4.0);
+}
+
+/// Uniform INT8 baseline for the mixed-precision comparison below: every
+/// tile takes the raw-codes QK^T path, no packing, no skips.
+KernelCase fused_attention_i8_case() {
+  const std::size_t n = 4096;
+  return fused_attention_case_with("fused_attention_i8",
+                                   "n=4096 d=64 block=64 oba8",
+                                   BitTable(BlockGrid(n, n, 64), 8), 8.0);
+}
+
+/// PARO's operating point: a mixed table averaging 4.8 bits/tile (the
+/// paper's B=4.8 budget), with 8/4/2/0-bit classes interleaved so the
+/// packed sub-byte kernels, the raw int8 path, and the 0-bit skip all see
+/// realistic shares.  bench_diff's b48_max gate asserts this case beats
+/// fused_attention_i8 — the headline claim that mixed precision with
+/// packed compute is FASTER than uniform INT8, not just smaller.
+KernelCase fused_attention_b48_case() {
+  const std::size_t n = 4096;
+  BitTable table(BlockGrid(n, n, 64), 8);
+  constexpr int kPattern[10] = {8, 8, 8, 8, 4, 4, 4, 2, 2, 0};  // avg 4.8
+  const std::size_t tiles = table.grid().num_blocks();
+  for (std::size_t i = 0; i < tiles; ++i) {
+    table.set_bits_flat(i, kPattern[i % 10]);
+  }
+  return fused_attention_case_with("fused_attention_b48",
+                                   "n=4096 d=64 block=64 oba mixed b=4.8",
+                                   std::move(table), 4.8);
 }
 
 /// The same end-to-end shape through the session executor: a warm
@@ -397,6 +432,34 @@ std::vector<KernelCase> build_cases() {
       benchmark::DoNotOptimize(out->data());
     };
     cases.push_back(std::move(c));
+  }
+  {  // packed sub-byte QK^T tile kernels (in-register unpack, no scratch)
+    const std::size_t n = 1024, d = 64;
+    auto q = std::make_shared<QuantizedI8>(
+        quantize_rows_i8(random_normal(n, d, rng), 8));
+    const QuantizedI8 kq = quantize_rows_i8(random_normal(n, d, rng), 8);
+    auto sq = std::make_shared<std::vector<float>>(n, 0.01F);
+    for (const int bits : {4, 2}) {
+      auto packed = std::make_shared<kernels::PackedLdzK>();
+      packed->build(kq.codes.row(0).data(), n, d, {bits});
+      auto out = std::make_shared<std::vector<float>>(n * n);
+      KernelCase c;
+      c.name = bits == 4 ? "qk_tile_i4p" : "qk_tile_i2q";
+      c.shape = "q_rows=1024 k_rows=1024 d=64";
+      c.ops = 2.0 * n * n * d;
+      c.bytes = static_cast<double>(n * d +
+                                    n * packed->packed_row_bytes(bits) +
+                                    n * n * 4);
+      c.fn = [q, packed, sq, out, n, d, bits] {
+        const kernels::PackedLdzK::PlaneView pv = packed->plane(bits);
+        auto* kernel = bits == 4 ? &kernels::qk_tile_i4p_scaled
+                                 : &kernels::qk_tile_i2q_scaled;
+        kernel(q->codes.row(0).data(), d, n, pv.mag, pv.mag_stride, pv.ss,
+               pv.ss_stride, n, d, sq->data(), sq->data(), out->data(), n);
+        benchmark::DoNotOptimize(out->data());
+      };
+      cases.push_back(std::move(c));
+    }
   }
   {  // FP fallback dot rows
     const std::size_t n = 4096, d = 64;
@@ -515,8 +578,12 @@ std::vector<KernelCase> build_cases() {
     }
   }
 
+  // Gated ratio partners sit adjacent so one clean window in an
+  // interleaved round covers both sides of each ratio.
   cases.push_back(fused_attention_case());
   cases.push_back(fused_attention_steady_case());
+  cases.push_back(fused_attention_i8_case());
+  cases.push_back(fused_attention_b48_case());
   return cases;
 }
 
@@ -560,10 +627,31 @@ int run_kernel_harness(const std::string& json_path) {
   // seconds[case][isa index]
   std::vector<std::vector<double>> seconds(cases.size(),
                                            std::vector<double>(isas.size()));
+  // Rounds are interleaved round-robin across cases (A B C... A B C...)
+  // rather than completing one case before the next: bench_diff gates
+  // intra-report ratios (steady/cold, b48/i8), and on a shared host a
+  // burst of interference that lands entirely inside one case's rounds
+  // would skew the ratio by 10%+.  Interference is strictly additive, so
+  // the per-case minimum over enough rounds recovers the clean time;
+  // measured bursts here last ~0.5-1.5 s with a clean-round probability
+  // around 1-in-4 under load, so the chosen ISA (the only one the ratio
+  // gates read) gets 12 rounds and the rest — gated only by the loose
+  // speedup_vs_scalar tolerance — get 5.
   for (std::size_t ii = 0; ii < isas.size(); ++ii) {
     kernels::force_isa(isas[ii]);
+    const int rounds = ii == 0 ? 12 : 5;
+    std::vector<int> reps(cases.size());
     for (std::size_t c = 0; c < cases.size(); ++c) {
-      seconds[c][ii] = measure_seconds(cases[c].fn);
+      reps[c] = calibrate_reps(cases[c].fn);
+      seconds[c][ii] = std::numeric_limits<double>::infinity();
+    }
+    for (int round = 0; round < rounds; ++round) {
+      for (std::size_t c = 0; c < cases.size(); ++c) {
+        seconds[c][ii] =
+            std::min(seconds[c][ii], time_block(cases[c].fn, reps[c]));
+      }
+    }
+    for (std::size_t c = 0; c < cases.size(); ++c) {
       std::printf("  %-20s %-8s %10.3f ms\n", cases[c].name.c_str(),
                   kernels::isa_name(isas[ii]), seconds[c][ii] * 1e3);
     }
@@ -573,12 +661,20 @@ int run_kernel_harness(const std::string& json_path) {
   // Flight-recorder overhead on the end-to-end fused attention case under
   // the dispatch-chosen backend: the ISSUE's acceptance gate is <5%
   // steady-state cost with recording enabled (rings wrap; no allocation).
+  // Off/on rounds alternate and each state keeps its minimum, for the
+  // same burst-interference reason as the main sweep — a gate this tight
+  // cannot survive one contaminated side of the pair.
   const KernelCase fr_case = fused_attention_case();
-  obs::FlightRecorder::global().set_enabled(false);
-  const double fr_disabled_s = measure_seconds(fr_case.fn);
   obs::FlightRecorder::global().reset();
-  obs::FlightRecorder::global().set_enabled(true);
-  const double fr_enabled_s = measure_seconds(fr_case.fn);
+  fr_case.fn();  // warm
+  double fr_disabled_s = std::numeric_limits<double>::infinity();
+  double fr_enabled_s = std::numeric_limits<double>::infinity();
+  for (int round = 0; round < 8; ++round) {
+    obs::FlightRecorder::global().set_enabled(false);
+    fr_disabled_s = std::min(fr_disabled_s, time_block(fr_case.fn, 1));
+    obs::FlightRecorder::global().set_enabled(true);
+    fr_enabled_s = std::min(fr_enabled_s, time_block(fr_case.fn, 1));
+  }
   obs::FlightRecorder::global().set_enabled(false);
   const double fr_overhead = fr_enabled_s / fr_disabled_s - 1.0;
   std::printf("flight recorder on %s: %.3f ms off, %.3f ms on "
@@ -643,6 +739,7 @@ int run_kernel_harness(const std::string& json_path) {
   std::printf("wrote %s\n", json_path.c_str());
 
   // Headline ratios (the ISSUE's acceptance targets) to stdout.
+  double i8_s = 0.0, b48_s = 0.0;
   for (std::size_t c = 0; c < cases.size(); ++c) {
     if (cases[c].name == "matmul_nt_i8_block" ||
         cases[c].name == "fused_attention") {
@@ -650,6 +747,13 @@ int run_kernel_harness(const std::string& json_path) {
                   kernels::isa_name(chosen),
                   seconds[c][scalar_index] / seconds[c][0]);
     }
+    if (cases[c].name == "fused_attention_i8") i8_s = seconds[c][0];
+    if (cases[c].name == "fused_attention_b48") b48_s = seconds[c][0];
+  }
+  if (i8_s > 0.0 && b48_s > 0.0) {
+    std::printf("mixed precision B=4.8 vs uniform INT8: %.3f ms vs %.3f ms "
+                "(b48/i8 %.3f, bench_diff gates <= b48_max)\n", b48_s * 1e3,
+                i8_s * 1e3, b48_s / i8_s);
   }
   return 0;
 }

@@ -91,19 +91,6 @@ void fused_attention_impl(const MatF& q, const MatF& k, const MatF& v,
   meter.acquire(matrix_bytes(ws.qr) + matrix_bytes(ws.kr) +
                 matrix_bytes(ws.vr));
 
-  // INT8 per-token Q/K and per-dimension V, shared by every stripe.
-  if (config.quantize_qkv) {
-    quantize_rows_i8_into(ws.qr, ws.q8, 8);
-    quantize_rows_i8_into(ws.kr, ws.k8, 8);
-    fake_quant_per_column_into(ws.vr, 8, /*symmetric=*/true, ws.v_quant,
-                               ws.v_tscratch, ws.v_params);
-    meter.acquire(quantized_bytes(ws.q8) + quantized_bytes(ws.k8) +
-                  matrix_bytes(ws.v_quant));
-    row_scales_into(ws.q8, ws.q_scales);
-    row_scales_into(ws.k8, ws.k_scales);
-  }
-  const MatF& v_used = config.quantize_qkv ? ws.v_quant : ws.vr;
-
   const BitTable* table =
       calib.bit_table.has_value() ? &*calib.bit_table : nullptr;
   const bool mixed = config.map_scheme == AttnMapScheme::kBlockwiseMixed;
@@ -113,9 +100,69 @@ void fused_attention_impl(const MatF& q, const MatF& k, const MatF& v,
   // materialized path takes its OBA branch.
   const bool oba_active =
       config.quantize_qkv && config.output_bitwidth_aware && table != nullptr;
+  const bool packed_compute = config.packed_subbyte_compute;
   const bool per_row_quant = config.map_scheme == AttnMapScheme::kPerRow;
   const bool block_quant =
       config.map_scheme == AttnMapScheme::kBlockwise || mixed;
+
+  // OBA plane set, decided before K is quantized so the quantizer knows
+  // whether a full widened int8 K matrix is ever read downstream.
+  ws.plane_bits.clear();
+  if (oba_active && n > 0) {
+    for (const int b : kBitChoices) {
+      if (b > 0 && b < 8 && table->tiles_at(b) > 0) ws.plane_bits.push_back(b);
+    }
+  }
+  // Packed K residency: when every live tile is sub-byte (no 8-bit tiles)
+  // the packed planes are the only K representation the stripes read, so K
+  // is quantized and packed in row chunks through a chunk-sized staging
+  // buffer — the full widened copy never exists and steady-state KV bytes
+  // shrink with the average bitwidth.
+  const bool packed_resident =
+      oba_active && n > 0 && table->tiles_at(8) == 0 && !ws.plane_bits.empty();
+
+  // INT8 per-token Q/K and per-dimension V, shared by every stripe.
+  if (config.quantize_qkv) {
+    quantize_rows_i8_into(ws.qr, ws.q8, 8);
+    fake_quant_per_column_into(ws.vr, 8, /*symmetric=*/true, ws.v_quant,
+                               ws.v_tscratch, ws.v_params);
+    row_scales_into(ws.q8, ws.q_scales);
+    if (packed_resident) {
+      // Chunk size trades staging-buffer footprint against per-chunk
+      // fan-out overhead; rows are quantized identically regardless of
+      // which chunk they land in, so outputs match the monolithic path.
+      constexpr std::size_t kPackChunk = 64;
+      ws.packed_k.begin_build(n, d, ws.plane_bits);
+      ws.k_scales.resize(n);
+      for (std::size_t r0 = 0; r0 < n; r0 += kPackChunk) {
+        const std::size_t r1 = std::min(r0 + kPackChunk, n);
+        quantize_rows_i8_range_into(ws.kr, r0, r1, ws.k8, 8);
+        for (std::size_t r = r0; r < r1; ++r) {
+          ws.k_scales[r] = ws.k8.row_params[r - r0].scale;
+        }
+        ws.packed_k.pack_rows(ws.k8.codes.row(0).data(), r0, r1);
+      }
+    } else {
+      quantize_rows_i8_into(ws.kr, ws.k8, 8);
+      row_scales_into(ws.k8, ws.k_scales);
+      // OBA with 8-bit tiles present: pack the LDZ-truncated planes from
+      // the full widened codes (which the 8-bit tiles still read).  The
+      // workspace keeps the plane storage; build() refills it in place
+      // when the geometry is unchanged.
+      if (oba_active && n > 0) {
+        ws.packed_k.build(ws.k8.codes.row(0).data(), n, d, ws.plane_bits);
+      }
+    }
+    meter.acquire(quantized_bytes(ws.q8) + quantized_bytes(ws.k8) +
+                  matrix_bytes(ws.v_quant));
+    if (oba_active && n > 0) meter.acquire(ws.packed_k.packed_bytes());
+  }
+  if (!(oba_active && n > 0) && !ws.packed_k.empty()) {
+    // A retained workspace flipping away from OBA must drop its planes so
+    // `empty()` gates the decode scratch like a fresh run.
+    ws.packed_k.clear();
+  }
+  const MatF& v_used = config.quantize_qkv ? ws.v_quant : ws.vr;
 
   const BlockGrid grid(n, n, config.block);
   if (table != nullptr && (oba_active || mixed)) {
@@ -125,23 +172,12 @@ void fused_attention_impl(const MatF& q, const MatF& k, const MatF& v,
   const TileVisitor visitor =
       table != nullptr ? TileVisitor(*table) : TileVisitor(grid, 8);
 
-  // OBA: pack the LDZ-truncated K operands once per head (one plane per
-  // sub-8 bitwidth the table actually uses).  Stripes decode a tile's rows
-  // into scratch and run the ordinary int8 tile kernel — bit-exact vs the
-  // per-product (mantissa * q) << shift formulation.  The workspace keeps
-  // the plane storage; build() refills it in place when the geometry is
-  // unchanged.
-  if (oba_active && n > 0) {
-    ws.plane_bits.clear();
-    for (const int b : kBitChoices) {
-      if (b > 0 && b < 8 && table->tiles_at(b) > 0) ws.plane_bits.push_back(b);
-    }
-    ws.packed_k.build(ws.k8.codes.row(0).data(), n, d, ws.plane_bits);
-    meter.acquire(ws.packed_k.packed_bytes());
-  } else if (!ws.packed_k.empty()) {
-    // A retained workspace flipping away from OBA must drop its planes so
-    // `empty()` gates the decode scratch like a fresh run.
-    ws.packed_k.clear();
+  // The decode-to-int8 scratch is only carved when some plane still takes
+  // the decode path: packed compute covers the {2,4}-bit planes the bit
+  // allocator emits, so with it on the scratch usually vanishes outright.
+  bool needs_decode_scratch = false;
+  for (const int b : ws.plane_bits) {
+    if (!packed_compute || (b != 2 && b != 4)) needs_decode_scratch = true;
   }
 
   ws.out_r.resize(n, dv);
@@ -187,19 +223,44 @@ void fused_attention_impl(const MatF& q, const MatF& k, const MatF& v,
 
       const auto e = t.extent;
       if (config.quantize_qkv) {
-        const std::int8_t* ktp = ws.k8.codes.row(e.c0).data();
-        if (oba_active && t.bits < 8) {
-          // LDZ keeps `bits` significant magnitude bits of every K
-          // operand — applied to every live tile, like the PE array.
-          // Decode this tile's rows from the packed plane; the int8 dot
-          // over decoded values equals the per-product LDZ sum exactly.
-          ws.packed_k.decode_rows(t.bits, e.c0, e.c1, sc.ktile);
-          ktp = sc.ktile;
+        const std::size_t krows = e.c1 - e.c0;
+        const auto bi = static_cast<std::size_t>(
+            bit_choice_index(table != nullptr ? t.bits : 8));
+        if (oba_active && packed_compute && (t.bits == 4 || t.bits == 2)) {
+          // True sub-byte compute: feed the packed plane rows straight to
+          // the packed kernel, which unpacks in-register.  Exactly equal
+          // to decode-then-int8-dot (LDZ identity + int32 associativity),
+          // with no scratch write/read traffic.
+          const kernels::PackedLdzK::PlaneView pv = ws.packed_k.plane(t.bits);
+          auto* kernel = t.bits == 4 ? &kernels::qk_tile_i4p_scaled
+                                     : &kernels::qk_tile_i2q_scaled;
+          kernel(ws.q8.codes.row(e.r0).data(), d, e.r1 - e.r0,
+                 pv.mag + e.c0 * pv.mag_stride, pv.mag_stride,
+                 pv.ss + e.c0 * pv.ss_stride, pv.ss_stride, krows, d,
+                 ws.q_scales.data() + e.r0, ws.k_scales.data() + e.c0,
+                 buf + (e.r0 - r0) * n + e.c0, n);
+          st.qk_calls_bits[bi] += 1;
+          st.qk_bytes_bits[bi] += krows * (pv.mag_stride + pv.ss_stride);
+        } else {
+          const std::int8_t* ktp = ws.k8.codes.row(e.c0).data();
+          std::size_t kbytes = krows * d;
+          if (oba_active && t.bits < 8) {
+            // LDZ keeps `bits` significant magnitude bits of every K
+            // operand — applied to every live tile, like the PE array.
+            // Decode this tile's rows from the packed plane; the int8 dot
+            // over decoded values equals the per-product LDZ sum exactly.
+            ws.packed_k.decode_rows(t.bits, e.c0, e.c1, sc.ktile);
+            ktp = sc.ktile;
+            // Bytes touched = packed stream read + scratch write + read.
+            kbytes = krows * (ws.packed_k.packed_row_bytes(t.bits) + 2 * d);
+          }
+          kernels::qk_tile_i8_scaled(
+              ws.q8.codes.row(e.r0).data(), d, e.r1 - e.r0, ktp, d, krows, d,
+              ws.q_scales.data() + e.r0, ws.k_scales.data() + e.c0,
+              buf + (e.r0 - r0) * n + e.c0, n);
+          st.qk_calls_bits[bi] += 1;
+          st.qk_bytes_bits[bi] += kbytes;
         }
-        kernels::qk_tile_i8_scaled(
-            ws.q8.codes.row(e.r0).data(), d, e.r1 - e.r0, ktp, d, e.c1 - e.c0,
-            d, ws.q_scales.data() + e.r0, ws.k_scales.data() + e.c0,
-            buf + (e.r0 - r0) * n + e.c0, n);
       } else {
         // FP path: 4-lane double dot products, like matmul_nt.
         for (std::size_t i = e.r0; i < e.r1; ++i) {
@@ -346,7 +407,7 @@ void fused_attention_impl(const MatF& q, const MatF& k, const MatF& v,
       PARO_FR("attn.stripe.begin", br, rows_here);
       const std::size_t tile_side = std::min(config.block, n);
       const std::size_t ktile_len =
-          ws.packed_k.empty() ? 0 : tile_side * d;
+          needs_decode_scratch && !ws.packed_k.empty() ? tile_side * d : 0;
 
       StripeScratch sc;
       sc.ktile_len = ktile_len;
@@ -411,10 +472,19 @@ void fused_attention_impl(const MatF& q, const MatF& k, const MatF& v,
     for (int b = 0; b < kNumBitChoices; ++b) {
       exec.tiles_per_bits[static_cast<std::size_t>(b)] +=
           st.per_bits[static_cast<std::size_t>(b)];
+      exec.qk_calls_per_bits[static_cast<std::size_t>(b)] +=
+          st.qk_calls_bits[static_cast<std::size_t>(b)];
+      exec.qk_bytes_per_bits[static_cast<std::size_t>(b)] +=
+          st.qk_bytes_bits[static_cast<std::size_t>(b)];
     }
     max_local = std::max(max_local, st.local_bytes);
   }
   meter.fold_local_peak(max_local);
+  // K residency split: packed planes vs widened int8 codes still held by
+  // the workspace at the end of the pass.  Under packed residency the
+  // widened side is just the chunk staging buffer.
+  exec.kv_packed_bytes = ws.packed_k.packed_bytes();
+  exec.kv_widened_bytes = config.quantize_qkv ? matrix_bytes(ws.k8.codes) : 0;
 
   double avg_map_bits = 16.0;
   switch (config.map_scheme) {
@@ -446,13 +516,20 @@ void fused_attention_impl(const MatF& q, const MatF& k, const MatF& v,
     h.tiles_skipped->add(static_cast<double>(exec.tiles_skipped));
     h.tiles_live->add(static_cast<double>(exec.tiles_live));
     for (int b = 0; b < kNumBitChoices; ++b) {
-      const auto count = exec.tiles_per_bits[static_cast<std::size_t>(b)];
-      if (count == 0) continue;
-      h.tiles_bits[static_cast<std::size_t>(b)]->add(
-          static_cast<double>(count));
+      const auto bi = static_cast<std::size_t>(b);
+      const auto count = exec.tiles_per_bits[bi];
+      if (count != 0) h.tiles_bits[bi]->add(static_cast<double>(count));
+      if (exec.qk_calls_per_bits[bi] != 0) {
+        h.qk_calls_bits[bi]->add(
+            static_cast<double>(exec.qk_calls_per_bits[bi]));
+        h.qk_bytes_bits[bi]->add(
+            static_cast<double>(exec.qk_bytes_per_bits[bi]));
+      }
     }
     h.fused_latency->observe(call_us);
     h.peak_ws_streamed->set_max(static_cast<double>(exec.peak_bytes));
+    h.kv_packed_bytes->set_max(static_cast<double>(exec.kv_packed_bytes));
+    h.kv_widened_bytes->set_max(static_cast<double>(exec.kv_widened_bytes));
     // kernels::publish_kernel_metrics() builds label vectors; the session
     // flushes it once per step in begin_step() instead of per call.
   } else {
@@ -461,14 +538,28 @@ void fused_attention_impl(const MatF& q, const MatF& k, const MatF& v,
         .add(static_cast<double>(exec.tiles_skipped));
     reg.counter("attn.tiles_live").add(static_cast<double>(exec.tiles_live));
     for (int b = 0; b < kNumBitChoices; ++b) {
-      const auto count = exec.tiles_per_bits[static_cast<std::size_t>(b)];
-      if (count == 0) continue;
-      reg.counter("attn.tiles_bits",
-                  {{"bits", std::to_string(kBitChoices[b])}})
-          .add(static_cast<double>(count));
+      const auto bi = static_cast<std::size_t>(b);
+      const auto count = exec.tiles_per_bits[bi];
+      if (count != 0) {
+        reg.counter("attn.tiles_bits",
+                    {{"bits", std::to_string(kBitChoices[b])}})
+            .add(static_cast<double>(count));
+      }
+      if (exec.qk_calls_per_bits[bi] != 0) {
+        reg.counter("attn.qk_kernel_calls",
+                    {{"bits", std::to_string(kBitChoices[b])}})
+            .add(static_cast<double>(exec.qk_calls_per_bits[bi]));
+        reg.counter("attn.qk_bytes",
+                    {{"bits", std::to_string(kBitChoices[b])}})
+            .add(static_cast<double>(exec.qk_bytes_per_bits[bi]));
+      }
     }
     reg.histogram("attn.fused.latency_us", 0.0, 50000.0, 200).observe(call_us);
     obs::publish_peak_working_set("streamed", exec.peak_bytes);
+    reg.gauge("mem.kv_packed_bytes")
+        .set_max(static_cast<double>(exec.kv_packed_bytes));
+    reg.gauge("mem.kv_widened_bytes")
+        .set_max(static_cast<double>(exec.kv_widened_bytes));
     kernels::publish_kernel_metrics();
   }
 

@@ -38,7 +38,8 @@ std::vector<float> row_scales(const QuantizedI8& q) {
 /// bitwidth is 0 are skipped: their logits are set to -inf so softmax
 /// assigns them exactly zero mass, matching the dispatcher bypass.
 MatF logits_from_int8(const QuantizedI8& q8, const QuantizedI8& k8,
-                      const BitTable* table, bool output_bitwidth_aware) {
+                      const BitTable* table, bool output_bitwidth_aware,
+                      bool packed_subbyte_compute) {
   const std::size_t n_q = q8.codes.rows();
   const std::size_t n_k = k8.codes.rows();
   const std::size_t d = q8.codes.cols();
@@ -96,6 +97,19 @@ MatF logits_from_int8(const QuantizedI8& q8, const QuantizedI8& k8,
               lrow[j] = -std::numeric_limits<float>::infinity();
             }
           }
+          return;
+        }
+        if (packed_subbyte_compute && (t.bits == 4 || t.bits == 2)) {
+          // Same packed-direct dispatch as the streamed executor's pass 1:
+          // bitwise identical to decode-then-int8-dot, no scratch traffic.
+          const kernels::PackedLdzK::PlaneView pv = packed_k.plane(t.bits);
+          auto* kernel = t.bits == 4 ? &kernels::qk_tile_i4p_scaled
+                                     : &kernels::qk_tile_i2q_scaled;
+          kernel(q8.codes.row(e.r0).data(), d, e.r1 - e.r0,
+                 pv.mag + e.c0 * pv.mag_stride, pv.mag_stride,
+                 pv.ss + e.c0 * pv.ss_stride, pv.ss_stride, e.c1 - e.c0, d,
+                 q_scales.data() + e.r0, k_scales.data() + e.c0,
+                 logits.row(e.r0).data() + e.c0, n_k);
           return;
         }
         const std::int8_t* ktp = kbase + e.c0 * d;
@@ -311,7 +325,8 @@ QuantAttentionResult materialized_quantized_attention(
     const QuantizedI8 k8 = quantize_rows_i8(kr, 8);
     meter.acquire(2 * (q8.codes.size() * sizeof(std::int8_t) +
                        q8.row_params.size() * sizeof(QuantParams)));
-    logits = logits_from_int8(q8, k8, table, config.output_bitwidth_aware);
+    logits = logits_from_int8(q8, k8, table, config.output_bitwidth_aware,
+                              config.packed_subbyte_compute);
     meter.acquire(nn_bytes);
     meter.release(2 * (q8.codes.size() * sizeof(std::int8_t) +
                        q8.row_params.size() * sizeof(QuantParams)));

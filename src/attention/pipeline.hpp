@@ -58,9 +58,22 @@ struct AttnExecStats {
   std::size_t qk_tiles_computed = 0;  ///< tiles whose QKᵀ logits were built
   /// Tile counts per bitwidth class, indexed like kBitChoices {0,2,4,8}.
   std::array<std::uint64_t, kNumBitChoices> tiles_per_bits{};
+  /// QKᵀ tile-kernel invocations per destination bitwidth class (same
+  /// indexing).  Sub-byte classes run qk_tile_i4p/i2q when packed compute
+  /// is on, the decode+int8 path otherwise; either way the call lands here.
+  std::array<std::uint64_t, kNumBitChoices> qk_calls_per_bits{};
+  /// K-operand bytes those calls touched, per bitwidth class: packed-plane
+  /// bytes for direct packed compute, raw codes for int8 tiles, and packed
+  /// bytes + scratch write/read traffic for the decode path — so the
+  /// bandwidth win of packed compute is visible, not inferred.
+  std::array<std::uint64_t, kNumBitChoices> qk_bytes_per_bits{};
   /// High-water mark of executor-held bytes (one logical stream: shared
   /// buffers + the largest single stripe's scratch).
   std::size_t peak_bytes = 0;
+  /// K residency split at the end of the pass: bytes held as packed LDZ
+  /// planes vs as widened int8 codes.  High-water semantics under merge.
+  std::size_t kv_packed_bytes = 0;
+  std::size_t kv_widened_bytes = 0;
 
   /// Accumulate another run (across heads, layers, or diffusion steps):
   /// counters add, the peak stays a high-water mark.
@@ -73,8 +86,18 @@ struct AttnExecStats {
     for (int b = 0; b < kNumBitChoices; ++b) {
       tiles_per_bits[static_cast<std::size_t>(b)] +=
           o.tiles_per_bits[static_cast<std::size_t>(b)];
+      qk_calls_per_bits[static_cast<std::size_t>(b)] +=
+          o.qk_calls_per_bits[static_cast<std::size_t>(b)];
+      qk_bytes_per_bits[static_cast<std::size_t>(b)] +=
+          o.qk_bytes_per_bits[static_cast<std::size_t>(b)];
     }
     peak_bytes = peak_bytes > o.peak_bytes ? peak_bytes : o.peak_bytes;
+    kv_packed_bytes =
+        kv_packed_bytes > o.kv_packed_bytes ? kv_packed_bytes
+                                            : o.kv_packed_bytes;
+    kv_widened_bytes =
+        kv_widened_bytes > o.kv_widened_bytes ? kv_widened_bytes
+                                              : o.kv_widened_bytes;
   }
 };
 
@@ -87,6 +110,11 @@ struct QuantAttentionConfig {
   double budget_bits = 4.8;   ///< average-bitwidth budget for kBlockwiseMixed
   double alpha = 0.5;         ///< sensitivity blend (paper §III-B)
   bool output_bitwidth_aware = false;  ///< LDZ-truncated QKᵀ
+  /// Compute 4-bit/2-bit OBA tiles directly on packed LDZ planes
+  /// (qk_tile_i4p/i2q) instead of decoding each tile to an int8 scratch
+  /// first.  Outputs are bitwise identical either way (the LDZ identity is
+  /// exact); off keeps the decode-to-scratch path for A/B comparison.
+  bool packed_subbyte_compute = true;
   /// Store quantization scales in FP16 (paper §IV-A: scales are FP16 and
   /// the vector unit accumulates in FP).  Honoured by the integer-exact
   /// path; the float pipeline keeps float scales (difference is below

@@ -29,13 +29,21 @@ SessionContext::SessionContext(std::size_t arena_hint_bytes)
   metrics_.tiles_skipped = &reg.counter("attn.tiles_skipped");
   metrics_.tiles_live = &reg.counter("attn.tiles_live");
   for (int b = 0; b < kNumBitChoices; ++b) {
-    metrics_.tiles_bits[static_cast<std::size_t>(b)] = &reg.counter(
-        "attn.tiles_bits", {{"bits", std::to_string(kBitChoices[b])}});
+    const auto bi = static_cast<std::size_t>(b);
+    const std::string bits_label = std::to_string(kBitChoices[b]);
+    metrics_.tiles_bits[bi] =
+        &reg.counter("attn.tiles_bits", {{"bits", bits_label}});
+    metrics_.qk_calls_bits[bi] =
+        &reg.counter("attn.qk_kernel_calls", {{"bits", bits_label}});
+    metrics_.qk_bytes_bits[bi] =
+        &reg.counter("attn.qk_bytes", {{"bits", bits_label}});
   }
   metrics_.fused_latency =
       &reg.histogram("attn.fused.latency_us", 0.0, 50000.0, 200);
   metrics_.peak_ws_streamed = &reg.gauge("attn.peak_working_set_bytes",
                                          {{"executor", "streamed"}});
+  metrics_.kv_packed_bytes = &reg.gauge("mem.kv_packed_bytes");
+  metrics_.kv_widened_bytes = &reg.gauge("mem.kv_widened_bytes");
 }
 
 HeadWorkspace& SessionContext::workspace(std::size_t layer, std::size_t head) {
@@ -95,6 +103,7 @@ std::uint32_t config_fingerprint(const QuantAttentionConfig& config) {
   const double budget = config.budget_bits;
   const double alpha = config.alpha;
   const std::uint8_t oba = config.output_bitwidth_aware ? 1 : 0;
+  const std::uint8_t packed = config.packed_subbyte_compute ? 1 : 0;
   const std::uint8_t fp16 = config.fp16_scales ? 1 : 0;
   const float scale = config.scale;
   const std::uint32_t executor = static_cast<std::uint32_t>(config.executor);
@@ -107,6 +116,7 @@ std::uint32_t config_fingerprint(const QuantAttentionConfig& config) {
   put(&budget, 8);
   put(&alpha, 8);
   put(&oba, 1);
+  put(&packed, 1);
   put(&fp16, 1);
   put(&scale, 4);
   put(&executor, 4);

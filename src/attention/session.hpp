@@ -63,6 +63,11 @@ struct StripeStats {
   std::size_t tiles_skipped = 0;
   std::size_t qk_tiles = 0;
   std::array<std::uint64_t, kNumBitChoices> per_bits{};
+  /// QKᵀ kernel invocations / K-operand bytes touched, per bitwidth class
+  /// (packed streams for direct sub-byte compute, raw codes for int8,
+  /// packed + scratch traffic on the decode path).
+  std::array<std::uint64_t, kNumBitChoices> qk_calls_bits{};
+  std::array<std::uint64_t, kNumBitChoices> qk_bytes_bits{};
   std::size_t local_bytes = 0;  ///< stripe scratch footprint
 };
 
@@ -104,8 +109,13 @@ struct SessionMetricHandles {
   obs::Counter* tiles_skipped = nullptr;   ///< attn.tiles_skipped
   obs::Counter* tiles_live = nullptr;      ///< attn.tiles_live
   std::array<obs::Counter*, kNumBitChoices> tiles_bits{};  ///< attn.tiles_bits
+  /// attn.qk_kernel_calls / attn.qk_bytes, one series per bitwidth class.
+  std::array<obs::Counter*, kNumBitChoices> qk_calls_bits{};
+  std::array<obs::Counter*, kNumBitChoices> qk_bytes_bits{};
   obs::HistogramMetric* fused_latency = nullptr;  ///< attn.fused.latency_us
   obs::Gauge* peak_ws_streamed = nullptr;  ///< attn.peak_working_set_bytes
+  obs::Gauge* kv_packed_bytes = nullptr;   ///< mem.kv_packed_bytes
+  obs::Gauge* kv_widened_bytes = nullptr;  ///< mem.kv_widened_bytes
 };
 
 /// Owns the arenas, workspaces, and metric handles of one generation

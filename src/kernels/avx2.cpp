@@ -513,6 +513,63 @@ void ldz_unpack_avx2(const std::uint8_t* mag, const std::uint8_t* signshift,
   }
 }
 
+// Packed sub-byte QK^T: decode a 4-row K panel ONCE into an L1-resident
+// stack buffer with ldz_unpack_avx2 (in-register nibble/crumb expansion),
+// then reuse it across every Q row via dot_i8_x4.  Decoding per panel
+// instead of per (q,k) row pair keeps the unpack cost O(k_rows * d) while
+// the dot cost is O(q_rows * k_rows * d) — the unpack amortizes to noise —
+// and never touches a heap scratch, unlike the old decode_rows path.
+// Bit-exact: ldz_unpack_avx2 reproduces the scalar decode per element and
+// dot_i8_x4 is an int32 sum (associative), so results match the scalar
+// packed reference and the truncate+int8 oracle bitwise.
+template <int kBits>
+void qk_tile_packed_scaled_avx2(const std::int8_t* q, std::size_t q_stride,
+                                std::size_t q_rows, const std::uint8_t* k_mag,
+                                std::size_t k_mag_stride,
+                                const std::uint8_t* k_ss,
+                                std::size_t k_ss_stride, std::size_t k_rows,
+                                std::size_t d, const float* q_scales,
+                                const float* k_scales, float* out,
+                                std::size_t out_stride) {
+  constexpr std::size_t kMaxD = 1024;  // 4 KiB panel, comfortably L1
+  if (d > kMaxD) {
+    const auto* sb = scalar_backend();
+    (kBits == 4 ? sb->qk_tile_i4p_scaled : sb->qk_tile_i2q_scaled)(
+        q, q_stride, q_rows, k_mag, k_mag_stride, k_ss, k_ss_stride, k_rows,
+        d, q_scales, k_scales, out, out_stride);
+    return;
+  }
+  alignas(32) std::int8_t panel[4 * kMaxD];
+  std::size_t j = 0;
+  for (; j + 4 <= k_rows; j += 4) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      ldz_unpack_avx2(k_mag + (j + r) * k_mag_stride,
+                      k_ss + (j + r) * k_ss_stride, d, kBits,
+                      panel + r * kMaxD);
+    }
+    const __m128 ksv = _mm_loadu_ps(k_scales + j);
+    for (std::size_t i = 0; i < q_rows; ++i) {
+      const __m128i acc =
+          dot_i8_x4(q + i * q_stride, panel, panel + kMaxD, panel + 2 * kMaxD,
+                    panel + 3 * kMaxD, d);
+      // Same epilogue as qk_tile_i8_scaled_avx2: (float(acc) * sq) * sk.
+      _mm_storeu_ps(out + i * out_stride + j,
+                    _mm_mul_ps(_mm_mul_ps(_mm_cvtepi32_ps(acc),
+                                          _mm_set1_ps(q_scales[i])),
+                               ksv));
+    }
+  }
+  for (; j < k_rows; ++j) {  // ragged panel tail: one decoded row at a time
+    ldz_unpack_avx2(k_mag + j * k_mag_stride, k_ss + j * k_ss_stride, d, kBits,
+                    panel);
+    for (std::size_t i = 0; i < q_rows; ++i) {
+      const std::int32_t acc = dot_i8_x1(q + i * q_stride, panel, d);
+      out[i * out_stride + j] =
+          (static_cast<float>(acc) * q_scales[i]) * k_scales[j];
+    }
+  }
+}
+
 }  // namespace
 
 const Backend* avx2_backend() {
@@ -521,6 +578,8 @@ const Backend* avx2_backend() {
     b.isa = Isa::kAvx2;
     b.name = "avx2";
     b.qk_tile_i8_scaled = &qk_tile_i8_scaled_avx2;
+    b.qk_tile_i4p_scaled = &qk_tile_packed_scaled_avx2<4>;
+    b.qk_tile_i2q_scaled = &qk_tile_packed_scaled_avx2<2>;
     b.matmul_nt_i8_block = &matmul_nt_i8_block_avx2;
     b.nt_dot_f32_row = &nt_dot_f32_row_avx2;
     b.attnv_accum = &attnv_accum_avx2;

@@ -20,6 +20,16 @@ struct Backend {
                             const std::int8_t*, std::size_t, std::size_t,
                             std::size_t, const float*, const float*, float*,
                             std::size_t) = nullptr;
+  void (*qk_tile_i4p_scaled)(const std::int8_t*, std::size_t, std::size_t,
+                             const std::uint8_t*, std::size_t,
+                             const std::uint8_t*, std::size_t, std::size_t,
+                             std::size_t, const float*, const float*, float*,
+                             std::size_t) = nullptr;
+  void (*qk_tile_i2q_scaled)(const std::int8_t*, std::size_t, std::size_t,
+                             const std::uint8_t*, std::size_t,
+                             const std::uint8_t*, std::size_t, std::size_t,
+                             std::size_t, const float*, const float*, float*,
+                             std::size_t) = nullptr;
   void (*matmul_nt_i8_block)(const std::int8_t*, std::size_t, std::size_t,
                              const std::int8_t*, std::size_t, std::size_t,
                              std::size_t, std::int32_t*, std::size_t) = nullptr;

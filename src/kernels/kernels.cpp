@@ -15,6 +15,8 @@ namespace {
 
 enum KernelId : std::size_t {
   kQkTileI8 = 0,
+  kQkTileI4P,
+  kQkTileI2Q,
   kMatmulNtI8,
   kNtDotF32,
   kAttnVAccum,
@@ -35,12 +37,13 @@ enum KernelId : std::size_t {
 };
 
 constexpr std::array<const char*, kNumKernels> kKernelNames = {
-    "qk_tile_i8_scaled", "matmul_nt_i8_block", "nt_dot_f32_row",
-    "attnv_accum",       "row_max_scaled",     "row_max_scaled_skipinf",
-    "scale_inplace",     "exp_sum_segment",    "minmax_f32",
-    "absmax_f32",        "fake_quant_f32",     "quantize_i8",
-    "dequant_i8",        "dequant_i32_scaled", "ldz_truncate_i8",
-    "ldz_pack",          "ldz_unpack",
+    "qk_tile_i8_scaled",  "qk_tile_i4p_scaled", "qk_tile_i2q_scaled",
+    "matmul_nt_i8_block", "nt_dot_f32_row",     "attnv_accum",
+    "row_max_scaled",     "row_max_scaled_skipinf", "scale_inplace",
+    "exp_sum_segment",    "minmax_f32",         "absmax_f32",
+    "fake_quant_f32",     "quantize_i8",        "dequant_i8",
+    "dequant_i32_scaled", "ldz_truncate_i8",    "ldz_pack",
+    "ldz_unpack",
 };
 
 // Relaxed: counts are telemetry, not synchronization.  One cache line per
@@ -65,6 +68,32 @@ void qk_tile_i8_scaled(const std::int8_t* q, std::size_t q_stride,
   detail::active_backend().qk_tile_i8_scaled(q, q_stride, q_rows, k, k_stride,
                                              k_rows, d, q_scales, k_scales,
                                              out, out_stride);
+}
+
+void qk_tile_i4p_scaled(const std::int8_t* q, std::size_t q_stride,
+                        std::size_t q_rows, const std::uint8_t* k_mag,
+                        std::size_t k_mag_stride, const std::uint8_t* k_ss,
+                        std::size_t k_ss_stride, std::size_t k_rows,
+                        std::size_t d, const float* q_scales,
+                        const float* k_scales, float* out,
+                        std::size_t out_stride) {
+  count(kQkTileI4P);
+  detail::active_backend().qk_tile_i4p_scaled(
+      q, q_stride, q_rows, k_mag, k_mag_stride, k_ss, k_ss_stride, k_rows, d,
+      q_scales, k_scales, out, out_stride);
+}
+
+void qk_tile_i2q_scaled(const std::int8_t* q, std::size_t q_stride,
+                        std::size_t q_rows, const std::uint8_t* k_mag,
+                        std::size_t k_mag_stride, const std::uint8_t* k_ss,
+                        std::size_t k_ss_stride, std::size_t k_rows,
+                        std::size_t d, const float* q_scales,
+                        const float* k_scales, float* out,
+                        std::size_t out_stride) {
+  count(kQkTileI2Q);
+  detail::active_backend().qk_tile_i2q_scaled(
+      q, q_stride, q_rows, k_mag, k_mag_stride, k_ss, k_ss_stride, k_rows, d,
+      q_scales, k_scales, out, out_stride);
 }
 
 void matmul_nt_i8_block(const std::int8_t* a, std::size_t a_stride,

@@ -44,6 +44,32 @@ void qk_tile_i8_scaled(const std::int8_t* q, std::size_t q_stride,
                        const float* q_scales, const float* k_scales, float* out,
                        std::size_t out_stride);
 
+// Packed sub-byte QK^T tiles: the K operand comes straight from a PackedLdzK
+// plane (mag/signshift streams, see ldz_pack) instead of widened int8 codes.
+// Semantics are EXACTLY "ldz_unpack row j, then qk_tile_i8_scaled": the LDZ
+// identity (mantissa << shift) * q == (mantissa * q) << shift plus int32
+// associativity make the packed dot provably bit-identical to the
+// truncate-then-int8-dot oracle on every backend.
+//
+// qk_tile_i4p_scaled reads 4-bit mantissa pairs (2 codes/byte);
+// qk_tile_i2q_scaled reads 2-bit mantissa quads (4 codes/byte).  Both read
+// one sign/shift nibble per code (2 codes/byte).  Row r of K starts at
+// k_mag + r * k_mag_stride / k_ss + r * k_ss_stride.
+void qk_tile_i4p_scaled(const std::int8_t* q, std::size_t q_stride,
+                        std::size_t q_rows, const std::uint8_t* k_mag,
+                        std::size_t k_mag_stride, const std::uint8_t* k_ss,
+                        std::size_t k_ss_stride, std::size_t k_rows,
+                        std::size_t d, const float* q_scales,
+                        const float* k_scales, float* out,
+                        std::size_t out_stride);
+void qk_tile_i2q_scaled(const std::int8_t* q, std::size_t q_stride,
+                        std::size_t q_rows, const std::uint8_t* k_mag,
+                        std::size_t k_mag_stride, const std::uint8_t* k_ss,
+                        std::size_t k_ss_stride, std::size_t k_rows,
+                        std::size_t d, const float* q_scales,
+                        const float* k_scales, float* out,
+                        std::size_t out_stride);
+
 // c[m x n] = a[m x k] * b[n x k]^T in int32 (cache-blocked, alignment-safe
 // tails for any k % simd_width).
 void matmul_nt_i8_block(const std::int8_t* a, std::size_t a_stride,

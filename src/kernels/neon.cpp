@@ -67,6 +67,39 @@ void matmul_nt_i8_block_neon(const std::int8_t* a, std::size_t a_stride,
   }
 }
 
+// Packed sub-byte QK^T: decode one K row with the scalar unpack (NEON keeps
+// ldz_unpack scalar) into a stack buffer, then vectorize the q_rows dot
+// products over it.  The decode is O(k_rows * d), the dots O(q_rows *
+// k_rows * d), so the scalar unpack amortizes; int32 sums keep it bit-exact.
+template <int kBits>
+void qk_tile_packed_scaled_neon(const std::int8_t* q, std::size_t q_stride,
+                                std::size_t q_rows, const std::uint8_t* k_mag,
+                                std::size_t k_mag_stride,
+                                const std::uint8_t* k_ss,
+                                std::size_t k_ss_stride, std::size_t k_rows,
+                                std::size_t d, const float* q_scales,
+                                const float* k_scales, float* out,
+                                std::size_t out_stride) {
+  constexpr std::size_t kMaxD = 1024;
+  const auto* sb = scalar_backend();
+  if (d > kMaxD) {
+    (kBits == 4 ? sb->qk_tile_i4p_scaled : sb->qk_tile_i2q_scaled)(
+        q, q_stride, q_rows, k_mag, k_mag_stride, k_ss, k_ss_stride, k_rows,
+        d, q_scales, k_scales, out, out_stride);
+    return;
+  }
+  std::int8_t row[kMaxD];
+  for (std::size_t j = 0; j < k_rows; ++j) {
+    sb->ldz_unpack(k_mag + j * k_mag_stride, k_ss + j * k_ss_stride, d, kBits,
+                   row);
+    for (std::size_t i = 0; i < q_rows; ++i) {
+      const std::int32_t acc = dot_i8_neon(q + i * q_stride, row, d);
+      out[i * out_stride + j] =
+          (static_cast<float>(acc) * q_scales[i]) * k_scales[j];
+    }
+  }
+}
+
 void nt_dot_f32_row_neon(const float* a, const float* b, std::size_t b_stride,
                          std::size_t n_rows, std::size_t d, float* out) {
   for (std::size_t j = 0; j < n_rows; ++j) {
@@ -142,6 +175,8 @@ const Backend* neon_backend() {
     b.isa = Isa::kNeon;
     b.name = "neon";
     b.qk_tile_i8_scaled = &qk_tile_i8_scaled_neon;
+    b.qk_tile_i4p_scaled = &qk_tile_packed_scaled_neon<4>;
+    b.qk_tile_i2q_scaled = &qk_tile_packed_scaled_neon<2>;
     b.matmul_nt_i8_block = &matmul_nt_i8_block_neon;
     b.nt_dot_f32_row = &nt_dot_f32_row_neon;
     b.attnv_accum = &attnv_accum_neon;

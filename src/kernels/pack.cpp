@@ -5,8 +5,8 @@
 
 namespace paro::kernels {
 
-void PackedLdzK::build(const std::int8_t* codes, std::size_t rows,
-                       std::size_t d, const std::vector<int>& bitwidths) {
+void PackedLdzK::begin_build(std::size_t rows, std::size_t d,
+                             const std::vector<int>& bitwidths) {
   // Distinct sub-8 bitwidths, ascending.  Bits live in [1,7], so a fixed
   // flag array keeps the selection itself off the heap.
   bool want[8] = {};
@@ -43,13 +43,32 @@ void PackedLdzK::build(const std::int8_t* codes, std::size_t rows,
     }
   }
   for (Plane& p : planes_) {
+    // Reused planes must still describe the agreed geometry: a stale stride
+    // would silently misalign every packed row the kernels read.
+    PARO_CHECK_MSG(p.mag_stride == ldz_mag_bytes(d, p.bits) &&
+                       p.ss_stride == ldz_signshift_bytes(d),
+                   "PackedLdzK plane geometry mismatch on build() reuse");
     p.mag.assign(rows * p.mag_stride, 0);  // ldz_pack ORs into zeroed bytes
     p.ss.assign(rows * p.ss_stride, 0);
-    for (std::size_t r = 0; r < rows; ++r) {
-      ldz_pack(codes + r * d, d, p.bits, p.mag.data() + r * p.mag_stride,
-               p.ss.data() + r * p.ss_stride);
+  }
+}
+
+void PackedLdzK::pack_rows(const std::int8_t* codes, std::size_t r0,
+                           std::size_t r1) {
+  PARO_CHECK_MSG(r0 <= r1 && r1 <= rows_,
+                 "PackedLdzK pack_rows range out of bounds");
+  for (Plane& p : planes_) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      ldz_pack(codes + (r - r0) * d_, d_, p.bits,
+               p.mag.data() + r * p.mag_stride, p.ss.data() + r * p.ss_stride);
     }
   }
+}
+
+void PackedLdzK::build(const std::int8_t* codes, std::size_t rows,
+                       std::size_t d, const std::vector<int>& bitwidths) {
+  begin_build(rows, d, bitwidths);
+  pack_rows(codes, 0, rows);
 }
 
 const PackedLdzK::Plane* PackedLdzK::find(int bits) const {
@@ -60,6 +79,18 @@ const PackedLdzK::Plane* PackedLdzK::find(int bits) const {
 }
 
 bool PackedLdzK::has_plane(int bits) const { return find(bits) != nullptr; }
+
+PackedLdzK::PlaneView PackedLdzK::plane(int bits) const {
+  const Plane* p = find(bits);
+  PARO_CHECK_MSG(p != nullptr, "PackedLdzK has no plane for requested bits");
+  return PlaneView{p->mag.data(), p->mag_stride, p->ss.data(), p->ss_stride};
+}
+
+std::size_t PackedLdzK::packed_row_bytes(int bits) const {
+  const Plane* p = find(bits);
+  PARO_CHECK_MSG(p != nullptr, "PackedLdzK has no plane for requested bits");
+  return p->mag_stride + p->ss_stride;
+}
 
 void PackedLdzK::decode_rows(int bits, std::size_t r0, std::size_t r1,
                              std::int8_t* dst) const {

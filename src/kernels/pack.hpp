@@ -14,9 +14,10 @@
 //                         (2b-quads: 4 codes/byte, 4b-pairs: 2 codes/byte)
 //                  ss   — one nibble per code: shift | (negative << 3)
 //
-// Stripes then decode the rows of one tile into an int8 scratch (value
-// domain, mantissa << shift) and run the ordinary int8 dot kernel — bit
-// exact vs the per-product LDZ formulation, at int8-dot speed.  K rows are
+// Stripes feed a tile's plane rows straight to the packed QK^T kernels
+// (qk_tile_i4p_scaled / qk_tile_i2q_scaled), which unpack in-register — bit
+// exact vs the per-product LDZ formulation with no decode scratch.  Other
+// bitwidths fall back to decode_rows + the int8 dot kernel.  K rows are
 // row-major within a plane and tiles are contiguous row ranges, so a tile's
 // operands are one contiguous packed span reused across every Q stripe.
 namespace paro::kernels {
@@ -25,6 +26,16 @@ class PackedLdzK {
  public:
   PackedLdzK() = default;
 
+  /// Row-major view of one plane's operand streams; row r of K starts at
+  /// mag + r * mag_stride and ss + r * ss_stride.  Exactly the operand
+  /// shape the packed QK^T kernels take.
+  struct PlaneView {
+    const std::uint8_t* mag = nullptr;
+    std::size_t mag_stride = 0;
+    const std::uint8_t* ss = nullptr;
+    std::size_t ss_stride = 0;
+  };
+
   /// Packs `rows` x `d` row-major int8 codes (stride == d) into one plane
   /// per distinct bitwidth in `bitwidths` (each in [1,7]; 0 and 8 entries
   /// are ignored — 0-bit tiles are skipped upstream, 8-bit tiles read the
@@ -32,8 +43,26 @@ class PackedLdzK {
   void build(const std::int8_t* codes, std::size_t rows, std::size_t d,
              const std::vector<int>& bitwidths);
 
+  /// Incremental build: begin_build() fixes the geometry and zeroes plane
+  /// storage (allocation-free when geometry is unchanged, like build()),
+  /// then pack_rows() fills row ranges.  `codes` points at row r0 (stride
+  /// d).  build(c, n, d, bw) == begin_build(n, d, bw); pack_rows(c, 0, n).
+  /// This is what lets the session quantize-and-pack K in chunks without a
+  /// full widened int8 K matrix ever existing.
+  void begin_build(std::size_t rows, std::size_t d,
+                   const std::vector<int>& bitwidths);
+  void pack_rows(const std::int8_t* codes, std::size_t r0, std::size_t r1);
+
   bool empty() const { return planes_.empty(); }
   bool has_plane(int bits) const;
+
+  /// The `bits` plane's operand streams (PARO_CHECK fails if absent).
+  PlaneView plane(int bits) const;
+
+  /// Packed bytes per K row in the `bits` plane (mag + signshift strides;
+  /// PARO_CHECK fails if absent).  Callers size stripe scratch and account
+  /// bandwidth from this instead of magic constants.
+  std::size_t packed_row_bytes(int bits) const;
 
   /// Drop every plane (frees plane storage).  Workspaces that flip away
   /// from the OBA path call this so `empty()` keeps gating the decode

@@ -36,6 +36,42 @@ void qk_tile_i8_scaled_scalar(const std::int8_t* q, std::size_t q_stride,
   }
 }
 
+// Packed sub-byte QK^T reference: decode each K code inline (same element
+// recipe as ldz_unpack_scalar) and accumulate in int32.  Decoded values are
+// plain int8 magnitudes<<shift in [-128,127], so this is literally
+// "ldz_unpack then dot_i8" with the scratch buffer removed.
+template <int kBits>
+void qk_tile_packed_scaled_scalar(const std::int8_t* q, std::size_t q_stride,
+                                  std::size_t q_rows, const std::uint8_t* k_mag,
+                                  std::size_t k_mag_stride,
+                                  const std::uint8_t* k_ss,
+                                  std::size_t k_ss_stride, std::size_t k_rows,
+                                  std::size_t d, const float* q_scales,
+                                  const float* k_scales, float* out,
+                                  std::size_t out_stride) {
+  constexpr unsigned kMask = (1U << static_cast<unsigned>(kBits)) - 1U;
+  constexpr std::size_t kPer = 8 / static_cast<std::size_t>(kBits);
+  for (std::size_t i = 0; i < q_rows; ++i) {
+    const std::int8_t* qi = q + i * q_stride;
+    float* orow = out + i * out_stride;
+    for (std::size_t j = 0; j < k_rows; ++j) {
+      const std::uint8_t* mag = k_mag + j * k_mag_stride;
+      const std::uint8_t* ss = k_ss + j * k_ss_stride;
+      std::int32_t acc = 0;
+      for (std::size_t c = 0; c < d; ++c) {
+        const unsigned m =
+            (mag[c / kPer] >> ((c % kPer) * static_cast<std::size_t>(kBits))) &
+            kMask;
+        const unsigned s4 = (ss[c / 2] >> ((c % 2) * 4)) & 0x0FU;
+        const int mv = static_cast<int>(m << (s4 & 7U));
+        const int kv = (s4 & 8U) != 0U ? -mv : mv;
+        acc += static_cast<std::int32_t>(qi[c]) * kv;
+      }
+      orow[j] = (static_cast<float>(acc) * q_scales[i]) * k_scales[j];
+    }
+  }
+}
+
 void matmul_nt_i8_block_scalar(const std::int8_t* a, std::size_t a_stride,
                                std::size_t m, const std::int8_t* b,
                                std::size_t b_stride, std::size_t n,
@@ -213,6 +249,8 @@ const Backend* scalar_backend() {
     b.isa = Isa::kScalar;
     b.name = "scalar";
     b.qk_tile_i8_scaled = &qk_tile_i8_scaled_scalar;
+    b.qk_tile_i4p_scaled = &qk_tile_packed_scaled_scalar<4>;
+    b.qk_tile_i2q_scaled = &qk_tile_packed_scaled_scalar<2>;
     b.matmul_nt_i8_block = &matmul_nt_i8_block_scalar;
     b.nt_dot_f32_row = &nt_dot_f32_row_scalar;
     b.attnv_accum = &attnv_accum_scalar;

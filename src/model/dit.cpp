@@ -399,7 +399,12 @@ MatF SyntheticDiT::forward_impl(const MatF& x, double t_frac,
           rec.tiles = s.tiles_per_bits[bi];
           rec.tiles_skipped = b == 0 ? s.tiles_skipped : 0;
           rec.qk_tiles = qk_split[bi];
-          if (rec.tiles == 0 && rec.tiles_skipped == 0 && rec.qk_tiles == 0) {
+          // Exact per-class QKᵀ kernel-call and bytes-touched tallies from
+          // the executor — measured per tile, not apportioned.
+          rec.qk_kernel_calls = s.qk_calls_per_bits[bi];
+          rec.qk_bytes = static_cast<double>(s.qk_bytes_per_bits[bi]);
+          if (rec.tiles == 0 && rec.tiles_skipped == 0 && rec.qk_tiles == 0 &&
+              rec.qk_kernel_calls == 0) {
             continue;
           }
           exec.cost_ledger->add({l, head, kBitChoices[b]}, rec);

@@ -58,6 +58,8 @@ struct CostRecord {
   std::uint64_t tiles_skipped = 0;  ///< dispatcher-bypassed (0-bit class)
   std::uint64_t qk_tiles = 0;       ///< QKᵀ tiles computed
   std::uint64_t kernel_calls = 0;   ///< SIMD micro-kernel invocations
+  std::uint64_t qk_kernel_calls = 0;///< QKᵀ tile-kernel calls (exact count)
+  double qk_bytes = 0.0;            ///< K-operand bytes those calls touched
   std::uint64_t cycles = 0;         ///< simulated total cycles
   std::uint64_t pe_cycles = 0;      ///< simulated PE-busy cycles
   double dram_bytes = 0.0;          ///< simulated DRAM traffic
@@ -68,6 +70,8 @@ struct CostRecord {
     tiles_skipped += o.tiles_skipped;
     qk_tiles += o.qk_tiles;
     kernel_calls += o.kernel_calls;
+    qk_kernel_calls += o.qk_kernel_calls;
+    qk_bytes += o.qk_bytes;
     cycles += o.cycles;
     pe_cycles += o.pe_cycles;
     dram_bytes += o.dram_bytes;

@@ -47,13 +47,22 @@ QuantizedI8 quantize_rows_i8(const MatF& m, int bits) {
 }
 
 void quantize_rows_i8_into(const MatF& m, QuantizedI8& out, int bits) {
+  quantize_rows_i8_range_into(m, 0, m.rows(), out, bits);
+}
+
+void quantize_rows_i8_range_into(const MatF& m, std::size_t r0, std::size_t r1,
+                                 QuantizedI8& out, int bits) {
   PARO_CHECK_MSG(bits >= 2 && bits <= 8, "int8-path bits must be in [2,8]");
-  out.codes.resize(m.rows(), m.cols());
-  out.row_params.resize(m.rows());
+  PARO_CHECK_MSG(r0 <= r1 && r1 <= m.rows(),
+                 "quantize_rows_i8 row range out of bounds");
+  out.codes.resize(r1 - r0, m.cols());
+  out.row_params.resize(r1 - r0);
   // Rows are independent (own codes row, own params slot) and both the
   // absmax calibration and the rounding kernel are element-exact, so the
-  // parallel fan-out is bitwise identical to the old serial loop.
-  global_pool().parallel_for(0, m.rows(), 16, [&](std::size_t r) {
+  // parallel fan-out is bitwise identical to the old serial loop — and a
+  // row's result does not depend on which range it was quantized in.
+  global_pool().parallel_for(0, r1 - r0, 16, [&](std::size_t i) {
+    const std::size_t r = r0 + i;
     const QuantParams p = calibrate_symmetric(m.row(r), bits);
     const auto src = m.row(r);
     kernels::QuantTransform t;
@@ -62,8 +71,8 @@ void quantize_rows_i8_into(const MatF& m, QuantizedI8& out, int bits) {
     const std::int64_t qmax = (std::int64_t{1} << (bits - 1)) - 1;
     t.qlo = -qmax;
     t.qhi = qmax;
-    kernels::quantize_i8(src.data(), out.codes.row(r).data(), src.size(), t);
-    out.row_params[r] = p;
+    kernels::quantize_i8(src.data(), out.codes.row(i).data(), src.size(), t);
+    out.row_params[i] = p;
   });
 }
 

@@ -36,6 +36,14 @@ QuantizedI8 quantize_rows_i8(const MatF& m, int bits = 8);
 /// and refilled.  Bitwise identical to quantize_rows_i8.
 void quantize_rows_i8_into(const MatF& m, QuantizedI8& out, int bits = 8);
 
+/// Row-range variant: quantizes rows [r0, r1) of `m` into out.codes rows
+/// [0, r1-r0).  Calibration is per-row, so each row's codes and params are
+/// bitwise identical to the whole-matrix call — this is what lets the
+/// packed-resident K path stage through a chunk-sized buffer instead of a
+/// full widened copy.
+void quantize_rows_i8_range_into(const MatF& m, std::size_t r0, std::size_t r1,
+                                 QuantizedI8& out, int bits = 8);
+
 /// Allocation-free per-column symmetric fake-quant (the executor's V-path):
 /// equivalent to fake_quant_matrix(m, kPerColumn, bits, /*symmetric=*/true)
 /// bit for bit, but the transpose scratch and the output live in

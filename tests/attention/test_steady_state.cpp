@@ -108,6 +108,76 @@ TEST(SteadyState, FusedSessionStepsTwoPlusAreMallocFree) {
             static_cast<std::uint64_t>(kSteps - 1) * kHeads);
 }
 
+TEST(SteadyState, PackedResidentSessionStepsTwoPlusAreMallocFree) {
+  // A table with NO 8-bit tiles puts the session on the packed-K residency
+  // path: K is quantized and packed in chunks through a small staging
+  // buffer, so the only retained K operand is the sub-byte planes.  That
+  // path must be exactly as allocation-free from step 2 as the widened one,
+  // and the executor accounting must show it: packed bytes retained, the
+  // widened footprint capped at the staging chunk, and the QK^T calls
+  // landing on the 4- and 2-bit packed kernels.
+  ASSERT_TRUE(alloc_hook::interposition_active());
+
+  const TokenGrid grid(6, 6, 6);
+  const std::size_t n = grid.num_tokens(), d = 16;
+  SyntheticHeadSpec spec;
+  spec.locality_width = 0.01;
+  Rng rng(61);
+  HeadQKV head = generate_head(grid, spec, d, rng);
+
+  HeadCalibration calib;
+  calib.plan = ReorderPlan::identity(n);
+  BitTable table(BlockGrid(n, n, 8), 4);
+  constexpr int kPattern[4] = {4, 4, 2, 0};  // sub-byte + skip, never 8
+  for (std::size_t i = 0; i < table.grid().num_blocks(); ++i) {
+    table.set_bits_flat(i, kPattern[i % 4]);
+  }
+  calib.bit_table = std::move(table);
+  calib.planned_avg_bits = 2.5;
+
+  QuantAttentionConfig cfg;
+  cfg.map_scheme = AttnMapScheme::kBlockwise;
+  cfg.map_bits = 8;
+  cfg.block = 8;
+  cfg.use_reorder = false;
+  cfg.output_bitwidth_aware = true;
+  cfg.executor = AttnExecutor::kStreamed;
+
+  SessionContext session;
+  constexpr int kSteps = 4;
+  std::array<std::uint64_t, kSteps> allocs{};
+  AttnExecStats stats;
+  for (int step = 0; step < kSteps; ++step) {
+    refresh_values(head, 300 + static_cast<std::uint64_t>(step));
+    session.begin_step();
+    const std::uint64_t before = alloc_hook::allocation_count();
+    fused_quantized_attention_session(head.q, head.k, head.v, calib, cfg,
+                                      session, 0, 0, &stats);
+    allocs[static_cast<std::size_t>(step)] =
+        alloc_hook::allocation_count() - before;
+  }
+
+  EXPECT_GT(allocs[0], 0U);
+  for (int step = 1; step < kSteps; ++step) {
+    if (sanitizers_active()) {
+      EXPECT_LE(allocs[static_cast<std::size_t>(step)], allocs[0]);
+    } else {
+      EXPECT_EQ(allocs[static_cast<std::size_t>(step)], 0U)
+          << "step " << step << " touched the heap on the packed-K path";
+    }
+  }
+
+  EXPECT_GT(stats.kv_packed_bytes, 0U);
+  EXPECT_LT(stats.kv_widened_bytes, n * d)
+      << "full widened K matrix materialized on the packed-resident path";
+  const std::size_t i2 = 1, i4 = 2;  // kBitChoices = {0, 2, 4, 8}
+  EXPECT_GT(stats.qk_calls_per_bits[i4], 0U);
+  EXPECT_GT(stats.qk_calls_per_bits[i2], 0U);
+  EXPECT_GT(stats.qk_bytes_per_bits[i4], 0U);
+  EXPECT_GT(stats.qk_bytes_per_bits[i2], 0U);
+  EXPECT_EQ(stats.qk_calls_per_bits[3], 0U);  // no 8-bit tiles in the table
+}
+
 TEST(SteadyState, ArenaSlabCountIsFlatAfterWarmup) {
   // The arena-level view of the same property: slab mallocs move during
   // step 1 and never again (counted inside the arena, so this holds even

@@ -174,6 +174,40 @@ TEST(KernelLdz, PackedLdzKDecodesTileRowsExactly) {
   }
 }
 
+TEST(KernelLdz, PackedLdzKIncrementalBuildMatchesBuild) {
+  const std::size_t rows = 53, d = 23;
+  const auto codes = random_codes(rows * d, 13);
+  PackedLdzK whole;
+  whole.build(codes.data(), rows, d, {2, 4});
+
+  PackedLdzK chunked;
+  chunked.begin_build(rows, d, {2, 4});
+  // Uneven chunks, including a 1-row tail — the session's packed-K
+  // residency path packs in fixed chunks whose last piece is ragged.
+  const std::size_t splits[] = {0, 7, 8, 40, 52, rows};
+  for (std::size_t s = 0; s + 1 < std::size(splits); ++s) {
+    chunked.pack_rows(codes.data() + splits[s] * d, splits[s], splits[s + 1]);
+  }
+
+  for (const int bits : {2, 4}) {
+    EXPECT_EQ(whole.packed_row_bytes(bits),
+              ldz_mag_bytes(d, bits) + ldz_signshift_bytes(d));
+    const auto a = whole.plane(bits);
+    const auto b = chunked.plane(bits);
+    ASSERT_EQ(a.mag_stride, b.mag_stride);
+    ASSERT_EQ(a.ss_stride, b.ss_stride);
+    EXPECT_EQ(0, std::memcmp(a.mag, b.mag, rows * a.mag_stride)) << bits;
+    EXPECT_EQ(0, std::memcmp(a.ss, b.ss, rows * a.ss_stride)) << bits;
+  }
+
+  // Reuse at identical geometry keeps the retained planes (and passes the
+  // stride re-verification); out-of-range pack_rows is rejected.
+  chunked.begin_build(rows, d, {4, 2});
+  EXPECT_TRUE(chunked.has_plane(2));
+  EXPECT_TRUE(chunked.has_plane(4));
+  EXPECT_THROW(chunked.pack_rows(codes.data(), rows, rows + 1), Error);
+}
+
 // --------------------------------------------------- integer tile kernels
 
 TEST(KernelInt8, QkTileBitExactVsNaiveOnRaggedShapes) {
@@ -208,6 +242,54 @@ TEST(KernelInt8, QkTileBitExactVsNaiveOnRaggedShapes) {
             }
           }
         }
+      }
+    }
+  }
+}
+
+// The packed sub-byte QK^T kernels' contract: bitwise identical to
+// "ldz_truncate_i8 the K tile, then qk_tile_i8_scaled" on every ISA.  K
+// cycles through ALL 256 int8 code values (so every mantissa/shift/sign
+// nibble combination the packed planes can hold is exercised), and the d
+// sweep covers ragged tails (d % 32 != 0) on both sides of the vector
+// width plus d > 1024 to hit the wide-row scalar fallback.
+TEST(KernelInt8, PackedQkTileBitExactVsLdzTruncateOracle) {
+  for (const Isa isa : available_isas()) {
+    ScopedIsa pin(isa);
+    for (const int bits : {4, 2}) {
+      for (const std::size_t d :
+           {1UL, 5UL, 16UL, 17UL, 31UL, 32UL, 33UL, 63UL, 64UL, 65UL,
+            1030UL}) {
+        const std::size_t qr = 3;
+        const std::size_t krows = std::max<std::size_t>(4, 512 / d + 1);
+        std::vector<std::int8_t> k(krows * d);
+        for (std::size_t i = 0; i < k.size(); ++i) {
+          k[i] = static_cast<std::int8_t>(static_cast<int>(i % 256) - 128);
+        }
+        const auto q = random_codes(qr * d, 900 + d + bits);
+        std::vector<float> sq(qr), sk(krows);
+        Rng rng(d + bits);
+        for (auto& s : sq) s = static_cast<float>(rng.uniform(0.001, 0.1));
+        for (auto& s : sk) s = static_cast<float>(rng.uniform(0.001, 0.1));
+
+        // Oracle: widen the packed representation back to int8 via LDZ
+        // truncation, then the plain int8 tile kernel.
+        std::vector<std::int8_t> k_trunc(k.size());
+        ldz_truncate_i8(k.data(), k_trunc.data(), k.size(), bits);
+        std::vector<float> want(qr * krows, -1.0F);
+        qk_tile_i8_scaled(q.data(), d, qr, k_trunc.data(), d, krows, d,
+                          sq.data(), sk.data(), want.data(), krows);
+
+        PackedLdzK packed;
+        packed.build(k.data(), krows, d, {bits});
+        const PackedLdzK::PlaneView pv = packed.plane(bits);
+        auto* kernel = bits == 4 ? &qk_tile_i4p_scaled : &qk_tile_i2q_scaled;
+        std::vector<float> got(qr * krows, -2.0F);
+        kernel(q.data(), d, qr, pv.mag, pv.mag_stride, pv.ss, pv.ss_stride,
+               krows, d, sq.data(), sk.data(), got.data(), krows);
+        ASSERT_EQ(0, std::memcmp(got.data(), want.data(),
+                                 want.size() * sizeof(float)))
+            << "isa=" << isa_name(isa) << " bits=" << bits << " d=" << d;
       }
     }
   }
@@ -498,6 +580,54 @@ TEST(KernelEndToEnd, FusedExecutorThreadCountInvariantPerIsa) {
     EXPECT_EQ(0, std::memcmp(serial.flat().data(), parallel.flat().data(),
                              serial.size() * sizeof(float)))
         << "isa=" << isa_name(isa);
+  }
+}
+
+// packed_subbyte_compute only changes HOW sub-byte tiles are computed
+// (in-register unpack vs decode-to-scratch + int8 kernel) — never the
+// result.  Every preset, OBA setting, executor, and thread count must
+// agree bitwise with the flag flipped.
+TEST(KernelEndToEnd, FusedExecutorPackedComputeOnOffAgree) {
+  const TokenGrid grid(4, 4, 4);
+  SyntheticHeadSpec spec;
+  spec.locality_width = 0.02;
+  Rng rng(23);
+  const HeadQKV head = generate_head(grid, spec, 16, rng);
+
+  std::vector<QuantAttentionConfig> configs;
+  configs.push_back(config_fp16());
+  configs.push_back(config_blockwise_int(8, 16));
+  for (const bool oba : {false, true}) {
+    QuantAttentionConfig mp = config_paro_mp(4.8, 16);
+    mp.output_bitwidth_aware = oba;
+    configs.push_back(mp);
+  }
+
+  for (const auto& cfg : configs) {
+    const HeadCalibration calib = calibrate_head(head.q, head.k, grid, cfg);
+    for (const auto executor :
+         {AttnExecutor::kStreamed, AttnExecutor::kMaterialized}) {
+      for (const int threads : {1, 8}) {
+        set_global_threads(threads);
+        QuantAttentionConfig on = cfg;
+        on.executor = executor;
+        on.packed_subbyte_compute = true;
+        QuantAttentionConfig off = on;
+        off.packed_subbyte_compute = false;
+        const MatF out_on =
+            quantized_attention(head.q, head.k, head.v, calib, on).output;
+        const MatF out_off =
+            quantized_attention(head.q, head.k, head.v, calib, off).output;
+        set_global_threads(0);
+        ASSERT_TRUE(out_on.same_shape(out_off));
+        EXPECT_EQ(0, std::memcmp(out_on.flat().data(), out_off.flat().data(),
+                                 out_on.size() * sizeof(float)))
+            << "executor="
+            << (executor == AttnExecutor::kStreamed ? "s" : "m")
+            << " oba=" << cfg.output_bitwidth_aware
+            << " threads=" << threads;
+      }
+    }
   }
 }
 

@@ -1,7 +1,7 @@
 // bench_diff — bench-trajectory gate for BENCH_kernels.json reports.
 //
 //   bench_diff <baseline.json> <current.json> [tol=0.5] [fr_max=0.05]
-//              [steady_max=1.10]
+//              [steady_max=1.10] [b48_max=0.98]
 //
 // Compares two reports from bench_kernels --kernels_json (schema
 // paro.bench_kernels.v1 or .v2) and exits nonzero on a regression:
@@ -16,7 +16,13 @@
 //     `fused_attention_steady`, the warm-session time must stay ≤ cold ×
 //     steady_max — an intra-report ratio (immune to machine changes) that
 //     keeps the zero-allocation steady state from regressing into
-//     per-step churn.
+//     per-step churn;
+//   * when the current report carries both `fused_attention_i8` and
+//     `fused_attention_b48`, the mixed-precision B=4.8 time must stay ≤
+//     uniform-INT8 × b48_max (default 0.98) — the paper's headline claim
+//     that pattern-aware mixed precision with packed sub-byte compute is
+//     measurably FASTER than a uniform INT8 fused path, gated as another
+//     intra-report ratio.
 //
 // Kernels present on only one side are reported but never fail the gate
 // (the suite is allowed to grow).  A compiler mismatch between two v2
@@ -111,12 +117,13 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: bench_diff <baseline.json> <current.json> "
-      "[tol=0.5] [fr_max=0.05] [steady_max=1.10]\n"
+      "[tol=0.5] [fr_max=0.05] [steady_max=1.10] [b48_max=0.98]\n"
       "  gates per-kernel chosen-ISA speedup-vs-scalar against the\n"
       "  baseline (fail below baseline*(1-tol)), the flight-recorder\n"
-      "  overhead fraction (fail above fr_max), and the warm-session\n"
+      "  overhead fraction (fail above fr_max), the warm-session\n"
       "  steady/cold time ratio of the current report (fail above\n"
-      "  steady_max); exit 1 on regression\n");
+      "  steady_max), and the mixed-precision b48/uniform-int8 fused\n"
+      "  attention ratio (fail above b48_max); exit 1 on regression\n");
   return 2;
 }
 
@@ -125,6 +132,7 @@ int run(int argc, char** argv) {
   double tol = 0.5;
   double fr_max = 0.05;
   double steady_max = 1.10;
+  double b48_max = 0.98;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("tol=", 0) == 0) {
@@ -133,6 +141,8 @@ int run(int argc, char** argv) {
       fr_max = std::stod(arg.substr(7));
     } else if (arg.rfind("steady_max=", 0) == 0) {
       steady_max = std::stod(arg.substr(11));
+    } else if (arg.rfind("b48_max=", 0) == 0) {
+      b48_max = std::stod(arg.substr(8));
     } else {
       paths.push_back(arg);
     }
@@ -190,6 +200,21 @@ int run(int argc, char** argv) {
     const bool ok = ratio <= steady_max;
     std::printf("  steady/cold fused attention %.3f (max %.3f)  %s\n", ratio,
                 steady_max, ok ? "ok" : "REGRESSION");
+    if (!ok) ++regressions;
+  }
+
+  // Mixed-precision gate: fused attention at the paper's B=4.8 operating
+  // point must beat the uniform INT8 fused path, again as an intra-report
+  // ratio.  A b48/i8 ratio drifting above b48_max means the sub-byte
+  // packed kernels (or the 0-bit skip) stopped paying for themselves.
+  const auto i8_it = cur.kernels.find("fused_attention_i8");
+  const auto b48_it = cur.kernels.find("fused_attention_b48");
+  if (i8_it != cur.kernels.end() && b48_it != cur.kernels.end() &&
+      i8_it->second.seconds > 0.0) {
+    const double ratio = b48_it->second.seconds / i8_it->second.seconds;
+    const bool ok = ratio <= b48_max;
+    std::printf("  b48/int8 fused attention %.3f (max %.3f)  %s\n", ratio,
+                b48_max, ok ? "ok" : "REGRESSION");
     if (!ok) ++regressions;
   }
 

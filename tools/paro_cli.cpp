@@ -100,6 +100,7 @@ QuantAttentionConfig quant_config(const KeyValueConfig& cfg) {
       static_cast<std::size_t>(cfg.get_int("block", 8)),
       cfg.get_double("alpha", 0.5));
   q.output_bitwidth_aware = cfg.get_bool("oba", true);
+  q.packed_subbyte_compute = cfg.get_bool("packed", true);
   const std::string executor = cfg.get_string("executor", "streamed");
   if (executor == "streamed") {
     q.executor = AttnExecutor::kStreamed;
@@ -190,6 +191,8 @@ void write_attribution_json(obs::JsonWriter& w, const obs::CostLedger& ledger) {
     w.kv("tiles_skipped", rec.tiles_skipped);
     w.kv("qk_tiles", rec.qk_tiles);
     w.kv("kernel_calls", rec.kernel_calls);
+    w.kv("qk_kernel_calls", rec.qk_kernel_calls);
+    w.kv("qk_bytes", rec.qk_bytes);
     w.kv("cycles", rec.cycles);
     w.kv("pe_cycles", rec.pe_cycles);
     w.kv("dram_bytes", rec.dram_bytes);
@@ -659,6 +662,8 @@ int cmd_report(const KeyValueConfig& cfg) {
     w.kv("tiles_skipped", totals.tiles_skipped);
     w.kv("qk_tiles", totals.qk_tiles);
     w.kv("kernel_calls", totals.kernel_calls);
+    w.kv("qk_kernel_calls", totals.qk_kernel_calls);
+    w.kv("qk_bytes", totals.qk_bytes);
     w.kv("cycles", totals.cycles);
     w.kv("pe_cycles", totals.pe_cycles);
     w.kv("dram_bytes", totals.dram_bytes);
@@ -685,6 +690,11 @@ int cmd_report(const KeyValueConfig& cfg) {
     w.kv("cache_hits", session.cache_hits());
     w.kv("cache_misses", session.cache_misses());
     w.kv("steps_begun", session.steps_begun());
+    w.kv("kv_packed_bytes",
+         static_cast<std::uint64_t>(session.metrics().kv_packed_bytes->value()));
+    w.kv("kv_widened_bytes",
+         static_cast<std::uint64_t>(
+             session.metrics().kv_widened_bytes->value()));
     w.end_object();
     write_kernels_section(w);
     write_metrics_section(w);
@@ -725,6 +735,12 @@ int cmd_report(const KeyValueConfig& cfg) {
                 static_cast<unsigned long long>(session.cache_hits()),
                 static_cast<unsigned long long>(session.cache_misses()),
                 static_cast<unsigned long long>(session.steps_begun()));
+    std::printf("kv residency: %llu packed bytes vs %llu widened int8 bytes "
+                "per head (high water)\n",
+                static_cast<unsigned long long>(
+                    session.metrics().kv_packed_bytes->value()),
+                static_cast<unsigned long long>(
+                    session.metrics().kv_widened_bytes->value()));
   }
   if (cfg.contains("trace_out")) {
     write_profile_trace(cfg.get_string("trace_out", ""));
